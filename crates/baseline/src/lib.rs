@@ -1,0 +1,278 @@
+//! # tdp-baseline
+//!
+//! A deliberately conventional, standalone mini columnar engine — the
+//! "external analytical database" comparator of the OCR experiment (paper
+//! §5.2 loads pre-extracted tables into DuckDB and queries them there).
+//!
+//! It shares no code with the tensor engine: values are plain `f64`/string
+//! vectors, execution is scalar vector-at-a-time, and the API covers what
+//! the bulk-conversion pipeline needs — bulk load, equality filters and
+//! column averages. Like DuckDB in the paper's comparison, query latency
+//! here is *not* the bottleneck; the two-orders-of-magnitude gap comes from
+//! converting every image up front.
+
+use std::collections::HashMap;
+
+/// A column of the baseline engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineColumn {
+    Num(Vec<f64>),
+    Str(Vec<String>),
+}
+
+impl BaselineColumn {
+    pub fn len(&self) -> usize {
+        match self {
+            BaselineColumn::Num(v) => v.len(),
+            BaselineColumn::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A table: equal-length named columns.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineTable {
+    names: Vec<String>,
+    columns: Vec<BaselineColumn>,
+}
+
+impl BaselineTable {
+    pub fn new() -> BaselineTable {
+        BaselineTable::default()
+    }
+
+    pub fn add_num(&mut self, name: &str, values: Vec<f64>) -> &mut Self {
+        self.check_len(values.len());
+        self.names.push(name.to_owned());
+        self.columns.push(BaselineColumn::Num(values));
+        self
+    }
+
+    pub fn add_str(&mut self, name: &str, values: Vec<String>) -> &mut Self {
+        self.check_len(values.len());
+        self.names.push(name.to_owned());
+        self.columns.push(BaselineColumn::Str(values));
+        self
+    }
+
+    fn check_len(&self, n: usize) {
+        if let Some(first) = self.columns.first() {
+            assert_eq!(first.len(), n, "ragged baseline table");
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&BaselineColumn> {
+        self.names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .map(|i| &self.columns[i])
+    }
+
+    /// Append another table with the same schema (bulk load).
+    pub fn append(&mut self, other: &BaselineTable) {
+        assert_eq!(self.names, other.names, "schema mismatch on append");
+        for (mine, theirs) in self.columns.iter_mut().zip(&other.columns) {
+            match (mine, theirs) {
+                (BaselineColumn::Num(a), BaselineColumn::Num(b)) => a.extend_from_slice(b),
+                (BaselineColumn::Str(a), BaselineColumn::Str(b)) => a.extend_from_slice(b),
+                _ => panic!("column type mismatch on append"),
+            }
+        }
+    }
+}
+
+/// Row predicate for the tiny query API.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// String column equals literal.
+    StrEq(String, String),
+    /// Numeric column within `[lo, hi]`.
+    NumBetween(String, f64, f64),
+    /// Keep everything.
+    True,
+}
+
+/// The engine: a named-table store with a micro query API.
+#[derive(Debug, Default)]
+pub struct BaselineDb {
+    tables: HashMap<String, BaselineTable>,
+}
+
+impl BaselineDb {
+    pub fn new() -> BaselineDb {
+        BaselineDb::default()
+    }
+
+    /// Create or replace a table.
+    pub fn create(&mut self, name: &str, table: BaselineTable) {
+        self.tables.insert(name.to_ascii_lowercase(), table);
+    }
+
+    /// Bulk-append rows into an existing table (creating it if absent).
+    pub fn insert(&mut self, name: &str, rows: &BaselineTable) {
+        match self.tables.get_mut(&name.to_ascii_lowercase()) {
+            Some(t) => t.append(rows),
+            None => self.create(name, rows.clone()),
+        }
+    }
+
+    pub fn table(&self, name: &str) -> Option<&BaselineTable> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    fn selection(&self, table: &BaselineTable, pred: &Predicate) -> Vec<usize> {
+        let n = table.rows();
+        match pred {
+            Predicate::True => (0..n).collect(),
+            Predicate::StrEq(col, lit) => match table.column(col) {
+                Some(BaselineColumn::Str(v)) => {
+                    (0..n).filter(|&i| v[i] == *lit).collect()
+                }
+                _ => Vec::new(),
+            },
+            Predicate::NumBetween(col, lo, hi) => match table.column(col) {
+                Some(BaselineColumn::Num(v)) => (0..n)
+                    .filter(|&i| v[i] >= *lo && v[i] <= *hi)
+                    .collect(),
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// `SELECT COUNT(*) FROM t WHERE pred`.
+    pub fn count(&self, table: &str, pred: &Predicate) -> usize {
+        self.table(table)
+            .map(|t| self.selection(t, pred).len())
+            .unwrap_or(0)
+    }
+
+    /// `SELECT AVG(col), … FROM t WHERE pred` for several columns.
+    /// Returns `None` for missing tables/columns or empty selections.
+    pub fn avg(&self, table: &str, cols: &[&str], pred: &Predicate) -> Option<Vec<f64>> {
+        let t = self.table(table)?;
+        let sel = self.selection(t, pred);
+        if sel.is_empty() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(cols.len());
+        for &c in cols {
+            match t.column(c)? {
+                BaselineColumn::Num(v) => {
+                    out.push(sel.iter().map(|&i| v[i]).sum::<f64>() / sel.len() as f64)
+                }
+                BaselineColumn::Str(_) => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// `SELECT key, COUNT(*) FROM t GROUP BY key` over a string column.
+    pub fn group_count(&self, table: &str, key: &str) -> Option<Vec<(String, usize)>> {
+        let t = self.table(table)?;
+        let BaselineColumn::Str(v) = t.column(key)? else {
+            return None;
+        };
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for s in v {
+            *counts.entry(s).or_default() += 1;
+        }
+        let mut out: Vec<(String, usize)> =
+            counts.into_iter().map(|(k, c)| (k.to_owned(), c)).collect();
+        out.sort();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iris_like() -> BaselineTable {
+        let mut t = BaselineTable::new();
+        t.add_num("SepalLength", vec![5.0, 6.0, 7.0, 4.0])
+            .add_num("PetalLength", vec![1.0, 2.0, 3.0, 4.0])
+            .add_str(
+                "ts",
+                vec!["a".into(), "b".into(), "a".into(), "c".into()],
+            );
+        t
+    }
+
+    #[test]
+    fn create_count_avg() {
+        let mut db = BaselineDb::new();
+        db.create("iris", iris_like());
+        assert_eq!(db.count("iris", &Predicate::True), 4);
+        assert_eq!(
+            db.count("iris", &Predicate::StrEq("ts".into(), "a".into())),
+            2
+        );
+        let avgs = db
+            .avg(
+                "iris",
+                &["SepalLength", "PetalLength"],
+                &Predicate::StrEq("ts".into(), "a".into()),
+            )
+            .unwrap();
+        assert_eq!(avgs, vec![6.0, 2.0]);
+    }
+
+    #[test]
+    fn numeric_range_predicate() {
+        let mut db = BaselineDb::new();
+        db.create("iris", iris_like());
+        assert_eq!(
+            db.count("iris", &Predicate::NumBetween("SepalLength".into(), 5.5, 7.5)),
+            2
+        );
+    }
+
+    #[test]
+    fn bulk_insert_appends() {
+        let mut db = BaselineDb::new();
+        db.insert("iris", &iris_like());
+        db.insert("iris", &iris_like());
+        assert_eq!(db.count("iris", &Predicate::True), 8);
+    }
+
+    #[test]
+    fn group_count() {
+        let mut db = BaselineDb::new();
+        db.create("iris", iris_like());
+        let g = db.group_count("iris", "ts").unwrap();
+        assert_eq!(
+            g,
+            vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn missing_cases() {
+        let db = BaselineDb::new();
+        assert_eq!(db.count("nope", &Predicate::True), 0);
+        assert!(db.avg("nope", &["x"], &Predicate::True).is_none());
+        let mut db2 = BaselineDb::new();
+        db2.create("t", iris_like());
+        assert!(db2
+            .avg("t", &["ts"], &Predicate::True)
+            .is_none(), "avg over strings is refused");
+        assert!(db2
+            .avg("t", &["SepalLength"], &Predicate::StrEq("ts".into(), "zz".into()))
+            .is_none(), "empty selection yields no average");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_tables_rejected() {
+        let mut t = BaselineTable::new();
+        t.add_num("a", vec![1.0, 2.0]).add_num("b", vec![1.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks of the query engine: end-to-end SQL
+//! operators plus the soft-vs-exact aggregation ablation that DESIGN.md
+//! calls out (what does differentiability cost at execution time?).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdp_core::storage::TableBuilder;
+use tdp_core::tensor::{Rng64, Tensor};
+use tdp_core::{QueryConfig, Tdp};
+
+fn session(n: usize) -> Tdp {
+    let mut rng = Rng64::new(9);
+    let tdp = Tdp::new();
+    let cats = ["alpha", "beta", "gamma", "delta"];
+    let labels: Vec<&str> = (0..n).map(|_| cats[rng.below(cats.len())]).collect();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+            .col_i64("k", (0..n).map(|_| rng.below(50) as i64).collect())
+            .col_str("label", &labels)
+            .build("t"),
+    );
+    tdp
+}
+
+fn bench_sql_operators(c: &mut Criterion) {
+    let tdp = session(50_000);
+    let mut group = c.benchmark_group("sql_50k_rows");
+    group.sample_size(20);
+    for (name, sql) in [
+        ("filter", "SELECT v FROM t WHERE v > 0.5"),
+        ("filter_string", "SELECT v FROM t WHERE label = 'alpha'"),
+        ("groupby_count", "SELECT k, COUNT(*) FROM t GROUP BY k"),
+        ("groupby_agg", "SELECT label, SUM(v), AVG(v) FROM t GROUP BY label"),
+        ("orderby_limit", "SELECT v FROM t ORDER BY v DESC LIMIT 10"),
+    ] {
+        let q = tdp.query(sql).expect("compile");
+        group.bench_function(name, |b| b.iter(|| q.run().expect("run")));
+    }
+    group.finish();
+}
+
+fn bench_soft_vs_exact_groupby(c: &mut Criterion) {
+    // Ablation: the differentiable (soft) group-by over an exact key
+    // column vs the sort-based exact group-by, same query.
+    let tdp = session(20_000);
+    let sql = "SELECT k, COUNT(*) FROM t GROUP BY k";
+    let exact = tdp.query(sql).expect("compile");
+    let soft = tdp
+        .query_with(sql, QueryConfig::default().trainable(true))
+        .expect("compile");
+    let mut group = c.benchmark_group("soft_vs_exact_groupby_20k");
+    group.sample_size(20);
+    group.bench_function("exact_sort_based", |b| b.iter(|| exact.run().expect("run")));
+    group.bench_function("soft_khatri_rao", |b| {
+        b.iter(|| soft.run_diff().expect("run_diff"))
+    });
+    group.finish();
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    let tdp = session(100);
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(50);
+    group.bench_function("parse_plan_optimize", |b| {
+        b.iter(|| {
+            tdp.query(
+                "SELECT label, SUM(v * 2 + 1) AS s FROM t WHERE k > 10 \
+                 GROUP BY label HAVING COUNT(*) > 5 ORDER BY s DESC LIMIT 3",
+            )
+            .expect("compile")
+        })
+    });
+    group.finish();
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    use tdp_core::encoding::{RleColumn, StringDict};
+    let mut rng = Rng64::new(11);
+    let n = 100_000;
+    let strings: Vec<String> = (0..n).map(|_| format!("cat{}", rng.below(64))).collect();
+    let repetitive: Vec<i64> = (0..n).map(|i| (i / 1000) as i64).collect();
+    let rep = Tensor::from_vec(repetitive, &[n]);
+    let mut group = c.benchmark_group("encodings_100k");
+    group.sample_size(20);
+    group.bench_function("dict_encode", |b| b.iter(|| StringDict::encode(&strings)));
+    group.bench_function("rle_encode", |b| b.iter(|| RleColumn::encode(&rep)));
+    let rle = RleColumn::encode(&rep);
+    group.bench_function("rle_eq_mask", |b| b.iter(|| rle.eq_mask(42)));
+    group.finish();
+}
+
+fn bench_topk_vs_full_sort(c: &mut Criterion) {
+    // Ablation: the optimizer's Limit(Sort) -> TopK fusion. The fused
+    // operator selects in O(n) average; the unfused path sorts everything.
+    use tdp_core::sql::ast::OrderItem;
+    use tdp_core::sql::plan::LogicalPlan;
+    let tdp = session(200_000);
+    let fused = tdp.query("SELECT v FROM t ORDER BY v DESC LIMIT 10").expect("compile");
+    assert!(fused.explain().contains("TopK"), "fusion must fire");
+    let mut group = c.benchmark_group("topk_200k");
+    group.sample_size(20);
+    group.bench_function("fused_topk", |b| b.iter(|| fused.run().expect("run")));
+    // Hand-built unfused plan for the comparison.
+    let unfused_plan = LogicalPlan::Limit {
+        n: 10,
+        input: Box::new(LogicalPlan::Sort {
+            keys: vec![OrderItem {
+                expr: tdp_core::sql::ast::Expr::col("v"),
+                desc: true,
+            }],
+            input: Box::new(LogicalPlan::Project {
+                items: vec![tdp_core::sql::ast::SelectItem {
+                    expr: tdp_core::sql::ast::Expr::col("v"),
+                    alias: None,
+                }],
+                input: Box::new(LogicalPlan::Scan { table: "t".into() }),
+            }),
+        }),
+    };
+    let catalog = tdp.catalog();
+    let udfs = tdp_core::exec::UdfRegistry::new();
+    let ctx = tdp_core::exec::ExecContext::new(catalog, &udfs);
+    group.bench_function("full_sort_then_limit", |b| {
+        b.iter(|| tdp_core::exec::execute(&unfused_plan, &ctx).expect("run"))
+    });
+    group.finish();
+}
+
+fn bench_compressed_encodings(c: &mut Criterion) {
+    // Ablation: encode/decode cost and end-to-end GROUP BY latency on the
+    // new bit-packed and delta layouts vs plain i64.
+    use tdp_core::encoding::{BitPackedColumn, DeltaColumn, EncodedTensor};
+    let n = 100_000;
+    let low_card: Vec<i64> = (0..n).map(|i| (i % 8) as i64).collect();
+    let timestamps: Vec<i64> = (0..n).map(|i| 1_700_000_000 + 2 * i as i64).collect();
+    let low = Tensor::from_vec(low_card.clone(), &[n]);
+    let ts = Tensor::from_vec(timestamps.clone(), &[n]);
+
+    let mut group = c.benchmark_group("compressed_encodings_100k");
+    group.sample_size(20);
+    group.bench_function("bitpack_encode", |b| b.iter(|| BitPackedColumn::encode(&low)));
+    group.bench_function("delta_encode", |b| b.iter(|| DeltaColumn::encode(&ts)));
+    let packed = BitPackedColumn::encode(&low);
+    let delta = DeltaColumn::encode(&ts).expect("encodable");
+    group.bench_function("bitpack_decode", |b| b.iter(|| packed.decode()));
+    group.bench_function("delta_decode", |b| b.iter(|| delta.decode()));
+    group.bench_function("auto_compress", |b| b.iter(|| EncodedTensor::compress_i64(&low)));
+
+    // End-to-end: same GROUP BY over plain vs compressed storage.
+    for (name, compress) in [("groupby_plain_i64", false), ("groupby_bitpacked", true)] {
+        let tdp = Tdp::new();
+        let table = TableBuilder::new()
+            .col_i64("k", low_card.clone())
+            .col_f32("v", vec![1.0; n])
+            .build("t");
+        tdp.register_table(if compress { table.compress() } else { table });
+        let q = tdp.query("SELECT k, COUNT(*) FROM t GROUP BY k").expect("compile");
+        group.bench_function(name, |b| b.iter(|| q.run().expect("run")));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sql_operators,
+    bench_soft_vs_exact_groupby,
+    bench_compilation,
+    bench_encodings,
+    bench_compressed_encodings,
+    bench_topk_vs_full_sort
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! §5.5 Experiment 2: component reuse / better generalisation.
+//!
+//! Train the MNISTGrid trainable query (count supervision only — the
+//! digit parser never sees a digit label), then pull the digit parser CNN
+//! out of the query and evaluate it as a standalone 10-class classifier
+//! on held-out single digits.
+//!
+//! Paper: 98.15% MNIST accuracy on average. At laptop scale (fewer grids
+//! and iterations than the paper's 5,000 images / 40,000 iterations) the
+//! parser already reaches the high 90s; `TDP_BENCH_FULL=1` pushes the
+//! budget up.
+
+use std::sync::Arc;
+
+use tdp_bench::{figure, knob, timed};
+use tdp_core::autodiff::Var;
+use tdp_core::nn::module::{accuracy, predict};
+use tdp_core::nn::{Adam, Optimizer};
+use tdp_core::tensor::Rng64;
+use tdp_core::{QueryConfig, Tdp};
+use tdp_data::digits::generate_digits;
+use tdp_data::grid::generate_grids;
+use tdp_ml::ParseMnistGridTvf;
+
+const BATCH: usize = 8;
+
+fn main() {
+    let n_train = knob("REUSE_TRAIN", 512, 5000);
+    let iters = knob("REUSE_ITERS", 1200, 6000);
+    let n_eval = knob("REUSE_EVAL", 1000, 5000);
+
+    figure(
+        "Exp. 2 (§5.5): reuse of the digit parser trained through the query",
+        "98.15% standalone digit accuracy without ever seeing digit labels",
+    );
+    println!("{n_train} training grids, {iters} iterations (batch {BATCH}), {n_eval} eval digits\n");
+
+    let mut rng = Rng64::new(42);
+    let train = generate_grids(n_train, &mut rng);
+
+    let tdp = Tdp::new();
+    let tvf = Arc::new(ParseMnistGridTvf::new(&mut rng));
+    tdp.register_tvf(tvf.clone());
+    let query = tdp
+        .query_with(
+            "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size",
+            QueryConfig::default().trainable(true),
+        )
+        .expect("compile");
+    let mut opt = Adam::new(query.parameters(), 0.005);
+
+    let (_, train_secs) = timed(|| {
+        for i in 0..iters {
+            opt.zero_grad();
+            let mut acc: Option<Var> = None;
+            for b in 0..BATCH {
+                let s = &train.samples[(i * BATCH + b) % train.len()];
+                tdp.register_tensor("MNIST_Grid", s.image.reshape(&[1, 1, 84, 84]));
+                let l = query.run_counts().expect("diff").mse_loss(&s.counts);
+                acc = Some(match acc {
+                    Some(a) => a.add(&l),
+                    None => l,
+                });
+            }
+            let loss = acc.unwrap().div_scalar(BATCH as f32);
+            loss.backward();
+            opt.step();
+            if i % 200 == 0 || i + 1 == iters {
+                println!("  iter {i:>5}  train count-mse {:.4}", loss.value().item());
+            }
+        }
+    });
+
+    // Extract the digit parser and evaluate standalone.
+    let mut eval_rng = Rng64::new(777);
+    let eval = generate_digits(n_eval, &mut eval_rng);
+    let digit_logits = predict(&tvf.digit_parser, &eval.images);
+    let digit_acc = accuracy(&digit_logits, &eval.digits);
+    let size_logits = predict(&tvf.size_parser, &eval.images);
+    let size_acc = accuracy(&size_logits, &eval.sizes);
+
+    println!("\ntrained in {train_secs:.0}s through count supervision only");
+    println!("digit_parser standalone accuracy: {:.2}% (paper: 98.15%)", digit_acc * 100.0);
+    println!("size_parser  standalone accuracy: {:.2}%", size_acc * 100.0);
+}

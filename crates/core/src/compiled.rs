@@ -1,0 +1,379 @@
+//! Compiled queries: the "query as a PyTorch model" object.
+
+use tdp_autodiff::Var;
+use tdp_exec::{Batch, ColumnData, ExecContext};
+use tdp_sql::ast::Expr;
+use tdp_sql::plan::LogicalPlan;
+use tdp_storage::Table;
+use tdp_tensor::{Device, F32Tensor};
+
+use crate::error::TdpError;
+use crate::session::Tdp;
+
+/// Per-query compilation configuration (the paper's `extra_config`).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    pub device: Device,
+    /// Lower to differentiable soft operators (paper Listing 6:
+    /// `{tdp.constants.TRAINABLE: True}`).
+    pub trainable: bool,
+    /// Temperature of relaxed predicates in trainable mode.
+    pub temperature: f32,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig { device: Device::Cpu, trainable: false, temperature: 0.1 }
+    }
+}
+
+impl QueryConfig {
+    pub fn device(mut self, device: Device) -> QueryConfig {
+        self.device = device;
+        self
+    }
+
+    pub fn trainable(mut self, trainable: bool) -> QueryConfig {
+        self.trainable = trainable;
+        self
+    }
+
+    pub fn temperature(mut self, temperature: f32) -> QueryConfig {
+        assert!(temperature > 0.0, "temperature must be positive");
+        self.temperature = temperature;
+        self
+    }
+}
+
+/// A compiled query. Like a compiled PyTorch model it can be executed
+/// repeatedly (inputs are re-resolved from the catalog on every run, so the
+/// Listing-5 pattern of re-registering the input tensor each iteration
+/// works), moved across devices at compile time, inspected via
+/// [`CompiledQuery::explain`], and — when trainable — differentiated
+/// end-to-end through [`CompiledQuery::run_diff`].
+pub struct CompiledQuery<'s> {
+    session: &'s Tdp,
+    plan: LogicalPlan,
+    config: QueryConfig,
+}
+
+impl<'s> CompiledQuery<'s> {
+    pub(crate) fn new(session: &'s Tdp, plan: LogicalPlan, config: QueryConfig) -> Self {
+        CompiledQuery { session, plan, config }
+    }
+
+    /// The optimised logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// EXPLAIN-style plan rendering.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+
+    pub fn config(&self) -> QueryConfig {
+        self.config
+    }
+
+    /// Execute with exact operators, producing a result table. Works for
+    /// trainable queries too — this is the paper's inference-time swap of
+    /// soft operators for exact ones.
+    pub fn run(&self) -> Result<Table, TdpError> {
+        let udfs = self.session.udfs_snapshot();
+        let ctx = ExecContext {
+            catalog: self.session.catalog(),
+            udfs: &udfs,
+            device: self.config.device,
+            trainable: false,
+            temperature: self.config.temperature,
+        };
+        let batch = tdp_exec::execute(&self.plan, &ctx)?;
+        Ok(batch.to_table("result"))
+    }
+
+    /// Execute exactly while recording a per-operator profile — the
+    /// paper's "profile the compiled query" story (§2) without leaving
+    /// the engine. Returns the result table plus the profile.
+    pub fn run_profiled(&self) -> Result<(Table, tdp_exec::QueryProfile), TdpError> {
+        let udfs = self.session.udfs_snapshot();
+        let ctx = ExecContext {
+            catalog: self.session.catalog(),
+            udfs: &udfs,
+            device: self.config.device,
+            trainable: false,
+            temperature: self.config.temperature,
+        };
+        let (batch, profile) = tdp_exec::execute_profiled(&self.plan, &ctx)?;
+        Ok((batch.to_table("result"), profile))
+    }
+
+    /// Execute the differentiable lowering, producing a batch whose
+    /// differentiable columns carry the autodiff tape. Requires the query
+    /// to have been compiled with [`QueryConfig::trainable`].
+    pub fn run_diff(&self) -> Result<Batch, TdpError> {
+        if !self.config.trainable {
+            return Err(TdpError::Session(
+                "query was not compiled with TRAINABLE; use run() or recompile".into(),
+            ));
+        }
+        let udfs = self.session.udfs_snapshot();
+        let ctx = ExecContext {
+            catalog: self.session.catalog(),
+            udfs: &udfs,
+            device: self.config.device,
+            trainable: true,
+            temperature: self.config.temperature,
+        };
+        Ok(tdp_exec::execute_diff(&self.plan, &ctx)?)
+    }
+
+    /// Run the differentiable plan and return a single named column as a
+    /// `Var` — the tensor the training loop computes its loss on.
+    pub fn run_diff_column(&self, column: &str) -> Result<Var, TdpError> {
+        let batch = self.run_diff()?;
+        match batch.column(column)? {
+            ColumnData::Diff(d) => Ok(d.var.clone()),
+            ColumnData::Exact(_) => Err(TdpError::Session(format!(
+                "column '{column}' is exact; no gradient flows through it"
+            ))),
+        }
+    }
+
+    /// Shorthand for the common count-supervised pattern: the `COUNT(*)`
+    /// column of the differentiable result.
+    pub fn run_counts(&self) -> Result<Var, TdpError> {
+        self.run_diff_column("COUNT(*)")
+    }
+
+    /// All trainable parameters of the functions this query references —
+    /// the argument to an optimizer (paper Listing 5:
+    /// `Adam(compiled_query.parameters(), lr=0.01)`).
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut names = Vec::new();
+        collect_function_names(&self.plan, &mut names);
+        let udfs = self.session.udfs_snapshot();
+        let mut params: Vec<Var> = Vec::new();
+        for name in names {
+            if let Ok(tvf) = udfs.table_fn(&name) {
+                params.extend(tvf.parameters());
+            }
+            if let Ok(udf) = udfs.scalar(&name) {
+                params.extend(udf.parameters());
+            }
+        }
+        // Deduplicate by node identity (a function may appear twice).
+        let mut seen = std::collections::HashSet::new();
+        params.retain(|p| seen.insert(p.id()));
+        params
+    }
+
+    /// Total trainable scalars across [`CompiledQuery::parameters`].
+    pub fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+}
+
+fn collect_function_names(plan: &LogicalPlan, out: &mut Vec<String>) {
+    match plan {
+        LogicalPlan::TvfScan { name, .. } | LogicalPlan::TvfProject { name, .. } => {
+            out.push(name.clone());
+        }
+        LogicalPlan::Filter { predicate, .. } => collect_expr_functions(predicate, out),
+        LogicalPlan::Project { items, .. } => {
+            for i in items {
+                collect_expr_functions(&i.expr, out);
+            }
+        }
+        LogicalPlan::Aggregate { aggregates, group_by, .. } => {
+            for g in group_by {
+                collect_expr_functions(g, out);
+            }
+            for a in aggregates {
+                if let Some(e) = &a.arg {
+                    collect_expr_functions(e, out);
+                }
+            }
+        }
+        LogicalPlan::Sort { keys, .. } => {
+            for k in keys {
+                collect_expr_functions(&k.expr, out);
+            }
+        }
+        _ => {}
+    }
+    for child in plan.inputs() {
+        collect_function_names(child, out);
+    }
+}
+
+fn collect_expr_functions(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Func { name, args } => {
+            out.push(name.clone());
+            for a in args {
+                collect_expr_functions(a, out);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_expr_functions(left, out);
+            collect_expr_functions(right, out);
+        }
+        Expr::Unary { expr, .. } => collect_expr_functions(expr, out),
+        Expr::Aggregate { arg: Some(a), .. } => collect_expr_functions(a, out),
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(o) = operand {
+                collect_expr_functions(o, out);
+            }
+            for (w, t) in branches {
+                collect_expr_functions(w, out);
+                collect_expr_functions(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_expr_functions(e, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_expr_functions(expr, out);
+            for i in list {
+                collect_expr_functions(i, out);
+            }
+        }
+        Expr::Like { expr, .. } => collect_expr_functions(expr, out),
+        _ => {}
+    }
+}
+
+/// Convenience: decode a named column of a result [`Table`] to f32.
+pub fn column_f32(table: &Table, name: &str) -> Result<F32Tensor, TdpError> {
+    table
+        .column(name)
+        .map(|c| c.data.decode_f32())
+        .ok_or_else(|| TdpError::Session(format!("result has no column '{name}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdp_exec::{DiffColumn, ExecError, TableFunction};
+    use tdp_storage::TableBuilder;
+    use tdp_tensor::Tensor;
+
+    struct TinyClassifier {
+        logits: Var,
+    }
+
+    impl TableFunction for TinyClassifier {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn invoke_table(&self, input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
+            let diff = self.invoke_table_diff(input, ctx)?;
+            let mut out = Batch::new();
+            for (name, col) in diff.columns() {
+                out.push(name.clone(), ColumnData::Exact(col.to_exact()));
+            }
+            Ok(out)
+        }
+        fn invoke_table_diff(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+            let mut out = Batch::new();
+            out.push(
+                "Label",
+                ColumnData::Diff(DiffColumn::pe(self.logits.softmax(1), Tensor::arange(2))),
+            );
+            Ok(out)
+        }
+        fn parameters(&self) -> Vec<Var> {
+            vec![self.logits.clone()]
+        }
+    }
+
+    fn session_with_tvf() -> (Tdp, Var) {
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new().col_f32("x", vec![0.0, 1.0, 2.0]).build("rows"),
+        );
+        let logits = Var::param(Tensor::<f32>::zeros(&[3, 2]));
+        tdp.register_tvf(Arc::new(TinyClassifier { logits: logits.clone() }));
+        (tdp, logits)
+    }
+
+    #[test]
+    fn parameters_discovers_tvf_weights() {
+        let (tdp, logits) = session_with_tvf();
+        let q = tdp
+            .query_with(
+                "SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label",
+                QueryConfig::default().trainable(true),
+            )
+            .unwrap();
+        let params = q.parameters();
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].id(), logits.id());
+        assert_eq!(q.num_parameters(), 6);
+    }
+
+    #[test]
+    fn run_diff_requires_trainable_flag() {
+        let (tdp, _) = session_with_tvf();
+        let q = tdp.query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label").unwrap();
+        assert!(matches!(q.run_diff(), Err(TdpError::Session(_))));
+        // Exact run still works for the same SQL.
+        assert_eq!(q.run().unwrap().rows(), 1, "all logits zero -> argmax class 0");
+    }
+
+    #[test]
+    fn run_counts_returns_the_count_var() {
+        let (tdp, _) = session_with_tvf();
+        let q = tdp
+            .query_with(
+                "SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label",
+                QueryConfig::default().trainable(true),
+            )
+            .unwrap();
+        let counts = q.run_counts().unwrap();
+        assert_eq!(counts.shape(), vec![2]);
+        let v = counts.value();
+        assert!((v.at(0) - 1.5).abs() < 1e-5, "uniform logits split rows evenly");
+    }
+
+    #[test]
+    fn explain_exposes_the_plan() {
+        let (tdp, _) = session_with_tvf();
+        let q = tdp.query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label").unwrap();
+        let text = q.explain();
+        assert!(text.contains("TvfScan: tiny"));
+        assert!(text.contains("Aggregate"));
+    }
+
+    #[test]
+    fn run_profiled_returns_result_and_profile() {
+        let (tdp, _) = session_with_tvf();
+        let q = tdp
+            .query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label")
+            .unwrap();
+        let (table, profile) = q.run_profiled().unwrap();
+        assert_eq!(table.rows(), q.run().unwrap().rows());
+        assert!(profile.ops.len() >= 3, "{}", profile.pretty());
+        assert!(profile.pretty().contains("TvfScan: tiny"));
+        assert!(profile.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn config_builder() {
+        let c = QueryConfig::default()
+            .device(Device::Accel(3))
+            .trainable(true)
+            .temperature(0.5);
+        assert_eq!(c.device, Device::Accel(3));
+        assert!(c.trainable);
+        assert_eq!(c.temperature, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn bad_temperature_rejected() {
+        let _ = QueryConfig::default().temperature(0.0);
+    }
+}

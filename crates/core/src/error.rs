@@ -1,0 +1,53 @@
+//! Top-level error type.
+
+use tdp_exec::ExecError;
+use tdp_sql::SqlError;
+
+/// Anything a TDP session can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdpError {
+    /// Parse/plan-time failure.
+    Sql(SqlError),
+    /// Execution-time failure.
+    Exec(ExecError),
+    /// Session-level misuse (bad registration, config conflicts).
+    Session(String),
+}
+
+impl std::fmt::Display for TdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdpError::Sql(e) => write!(f, "{e}"),
+            TdpError::Exec(e) => write!(f, "{e}"),
+            TdpError::Session(m) => write!(f, "session error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TdpError {}
+
+impl From<SqlError> for TdpError {
+    fn from(e: SqlError) -> TdpError {
+        TdpError::Sql(e)
+    }
+}
+
+impl From<ExecError> for TdpError {
+    fn from(e: ExecError) -> TdpError {
+        TdpError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TdpError = SqlError::new("bad token").into();
+        assert!(e.to_string().contains("bad token"));
+        let e: TdpError = ExecError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("'t'"));
+        assert!(TdpError::Session("no".into()).to_string().contains("no"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # tdp-core — The Tensor Data Platform
+//!
+//! The public face of `tdp-rs`: an AI-centric analytical database whose
+//! engine is built *on* a tensor computation runtime rather than calling
+//! out to one (CIDR 2023, "The Tensor Data Platform: Towards an AI-centric
+//! Database System").
+//!
+//! A [`Tdp`] session owns a catalog of tensor-columnar tables and a
+//! registry of UDFs / table-valued functions, and compiles SQL into
+//! [`CompiledQuery`] objects that behave like PyTorch models:
+//!
+//! * they run on a chosen [`Device`] (CPU or the simulated accelerator),
+//! * they can be re-run after re-registering inputs (the training-loop
+//!   pattern of paper Listing 5),
+//! * compiled with [`QueryConfig::trainable`], their plan lowers to
+//!   differentiable *soft* operators and [`CompiledQuery::parameters`]
+//!   exposes every trainable parameter embedded in the query's functions,
+//!   ready for an optimizer,
+//! * they can be profiled per-operator ([`CompiledQuery::run_profiled`]).
+//!
+//! Sessions also manage vector indexes over embedding columns
+//! ([`Tdp::create_vector_index`] / [`Tdp::vector_topk`] — flat or
+//! IVF-Flat), persist tables in the TDPF columnar format
+//! ([`Tdp::save_table`] / [`Tdp::register_file`], or whole-catalog
+//! snapshots via [`Tdp::save_catalog`] / [`Tdp::open_catalog`]), and
+//! render result rows to media formats ([`render`]: PPM images and WAV
+//! audio — paper Example 2.3's output story).
+//!
+//! ```
+//! use tdp_core::Tdp;
+//! use tdp_storage::TableBuilder;
+//!
+//! let tdp = Tdp::new();
+//! tdp.register_table(
+//!     TableBuilder::new()
+//!         .col_f32("Digits", vec![3.0, 3.0, 7.0])
+//!         .col_str("Sizes", &["small", "large", "small"])
+//!         .build("numbers"),
+//! );
+//! let q = tdp.query("SELECT Digits, Sizes, COUNT(*) FROM numbers GROUP BY Digits, Sizes").unwrap();
+//! let result = q.run().unwrap();
+//! assert_eq!(result.rows(), 3);
+//! ```
+
+pub mod compiled;
+pub mod error;
+pub mod render;
+pub mod session;
+pub mod vector;
+
+pub use compiled::{CompiledQuery, QueryConfig};
+pub use error::TdpError;
+pub use session::Tdp;
+pub use vector::IndexKind;
+
+/// Compilation flags mirroring the paper's `tdp.constants`.
+pub mod constants {
+    /// Lower the plan to differentiable operators (paper Listing 6).
+    pub const TRAINABLE: &str = "TRAINABLE";
+}
+
+// The substrate crates, re-exported so applications depend on one crate.
+pub use tdp_autodiff as autodiff;
+pub use tdp_encoding as encoding;
+pub use tdp_exec as exec;
+pub use tdp_nn as nn;
+pub use tdp_sql as sql;
+pub use tdp_storage as storage;
+pub use tdp_index as index;
+pub use tdp_tensor as tensor;
+
+pub use tdp_tensor::Device;

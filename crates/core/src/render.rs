@@ -1,0 +1,177 @@
+//! Rendering query results into media formats.
+//!
+//! The paper's Example 2.3: TDP "can also generate outputs which can be
+//! rendered into images using Matplotlib, or audio using
+//! IPython.display.Audio". This module is the Rust analog — image tensor
+//! columns render to binary PPM (P6) and waveform columns to WAV
+//! (16-bit PCM), both dependency-free formats that any viewer opens.
+
+use tdp_tensor::F32Tensor;
+
+use crate::error::TdpError;
+
+/// Encode one image tensor as binary PPM (P6).
+///
+/// Accepts `[3, h, w]` RGB or `[1, h, w]`/`[h, w]` grayscale, with values
+/// in `[0, 1]` (clamped).
+pub fn to_ppm(image: &F32Tensor) -> Result<Vec<u8>, TdpError> {
+    let (c, h, w) = match image.shape() {
+        [3, h, w] => (3usize, *h, *w),
+        [1, h, w] => (1usize, *h, *w),
+        [h, w] => (1usize, *h, *w),
+        other => {
+            return Err(TdpError::Session(format!(
+                "cannot render shape {other:?} as an image (want [3,h,w], [1,h,w] or [h,w])"
+            )))
+        }
+    };
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    out.reserve(h * w * 3);
+    let data = image.data();
+    let px = |v: f32| (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+    for y in 0..h {
+        for x in 0..w {
+            if c == 3 {
+                for ch in 0..3 {
+                    out.push(px(data[ch * h * w + y * w + x]));
+                }
+            } else {
+                let g = px(data[y * w + x]);
+                out.extend_from_slice(&[g, g, g]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encode one waveform tensor (`[samples]`, values in `[-1, 1]`) as a
+/// mono 16-bit PCM WAV file.
+pub fn to_wav(wave: &F32Tensor, sample_rate: u32) -> Result<Vec<u8>, TdpError> {
+    if wave.ndim() != 1 {
+        return Err(TdpError::Session(format!(
+            "cannot render shape {:?} as audio (want a 1-d waveform)",
+            wave.shape()
+        )));
+    }
+    let n = wave.numel() as u32;
+    let data_bytes = n * 2;
+    let mut out = Vec::with_capacity(44 + data_bytes as usize);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&(36 + data_bytes).to_le_bytes());
+    out.extend_from_slice(b"WAVEfmt ");
+    out.extend_from_slice(&16u32.to_le_bytes()); // PCM chunk size
+    out.extend_from_slice(&1u16.to_le_bytes()); // PCM format
+    out.extend_from_slice(&1u16.to_le_bytes()); // mono
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&(sample_rate * 2).to_le_bytes()); // byte rate
+    out.extend_from_slice(&2u16.to_le_bytes()); // block align
+    out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&data_bytes.to_le_bytes());
+    for &v in wave.data() {
+        let s = (v.clamp(-1.0, 1.0) * i16::MAX as f32) as i16;
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Render row `row` of a result table's tensor column as PPM.
+pub fn column_row_to_ppm(
+    table: &tdp_storage::Table,
+    column: &str,
+    row: usize,
+) -> Result<Vec<u8>, TdpError> {
+    let col = table
+        .column(column)
+        .ok_or_else(|| TdpError::Session(format!("no column '{column}'")))?;
+    let data = col.data.decode_f32();
+    if row >= data.rows() {
+        return Err(TdpError::Session(format!(
+            "row {row} out of range ({} rows)",
+            data.rows()
+        )));
+    }
+    to_ppm(&data.row(row))
+}
+
+/// Render row `row` of a result table's waveform column as WAV.
+pub fn column_row_to_wav(
+    table: &tdp_storage::Table,
+    column: &str,
+    row: usize,
+    sample_rate: u32,
+) -> Result<Vec<u8>, TdpError> {
+    let col = table
+        .column(column)
+        .ok_or_else(|| TdpError::Session(format!("no column '{column}'")))?;
+    let data = col.data.decode_f32();
+    if row >= data.rows() {
+        return Err(TdpError::Session(format!(
+            "row {row} out of range ({} rows)",
+            data.rows()
+        )));
+    }
+    to_wav(&data.row(row), sample_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_storage::TableBuilder;
+    use tdp_tensor::Tensor;
+
+    #[test]
+    fn ppm_header_and_payload() {
+        // 1x2 RGB: red then white.
+        let img = Tensor::from_vec(
+            vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+            &[3, 1, 2],
+        );
+        let ppm = to_ppm(&img).unwrap();
+        let header = b"P6\n2 1\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        assert_eq!(&ppm[header.len()..], &[255, 0, 0, 255, 255, 255]);
+    }
+
+    #[test]
+    fn grayscale_replicates_channels_and_clamps() {
+        let img = Tensor::from_vec(vec![0.0, 2.0], &[1, 1, 2]);
+        let ppm = to_ppm(&img).unwrap();
+        let payload = &ppm[ppm.len() - 6..];
+        assert_eq!(payload, &[0, 0, 0, 255, 255, 255]);
+        // 2-d shorthand also accepted.
+        assert!(to_ppm(&Tensor::<f32>::zeros(&[4, 4])).is_ok());
+        assert!(to_ppm(&Tensor::<f32>::zeros(&[2, 4, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn wav_header_fields() {
+        let wave = Tensor::from_vec(vec![0.0f32, 1.0, -1.0, 0.5], &[4]);
+        let wav = to_wav(&wave, 8_000).unwrap();
+        assert_eq!(&wav[..4], b"RIFF");
+        assert_eq!(&wav[8..16], b"WAVEfmt ");
+        assert_eq!(u32::from_le_bytes(wav[24..28].try_into().unwrap()), 8_000);
+        assert_eq!(wav.len(), 44 + 8);
+        // Samples: 0, max, min (clamped), half.
+        let s = |i: usize| i16::from_le_bytes(wav[44 + 2 * i..46 + 2 * i].try_into().unwrap());
+        assert_eq!(s(0), 0);
+        assert_eq!(s(1), i16::MAX);
+        assert_eq!(s(2), -i16::MAX);
+        assert!((s(3) as i32 - i16::MAX as i32 / 2).abs() <= 1);
+        assert!(to_wav(&Tensor::<f32>::zeros(&[2, 2]), 8_000).is_err());
+    }
+
+    #[test]
+    fn table_rows_render() {
+        let images = Tensor::<f32>::zeros(&[2, 1, 4, 4]);
+        let clips = Tensor::<f32>::zeros(&[2, 100]);
+        let t = TableBuilder::new()
+            .col_tensor("img", images)
+            .col_tensor("clip", clips)
+            .build("media");
+        assert!(column_row_to_ppm(&t, "img", 1).is_ok());
+        assert!(column_row_to_ppm(&t, "img", 2).is_err());
+        assert!(column_row_to_wav(&t, "clip", 0, 8_000).is_ok());
+        assert!(column_row_to_wav(&t, "nope", 0, 8_000).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! TDP sessions: catalog + function registry + query compiler.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use tdp_exec::{ScalarUdf, TableFunction, UdfRegistry};
+use tdp_sql::plan::PlannerContext;
+use tdp_sql::{optimizer, parse};
+use tdp_storage::{Catalog, Table, TableBuilder};
+use tdp_tensor::{Device, F32Tensor};
+
+use crate::compiled::{CompiledQuery, QueryConfig};
+use crate::error::TdpError;
+
+/// An AI-centric database session.
+///
+/// Sessions are single-threaded (function parameters live on the autodiff
+/// tape, which is `Rc`-based, exactly like a PyTorch process); parallelism
+/// comes from the device the kernels run on.
+pub struct Tdp {
+    catalog: Catalog,
+    udfs: RefCell<UdfRegistry>,
+    default_device: RefCell<Device>,
+    vector_indexes: RefCell<crate::vector::VectorIndexes>,
+}
+
+impl Default for Tdp {
+    fn default() -> Self {
+        Tdp::new()
+    }
+}
+
+impl Tdp {
+    pub fn new() -> Tdp {
+        Tdp {
+            catalog: Catalog::new(),
+            udfs: RefCell::new(UdfRegistry::new()),
+            default_device: RefCell::new(Device::Cpu),
+            vector_indexes: RefCell::new(Default::default()),
+        }
+    }
+
+    pub(crate) fn vector_indexes_mut<R>(
+        &self,
+        f: impl FnOnce(&mut crate::vector::VectorIndexes) -> R,
+    ) -> R {
+        f(&mut self.vector_indexes.borrow_mut())
+    }
+
+    pub(crate) fn with_vector_indexes<R>(
+        &self,
+        f: impl FnOnce(&crate::vector::VectorIndexes) -> R,
+    ) -> R {
+        f(&self.vector_indexes.borrow())
+    }
+
+    /// Device used by queries that do not override it.
+    pub fn set_default_device(&self, device: Device) {
+        *self.default_device.borrow_mut() = device;
+    }
+
+    pub fn default_device(&self) -> Device {
+        *self.default_device.borrow()
+    }
+
+    /// The session catalog (mostly for inspection/tests).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (paper Listing 1: `tdp.sql.register_df`)
+    // ------------------------------------------------------------------
+
+    /// Register a table, placing it on the session's default device.
+    pub fn register_table(&self, table: Table) {
+        let device = self.default_device();
+        self.catalog.register(table.to_device(device));
+    }
+
+    /// Register a table on an explicit device.
+    pub fn register_table_on(&self, table: Table, device: Device) {
+        self.catalog.register(table.to_device(device));
+    }
+
+    /// Register a bare tensor as a one-column table named after itself —
+    /// the `register_tensor` of paper Listing 5, used to feed TVFs.
+    pub fn register_tensor(&self, name: &str, tensor: F32Tensor) {
+        let table = TableBuilder::new().col_tensor("value", tensor).build(name);
+        self.register_table(table);
+    }
+
+    /// Register CSV text as a table (numeric columns inferred).
+    pub fn register_csv(&self, name: &str, text: &str) -> Result<(), TdpError> {
+        let table =
+            tdp_storage::csv::parse_csv(name, text).map_err(TdpError::Session)?;
+        self.register_table(table);
+        Ok(())
+    }
+
+    /// Register a table from a TDPF file (the Parquet-registration analog
+    /// of paper Listing 1). The table keeps the name stored in the file;
+    /// returns that name.
+    pub fn register_file(&self, path: impl AsRef<std::path::Path>) -> Result<String, TdpError> {
+        let table = tdp_storage::load_table(path)
+            .map_err(|e| TdpError::Session(e.to_string()))?;
+        let name = table.name().to_owned();
+        self.register_table(table);
+        Ok(name)
+    }
+
+    /// Save a registered table to a TDPF file, preserving column encodings.
+    pub fn save_table(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), TdpError> {
+        let table = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| TdpError::Session(format!("unknown table '{name}'")))?;
+        tdp_storage::save_table(&table, path).map_err(|e| TdpError::Session(e.to_string()))
+    }
+
+    /// Save every registered table into `dir` as `<table>.tdpf` files —
+    /// a whole-database snapshot. Returns the table names written.
+    pub fn save_catalog(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Vec<String>, TdpError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TdpError::Session(format!("cannot create {}: {e}", dir.display())))?;
+        let mut names = self.catalog.names();
+        names.sort();
+        for name in &names {
+            self.save_table(name, dir.join(format!("{name}.tdpf")))?;
+        }
+        Ok(names)
+    }
+
+    /// Register every `.tdpf` file found in `dir`. Returns the table
+    /// names registered (the inverse of [`Tdp::save_catalog`]).
+    pub fn open_catalog(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Vec<String>, TdpError> {
+        let dir = dir.as_ref();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| TdpError::Session(format!("cannot read {}: {e}", dir.display())))?;
+        let mut names = Vec::new();
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "tdpf"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            names.push(self.register_file(&path)?);
+        }
+        Ok(names)
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.catalog.drop_table(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Function registration (paper §3, the `tdp_udf` annotation)
+    // ------------------------------------------------------------------
+
+    /// Register a scalar UDF.
+    pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
+        self.udfs.borrow_mut().register_scalar(udf);
+    }
+
+    /// Register a table-valued function.
+    pub fn register_tvf(&self, tvf: Arc<dyn TableFunction>) {
+        self.udfs.borrow_mut().register_table_fn(tvf);
+    }
+
+    pub(crate) fn udfs_snapshot(&self) -> UdfRegistry {
+        self.udfs.borrow().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Query compilation (paper Listing 2 / Listing 6)
+    // ------------------------------------------------------------------
+
+    /// Compile SQL with the default configuration (exact operators,
+    /// session default device).
+    pub fn query(&self, sql: &str) -> Result<CompiledQuery<'_>, TdpError> {
+        self.query_with(sql, QueryConfig::default().device(self.default_device()))
+    }
+
+    /// Compile SQL with an explicit configuration. With
+    /// [`QueryConfig::trainable`], the physical plan uses the soft
+    /// differentiable operators (paper §4).
+    pub fn query_with(
+        &self,
+        sql: &str,
+        config: QueryConfig,
+    ) -> Result<CompiledQuery<'_>, TdpError> {
+        let ast = parse(sql)?;
+        let udfs = self.udfs.borrow();
+        let plan = tdp_sql::plan::build_plan(
+            &ast,
+            &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) },
+        )?;
+        drop(udfs);
+        let plan = optimizer::optimize(plan);
+        Ok(CompiledQuery::new(self, plan, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_tensor::Tensor;
+
+    #[test]
+    fn register_and_query_round_trip() {
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("x", vec![1.0, 2.0, 3.0])
+                .build("t"),
+        );
+        let out = tdp.query("SELECT x FROM t WHERE x >= 2").unwrap().run().unwrap();
+        assert_eq!(out.rows(), 2);
+    }
+
+    #[test]
+    fn register_tensor_creates_value_table() {
+        let tdp = Tdp::new();
+        tdp.register_tensor("grid", Tensor::<f32>::zeros(&[2, 1, 4, 4]));
+        let t = tdp.catalog().get("grid").expect("registered");
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column("value").unwrap().data.row_shape(), vec![1, 4, 4]);
+    }
+
+    #[test]
+    fn re_registration_replaces_input_like_listing5() {
+        let tdp = Tdp::new();
+        tdp.register_tensor("g", Tensor::<f32>::zeros(&[1, 2]));
+        let q = tdp.query("SELECT COUNT(*) FROM g").unwrap();
+        assert_eq!(
+            q.run().unwrap().column("COUNT(*)").unwrap().data.decode_i64().to_vec(),
+            vec![1]
+        );
+        // New input under the same name; the *same* compiled query sees it.
+        tdp.register_tensor("g", Tensor::<f32>::zeros(&[5, 2]));
+        assert_eq!(
+            q.run().unwrap().column("COUNT(*)").unwrap().data.decode_i64().to_vec(),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn csv_registration() {
+        let tdp = Tdp::new();
+        tdp.register_csv("iris", "w,species\n1.5,a\n2.5,b\n").unwrap();
+        let out = tdp.query("SELECT AVG(w) FROM iris").unwrap().run().unwrap();
+        assert_eq!(
+            out.column("AVG(w)").unwrap().data.decode_f32().to_vec(),
+            vec![2.0]
+        );
+        assert!(tdp.register_csv("bad", "").is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        let tdp = Tdp::new();
+        tdp.register_tensor("tmp", Tensor::<f32>::zeros(&[1]));
+        assert!(tdp.drop_table("tmp"));
+        assert!(!tdp.drop_table("tmp"));
+        assert!(tdp.query("SELECT * FROM tmp").unwrap().run().is_err());
+    }
+
+    #[test]
+    fn file_round_trip_through_session() {
+        let dir = std::env::temp_dir().join("tdp_session_files");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("numbers.tdpf");
+
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("x", vec![1.0, 2.0, 3.0])
+                .col_str("tag", &["a", "b", "a"])
+                .build("numbers"),
+        );
+        tdp.save_table("numbers", &path).unwrap();
+        assert!(matches!(
+            tdp.save_table("missing", &path),
+            Err(TdpError::Session(_))
+        ));
+
+        let fresh = Tdp::new();
+        let name = fresh.register_file(&path).unwrap();
+        assert_eq!(name, "numbers");
+        let out = fresh
+            .query("SELECT tag, COUNT(*) FROM numbers GROUP BY tag")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(out.rows(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(fresh.register_file(&path).is_err());
+    }
+
+    #[test]
+    fn catalog_snapshot_round_trip() {
+        let dir = std::env::temp_dir().join("tdp_catalog_snapshot");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("a", vec![1.0]).build("t1"));
+        tdp.register_table(TableBuilder::new().col_f32("b", vec![2.0, 3.0]).build("t2"));
+        let written = tdp.save_catalog(&dir).unwrap();
+        assert_eq!(written, vec!["t1", "t2"]);
+
+        let fresh = Tdp::new();
+        let opened = fresh.open_catalog(&dir).unwrap();
+        assert_eq!(opened, vec!["t1", "t2"]);
+        assert_eq!(fresh.catalog().get("t2").unwrap().rows(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(fresh.open_catalog(&dir).is_err());
+    }
+
+    #[test]
+    fn parse_errors_surface_at_compile_time() {
+        let tdp = Tdp::new();
+        assert!(matches!(
+            tdp.query("SELEKT nope"),
+            Err(TdpError::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn default_device_applies_to_registration() {
+        let tdp = Tdp::new();
+        tdp.set_default_device(Device::Accel(2));
+        assert_eq!(tdp.default_device(), Device::Accel(2));
+        tdp.register_tensor("t", Tensor::<f32>::ones(&[4, 2]));
+        // Data values unaffected by placement.
+        let out = tdp.query("SELECT COUNT(*) FROM t").unwrap().run().unwrap();
+        assert_eq!(out.rows(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Email-attachment image generator (photos / receipts / logos).
+//!
+//! Substitution for the paper's §5.1 dataset ("100 images of photographs,
+//! 50 receipts, and 50 company logos"). Each class is generated with
+//! distinctive, *statistically recoverable* structure — smooth textured
+//! scenes for photos (with a dog/cat/landscape subtype carried by hue
+//! layout), bright paper with dark horizontal text lines for receipts
+//! (KFC receipts add a red header band), and flat saturated marks for
+//! logos — so the CLIP-sim encoder in `tdp-ml` can embed text and images
+//! into a shared space where cosine similarity separates the classes.
+
+use tdp_tensor::{F32Tensor, I64Tensor, Rng64, Tensor};
+
+/// Attachment classes, with the subtypes the multimodal queries target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttachmentClass {
+    PhotoDog,
+    PhotoCat,
+    PhotoLandscape,
+    Receipt,
+    KfcReceipt,
+    Logo,
+}
+
+impl AttachmentClass {
+    /// All classes.
+    pub const ALL: [AttachmentClass; 6] = [
+        AttachmentClass::PhotoDog,
+        AttachmentClass::PhotoCat,
+        AttachmentClass::PhotoLandscape,
+        AttachmentClass::Receipt,
+        AttachmentClass::KfcReceipt,
+        AttachmentClass::Logo,
+    ];
+
+    /// Stable integer id.
+    pub fn id(self) -> i64 {
+        Self::ALL.iter().position(|&c| c == self).expect("in ALL") as i64
+    }
+
+    /// Natural-language label (the text side of the text↔image pairs).
+    pub fn label(self) -> &'static str {
+        match self {
+            AttachmentClass::PhotoDog => "dog",
+            AttachmentClass::PhotoCat => "cat",
+            AttachmentClass::PhotoLandscape => "landscape",
+            AttachmentClass::Receipt => "receipt",
+            AttachmentClass::KfcReceipt => "KFC Receipt",
+            AttachmentClass::Logo => "logo",
+        }
+    }
+
+    /// Whether the class belongs to the photo supergroup.
+    pub fn is_photo(self) -> bool {
+        matches!(
+            self,
+            AttachmentClass::PhotoDog
+                | AttachmentClass::PhotoCat
+                | AttachmentClass::PhotoLandscape
+        )
+    }
+
+    /// Whether the class is a receipt (generic or branded).
+    pub fn is_receipt(self) -> bool {
+        matches!(self, AttachmentClass::Receipt | AttachmentClass::KfcReceipt)
+    }
+}
+
+/// The attachment dataset.
+#[derive(Debug, Clone)]
+pub struct AttachmentDataset {
+    /// `[n, 3, h, w]` RGB images in `[0, 1]`.
+    pub images: F32Tensor,
+    /// Class ids `[n]` (see [`AttachmentClass::id`]).
+    pub class_ids: I64Tensor,
+    /// Class of every image.
+    pub classes: Vec<AttachmentClass>,
+}
+
+impl AttachmentDataset {
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    pub fn height(&self) -> usize {
+        self.images.shape()[2]
+    }
+
+    pub fn width(&self) -> usize {
+        self.images.shape()[3]
+    }
+}
+
+/// Generate one attachment image `[3, h, w]`.
+pub fn render_attachment(
+    class: AttachmentClass,
+    h: usize,
+    w: usize,
+    rng: &mut Rng64,
+) -> F32Tensor {
+    let mut img = vec![0.0f32; 3 * h * w];
+    let mut set = |c: usize, y: usize, x: usize, v: f32| {
+        img[(c * h + y) * w + x] = v.clamp(0.0, 1.0);
+    };
+
+    match class {
+        c if c.is_photo() => {
+            // Smooth scene: two-band hue layout + low-frequency texture.
+            let (top, bottom): ([f64; 3], [f64; 3]) = match c {
+                AttachmentClass::PhotoDog => ([0.55, 0.42, 0.28], [0.45, 0.33, 0.20]),
+                AttachmentClass::PhotoCat => ([0.52, 0.52, 0.56], [0.42, 0.42, 0.48]),
+                _ => ([0.35, 0.55, 0.85], [0.25, 0.60, 0.25]), // sky over grass
+            };
+            let horizon = (h as f64 * rng.uniform_range(0.4, 0.6)) as usize;
+            // Low-frequency texture via a few random cosine waves.
+            let waves: Vec<(f64, f64, f64)> = (0..4)
+                .map(|_| {
+                    (
+                        rng.uniform_range(0.02, 0.12),
+                        rng.uniform_range(0.02, 0.12),
+                        rng.uniform_range(0.0, std::f64::consts::TAU),
+                    )
+                })
+                .collect();
+            for y in 0..h {
+                for x in 0..w {
+                    let base = if y < horizon { top } else { bottom };
+                    let mut t = 0.0;
+                    for (fy, fx, ph) in &waves {
+                        t += (fy * y as f64 + fx * x as f64 + ph).cos();
+                    }
+                    t *= 0.04;
+                    #[allow(clippy::needless_range_loop)] // ch is also set()'s channel arg
+                    for ch in 0..3 {
+                        set(ch, y, x, (base[ch] + t + rng.normal_with(0.0, 0.02)) as f32);
+                    }
+                }
+            }
+        }
+        c if c.is_receipt() => {
+            // Bright paper with dark horizontal text lines.
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (0.92 + rng.normal_with(0.0, 0.015)) as f32;
+                    for ch in 0..3 {
+                        set(ch, y, x, v);
+                    }
+                }
+            }
+            // Text lines every few rows, with ragged right edges.
+            let mut y = h / 8;
+            while y + 1 < h {
+                let line_end = (w as f64 * rng.uniform_range(0.45, 0.95)) as usize;
+                for x in w / 12..line_end {
+                    if rng.coin(0.8) {
+                        let ink = rng.uniform_range(0.05, 0.3) as f32;
+                        for ch in 0..3 {
+                            set(ch, y, x, ink);
+                        }
+                    }
+                }
+                y += 3 + rng.below(2);
+            }
+            if c == AttachmentClass::KfcReceipt {
+                // Red brand band across the top.
+                for y in 0..h / 6 {
+                    for x in 0..w {
+                        set(0, y, x, 0.85);
+                        set(1, y, x, 0.12);
+                        set(2, y, x, 0.12);
+                    }
+                }
+            }
+        }
+        _ => {
+            // Logo: flat saturated background + contrasting centred disc.
+            let palette = [
+                [0.9, 0.15, 0.15],
+                [0.15, 0.4, 0.9],
+                [0.1, 0.7, 0.3],
+                [0.95, 0.7, 0.1],
+            ];
+            let bg = palette[rng.below(palette.len())];
+            let fg = palette[(palette
+                .iter()
+                .position(|p| p == &bg)
+                .expect("bg from palette")
+                + 2)
+                % palette.len()];
+            let (cy, cx) = (h as f64 / 2.0, w as f64 / 2.0);
+            let r = h.min(w) as f64 * 0.3;
+            for y in 0..h {
+                for x in 0..w {
+                    let inside =
+                        ((y as f64 - cy).powi(2) + (x as f64 - cx).powi(2)).sqrt() < r;
+                    let col = if inside { fg } else { bg };
+                    #[allow(clippy::needless_range_loop)] // ch is also set()'s channel arg
+                    for ch in 0..3 {
+                        set(ch, y, x, col[ch] as f32);
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(img, &[3, h, w])
+}
+
+/// Generate the paper's attachment mix, scaled to `n` total images:
+/// half photos (subtypes uniform), a quarter receipts (20% KFC-branded),
+/// a quarter logos — shuffled.
+pub fn generate_attachments(n: usize, h: usize, w: usize, rng: &mut Rng64) -> AttachmentDataset {
+    let mut classes = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = if i < n / 2 {
+            match i % 3 {
+                0 => AttachmentClass::PhotoDog,
+                1 => AttachmentClass::PhotoCat,
+                _ => AttachmentClass::PhotoLandscape,
+            }
+        } else if i < n * 3 / 4 {
+            if i % 5 == 0 { AttachmentClass::KfcReceipt } else { AttachmentClass::Receipt }
+        } else {
+            AttachmentClass::Logo
+        };
+        classes.push(c);
+    }
+    rng.shuffle(&mut classes);
+
+    let mut pixels = Vec::with_capacity(n * 3 * h * w);
+    let mut ids = Vec::with_capacity(n);
+    for &c in &classes {
+        pixels.extend_from_slice(render_attachment(c, h, w, rng).data());
+        ids.push(c.id());
+    }
+    AttachmentDataset {
+        images: Tensor::from_vec(pixels, &[n, 3, h, w]),
+        class_ids: Tensor::from_vec(ids, &[n]),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel_mean(img: &F32Tensor, ch: usize) -> f64 {
+        let (h, w) = (img.shape()[1], img.shape()[2]);
+        img.narrow(0, ch, 1).reshape(&[h * w]).mean()
+    }
+
+    #[test]
+    fn classes_have_distinct_statistics() {
+        let mut rng = Rng64::new(1);
+        let receipt = render_attachment(AttachmentClass::Receipt, 48, 72, &mut rng);
+        let logo = render_attachment(AttachmentClass::Logo, 48, 72, &mut rng);
+        let photo = render_attachment(AttachmentClass::PhotoLandscape, 48, 72, &mut rng);
+        // Receipts are the brightest class on average.
+        let brightness = |img: &F32Tensor| {
+            (channel_mean(img, 0) + channel_mean(img, 1) + channel_mean(img, 2)) / 3.0
+        };
+        assert!(brightness(&receipt) > brightness(&photo));
+        assert!(brightness(&receipt) > brightness(&logo) * 1.1);
+        // Landscape photos are blue-over-green: blue mean > red mean.
+        assert!(channel_mean(&photo, 2) > channel_mean(&photo, 0));
+    }
+
+    #[test]
+    fn kfc_band_is_red() {
+        let mut rng = Rng64::new(2);
+        let kfc = render_attachment(AttachmentClass::KfcReceipt, 48, 72, &mut rng);
+        // Top band: red channel dominates.
+        let top_red = kfc.narrow(0, 0, 1).narrow(1, 0, 6);
+        let top_green = kfc.narrow(0, 1, 1).narrow(1, 0, 6);
+        assert!(top_red.mean() > 3.0 * top_green.mean());
+    }
+
+    #[test]
+    fn dataset_mix_matches_paper_proportions() {
+        let mut rng = Rng64::new(3);
+        let ds = generate_attachments(200, 24, 36, &mut rng);
+        assert_eq!(ds.len(), 200);
+        let photos = ds.classes.iter().filter(|c| c.is_photo()).count();
+        let receipts = ds.classes.iter().filter(|c| c.is_receipt()).count();
+        let logos = ds
+            .classes
+            .iter()
+            .filter(|c| **c == AttachmentClass::Logo)
+            .count();
+        assert_eq!(photos, 100);
+        assert_eq!(receipts, 50);
+        assert_eq!(logos, 50);
+        assert_eq!(ds.images.shape(), &[200, 3, 24, 36]);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        for c in AttachmentClass::ALL {
+            assert_eq!(AttachmentClass::ALL[c.id() as usize], c);
+        }
+    }
+
+    #[test]
+    fn pixel_range_valid() {
+        let mut rng = Rng64::new(4);
+        for c in AttachmentClass::ALL {
+            let img = render_attachment(c, 16, 24, &mut rng);
+            assert!(img.min_all() >= 0.0 && img.max_all() <= 1.0, "{c:?}");
+        }
+    }
+}

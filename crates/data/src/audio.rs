@@ -1,0 +1,192 @@
+//! Synthetic audio clips: the audio modality of the multi-modal storage
+//! story (paper §1 lists audio alongside images/video/text as data the
+//! tensor abstraction must hold natively).
+//!
+//! Each clip is a 1-d waveform row of a 2-d `[n, samples]` tensor column —
+//! exactly how TDP stores per-row vectors. Classes are acoustically
+//! distinct so a small feature extractor can separate them: pure tones
+//! (low/high), rising chirps, white noise, and click trains.
+
+use tdp_tensor::{F32Tensor, I64Tensor, Rng64, Tensor};
+
+/// Samples per second of every generated clip.
+pub const SAMPLE_RATE: usize = 8_000;
+/// Samples per clip (0.25 s).
+pub const CLIP_LEN: usize = 2_000;
+
+/// The acoustic classes of the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AudioClass {
+    /// Steady sine around 220 Hz.
+    ToneLow,
+    /// Steady sine around 1200 Hz.
+    ToneHigh,
+    /// Linear chirp sweeping 200 → 2000 Hz.
+    Chirp,
+    /// White noise.
+    Noise,
+    /// Periodic clicks over silence.
+    Clicks,
+}
+
+impl AudioClass {
+    pub const ALL: [AudioClass; 5] = [
+        AudioClass::ToneLow,
+        AudioClass::ToneHigh,
+        AudioClass::Chirp,
+        AudioClass::Noise,
+        AudioClass::Clicks,
+    ];
+
+    /// Stable id, aligned with the position in [`AudioClass::ALL`].
+    pub fn id(self) -> i64 {
+        AudioClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL") as i64
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AudioClass::ToneLow => "tone_low",
+            AudioClass::ToneHigh => "tone_high",
+            AudioClass::Chirp => "chirp",
+            AudioClass::Noise => "noise",
+            AudioClass::Clicks => "clicks",
+        }
+    }
+}
+
+/// A generated audio corpus.
+pub struct AudioDataset {
+    /// `[n, CLIP_LEN]` waveforms in `[-1, 1]`.
+    pub clips: F32Tensor,
+    /// Class id per clip.
+    pub class_ids: I64Tensor,
+    /// Class per clip.
+    pub classes: Vec<AudioClass>,
+}
+
+impl AudioDataset {
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// Render one clip of a class with random phase/jitter/amplitude.
+pub fn render_clip(class: AudioClass, rng: &mut Rng64) -> F32Tensor {
+    let amp = 0.5 + 0.4 * rng.uniform() as f32;
+    let phase = rng.uniform() as f32 * std::f32::consts::TAU;
+    let sr = SAMPLE_RATE as f32;
+    let mut wave = Vec::with_capacity(CLIP_LEN);
+    match class {
+        AudioClass::ToneLow | AudioClass::ToneHigh => {
+            let base = if class == AudioClass::ToneLow { 220.0 } else { 1200.0 };
+            let f = base * (1.0 + 0.1 * (rng.uniform() as f32 - 0.5));
+            for t in 0..CLIP_LEN {
+                let x = std::f32::consts::TAU * f * t as f32 / sr + phase;
+                // A little 2nd harmonic for timbre.
+                wave.push(amp * (x.sin() + 0.2 * (2.0 * x).sin()) / 1.2);
+            }
+        }
+        AudioClass::Chirp => {
+            let f0 = 200.0 * (1.0 + 0.2 * rng.uniform() as f32);
+            let f1 = 2000.0 * (1.0 + 0.2 * rng.uniform() as f32);
+            for t in 0..CLIP_LEN {
+                let u = t as f32 / CLIP_LEN as f32;
+                let f = f0 + (f1 - f0) * u;
+                // Phase integral of a linear sweep.
+                let x = std::f32::consts::TAU * (f0 * u + 0.5 * (f1 - f0) * u * u)
+                    * CLIP_LEN as f32
+                    / sr
+                    + phase;
+                let _ = f;
+                wave.push(amp * x.sin());
+            }
+        }
+        AudioClass::Noise => {
+            for _ in 0..CLIP_LEN {
+                wave.push(amp * (rng.uniform() as f32 * 2.0 - 1.0));
+            }
+        }
+        AudioClass::Clicks => {
+            let period = 150 + rng.below(100);
+            let width = 8;
+            for t in 0..CLIP_LEN {
+                let in_click = t % period < width;
+                wave.push(if in_click { amp } else { 0.0 });
+            }
+        }
+    }
+    Tensor::from_vec(wave, &[CLIP_LEN])
+}
+
+/// Generate `n` clips cycling through the classes.
+pub fn generate_audio(n: usize, rng: &mut Rng64) -> AudioDataset {
+    let mut data = Vec::with_capacity(n * CLIP_LEN);
+    let mut ids = Vec::with_capacity(n);
+    let mut classes = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = AudioClass::ALL[i % AudioClass::ALL.len()];
+        data.extend_from_slice(render_clip(class, rng).data());
+        ids.push(class.id());
+        classes.push(class);
+    }
+    AudioDataset {
+        clips: Tensor::from_vec(data, &[n, CLIP_LEN]),
+        class_ids: Tensor::from_vec(ids, &[n]),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape_and_range() {
+        let mut rng = Rng64::new(2);
+        let ds = generate_audio(10, &mut rng);
+        assert_eq!(ds.clips.shape(), &[10, CLIP_LEN]);
+        assert_eq!(ds.len(), 10);
+        assert!(ds.clips.data().iter().all(|v| v.abs() <= 1.0));
+        // All five classes present.
+        let mut seen: Vec<i64> = ds.class_ids.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn classes_are_acoustically_distinct() {
+        let mut rng = Rng64::new(3);
+        // Zero-crossing rates separate low tones, high tones and noise.
+        let zcr = |w: &F32Tensor| {
+            w.data()
+                .windows(2)
+                .filter(|p| (p[0] >= 0.0) != (p[1] >= 0.0))
+                .count() as f64
+                / CLIP_LEN as f64
+        };
+        let low = zcr(&render_clip(AudioClass::ToneLow, &mut rng));
+        let high = zcr(&render_clip(AudioClass::ToneHigh, &mut rng));
+        let noise = zcr(&render_clip(AudioClass::Noise, &mut rng));
+        assert!(low < high, "low tone crosses less: {low} vs {high}");
+        assert!(high < noise, "noise crosses most: {high} vs {noise}");
+        // Clicks are mostly silent.
+        let clicks = render_clip(AudioClass::Clicks, &mut rng);
+        let silent = clicks.data().iter().filter(|v| v.abs() < 1e-6).count();
+        assert!(silent > CLIP_LEN / 2);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = generate_audio(4, &mut Rng64::new(9)).clips;
+        let b = generate_audio(4, &mut Rng64::new(9)).clips;
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic handwritten-digit stand-in (MNIST substitution).
+//!
+//! Digits are atlas glyphs rendered into 28×28 tiles with randomised
+//! geometry (position jitter, two size classes), stroke dropout and pixel
+//! noise, so a small CNN has a real-but-learnable 10-class problem — which
+//! is all the MNISTGrid and reuse experiments require of MNIST.
+
+use tdp_tensor::{F32Tensor, I64Tensor, Rng64, Tensor};
+
+use crate::font;
+
+/// Tile side length (matches MNIST).
+pub const TILE: usize = 28;
+
+/// Size class of a rendered digit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Glyph scaled 2× (10×14 px ink box).
+    Small = 0,
+    /// Glyph scaled 3× (15×21 px ink box).
+    Large = 1,
+}
+
+impl SizeClass {
+    pub fn scale(self) -> usize {
+        match self {
+            SizeClass::Small => 2,
+            SizeClass::Large => 3,
+        }
+    }
+
+    pub fn label(self) -> i64 {
+        self as i64
+    }
+}
+
+/// Render one digit tile `[1, TILE, TILE]`.
+pub fn render_digit(digit: u8, size: SizeClass, rng: &mut Rng64) -> F32Tensor {
+    assert!(digit < 10, "digit out of range");
+    let s = size.scale();
+    let glyph = font::glyph_scaled(char::from(b'0' + digit), s).expect("digit glyph");
+    let (gh, gw) = (glyph.shape()[0], glyph.shape()[1]);
+    let mut canvas = F32Tensor::zeros(&[TILE, TILE]);
+    // Random placement keeping the glyph fully inside the tile.
+    let max_top = TILE - gh;
+    let max_left = TILE - gw;
+    let top = rng.below(max_top + 1) as isize;
+    let left = rng.below(max_left + 1) as isize;
+    font::stamp(&mut canvas, &glyph, top, left);
+
+    // Stroke dropout + background noise: keeps the task honest without
+    // making the glyph unrecognisable.
+    let data = canvas.data_mut();
+    for v in data.iter_mut() {
+        if *v > 0.5 {
+            if rng.coin(0.06) {
+                *v = 0.0;
+            } else {
+                *v = (*v - rng.uniform() as f32 * 0.25).max(0.0);
+            }
+        } else if rng.coin(0.04) {
+            *v = rng.uniform_range(0.0, 0.35) as f32;
+        }
+    }
+    canvas.reshape(&[1, TILE, TILE])
+}
+
+/// A labelled digit dataset.
+#[derive(Debug, Clone)]
+pub struct DigitDataset {
+    /// `[n, 1, TILE, TILE]` images in `[0, 1]`.
+    pub images: F32Tensor,
+    /// Digit labels `[n]`, values 0–9.
+    pub digits: I64Tensor,
+    /// Size labels `[n]`, 0 = small, 1 = large.
+    pub sizes: I64Tensor,
+}
+
+impl DigitDataset {
+    pub fn len(&self) -> usize {
+        self.digits.numel()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Image `i` as `[1, 1, TILE, TILE]` (a singleton batch).
+    pub fn image(&self, i: usize) -> F32Tensor {
+        self.images.row(i).reshape(&[1, 1, TILE, TILE])
+    }
+
+    /// Contiguous mini-batch `[len, 1, TILE, TILE]` with labels.
+    pub fn batch(&self, start: usize, len: usize) -> (F32Tensor, I64Tensor, I64Tensor) {
+        (
+            self.images.narrow(0, start, len),
+            self.digits.narrow(0, start, len),
+            self.sizes.narrow(0, start, len),
+        )
+    }
+}
+
+/// Generate `n` uniformly-labelled digit tiles.
+pub fn generate_digits(n: usize, rng: &mut Rng64) -> DigitDataset {
+    let mut pixels = Vec::with_capacity(n * TILE * TILE);
+    let mut digits = Vec::with_capacity(n);
+    let mut sizes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = rng.below(10) as u8;
+        let s = if rng.coin(0.5) { SizeClass::Small } else { SizeClass::Large };
+        let img = render_digit(d, s, rng);
+        pixels.extend_from_slice(img.data());
+        digits.push(d as i64);
+        sizes.push(s.label());
+    }
+    DigitDataset {
+        images: Tensor::from_vec(pixels, &[n, 1, TILE, TILE]),
+        digits: Tensor::from_vec(digits, &[n]),
+        sizes: Tensor::from_vec(sizes, &[n]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shapes_and_range() {
+        let mut rng = Rng64::new(1);
+        for d in 0..10u8 {
+            let img = render_digit(d, SizeClass::Small, &mut rng);
+            assert_eq!(img.shape(), &[1, TILE, TILE]);
+            assert!(img.min_all() >= 0.0 && img.max_all() <= 1.0);
+            assert!(img.sum() > 3.0, "digit {d} must leave ink");
+        }
+    }
+
+    #[test]
+    fn size_classes_differ_in_ink() {
+        let mut rng = Rng64::new(2);
+        let mut small_ink = 0.0;
+        let mut large_ink = 0.0;
+        for _ in 0..20 {
+            small_ink += render_digit(8, SizeClass::Small, &mut rng).sum();
+            large_ink += render_digit(8, SizeClass::Large, &mut rng).sum();
+        }
+        assert!(
+            large_ink > small_ink * 1.5,
+            "large digits must carry visibly more ink ({large_ink} vs {small_ink})"
+        );
+    }
+
+    #[test]
+    fn dataset_generation_is_seeded_and_balanced() {
+        let mut r1 = Rng64::new(7);
+        let mut r2 = Rng64::new(7);
+        let a = generate_digits(200, &mut r1);
+        let b = generate_digits(200, &mut r2);
+        assert_eq!(a.images.to_vec(), b.images.to_vec());
+        assert_eq!(a.len(), 200);
+        // Every class appears.
+        for d in 0..10 {
+            assert!(a.digits.count_eq(d) > 5, "digit {d} underrepresented");
+        }
+        let smalls = a.sizes.count_eq(0);
+        assert!(smalls > 60 && smalls < 140, "sizes roughly balanced");
+    }
+
+    #[test]
+    fn batch_and_single_access() {
+        let mut rng = Rng64::new(3);
+        let ds = generate_digits(10, &mut rng);
+        let (imgs, digs, sizes) = ds.batch(2, 4);
+        assert_eq!(imgs.shape(), &[4, 1, TILE, TILE]);
+        assert_eq!(digs.numel(), 4);
+        assert_eq!(sizes.numel(), 4);
+        assert_eq!(ds.image(5).shape(), &[1, 1, TILE, TILE]);
+        assert_eq!(ds.image(5).to_vec(), ds.images.row(5).to_vec());
+    }
+}

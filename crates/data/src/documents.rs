@@ -1,0 +1,257 @@
+//! Document images containing rendered numeric tables (OCR substrate).
+//!
+//! Substitution for the paper's §5.2 setup (`dataframe_image` renderings of
+//! Iris dataframes): each document is a grayscale image with an anchor
+//! marker and a table of fixed-format numbers rendered from the 5×7 atlas
+//! at a random offset, plus a timestamp metadata column. The OCR pipeline
+//! in `tdp-ml` must *localise* the table (correlating for the anchor) and
+//! *recognise* each character (template matching) — real per-image tensor
+//! compute, which is what makes the lazy-vs-bulk comparison meaningful.
+
+use tdp_tensor::{F32Tensor, Rng64, Tensor};
+
+use crate::font;
+
+/// Geometry shared by the renderer and the OCR pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocGeometry {
+    /// Integer glyph scale.
+    pub scale: usize,
+    /// Table rows / columns.
+    pub rows: usize,
+    pub cols: usize,
+    /// Characters per cell (fixed-format "d.dd" = 4).
+    pub cell_chars: usize,
+    /// Document image size.
+    pub height: usize,
+    pub width: usize,
+    /// Side of the solid anchor square stamped at the table origin.
+    pub anchor: usize,
+}
+
+impl DocGeometry {
+    /// The default Iris-like geometry: 6 data rows × 4 columns.
+    pub fn iris() -> DocGeometry {
+        DocGeometry {
+            scale: 2,
+            rows: 6,
+            cols: 4,
+            cell_chars: 4,
+            height: 160,
+            width: 256,
+            anchor: 10,
+        }
+    }
+
+    /// Advance per character in pixels.
+    pub fn char_advance(&self) -> usize {
+        (font::GLYPH_W + 1) * self.scale
+    }
+
+    /// Cell width in pixels (including padding).
+    pub fn cell_w(&self) -> usize {
+        self.cell_chars * self.char_advance() + 2 * self.scale
+    }
+
+    /// Row height in pixels.
+    pub fn row_h(&self) -> usize {
+        font::GLYPH_H * self.scale + 3 * self.scale
+    }
+
+    /// Top-left of cell (r, c) relative to the anchor's top-left.
+    pub fn cell_origin(&self, r: usize, c: usize) -> (usize, usize) {
+        (
+            self.anchor + 2 * self.scale + r * self.row_h(),
+            c * self.cell_w(),
+        )
+    }
+
+    /// Total table extent (for bounds checks).
+    pub fn table_extent(&self) -> (usize, usize) {
+        (
+            self.anchor + 2 * self.scale + self.rows * self.row_h(),
+            self.cols * self.cell_w(),
+        )
+    }
+}
+
+/// A document dataset.
+#[derive(Debug, Clone)]
+pub struct DocumentDataset {
+    /// `[n, 1, height, width]` grayscale images (ink = bright on dark 0).
+    pub images: F32Tensor,
+    /// Per-document timestamp strings (e.g. `"2022:08:10"`).
+    pub timestamps: Vec<String>,
+    /// Ground-truth tables, each `[rows, cols]`.
+    pub tables: Vec<F32Tensor>,
+    /// Column names of the rendered tables.
+    pub schema: Vec<String>,
+    pub geometry: DocGeometry,
+}
+
+impl DocumentDataset {
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+}
+
+/// Format a value the way the renderer and OCR both expect: `d.dd`.
+pub fn format_cell(v: f32) -> String {
+    format!("{:.2}", v.clamp(0.0, 9.99))
+}
+
+/// Render one document: anchor + table at a random offset + noise.
+/// Returns the image and the ground-truth table.
+pub fn render_document(g: DocGeometry, rng: &mut Rng64) -> (F32Tensor, F32Tensor) {
+    let (ext_h, ext_w) = g.table_extent();
+    assert!(ext_h + 16 < g.height && ext_w + 16 < g.width, "table must fit");
+    let off_y = 4 + rng.below(g.height - ext_h - 8);
+    let off_x = 4 + rng.below(g.width - ext_w - 8);
+
+    let mut img = F32Tensor::zeros(&[g.height, g.width]);
+    // Anchor: solid square at the table origin.
+    {
+        let d = img.data_mut();
+        for y in 0..g.anchor {
+            for x in 0..g.anchor {
+                d[(off_y + y) * g.width + off_x + x] = 1.0;
+            }
+        }
+    }
+
+    // Table values (Iris-flavoured ranges per column).
+    let mut table = Vec::with_capacity(g.rows * g.cols);
+    for _ in 0..g.rows {
+        for c in 0..g.cols {
+            let (lo, hi) = match c % 4 {
+                0 => (4.3, 7.9), // sepal length
+                1 => (2.0, 4.4), // sepal width
+                2 => (1.0, 6.9), // petal length
+                _ => (0.1, 2.5), // petal width
+            };
+            // Quantise to the rendered precision so ground truth matches
+            // what OCR can possibly read back.
+            let v = (rng.uniform_range(lo, hi) * 100.0).round() as f32 / 100.0;
+            table.push(v);
+        }
+    }
+
+    for r in 0..g.rows {
+        for c in 0..g.cols {
+            let (cy, cx) = g.cell_origin(r, c);
+            let text = format_cell(table[r * g.cols + c]);
+            let rendered = font::render_text(&text, g.scale);
+            font::stamp(
+                &mut img,
+                &rendered,
+                (off_y + cy) as isize,
+                (off_x + cx) as isize,
+            );
+        }
+    }
+
+    // Light sensor noise.
+    let d = img.data_mut();
+    for v in d.iter_mut() {
+        *v = (*v + rng.normal_with(0.0, 0.03) as f32).clamp(0.0, 1.0);
+    }
+
+    (
+        img.reshape(&[1, g.height, g.width]),
+        Tensor::from_vec(table, &[g.rows, g.cols]),
+    )
+}
+
+/// Generate `n` documents with distinct timestamps `2022:08:01 + i days`
+/// (wrapping months loosely — they only need to be unique and filterable).
+pub fn generate_documents(n: usize, g: DocGeometry, rng: &mut Rng64) -> DocumentDataset {
+    let mut pixels = Vec::with_capacity(n * g.height * g.width);
+    let mut timestamps = Vec::with_capacity(n);
+    let mut tables = Vec::with_capacity(n);
+    for i in 0..n {
+        let (img, table) = render_document(g, rng);
+        pixels.extend_from_slice(img.data());
+        timestamps.push(format!("2022:{:02}:{:02}", 8 + i / 28, 1 + i % 28));
+        tables.push(table);
+    }
+    DocumentDataset {
+        images: Tensor::from_vec(pixels, &[n, 1, g.height, g.width]),
+        timestamps,
+        tables,
+        schema: vec![
+            "SepalLength".to_owned(),
+            "SepalWidth".to_owned(),
+            "PetalLength".to_owned(),
+            "PetalWidth".to_owned(),
+        ],
+        geometry: g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_fits_default_canvas() {
+        let g = DocGeometry::iris();
+        let (h, w) = g.table_extent();
+        assert!(h < g.height && w < g.width);
+        let (y0, x0) = g.cell_origin(0, 0);
+        let (y1, x1) = g.cell_origin(1, 1);
+        assert!(y1 > y0 && x1 > x0);
+    }
+
+    #[test]
+    fn render_document_contains_anchor_and_ink() {
+        let mut rng = Rng64::new(1);
+        let g = DocGeometry::iris();
+        let (img, table) = render_document(g, &mut rng);
+        assert_eq!(img.shape(), &[1, g.height, g.width]);
+        assert_eq!(table.shape(), &[g.rows, g.cols]);
+        // Anchor contributes a solid bright block.
+        assert!(img.sum() > (g.anchor * g.anchor) as f32 * 0.8);
+        // Values respect the per-column ranges.
+        for r in 0..g.rows {
+            assert!(table.get(&[r, 3]) <= 2.5 + 1e-3);
+            assert!(table.get(&[r, 0]) >= 4.3 - 1e-3);
+        }
+    }
+
+    #[test]
+    fn format_cell_fixed_width() {
+        assert_eq!(format_cell(5.0), "5.00");
+        assert_eq!(format_cell(0.1), "0.10");
+        assert_eq!(format_cell(42.0), "9.99", "clamped to renderable range");
+        for v in [0.1f32, 3.14159, 9.99] {
+            assert_eq!(format_cell(v).len(), 4);
+        }
+    }
+
+    #[test]
+    fn dataset_has_unique_timestamps() {
+        let mut rng = Rng64::new(2);
+        let ds = generate_documents(40, DocGeometry::iris(), &mut rng);
+        assert_eq!(ds.len(), 40);
+        let mut t = ds.timestamps.clone();
+        t.sort();
+        t.dedup();
+        assert_eq!(t.len(), 40, "timestamps must be unique for point filters");
+        assert_eq!(ds.schema.len(), 4);
+    }
+
+    #[test]
+    fn quantised_truth_is_representable() {
+        let mut rng = Rng64::new(3);
+        let g = DocGeometry::iris();
+        let (_, table) = render_document(g, &mut rng);
+        for &v in table.data() {
+            let rendered: f32 = format_cell(v).parse().unwrap();
+            assert!((rendered - v).abs() < 1e-6, "{v} not render-exact");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! A 5×7 bitmap glyph atlas (digits, '.', '-').
+//!
+//! Used by the digit generator (upscaled, jittered, noised) and by the
+//! document renderer / OCR template matcher (crisp, at integer scale).
+
+use tdp_tensor::{F32Tensor, Tensor};
+
+/// Glyph width in atlas pixels.
+pub const GLYPH_W: usize = 5;
+/// Glyph height in atlas pixels.
+pub const GLYPH_H: usize = 7;
+
+/// Characters available in the atlas, in atlas order.
+pub const CHARSET: &[char] = &['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '.', '-'];
+
+// Each row is a 5-bit pattern, LSB = leftmost pixel.
+#[rustfmt::skip]
+const GLYPHS: [[u8; 7]; 12] = [
+    // 0
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+    // 1
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+    // 2
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+    // 3
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+    // 4
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+    // 5
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+    // 6
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+    // 7
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+    // 8
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+    // 9
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+    // .
+    [0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b01100],
+    // -
+    [0b00000, 0b00000, 0b00000, 0b01110, 0b00000, 0b00000, 0b00000],
+];
+
+/// Index of a character within the atlas.
+pub fn glyph_index(c: char) -> Option<usize> {
+    CHARSET.iter().position(|&g| g == c)
+}
+
+/// The glyph bitmap of a character as a `[GLYPH_H, GLYPH_W]` 0/1 tensor.
+pub fn glyph(c: char) -> Option<F32Tensor> {
+    let idx = glyph_index(c)?;
+    let mut data = Vec::with_capacity(GLYPH_H * GLYPH_W);
+    for row in GLYPHS[idx] {
+        for x in 0..GLYPH_W {
+            data.push(if row & (1 << x) != 0 { 1.0 } else { 0.0 });
+        }
+    }
+    Some(Tensor::from_vec(data, &[GLYPH_H, GLYPH_W]))
+}
+
+/// Glyph scaled up by an integer factor: `[GLYPH_H*s, GLYPH_W*s]`.
+pub fn glyph_scaled(c: char, s: usize) -> Option<F32Tensor> {
+    let g = glyph(c)?;
+    let (h, w) = (GLYPH_H * s, GLYPH_W * s);
+    let mut data = vec![0.0f32; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            data[y * w + x] = g.get(&[y / s, x / s]);
+        }
+    }
+    Some(Tensor::from_vec(data, &[h, w]))
+}
+
+/// Stamp a glyph onto a canvas (additive, clamped to 1) at `(top, left)`.
+/// Out-of-bounds parts are clipped.
+pub fn stamp(canvas: &mut F32Tensor, glyph: &F32Tensor, top: isize, left: isize) {
+    let (ch, cw) = (canvas.shape()[0], canvas.shape()[1]);
+    let (gh, gw) = (glyph.shape()[0], glyph.shape()[1]);
+    let g = glyph.clone();
+    let data = canvas.data_mut();
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let y = top + gy as isize;
+            let x = left + gx as isize;
+            if y >= 0 && (y as usize) < ch && x >= 0 && (x as usize) < cw {
+                let idx = y as usize * cw + x as usize;
+                data[idx] = (data[idx] + g.get(&[gy, gx])).min(1.0);
+            }
+        }
+    }
+}
+
+/// Render a string of atlas characters onto a fresh canvas with 1px
+/// letter-spacing at integer scale `s`. Returns `[GLYPH_H*s, width]`.
+pub fn render_text(text: &str, s: usize) -> F32Tensor {
+    let n = text.chars().count();
+    let advance = (GLYPH_W + 1) * s;
+    let w = if n == 0 { 1 } else { n * advance };
+    let mut canvas = F32Tensor::zeros(&[GLYPH_H * s, w]);
+    for (i, c) in text.chars().enumerate() {
+        if let Some(g) = glyph_scaled(c, s) {
+            stamp(&mut canvas, &g, 0, (i * advance) as isize);
+        }
+    }
+    canvas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlas_covers_charset() {
+        for &c in CHARSET {
+            let g = glyph(c).unwrap_or_else(|| panic!("glyph for '{c}'"));
+            assert_eq!(g.shape(), &[GLYPH_H, GLYPH_W]);
+        }
+        assert!(glyph('x').is_none());
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for (i, &a) in CHARSET.iter().enumerate() {
+            for &b in &CHARSET[i + 1..] {
+                assert_ne!(
+                    glyph(a).unwrap().to_vec(),
+                    glyph(b).unwrap().to_vec(),
+                    "glyphs '{a}' and '{b}' must differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_mass_ratio() {
+        let g = glyph('8').unwrap();
+        let g3 = glyph_scaled('8', 3).unwrap();
+        assert_eq!(g3.shape(), &[21, 15]);
+        assert!((g3.sum() - g.sum() * 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stamping_clips_and_clamps() {
+        let mut canvas = F32Tensor::zeros(&[7, 5]);
+        let g = glyph('1').unwrap();
+        stamp(&mut canvas, &g, 0, 0);
+        stamp(&mut canvas, &g, 0, 0); // double-stamp must clamp at 1
+        assert!(canvas.max_all() <= 1.0);
+        // Off-canvas stamp is a no-op.
+        let before = canvas.to_vec();
+        stamp(&mut canvas, &g, -20, -20);
+        assert_eq!(canvas.to_vec(), before);
+    }
+
+    #[test]
+    fn render_text_width() {
+        let t = render_text("3.14", 2);
+        assert_eq!(t.shape()[0], 14);
+        assert_eq!(t.shape()[1], 4 * (GLYPH_W + 1) * 2);
+        assert!(t.sum() > 0.0);
+    }
+}

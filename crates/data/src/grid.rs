@@ -1,0 +1,162 @@
+//! MNISTGrid: 3×3 grids of digit tiles with grouped count labels.
+//!
+//! Each grid is a single `[1, 84, 84]` image containing 9 digit tiles; the
+//! label is the 10×2 table of (digit, size) → COUNT(*) the paper's query
+//! produces (Fig. 1). The tile layout matches the einops rearrange of
+//! Listing 4: `"1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2"` with `h1 = w1 = 3`.
+
+use tdp_tensor::{F32Tensor, Rng64, Tensor};
+
+use crate::digits::{render_digit, SizeClass, TILE};
+
+/// Grid side in tiles.
+pub const GRID: usize = 3;
+/// Grid image side in pixels.
+pub const GRID_PX: usize = GRID * TILE;
+/// Number of digit classes.
+pub const DIGIT_CLASSES: usize = 10;
+/// Number of size classes.
+pub const SIZE_CLASSES: usize = 2;
+
+/// One MNISTGrid sample.
+#[derive(Debug, Clone)]
+pub struct GridSample {
+    /// `[1, GRID_PX, GRID_PX]` image.
+    pub image: F32Tensor,
+    /// Ground-truth grouped counts, `[DIGIT_CLASSES * SIZE_CLASSES]`, in
+    /// (digit-major, size-minor) lexicographic group order — the order the
+    /// soft GROUP BY produces.
+    pub counts: F32Tensor,
+    /// Per-tile digit labels `[9]` (row-major tiles).
+    pub tile_digits: Vec<u8>,
+    /// Per-tile size labels `[9]`.
+    pub tile_sizes: Vec<SizeClass>,
+}
+
+/// Dataset of grids.
+#[derive(Debug, Clone)]
+pub struct GridDataset {
+    pub samples: Vec<GridSample>,
+}
+
+impl GridDataset {
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Generate one grid.
+pub fn generate_grid(rng: &mut Rng64) -> GridSample {
+    let mut image = F32Tensor::zeros(&[GRID_PX, GRID_PX]);
+    let mut counts = vec![0.0f32; DIGIT_CLASSES * SIZE_CLASSES];
+    let mut tile_digits = Vec::with_capacity(GRID * GRID);
+    let mut tile_sizes = Vec::with_capacity(GRID * GRID);
+    for ty in 0..GRID {
+        for tx in 0..GRID {
+            let d = rng.below(DIGIT_CLASSES) as u8;
+            let s = if rng.coin(0.5) { SizeClass::Small } else { SizeClass::Large };
+            let tile = render_digit(d, s, rng).reshape(&[TILE, TILE]);
+            // Copy the tile into its cell.
+            let base_y = ty * TILE;
+            let base_x = tx * TILE;
+            let dst = image.data_mut();
+            for y in 0..TILE {
+                for x in 0..TILE {
+                    dst[(base_y + y) * GRID_PX + base_x + x] = tile.get(&[y, x]);
+                }
+            }
+            counts[d as usize * SIZE_CLASSES + s.label() as usize] += 1.0;
+            tile_digits.push(d);
+            tile_sizes.push(s);
+        }
+    }
+    GridSample {
+        image: image.reshape(&[1, GRID_PX, GRID_PX]),
+        counts: Tensor::from_vec(counts, &[DIGIT_CLASSES * SIZE_CLASSES]),
+        tile_digits,
+        tile_sizes,
+    }
+}
+
+/// Generate a dataset of `n` grids.
+pub fn generate_grids(n: usize, rng: &mut Rng64) -> GridDataset {
+    GridDataset { samples: (0..n).map(|_| generate_grid(rng)).collect() }
+}
+
+/// The tile split of Listing 4: `[1, 84, 84] -> [9, 1, 28, 28]`, tiles in
+/// row-major order. This is the tensor-program half of `parse_mnist_grid`,
+/// expressed with the paper's exact einops pattern.
+pub fn split_tiles(grid_image: &F32Tensor) -> F32Tensor {
+    assert_eq!(
+        grid_image.shape(),
+        &[1, GRID_PX, GRID_PX],
+        "expected a [1, {GRID_PX}, {GRID_PX}] grid image"
+    );
+    grid_image.rearrange(
+        "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2",
+        &[("h1", GRID), ("w1", GRID)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sample_invariants() {
+        let mut rng = Rng64::new(5);
+        let g = generate_grid(&mut rng);
+        assert_eq!(g.image.shape(), &[1, GRID_PX, GRID_PX]);
+        assert_eq!(g.counts.numel(), 20);
+        assert_eq!(g.counts.sum(), 9.0, "counts must cover all 9 tiles");
+        assert_eq!(g.tile_digits.len(), 9);
+    }
+
+    #[test]
+    fn counts_match_tile_labels() {
+        let mut rng = Rng64::new(6);
+        let g = generate_grid(&mut rng);
+        let mut expected = vec![0.0f32; 20];
+        for (d, s) in g.tile_digits.iter().zip(&g.tile_sizes) {
+            expected[*d as usize * 2 + s.label() as usize] += 1.0;
+        }
+        assert_eq!(g.counts.to_vec(), expected);
+    }
+
+    #[test]
+    fn split_tiles_recovers_cells() {
+        let mut rng = Rng64::new(7);
+        let g = generate_grid(&mut rng);
+        let tiles = split_tiles(&g.image);
+        assert_eq!(tiles.shape(), &[9, 1, TILE, TILE]);
+        // Tile 4 (centre) equals the centre 28x28 region of the image.
+        let img = g.image.reshape(&[GRID_PX, GRID_PX]);
+        for y in 0..TILE {
+            for x in 0..TILE {
+                assert_eq!(
+                    tiles.get(&[4, 0, y, x]),
+                    img.get(&[TILE + y, TILE + x]),
+                    "centre tile mismatch at ({y},{x})"
+                );
+            }
+        }
+        // Total ink is preserved by the rearrange.
+        assert!((tiles.sum() - g.image.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dataset_generation() {
+        let mut rng = Rng64::new(8);
+        let ds = generate_grids(12, &mut rng);
+        assert_eq!(ds.len(), 12);
+        // Samples differ (vanishingly unlikely to collide).
+        assert_ne!(
+            ds.samples[0].image.to_vec(),
+            ds.samples[1].image.to_vec()
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Adult-Income-like tabular data, LLP bags and the Laplace mechanism.
+//!
+//! The LLP experiments (paper §5.3/§5.4) need a binary classification task
+//! whose instance labels can be aggregated into per-bag counts. We generate
+//! census-flavoured numeric features and draw labels from a noisy linear
+//! logistic ground truth, so a linear classifier (the paper's Listing 9
+//! model) can approach a known Bayes-ish error but never reach zero.
+
+use tdp_tensor::{F32Tensor, I64Tensor, Rng64, Tensor};
+
+/// Number of numeric features (age, education-num, hours/week, capital
+/// gain/loss and five engineered interaction stand-ins).
+pub const NUM_FEATURES: usize = 10;
+
+/// A labelled tabular dataset.
+#[derive(Debug, Clone)]
+pub struct IncomeDataset {
+    /// `[n, NUM_FEATURES]`, standardised.
+    pub features: F32Tensor,
+    /// `[n]`, 0 = "<=50K", 1 = ">50K".
+    pub labels: I64Tensor,
+    /// The generating hyperplane (for diagnostics).
+    pub true_weights: F32Tensor,
+}
+
+impl IncomeDataset {
+    pub fn len(&self) -> usize {
+        self.labels.numel()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into (train, test) shares of the *same* task: both halves are
+    /// labelled by the same generating hyperplane. Generating two separate
+    /// datasets would create two unrelated tasks.
+    pub fn split(&self, n_train: usize) -> (IncomeDataset, IncomeDataset) {
+        assert!(n_train < self.len(), "split point beyond dataset");
+        let n_test = self.len() - n_train;
+        let train = IncomeDataset {
+            features: self.features.narrow(0, 0, n_train),
+            labels: self.labels.narrow(0, 0, n_train),
+            true_weights: self.true_weights.clone(),
+        };
+        let test = IncomeDataset {
+            features: self.features.narrow(0, n_train, n_test),
+            labels: self.labels.narrow(0, n_train, n_test),
+            true_weights: self.true_weights.clone(),
+        };
+        (train, test)
+    }
+}
+
+/// Generate `n` records with label noise `flip_prob` (label flips model
+/// Bayes error; 0.1 mirrors the difficulty band of the census task).
+pub fn generate_income(n: usize, flip_prob: f64, rng: &mut Rng64) -> IncomeDataset {
+    let mut w = Vec::with_capacity(NUM_FEATURES);
+    for _ in 0..NUM_FEATURES {
+        w.push(rng.normal_with(0.0, 1.0) as f32);
+    }
+    let bias = rng.normal_with(0.0, 0.3) as f32;
+
+    let mut feats = Vec::with_capacity(n * NUM_FEATURES);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut z = bias;
+        for &wi in &w {
+            let x = rng.normal() as f32;
+            feats.push(x);
+            z += wi * x;
+        }
+        // Sharpened logistic: most of the error budget comes from the
+        // explicit flips, not boundary sampling, so the task has a clear
+        // recoverable signal (like the census task for linear models).
+        let p = 1.0 / (1.0 + (-3.0 * z as f64).exp());
+        let mut y = i64::from(rng.coin(p));
+        if rng.coin(flip_prob) {
+            y = 1 - y;
+        }
+        labels.push(y);
+    }
+    IncomeDataset {
+        features: Tensor::from_vec(feats, &[n, NUM_FEATURES]),
+        labels: Tensor::from_vec(labels, &[n]),
+        true_weights: Tensor::from_vec(w, &[NUM_FEATURES]),
+    }
+}
+
+/// One LLP bag: instances plus aggregate class counts (no instance labels).
+#[derive(Debug, Clone)]
+pub struct Bag {
+    /// `[bag_size, NUM_FEATURES]`.
+    pub features: F32Tensor,
+    /// `[2]` — count of class 0 and class 1 in the bag. May be noisy (DP)
+    /// and is stored as f32 because the Laplace mechanism is continuous.
+    pub counts: F32Tensor,
+}
+
+/// Partition a dataset into bags of `bag_size` with exact count labels.
+/// Trailing records that do not fill a bag are dropped (as in LLP practice).
+pub fn make_bags(data: &IncomeDataset, bag_size: usize, rng: &mut Rng64) -> Vec<Bag> {
+    assert!(bag_size > 0, "bag size must be positive");
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut bags = Vec::with_capacity(n / bag_size);
+    for chunk in order.chunks_exact(bag_size) {
+        let mut feats = Vec::with_capacity(bag_size * NUM_FEATURES);
+        let mut counts = [0.0f32; 2];
+        for &i in chunk {
+            feats.extend_from_slice(data.features.row(i).data());
+            counts[data.labels.at(i) as usize] += 1.0;
+        }
+        bags.push(Bag {
+            features: Tensor::from_vec(feats, &[bag_size, NUM_FEATURES]),
+            counts: Tensor::from_vec(counts.to_vec(), &[2]),
+        });
+    }
+    bags
+}
+
+/// Apply the Laplace mechanism to every bag's counts (label-DP, paper
+/// §5.4): each count gets independent `Laplace(0, 1/epsilon)` noise.
+pub fn add_label_dp_noise(bags: &mut [Bag], epsilon: f64, rng: &mut Rng64) {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let scale = 1.0 / epsilon;
+    for bag in bags {
+        let noisy: Vec<f32> = bag
+            .counts
+            .data()
+            .iter()
+            .map(|&c| c + rng.laplace(scale) as f32)
+            .collect();
+        bag.counts = Tensor::from_vec(noisy, &[2]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_balance() {
+        let mut rng = Rng64::new(1);
+        let ds = generate_income(2000, 0.1, &mut rng);
+        assert_eq!(ds.features.shape(), &[2000, NUM_FEATURES]);
+        let pos = ds.labels.count_eq(1);
+        assert!(pos > 400 && pos < 1600, "labels should not be degenerate: {pos}");
+    }
+
+    #[test]
+    fn labels_are_linearly_predictable() {
+        // The generating hyperplane itself must beat chance comfortably,
+        // otherwise the LLP experiment has no signal to recover.
+        let mut rng = Rng64::new(2);
+        let ds = generate_income(4000, 0.1, &mut rng);
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let x = ds.features.row(i);
+            let z: f32 = x
+                .data()
+                .iter()
+                .zip(ds.true_weights.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            if i64::from(z > 0.0) == ds.labels.at(i) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / ds.len() as f64;
+        assert!(acc > 0.75, "true hyperplane accuracy {acc}");
+    }
+
+    #[test]
+    fn bags_partition_and_count() {
+        let mut rng = Rng64::new(3);
+        let ds = generate_income(1000, 0.0, &mut rng);
+        let bags = make_bags(&ds, 32, &mut rng);
+        assert_eq!(bags.len(), 1000 / 32);
+        let total: f32 = bags.iter().map(|b| b.counts.sum()).sum();
+        assert_eq!(total as usize, 31 * 32, "each bag contributes bag_size counts");
+        for b in &bags {
+            assert_eq!(b.features.shape(), &[32, NUM_FEATURES]);
+            assert_eq!(b.counts.sum(), 32.0);
+        }
+    }
+
+    #[test]
+    fn bag_size_one_exposes_instance_labels() {
+        let mut rng = Rng64::new(4);
+        let ds = generate_income(64, 0.0, &mut rng);
+        let bags = make_bags(&ds, 1, &mut rng);
+        assert_eq!(bags.len(), 64);
+        for b in &bags {
+            // Exactly one of the two counts is 1.
+            let c = b.counts.to_vec();
+            assert!((c[0] == 1.0 && c[1] == 0.0) || (c[0] == 0.0 && c[1] == 1.0));
+        }
+    }
+
+    #[test]
+    fn dp_noise_scale_tracks_epsilon() {
+        let mut rng = Rng64::new(5);
+        let ds = generate_income(4096, 0.0, &mut rng);
+        let clean = make_bags(&ds, 8, &mut rng);
+        let mut strict = clean.clone();
+        add_label_dp_noise(&mut strict, 0.1, &mut rng); // scale 10
+        let mut loose = clean.clone();
+        add_label_dp_noise(&mut loose, 10.0, &mut rng); // scale 0.1
+        let dev = |noisy: &[Bag]| -> f64 {
+            noisy
+                .iter()
+                .zip(&clean)
+                .map(|(a, b)| (a.counts.sub(&b.counts)).abs().mean())
+                .sum::<f64>()
+                / clean.len() as f64
+        };
+        let d_strict = dev(&strict);
+        let d_loose = dev(&loose);
+        assert!(
+            d_strict > 10.0 * d_loose,
+            "epsilon 0.1 noise ({d_strict}) must dwarf epsilon 10 noise ({d_loose})"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # tdp-data
+//!
+//! Procedural dataset generators for the paper's evaluation. Every
+//! experiment input the authors took from external sources (MNIST, the
+//! Adult Income census extract, email-attachment images, `dataframe_image`
+//! renderings of the Iris dataset) is replaced by a seeded synthetic
+//! generator that preserves the property the experiment exercises:
+//!
+//! * [`digits`] — handwritten-digit stand-ins (procedural glyphs with
+//!   random geometry and noise) in two sizes, learnable by a small CNN;
+//! * [`grid`] — MNISTGrid: 3×3 grids of digit tiles with grouped
+//!   (digit, size) count labels (paper §3/§5.5);
+//! * [`income`] — Adult-Income-like tabular binary classification plus the
+//!   LLP bag builder and the Laplace mechanism for label-DP (§5.3/§5.4);
+//! * [`attachments`] — email-attachment images (photos / receipts / logos)
+//!   with class-characteristic statistics for the CLIP-sim encoder (§5.1);
+//! * [`documents`] — document images with rendered numeric tables and an
+//!   anchor marker, for the OCR pipeline (§5.2);
+//! * [`font`] — the 5×7 bitmap glyph atlas everything above renders with.
+
+pub mod attachments;
+pub mod audio;
+pub mod digits;
+pub mod documents;
+pub mod font;
+pub mod grid;
+pub mod income;
+pub mod video;

@@ -1,0 +1,192 @@
+//! Synthetic video clips: the fourth modality.
+//!
+//! The paper's intro claims the tensor abstraction covers video, and its
+//! related work positions TDP against special-purpose video analytics
+//! systems (VIVA). Each clip here is a `[FRAMES, H, W]` grayscale tensor
+//! — one row of a 4-d `[n, FRAMES, H, W]` column — with motion classes a
+//! small temporal feature extractor can separate.
+
+use tdp_tensor::{F32Tensor, I64Tensor, Rng64, Tensor};
+
+/// Frames per clip.
+pub const FRAMES: usize = 8;
+/// Frame height/width.
+pub const FRAME_H: usize = 16;
+pub const FRAME_W: usize = 16;
+
+/// Motion classes of the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VideoClass {
+    /// Static textured scene (no motion).
+    Static,
+    /// A bright object crossing left → right.
+    PanRight,
+    /// A bright object crossing right → left.
+    PanLeft,
+    /// Whole-frame brightness oscillation.
+    Flicker,
+}
+
+impl VideoClass {
+    pub const ALL: [VideoClass; 4] = [
+        VideoClass::Static,
+        VideoClass::PanRight,
+        VideoClass::PanLeft,
+        VideoClass::Flicker,
+    ];
+
+    pub fn id(self) -> i64 {
+        VideoClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL") as i64
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            VideoClass::Static => "static",
+            VideoClass::PanRight => "pan_right",
+            VideoClass::PanLeft => "pan_left",
+            VideoClass::Flicker => "flicker",
+        }
+    }
+}
+
+/// A generated video corpus.
+pub struct VideoDataset {
+    /// `[n, FRAMES, FRAME_H, FRAME_W]` clips in `[0, 1]`.
+    pub clips: F32Tensor,
+    pub class_ids: I64Tensor,
+    pub classes: Vec<VideoClass>,
+}
+
+impl VideoDataset {
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// Render one clip of a class with randomised scene parameters.
+pub fn render_video(class: VideoClass, rng: &mut Rng64) -> F32Tensor {
+    let mut frames = Vec::with_capacity(FRAMES * FRAME_H * FRAME_W);
+    // Static textured background shared by every frame of the clip.
+    let mut background = vec![0.0f32; FRAME_H * FRAME_W];
+    for px in background.iter_mut() {
+        *px = 0.2 + 0.2 * rng.uniform() as f32;
+    }
+    let cy = 4 + rng.below(FRAME_H - 8);
+    let radius = 2.0 + rng.uniform() as f32;
+
+    for f in 0..FRAMES {
+        let brightness = match class {
+            VideoClass::Flicker => {
+                1.0 + 0.8 * ((f as f32 / FRAMES as f32) * std::f32::consts::TAU * 2.0).sin()
+            }
+            _ => 1.0,
+        };
+        for y in 0..FRAME_H {
+            for x in 0..FRAME_W {
+                let mut v = background[y * FRAME_W + x] * brightness;
+                // The moving object, when the class has one.
+                let cx = match class {
+                    VideoClass::PanRight => {
+                        Some(f as f32 / (FRAMES - 1) as f32 * (FRAME_W - 1) as f32)
+                    }
+                    VideoClass::PanLeft => {
+                        Some((1.0 - f as f32 / (FRAMES - 1) as f32) * (FRAME_W - 1) as f32)
+                    }
+                    _ => None,
+                };
+                if let Some(cx) = cx {
+                    let d2 = (y as f32 - cy as f32).powi(2) + (x as f32 - cx).powi(2);
+                    if d2 < radius * radius {
+                        v = 0.95;
+                    }
+                }
+                frames.push(v.clamp(0.0, 1.0));
+            }
+        }
+    }
+    Tensor::from_vec(frames, &[FRAMES, FRAME_H, FRAME_W])
+}
+
+/// Generate `n` clips cycling through the classes.
+pub fn generate_video(n: usize, rng: &mut Rng64) -> VideoDataset {
+    let mut data = Vec::with_capacity(n * FRAMES * FRAME_H * FRAME_W);
+    let mut ids = Vec::with_capacity(n);
+    let mut classes = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = VideoClass::ALL[i % VideoClass::ALL.len()];
+        data.extend_from_slice(render_video(class, rng).data());
+        ids.push(class.id());
+        classes.push(class);
+    }
+    VideoDataset {
+        clips: Tensor::from_vec(data, &[n, FRAMES, FRAME_H, FRAME_W]),
+        class_ids: Tensor::from_vec(ids, &[n]),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape_and_range() {
+        let mut rng = Rng64::new(6);
+        let ds = generate_video(8, &mut rng);
+        assert_eq!(ds.clips.shape(), &[8, FRAMES, FRAME_H, FRAME_W]);
+        assert!(ds.clips.data().iter().all(|v| (0.0..=1.0).contains(v)));
+        let mut seen: Vec<i64> = ds.class_ids.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn static_clips_do_not_move() {
+        let mut rng = Rng64::new(7);
+        let clip = render_video(VideoClass::Static, &mut rng);
+        let first = clip.narrow(0, 0, 1);
+        let last = clip.narrow(0, FRAMES - 1, 1);
+        assert!(first.max_abs_diff(&last) < 1e-6, "static frames must be identical");
+    }
+
+    #[test]
+    fn panning_clips_move_the_bright_object() {
+        let mut rng = Rng64::new(8);
+        let clip = render_video(VideoClass::PanRight, &mut rng);
+        // Horizontal centroid of bright pixels drifts right over time.
+        let centroid_x = |f: usize| {
+            let frame = clip.narrow(0, f, 1).reshape(&[FRAME_H, FRAME_W]);
+            let (mut num, mut den) = (0.0f64, 0.0f64);
+            for y in 0..FRAME_H {
+                for x in 0..FRAME_W {
+                    let v = frame.get(&[y, x]) as f64;
+                    if v > 0.9 {
+                        num += x as f64 * v;
+                        den += v;
+                    }
+                }
+            }
+            num / den.max(1e-9)
+        };
+        assert!(centroid_x(FRAMES - 1) > centroid_x(0) + 5.0);
+    }
+
+    #[test]
+    fn flicker_oscillates_brightness() {
+        let mut rng = Rng64::new(9);
+        let clip = render_video(VideoClass::Flicker, &mut rng);
+        let mean = |f: usize| clip.narrow(0, f, 1).mean();
+        let means: Vec<f64> = (0..FRAMES).map(mean).collect();
+        let spread = means.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+            - means.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        assert!(spread > 0.2, "brightness must swing: {means:?}");
+    }
+}

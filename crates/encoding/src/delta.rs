@@ -1,0 +1,166 @@
+//! Delta encoding for near-monotonic integer columns.
+//!
+//! Stores the first value plus zig-zag-coded successive differences,
+//! bit-packed via [`BitPackedColumn`]. Timestamps, auto-increment ids and
+//! sorted keys — the columns the paper's OCR scenario filters on — shrink
+//! to a few bits per row. Access is sequential (decode materialises a
+//! prefix sum), which suits the scan-oriented execution model.
+
+use tdp_tensor::{I64Tensor, Tensor};
+
+use crate::bitpack::BitPackedColumn;
+
+/// Zig-zag: map signed deltas to unsigned so small magnitudes pack small.
+/// Wrapping shift in the u64 domain keeps the map a bijection on all i64.
+fn zigzag(v: i64) -> i64 {
+    (((v as u64) << 1) as i64) ^ (v >> 63)
+}
+
+fn unzigzag(v: i64) -> i64 {
+    ((v as u64 >> 1) as i64) ^ -(v & 1)
+}
+
+/// An immutable delta-encoded i64 column.
+#[derive(Debug, Clone)]
+pub struct DeltaColumn {
+    first: i64,
+    /// Zig-zag deltas, bit-packed. Empty for columns of length ≤ 1.
+    deltas: BitPackedColumn,
+    len: usize,
+}
+
+impl DeltaColumn {
+    /// Encode a 1-d i64 tensor.
+    ///
+    /// Returns `None` when a pairwise difference overflows i64 (pack such
+    /// columns plain instead).
+    pub fn encode(values: &I64Tensor) -> Option<DeltaColumn> {
+        assert_eq!(values.ndim(), 1, "delta encoding applies to 1-d columns");
+        let data = values.data();
+        let len = data.len();
+        if len <= 1 {
+            return Some(DeltaColumn {
+                first: data.first().copied().unwrap_or(0),
+                deltas: BitPackedColumn::encode(&Tensor::from_vec(vec![], &[0])),
+                len,
+            });
+        }
+        let mut zz = Vec::with_capacity(len - 1);
+        for w in data.windows(2) {
+            let d = w[1].checked_sub(w[0])?;
+            zz.push(zigzag(d));
+        }
+        let deltas = BitPackedColumn::encode(&Tensor::from_vec(zz, &[len - 1]));
+        Some(DeltaColumn { first: data[0], deltas, len })
+    }
+
+    /// Rebuild from raw parts — the deserialization path. The packed
+    /// deltas must hold exactly `len.saturating_sub(1)` values.
+    pub fn from_parts(first: i64, deltas: BitPackedColumn, len: usize) -> DeltaColumn {
+        assert_eq!(deltas.len(), len.saturating_sub(1), "one delta per successive pair");
+        DeltaColumn { first, deltas, len }
+    }
+
+    /// Raw parts `(first, packed zig-zag deltas, len)` for serialization.
+    pub fn parts(&self) -> (i64, &BitPackedColumn, usize) {
+        (self.first, &self.deltas, self.len)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decode the whole column (prefix sum over the deltas).
+    pub fn decode(&self) -> I64Tensor {
+        let mut out = Vec::with_capacity(self.len);
+        if self.len > 0 {
+            let mut cur = self.first;
+            out.push(cur);
+            for i in 0..self.len - 1 {
+                cur = cur.wrapping_add(unzigzag(self.deltas.get(i)));
+                out.push(cur);
+            }
+        }
+        Tensor::from_vec(out, &[self.len])
+    }
+
+    /// Sequential access by materialisation — delta columns trade random
+    /// access for size.
+    pub fn get(&self, i: usize) -> i64 {
+        assert!(i < self.len, "row {i} out of bounds ({} rows)", self.len);
+        let mut cur = self.first;
+        for k in 0..i {
+            cur = cur.wrapping_add(unzigzag(self.deltas.get(k)));
+        }
+        cur
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        8 + self.deltas.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(vals: Vec<i64>) {
+        let t = Tensor::from_vec(vals.clone(), &[vals.len()]);
+        let d = DeltaColumn::encode(&t).expect("encodable");
+        assert_eq!(d.decode().to_vec(), vals);
+    }
+
+    #[test]
+    fn zigzag_inverts() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX / 2, i64::MIN / 2, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(vec![]);
+        round_trip(vec![9]);
+        round_trip(vec![10, 11, 12, 13]);
+        round_trip(vec![100, 90, 95, 95, -3]);
+    }
+
+    #[test]
+    fn sequential_get_matches_decode() {
+        let vals = vec![5i64, 8, 2, 2, 40];
+        let d = DeltaColumn::encode(&Tensor::from_vec(vals.clone(), &[5])).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(d.get(i), v);
+        }
+    }
+
+    #[test]
+    fn timestamps_compress_well() {
+        // 1-second cadence with jitter: deltas fit in a few bits.
+        let vals: Vec<i64> = (0..10_000)
+            .scan(1_660_000_000i64, |t, i| {
+                *t += 1 + (i % 3);
+                Some(*t)
+            })
+            .collect();
+        let t = Tensor::from_vec(vals, &[10_000]);
+        let d = DeltaColumn::encode(&t).unwrap();
+        assert!(
+            d.memory_bytes() * 10 < 10_000 * 8,
+            "expected ≥10x compression, got {} bytes",
+            d.memory_bytes()
+        );
+        assert_eq!(d.decode().to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn overflowing_differences_refuse_to_encode() {
+        let t = Tensor::from_vec(vec![i64::MIN, i64::MAX], &[2]);
+        assert!(DeltaColumn::encode(&t).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Order-preserving dictionary encoding for string columns.
+//!
+//! The dictionary is sorted, so code order equals lexicographic string
+//! order and range predicates (`<`, `>=`, `BETWEEN`) evaluate directly on
+//! the integer codes without decoding — the property the paper calls
+//! *order-preserving* dictionary encoding.
+
+use std::sync::Arc;
+
+use tdp_tensor::{I64Tensor, Tensor};
+
+/// A sorted string dictionary shared by the codes of one or more columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringDict {
+    /// Sorted, deduplicated values. Index == code.
+    values: Vec<String>,
+}
+
+impl StringDict {
+    /// Build a dictionary and encode `strings` against it in one pass.
+    pub fn encode(strings: &[impl AsRef<str>]) -> (Arc<StringDict>, I64Tensor) {
+        let mut values: Vec<String> =
+            strings.iter().map(|s| s.as_ref().to_owned()).collect();
+        values.sort_unstable();
+        values.dedup();
+        let dict = Arc::new(StringDict { values });
+        let codes: Vec<i64> = strings
+            .iter()
+            .map(|s| dict.code_of(s.as_ref()).expect("freshly inserted value"))
+            .collect();
+        let n = codes.len();
+        (dict, Tensor::from_vec(codes, &[n]))
+    }
+
+    /// Code of a string, if present.
+    pub fn code_of(&self, s: &str) -> Option<i64> {
+        self.values.binary_search_by(|v| v.as_str().cmp(s)).ok().map(|i| i as i64)
+    }
+
+    /// Smallest code whose string is `>= s` (for range predicates on values
+    /// that may be absent). Returns `len()` if every value is smaller.
+    pub fn lower_bound(&self, s: &str) -> i64 {
+        self.values.partition_point(|v| v.as_str() < s) as i64
+    }
+
+    /// String for a code.
+    pub fn decode_one(&self, code: i64) -> &str {
+        &self.values[usize::try_from(code).expect("negative dictionary code")]
+    }
+
+    /// Decode a whole code column.
+    pub fn decode(&self, codes: &I64Tensor) -> Vec<String> {
+        codes.data().iter().map(|&c| self.decode_one(c).to_owned()).collect()
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let input = vec!["banana", "apple", "cherry", "apple", "banana"];
+        let (dict, codes) = StringDict::encode(&input);
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.decode(&codes), input);
+    }
+
+    #[test]
+    fn codes_preserve_order() {
+        let (dict, codes) = StringDict::encode(&["pear", "apple", "mango"]);
+        // apple < mango < pear lexicographically.
+        assert_eq!(dict.code_of("apple"), Some(0));
+        assert_eq!(dict.code_of("mango"), Some(1));
+        assert_eq!(dict.code_of("pear"), Some(2));
+        // Column was ["pear","apple","mango"] -> [2, 0, 1]
+        assert_eq!(codes.to_vec(), vec![2, 0, 1]);
+        // Range predicate on codes == range predicate on strings.
+        let ge_mango = codes.ge_scalar(dict.code_of("mango").unwrap());
+        assert_eq!(ge_mango.to_vec(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn lower_bound_for_absent_values() {
+        let (dict, _) = StringDict::encode(&["b", "d", "f"]);
+        assert_eq!(dict.lower_bound("a"), 0);
+        assert_eq!(dict.lower_bound("c"), 1);
+        assert_eq!(dict.lower_bound("d"), 1);
+        assert_eq!(dict.lower_bound("z"), 3);
+    }
+
+    #[test]
+    fn missing_value_has_no_code() {
+        let (dict, _) = StringDict::encode(&["x"]);
+        assert_eq!(dict.code_of("y"), None);
+    }
+
+    #[test]
+    fn empty_column() {
+        let empty: Vec<&str> = Vec::new();
+        let (dict, codes) = StringDict::encode(&empty);
+        assert!(dict.is_empty());
+        assert_eq!(codes.numel(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The encoded-tensor column representation.
+
+use std::sync::Arc;
+
+use tdp_tensor::{BoolTensor, F32Tensor, I64Tensor, Tensor};
+
+use crate::bitpack::BitPackedColumn;
+use crate::delta::DeltaColumn;
+use crate::dict::StringDict;
+use crate::pe::PeTensor;
+use crate::rle::RleColumn;
+
+/// Metadata tag describing how a column is stored — what the paper calls
+/// the encoded tensor's metadata, used by operators to pick kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingKind {
+    PlainF32,
+    PlainI64,
+    PlainBool,
+    Dictionary,
+    RunLength,
+    Probability,
+    BitPacked,
+    Delta,
+}
+
+/// A column of a TDP table: a tensor plus its encoding.
+///
+/// The leading dimension is always the row dimension; trailing dimensions
+/// carry per-row payloads (vectors, images, ...).
+#[derive(Debug, Clone)]
+pub enum EncodedTensor {
+    /// Plain numeric data of any rank (`[N]`, `[N, d]`, `[N, c, h, w]`...).
+    F32(F32Tensor),
+    /// Plain 64-bit integers (ids, timestamps, counts).
+    I64(I64Tensor),
+    /// Plain booleans.
+    Bool(BoolTensor),
+    /// Order-preserving dictionary-encoded strings.
+    Dict { codes: I64Tensor, dict: Arc<StringDict> },
+    /// Run-length-encoded integers.
+    Rle(RleColumn),
+    /// Probability-encoded classification output.
+    Pe(PeTensor),
+    /// Bit-packed integers (low-cardinality / narrow-range columns).
+    BitPacked(BitPackedColumn),
+    /// Delta-encoded integers (timestamps, sorted keys).
+    Delta(DeltaColumn),
+}
+
+impl EncodedTensor {
+    /// Encode a string column (order-preserving dictionary).
+    pub fn from_strings(strings: &[impl AsRef<str>]) -> EncodedTensor {
+        let (dict, codes) = StringDict::encode(strings);
+        EncodedTensor::Dict { codes, dict }
+    }
+
+    /// Encode a 1-d f32 column.
+    pub fn from_f32_slice(values: &[f32]) -> EncodedTensor {
+        EncodedTensor::F32(Tensor::from_vec(values.to_vec(), &[values.len()]))
+    }
+
+    /// Encode a 1-d i64 column.
+    pub fn from_i64_slice(values: &[i64]) -> EncodedTensor {
+        EncodedTensor::I64(Tensor::from_vec(values.to_vec(), &[values.len()]))
+    }
+
+    /// The encoding tag.
+    pub fn kind(&self) -> EncodingKind {
+        match self {
+            EncodedTensor::F32(_) => EncodingKind::PlainF32,
+            EncodedTensor::I64(_) => EncodingKind::PlainI64,
+            EncodedTensor::Bool(_) => EncodingKind::PlainBool,
+            EncodedTensor::Dict { .. } => EncodingKind::Dictionary,
+            EncodedTensor::Rle(_) => EncodingKind::RunLength,
+            EncodedTensor::Pe(_) => EncodingKind::Probability,
+            EncodedTensor::BitPacked(_) => EncodingKind::BitPacked,
+            EncodedTensor::Delta(_) => EncodingKind::Delta,
+        }
+    }
+
+    /// Pick the smallest integer encoding for a 1-d i64 column among
+    /// plain, run-length, bit-packed and delta — the metadata-driven
+    /// strategy selection of paper §2 applied at encode time.
+    pub fn compress_i64(values: &I64Tensor) -> EncodedTensor {
+        let mut best = EncodedTensor::I64(values.clone());
+        let mut best_bytes = best.memory_bytes();
+        let mut consider = |cand: EncodedTensor| {
+            let b = cand.memory_bytes();
+            if b < best_bytes {
+                best_bytes = b;
+                best = cand;
+            }
+        };
+        consider(EncodedTensor::Rle(RleColumn::encode(values)));
+        consider(EncodedTensor::BitPacked(BitPackedColumn::encode(values)));
+        if let Some(d) = DeltaColumn::encode(values) {
+            consider(EncodedTensor::Delta(d));
+        }
+        best
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            EncodedTensor::F32(t) => t.rows(),
+            EncodedTensor::I64(t) => t.rows(),
+            EncodedTensor::Bool(t) => t.rows(),
+            EncodedTensor::Dict { codes, .. } => codes.rows(),
+            EncodedTensor::Rle(r) => r.len(),
+            EncodedTensor::Pe(p) => p.rows(),
+            EncodedTensor::BitPacked(b) => b.len(),
+            EncodedTensor::Delta(d) => d.len(),
+        }
+    }
+
+    /// Shape of the per-row payload (empty for scalar columns).
+    pub fn row_shape(&self) -> Vec<usize> {
+        match self {
+            EncodedTensor::F32(t) => t.shape().get(1..).unwrap_or(&[]).to_vec(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Approximate in-memory footprint of the encoded data, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            EncodedTensor::F32(t) => t.numel() * 4,
+            EncodedTensor::I64(t) => t.numel() * 8,
+            EncodedTensor::Bool(t) => t.numel(),
+            EncodedTensor::Dict { codes, dict } => {
+                codes.numel() * 8 + dict.values().iter().map(|s| s.len()).sum::<usize>()
+            }
+            EncodedTensor::Rle(r) => r.num_runs() * 12,
+            EncodedTensor::Pe(p) => (p.rows() * p.num_classes() + p.num_classes()) * 4,
+            EncodedTensor::BitPacked(b) => b.memory_bytes(),
+            EncodedTensor::Delta(d) => d.memory_bytes(),
+        }
+    }
+
+    /// Decode to plain f32 values (`[N]` or higher-rank for payload
+    /// columns). Dictionary columns decode to their codes (the numeric view
+    /// used by ORDER BY); PE columns decode exactly by argmax.
+    pub fn decode_f32(&self) -> F32Tensor {
+        match self {
+            EncodedTensor::F32(t) => t.clone(),
+            EncodedTensor::I64(t) => t.to_f32(),
+            EncodedTensor::Bool(t) => t.to_f32_mask(),
+            EncodedTensor::Dict { codes, .. } => codes.to_f32(),
+            EncodedTensor::Rle(r) => r.decode().to_f32(),
+            EncodedTensor::Pe(p) => p.decode_values(),
+            EncodedTensor::BitPacked(b) => b.decode().to_f32(),
+            EncodedTensor::Delta(d) => d.decode().to_f32(),
+        }
+    }
+
+    /// Decode to i64 (exact decode for PE; cast for f32).
+    pub fn decode_i64(&self) -> I64Tensor {
+        match self {
+            EncodedTensor::F32(t) => t.to_i64(),
+            EncodedTensor::I64(t) => t.clone(),
+            EncodedTensor::Bool(t) => t.to_i64_mask(),
+            EncodedTensor::Dict { codes, .. } => codes.clone(),
+            EncodedTensor::Rle(r) => r.decode(),
+            EncodedTensor::Pe(p) => p.decode_values().to_i64(),
+            EncodedTensor::BitPacked(b) => b.decode(),
+            EncodedTensor::Delta(d) => d.decode(),
+        }
+    }
+
+    /// Decode to strings where meaningful (dictionary columns); other
+    /// encodings render their numeric values.
+    pub fn decode_strings(&self) -> Vec<String> {
+        match self {
+            EncodedTensor::Dict { codes, dict } => dict.decode(codes),
+            EncodedTensor::F32(t) if t.ndim() == 1 => {
+                t.data().iter().map(|v| format!("{v}")).collect()
+            }
+            EncodedTensor::I64(t) => t.data().iter().map(|v| v.to_string()).collect(),
+            EncodedTensor::Bool(t) => t.data().iter().map(|v| v.to_string()).collect(),
+            EncodedTensor::Rle(r) => {
+                r.decode().data().iter().map(|v| v.to_string()).collect()
+            }
+            EncodedTensor::Pe(p) => {
+                p.decode_values().data().iter().map(|v| format!("{v}")).collect()
+            }
+            EncodedTensor::BitPacked(_) | EncodedTensor::Delta(_) => {
+                self.decode_i64().data().iter().map(|v| v.to_string()).collect()
+            }
+            EncodedTensor::F32(_) => vec![String::from("<tensor>"); self.rows()],
+        }
+    }
+
+    /// Keep only rows where the mask is true, preserving the encoding
+    /// (run-length columns are re-encoded after filtering).
+    pub fn filter_rows(&self, mask: &BoolTensor) -> EncodedTensor {
+        match self {
+            EncodedTensor::F32(t) => EncodedTensor::F32(t.filter_rows(mask)),
+            EncodedTensor::I64(t) => EncodedTensor::I64(t.filter_rows(mask)),
+            EncodedTensor::Bool(t) => EncodedTensor::Bool(t.filter_rows(mask)),
+            EncodedTensor::Dict { codes, dict } => EncodedTensor::Dict {
+                codes: codes.filter_rows(mask),
+                dict: Arc::clone(dict),
+            },
+            EncodedTensor::Rle(r) => {
+                EncodedTensor::Rle(RleColumn::encode(&r.decode().filter_rows(mask)))
+            }
+            EncodedTensor::Pe(p) => {
+                let idx: Vec<i64> = mask
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &b)| b.then_some(i as i64))
+                    .collect();
+                let n = idx.len();
+                EncodedTensor::Pe(p.select_rows(&Tensor::from_vec(idx, &[n])))
+            }
+            // Filtered compressed columns re-compress: the best layout may
+            // change once rows drop out.
+            EncodedTensor::BitPacked(b) => {
+                EncodedTensor::compress_i64(&b.decode().filter_rows(mask))
+            }
+            EncodedTensor::Delta(d) => {
+                EncodedTensor::compress_i64(&d.decode().filter_rows(mask))
+            }
+        }
+    }
+
+    /// Reorder / gather rows by index, preserving the encoding.
+    pub fn select_rows(&self, idx: &I64Tensor) -> EncodedTensor {
+        match self {
+            EncodedTensor::F32(t) => EncodedTensor::F32(t.select_rows(idx)),
+            EncodedTensor::I64(t) => EncodedTensor::I64(t.select_rows(idx)),
+            EncodedTensor::Bool(t) => EncodedTensor::Bool(t.select_rows(idx)),
+            EncodedTensor::Dict { codes, dict } => EncodedTensor::Dict {
+                codes: codes.select_rows(idx),
+                dict: Arc::clone(dict),
+            },
+            EncodedTensor::Rle(r) => {
+                EncodedTensor::Rle(RleColumn::encode(&r.decode().select_rows(idx)))
+            }
+            EncodedTensor::Pe(p) => EncodedTensor::Pe(p.select_rows(idx)),
+            EncodedTensor::BitPacked(b) => {
+                EncodedTensor::compress_i64(&b.decode().select_rows(idx))
+            }
+            EncodedTensor::Delta(d) => {
+                EncodedTensor::compress_i64(&d.decode().select_rows(idx))
+            }
+        }
+    }
+
+    /// Move plain tensor payloads to a device (no-op for CPU-resident
+    /// encodings like RLE whose kernels are scalar).
+    pub fn to_device(&self, device: tdp_tensor::Device) -> EncodedTensor {
+        match self {
+            EncodedTensor::F32(t) => EncodedTensor::F32(t.to(device)),
+            EncodedTensor::I64(t) => EncodedTensor::I64(t.to(device)),
+            EncodedTensor::Bool(t) => EncodedTensor::Bool(t.to(device)),
+            EncodedTensor::Dict { codes, dict } => EncodedTensor::Dict {
+                codes: codes.to(device),
+                dict: Arc::clone(dict),
+            },
+            EncodedTensor::Rle(r) => EncodedTensor::Rle(r.clone()),
+            EncodedTensor::BitPacked(b) => EncodedTensor::BitPacked(b.clone()),
+            EncodedTensor::Delta(d) => EncodedTensor::Delta(d.clone()),
+            EncodedTensor::Pe(p) => EncodedTensor::Pe(PeTensor::new(
+                p.probs().to(device),
+                p.class_values().clone(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_rows() {
+        let f = EncodedTensor::from_f32_slice(&[1.0, 2.0]);
+        assert_eq!(f.kind(), EncodingKind::PlainF32);
+        assert_eq!(f.rows(), 2);
+
+        let s = EncodedTensor::from_strings(&["a", "b", "a"]);
+        assert_eq!(s.kind(), EncodingKind::Dictionary);
+        assert_eq!(s.rows(), 3);
+
+        let img = EncodedTensor::F32(Tensor::zeros(&[4, 1, 8, 8]));
+        assert_eq!(img.rows(), 4);
+        assert_eq!(img.row_shape(), vec![1, 8, 8]);
+    }
+
+    #[test]
+    fn decode_paths() {
+        let s = EncodedTensor::from_strings(&["b", "a"]);
+        assert_eq!(s.decode_strings(), vec!["b", "a"]);
+        assert_eq!(s.decode_i64().to_vec(), vec![1, 0]);
+
+        let pe = EncodedTensor::Pe(PeTensor::from_class_ids(
+            &Tensor::from_vec(vec![1i64, 0], &[2]),
+            PeTensor::range_classes(2),
+        ));
+        assert_eq!(pe.decode_f32().to_vec(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn filter_preserves_encoding() {
+        let s = EncodedTensor::from_strings(&["x", "y", "z"]);
+        let mask = Tensor::from_vec(vec![true, false, true], &[3]);
+        let f = s.filter_rows(&mask);
+        assert_eq!(f.kind(), EncodingKind::Dictionary);
+        assert_eq!(f.decode_strings(), vec!["x", "z"]);
+
+        let rle = EncodedTensor::Rle(RleColumn::encode(&Tensor::from_vec(
+            vec![7i64, 7, 8],
+            &[3],
+        )));
+        let fr = rle.filter_rows(&mask);
+        assert_eq!(fr.kind(), EncodingKind::RunLength);
+        assert_eq!(fr.decode_i64().to_vec(), vec![7, 8]);
+    }
+
+    #[test]
+    fn select_rows_reorders_all_encodings() {
+        let idx = Tensor::from_vec(vec![2i64, 0], &[2]);
+        let f = EncodedTensor::from_f32_slice(&[10.0, 20.0, 30.0]).select_rows(&idx);
+        assert_eq!(f.decode_f32().to_vec(), vec![30.0, 10.0]);
+        let d = EncodedTensor::from_strings(&["p", "q", "r"]).select_rows(&idx);
+        assert_eq!(d.decode_strings(), vec!["r", "p"]);
+    }
+
+    #[test]
+    fn memory_accounting_favours_compression() {
+        let repetitive: Vec<i64> = vec![3; 10_000];
+        let plain = EncodedTensor::I64(Tensor::from_vec(repetitive.clone(), &[10_000]));
+        let rle = EncodedTensor::Rle(RleColumn::encode(&plain.decode_i64()));
+        assert!(rle.memory_bytes() * 100 < plain.memory_bytes());
+    }
+
+    #[test]
+    fn device_movement_keeps_values() {
+        let c = EncodedTensor::from_f32_slice(&[1.0, 2.0]);
+        let moved = c.to_device(tdp_tensor::Device::Accel(2));
+        assert_eq!(moved.decode_f32().to_vec(), vec![1.0, 2.0]);
+        match moved {
+            EncodedTensor::F32(t) => assert!(t.device().is_accel()),
+            _ => panic!("encoding changed"),
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Batches: the unit of data flowing between physical operators.
+
+use tdp_autodiff::Var;
+use tdp_encoding::{EncodedTensor, PeTensor};
+use tdp_storage::{Column, Table};
+use tdp_tensor::F32Tensor;
+
+use crate::error::ExecError;
+
+/// A differentiable column: a [`Var`] whose value is either a plain `[N]`
+/// column or, when `class_values` is present, a probability-encoded
+/// `[N, C]` matrix (the Var-domain twin of [`PeTensor`]).
+#[derive(Clone)]
+pub struct DiffColumn {
+    pub var: Var,
+    pub class_values: Option<F32Tensor>,
+}
+
+impl DiffColumn {
+    /// Plain differentiable value column (`[N]`).
+    pub fn plain(var: Var) -> DiffColumn {
+        DiffColumn { var, class_values: None }
+    }
+
+    /// Probability-encoded differentiable column (`[N, C]`).
+    pub fn pe(var: Var, class_values: F32Tensor) -> DiffColumn {
+        assert_eq!(
+            var.shape().len(),
+            2,
+            "PE diff column must be [N, C], got {:?}",
+            var.shape()
+        );
+        assert_eq!(
+            var.shape()[1],
+            class_values.numel(),
+            "one class value per probability column"
+        );
+        DiffColumn { var, class_values: Some(class_values) }
+    }
+
+    pub fn is_pe(&self) -> bool {
+        self.class_values.is_some()
+    }
+
+    pub fn rows(&self) -> usize {
+        self.var.shape().first().copied().unwrap_or(1)
+    }
+
+    /// Detach into an exact encoded column (PE → [`PeTensor`]).
+    pub fn to_exact(&self) -> EncodedTensor {
+        match &self.class_values {
+            Some(cv) => EncodedTensor::Pe(PeTensor::new(self.var.value(), cv.clone())),
+            None => EncodedTensor::F32(self.var.value()),
+        }
+    }
+}
+
+impl std::fmt::Debug for DiffColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DiffColumn(shape={:?}, pe={})",
+            self.var.shape(),
+            self.is_pe()
+        )
+    }
+}
+
+/// A column inside a batch: exact (encoded tensor) or differentiable.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    Exact(EncodedTensor),
+    Diff(DiffColumn),
+}
+
+impl ColumnData {
+    pub fn rows(&self) -> usize {
+        match self {
+            ColumnData::Exact(e) => e.rows(),
+            ColumnData::Diff(d) => d.rows(),
+        }
+    }
+
+    pub fn is_diff(&self) -> bool {
+        matches!(self, ColumnData::Diff(_))
+    }
+
+    /// Exact view (detaching diff columns).
+    pub fn to_exact(&self) -> EncodedTensor {
+        match self {
+            ColumnData::Exact(e) => e.clone(),
+            ColumnData::Diff(d) => d.to_exact(),
+        }
+    }
+}
+
+/// An ordered set of named columns (plus, in trainable mode, soft row
+/// weights produced by relaxed predicates).
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    columns: Vec<(String, ColumnData)>,
+    /// Soft filter weights (`[N]` Var in (0,1)); `None` means all-ones.
+    pub weights: Option<Var>,
+}
+
+impl Batch {
+    pub fn new() -> Batch {
+        Batch::default()
+    }
+
+    pub fn from_table(table: &Table) -> Batch {
+        Batch {
+            columns: table
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), ColumnData::Exact(c.data.clone())))
+                .collect(),
+            weights: None,
+        }
+    }
+
+    /// Convert to a storage table (detaching differentiable columns).
+    pub fn to_table(&self, name: &str) -> Table {
+        Table::new(
+            name,
+            self.columns
+                .iter()
+                .map(|(n, c)| Column::new(n.clone(), c.to_exact()))
+                .collect(),
+        )
+    }
+
+    pub fn push(&mut self, name: impl Into<String>, data: ColumnData) {
+        self.columns.push((name.into(), data));
+    }
+
+    pub fn columns(&self) -> &[(String, ColumnData)] {
+        &self.columns
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn rows(&self) -> usize {
+        self.columns.first().map(|(_, c)| c.rows()).unwrap_or(0)
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column(&self, name: &str) -> Result<&ColumnData, ExecError> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, c)| c)
+            .ok_or_else(|| ExecError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Whether any column is differentiable.
+    pub fn has_diff(&self) -> bool {
+        self.columns.iter().any(|(_, c)| c.is_diff())
+    }
+
+    /// First tensor-payload column (used by FROM-position TVFs whose input
+    /// is a registered bare tensor).
+    pub fn first_tensor(&self) -> Result<F32Tensor, ExecError> {
+        for (_, c) in &self.columns {
+            if let ColumnData::Exact(EncodedTensor::F32(t)) = c {
+                return Ok(t.clone());
+            }
+        }
+        Err(ExecError::TypeMismatch(
+            "TVF input has no plain tensor column".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_storage::TableBuilder;
+    use tdp_tensor::Tensor;
+
+    #[test]
+    fn batch_round_trips_table() {
+        let t = TableBuilder::new()
+            .col_f32("v", vec![1.0, 2.0])
+            .col_str("s", &["a", "b"])
+            .build("t");
+        let b = Batch::from_table(&t);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.names(), vec!["v", "s"]);
+        let back = b.to_table("out");
+        assert_eq!(back.column("s").unwrap().data.decode_strings(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let t = TableBuilder::new().col_f32("Digit", vec![1.0]).build("t");
+        let b = Batch::from_table(&t);
+        assert!(b.column("digit").is_ok());
+        assert!(matches!(
+            b.column("nope"),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn diff_columns_flagged_and_detached() {
+        let mut b = Batch::new();
+        let probs = Var::param(Tensor::from_vec(vec![0.3f32, 0.7, 0.9, 0.1], &[2, 2]));
+        b.push("Income", ColumnData::Diff(DiffColumn::pe(probs, Tensor::arange(2))));
+        assert!(b.has_diff());
+        assert_eq!(b.rows(), 2);
+        let t = b.to_table("out");
+        // PE detaches to an encoded PE column that decodes by argmax.
+        assert_eq!(
+            t.column("Income").unwrap().data.decode_f32().to_vec(),
+            vec![1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn first_tensor_finds_payload() {
+        let imgs = Tensor::<f32>::zeros(&[3, 1, 2, 2]);
+        let t = TableBuilder::new()
+            .col_i64("id", vec![1, 2, 3])
+            .col_tensor("images", imgs)
+            .build("docs");
+        // i64 column is skipped; the f32 payload is found.
+        let b = Batch::from_table(&t);
+        assert_eq!(b.first_tensor().unwrap().shape(), &[3, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "PE diff column must be")]
+    fn pe_diff_column_validates_rank() {
+        DiffColumn::pe(
+            Var::constant(Tensor::<f32>::zeros(&[4])),
+            Tensor::arange(2),
+        );
+    }
+}

@@ -1,0 +1,1025 @@
+//! Differentiable (trainable-query) plan execution.
+//!
+//! This is the lowering selected by the `TRAINABLE` compilation flag
+//! (paper Listing 6). Structure mirrors [`crate::exact::execute`], but:
+//!
+//! * TVFs run their differentiable implementations, emitting
+//!   [`DiffColumn`]s whose `Var`s carry the tape;
+//! * predicates over differentiable scores become soft row weights
+//!   ([`crate::soft::soft_gt`]) instead of hard masks — exact predicates
+//!   over exact columns still filter hard (gradients flow through the
+//!   surviving rows via differentiable row gather);
+//! * GROUP BY + COUNT/SUM/AVG over probability-encoded columns lower to
+//!   the soft kernels of [`crate::soft`];
+//! * operators that cannot be relaxed (ORDER BY, LIMIT, JOIN) execute
+//!   exactly when no differentiable column is involved, and report
+//!   [`ExecError::NotDifferentiable`] otherwise.
+
+use tdp_autodiff::Var;
+use tdp_encoding::EncodedTensor;
+use tdp_sql::ast::{AggFunc, BinOp, Expr, Literal, SelectItem, UnOp};
+use tdp_sql::plan::{AggregateExpr, LogicalPlan};
+use tdp_tensor::{F32Tensor, Tensor};
+
+use crate::batch::{Batch, ColumnData, DiffColumn};
+use crate::error::ExecError;
+use crate::exact;
+use crate::expr::eval_expr;
+use crate::soft;
+use crate::udf::{ArgValue, ExecContext};
+
+/// Execute a plan differentiably.
+pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = ctx
+                .catalog
+                .get(table)
+                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+            Ok(Batch::from_table(&t.to_device(ctx.device)))
+        }
+        LogicalPlan::TvfScan { name, input } => {
+            let inp = execute_diff(input, ctx)?;
+            let tvf = ctx.udfs.table_fn(name)?.clone();
+            let mut out = tvf.invoke_table_diff(&inp, ctx)?;
+            // Input weights survive a row-preserving TVF.
+            if out.weights.is_none() {
+                out.weights = inp.weights;
+            }
+            Ok(out)
+        }
+        LogicalPlan::TvfProject { name, args, input } => {
+            let inp = execute_diff(input, ctx)?;
+            let tvf = ctx.udfs.table_fn(name)?.clone();
+            let mut arg_values = Vec::with_capacity(args.len());
+            for a in args {
+                arg_values.push(eval_diff(a, &inp, ctx)?.into_arg());
+            }
+            tvf.invoke_cols(&arg_values, ctx)
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let inp = execute_diff(input, ctx)?;
+            filter_diff(&inp, predicate, ctx)
+        }
+        LogicalPlan::Project { items, input } => {
+            let inp = execute_diff(input, ctx)?;
+            project_diff(&inp, items, ctx)
+        }
+        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+            let inp = execute_diff(input, ctx)?;
+            aggregate_diff(&inp, group_by, aggregates, ctx)
+        }
+        LogicalPlan::Join { left, right, kind, on } => {
+            let l = execute_diff(left, ctx)?;
+            let r = execute_diff(right, ctx)?;
+            if l.has_diff() || r.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "JOIN over differentiable columns".into(),
+                ));
+            }
+            exact::join_batches(&l, &r, *kind, on.as_ref(), ctx)
+        }
+        LogicalPlan::Sort { keys, input } => {
+            let inp = execute_diff(input, ctx)?;
+            if inp.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "ORDER BY over differentiable columns".into(),
+                ));
+            }
+            exact::sort_batch(&inp, keys, ctx)
+        }
+        LogicalPlan::Limit { n, input } => {
+            // `ORDER BY score DESC LIMIT k` over a differentiable score
+            // relaxes to NeuralSort top-k weights: every row survives,
+            // carrying a soft membership weight that downstream soft
+            // aggregates consume (the §4 operator-relaxation story applied
+            // to top-k, as in the paper's multimodal search queries).
+            if let LogicalPlan::Sort { keys, input: sort_input } = &**input {
+                let inp = execute_diff(sort_input, ctx)?;
+                if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
+                    let scores =
+                        eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
+                    let w = soft::soft_topk_weights(
+                        &scores,
+                        *n as usize,
+                        keys[0].desc,
+                        ctx.temperature,
+                    );
+                    let mut out = inp;
+                    out.weights = Some(match out.weights.take() {
+                        Some(prev) => prev.mul(&w),
+                        None => w,
+                    });
+                    return Ok(out);
+                }
+                if inp.has_diff() {
+                    return Err(ExecError::NotDifferentiable(
+                        "ORDER BY over differentiable columns".into(),
+                    ));
+                }
+                let sorted = exact::sort_batch(&inp, keys, ctx)?;
+                let take = (*n as usize).min(sorted.rows());
+                let idx = Tensor::from_vec((0..take as i64).collect(), &[take]);
+                return Ok(exact::select_batch(&sorted, &idx));
+            }
+            let inp = execute_diff(input, ctx)?;
+            if inp.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "LIMIT over differentiable columns".into(),
+                ));
+            }
+            let take = (*n as usize).min(inp.rows());
+            let idx = Tensor::from_vec((0..take as i64).collect(), &[take]);
+            Ok(exact::select_batch(&inp, &idx))
+        }
+        LogicalPlan::TopK { keys, n, input } => {
+            // The fused form of ORDER BY + LIMIT: same soft relaxation as
+            // the unfused pattern when the (single) key is on the tape.
+            let inp = execute_diff(input, ctx)?;
+            if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
+                let scores = eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
+                let w = soft::soft_topk_weights(
+                    &scores,
+                    *n as usize,
+                    keys[0].desc,
+                    ctx.temperature,
+                );
+                let mut out = inp;
+                out.weights = Some(match out.weights.take() {
+                    Some(prev) => prev.mul(&w),
+                    None => w,
+                });
+                return Ok(out);
+            }
+            if inp.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "ORDER BY over differentiable columns".into(),
+                ));
+            }
+            exact::topk_batch(&inp, keys, *n as usize, ctx)
+        }
+        LogicalPlan::Window { windows, input } => {
+            let inp = execute_diff(input, ctx)?;
+            if inp.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "window functions over differentiable columns".into(),
+                ));
+            }
+            exact::window_batch(&inp, windows, ctx)
+        }
+        LogicalPlan::Distinct { input } => {
+            let inp = execute_diff(input, ctx)?;
+            if inp.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "DISTINCT over differentiable columns".into(),
+                ));
+            }
+            exact::distinct_batch(&inp)
+        }
+        LogicalPlan::UnionAll { left, right } => {
+            let l = execute_diff(left, ctx)?;
+            let r = execute_diff(right, ctx)?;
+            if l.has_diff() || r.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "UNION ALL over differentiable columns".into(),
+                ));
+            }
+            exact::union_all_batches(&l, &r)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Differentiable expression values
+// ----------------------------------------------------------------------
+
+/// Value of an expression in the differentiable domain.
+pub enum DiffVal {
+    /// Plain differentiable `[N]` column.
+    Var(Var),
+    /// Probability-encoded differentiable column.
+    Pe(DiffColumn),
+    /// Exact column (no gradient flows through it).
+    Exact(EncodedTensor),
+    Num(f64),
+    Str(String),
+}
+
+impl DiffVal {
+    fn into_arg(self) -> ArgValue {
+        match self {
+            DiffVal::Var(v) => ArgValue::DiffColumn(DiffColumn::plain(v)),
+            DiffVal::Pe(p) => ArgValue::DiffColumn(p),
+            DiffVal::Exact(e) => ArgValue::Column(e),
+            DiffVal::Num(n) => ArgValue::Number(n),
+            DiffVal::Str(s) => ArgValue::Str(s),
+        }
+    }
+
+    /// Coerce to a `[n]` Var (PE decodes softly to expected values; exact
+    /// columns become constants).
+    fn into_var(self, n: usize) -> Result<Var, ExecError> {
+        match self {
+            DiffVal::Var(v) => Ok(v),
+            DiffVal::Pe(p) => {
+                // E[value] = probs · class_values, kept on the tape.
+                let cv = p.class_values.clone().expect("Pe always has classes");
+                let c = cv.numel();
+                Ok(p.var
+                    .matmul(&Var::constant(cv.reshape(&[c, 1])))
+                    .reshape(&[n]))
+            }
+            DiffVal::Exact(e) => Ok(Var::constant(e.decode_f32())),
+            DiffVal::Num(v) => Ok(Var::constant(Tensor::full(&[n], v as f32))),
+            DiffVal::Str(s) => Err(ExecError::TypeMismatch(format!(
+                "string '{s}' in numeric context"
+            ))),
+        }
+    }
+
+    /// Whether gradient can flow through this value.
+    #[allow(dead_code)] // part of the DiffVal API surface, used by tests
+    pub fn is_diff(&self) -> bool {
+        matches!(self, DiffVal::Var(_) | DiffVal::Pe(_))
+    }
+}
+
+/// Whether an expression touches any differentiable column or
+/// differentiable UDF output.
+fn references_diff(expr: &Expr, batch: &Batch) -> bool {
+    match expr {
+        Expr::Column { name, .. } => batch
+            .column(name)
+            .map(|c| c.is_diff())
+            .unwrap_or(false),
+        Expr::Binary { left, right, .. } => {
+            references_diff(left, batch) || references_diff(right, batch)
+        }
+        Expr::Unary { expr, .. } => references_diff(expr, batch),
+        Expr::Func { args, .. } => args.iter().any(|a| references_diff(a, batch)),
+        Expr::Aggregate { arg: Some(a), .. } => references_diff(a, batch),
+        Expr::Case { operand, branches, else_expr } => {
+            operand.as_deref().is_some_and(|o| references_diff(o, batch))
+                || branches
+                    .iter()
+                    .any(|(w, t)| references_diff(w, batch) || references_diff(t, batch))
+                || else_expr.as_deref().is_some_and(|e| references_diff(e, batch))
+        }
+        Expr::InList { expr, list, .. } => {
+            references_diff(expr, batch) || list.iter().any(|i| references_diff(i, batch))
+        }
+        Expr::Like { expr, .. } => references_diff(expr, batch),
+        _ => false,
+    }
+}
+
+/// Whether the expression calls a scalar UDF that carries trainable
+/// parameters — such calls must take the differentiable path even when no
+/// input column is differentiable (e.g. a learnable filter threshold).
+fn has_trainable_udf(expr: &Expr, ctx: &ExecContext) -> bool {
+    match expr {
+        Expr::Func { name, args } => {
+            ctx.udfs
+                .scalar(name)
+                .map(|u| !u.parameters().is_empty())
+                .unwrap_or(false)
+                || args.iter().any(|a| has_trainable_udf(a, ctx))
+        }
+        Expr::Binary { left, right, .. } => {
+            has_trainable_udf(left, ctx) || has_trainable_udf(right, ctx)
+        }
+        Expr::Unary { expr, .. } => has_trainable_udf(expr, ctx),
+        Expr::Aggregate { arg: Some(a), .. } => has_trainable_udf(a, ctx),
+        Expr::Case { operand, branches, else_expr } => {
+            operand.as_deref().is_some_and(|o| has_trainable_udf(o, ctx))
+                || branches
+                    .iter()
+                    .any(|(w, t)| has_trainable_udf(w, ctx) || has_trainable_udf(t, ctx))
+                || else_expr.as_deref().is_some_and(|e| has_trainable_udf(e, ctx))
+        }
+        Expr::InList { expr, list, .. } => {
+            has_trainable_udf(expr, ctx) || list.iter().any(|i| has_trainable_udf(i, ctx))
+        }
+        Expr::Like { expr, .. } => has_trainable_udf(expr, ctx),
+        _ => false,
+    }
+}
+
+/// An expression is "on the tape" when it touches a differentiable column
+/// or calls a parameterized UDF.
+fn on_tape(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> bool {
+    references_diff(expr, batch) || has_trainable_udf(expr, ctx)
+}
+
+/// Evaluate an expression in the differentiable domain.
+pub fn eval_diff(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<DiffVal, ExecError> {
+    match expr {
+        Expr::Column { name, .. } => match batch.column(name)? {
+            ColumnData::Diff(d) if d.is_pe() => Ok(DiffVal::Pe(d.clone())),
+            ColumnData::Diff(d) => Ok(DiffVal::Var(d.var.clone())),
+            ColumnData::Exact(e) => Ok(DiffVal::Exact(e.clone())),
+        },
+        Expr::Literal(Literal::Number(n)) => Ok(DiffVal::Num(*n)),
+        Expr::Literal(Literal::String(s)) => Ok(DiffVal::Str(s.clone())),
+        Expr::Literal(Literal::Bool(b)) => Ok(DiffVal::Num(if *b { 1.0 } else { 0.0 })),
+        Expr::Literal(Literal::Null) => {
+            Err(ExecError::Unsupported("NULL literals are not supported".into()))
+        }
+        Expr::Unary { op: UnOp::Neg, expr } => {
+            let n = batch.rows();
+            Ok(DiffVal::Var(eval_diff(expr, batch, ctx)?.into_var(n)?.neg()))
+        }
+        Expr::Unary { op: UnOp::Not, .. } => Err(ExecError::NotDifferentiable(
+            "NOT outside a predicate".into(),
+        )),
+        Expr::Binary { op, left, right } => {
+            // Pure-exact subtrees evaluate exactly (keeps dictionary
+            // predicates etc. available inside trainable queries).
+            if !on_tape(expr, batch, ctx) {
+                let v = eval_expr(expr, batch, ctx)?;
+                return Ok(match v {
+                    crate::expr::Value::Column(c) => DiffVal::Exact(c),
+                    crate::expr::Value::Num(n) => DiffVal::Num(n),
+                    crate::expr::Value::Str(s) => DiffVal::Str(s),
+                    crate::expr::Value::Bool(b) => DiffVal::Num(if b { 1.0 } else { 0.0 }),
+                });
+            }
+            let n = batch.rows();
+            let l = eval_diff(left, batch, ctx)?;
+            let r = eval_diff(right, batch, ctx)?;
+            let (lv, rv) = (l.into_var(n)?, r.into_var(n)?);
+            let out = match op {
+                BinOp::Add => lv.add(&rv),
+                BinOp::Sub => lv.sub(&rv),
+                BinOp::Mul => lv.mul(&rv),
+                BinOp::Div => lv.div(&rv),
+                other => {
+                    return Err(ExecError::NotDifferentiable(format!(
+                        "operator {other:?} over differentiable columns outside WHERE"
+                    )))
+                }
+            };
+            Ok(DiffVal::Var(out))
+        }
+        Expr::Func { name, args } => {
+            let any_diff = args.iter().any(|a| references_diff(a, batch));
+            if !ctx.udfs.is_scalar(name) {
+                // Built-in math functions: exact off the tape, Var ops on
+                // it (only the ones autodiff provides).
+                if !any_diff {
+                    let v = eval_expr(expr, batch, ctx)?;
+                    return Ok(match v {
+                        crate::expr::Value::Column(c) => DiffVal::Exact(c),
+                        crate::expr::Value::Num(n) => DiffVal::Num(n),
+                        crate::expr::Value::Str(s) => DiffVal::Str(s),
+                        crate::expr::Value::Bool(b) => {
+                            DiffVal::Num(if b { 1.0 } else { 0.0 })
+                        }
+                    });
+                }
+                let n = batch.rows();
+                if args.len() == 1 {
+                    let x = eval_diff(&args[0], batch, ctx)?.into_var(n)?;
+                    let out = match name.to_ascii_lowercase().as_str() {
+                        "abs" => x.abs(),
+                        "sqrt" => x.sqrt(),
+                        "exp" => x.exp(),
+                        "ln" => x.ln(),
+                        other => {
+                            return Err(ExecError::NotDifferentiable(format!(
+                                "built-in {other} over differentiable columns"
+                            )))
+                        }
+                    };
+                    return Ok(DiffVal::Var(out));
+                }
+                return Err(ExecError::NotDifferentiable(format!(
+                    "built-in {name} over differentiable columns"
+                )));
+            }
+            let udf = ctx.udfs.scalar(name)?.clone();
+            let mut arg_values = Vec::with_capacity(args.len());
+            for a in args {
+                arg_values.push(eval_diff(a, batch, ctx)?.into_arg());
+            }
+            if any_diff || !udf.parameters().is_empty() {
+                let out = udf.invoke_diff(&arg_values, ctx)?;
+                Ok(if out.is_pe() { DiffVal::Pe(out) } else { DiffVal::Var(out.var) })
+            } else {
+                Ok(DiffVal::Exact(udf.invoke(&arg_values, ctx)?))
+            }
+        }
+        Expr::Aggregate { .. } => Err(ExecError::Unsupported(
+            "aggregate outside of an Aggregate plan node".into(),
+        )),
+        e @ (Expr::Case { .. } | Expr::InList { .. } | Expr::Like { .. }) => {
+            // CASE/IN/LIKE run exactly when they do not touch the tape;
+            // relaxing them is future work (the paper only relaxes
+            // comparisons and aggregates).
+            if on_tape(e, batch, ctx) {
+                return Err(ExecError::NotDifferentiable(format!(
+                    "'{e}' over differentiable columns"
+                )));
+            }
+            match eval_expr(e, batch, ctx)? {
+                crate::expr::Value::Column(c) => Ok(DiffVal::Exact(c)),
+                crate::expr::Value::Num(v) => Ok(DiffVal::Num(v)),
+                crate::expr::Value::Str(s) => Ok(DiffVal::Str(s)),
+                crate::expr::Value::Bool(b) => Ok(DiffVal::Num(if b { 1.0 } else { 0.0 })),
+            }
+        }
+        Expr::Window { .. } => Err(ExecError::Unsupported(
+            "window function outside of a Window plan node".into(),
+        )),
+        // Scalar subqueries evaluate exactly — no gradient crosses the
+        // subquery boundary (its tables are catalog constants).
+        Expr::ScalarSubquery(q) => match crate::expr::eval_scalar_subquery(q, ctx)? {
+            crate::expr::Value::Num(v) => Ok(DiffVal::Num(v)),
+            crate::expr::Value::Str(s) => Ok(DiffVal::Str(s)),
+            crate::expr::Value::Bool(b) => Ok(DiffVal::Num(if b { 1.0 } else { 0.0 })),
+            crate::expr::Value::Column(c) => Ok(DiffVal::Exact(c)),
+        },
+        Expr::Star => Err(ExecError::Unsupported("'*' outside of COUNT(*)".into())),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Operators
+// ----------------------------------------------------------------------
+
+/// Soft weights for a predicate over differentiable values.
+fn soft_predicate(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Var, ExecError> {
+    let n = batch.rows();
+    match expr {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            let lw = soft_predicate(left, batch, ctx)?;
+            let rw = soft_predicate(right, batch, ctx)?;
+            Ok(lw.mul(&rw))
+        }
+        Expr::Binary { op: BinOp::Or, left, right } => {
+            // Probabilistic OR: w1 + w2 − w1·w2.
+            let lw = soft_predicate(left, batch, ctx)?;
+            let rw = soft_predicate(right, batch, ctx)?;
+            Ok(lw.add(&rw).sub(&lw.mul(&rw)))
+        }
+        Expr::Unary { op: UnOp::Not, expr } => {
+            let w = soft_predicate(expr, batch, ctx)?;
+            Ok(w.neg().add_scalar(1.0))
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            if !on_tape(expr, batch, ctx) {
+                // Exact sub-predicate: 0/1 weights, constants on the tape.
+                let mask = eval_expr(expr, batch, ctx)?.into_mask(n)?;
+                return Ok(Var::constant(mask.to_f32_mask()));
+            }
+            let l = eval_diff(left, batch, ctx)?.into_var(n)?;
+            let r = eval_diff(right, batch, ctx)?.into_var(n)?;
+            let score = l.sub(&r);
+            Ok(match op {
+                BinOp::Gt | BinOp::GtEq => soft::soft_gt(&score, 0.0, ctx.temperature),
+                BinOp::Lt | BinOp::LtEq => soft::soft_lt(&score, 0.0, ctx.temperature),
+                // Relaxed equality: Gaussian kernel of the margin.
+                BinOp::Eq => {
+                    let z = score.div_scalar(ctx.temperature);
+                    z.square().neg().exp()
+                }
+                BinOp::NotEq => {
+                    let z = score.div_scalar(ctx.temperature);
+                    z.square().neg().exp().neg().add_scalar(1.0)
+                }
+                _ => unreachable!("guarded by is_comparison"),
+            })
+        }
+        // Any remaining predicate shape (IN, LIKE, CASE…) participates with
+        // hard 0/1 weights as long as it stays off the tape.
+        other if !on_tape(other, batch, ctx) => {
+            let mask = eval_expr(other, batch, ctx)?.into_mask(n)?;
+            Ok(Var::constant(mask.to_f32_mask()))
+        }
+        other => Err(ExecError::NotDifferentiable(format!(
+            "predicate '{other}' cannot be relaxed"
+        ))),
+    }
+}
+
+fn filter_diff(batch: &Batch, predicate: &Expr, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    let n = batch.rows();
+    if !on_tape(predicate, batch, ctx) {
+        // Hard filter; differentiable columns are gathered on-tape so
+        // gradients still flow into surviving rows.
+        let mask = eval_expr(predicate, batch, ctx)?.into_mask(n)?;
+        let kept: Vec<i64> = mask
+            .data()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as i64))
+            .collect();
+        let k = kept.len();
+        let idx = Tensor::from_vec(kept, &[k]);
+        let mut out = Batch::new();
+        for (name, col) in batch.columns() {
+            let new_col = match col {
+                ColumnData::Exact(e) => ColumnData::Exact(e.select_rows(&idx)),
+                ColumnData::Diff(d) => ColumnData::Diff(DiffColumn {
+                    var: d.var.select_rows(&idx),
+                    class_values: d.class_values.clone(),
+                }),
+            };
+            out.push(name.clone(), new_col);
+        }
+        out.weights = batch.weights.as_ref().map(|w| w.select_rows(&idx));
+        return Ok(out);
+    }
+
+    // Soft filter: multiply the relaxed predicate into the row weights.
+    let w = soft_predicate(predicate, batch, ctx)?;
+    let mut out = batch.clone();
+    out.weights = Some(match &batch.weights {
+        Some(prev) => prev.mul(&w),
+        None => w,
+    });
+    Ok(out)
+}
+
+fn project_diff(batch: &Batch, items: &[SelectItem], ctx: &ExecContext) -> Result<Batch, ExecError> {
+    let mut out = Batch::new();
+    out.weights = batch.weights.clone();
+    let n = batch.rows();
+    for item in items {
+        let name = item.output_name();
+        match eval_diff(&item.expr, batch, ctx)? {
+            DiffVal::Var(v) => out.push(name, ColumnData::Diff(DiffColumn::plain(v))),
+            DiffVal::Pe(p) => out.push(name, ColumnData::Diff(p)),
+            DiffVal::Exact(e) => out.push(name, ColumnData::Exact(e)),
+            DiffVal::Num(v) => out.push(
+                name,
+                ColumnData::Exact(EncodedTensor::F32(Tensor::full(&[n], v as f32))),
+            ),
+            DiffVal::Str(s) => {
+                out.push(name, ColumnData::Exact(EncodedTensor::from_strings(&vec![s; n])))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One-hot (constant) PE view of an exact key column, allowing exact keys
+/// to participate in soft GROUP BY next to PE keys.
+fn exact_key_as_pe(col: &EncodedTensor) -> Result<(Var, F32Tensor), ExecError> {
+    let codes = match col {
+        EncodedTensor::Pe(p) => {
+            // Exact PE column (already detached): one-hot by argmax.
+            return Ok((
+                Var::constant(tdp_tensor::index::one_hot(
+                    &p.decode_ids(),
+                    p.num_classes(),
+                )),
+                p.class_values().clone(),
+            ));
+        }
+        EncodedTensor::I64(t) => t.clone(),
+        EncodedTensor::Bool(t) => t.to_i64_mask(),
+        EncodedTensor::Dict { codes, .. } => codes.clone(),
+        EncodedTensor::Rle(r) => r.decode(),
+        EncodedTensor::BitPacked(b) => b.decode(),
+        EncodedTensor::Delta(d) => d.decode(),
+        EncodedTensor::F32(t) if t.ndim() == 1 => t.to_i64(),
+        EncodedTensor::F32(_) => {
+            return Err(ExecError::TypeMismatch(
+                "cannot group by a multi-dimensional payload column".into(),
+            ))
+        }
+    };
+    let u = tdp_tensor::sort::unique_i64(&codes);
+    let onehot = tdp_tensor::index::one_hot(&u.inverse, u.values.numel());
+    Ok((Var::constant(onehot), u.values.to_f32()))
+}
+
+fn aggregate_diff(
+    batch: &Batch,
+    group_by: &[Expr],
+    aggregates: &[AggregateExpr],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let n = batch.rows();
+    let weights = batch.weights.clone();
+
+    // Global aggregation (no keys): scalar soft aggregates.
+    if group_by.is_empty() {
+        let mut out = Batch::new();
+        let w = weights.unwrap_or_else(|| Var::constant(F32Tensor::ones(&[n])));
+        for agg in aggregates {
+            let var = match (agg.func, &agg.arg) {
+                (AggFunc::Count, _) => soft::soft_global_count(&w).reshape(&[1]),
+                (AggFunc::Sum, Some(e)) => {
+                    let vals = eval_diff(e, batch, ctx)?.into_var(n)?;
+                    vals.mul(&w).sum().reshape(&[1])
+                }
+                (AggFunc::Avg, Some(e)) => {
+                    let vals = eval_diff(e, batch, ctx)?.into_var(n)?;
+                    let num = vals.mul(&w).sum();
+                    let den = w.sum().add_scalar(1e-9);
+                    num.div(&den).reshape(&[1])
+                }
+                (f, _) => {
+                    return Err(ExecError::NotDifferentiable(format!(
+                        "soft {} is not implemented",
+                        f.name()
+                    )))
+                }
+            };
+            out.push(agg.output.clone(), ColumnData::Diff(DiffColumn::plain(var)));
+        }
+        return Ok(out);
+    }
+
+    // Keyed aggregation: every key must be (or become) probability-encoded.
+    let mut membership: Vec<Var> = Vec::with_capacity(group_by.len());
+    let mut class_values: Vec<F32Tensor> = Vec::with_capacity(group_by.len());
+    let mut key_names: Vec<String> = Vec::with_capacity(group_by.len());
+    for g in group_by {
+        let Expr::Column { name, .. } = g else {
+            return Err(ExecError::NotDifferentiable(format!(
+                "soft GROUP BY key '{g}' must be a plain column"
+            )));
+        };
+        key_names.push(g.display_name());
+        match batch.column(name)? {
+            ColumnData::Diff(d) if d.is_pe() => {
+                membership.push(d.var.clone());
+                class_values.push(d.class_values.clone().expect("pe column"));
+            }
+            ColumnData::Diff(_) => {
+                return Err(ExecError::NotDifferentiable(format!(
+                    "cannot group by continuous differentiable column '{name}' \
+                     (probability-encode it first)"
+                )))
+            }
+            ColumnData::Exact(e) => {
+                let (onehot, values) = exact_key_as_pe(e)?;
+                membership.push(onehot);
+                class_values.push(values);
+            }
+        }
+    }
+
+    let member_refs: Vec<&Var> = membership.iter().collect();
+    let joint = soft::joint_membership(&member_refs);
+    let cv_refs: Vec<&F32Tensor> = class_values.iter().collect();
+    let key_cols = soft::expand_group_keys(&cv_refs);
+
+    let mut out = Batch::new();
+    for (name, col) in key_names.into_iter().zip(key_cols) {
+        out.push(name, ColumnData::Exact(EncodedTensor::F32(col)));
+    }
+    for agg in aggregates {
+        let var = match (agg.func, &agg.arg) {
+            (AggFunc::Count, _) => soft::soft_groupby_count(&joint, weights.as_ref()),
+            (AggFunc::Sum, Some(e)) => {
+                let vals = eval_diff(e, batch, ctx)?.into_var(n)?;
+                soft::soft_groupby_sum(&joint, &vals, weights.as_ref())
+            }
+            (AggFunc::Avg, Some(e)) => {
+                let vals = eval_diff(e, batch, ctx)?.into_var(n)?;
+                soft::soft_groupby_avg(&joint, &vals, weights.as_ref())
+            }
+            (f, _) => {
+                return Err(ExecError::NotDifferentiable(format!(
+                    "soft {} is not implemented",
+                    f.name()
+                )))
+            }
+        };
+        out.push(agg.output.clone(), ColumnData::Diff(DiffColumn::plain(var)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdp_sql::plan::{build_plan, PlannerContext};
+    use tdp_sql::{optimizer, parse};
+    use tdp_storage::{Catalog, TableBuilder};
+    use crate::udf::{ScalarUdf, TableFunction, UdfRegistry};
+
+    /// TVF producing a PE column from a logits parameter — a stand-in for
+    /// a classifier over the input rows.
+    struct PeEmitter {
+        logits: Var,
+    }
+
+    impl TableFunction for PeEmitter {
+        fn name(&self) -> &str {
+            "classify"
+        }
+        fn invoke_table(&self, input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
+            // Exact path: decode PE by argmax.
+            let diff = self.invoke_table_diff(input, ctx)?;
+            let mut out = Batch::new();
+            for (name, col) in diff.columns() {
+                out.push(name.clone(), ColumnData::Exact(col.to_exact()));
+            }
+            Ok(out)
+        }
+        fn invoke_table_diff(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+            let mut out = Batch::new();
+            let probs = self.logits.softmax(1);
+            out.push(
+                "Label",
+                ColumnData::Diff(DiffColumn::pe(probs, Tensor::arange(2))),
+            );
+            Ok(out)
+        }
+        fn parameters(&self) -> Vec<Var> {
+            vec![self.logits.clone()]
+        }
+    }
+
+    fn setup(logits: Var) -> (Catalog, UdfRegistry) {
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("x", vec![1.0, 2.0, 3.0, 4.0])
+                .build("rows"),
+        );
+        let mut udfs = UdfRegistry::new();
+        udfs.register_table_fn(Arc::new(PeEmitter { logits }));
+        (catalog, udfs)
+    }
+
+    fn fresh_logits() -> Var {
+        Var::param(Tensor::from_vec(
+            vec![2.0f32, -2.0, 2.0, -2.0, -2.0, 2.0, 2.0, -2.0],
+            &[4, 2],
+        ))
+    }
+
+    fn run_diff(catalog: &Catalog, udfs: &UdfRegistry, sql: &str) -> Batch {
+        let ctx = ExecContext::new(catalog, udfs).with_trainable(true);
+        let q = parse(sql).unwrap();
+        let plan = optimizer::optimize(
+            build_plan(&q, &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) }).unwrap(),
+        );
+        execute_diff(&plan, &ctx).unwrap()
+    }
+
+    fn counts_of(batch: &Batch) -> (Var, Vec<f32>) {
+        match batch.column("COUNT(*)").unwrap() {
+            ColumnData::Diff(d) => (d.var.clone(), d.var.value().to_vec()),
+            other => panic!("expected diff counts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trainable_groupby_count_produces_soft_counts() {
+        let logits = fresh_logits();
+        let (catalog, udfs) = setup(logits.clone());
+        let b = run_diff(
+            &catalog,
+            &udfs,
+            "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label",
+        );
+        let (_, counts) = counts_of(&b);
+        // logits favour classes [0, 0, 1, 0] -> about 3 vs 1, softly.
+        assert_eq!(counts.len(), 2);
+        assert!((counts[0] + counts[1] - 4.0).abs() < 1e-4);
+        assert!(counts[0] > 2.5 && counts[1] < 1.5);
+        // Key column materialised as class values.
+        assert_eq!(
+            b.column("Label").unwrap().to_exact().decode_f32().to_vec(),
+            vec![0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn gradients_reach_tvf_parameters_through_group_by() {
+        let logits = fresh_logits();
+        let (catalog, udfs) = setup(logits.clone());
+        let b = run_diff(
+            &catalog,
+            &udfs,
+            "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label",
+        );
+        let (counts_var, _) = counts_of(&b);
+        let target = Tensor::from_vec(vec![2.0f32, 2.0], &[2]);
+        let loss = counts_var.mse_loss(&target);
+        loss.backward();
+        let g = logits.grad().expect("gradient must reach the TVF parameter");
+        assert!(g.norm() > 0.0);
+    }
+
+    #[test]
+    fn training_counts_to_target_converges() {
+        // End-to-end trainable query: adjust logits so that the grouped
+        // counts match a target — the minimal LLP setting.
+        let logits = Var::param(Tensor::from_vec(vec![0.0f32; 8], &[4, 2]));
+        let (catalog, udfs) = setup(logits.clone());
+        let target = Tensor::from_vec(vec![1.0f32, 3.0], &[2]);
+        let mut loss_v = f32::MAX;
+        for _ in 0..200 {
+            logits.zero_grad();
+            let b = run_diff(
+                &catalog,
+                &udfs,
+                "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label",
+            );
+            let (counts_var, _) = counts_of(&b);
+            let loss = counts_var.mse_loss(&target);
+            loss.backward();
+            loss_v = loss.value().item();
+            let g = logits.grad().unwrap();
+            logits.set_value(logits.value().sub(&g.mul_scalar(5.0)));
+        }
+        assert!(loss_v < 1e-3, "count-supervised training must converge: {loss_v}");
+    }
+
+    /// Scalar UDF emitting a differentiable score column from a parameter.
+    struct ScoreUdf {
+        scores: Var,
+    }
+
+    impl ScalarUdf for ScoreUdf {
+        fn name(&self) -> &str {
+            "score"
+        }
+        fn invoke(
+            &self,
+            _args: &[ArgValue],
+            _ctx: &ExecContext,
+        ) -> Result<EncodedTensor, ExecError> {
+            Ok(EncodedTensor::F32(self.scores.value()))
+        }
+        fn invoke_diff(
+            &self,
+            _args: &[ArgValue],
+            _ctx: &ExecContext,
+        ) -> Result<DiffColumn, ExecError> {
+            Ok(DiffColumn::plain(self.scores.clone()))
+        }
+        fn parameters(&self) -> Vec<Var> {
+            vec![self.scores.clone()]
+        }
+    }
+
+    #[test]
+    fn trainable_order_by_limit_relaxes_to_soft_topk_weights() {
+        let scores = Var::param(Tensor::from_vec(vec![0.3f32, 0.9, 0.1, 0.5], &[4]));
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("x", vec![10.0, 20.0, 30.0, 40.0])
+                .build("rows"),
+        );
+        let mut udfs = UdfRegistry::new();
+        udfs.register_scalar(Arc::new(ScoreUdf { scores: scores.clone() }));
+
+        let mut ctx = ExecContext::new(&catalog, &udfs).with_trainable(true);
+        ctx.temperature = 0.01;
+        let q = parse("SELECT x, score(x) AS s FROM rows ORDER BY s DESC LIMIT 2").unwrap();
+        let plan = optimizer::optimize(
+            build_plan(&q, &PlannerContext { is_tvf: &|_| false }).unwrap(),
+        );
+        let out = execute_diff(&plan, &ctx).unwrap();
+
+        // All rows survive; soft membership lives in the batch weights.
+        assert_eq!(out.rows(), 4);
+        let w = out.weights.as_ref().expect("soft top-k weights");
+        let wv = w.value();
+        assert!(wv.at(1) > 0.99 && wv.at(3) > 0.99, "{:?}", wv.to_vec());
+        assert!(wv.at(0) < 0.01 && wv.at(2) < 0.01, "{:?}", wv.to_vec());
+
+        // Gradients flow from a weighted loss back into the score parameter.
+        let vals = Var::constant(Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[4]));
+        w.mul(&vals).sum().backward();
+        assert!(scores.grad().expect("grad on scores").norm() > 0.0);
+    }
+
+    #[test]
+    fn trainable_order_by_limit_without_diff_key_cuts_exactly() {
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("x", vec![3.0, 1.0, 2.0])
+                .build("rows"),
+        );
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(&catalog, &udfs).with_trainable(true);
+        let q = parse("SELECT x FROM rows ORDER BY x DESC LIMIT 2").unwrap();
+        let plan = build_plan(&q, &PlannerContext { is_tvf: &|_| false }).unwrap();
+        let out = execute_diff(&plan, &ctx).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert!(out.weights.is_none());
+        assert_eq!(
+            out.column("x").unwrap().to_exact().decode_f32().to_vec(),
+            vec![3.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn global_count_uses_weights() {
+        struct Score;
+        impl ScalarUdf for Score {
+            fn name(&self) -> &str {
+                "score"
+            }
+            fn invoke(&self, args: &[ArgValue], _: &ExecContext) -> Result<EncodedTensor, ExecError> {
+                Ok(args[0].as_column()?.clone())
+            }
+            fn invoke_diff(&self, args: &[ArgValue], _: &ExecContext) -> Result<DiffColumn, ExecError> {
+                match &args[0] {
+                    ArgValue::Column(c) => {
+                        Ok(DiffColumn::plain(Var::constant(c.decode_f32())))
+                    }
+                    ArgValue::DiffColumn(d) => Ok(d.clone()),
+                    other => Err(ExecError::TypeMismatch(format!("{other:?}"))),
+                }
+            }
+            fn parameters(&self) -> Vec<Var> {
+                // Pretend-trainable so the diff path is taken.
+                vec![Var::param(Tensor::from_vec(vec![0.0f32], &[1]))]
+            }
+        }
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("x", vec![0.0, 0.5, 1.0, 1.5])
+                .build("t"),
+        );
+        let mut udfs = UdfRegistry::new();
+        udfs.register_scalar(Arc::new(Score));
+        let b = run_diff(&catalog, &udfs, "SELECT COUNT(*) FROM t WHERE score(x) > 0.75");
+        let (_, counts) = counts_of(&b);
+        // Soft count: rows 1.0, 1.5 nearly in; 0.5 partially; 0.0 nearly out.
+        assert_eq!(counts.len(), 1);
+        assert!(counts[0] > 1.5 && counts[0] < 2.5, "soft count = {}", counts[0]);
+    }
+
+    #[test]
+    fn exact_predicate_filters_hard_in_diff_mode() {
+        let logits = fresh_logits();
+        let (catalog, udfs) = setup(logits);
+        // x > 2.5 keeps rows 2 and 3 (exact filter before the aggregate).
+        let b = run_diff(
+            &catalog,
+            &udfs,
+            "SELECT COUNT(*) FROM rows WHERE x > 2.5",
+        );
+        let (_, counts) = counts_of(&b);
+        assert!((counts[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_by_exact_key_in_diff_mode() {
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_i64("k", vec![7, 8, 7, 7])
+                .col_f32("v", vec![1.0, 2.0, 3.0, 4.0])
+                .build("t"),
+        );
+        let udfs = UdfRegistry::new();
+        let b = run_diff(&catalog, &udfs, "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k");
+        assert_eq!(
+            b.column("k").unwrap().to_exact().decode_f32().to_vec(),
+            vec![7.0, 8.0]
+        );
+        let (_, counts) = counts_of(&b);
+        assert_eq!(counts, vec![3.0, 1.0]);
+        match b.column("SUM(v)").unwrap() {
+            ColumnData::Diff(d) => assert_eq!(d.var.value().to_vec(), vec![8.0, 2.0]),
+            other => panic!("expected diff sum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_and_limit_pass_through_when_exact() {
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("v", vec![3.0, 1.0, 2.0])
+                .build("t"),
+        );
+        let udfs = UdfRegistry::new();
+        let b = run_diff(&catalog, &udfs, "SELECT v FROM t ORDER BY v DESC LIMIT 2");
+        assert_eq!(
+            b.column("v").unwrap().to_exact().decode_f32().to_vec(),
+            vec![3.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn not_differentiable_reported_for_diff_sort() {
+        let logits = fresh_logits();
+        let (catalog, udfs) = setup(logits);
+        let ctx = ExecContext::new(&catalog, &udfs).with_trainable(true);
+        let q = parse("SELECT Label FROM classify(rows) ORDER BY Label").unwrap();
+        let plan =
+            build_plan(&q, &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) }).unwrap();
+        assert!(matches!(
+            execute_diff(&plan, &ctx),
+            Err(ExecError::NotDifferentiable(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! Executor errors.
+
+/// Anything that can go wrong while lowering or running a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Referenced table is not in the catalog.
+    UnknownTable(String),
+    /// Referenced column is not in the current batch.
+    UnknownColumn(String),
+    /// Referenced function is not registered.
+    UnknownFunction(String),
+    /// The operation is valid SQL but not supported by this executor.
+    Unsupported(String),
+    /// Type/encoding mismatch between operator and operand.
+    TypeMismatch(String),
+    /// The differentiable executor cannot lower this construct.
+    NotDifferentiable(String),
+    /// A UDF/TVF reported a failure.
+    Udf(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            ExecError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
+            ExecError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            ExecError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            ExecError::NotDifferentiable(m) => {
+                write!(f, "not differentiable (compile without TRAINABLE?): {m}")
+            }
+            ExecError::Udf(m) => write!(f, "UDF error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_offender() {
+        assert!(ExecError::UnknownTable("docs".into()).to_string().contains("docs"));
+        assert!(ExecError::UnknownColumn("x".into()).to_string().contains("'x'"));
+        assert!(ExecError::NotDifferentiable("join".into())
+            .to_string()
+            .contains("TRAINABLE"));
+    }
+}

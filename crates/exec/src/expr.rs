@@ -1,0 +1,605 @@
+//! Exact scalar-expression evaluation over batches.
+//!
+//! Expressions lower to tensor kernels: comparisons become mask kernels,
+//! arithmetic becomes elementwise kernels, string predicates become integer
+//! predicates on dictionary codes (the encoding-aware strategy selection of
+//! paper §2).
+
+use tdp_encoding::EncodedTensor;
+use tdp_sql::ast::{BinOp, Expr, Literal, UnOp};
+use tdp_tensor::{BoolTensor, F32Tensor, Tensor};
+
+use crate::batch::Batch;
+use crate::error::ExecError;
+use crate::udf::{ArgValue, ExecContext};
+
+/// Result of evaluating an expression: a column or a scalar.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Column(EncodedTensor),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// View as a row mask for `n` rows.
+    pub fn into_mask(self, n: usize) -> Result<BoolTensor, ExecError> {
+        match self {
+            Value::Column(EncodedTensor::Bool(b)) => Ok(b),
+            Value::Bool(b) => Ok(Tensor::full(&[n], b)),
+            other => Err(ExecError::TypeMismatch(format!(
+                "predicate did not evaluate to a boolean mask: {other:?}"
+            ))),
+        }
+    }
+
+    /// View as an f32 column for `n` rows (scalars broadcast).
+    pub fn into_f32_column(self, n: usize) -> Result<F32Tensor, ExecError> {
+        match self {
+            Value::Column(c) => Ok(c.decode_f32()),
+            Value::Num(v) => Ok(Tensor::full(&[n], v as f32)),
+            Value::Bool(b) => Ok(Tensor::full(&[n], if b { 1.0 } else { 0.0 })),
+            Value::Str(s) => Err(ExecError::TypeMismatch(format!(
+                "string '{s}' used in numeric context"
+            ))),
+        }
+    }
+
+    /// Convert into a UDF argument.
+    pub fn into_arg(self) -> ArgValue {
+        match self {
+            Value::Column(c) => ArgValue::Column(c),
+            Value::Num(n) => ArgValue::Number(n),
+            Value::Str(s) => ArgValue::Str(s),
+            Value::Bool(b) => ArgValue::Bool(b),
+        }
+    }
+}
+
+/// Evaluate `expr` against `batch`.
+pub fn eval_expr(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Value, ExecError> {
+    match expr {
+        Expr::Column { name, .. } => Ok(Value::Column(batch.column(name)?.to_exact())),
+        Expr::Literal(Literal::Number(n)) => Ok(Value::Num(*n)),
+        Expr::Literal(Literal::String(s)) => Ok(Value::Str(s.clone())),
+        Expr::Literal(Literal::Bool(b)) => Ok(Value::Bool(*b)),
+        Expr::Literal(Literal::Null) => {
+            Err(ExecError::Unsupported("NULL literals are not supported".into()))
+        }
+        Expr::Unary { op: UnOp::Neg, expr } => match eval_expr(expr, batch, ctx)? {
+            Value::Num(n) => Ok(Value::Num(-n)),
+            Value::Column(c) => Ok(Value::Column(EncodedTensor::F32(c.decode_f32().neg()))),
+            other => Err(ExecError::TypeMismatch(format!("cannot negate {other:?}"))),
+        },
+        Expr::Unary { op: UnOp::Not, expr } => match eval_expr(expr, batch, ctx)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Column(EncodedTensor::Bool(m)) => {
+                Ok(Value::Column(EncodedTensor::Bool(m.not())))
+            }
+            other => Err(ExecError::TypeMismatch(format!("cannot NOT {other:?}"))),
+        },
+        Expr::Binary { op, left, right } => {
+            let l = eval_expr(left, batch, ctx)?;
+            let r = eval_expr(right, batch, ctx)?;
+            eval_binary(*op, l, r, batch.rows())
+        }
+        Expr::Func { name, args } => {
+            // Session UDFs take precedence; otherwise try the built-in
+            // scalar math functions; otherwise report the unknown function.
+            if ctx.udfs.is_scalar(name) {
+                let udf = ctx.udfs.scalar(name)?.clone();
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(eval_expr(a, batch, ctx)?.into_arg());
+                }
+                return Ok(Value::Column(udf.invoke(&arg_values, ctx)?));
+            }
+            if let Some(builtin) = builtin_scalar(name) {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(eval_expr(a, batch, ctx)?);
+                }
+                return builtin.eval(name, &vals, batch.rows());
+            }
+            // Surfaces the original "unknown scalar function" error.
+            match ctx.udfs.scalar(name) {
+                Err(e) => Err(e),
+                Ok(_) => unreachable!("is_scalar was false"),
+            }
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            eval_case(operand.as_deref(), branches, else_expr.as_deref(), batch, ctx)
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_expr(expr, batch, ctx)?;
+            let mut mask: Option<BoolTensor> = None;
+            let n = batch.rows();
+            for item in list {
+                let rhs = eval_expr(item, batch, ctx)?;
+                let eq = eval_binary(BinOp::Eq, v.clone(), rhs, n)?.into_mask(n)?;
+                mask = Some(match mask {
+                    Some(m) => m.or(&eq),
+                    None => eq,
+                });
+            }
+            let m = mask.ok_or_else(|| {
+                ExecError::TypeMismatch("IN requires a non-empty list".into())
+            })?;
+            Ok(Value::Column(EncodedTensor::Bool(if *negated { m.not() } else { m })))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let mask = match eval_expr(expr, batch, ctx)? {
+                Value::Column(EncodedTensor::Dict { codes, dict }) => {
+                    // Evaluate the pattern once per dictionary entry, then
+                    // broadcast the verdicts through the codes — the
+                    // encoding-aware strategy of paper §2.
+                    let verdicts: Vec<bool> =
+                        dict.values().iter().map(|v| like_match(pattern, v)).collect();
+                    codes.map(|c| verdicts[c as usize])
+                }
+                Value::Str(s) => Tensor::full(&[batch.rows()], like_match(pattern, &s)),
+                other => {
+                    return Err(ExecError::TypeMismatch(format!(
+                        "LIKE applies to string columns, got {other:?}"
+                    )))
+                }
+            };
+            Ok(Value::Column(EncodedTensor::Bool(if *negated {
+                mask.not()
+            } else {
+                mask
+            })))
+        }
+        Expr::Aggregate { .. } => Err(ExecError::Unsupported(
+            "aggregate outside of an Aggregate plan node".into(),
+        )),
+        Expr::Window { .. } => Err(ExecError::Unsupported(
+            "window function outside of a Window plan node".into(),
+        )),
+        Expr::ScalarSubquery(q) => eval_scalar_subquery(q, ctx),
+        Expr::Star => Err(ExecError::Unsupported("'*' outside of COUNT(*)".into())),
+    }
+}
+
+/// Plan, optimise and execute an uncorrelated scalar subquery against the
+/// session catalog; it must return exactly one row and one column.
+pub(crate) fn eval_scalar_subquery(
+    q: &tdp_sql::ast::Query,
+    ctx: &ExecContext,
+) -> Result<Value, ExecError> {
+    let plan = tdp_sql::plan::build_plan(
+        q,
+        &tdp_sql::plan::PlannerContext { is_tvf: &|n| ctx.udfs.is_table_fn(n) },
+    )
+    .map_err(|e| ExecError::Unsupported(format!("scalar subquery: {e}")))?;
+    let plan = tdp_sql::optimizer::optimize(plan);
+    let batch = crate::exact::execute(&plan, ctx)?;
+    if batch.rows() != 1 || batch.columns().len() != 1 {
+        return Err(ExecError::TypeMismatch(format!(
+            "scalar subquery must return 1 row x 1 column, got {} x {}",
+            batch.rows(),
+            batch.columns().len()
+        )));
+    }
+    let col = batch.columns()[0].1.to_exact();
+    Ok(match col {
+        EncodedTensor::Dict { codes, dict } => Value::Str(dict.decode_one(codes.at(0)).to_owned()),
+        EncodedTensor::Bool(b) => Value::Bool(b.at(0)),
+        other => Value::Num(other.decode_f32().at(0) as f64),
+    })
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any one char); case-sensitive.
+fn like_match(pattern: &str, s: &str) -> bool {
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => (0..=s.len()).any(|i| rec(rest, &s[i..])),
+            Some(('_', rest)) => !s.is_empty() && rec(rest, &s[1..]),
+            Some((c, rest)) => s.first() == Some(c) && rec(rest, &s[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let sc: Vec<char> = s.chars().collect();
+    rec(&p, &sc)
+}
+
+/// Evaluate `CASE` by blending branch outputs under masks. Branches are
+/// tested in order; earlier matches win. The NULL-free dialect defaults a
+/// missing ELSE to 0.
+fn eval_case(
+    operand: Option<&Expr>,
+    branches: &[(Expr, Expr)],
+    else_expr: Option<&Expr>,
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<Value, ExecError> {
+    let n = batch.rows();
+    let operand_val = operand.map(|o| eval_expr(o, batch, ctx)).transpose()?;
+
+    // Start from the ELSE value and overwrite backwards so the *first*
+    // matching WHEN wins.
+    let mut out = match else_expr {
+        Some(e) => eval_expr(e, batch, ctx)?.into_f32_column(n)?,
+        None => F32Tensor::zeros(&[n]),
+    };
+    for (when, then) in branches.iter().rev() {
+        let cond = match &operand_val {
+            Some(op_v) => {
+                let rhs = eval_expr(when, batch, ctx)?;
+                eval_binary(BinOp::Eq, op_v.clone(), rhs, n)?.into_mask(n)?
+            }
+            None => eval_expr(when, batch, ctx)?.into_mask(n)?,
+        };
+        let then_col = eval_expr(then, batch, ctx)?.into_f32_column(n)?;
+        let cf = cond.to_f32_mask();
+        out = cf.mul(&then_col).add(&cf.neg().add_scalar(1.0).mul(&out));
+    }
+    Ok(Value::Column(EncodedTensor::F32(out)))
+}
+
+/// Built-in scalar math functions (resolved after session UDFs).
+enum Builtin {
+    Unary(fn(f32) -> f32),
+    /// POWER(x, e) and friends.
+    Binary(fn(f32, f32) -> f32),
+}
+
+impl Builtin {
+    fn eval(&self, name: &str, args: &[Value], n: usize) -> Result<Value, ExecError> {
+        let need = match self {
+            Builtin::Unary(_) => 1,
+            Builtin::Binary(_) => 2,
+        };
+        if args.len() != need {
+            return Err(ExecError::TypeMismatch(format!(
+                "{name} expects {need} argument(s), got {}",
+                args.len()
+            )));
+        }
+        // Scalar fast path keeps literals scalar (folds through plans).
+        let all_scalar = args.iter().all(|a| matches!(a, Value::Num(_)));
+        match self {
+            Builtin::Unary(f) => {
+                if all_scalar {
+                    let Value::Num(x) = args[0] else { unreachable!() };
+                    return Ok(Value::Num(f(x as f32) as f64));
+                }
+                let c = args[0].clone().into_f32_column(n)?;
+                Ok(Value::Column(EncodedTensor::F32(c.map(f))))
+            }
+            Builtin::Binary(f) => {
+                if all_scalar {
+                    let (Value::Num(a), Value::Num(b)) = (&args[0], &args[1]) else {
+                        unreachable!()
+                    };
+                    return Ok(Value::Num(f(*a as f32, *b as f32) as f64));
+                }
+                let a = args[0].clone().into_f32_column(n)?;
+                let b = args[1].clone().into_f32_column(n)?;
+                let out: Vec<f32> =
+                    a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+                Ok(Value::Column(EncodedTensor::F32(Tensor::from_vec(
+                    out,
+                    a.shape(),
+                ))))
+            }
+        }
+    }
+}
+
+/// SQL SIGN: −1, 0 or 1 (unlike `f32::signum`, zero maps to zero).
+fn sql_sign(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+fn builtin_scalar(name: &str) -> Option<Builtin> {
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "abs" => Builtin::Unary(f32::abs),
+        "round" => Builtin::Unary(f32::round),
+        "floor" => Builtin::Unary(f32::floor),
+        "ceil" | "ceiling" => Builtin::Unary(f32::ceil),
+        "sqrt" => Builtin::Unary(f32::sqrt),
+        "exp" => Builtin::Unary(f32::exp),
+        "ln" => Builtin::Unary(f32::ln),
+        "log10" => Builtin::Unary(f32::log10),
+        "sign" => Builtin::Unary(sql_sign),
+        "power" | "pow" => Builtin::Binary(f32::powf),
+        _ => return None,
+    })
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value, rows: usize) -> Result<Value, ExecError> {
+    use BinOp::*;
+
+    // Logical connectives.
+    if op.is_logical() {
+        let lm = l.into_mask(rows)?;
+        let rm = r.into_mask(rows)?;
+        let out = match op {
+            And => lm.and(&rm),
+            Or => lm.or(&rm),
+            _ => unreachable!(),
+        };
+        return Ok(Value::Column(EncodedTensor::Bool(out)));
+    }
+
+    // String comparisons against dictionary columns run on codes.
+    match (&l, &r) {
+        (Value::Column(EncodedTensor::Dict { codes, dict }), Value::Str(s)) => {
+            return Ok(Value::Column(EncodedTensor::Bool(compare_dict(
+                op, codes, dict, s, false,
+            )?)))
+        }
+        (Value::Str(s), Value::Column(EncodedTensor::Dict { codes, dict })) => {
+            return Ok(Value::Column(EncodedTensor::Bool(compare_dict(
+                op, codes, dict, s, true,
+            )?)))
+        }
+        _ => {}
+    }
+
+    // Scalar-scalar fast paths.
+    if let (Value::Num(a), Value::Num(b)) = (&l, &r) {
+        let (a, b) = (*a, *b);
+        return Ok(match op {
+            Add => Value::Num(a + b),
+            Sub => Value::Num(a - b),
+            Mul => Value::Num(a * b),
+            Div => Value::Num(a / b),
+            Mod => Value::Num(a % b),
+            Eq => Value::Bool(a == b),
+            NotEq => Value::Bool(a != b),
+            Lt => Value::Bool(a < b),
+            LtEq => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            GtEq => Value::Bool(a >= b),
+            And | Or => unreachable!(),
+        });
+    }
+    if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+        return Ok(match op {
+            Eq => Value::Bool(a == b),
+            NotEq => Value::Bool(a != b),
+            Lt => Value::Bool(a < b),
+            LtEq => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            GtEq => Value::Bool(a >= b),
+            other => {
+                return Err(ExecError::TypeMismatch(format!(
+                    "operator {other:?} on strings"
+                )))
+            }
+        });
+    }
+
+    // Numeric column paths.
+    let lc = l.into_f32_column(rows)?;
+    let rc = r.into_f32_column(rows)?;
+    Ok(match op {
+        Add => Value::Column(EncodedTensor::F32(lc.add(&rc))),
+        Sub => Value::Column(EncodedTensor::F32(lc.sub(&rc))),
+        Mul => Value::Column(EncodedTensor::F32(lc.mul(&rc))),
+        Div => Value::Column(EncodedTensor::F32(lc.div(&rc))),
+        Mod => {
+            let out: Vec<f32> = lc
+                .data()
+                .iter()
+                .zip(rc.data())
+                .map(|(a, b)| a % b)
+                .collect();
+            Value::Column(EncodedTensor::F32(Tensor::from_vec(out, lc.shape())))
+        }
+        Eq => Value::Column(EncodedTensor::Bool(lc.eq_t(&rc))),
+        NotEq => Value::Column(EncodedTensor::Bool(lc.ne_t(&rc))),
+        Lt => Value::Column(EncodedTensor::Bool(lc.lt_t(&rc))),
+        LtEq => Value::Column(EncodedTensor::Bool(lc.le_t(&rc))),
+        Gt => Value::Column(EncodedTensor::Bool(lc.gt_t(&rc))),
+        GtEq => Value::Column(EncodedTensor::Bool(lc.ge_t(&rc))),
+        And | Or => unreachable!(),
+    })
+}
+
+/// Compare a dictionary column against a string literal using codes only.
+/// `flipped` means the literal was on the left (`'x' < col`).
+fn compare_dict(
+    op: BinOp,
+    codes: &Tensor<i64>,
+    dict: &tdp_encoding::StringDict,
+    s: &str,
+    flipped: bool,
+) -> Result<BoolTensor, ExecError> {
+    let op = if flipped {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    } else {
+        op
+    };
+    Ok(match op {
+        BinOp::Eq => match dict.code_of(s) {
+            Some(c) => codes.eq_scalar(c),
+            None => Tensor::full(&[codes.numel()], false),
+        },
+        BinOp::NotEq => match dict.code_of(s) {
+            Some(c) => codes.eq_scalar(c).not(),
+            None => Tensor::full(&[codes.numel()], true),
+        },
+        // Order-preserving property: value < s  <=>  code < lower_bound(s).
+        BinOp::Lt => codes.lt_scalar(dict.lower_bound(s)),
+        BinOp::GtEq => codes.ge_scalar(dict.lower_bound(s)),
+        BinOp::LtEq => {
+            // value <= s <=> value < next(s); with codes: code < lb(s) or code == code_of(s)
+            match dict.code_of(s) {
+                Some(c) => codes.le_scalar(c),
+                None => codes.lt_scalar(dict.lower_bound(s)),
+            }
+        }
+        BinOp::Gt => match dict.code_of(s) {
+            Some(c) => codes.gt_scalar(c),
+            None => codes.ge_scalar(dict.lower_bound(s)),
+        },
+        other => {
+            return Err(ExecError::TypeMismatch(format!(
+                "operator {other:?} between dictionary column and string"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_sql::parse;
+    use tdp_storage::{Catalog, TableBuilder};
+    use crate::udf::UdfRegistry;
+
+    fn test_batch() -> Batch {
+        Batch::from_table(
+            &TableBuilder::new()
+                .col_f32("x", vec![1.0, 2.0, 3.0, 4.0])
+                .col_f32("y", vec![10.0, 20.0, 30.0, 40.0])
+                .col_str("tag", &["a", "b", "a", "c"])
+                .col_i64("ts", vec![5, 6, 5, 7])
+                .build("t"),
+        )
+    }
+
+    fn eval(sql_expr: &str, batch: &Batch) -> Value {
+        let q = parse(&format!("SELECT {sql_expr} FROM t")).unwrap();
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(&catalog, &udfs);
+        eval_expr(&q.select[0].expr, batch, &ctx).unwrap()
+    }
+
+    fn as_f32(v: Value) -> Vec<f32> {
+        v.into_f32_column(4).unwrap().to_vec()
+    }
+
+    fn as_mask(v: Value) -> Vec<bool> {
+        v.into_mask(4).unwrap().to_vec()
+    }
+
+    #[test]
+    fn arithmetic_on_columns() {
+        let b = test_batch();
+        assert_eq!(as_f32(eval("x + y", &b)), vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(as_f32(eval("y / x", &b)), vec![10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(as_f32(eval("x * 2 + 1", &b)), vec![3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(as_f32(eval("-x", &b)), vec![-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let b = test_batch();
+        assert_eq!(as_mask(eval("x > 2", &b)), vec![false, false, true, true]);
+        assert_eq!(
+            as_mask(eval("x > 1 AND y < 40", &b)),
+            vec![false, true, true, false]
+        );
+        assert_eq!(
+            as_mask(eval("NOT (x >= 2)", &b)),
+            vec![true, false, false, false]
+        );
+        assert_eq!(
+            as_mask(eval("x = 1 OR ts = 7", &b)),
+            vec![true, false, false, true]
+        );
+        assert_eq!(
+            as_mask(eval("x BETWEEN 2 AND 3", &b)),
+            vec![false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn dictionary_string_predicates() {
+        let b = test_batch();
+        assert_eq!(
+            as_mask(eval("tag = 'a'", &b)),
+            vec![true, false, true, false]
+        );
+        assert_eq!(
+            as_mask(eval("tag <> 'a'", &b)),
+            vec![false, true, false, true]
+        );
+        assert_eq!(
+            as_mask(eval("tag >= 'b'", &b)),
+            vec![false, true, false, true]
+        );
+        // Absent literal: equality is empty, ranges still work.
+        assert_eq!(as_mask(eval("tag = 'zz'", &b)), vec![false; 4]);
+        assert_eq!(as_mask(eval("tag < 'b'", &b)), vec![true, false, true, false]);
+        // Flipped operand order.
+        assert_eq!(
+            as_mask(eval("'b' <= tag", &b)),
+            vec![false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn scalar_folding_at_runtime() {
+        let b = test_batch();
+        match eval("1 + 2 * 3", &b) {
+            Value::Num(n) => assert_eq!(n, 7.0),
+            other => panic!("expected scalar, got {other:?}"),
+        }
+        match eval("'a' = 'a'", &b) {
+            Value::Bool(b) => assert!(b),
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let b = test_batch();
+        let q = parse("SELECT missing FROM t").unwrap();
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(&catalog, &udfs);
+        assert!(matches!(
+            eval_expr(&q.select[0].expr, &b, &ctx),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_udf_call_in_expression() {
+        use std::sync::Arc;
+        struct PlusTen;
+        impl crate::udf::ScalarUdf for PlusTen {
+            fn name(&self) -> &str {
+                "plus_ten"
+            }
+            fn invoke(
+                &self,
+                args: &[ArgValue],
+                _ctx: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
+                Ok(EncodedTensor::F32(
+                    args[0].as_column()?.decode_f32().add_scalar(10.0),
+                ))
+            }
+        }
+        let b = test_batch();
+        let q = parse("SELECT plus_ten(x) > 12 FROM t").unwrap();
+        let catalog = Catalog::new();
+        let mut udfs = UdfRegistry::new();
+        udfs.register_scalar(Arc::new(PlusTen));
+        let ctx = ExecContext::new(&catalog, &udfs);
+        let v = eval_expr(&q.select[0].expr, &b, &ctx).unwrap();
+        assert_eq!(v.into_mask(4).unwrap().to_vec(), vec![false, false, true, true]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # tdp-exec
+//!
+//! The physical executor: relational operators lowered onto tensor kernels
+//! (the TQP lowering the paper builds on), in two flavours:
+//!
+//! * **Exact** ([`exact`]) — filters are boolean masks, GROUP BY is
+//!   sort-based over composite integer keys, joins are hash joins, ORDER BY
+//!   is argsort, aggregation is segmented reduction. Probability-encoded
+//!   inputs are decoded by argmax first, eliminating approximation error
+//!   (paper §4, inference-time operator swap).
+//! * **Soft/differentiable** ([`soft`], [`diff`]) — the trainable-query
+//!   path: GROUP BY + COUNT over PE columns becomes an (iterated
+//!   Khatri-Rao) product followed by a column sum — only additions and
+//!   multiplications, hence end-to-end differentiable; predicates become
+//!   sigmoid-weighted row weights threaded through downstream aggregates.
+//!
+//! UDFs and table-valued functions ([`udf`]) execute *inside* the tensor
+//! runtime: they receive encoded tensors and return encoded tensors (or
+//! differentiable columns in trainable mode), so there is no context-switch
+//! cost between SQL operators and ML transforms.
+
+pub mod batch;
+pub mod diff;
+pub mod error;
+pub mod exact;
+pub mod expr;
+pub mod profile;
+pub mod soft;
+pub mod udf;
+
+pub use batch::{Batch, ColumnData, DiffColumn};
+pub use diff::execute_diff;
+pub use error::ExecError;
+pub use exact::execute;
+pub use profile::{execute_profiled, OpTrace, QueryProfile};
+pub use udf::{ArgValue, ExecContext, ScalarUdf, TableFunction, UdfRegistry};

@@ -1,0 +1,308 @@
+//! Per-operator query profiling.
+//!
+//! The paper's §2 notes a compiled TDP query can be "profiled using
+//! TensorBoard" because it *is* a tensor program. Our equivalent: a
+//! profiled execution mode that drives the same exact operator kernels as
+//! [`crate::exact::execute`] while recording wall-clock time and output
+//! cardinality per plan node.
+
+use std::time::Instant;
+
+use tdp_sql::plan::LogicalPlan;
+use tdp_tensor::Tensor;
+
+use crate::batch::Batch;
+use crate::error::ExecError;
+use crate::exact;
+use crate::expr::eval_expr;
+use crate::udf::ExecContext;
+
+/// One profiled plan node.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// First line of the node's EXPLAIN rendering (e.g. `Filter: (x > 1)`).
+    pub label: String,
+    /// Depth in the plan tree (root = 0).
+    pub depth: usize,
+    /// Rows the node produced.
+    pub rows_out: usize,
+    /// Wall-clock seconds including children.
+    pub total_seconds: f64,
+    /// Wall-clock seconds excluding children (the node's own kernels).
+    pub self_seconds: f64,
+}
+
+/// Execution profile of one query run, in pre-order plan order.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    pub ops: Vec<OpTrace>,
+}
+
+impl QueryProfile {
+    /// Total wall-clock of the root node.
+    pub fn total_seconds(&self) -> f64 {
+        self.ops.first().map(|o| o.total_seconds).unwrap_or(0.0)
+    }
+
+    /// The trace with the largest self-time — where the query spent its
+    /// kernels.
+    pub fn hottest(&self) -> Option<&OpTrace> {
+        self.ops
+            .iter()
+            .max_by(|a, b| a.self_seconds.total_cmp(&b.self_seconds))
+    }
+
+    /// Fixed-width table rendering, one row per operator.
+    pub fn pretty(&self) -> String {
+        let mut out = String::from(
+            "operator                                          rows    self ms   total ms\n",
+        );
+        for op in &self.ops {
+            let indent = "  ".repeat(op.depth);
+            let label = format!("{indent}{}", op.label);
+            out.push_str(&format!(
+                "{label:<48} {rows:>7} {self_ms:>10.3} {total_ms:>10.3}\n",
+                rows = op.rows_out,
+                self_ms = op.self_seconds * 1e3,
+                total_ms = op.total_seconds * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// Execute a plan exactly while recording a per-operator profile.
+pub fn execute_profiled(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+) -> Result<(Batch, QueryProfile), ExecError> {
+    let mut profile = QueryProfile::default();
+    let batch = run_node(plan, ctx, 0, &mut profile)?;
+    Ok((batch, profile))
+}
+
+/// First line of a node's EXPLAIN rendering.
+fn node_label(plan: &LogicalPlan) -> String {
+    plan.explain().lines().next().unwrap_or("?").trim().to_owned()
+}
+
+fn run_node(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+    depth: usize,
+    profile: &mut QueryProfile,
+) -> Result<Batch, ExecError> {
+    // Reserve this node's slot so the profile reads in pre-order.
+    let slot = profile.ops.len();
+    profile.ops.push(OpTrace {
+        label: node_label(plan),
+        depth,
+        rows_out: 0,
+        total_seconds: 0.0,
+        self_seconds: 0.0,
+    });
+
+    let start = Instant::now();
+    let mut child_seconds = 0.0f64;
+    let mut run_child = |p: &LogicalPlan,
+                         profile: &mut QueryProfile|
+     -> Result<Batch, ExecError> {
+        let t0 = Instant::now();
+        let out = run_node(p, ctx, depth + 1, profile)?;
+        child_seconds += t0.elapsed().as_secs_f64();
+        Ok(out)
+    };
+
+    let batch = match plan {
+        LogicalPlan::Scan { table } => {
+            let t = ctx
+                .catalog
+                .get(table)
+                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+            Batch::from_table(&t.to_device(ctx.device))
+        }
+        LogicalPlan::TvfScan { name, input } => {
+            let inp = run_child(input, profile)?;
+            let tvf = ctx.udfs.table_fn(name)?.clone();
+            tvf.invoke_table(&inp, ctx)?
+        }
+        LogicalPlan::TvfProject { name, args, input } => {
+            let inp = run_child(input, profile)?;
+            let tvf = ctx.udfs.table_fn(name)?.clone();
+            let mut arg_values = Vec::with_capacity(args.len());
+            for a in args {
+                arg_values.push(eval_expr(a, &inp, ctx)?.into_arg());
+            }
+            tvf.invoke_cols(&arg_values, ctx)?
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let inp = run_child(input, profile)?;
+            let mask = eval_expr(predicate, &inp, ctx)?.into_mask(inp.rows())?;
+            exact::filter_batch(&inp, &mask)
+        }
+        LogicalPlan::Project { items, input } => {
+            let inp = run_child(input, profile)?;
+            exact::project_batch(&inp, items, ctx)?
+        }
+        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+            let inp = run_child(input, profile)?;
+            exact::aggregate_batch(&inp, group_by, aggregates, ctx)?
+        }
+        LogicalPlan::Join { left, right, kind, on } => {
+            let l = run_child(left, profile)?;
+            let r = run_child(right, profile)?;
+            exact::join_batches(&l, &r, *kind, on.as_ref(), ctx)?
+        }
+        LogicalPlan::Sort { keys, input } => {
+            let inp = run_child(input, profile)?;
+            exact::sort_batch(&inp, keys, ctx)?
+        }
+        LogicalPlan::Limit { n, input } => {
+            let inp = run_child(input, profile)?;
+            let take = (*n as usize).min(inp.rows());
+            let idx = Tensor::from_vec((0..take as i64).collect(), &[take]);
+            exact::select_batch(&inp, &idx)
+        }
+        LogicalPlan::TopK { keys, n, input } => {
+            let inp = run_child(input, profile)?;
+            exact::topk_batch(&inp, keys, *n as usize, ctx)?
+        }
+        LogicalPlan::Window { windows, input } => {
+            let inp = run_child(input, profile)?;
+            exact::window_batch(&inp, windows, ctx)?
+        }
+        LogicalPlan::Distinct { input } => {
+            let inp = run_child(input, profile)?;
+            exact::distinct_batch(&inp)?
+        }
+        LogicalPlan::UnionAll { left, right } => {
+            let l = run_child(left, profile)?;
+            let r = run_child(right, profile)?;
+            exact::union_all_batches(&l, &r)?
+        }
+    };
+
+    let total = start.elapsed().as_secs_f64();
+    let op = &mut profile.ops[slot];
+    op.rows_out = batch.rows();
+    op.total_seconds = total;
+    op.self_seconds = (total - child_seconds).max(0.0);
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_sql::plan::{build_plan, PlannerContext};
+    use tdp_sql::{optimizer, parse};
+    use tdp_storage::{Catalog, TableBuilder};
+    use crate::udf::UdfRegistry;
+
+    fn setup() -> Catalog {
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("x", (0..100).map(|v| v as f32).collect())
+                .col_str("tag", &(0..100).map(|v| format!("t{}", v % 3)).collect::<Vec<_>>())
+                .build("t"),
+        );
+        catalog
+    }
+
+    fn profiled(catalog: &Catalog, sql: &str) -> (Batch, QueryProfile) {
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(catalog, &udfs);
+        let plan = optimizer::optimize(
+            build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap(),
+        );
+        execute_profiled(&plan, &ctx).unwrap()
+    }
+
+    #[test]
+    fn profile_matches_plan_shape_and_result() {
+        let c = setup();
+        let (batch, prof) =
+            profiled(&c, "SELECT tag, COUNT(*) FROM t WHERE x >= 10 GROUP BY tag");
+        assert_eq!(batch.rows(), 3);
+        let labels: Vec<&str> = prof.ops.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels.len(), 3, "{labels:?}");
+        assert!(labels[0].starts_with("Aggregate"), "{labels:?}");
+        assert!(labels[1].starts_with("Filter"), "{labels:?}");
+        assert!(labels[2].starts_with("Scan"), "{labels:?}");
+        // Depths follow the tree.
+        assert_eq!(
+            prof.ops.iter().map(|o| o.depth).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Cardinalities recorded per node.
+        assert_eq!(prof.ops[2].rows_out, 100);
+        assert_eq!(prof.ops[1].rows_out, 90);
+        assert_eq!(prof.ops[0].rows_out, 3);
+    }
+
+    #[test]
+    fn self_time_sums_to_total() {
+        let c = setup();
+        let (_, prof) = profiled(&c, "SELECT x FROM t WHERE x > 50 ORDER BY x DESC LIMIT 5");
+        let self_sum: f64 = prof.ops.iter().map(|o| o.self_seconds).sum();
+        let total = prof.total_seconds();
+        assert!(
+            (self_sum - total).abs() <= total * 0.5 + 1e-6,
+            "self {self_sum} vs total {total}"
+        );
+        assert!(prof.hottest().is_some());
+    }
+
+    #[test]
+    fn profile_result_equals_unprofiled_result() {
+        let c = setup();
+        let sql = "SELECT tag, COUNT(*) FROM t GROUP BY tag ORDER BY tag";
+        let (batch, _) = profiled(&c, sql);
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(&c, &udfs);
+        let plan = optimizer::optimize(
+            build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap(),
+        );
+        let plain = crate::exact::execute(&plan, &ctx).unwrap();
+        assert_eq!(
+            batch.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
+            plain.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec()
+        );
+    }
+
+    #[test]
+    fn pretty_renders_one_line_per_op() {
+        let c = setup();
+        let (_, prof) = profiled(&c, "SELECT DISTINCT tag FROM t");
+        let text = prof.pretty();
+        assert_eq!(text.lines().count(), 1 + prof.ops.len());
+        assert!(text.contains("Distinct"));
+        assert!(text.contains("Scan: t"));
+    }
+
+    #[test]
+    fn join_profile_has_two_children() {
+        let c = setup();
+        c.register(
+            TableBuilder::new()
+                .col_str("tag", &["t0", "t1", "t2"])
+                .col_f32("w", vec![1.0, 2.0, 3.0])
+                .build("weights"),
+        );
+        let (_, prof) = profiled(
+            &c,
+            "SELECT t.x, weights.w FROM t JOIN weights ON t.tag = weights.tag LIMIT 3",
+        );
+        let join_idx = prof
+            .ops
+            .iter()
+            .position(|o| o.label.starts_with("Join"))
+            .expect("join node");
+        let children: Vec<_> = prof
+            .ops
+            .iter()
+            .filter(|o| o.depth == prof.ops[join_idx].depth + 1)
+            .collect();
+        assert_eq!(children.len(), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! UDF / table-valued-function registry and execution context.
+//!
+//! The paper's key design point (§3): functions are not an escape hatch to
+//! an external tool — they are tensor programs registered into the engine,
+//! executed on the same runtime as the relational operators. A scalar UDF
+//! maps argument columns to one output column; a table-valued function maps
+//! a relation (or argument columns) to a relation. Both may expose
+//! trainable parameters, which is what makes queries trainable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tdp_autodiff::Var;
+use tdp_encoding::EncodedTensor;
+use tdp_storage::Catalog;
+use tdp_tensor::Device;
+
+use crate::batch::{Batch, DiffColumn};
+use crate::error::ExecError;
+
+/// An argument handed to a UDF: an evaluated column or a SQL literal.
+#[derive(Clone, Debug)]
+pub enum ArgValue {
+    Column(EncodedTensor),
+    /// Differentiable column argument (trainable mode).
+    DiffColumn(DiffColumn),
+    Number(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl ArgValue {
+    pub fn as_str(&self) -> Result<&str, ExecError> {
+        match self {
+            ArgValue::Str(s) => Ok(s),
+            other => Err(ExecError::TypeMismatch(format!(
+                "expected string argument, got {other:?}"
+            ))),
+        }
+    }
+
+    pub fn as_number(&self) -> Result<f64, ExecError> {
+        match self {
+            ArgValue::Number(n) => Ok(*n),
+            other => Err(ExecError::TypeMismatch(format!(
+                "expected numeric argument, got {other:?}"
+            ))),
+        }
+    }
+
+    pub fn as_column(&self) -> Result<&EncodedTensor, ExecError> {
+        match self {
+            ArgValue::Column(c) => Ok(c),
+            other => Err(ExecError::TypeMismatch(format!(
+                "expected column argument, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A scalar user-defined function: argument columns/literals in, one
+/// encoded column out. UDFs may hold `Var` parameters (which are `Rc`-based),
+/// so sessions — like a PyTorch process — are single-threaded; kernel-level
+/// parallelism comes from the device, not from concurrent queries. Implement [`ScalarUdf::invoke_diff`] to make the
+/// UDF usable inside trainable queries.
+pub trait ScalarUdf {
+    fn name(&self) -> &str;
+
+    /// Exact evaluation.
+    fn invoke(&self, args: &[ArgValue], ctx: &ExecContext) -> Result<EncodedTensor, ExecError>;
+
+    /// Differentiable evaluation; defaults to "not differentiable".
+    fn invoke_diff(
+        &self,
+        _args: &[ArgValue],
+        _ctx: &ExecContext,
+    ) -> Result<DiffColumn, ExecError> {
+        Err(ExecError::NotDifferentiable(format!(
+            "scalar UDF '{}' has no differentiable implementation",
+            self.name()
+        )))
+    }
+
+    /// Trainable parameters embedded in the UDF.
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// A table-valued function. In FROM position it receives the whole input
+/// relation ([`TableFunction::invoke_table`]); in projection position it
+/// receives evaluated argument columns ([`TableFunction::invoke_cols`]).
+pub trait TableFunction {
+    fn name(&self) -> &str;
+
+    /// `FROM tvf(relation)` — exact evaluation.
+    fn invoke_table(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+        Err(ExecError::Unsupported(format!(
+            "TVF '{}' cannot be used in FROM position",
+            self.name()
+        )))
+    }
+
+    /// `FROM tvf(relation)` — differentiable evaluation. Defaults to the
+    /// exact path (a TVF without parameters is trivially "differentiable":
+    /// gradients simply stop at its constant outputs).
+    fn invoke_table_diff(&self, input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
+        self.invoke_table(input, ctx)
+    }
+
+    /// `SELECT tvf(args) FROM …` — exact evaluation over argument columns.
+    fn invoke_cols(&self, _args: &[ArgValue], _ctx: &ExecContext) -> Result<Batch, ExecError> {
+        Err(ExecError::Unsupported(format!(
+            "TVF '{}' cannot be used in projection position",
+            self.name()
+        )))
+    }
+
+    /// Trainable parameters embedded in the TVF.
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Function namespace of a session.
+#[derive(Default, Clone)]
+pub struct UdfRegistry {
+    scalars: HashMap<String, Arc<dyn ScalarUdf>>,
+    tables: HashMap<String, Arc<dyn TableFunction>>,
+}
+
+impl UdfRegistry {
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Register a scalar UDF (replaces an existing one of the same name).
+    pub fn register_scalar(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.scalars.insert(Self::key(udf.name()), udf);
+    }
+
+    /// Register a table-valued function.
+    pub fn register_table_fn(&mut self, tvf: Arc<dyn TableFunction>) {
+        self.tables.insert(Self::key(tvf.name()), tvf);
+    }
+
+    pub fn scalar(&self, name: &str) -> Result<&Arc<dyn ScalarUdf>, ExecError> {
+        self.scalars
+            .get(&Self::key(name))
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_owned()))
+    }
+
+    pub fn table_fn(&self, name: &str) -> Result<&Arc<dyn TableFunction>, ExecError> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_owned()))
+    }
+
+    pub fn is_table_fn(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    pub fn is_scalar(&self, name: &str) -> bool {
+        self.scalars.contains_key(&Self::key(name))
+    }
+
+    /// All parameters of all registered functions (the parameter surface a
+    /// compiled query can train).
+    pub fn all_parameters(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for udf in self.scalars.values() {
+            out.extend(udf.parameters());
+        }
+        for tvf in self.tables.values() {
+            out.extend(tvf.parameters());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s: Vec<&String> = self.scalars.keys().collect();
+        let mut t: Vec<&String> = self.tables.keys().collect();
+        s.sort();
+        t.sort();
+        write!(f, "UdfRegistry(scalars={s:?}, tvfs={t:?})")
+    }
+}
+
+/// Everything operators need at run time.
+pub struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub udfs: &'a UdfRegistry,
+    pub device: Device,
+    /// Differentiable (trainable-query) lowering.
+    pub trainable: bool,
+    /// Temperature of relaxed predicates: `σ((score - θ) / temperature)`.
+    pub temperature: f32,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(catalog: &'a Catalog, udfs: &'a UdfRegistry) -> ExecContext<'a> {
+        ExecContext {
+            catalog,
+            udfs,
+            device: Device::Cpu,
+            trainable: false,
+            temperature: 0.1,
+        }
+    }
+
+    pub fn with_device(mut self, device: Device) -> ExecContext<'a> {
+        self.device = device;
+        self
+    }
+
+    pub fn with_trainable(mut self, trainable: bool) -> ExecContext<'a> {
+        self.trainable = trainable;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_tensor::Tensor;
+
+    struct Doubler;
+    impl ScalarUdf for Doubler {
+        fn name(&self) -> &str {
+            "double_it"
+        }
+        fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
+            let col = args[0].as_column()?.decode_f32();
+            Ok(EncodedTensor::F32(col.mul_scalar(2.0)))
+        }
+    }
+
+    struct NopTvf;
+    impl TableFunction for NopTvf {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn invoke_table(&self, input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+            Ok(input.clone())
+        }
+    }
+
+    #[test]
+    fn registry_lookup_case_insensitive() {
+        let mut reg = UdfRegistry::new();
+        reg.register_scalar(Arc::new(Doubler));
+        reg.register_table_fn(Arc::new(NopTvf));
+        assert!(reg.scalar("DOUBLE_IT").is_ok());
+        assert!(reg.is_table_fn("NOP"));
+        assert!(!reg.is_table_fn("double_it"));
+        assert!(matches!(
+            reg.scalar("missing"),
+            Err(ExecError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_udf_invocation() {
+        let mut reg = UdfRegistry::new();
+        reg.register_scalar(Arc::new(Doubler));
+        let catalog = Catalog::new();
+        let ctx = ExecContext::new(&catalog, &reg);
+        let col = ArgValue::Column(EncodedTensor::F32(Tensor::from_vec(
+            vec![1.0f32, 2.5],
+            &[2],
+        )));
+        let out = reg.scalar("double_it").unwrap().invoke(&[col], &ctx).unwrap();
+        assert_eq!(out.decode_f32().to_vec(), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn default_diff_path_errors() {
+        let catalog = Catalog::new();
+        let reg = UdfRegistry::new();
+        let ctx = ExecContext::new(&catalog, &reg);
+        let err = Doubler.invoke_diff(&[], &ctx).unwrap_err();
+        assert!(matches!(err, ExecError::NotDifferentiable(_)));
+    }
+
+    #[test]
+    fn arg_value_coercions() {
+        assert_eq!(ArgValue::Str("x".into()).as_str().unwrap(), "x");
+        assert_eq!(ArgValue::Number(2.5).as_number().unwrap(), 2.5);
+        assert!(ArgValue::Number(1.0).as_str().is_err());
+        assert!(ArgValue::Str("s".into()).as_column().is_err());
+    }
+}

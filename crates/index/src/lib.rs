@@ -1,0 +1,120 @@
+//! # tdp-index
+//!
+//! Vector indexing for the Tensor Data Platform. The paper's §5.1 closes
+//! with *"We are currently integrating approximate indexing \[Milvus\] into
+//! TDP for speeding up top-k queries"* — this crate is that feature:
+//!
+//! * [`FlatIndex`] — exact brute-force top-k over an embedding matrix,
+//!   expressed as tensor kernels (one matmul + top-k selection). This is
+//!   what an un-indexed `ORDER BY score DESC LIMIT k` query executes.
+//! * [`IvfFlatIndex`] — the classic IVF-Flat approximate index: k-means
+//!   partitions the vectors into `nlist` cells; a query probes only the
+//!   `nprobe` nearest cells, trading recall for latency.
+//! * [`Metric`] — inner-product, cosine and (negated) Euclidean scoring.
+//! * [`recall_at_k`] — evaluation helper comparing an approximate result
+//!   list against exact ground truth.
+//!
+//! ```
+//! use tdp_index::{FlatIndex, IvfFlatIndex, IvfParams, Metric};
+//! use tdp_tensor::{Rng64, Tensor};
+//!
+//! let mut rng = Rng64::new(7);
+//! let data = Tensor::<f32>::randn(&[256, 16], 0.0, 1.0, &mut rng);
+//! let exact = FlatIndex::build(data.clone(), Metric::Cosine);
+//! let ivf = IvfFlatIndex::train(data, Metric::Cosine, IvfParams::new(16), &mut rng);
+//!
+//! let q = Tensor::<f32>::randn(&[16], 0.0, 1.0, &mut rng);
+//! let truth = exact.search(&q, 10);
+//! let approx = ivf.search(&q, 10, 4);
+//! assert!(tdp_index::recall_at_k(&truth, &approx) >= 0.5);
+//! ```
+
+mod flat;
+mod ivf;
+mod kmeans;
+mod metric;
+
+pub use flat::FlatIndex;
+pub use ivf::{IvfFlatIndex, IvfParams};
+pub use kmeans::{kmeans, KMeansResult};
+pub use metric::Metric;
+
+/// One search hit: the row id of the vector and its score under the
+/// index's metric (higher is better for every metric — L2 is negated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    pub id: usize,
+    pub score: f32,
+}
+
+/// Fraction of the exact top-k ids that the approximate result recovered.
+///
+/// The conventional recall@k of the ANN literature: order is ignored,
+/// only membership counts. Returns 1.0 for two empty lists.
+pub fn recall_at_k(exact: &[Hit], approx: &[Hit]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let found = exact
+        .iter()
+        .filter(|e| approx.iter().any(|a| a.id == e.id))
+        .count();
+    found as f64 / exact.len() as f64
+}
+
+/// Keep the k best hits (descending score, ties broken by id for
+/// determinism). Shared by the flat and IVF search paths.
+pub(crate) fn top_k(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_of_identical_lists_is_one() {
+        let hits = vec![Hit { id: 1, score: 0.9 }, Hit { id: 2, score: 0.5 }];
+        assert_eq!(recall_at_k(&hits, &hits), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_membership_not_order() {
+        let exact = vec![Hit { id: 1, score: 0.9 }, Hit { id: 2, score: 0.5 }];
+        let approx = vec![Hit { id: 2, score: 0.4 }, Hit { id: 3, score: 0.3 }];
+        assert_eq!(recall_at_k(&exact, &approx), 0.5);
+    }
+
+    #[test]
+    fn recall_of_empty_truth_is_one() {
+        assert_eq!(recall_at_k(&[], &[Hit { id: 0, score: 1.0 }]), 1.0);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let hits = vec![
+            Hit { id: 0, score: 0.1 },
+            Hit { id: 1, score: 0.9 },
+            Hit { id: 2, score: 0.5 },
+        ];
+        let top = top_k(hits, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].id, 1);
+        assert_eq!(top[1].id, 2);
+    }
+
+    #[test]
+    fn top_k_breaks_score_ties_by_id() {
+        let hits = vec![Hit { id: 5, score: 0.5 }, Hit { id: 2, score: 0.5 }];
+        let top = top_k(hits, 2);
+        assert_eq!(top[0].id, 2);
+        assert_eq!(top[1].id, 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Similarity metrics for vector search.
+
+use tdp_tensor::F32Tensor;
+
+/// How query/vector similarity is scored. All metrics are oriented so that
+/// **higher scores are better**, which keeps `ORDER BY score DESC LIMIT k`
+/// semantics uniform across metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Raw dot product `x·q` — what CLIP-style logit scoring uses.
+    InnerProduct,
+    /// Dot product of L2-normalised vectors.
+    Cosine,
+    /// Negated squared Euclidean distance `-(‖x-q‖²)`.
+    L2,
+}
+
+impl Metric {
+    /// Score every row of `data` (`[n, d]`) against `query` (`[d]`),
+    /// returning `[n]` scores. One matmul plus elementwise work — the
+    /// same tensor-kernel lowering the rest of the platform uses.
+    pub fn scores(self, data: &F32Tensor, query: &F32Tensor) -> F32Tensor {
+        assert_eq!(data.ndim(), 2, "data must be [n, d]");
+        assert_eq!(query.ndim(), 1, "query must be [d]");
+        assert_eq!(data.shape()[1], query.numel(), "dimension mismatch");
+        match self {
+            Metric::InnerProduct => data.matvec(query),
+            Metric::Cosine => {
+                let dn = normalize_rows(data);
+                let qn = normalize_vec(query);
+                dn.matvec(&qn)
+            }
+            Metric::L2 => {
+                // ‖x-q‖² = ‖x‖² − 2·x·q + ‖q‖²; score = −distance.
+                let dots = data.matvec(query);
+                let x2 = data.mul(data).sum_dim(1, false);
+                let q2: f32 = query.data().iter().map(|v| v * v).sum();
+                x2.sub(&dots.mul_scalar(2.0)).add_scalar(q2).neg()
+            }
+        }
+    }
+
+    /// Whether the metric scores through normalised vectors; IVF stores
+    /// normalised copies up front for such metrics.
+    pub(crate) fn wants_normalized(self) -> bool {
+        matches!(self, Metric::Cosine)
+    }
+}
+
+/// L2-normalise each row of a `[n, d]` matrix. Zero rows are left as-is.
+pub(crate) fn normalize_rows(m: &F32Tensor) -> F32Tensor {
+    let norms = m.mul(m).sum_dim(1, true).sqrt();
+    // Guard zero rows: dividing by max(norm, eps) leaves them ~zero.
+    let safe = norms.maximum(&F32Tensor::full(norms.shape(), 1e-12));
+    m.div(&safe)
+}
+
+/// L2-normalise a single vector.
+pub(crate) fn normalize_vec(v: &F32Tensor) -> F32Tensor {
+    let n = (v.data().iter().map(|x| (x * x) as f64).sum::<f64>()).sqrt() as f32;
+    if n <= 1e-12 {
+        v.clone()
+    } else {
+        v.div_scalar(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_tensor::Tensor;
+
+    fn data() -> F32Tensor {
+        Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2])
+    }
+
+    #[test]
+    fn inner_product_scores() {
+        let s = Metric::InnerProduct.scores(&data(), &Tensor::from_vec(vec![2.0, 1.0], &[2]));
+        assert_eq!(s.to_vec(), vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let q1 = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let q2 = Tensor::from_vec(vec![10.0, 10.0], &[2]);
+        let s1 = Metric::Cosine.scores(&data(), &q1);
+        let s2 = Metric::Cosine.scores(&data(), &q2);
+        assert!(s1.max_abs_diff(&s2) < 1e-6);
+        // The parallel vector scores 1.
+        assert!((s1.data()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_score_is_negated_distance() {
+        let q = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let s = Metric::L2.scores(&data(), &q);
+        assert!((s.data()[0] - 0.0).abs() < 1e-6); // identical vector
+        assert!((s.data()[1] + 2.0).abs() < 1e-6); // (1,0) vs (0,1): d² = 2
+        assert!((s.data()[2] + 1.0).abs() < 1e-6); // (1,0) vs (1,1): d² = 1
+    }
+
+    #[test]
+    fn normalize_rows_handles_zero_rows() {
+        let m = Tensor::from_vec(vec![0.0, 0.0, 3.0, 4.0], &[2, 2]);
+        let n = normalize_rows(&m);
+        assert_eq!(&n.data()[..2], &[0.0, 0.0]);
+        assert!((n.data()[2] - 0.6).abs() < 1e-6);
+        assert!((n.data()[3] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_mismatch_panics() {
+        Metric::InnerProduct.scores(&data(), &Tensor::from_vec(vec![1.0], &[1]));
+    }
+}

@@ -1,0 +1,232 @@
+//! Convolutional models: parser CNNs and the deep-learning baselines.
+
+use tdp_autodiff::Var;
+use tdp_nn::{Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Module, ReLU, Residual, Sequential};
+use tdp_tensor::Rng64;
+
+/// The parser CNN of Listing 4: a small convnet classifying 28×28 tiles
+/// into `num_classes` (10 for digits, 2 for sizes).
+pub struct DigitCnn {
+    net: Sequential,
+    num_classes: usize,
+}
+
+impl DigitCnn {
+    pub fn new(num_classes: usize, rng: &mut Rng64) -> DigitCnn {
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 8, 3, 1, 1, rng)),
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)), // 28 -> 14
+            Box::new(Conv2d::new(8, 16, 3, 1, 1, rng)),
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)), // 14 -> 7
+            Box::new(Flatten),
+            Box::new(Linear::new(16 * 7 * 7, 128, rng)),
+            Box::new(ReLU),
+            Box::new(Linear::new(128, num_classes, rng)),
+        ]);
+        DigitCnn { net, num_classes }
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+impl Module for DigitCnn {
+    /// `[n, 1, 28, 28]` → logits `[n, num_classes]`.
+    fn forward(&self, x: &Var) -> Var {
+        self.net.forward(x)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.net.parameters()
+    }
+}
+
+/// CNN-Small: the ~850K-parameter monolithic regressor baseline of §5.5,
+/// mapping an 84×84 grid image straight to the 20 grouped counts.
+pub struct CnnSmall {
+    net: Sequential,
+}
+
+impl CnnSmall {
+    pub fn new(outputs: usize, rng: &mut Rng64) -> CnnSmall {
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 16, 3, 1, 1, rng)),
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)), // 84 -> 42
+            Box::new(Conv2d::new(16, 32, 3, 1, 1, rng)),
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)), // 42 -> 21
+            Box::new(Conv2d::new(32, 32, 3, 1, 1, rng)),
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)), // 21 -> 10
+            Box::new(Flatten),
+            Box::new(Linear::new(32 * 10 * 10, 256, rng)),
+            Box::new(ReLU),
+            Box::new(Linear::new(256, outputs, rng)),
+        ]);
+        CnnSmall { net }
+    }
+}
+
+impl Module for CnnSmall {
+    /// `[n, 1, 84, 84]` → `[n, outputs]` count regressions.
+    fn forward(&self, x: &Var) -> Var {
+        self.net.forward(x)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.net.parameters()
+    }
+}
+
+/// ResNet-18-style regressor (~11M parameters): the heavyweight baseline
+/// of §5.5 Experiment 1. Standard [2, 2, 2, 2] basic-block layout without
+/// batch normalisation (biases instead), global average pooling, linear
+/// head.
+pub struct ResNet18 {
+    stem: Sequential,
+    stages: Vec<Residual>,
+    head: Sequential,
+}
+
+fn basic_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut Rng64) -> Residual {
+    let body = Sequential::new(vec![
+        Box::new(Conv2d::new(in_ch, out_ch, 3, stride, 1, rng)),
+        Box::new(ReLU),
+        Box::new(Conv2d::new(out_ch, out_ch, 3, 1, 1, rng)),
+    ]);
+    let proj = if stride != 1 || in_ch != out_ch {
+        Some(Conv2d::new(in_ch, out_ch, 1, stride, 0, rng))
+    } else {
+        None
+    };
+    Residual::new(body, proj)
+}
+
+impl ResNet18 {
+    pub fn new(outputs: usize, rng: &mut Rng64) -> ResNet18 {
+        let stem = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 64, 7, 2, 3, rng)), // 84 -> 42
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)), // 42 -> 21
+        ]);
+        let mut stages = Vec::new();
+        let plan: [(usize, usize, usize); 8] = [
+            (64, 64, 1),
+            (64, 64, 1),
+            (64, 128, 2), // 21 -> 11
+            (128, 128, 1),
+            (128, 256, 2), // 11 -> 6
+            (256, 256, 1),
+            (256, 512, 2), // 6 -> 3
+            (512, 512, 1),
+        ];
+        for (i, o, s) in plan {
+            stages.push(basic_block(i, o, s, rng));
+        }
+        let head = Sequential::new(vec![
+            Box::new(GlobalAvgPool),
+            Box::new(Linear::new(512, outputs, rng)),
+        ]);
+        ResNet18 { stem, stages, head }
+    }
+}
+
+impl Module for ResNet18 {
+    fn forward(&self, x: &Var) -> Var {
+        let mut cur = self.stem.forward(x);
+        for stage in &self.stages {
+            cur = stage.forward(&cur);
+        }
+        self.head.forward(&cur)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.stem.parameters();
+        for s in &self.stages {
+            ps.extend(s.parameters());
+        }
+        ps.extend(self.head.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_autodiff::Var;
+    use tdp_tensor::{F32Tensor, Tensor};
+
+    #[test]
+    fn digit_cnn_shapes() {
+        let mut rng = Rng64::new(1);
+        let cnn = DigitCnn::new(10, &mut rng);
+        let x = Var::constant(F32Tensor::zeros(&[3, 1, 28, 28]));
+        assert_eq!(cnn.forward(&x).shape(), vec![3, 10]);
+        assert_eq!(cnn.num_classes(), 10);
+        let size_cnn = DigitCnn::new(2, &mut rng);
+        assert_eq!(size_cnn.forward(&x).shape(), vec![3, 2]);
+    }
+
+    #[test]
+    fn cnn_small_parameter_budget() {
+        let mut rng = Rng64::new(2);
+        let m = CnnSmall::new(20, &mut rng);
+        let n = m.num_parameters();
+        // Paper: "CNN-Small with 850K trainable parameters".
+        assert!(
+            (700_000..1_000_000).contains(&n),
+            "CNN-Small has {n} parameters"
+        );
+        let x = Var::constant(F32Tensor::zeros(&[1, 1, 84, 84]));
+        assert_eq!(m.forward(&x).shape(), vec![1, 20]);
+    }
+
+    #[test]
+    fn resnet18_parameter_budget_and_shape() {
+        let mut rng = Rng64::new(3);
+        let m = ResNet18::new(20, &mut rng);
+        let n = m.num_parameters();
+        // Paper: "Resnet-18 with 11.1M trainable parameters".
+        assert!(
+            (10_000_000..12_500_000).contains(&n),
+            "ResNet-18 has {n} parameters"
+        );
+        let x = Var::constant(F32Tensor::zeros(&[1, 1, 84, 84]));
+        assert_eq!(m.forward(&x).shape(), vec![1, 20]);
+    }
+
+    #[test]
+    fn digit_cnn_learns_a_two_image_toy() {
+        use tdp_nn::{Adam, Optimizer};
+        let mut rng = Rng64::new(4);
+        let cnn = DigitCnn::new(2, &mut rng);
+        // Two fixed images: bright left half vs bright right half.
+        let mut a = F32Tensor::zeros(&[28, 28]);
+        let mut b = F32Tensor::zeros(&[28, 28]);
+        for y in 0..28 {
+            for x in 0..14 {
+                a.set(&[y, x], 1.0);
+                b.set(&[y, 27 - x], 1.0);
+            }
+        }
+        let batch = tdp_tensor::index::concat_rows(&[
+            &a.reshape(&[1, 1, 28, 28]),
+            &b.reshape(&[1, 1, 28, 28]),
+        ]);
+        let labels = Tensor::from_vec(vec![0i64, 1], &[2]);
+        let mut opt = Adam::new(cnn.parameters(), 0.01);
+        let mut last = f32::MAX;
+        for _ in 0..30 {
+            opt.zero_grad();
+            let loss = cnn.forward(&Var::constant(batch.clone())).cross_entropy(&labels);
+            loss.backward();
+            opt.step();
+            last = loss.value().item();
+        }
+        assert!(last < 0.1, "toy task must be learnable, loss={last}");
+    }
+}

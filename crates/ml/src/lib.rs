@@ -1,0 +1,29 @@
+//! # tdp-ml
+//!
+//! The model zoo and ML-side UDF/TVF implementations for the paper's use
+//! cases:
+//!
+//! * [`cnn`] — the digit/size parser CNNs of the MNISTGrid query, plus the
+//!   two pure-deep-learning baselines (CNN-Small ≈ 850K parameters and a
+//!   ResNet-18-style network ≈ 11M parameters) used in §5.5 Experiment 1;
+//! * [`clip`] — **CLIP-sim**, the deterministic joint text/image embedding
+//!   standing in for OpenAI CLIP in the multimodal queries of §5.1;
+//! * [`ocr`] — the `extract_table` pipeline of §5.2: anchor-correlation
+//!   table localisation + glyph template matching, all tensor kernels;
+//! * [`tvf`] — the paper's table-valued functions: `parse_mnist_grid`
+//!   (Listing 4) and `classify_incomes` (Listing 9), with differentiable
+//!   and exact paths.
+
+pub mod audio;
+pub mod clip;
+pub mod cnn;
+pub mod ocr;
+pub mod tvf;
+pub mod video;
+
+pub use audio::{AudioSim, AudioTextSimilarityUdf};
+pub use clip::{ClipSim, ImageTextSimilarityUdf};
+pub use cnn::{CnnSmall, DigitCnn, ResNet18};
+pub use ocr::ExtractTableTvf;
+pub use tvf::{ClassifyIncomesTvf, ParseMnistGridTvf};
+pub use video::{VideoSim, VideoTextSimilarityUdf};

@@ -1,0 +1,255 @@
+//! VideoSim: temporal feature extraction and text↔video matching,
+//! completing the modality set (table / image / audio / video).
+//!
+//! Features capture *motion*, which pixels of any single frame cannot:
+//! temporal-difference energy, the direction of the brightness centroid's
+//! drift, and global-brightness oscillation. As with CLIP-sim/AudioSim,
+//! a keyword "text encoder" plus an exemplar posterior give calibrated
+//! similarity scores usable in SQL filters and top-k searches.
+
+use tdp_data::video::{render_video, VideoClass, FRAMES, FRAME_H, FRAME_W};
+use tdp_encoding::EncodedTensor;
+use tdp_exec::{ArgValue, ExecContext, ExecError, ScalarUdf};
+use tdp_tensor::{F32Tensor, Rng64, Tensor};
+
+/// Dimensionality of [`video_features`].
+pub const NUM_VIDEO_FEATURES: usize = 6;
+
+/// Extract the feature vector of one `[FRAMES, H, W]` clip.
+pub fn video_features(clip: &F32Tensor) -> F32Tensor {
+    assert_eq!(
+        clip.shape(),
+        &[FRAMES, FRAME_H, FRAME_W],
+        "expected a [{FRAMES}, {FRAME_H}, {FRAME_W}] clip"
+    );
+
+    // Temporal difference energy: mean |frame_{t+1} − frame_t|.
+    let head = clip.narrow(0, 0, FRAMES - 1);
+    let tail = clip.narrow(0, 1, FRAMES - 1);
+    let diff = tail.sub(&head);
+    let motion = diff.abs().mean() as f32;
+
+    // Brightness-centroid drift: x/y displacement of the bright mass
+    // between the first and last frame.
+    let centroid = |f: usize| {
+        let frame = clip.narrow(0, f, 1).reshape(&[FRAME_H, FRAME_W]);
+        let (mut nx, mut ny, mut den) = (0.0f64, 0.0f64, 0.0f64);
+        for y in 0..FRAME_H {
+            for x in 0..FRAME_W {
+                let v = (frame.get(&[y, x]) as f64).powi(4); // weight bright pixels
+                nx += x as f64 * v;
+                ny += y as f64 * v;
+                den += v;
+            }
+        }
+        (nx / den.max(1e-9), ny / den.max(1e-9))
+    };
+    let (x0, y0) = centroid(0);
+    let (x1, y1) = centroid(FRAMES - 1);
+    let drift_x = ((x1 - x0) / FRAME_W as f64) as f32;
+    let drift_y = ((y1 - y0) / FRAME_H as f64) as f32;
+
+    // Global brightness oscillation: std of per-frame means.
+    let frame_means: Vec<f64> = (0..FRAMES).map(|f| clip.narrow(0, f, 1).mean()).collect();
+    let mean_of_means = frame_means.iter().sum::<f64>() / FRAMES as f64;
+    let flicker = (frame_means
+        .iter()
+        .map(|m| (m - mean_of_means).powi(2))
+        .sum::<f64>()
+        / FRAMES as f64)
+        .sqrt() as f32;
+
+    // Spatial detail (first frame) and overall brightness.
+    let first = clip.narrow(0, 0, 1);
+    let fm = first.mean() as f32;
+    let centered = first.sub_scalar(fm);
+    let spatial = (centered.mul(&centered).mean()).sqrt() as f32;
+
+    Tensor::from_vec(
+        vec![motion, drift_x, drift_y, flicker, spatial, fm],
+        &[NUM_VIDEO_FEATURES],
+    )
+}
+
+/// The calibrated joint video model.
+#[derive(Debug, Clone)]
+pub struct VideoSim {
+    mu: F32Tensor,
+    sigma: F32Tensor,
+    exemplars: F32Tensor,
+    per_class: usize,
+    beta: f32,
+}
+
+impl VideoSim {
+    /// Calibrate against the clip generator ("pretrain").
+    pub fn pretrained(samples_per_class: usize, seed: u64) -> VideoSim {
+        let mut rng = Rng64::new(seed);
+        let mut feats: Vec<F32Tensor> = Vec::new();
+        for &c in &VideoClass::ALL {
+            for _ in 0..samples_per_class {
+                feats.push(video_features(&render_video(c, &mut rng)));
+            }
+        }
+        let all = {
+            let refs: Vec<&F32Tensor> = feats.iter().collect();
+            tdp_tensor::index::stack(&refs)
+        };
+        let mu = all.mean_dim(0, false);
+        let centered = all.sub(&mu);
+        let sigma = centered
+            .mul(&centered)
+            .mean_dim(0, false)
+            .sqrt()
+            .add_scalar(1e-6);
+        let exemplars = all.sub(&mu).div(&sigma);
+        VideoSim { mu, sigma, exemplars, per_class: samples_per_class, beta: 2.0 }
+    }
+
+    /// Class posterior of one clip.
+    pub fn posterior(&self, clip: &F32Tensor) -> F32Tensor {
+        let f = video_features(clip).sub(&self.mu).div(&self.sigma);
+        let k = VideoClass::ALL.len();
+        let diff = self.exemplars.sub(&f.reshape(&[1, NUM_VIDEO_FEATURES]));
+        let d2 = diff.mul(&diff).sum_dim(1, false);
+        let min_d2 = d2
+            .reshape(&[k, self.per_class])
+            .min_dim(1, false)
+            .mul_scalar(-self.beta);
+        min_d2.reshape(&[1, k]).softmax(1).reshape(&[k])
+    }
+
+    /// The "text encoder": classes named by a query.
+    pub fn text_classes(query: &str) -> Vec<VideoClass> {
+        let q = query.to_ascii_lowercase();
+        if q.contains("right") {
+            return vec![VideoClass::PanRight];
+        }
+        if q.contains("left") {
+            return vec![VideoClass::PanLeft];
+        }
+        if q.contains("moving") || q.contains("motion") || q.contains("pan") {
+            return vec![VideoClass::PanRight, VideoClass::PanLeft];
+        }
+        if q.contains("flicker") || q.contains("flash") || q.contains("strobe") {
+            return vec![VideoClass::Flicker];
+        }
+        if q.contains("static") || q.contains("still") {
+            return vec![VideoClass::Static];
+        }
+        Vec::new()
+    }
+
+    /// Similarity of a text query and one clip.
+    pub fn similarity(&self, query: &str, clip: &F32Tensor) -> f32 {
+        let classes = Self::text_classes(query);
+        if classes.is_empty() {
+            return 0.0;
+        }
+        let post = self.posterior(clip);
+        classes.iter().map(|c| post.at(c.id() as usize)).sum()
+    }
+
+    /// Similarity scores for a whole `[n, FRAMES, H, W]` clip column.
+    pub fn similarity_batch(&self, query: &str, clips: &F32Tensor) -> F32Tensor {
+        assert_eq!(clips.ndim(), 4, "expected [n, frames, h, w]");
+        let n = clips.rows();
+        let out: Vec<f32> = (0..n)
+            .map(|i| self.similarity(query, &clips.row(i)))
+            .collect();
+        Tensor::from_vec(out, &[n]).to(clips.device())
+    }
+}
+
+/// `video_text_similarity(query, clips)` — the video member of the
+/// Listing-7 UDF family.
+pub struct VideoTextSimilarityUdf {
+    model: VideoSim,
+}
+
+impl VideoTextSimilarityUdf {
+    pub fn new(model: VideoSim) -> VideoTextSimilarityUdf {
+        VideoTextSimilarityUdf { model }
+    }
+}
+
+impl ScalarUdf for VideoTextSimilarityUdf {
+    fn name(&self) -> &str {
+        "video_text_similarity"
+    }
+
+    fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
+        if args.len() != 2 {
+            return Err(ExecError::TypeMismatch(
+                "video_text_similarity(query, clips) takes two arguments".into(),
+            ));
+        }
+        let query = args[0].as_str()?;
+        let clips = args[1].as_column()?.decode_f32();
+        if clips.ndim() != 4 {
+            return Err(ExecError::TypeMismatch(format!(
+                "expected an [n, frames, h, w] video column, got {:?}",
+                clips.shape()
+            )));
+        }
+        Ok(EncodedTensor::F32(self.model.similarity_batch(query, &clips)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_data::video::generate_video;
+
+    #[test]
+    fn features_capture_motion_direction_and_flicker() {
+        let mut rng = Rng64::new(2);
+        let right = video_features(&render_video(VideoClass::PanRight, &mut rng));
+        let left = video_features(&render_video(VideoClass::PanLeft, &mut rng));
+        let still = video_features(&render_video(VideoClass::Static, &mut rng));
+        let flicker = video_features(&render_video(VideoClass::Flicker, &mut rng));
+        assert!(right.at(1) > 0.2, "rightward drift: {:?}", right.to_vec());
+        assert!(left.at(1) < -0.2, "leftward drift: {:?}", left.to_vec());
+        assert!(still.at(0) < 1e-6, "no temporal energy when static");
+        assert!(flicker.at(3) > still.at(3) + 0.05, "flicker has brightness swing");
+    }
+
+    #[test]
+    fn posterior_identifies_every_class() {
+        let model = VideoSim::pretrained(6, 19);
+        let mut rng = Rng64::new(77);
+        for &c in &VideoClass::ALL {
+            let clip = render_video(c, &mut rng);
+            let post = model.posterior(&clip);
+            let argmax = post
+                .data()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(argmax as i64, c.id(), "{c:?}: {:?}", post.to_vec());
+        }
+    }
+
+    #[test]
+    fn directional_queries_separate_pans() {
+        let model = VideoSim::pretrained(6, 20);
+        let mut rng = Rng64::new(3);
+        let ds = generate_video(16, &mut rng);
+        let right_scores = model.similarity_batch("object moving right", &ds.clips);
+        for (c, &s) in ds.classes.iter().zip(right_scores.data()) {
+            if *c == VideoClass::PanRight {
+                assert!(s > 0.8, "{c:?} scored {s}");
+            } else {
+                assert!(s < 0.2, "{c:?} scored {s}");
+            }
+        }
+        // The umbrella query matches both pan directions.
+        let motion_scores = model.similarity_batch("motion", &ds.clips);
+        for (c, &s) in ds.classes.iter().zip(motion_scores.data()) {
+            let moving = matches!(c, VideoClass::PanLeft | VideoClass::PanRight);
+            assert_eq!(s > 0.5, moving, "{c:?} scored {s}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tdp-nn
+//!
+//! Neural-network building blocks over [`tdp_autodiff`]: layers, composite
+//! modules, losses and optimizers. This crate completes the Tensor
+//! Computation Runtime substrate — it is the part of "PyTorch" that the
+//! paper's UDFs/TVFs are written against (the digit/size parser CNNs of the
+//! MNISTGrid query, the linear classifier of the LLP experiments, and the
+//! pure-deep-learning baselines CNN-Small and ResNet-18).
+//!
+//! ```
+//! use tdp_nn::{Linear, Module, Sgd, Optimizer};
+//! use tdp_autodiff::Var;
+//! use tdp_tensor::{Rng64, Tensor};
+//!
+//! let mut rng = Rng64::new(0);
+//! let layer = Linear::new(4, 2, &mut rng);
+//! let x = Var::constant(Tensor::ones(&[3, 4]));
+//! assert_eq!(layer.forward(&x).shape(), vec![3, 2]);
+//! let mut opt = Sgd::new(layer.parameters(), 0.1, 0.0);
+//! opt.zero_grad();
+//! ```
+
+pub mod module;
+pub mod optim;
+
+pub use module::{
+    Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Module, ReLU, Residual, Sequential,
+};
+pub use optim::{Adam, Optimizer, Sgd};

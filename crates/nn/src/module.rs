@@ -1,0 +1,379 @@
+//! Layers and composite modules.
+
+use tdp_autodiff::Var;
+use tdp_tensor::{F32Tensor, Rng64, Tensor};
+
+/// A neural module: a differentiable function with trainable parameters.
+///
+/// Mirrors `torch.nn.Module` in the essentials the platform needs: forward
+/// application on [`Var`]s and parameter discovery for optimizers and for
+/// `CompiledQuery::parameters()`.
+pub trait Module {
+    fn forward(&self, x: &Var) -> Var;
+
+    /// All trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<Var>;
+
+    /// Total number of trainable scalars.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Clear every parameter gradient.
+    fn zero_grad(&self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Dense layer: `y = x W + b`, weight shaped `[in, out]`.
+pub struct Linear {
+    pub weight: Var,
+    pub bias: Var,
+}
+
+impl Linear {
+    /// Kaiming-initialised dense layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng64) -> Linear {
+        let weight = Var::param(F32Tensor::kaiming(
+            &[in_features, out_features],
+            in_features,
+            rng,
+        ));
+        let bias = Var::param(F32Tensor::zeros(&[out_features]));
+        Linear { weight, bias }
+    }
+
+    /// Layer with explicit weights (deterministic models, tests).
+    pub fn from_weights(weight: F32Tensor, bias: F32Tensor) -> Linear {
+        assert_eq!(weight.ndim(), 2, "Linear weight must be [in, out]");
+        assert_eq!(bias.shape(), &[weight.shape()[1]], "bias must be [out]");
+        Linear { weight: Var::param(weight), bias: Var::param(bias) }
+    }
+
+    pub fn in_features(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    pub fn out_features(&self) -> usize {
+        self.weight.shape()[1]
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, x: &Var) -> Var {
+        x.matmul(&self.weight).add(&self.bias)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// 2-d convolution layer (NCHW).
+pub struct Conv2d {
+    pub weight: Var,
+    pub bias: Var,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl Conv2d {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng64,
+    ) -> Conv2d {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Var::param(F32Tensor::kaiming(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        let bias = Var::param(F32Tensor::zeros(&[out_channels]));
+        Conv2d { weight, bias, stride, pad }
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, x: &Var) -> Var {
+        x.conv2d(&self.weight, Some(&self.bias), self.stride, self.pad)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Parameter-free rectifier.
+pub struct ReLU;
+
+impl Module for ReLU {
+    fn forward(&self, x: &Var) -> Var {
+        x.relu()
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Max pooling layer.
+pub struct MaxPool2d {
+    pub kernel: usize,
+    pub stride: usize,
+}
+
+impl MaxPool2d {
+    pub fn new(kernel: usize, stride: usize) -> MaxPool2d {
+        MaxPool2d { kernel, stride }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, x: &Var) -> Var {
+        x.max_pool2d(self.kernel, self.stride)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Flatten `[n, ...] -> [n, prod(...)]`.
+pub struct Flatten;
+
+impl Module for Flatten {
+    fn forward(&self, x: &Var) -> Var {
+        let shape = x.shape();
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling `[n, c, h, w] -> [n, c]`.
+pub struct GlobalAvgPool;
+
+impl Module for GlobalAvgPool {
+    fn forward(&self, x: &Var) -> Var {
+        x.global_avg_pool()
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// Ordered composition of modules.
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    pub fn new(layers: Vec<Box<dyn Module>>) -> Sequential {
+        Sequential { layers }
+    }
+
+    pub fn push(&mut self, layer: Box<dyn Module>) {
+        self.layers.push(layer);
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, x: &Var) -> Var {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+}
+
+/// Residual wrapper: `y = relu(f(x) + proj(x))`. The building block of our
+/// ResNet-18-style baseline; `proj` (1x1 strided conv) reconciles shapes
+/// when `f` changes resolution or width.
+pub struct Residual {
+    pub body: Sequential,
+    pub proj: Option<Conv2d>,
+}
+
+impl Residual {
+    pub fn new(body: Sequential, proj: Option<Conv2d>) -> Residual {
+        Residual { body, proj }
+    }
+}
+
+impl Module for Residual {
+    fn forward(&self, x: &Var) -> Var {
+        let fx = self.body.forward(x);
+        let skip = match &self.proj {
+            Some(p) => p.forward(x),
+            None => x.clone(),
+        };
+        fx.add(&skip).relu()
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut ps = self.body.parameters();
+        if let Some(p) = &self.proj {
+            ps.extend(p.parameters());
+        }
+        ps
+    }
+}
+
+/// Build a `[n, k]` prediction for a batch tensor using a module,
+/// convenience for inference-only call sites.
+pub fn predict(module: &dyn Module, input: &F32Tensor) -> F32Tensor {
+    module.forward(&Var::constant(input.clone())).value()
+}
+
+/// Classification accuracy of logits/probabilities against integer labels.
+pub fn accuracy(outputs: &F32Tensor, labels: &Tensor<i64>) -> f64 {
+    assert_eq!(outputs.ndim(), 2, "accuracy expects [n, classes]");
+    assert_eq!(outputs.rows(), labels.numel(), "one label per row");
+    if outputs.rows() == 0 {
+        return 0.0;
+    }
+    let pred = outputs.argmax_dim(1);
+    let hits = pred
+        .data()
+        .iter()
+        .zip(labels.data())
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / outputs.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_and_param_count() {
+        let mut rng = Rng64::new(1);
+        let l = Linear::new(8, 3, &mut rng);
+        assert_eq!(l.in_features(), 8);
+        assert_eq!(l.out_features(), 3);
+        assert_eq!(l.num_parameters(), 8 * 3 + 3);
+        let x = Var::constant(F32Tensor::ones(&[5, 8]));
+        assert_eq!(l.forward(&x).shape(), vec![5, 3]);
+    }
+
+    #[test]
+    fn linear_from_weights_is_exact() {
+        let w = Tensor::from_vec(vec![1.0f32, 0.0, 0.0, 1.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![10.0f32, 20.0], &[2]);
+        let l = Linear::from_weights(w, b);
+        let x = Var::constant(Tensor::from_vec(vec![3.0f32, 4.0], &[1, 2]));
+        assert_eq!(l.forward(&x).value().to_vec(), vec![13.0, 24.0]);
+    }
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut rng = Rng64::new(2);
+        let c = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        let x = Var::constant(F32Tensor::ones(&[2, 1, 8, 8]));
+        assert_eq!(c.forward(&x).shape(), vec![2, 4, 8, 8]);
+        let strided = Conv2d::new(4, 8, 3, 2, 1, &mut rng);
+        assert_eq!(
+            strided.forward(&c.forward(&x)).shape(),
+            vec![2, 8, 4, 4]
+        );
+    }
+
+    #[test]
+    fn sequential_composes_and_collects_params() {
+        let mut rng = Rng64::new(3);
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 1, 1, &mut rng)),
+            Box::new(ReLU),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Flatten),
+            Box::new(Linear::new(2 * 4 * 4, 5, &mut rng)),
+        ]);
+        let x = Var::constant(F32Tensor::ones(&[1, 1, 8, 8]));
+        assert_eq!(net.forward(&x).shape(), vec![1, 5]);
+        let expected = (2 * 1 * 9 + 2) + (2 * 16 * 5 + 5);
+        assert_eq!(net.num_parameters(), expected);
+    }
+
+    #[test]
+    fn residual_identity_skip() {
+        let mut rng = Rng64::new(4);
+        let body = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 2, 3, 1, 1, &mut rng)),
+            Box::new(ReLU),
+            Box::new(Conv2d::new(2, 2, 3, 1, 1, &mut rng)),
+        ]);
+        let res = Residual::new(body, None);
+        let x = Var::constant(F32Tensor::ones(&[1, 2, 4, 4]));
+        assert_eq!(res.forward(&x).shape(), vec![1, 2, 4, 4]);
+        assert_eq!(res.parameters().len(), 4);
+    }
+
+    #[test]
+    fn residual_projection_changes_width() {
+        let mut rng = Rng64::new(5);
+        let body = Sequential::new(vec![Box::new(Conv2d::new(2, 4, 3, 2, 1, &mut rng))]);
+        let proj = Conv2d::new(2, 4, 1, 2, 0, &mut rng);
+        let res = Residual::new(body, Some(proj));
+        let x = Var::constant(F32Tensor::ones(&[1, 2, 8, 8]));
+        assert_eq!(res.forward(&x).shape(), vec![1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn global_avg_pool_module() {
+        let x = Var::constant(Tensor::from_vec(
+            vec![1.0f32, 3.0, 5.0, 7.0],
+            &[1, 1, 2, 2],
+        ));
+        assert_eq!(GlobalAvgPool.forward(&x).value().to_vec(), vec![4.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let out = Tensor::from_vec(vec![0.9f32, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        let labels = Tensor::from_vec(vec![0i64, 1, 1], &[3]);
+        assert!((accuracy(&out, &labels) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradients_reach_all_layers() {
+        let mut rng = Rng64::new(6);
+        let net = Sequential::new(vec![
+            Box::new(Linear::new(3, 4, &mut rng)),
+            Box::new(ReLU),
+            Box::new(Linear::new(4, 2, &mut rng)),
+        ]);
+        let x = Var::constant(F32Tensor::ones(&[2, 3]));
+        let loss = net.forward(&x).square().mean();
+        loss.backward();
+        for p in net.parameters() {
+            assert!(p.grad().is_some(), "every layer must receive gradient");
+        }
+        net.zero_grad();
+        assert!(net.parameters().iter().all(|p| p.grad().is_none()));
+    }
+}

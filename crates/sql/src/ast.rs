@@ -1,0 +1,612 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use std::fmt;
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Number(f64),
+    String(String),
+    Bool(bool),
+    Null,
+}
+
+/// Binary operators, loosest-binding last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    /// `COUNT(DISTINCT x)` — number of distinct values per group.
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Sample variance (n−1 denominator; 0 for singleton groups in this
+    /// NULL-free dialect).
+    Variance,
+    /// Sample standard deviation, `sqrt(VARIANCE)`.
+    Stddev,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::CountDistinct => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Variance => "VARIANCE",
+            AggFunc::Stddev => "STDDEV",
+        }
+    }
+
+    /// Canonical `FUNC(arg)` rendering, handling `COUNT(*)` and the
+    /// `DISTINCT` modifier.
+    pub fn render_call(self, arg: &str) -> String {
+        match self {
+            AggFunc::CountDistinct => format!("COUNT(DISTINCT {arg})"),
+            f => format!("{}({arg})", f.name()),
+        }
+    }
+}
+
+/// Window functions (`… OVER (PARTITION BY … ORDER BY …)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowFunc {
+    /// 1-based position within the partition, in window order.
+    RowNumber,
+    /// Rank with gaps (ties share a rank; the next rank skips).
+    Rank,
+    /// Rank without gaps.
+    DenseRank,
+    /// Aggregate over the partition; *running* (peers-inclusive
+    /// cumulative) when the window has an ORDER BY, whole-partition
+    /// otherwise. `None` argument encodes `COUNT(*)`.
+    Agg { func: AggFunc, arg: Option<Box<Expr>> },
+}
+
+impl WindowFunc {
+    pub fn display_head(&self) -> String {
+        match self {
+            WindowFunc::RowNumber => "ROW_NUMBER()".into(),
+            WindowFunc::Rank => "RANK()".into(),
+            WindowFunc::DenseRank => "DENSE_RANK()".into(),
+            WindowFunc::Agg { func, arg } => match arg {
+                Some(a) => func.render_call(&a.to_string()),
+                None => format!("{}(*)", func.name()),
+            },
+        }
+    }
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`t.c` keeps `qualifier`).
+    Column { qualifier: Option<String>, name: String },
+    Literal(Literal),
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Unary { op: UnOp, expr: Box<Expr> },
+    /// Function call: scalar UDF or table-valued function, resolved later.
+    Func { name: String, args: Vec<Expr> },
+    /// Aggregate call; `None` argument means `COUNT(*)`.
+    Aggregate { func: AggFunc, arg: Option<Box<Expr>> },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`. With an operand, each
+    /// WHEN is compared for equality against it; without, each WHEN is a
+    /// boolean condition.
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `expr [NOT] IN (item, …)` — list membership.
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    /// `expr [NOT] LIKE 'pattern'` — SQL wildcard match (`%`, `_`).
+    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    /// Window function call.
+    Window {
+        func: WindowFunc,
+        partition_by: Vec<Expr>,
+        order_by: Vec<OrderItem>,
+    },
+    /// Uncorrelated scalar subquery: `(SELECT …)` in expression position.
+    /// Must evaluate to exactly one row and one column; it sees the
+    /// session catalog, not the enclosing query's columns.
+    ScalarSubquery(Box<Query>),
+    /// `*` in a select list.
+    Star,
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_owned() }
+    }
+
+    pub fn num(v: f64) -> Expr {
+        Expr::Literal(Literal::Number(v))
+    }
+
+    pub fn str_lit(s: &str) -> Expr {
+        Expr::Literal(Literal::String(s.to_owned()))
+    }
+
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Whether any aggregate call appears in the expression.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Case { operand, branches, else_expr } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_expr.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// All column names referenced (ignoring qualifiers).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column { name, .. } => out.push(name.clone()),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::Aggregate { arg: Some(a), .. } => a.collect_columns(out),
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.collect_columns(out);
+                }
+                for (w, t) in branches {
+                    w.collect_columns(out);
+                    t.collect_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for i in list {
+                    i.collect_columns(out);
+                }
+            }
+            Expr::Like { expr, .. } => expr.collect_columns(out),
+            Expr::Window { func, partition_by, order_by } => {
+                if let WindowFunc::Agg { arg: Some(a), .. } = func {
+                    a.collect_columns(out);
+                }
+                for p in partition_by {
+                    p.collect_columns(out);
+                }
+                for o in order_by {
+                    o.expr.collect_columns(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether any window-function call appears in the expression.
+    pub fn contains_window(&self) -> bool {
+        match self {
+            Expr::Window { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_window() || right.contains_window()
+            }
+            Expr::Unary { expr, .. } => expr.contains_window(),
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_window),
+            Expr::Aggregate { arg: Some(a), .. } => a.contains_window(),
+            Expr::Case { operand, branches, else_expr } => {
+                operand.as_deref().is_some_and(Expr::contains_window)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_window() || t.contains_window())
+                    || else_expr.as_deref().is_some_and(Expr::contains_window)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_window() || list.iter().any(Expr::contains_window)
+            }
+            Expr::Like { expr, .. } => expr.contains_window(),
+            _ => false,
+        }
+    }
+
+    /// Canonical display name for an unaliased select item.
+    pub fn display_name(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => func.render_call(&a.display_name()),
+                None => format!("{}(*)", func.name()),
+            },
+            Expr::Func { name, .. } => name.clone(),
+            other => format!("{other}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Literal(Literal::Number(n)) => write!(f, "{n}"),
+            Expr::Literal(Literal::String(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(Literal::Bool(b)) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::Literal(Literal::Null) => write!(f, "NULL"),
+            Expr::Binary { op, left, right } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                    BinOp::Eq => "=",
+                    BinOp::NotEq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::LtEq => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::GtEq => ">=",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => write!(f, "{}", func.render_call(&a.to_string())),
+                None => write!(f, "{}(*)", func.name()),
+            },
+            Expr::Case { operand, branches, else_expr } => {
+                write!(f, "CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Like { expr, pattern, negated } => write!(
+                f,
+                "({expr} {}LIKE '{}')",
+                if *negated { "NOT " } else { "" },
+                pattern.replace('\'', "''")
+            ),
+            Expr::Window { func, partition_by, order_by } => {
+                write!(f, "{} OVER (", func.display_head())?;
+                let mut space = "";
+                if !partition_by.is_empty() {
+                    write!(f, "PARTITION BY ")?;
+                    for (i, p) in partition_by.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    space = " ";
+                }
+                if !order_by.is_empty() {
+                    write!(f, "{space}ORDER BY ")?;
+                    for (i, o) in order_by.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{o}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    pub fn output_name(&self) -> String {
+        self.alias.clone().unwrap_or_else(|| self.expr.display_name())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.expr),
+            None => write!(f, "{}", self.expr),
+        }
+    }
+}
+
+/// Join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table, with optional alias.
+    Named { name: String, alias: Option<String> },
+    /// Table-valued function over a table/subquery input:
+    /// `FROM parse_mnist_grid(MNIST_Grid)`.
+    Tvf { name: String, input: Box<TableRef>, alias: Option<String> },
+    /// Derived table.
+    Subquery { query: Box<Query>, alias: Option<String> },
+    /// Binary join.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Tvf { name, input, alias } => {
+                write!(f, "{name}({input})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => {
+                write!(f, "({query})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Join { left, right, kind, on } => {
+                let kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::Left => "LEFT JOIN",
+                };
+                write!(f, "{left} {kw} {right}")?;
+                if let Some(o) = on {
+                    write!(f, " ON {o}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.expr, if self.desc { " DESC" } else { "" })
+    }
+}
+
+/// A full SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT` deduplicates the projected rows.
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    /// `… UNION ALL <query>` — bag union with the next query in the chain.
+    /// Dialect note: ORDER BY / LIMIT bind to their nearest SELECT, not to
+    /// the union as a whole.
+    pub union_all: Option<Box<Query>>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(u) = &self.union_all {
+            write!(f, " UNION ALL {u}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::binary(BinOp::Gt, Expr::col("score"), Expr::num(0.8));
+        assert_eq!(e.referenced_columns(), vec!["score"]);
+        assert!(!e.contains_aggregate());
+        let agg = Expr::Aggregate { func: AggFunc::Count, arg: None };
+        assert!(agg.contains_aggregate());
+        assert_eq!(agg.display_name(), "COUNT(*)");
+    }
+
+    #[test]
+    fn display_round_trips_shapes() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::GtEq, Expr::col("a"), Expr::num(1.0)),
+            Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::col("b")) },
+        );
+        assert_eq!(format!("{e}"), "((a >= 1) AND (NOT b))");
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        let e = Expr::str_lit("it's");
+        assert_eq!(format!("{e}"), "'it''s'");
+    }
+
+    #[test]
+    fn select_item_naming() {
+        let plain = SelectItem { expr: Expr::col("Digit"), alias: None };
+        assert_eq!(plain.output_name(), "Digit");
+        let aliased = SelectItem {
+            expr: Expr::Aggregate { func: AggFunc::Avg, arg: Some(Box::new(Expr::col("x"))) },
+            alias: Some("mean_x".into()),
+        };
+        assert_eq!(aliased.output_name(), "mean_x");
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+    }
+}

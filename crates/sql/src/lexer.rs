@@ -1,0 +1,267 @@
+//! SQL tokenizer.
+
+use crate::SqlError;
+
+/// A lexical token. Keywords are case-insensitive and surfaced as
+/// upper-cased [`Token::Keyword`]s; everything else identifier-like is an
+/// [`Token::Ident`] preserving its original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND", "OR",
+    "NOT", "ASC", "DESC", "JOIN", "INNER", "LEFT", "ON", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "TRUE", "FALSE", "NULL", "BETWEEN", "IN", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "LIKE", "UNION", "ALL", "VARIANCE", "STDDEV", "OVER", "PARTITION",
+];
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '.' if i + 1 >= chars.len() || !chars[i + 1].is_ascii_digit() => {
+                tokens.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                // Line comment `--`.
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Symbol(Sym::Minus));
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Symbol(Sym::NotEq));
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(Sym::LtEq));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(Sym::GtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            // Doubled quote = escaped quote.
+                            if chars.get(i + 1) == Some(&quote) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SqlError::new(format!(
+                                "unterminated string literal starting with {quote}"
+                            )))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && matches!(chars.get(i - 1), Some('e') | Some('E'))))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| SqlError::new(format!("bad numeric literal '{text}'")))?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word));
+                }
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("select FROM Where").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        let t = tokenize("Digit MNIST_Grid").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Ident("Digit".into()), Token::Ident("MNIST_Grid".into())]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let t = tokenize("0.80 42 1e-3 'receipt' \"2022:08:10\"").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Number(0.80),
+                Token::Number(42.0),
+                Token::Number(1e-3),
+                Token::Str("receipt".into()),
+                Token::Str("2022:08:10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a >= 1 <> 2 != 3 <= 4").unwrap();
+        let syms: Vec<&Token> = t.iter().collect();
+        assert!(matches!(syms[1], Token::Symbol(Sym::GtEq)));
+        assert!(matches!(syms[3], Token::Symbol(Sym::NotEq)));
+        assert!(matches!(syms[5], Token::Symbol(Sym::NotEq)));
+        assert!(matches!(syms[7], Token::Symbol(Sym::LtEq)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT -- everything\n1").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn paper_query_tokenizes() {
+        let q = "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size";
+        let t = tokenize(q).unwrap();
+        assert!(t.contains(&Token::Keyword("COUNT".into())));
+        assert!(t.contains(&Token::Ident("parse_mnist_grid".into())));
+    }
+}

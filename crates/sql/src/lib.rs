@@ -1,0 +1,52 @@
+//! # tdp-sql
+//!
+//! The SQL frontend of the platform: lexer, recursive-descent parser,
+//! abstract syntax tree, logical plans and a rule-based optimizer.
+//!
+//! The paper delegates parsing/optimisation to external systems (Spark,
+//! Substrait) and treats the planner as a pluggable box whose output is
+//! compiled to tensor programs. We implement that box natively: SQL text is
+//! parsed into a [`ast::Query`], planned into a [`plan::LogicalPlan`], and
+//! optimised by [`optimizer::optimize`]; `tdp-exec` lowers the result onto
+//! tensor kernels.
+//!
+//! Supported surface: `SELECT` lists with expressions/aliases/`*`,
+//! arithmetic and boolean predicates, scalar-UDF calls, table-valued
+//! functions in `FROM` (the ML entry point: `FROM parse_mnist_grid(grid)`),
+//! TVF projection (`SELECT extract_table(images) FROM …`), `WHERE`,
+//! `GROUP BY` + `HAVING` with `COUNT`/`SUM`/`AVG`/`MIN`/`MAX`,
+//! `ORDER BY … [ASC|DESC]`, `LIMIT`, inner/left joins, and subqueries in
+//! `FROM`.
+//!
+//! ```
+//! let q = tdp_sql::parse("SELECT Digit, COUNT(*) FROM parse(g) GROUP BY Digit").unwrap();
+//! assert_eq!(q.group_by.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{AggFunc, BinOp, Expr, JoinKind, Literal, OrderItem, Query, SelectItem, TableRef, UnOp};
+pub use parser::parse;
+pub use plan::{build_plan, LogicalPlan, PlannerContext};
+
+/// Errors produced anywhere in the SQL frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError(pub String);
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl SqlError {
+    pub fn new(msg: impl Into<String>) -> SqlError {
+        SqlError(msg.into())
+    }
+}

@@ -1,0 +1,499 @@
+//! Rule-based logical optimizer.
+//!
+//! Three classical rewrites, applied to fixpoint:
+//!
+//! 1. **Constant folding** — arithmetic/boolean expressions over literals
+//!    are evaluated at plan time.
+//! 2. **Predicate pushdown** — filters move below projections and sorts
+//!    (never below limits, TVFs or aggregates, which change row identity).
+//! 3. **Filter fusion** — adjacent filters merge into one conjunction, and
+//!    `TRUE` predicates disappear.
+
+use crate::ast::{BinOp, Expr, Literal, SelectItem, UnOp};
+use crate::plan::LogicalPlan;
+
+/// Optimise a logical plan. Semantics-preserving by construction.
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut cur = plan;
+    // Small fixed number of passes reaches fixpoint for our rule set.
+    for _ in 0..4 {
+        cur = rewrite(cur);
+    }
+    cur
+}
+
+fn rewrite(plan: LogicalPlan) -> LogicalPlan {
+    // Bottom-up: rewrite children first.
+    let plan = map_children(plan, rewrite);
+    match plan {
+        LogicalPlan::Filter { predicate, input } => {
+            let predicate = fold_expr(predicate);
+            // Drop trivially-true filters.
+            if matches!(predicate, Expr::Literal(Literal::Bool(true))) {
+                return *input;
+            }
+            match *input {
+                // Fuse Filter(Filter(x)) into one conjunction.
+                LogicalPlan::Filter { predicate: inner, input: deeper } => LogicalPlan::Filter {
+                    predicate: fold_expr(Expr::binary(BinOp::And, inner, predicate)),
+                    input: deeper,
+                },
+                // Push below Project when the predicate only references
+                // columns the projection passes through unchanged.
+                LogicalPlan::Project { items, input: deeper }
+                    if pushable_through_project(&predicate, &items) =>
+                {
+                    LogicalPlan::Project {
+                        items,
+                        input: Box::new(rewrite(LogicalPlan::Filter {
+                            predicate,
+                            input: deeper,
+                        })),
+                    }
+                }
+                // Filtering before sorting is always valid and cheaper.
+                LogicalPlan::Sort { keys, input: deeper } => LogicalPlan::Sort {
+                    keys,
+                    input: Box::new(rewrite(LogicalPlan::Filter {
+                        predicate,
+                        input: deeper,
+                    })),
+                },
+                other => LogicalPlan::Filter { predicate, input: Box::new(other) },
+            }
+        }
+        LogicalPlan::Project { items, input } => {
+            let items: Vec<SelectItem> = items
+                .into_iter()
+                .map(|i| SelectItem { expr: fold_expr(i.expr), alias: i.alias })
+                .collect();
+            // Fuse Project(Project(x)) when the outer projection only
+            // passes through (possibly re-ordering/renaming) columns the
+            // inner one computes.
+            if let LogicalPlan::Project { items: inner, input: deeper } = *input {
+                if let Some(fused) = fuse_projections(&items, &inner) {
+                    return LogicalPlan::Project { items: fused, input: deeper };
+                }
+                return LogicalPlan::Project {
+                    items,
+                    input: Box::new(LogicalPlan::Project { items: inner, input: deeper }),
+                };
+            }
+            LogicalPlan::Project { items, input }
+        }
+        // ORDER BY + LIMIT fuses into a partial top-k selection.
+        LogicalPlan::Limit { n, input } => match *input {
+            LogicalPlan::Sort { keys, input: deeper } => {
+                LogicalPlan::TopK { keys, n, input: deeper }
+            }
+            other => LogicalPlan::Limit { n, input: Box::new(other) },
+        },
+        other => other,
+    }
+}
+
+/// Outer items that are bare column references resolve against the inner
+/// projection's outputs; the result is the inner expression under the
+/// outer name. Any non-column outer item blocks fusion.
+fn fuse_projections(
+    outer: &[SelectItem],
+    inner: &[SelectItem],
+) -> Option<Vec<SelectItem>> {
+    let mut fused = Vec::with_capacity(outer.len());
+    for item in outer {
+        let Expr::Column { name, .. } = &item.expr else {
+            return None;
+        };
+        let source = inner
+            .iter()
+            .find(|i| i.output_name().eq_ignore_ascii_case(name))?;
+        fused.push(SelectItem {
+            expr: source.expr.clone(),
+            alias: Some(item.output_name()),
+        });
+    }
+    Some(fused)
+}
+
+fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } => plan,
+        LogicalPlan::TvfScan { name, input } => {
+            LogicalPlan::TvfScan { name, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::TvfProject { name, args, input } => {
+            LogicalPlan::TvfProject { name, args, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            LogicalPlan::Filter { predicate, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Project { items, input } => {
+            LogicalPlan::Project { items, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+            LogicalPlan::Aggregate { group_by, aggregates, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Join { left, right, kind, on } => LogicalPlan::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            kind,
+            on,
+        },
+        LogicalPlan::Sort { keys, input } => {
+            LogicalPlan::Sort { keys, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Limit { n, input } => {
+            LogicalPlan::Limit { n, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::TopK { keys, n, input } => {
+            LogicalPlan::TopK { keys, n, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Window { windows, input } => {
+            LogicalPlan::Window { windows, input: Box::new(f(*input)) }
+        }
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(f(*input)) }
+        }
+        LogicalPlan::UnionAll { left, right } => LogicalPlan::UnionAll {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+    }
+}
+
+/// A predicate can move below a projection iff every column it references
+/// is passed through unchanged (possibly under its own name).
+fn pushable_through_project(pred: &Expr, items: &[SelectItem]) -> bool {
+    pred.referenced_columns().iter().all(|col| {
+        items.iter().any(|item| {
+            let passes_unchanged =
+                matches!(&item.expr, Expr::Column { name, .. } if name == col);
+            let not_renamed = item.alias.is_none()
+                || item.alias.as_deref() == Some(col.as_str());
+            passes_unchanged && not_renamed
+        })
+    })
+}
+
+/// Evaluate constant subexpressions.
+pub fn fold_expr(expr: Expr) -> Expr {
+    match expr {
+        Expr::Binary { op, left, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            if let (Expr::Literal(Literal::Number(a)), Expr::Literal(Literal::Number(b))) =
+                (&left, &right)
+            {
+                let (a, b) = (*a, *b);
+                return match op {
+                    BinOp::Add => Expr::num(a + b),
+                    BinOp::Sub => Expr::num(a - b),
+                    BinOp::Mul => Expr::num(a * b),
+                    BinOp::Div if b != 0.0 => Expr::num(a / b),
+                    BinOp::Mod if b != 0.0 => Expr::num(a % b),
+                    BinOp::Eq => Expr::Literal(Literal::Bool(a == b)),
+                    BinOp::NotEq => Expr::Literal(Literal::Bool(a != b)),
+                    BinOp::Lt => Expr::Literal(Literal::Bool(a < b)),
+                    BinOp::LtEq => Expr::Literal(Literal::Bool(a <= b)),
+                    BinOp::Gt => Expr::Literal(Literal::Bool(a > b)),
+                    BinOp::GtEq => Expr::Literal(Literal::Bool(a >= b)),
+                    // Division by a constant zero is a runtime concern.
+                    _ => Expr::Binary {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                };
+            }
+            if let (Expr::Literal(Literal::Bool(a)), Expr::Literal(Literal::Bool(b))) =
+                (&left, &right)
+            {
+                match op {
+                    BinOp::And => return Expr::Literal(Literal::Bool(*a && *b)),
+                    BinOp::Or => return Expr::Literal(Literal::Bool(*a || *b)),
+                    _ => {}
+                }
+            }
+            // Boolean identity simplifications: TRUE AND x => x, etc.
+            match (op, &left, &right) {
+                (BinOp::And, Expr::Literal(Literal::Bool(true)), _) => return right,
+                (BinOp::And, _, Expr::Literal(Literal::Bool(true))) => return left,
+                (BinOp::Or, Expr::Literal(Literal::Bool(false)), _) => return right,
+                (BinOp::Or, _, Expr::Literal(Literal::Bool(false))) => return left,
+                _ => {}
+            }
+            Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        }
+        Expr::Unary { op, expr } => {
+            let inner = fold_expr(*expr);
+            match (op, &inner) {
+                (UnOp::Neg, Expr::Literal(Literal::Number(n))) => Expr::num(-n),
+                (UnOp::Not, Expr::Literal(Literal::Bool(b))) => {
+                    Expr::Literal(Literal::Bool(!b))
+                }
+                _ => Expr::Unary { op, expr: Box::new(inner) },
+            }
+        }
+        Expr::Func { name, args } => Expr::Func {
+            name,
+            args: args.into_iter().map(fold_expr).collect(),
+        },
+        Expr::Aggregate { func, arg } => Expr::Aggregate {
+            func,
+            arg: arg.map(|a| Box::new(fold_expr(*a))),
+        },
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: operand.map(|o| Box::new(fold_expr(*o))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (fold_expr(w), fold_expr(t)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
+        },
+        Expr::InList { expr, list, negated } => {
+            let expr = fold_expr(*expr);
+            let list: Vec<Expr> = list.into_iter().map(fold_expr).collect();
+            // A fully-literal membership test folds to a boolean.
+            if let Expr::Literal(Literal::Number(x)) = &expr {
+                if list
+                    .iter()
+                    .all(|i| matches!(i, Expr::Literal(Literal::Number(_))))
+                {
+                    let found = list
+                        .iter()
+                        .any(|i| matches!(i, Expr::Literal(Literal::Number(v)) if v == x));
+                    return Expr::Literal(Literal::Bool(found != negated));
+                }
+            }
+            Expr::InList { expr: Box::new(expr), list, negated }
+        }
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(fold_expr(*expr)),
+            pattern,
+            negated,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::plan::{build_plan, PlannerContext};
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        optimize(build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap())
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(fold_expr(parse_expr("1 + 2 * 3")), Expr::num(7.0));
+        assert_eq!(
+            fold_expr(parse_expr("2 > 1")),
+            Expr::Literal(Literal::Bool(true))
+        );
+        assert_eq!(fold_expr(parse_expr("-(3 + 4)")), Expr::num(-7.0));
+        // Non-constant parts survive.
+        assert_eq!(format!("{}", fold_expr(parse_expr("x + (1 + 1)"))), "(x + 2)");
+    }
+
+    fn parse_expr(e: &str) -> Expr {
+        parse(&format!("SELECT {e} FROM t"))
+            .unwrap()
+            .select
+            .remove(0)
+            .expr
+    }
+
+    #[test]
+    fn boolean_identities() {
+        assert_eq!(format!("{}", fold_expr(parse_expr("TRUE AND x"))), "x");
+        assert_eq!(format!("{}", fold_expr(parse_expr("x OR FALSE"))), "x");
+        assert_eq!(
+            fold_expr(parse_expr("NOT TRUE")),
+            Expr::Literal(Literal::Bool(false))
+        );
+    }
+
+    #[test]
+    fn trivially_true_filter_removed() {
+        let p = optimized("SELECT * FROM t WHERE 1 < 2");
+        assert!(matches!(p, LogicalPlan::Scan { .. }), "got {p:?}");
+    }
+
+    #[test]
+    fn adjacent_filters_fuse() {
+        // Subquery filter + outer filter on passthrough projection.
+        let p = optimized("SELECT * FROM (SELECT * FROM t WHERE a > 1) WHERE b < 2");
+        match &p {
+            LogicalPlan::Filter { predicate, input } => {
+                let text = format!("{predicate}");
+                assert!(text.contains("a > 1") && text.contains("b < 2"), "{text}");
+                assert!(matches!(**input, LogicalPlan::Scan { .. }));
+            }
+            other => panic!("expected fused filter over scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushes_below_projection() {
+        let p = optimized("SELECT a, b FROM (SELECT a, b FROM t) WHERE a > 3");
+        // The filter must sit below (inside) the projections, on the scan.
+        fn scan_parent_is_filter(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { input, .. } => {
+                    matches!(**input, LogicalPlan::Scan { .. })
+                }
+                other => other.inputs().iter().any(|c| scan_parent_is_filter(c)),
+            }
+        }
+        assert!(scan_parent_is_filter(&p), "plan: {p}");
+    }
+
+    #[test]
+    fn filter_does_not_push_below_renaming_projection() {
+        let p = optimized("SELECT score FROM (SELECT f(x) AS score FROM t) WHERE score > 0.8");
+        // `score` is computed by the inner projection: filter must stay above.
+        match &p {
+            LogicalPlan::Project { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Filter { .. }), "plan: {p}")
+            }
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Project { .. }), "plan: {p}")
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushes_below_sort_but_not_limit() {
+        let p = optimized("SELECT * FROM (SELECT * FROM t ORDER BY a) WHERE a > 1");
+        match &p {
+            LogicalPlan::Sort { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Filter { .. }), "plan: {p}")
+            }
+            other => panic!("expected sort on top, got {other:?}"),
+        }
+        let p2 = optimized("SELECT * FROM (SELECT * FROM t LIMIT 5) WHERE a > 1");
+        match &p2 {
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Limit { .. }), "plan: {p2}")
+            }
+            other => panic!("filter must stay above limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_of_literals_folds() {
+        assert_eq!(
+            fold_expr(parse_expr("2 IN (1, 2, 3)")),
+            Expr::Literal(Literal::Bool(true))
+        );
+        assert_eq!(
+            fold_expr(parse_expr("5 NOT IN (1, 2)")),
+            Expr::Literal(Literal::Bool(true))
+        );
+        // Column membership survives folding (with folded items).
+        assert_eq!(
+            format!("{}", fold_expr(parse_expr("x IN (1 + 1, 3)"))),
+            "(x IN (2, 3))"
+        );
+    }
+
+    #[test]
+    fn case_branches_fold() {
+        assert_eq!(
+            format!("{}", fold_expr(parse_expr("CASE WHEN x > 1 + 1 THEN 2 * 3 ELSE 0 END"))),
+            "CASE WHEN (x > 2) THEN 6 ELSE 0 END"
+        );
+    }
+
+    #[test]
+    fn distinct_and_union_nodes_survive_optimization() {
+        let p = optimized("SELECT DISTINCT a FROM t WHERE 1 < 2 UNION ALL SELECT a FROM u");
+        match p {
+            LogicalPlan::UnionAll { left, right } => {
+                assert!(matches!(*left, LogicalPlan::Distinct { .. }), "left: {left}");
+                assert!(matches!(*right, LogicalPlan::Project { .. }), "right: {right}");
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_sort_fuses_into_topk() {
+        let p = optimized("SELECT a FROM t ORDER BY a DESC LIMIT 3");
+        match p {
+            LogicalPlan::TopK { keys, n: 3, input } => {
+                assert!(keys[0].desc);
+                assert!(matches!(*input, LogicalPlan::Project { .. }));
+            }
+            other => panic!("expected TopK, got {other:?}"),
+        }
+        // LIMIT without ORDER BY stays a plain Limit.
+        let p2 = optimized("SELECT a FROM t LIMIT 3");
+        assert!(matches!(p2, LogicalPlan::Limit { .. }), "{p2}");
+        // Filters never push through TopK (they change the selected set).
+        let p3 = optimized(
+            "SELECT a FROM (SELECT a FROM t ORDER BY a LIMIT 5) WHERE a > 1",
+        );
+        fn filter_above_topk(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { input, .. } => {
+                    fn has_topk(p: &LogicalPlan) -> bool {
+                        matches!(p, LogicalPlan::TopK { .. })
+                            || p.inputs().iter().any(|c| has_topk(c))
+                    }
+                    has_topk(input)
+                }
+                other => other.inputs().iter().any(|c| filter_above_topk(c)),
+            }
+        }
+        assert!(filter_above_topk(&p3), "plan: {p3}");
+    }
+
+    #[test]
+    fn adjacent_projections_fuse() {
+        let p = optimized("SELECT total FROM (SELECT price * qty AS total FROM t)");
+        match &p {
+            LogicalPlan::Project { items, input } => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].output_name(), "total");
+                assert_eq!(format!("{}", items[0].expr), "(price * qty)");
+                assert!(matches!(**input, LogicalPlan::Scan { .. }), "plan: {p}");
+            }
+            other => panic!("expected fused projection, got {other:?}"),
+        }
+        // Outer expressions (not bare columns) block fusion.
+        let p2 = optimized("SELECT total + 1 FROM (SELECT price * qty AS total FROM t)");
+        match &p2 {
+            LogicalPlan::Project { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Project { .. }), "plan: {p2}")
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_blocks_pushdown() {
+        let p = optimized(
+            "SELECT d FROM (SELECT d, COUNT(*) AS c FROM t GROUP BY d) WHERE d > 1",
+        );
+        // Filter over the aggregate's key output may not move below the
+        // aggregate in our conservative rule set.
+        fn has_filter_above_aggregate(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { input, .. } => {
+                    fn contains_agg(p: &LogicalPlan) -> bool {
+                        matches!(p, LogicalPlan::Aggregate { .. })
+                            || p.inputs().iter().any(|c| contains_agg(c))
+                    }
+                    contains_agg(input)
+                }
+                other => other.inputs().iter().any(|c| has_filter_above_aggregate(c)),
+            }
+        }
+        assert!(has_filter_above_aggregate(&p), "plan: {p}");
+    }
+}

@@ -1,0 +1,894 @@
+//! Recursive-descent SQL parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Sym, Token};
+use crate::SqlError;
+
+/// Parse SQL text into a [`Query`].
+pub fn parse(input: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    if !p.at_end() {
+        return Err(SqlError::new(format!(
+            "trailing input after query: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(sym)) if *sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<(), SqlError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!("expected {s:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.parse_select_list()?;
+
+        let from = if self.eat_keyword("FROM") {
+            Some(self.parse_table_ref()?)
+        } else {
+            None
+        };
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::new(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
+        let union_all = if self.eat_keyword("UNION") {
+            self.expect_keyword("ALL")?;
+            Some(Box::new(self.parse_query()?))
+        } else {
+            None
+        };
+
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            union_all,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            let expr = if self.eat_symbol(Sym::Star) {
+                Expr::Star
+            } else {
+                self.parse_expr()?
+            };
+            let alias = if self.eat_keyword("AS") {
+                match self.advance() {
+                    Some(Token::Ident(name)) => Some(name),
+                    other => {
+                        return Err(SqlError::new(format!(
+                            "expected alias after AS, found {other:?}"
+                        )))
+                    }
+                }
+            } else if let Some(Token::Ident(name)) = self.peek() {
+                // Bare alias (`expr name`).
+                let name = name.clone();
+                self.pos += 1;
+                Some(name)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.eat_keyword("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_keyword("LEFT") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let on = if self.eat_keyword("ON") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef, SqlError> {
+        // Subquery.
+        if self.eat_symbol(Sym::LParen) {
+            if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT") {
+                let q = self.parse_query()?;
+                self.expect_symbol(Sym::RParen)?;
+                let alias = self.parse_optional_alias();
+                return Ok(TableRef::Subquery { query: Box::new(q), alias });
+            }
+            // Parenthesised table ref.
+            let t = self.parse_table_ref()?;
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(t);
+        }
+        match self.advance() {
+            Some(Token::Ident(name)) => {
+                if self.eat_symbol(Sym::LParen) {
+                    // TVF over a table/subquery input.
+                    let input = self.parse_table_factor()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    let alias = self.parse_optional_alias();
+                    return Ok(TableRef::Tvf { name, input: Box::new(input), alias });
+                }
+                let alias = self.parse_optional_alias();
+                Ok(TableRef::Named { name, alias })
+            }
+            other => Err(SqlError::new(format!("expected table reference, found {other:?}"))),
+        }
+    }
+
+    fn parse_optional_alias(&mut self) -> Option<String> {
+        if self.eat_keyword("AS") {
+            if let Some(Token::Ident(name)) = self.peek() {
+                let name = name.clone();
+                self.pos += 1;
+                return Some(name);
+            }
+            return None;
+        }
+        if let Some(Token::Ident(name)) = self.peek() {
+            let name = name.clone();
+            self.pos += 1;
+            return Some(name);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions: OR < AND < NOT < comparison < +- < */% < unary < atoms
+    // ------------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, SqlError> {
+        let left = self.parse_additive()?;
+        // Postfix NOT of `x NOT IN/LIKE/BETWEEN …`.
+        let negated = matches!(self.peek(), Some(Token::Keyword(k)) if k == "NOT")
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::Keyword(k)) if k == "IN" || k == "LIKE" || k == "BETWEEN"
+            );
+        if negated {
+            self.pos += 1;
+        }
+        // BETWEEN lowers to two comparisons.
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_additive()?;
+            let range = Expr::binary(
+                BinOp::And,
+                Expr::binary(BinOp::GtEq, left.clone(), lo),
+                Expr::binary(BinOp::LtEq, left, hi),
+            );
+            return Ok(if negated {
+                Expr::Unary { op: UnOp::Not, expr: Box::new(range) }
+            } else {
+                range
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.advance() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(SqlError::new(format!(
+                        "LIKE expects a string pattern, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+        }
+        if negated {
+            return Err(SqlError::new("expected IN, LIKE or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Symbol(Sym::NotEq)) => Some(BinOp::NotEq),
+            Some(Token::Symbol(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Symbol(Sym::LtEq)) => Some(BinOp::LtEq),
+            Some(Token::Symbol(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Symbol(Sym::GtEq)) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => BinOp::Div,
+                Some(Token::Symbol(Sym::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_symbol(Sym::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negative numeric literals immediately.
+            if let Expr::Literal(Literal::Number(n)) = inner {
+                return Ok(Expr::num(-n));
+            }
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+        }
+        if self.eat_symbol(Sym::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, SqlError> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(Expr::num(n)),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Literal::String(s))),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Literal::Bool(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Literal::Bool(false))),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Literal::Null)),
+            Some(Token::Keyword(k))
+                if matches!(
+                    k.as_str(),
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "VARIANCE" | "STDDEV"
+                ) =>
+            {
+                let mut func = match k.as_str() {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    "AVG" => AggFunc::Avg,
+                    "MIN" => AggFunc::Min,
+                    "MAX" => AggFunc::Max,
+                    "VARIANCE" => AggFunc::Variance,
+                    _ => AggFunc::Stddev,
+                };
+                self.expect_symbol(Sym::LParen)?;
+                if func == AggFunc::Count && self.eat_keyword("DISTINCT") {
+                    func = AggFunc::CountDistinct;
+                }
+                let arg = if self.eat_symbol(Sym::Star) {
+                    None
+                } else {
+                    Some(Box::new(self.parse_expr()?))
+                };
+                self.expect_symbol(Sym::RParen)?;
+                if func == AggFunc::CountDistinct && arg.is_none() {
+                    return Err(SqlError::new("COUNT(DISTINCT *) is not valid"));
+                }
+                if arg.is_none() && func != AggFunc::Count {
+                    return Err(SqlError::new(format!(
+                        "{}(*) is not valid; only COUNT takes '*'",
+                        func.name()
+                    )));
+                }
+                if self.eat_keyword("OVER") {
+                    let (partition_by, order_by) = self.parse_window_spec()?;
+                    return Ok(Expr::Window {
+                        func: WindowFunc::Agg { func, arg },
+                        partition_by,
+                        order_by,
+                    });
+                }
+                Ok(Expr::Aggregate { func, arg })
+            }
+            Some(Token::Keyword(k)) if k == "CASE" => self.parse_case(),
+            Some(Token::Symbol(Sym::LParen)) => {
+                // `(SELECT …)` in expression position is a scalar subquery.
+                if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT") {
+                    let q = self.parse_query()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.parse_expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.eat_symbol(Sym::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(Sym::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_symbol(Sym::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(Sym::RParen)?;
+                    }
+                    if self.eat_keyword("OVER") {
+                        let func = match name.to_ascii_lowercase().as_str() {
+                            "row_number" => WindowFunc::RowNumber,
+                            "rank" => WindowFunc::Rank,
+                            "dense_rank" => WindowFunc::DenseRank,
+                            other => {
+                                return Err(SqlError::new(format!(
+                                    "unknown window function '{other}'"
+                                )))
+                            }
+                        };
+                        if !args.is_empty() {
+                            return Err(SqlError::new(format!(
+                                "{name}() takes no arguments"
+                            )));
+                        }
+                        let (partition_by, order_by) = self.parse_window_spec()?;
+                        return Ok(Expr::Window { func, partition_by, order_by });
+                    }
+                    return Ok(Expr::Func { name, args });
+                }
+                if self.eat_symbol(Sym::Dot) {
+                    match self.advance() {
+                        Some(Token::Ident(col)) => {
+                            return Ok(Expr::Column { qualifier: Some(name), name: col })
+                        }
+                        Some(Token::Symbol(Sym::Star)) => return Ok(Expr::Star),
+                        other => {
+                            return Err(SqlError::new(format!(
+                                "expected column after '{name}.', found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Expr::Column { qualifier: None, name })
+            }
+            other => Err(SqlError::new(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    /// `( [PARTITION BY expr, …] [ORDER BY item, …] )` — the OVER keyword
+    /// has already been consumed.
+    fn parse_window_spec(&mut self) -> Result<(Vec<Expr>, Vec<OrderItem>), SqlError> {
+        self.expect_symbol(Sym::LParen)?;
+        let mut partition_by = Vec::new();
+        if self.eat_keyword("PARTITION") {
+            self.expect_keyword("BY")?;
+            loop {
+                partition_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok((partition_by, order_by))
+    }
+
+    /// `CASE [operand] WHEN … THEN … [WHEN …]* [ELSE …] END`. The CASE
+    /// keyword has already been consumed.
+    fn parse_case(&mut self) -> Result<Expr, SqlError> {
+        let operand = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let when = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(SqlError::new("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { operand, branches, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_mnistgrid_query() {
+        let q = parse(
+            "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.group_by.len(), 2);
+        match q.from.unwrap() {
+            TableRef::Tvf { name, input, .. } => {
+                assert_eq!(name, "parse_mnist_grid");
+                assert!(matches!(*input, TableRef::Named { ref name, .. } if name == "MNIST_Grid"));
+            }
+            other => panic!("expected TVF from-clause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_multimodal_filter() {
+        let q = parse(
+            "SELECT COUNT(*) FROM Attachments WHERE image_text_similarity('receipt', images) > 0.80",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        match w {
+            Expr::Binary { op: BinOp::Gt, left, .. } => match *left {
+                Expr::Func { name, args } => {
+                    assert_eq!(name, "image_text_similarity");
+                    assert_eq!(args.len(), 2);
+                }
+                other => panic!("expected UDF call, got {other:?}"),
+            },
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_topk_query() {
+        let q = parse(
+            "SELECT images, image_text_similarity('KFC Receipt', images) as score \
+             FROM Attachments ORDER BY score DESC LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(q.select[1].alias.as_deref(), Some("score"));
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(2));
+    }
+
+    #[test]
+    fn parses_paper_ocr_query() {
+        let q = parse(
+            "SELECT AVG(SepalLength), AVG(PetalLength) \
+             FROM (SELECT extract_table(images) FROM Document WHERE timestamp = '2022:08:10')",
+        )
+        .unwrap();
+        assert!(matches!(q.from, Some(TableRef::Subquery { .. })));
+        assert!(q.select[0].expr.contains_aggregate());
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let q = parse("SELECT a + b * c - d FROM t").unwrap();
+        assert_eq!(format!("{}", q.select[0].expr), "((a + (b * c)) - d)");
+        let q2 = parse("SELECT (a + b) * c FROM t").unwrap();
+        assert_eq!(format!("{}", q2.select[0].expr), "((a + b) * c)");
+        let q3 = parse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        assert_eq!(
+            format!("{}", q3.where_clause.unwrap()),
+            "((a = 1) OR ((b = 2) AND (c = 3)))"
+        );
+    }
+
+    #[test]
+    fn between_desugars() {
+        let q = parse("SELECT 1 FROM t WHERE x BETWEEN 2 AND 5").unwrap();
+        assert_eq!(
+            format!("{}", q.where_clause.unwrap()),
+            "((x >= 2) AND (x <= 5))"
+        );
+    }
+
+    #[test]
+    fn joins_parse() {
+        let q = parse("SELECT a FROM t JOIN u ON t.id = u.id LEFT JOIN v ON u.k = v.k").unwrap();
+        match q.from.unwrap() {
+            TableRef::Join { kind: JoinKind::Left, left, .. } => {
+                assert!(matches!(*left, TableRef::Join { kind: JoinKind::Inner, .. }));
+            }
+            other => panic!("expected nested join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_columns_and_aliases() {
+        let q = parse("SELECT t.x AS first, u.y second FROM t JOIN u").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("first"));
+        assert_eq!(q.select[1].alias.as_deref(), Some("second"));
+        match &q.select[0].expr {
+            Expr::Column { qualifier, name } => {
+                assert_eq!(qualifier.as_deref(), Some("t"));
+                assert_eq!(name, "x");
+            }
+            other => panic!("expected qualified column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers_fold() {
+        let q = parse("SELECT -3.5 FROM t WHERE x > -1").unwrap();
+        assert_eq!(format!("{}", q.select[0].expr), "-3.5");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse("SELECT a FROM t extra garbage (").is_err());
+        assert!(parse("SELECT COUNT(").is_err());
+    }
+
+    #[test]
+    fn parses_in_list_and_negation() {
+        let q = parse("SELECT 1 FROM t WHERE x IN (1, 2, 3)").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::InList { list, negated, .. } => {
+                assert_eq!(list.len(), 3);
+                assert!(!negated);
+            }
+            other => panic!("expected IN, got {other:?}"),
+        }
+        let q2 = parse("SELECT 1 FROM t WHERE tag NOT IN ('a', 'b')").unwrap();
+        assert!(matches!(
+            q2.where_clause.unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_like_and_not_like() {
+        let q = parse("SELECT 1 FROM t WHERE name LIKE 'rec%'").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Like { pattern, negated, .. } => {
+                assert_eq!(pattern, "rec%");
+                assert!(!negated);
+            }
+            other => panic!("expected LIKE, got {other:?}"),
+        }
+        assert!(matches!(
+            parse("SELECT 1 FROM t WHERE name NOT LIKE '%x'")
+                .unwrap()
+                .where_clause
+                .unwrap(),
+            Expr::Like { negated: true, .. }
+        ));
+        assert!(parse("SELECT 1 FROM t WHERE name LIKE 5").is_err());
+    }
+
+    #[test]
+    fn parses_not_between() {
+        let q = parse("SELECT 1 FROM t WHERE x NOT BETWEEN 2 AND 5").unwrap();
+        assert_eq!(
+            format!("{}", q.where_clause.unwrap()),
+            "(NOT ((x >= 2) AND (x <= 5)))"
+        );
+    }
+
+    #[test]
+    fn parses_case_expressions() {
+        let q = parse(
+            "SELECT CASE WHEN x > 0 THEN 1 WHEN x < 0 THEN -1 ELSE 0 END FROM t",
+        )
+        .unwrap();
+        match &q.select[0].expr {
+            Expr::Case { operand: None, branches, else_expr } => {
+                assert_eq!(branches.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("expected CASE, got {other:?}"),
+        }
+        // Operand form.
+        let q2 = parse("SELECT CASE tag WHEN 'a' THEN 1 ELSE 2 END FROM t").unwrap();
+        assert!(matches!(
+            &q2.select[0].expr,
+            Expr::Case { operand: Some(_), .. }
+        ));
+        // Missing WHEN / END are errors.
+        assert!(parse("SELECT CASE ELSE 1 END FROM t").is_err());
+        assert!(parse("SELECT CASE WHEN a THEN 1 FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_distinct_and_union_all() {
+        let q = parse("SELECT DISTINCT item FROM orders").unwrap();
+        assert!(q.distinct);
+        let q2 = parse("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v")
+            .unwrap();
+        let second = q2.union_all.as_deref().unwrap();
+        assert!(second.union_all.is_some());
+        // Bare UNION (without ALL) is rejected in this dialect.
+        assert!(parse("SELECT a FROM t UNION SELECT a FROM u").is_err());
+    }
+
+    #[test]
+    fn parses_new_aggregates() {
+        let q = parse("SELECT COUNT(DISTINCT tag), VARIANCE(x), STDDEV(x) FROM t").unwrap();
+        assert!(matches!(
+            &q.select[0].expr,
+            Expr::Aggregate { func: AggFunc::CountDistinct, arg: Some(_) }
+        ));
+        assert!(matches!(
+            &q.select[1].expr,
+            Expr::Aggregate { func: AggFunc::Variance, .. }
+        ));
+        assert!(matches!(
+            &q.select[2].expr,
+            Expr::Aggregate { func: AggFunc::Stddev, .. }
+        ));
+        assert!(parse("SELECT COUNT(DISTINCT *) FROM t").is_err());
+        assert!(parse("SELECT VARIANCE(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_scalar_subqueries() {
+        let q = parse("SELECT 1 FROM t WHERE x > (SELECT AVG(x) FROM t)").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(*right, Expr::ScalarSubquery(_)));
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+        // A parenthesised non-SELECT expression is still just grouping.
+        let q2 = parse("SELECT (1 + 2) FROM t").unwrap();
+        assert!(matches!(q2.select[0].expr, Expr::Literal(_) | Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn parses_window_functions() {
+        let q = parse(
+            "SELECT item, ROW_NUMBER() OVER (PARTITION BY item ORDER BY price DESC) AS rn, \
+             SUM(qty) OVER (PARTITION BY item) AS total FROM orders",
+        )
+        .unwrap();
+        match &q.select[1].expr {
+            Expr::Window { func: WindowFunc::RowNumber, partition_by, order_by } => {
+                assert_eq!(partition_by.len(), 1);
+                assert_eq!(order_by.len(), 1);
+                assert!(order_by[0].desc);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+        match &q.select[2].expr {
+            Expr::Window { func: WindowFunc::Agg { func: AggFunc::Sum, arg }, order_by, .. } => {
+                assert!(arg.is_some());
+                assert!(order_by.is_empty());
+            }
+            other => panic!("expected SUM window, got {other:?}"),
+        }
+        // Empty OVER () is valid; unknown window functions are not.
+        assert!(parse("SELECT COUNT(*) OVER () FROM t").is_ok());
+        assert!(parse("SELECT nope() OVER () FROM t").is_err());
+        assert!(parse("SELECT ROW_NUMBER(x) OVER () FROM t").is_err());
+    }
+
+    #[test]
+    fn display_reparse_fixpoint() {
+        let queries = [
+            "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size",
+            "SELECT a FROM t WHERE x > 1 AND y < 2 ORDER BY a DESC LIMIT 5",
+            "SELECT AVG(v) FROM (SELECT v FROM t WHERE ts = 'x')",
+            "SELECT COUNT(*) FROM t HAVING COUNT(*) > 3",
+            "SELECT DISTINCT tag FROM t WHERE x IN (1, 2) UNION ALL SELECT tag FROM u",
+            "SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM t WHERE name LIKE 'a%'",
+            "SELECT COUNT(DISTINCT tag), STDDEV(x) FROM t GROUP BY g",
+            "SELECT 1 FROM t WHERE tag NOT IN ('a') AND name NOT LIKE '%b'",
+            "SELECT ROW_NUMBER() OVER (PARTITION BY item ORDER BY price DESC) AS rn FROM t",
+            "SELECT SUM(v) OVER (ORDER BY ts), RANK() OVER (PARTITION BY k) FROM t",
+            "SELECT price FROM orders WHERE price > (SELECT AVG(price) FROM orders)",
+        ];
+        for q in queries {
+            let ast1 = parse(q).unwrap();
+            let printed = format!("{ast1}");
+            let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of '{printed}': {e}"));
+            assert_eq!(
+                format!("{ast2}"),
+                printed,
+                "pretty-print must be a fixpoint"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The session catalog: a concurrent name → table registry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::table::{Table, TableStats};
+
+/// Thread-safe table namespace. Registration replaces silently (matching
+/// the paper's training loop, which re-registers the input tensor under the
+/// same name every iteration — Listing 5, line 6).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Register (or replace) a table under its own name.
+    pub fn register(&self, table: Table) -> Arc<Table> {
+        let arc = Arc::new(table);
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(Self::key(arc.name()), Arc::clone(&arc));
+        arc
+    }
+
+    /// Fetch a table by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables
+            .read()
+            .expect("catalog lock poisoned")
+            .get(&Self::key(name))
+            .cloned()
+    }
+
+    /// Remove a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(&Self::key(name))
+            .is_some()
+    }
+
+    /// Registered table names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .map(|t| t.name().to_owned())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().expect("catalog lock poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate statistics over all tables.
+    pub fn stats(&self) -> TableStats {
+        let guard = self.tables.read().expect("catalog lock poisoned");
+        let mut total = TableStats { rows: 0, columns: 0, bytes: 0 };
+        for t in guard.values() {
+            let s = t.stats();
+            total.rows += s.rows;
+            total.columns += s.columns;
+            total.bytes += s.bytes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn tbl(name: &str, n: usize) -> Table {
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|i| i as f32).collect())
+            .build(name)
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let cat = Catalog::new();
+        cat.register(tbl("t1", 3));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("T1").unwrap().rows(), 3, "case-insensitive");
+        assert!(cat.drop_table("t1"));
+        assert!(!cat.drop_table("t1"));
+        assert!(cat.get("t1").is_none());
+    }
+
+    #[test]
+    fn re_register_replaces() {
+        let cat = Catalog::new();
+        cat.register(tbl("grid", 5));
+        cat.register(tbl("grid", 9));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("grid").unwrap().rows(), 9);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let cat = Catalog::new();
+        cat.register(tbl("zeta", 1));
+        cat.register(tbl("alpha", 1));
+        assert_eq!(cat.names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let cat = Arc::new(Catalog::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let c = Arc::clone(&cat);
+            handles.push(std::thread::spawn(move || {
+                c.register(tbl(&format!("t{i}"), i + 1));
+                c.get(&format!("t{i}")).expect("just registered").rows()
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap() >= 1);
+        }
+        assert_eq!(cat.len(), 8);
+        assert_eq!(cat.stats().rows, (1..=8).sum::<usize>());
+    }
+}

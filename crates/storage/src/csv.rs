@@ -1,0 +1,129 @@
+//! Minimal CSV ingestion (header + comma separation, quoted fields).
+//!
+//! TDP "accepts input data in different formats" (paper §2); CSV is the
+//! lowest common denominator we support natively. Columns where every value
+//! parses as a number become plain f32; everything else becomes an
+//! order-preserving dictionary column.
+
+use crate::table::{Table, TableBuilder};
+
+/// Parse CSV text into a table. The first line is the header.
+///
+/// Returns an error message for structural problems (ragged rows,
+/// missing header, unterminated quotes).
+pub fn parse_csv(name: &str, text: &str) -> Result<Table, String> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(split_csv_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    let Some(header) = rows.first().cloned() else {
+        return Err("empty CSV: missing header".into());
+    };
+    let body = &rows[1..];
+    for (i, r) in body.iter().enumerate() {
+        if r.len() != header.len() {
+            return Err(format!(
+                "row {} has {} fields, header has {}",
+                i + 1,
+                r.len(),
+                header.len()
+            ));
+        }
+    }
+
+    let mut builder = TableBuilder::new();
+    for (c, col_name) in header.iter().enumerate() {
+        let values: Vec<&str> = body.iter().map(|r| r[c].as_str()).collect();
+        let parsed: Option<Vec<f32>> =
+            values.iter().map(|v| v.trim().parse::<f32>().ok()).collect();
+        builder = match parsed {
+            Some(nums) if !values.is_empty() => builder.col_f32(col_name.clone(), nums),
+            _ => builder.col_str(col_name.clone(), &values),
+        };
+    }
+    Ok(builder.build(name))
+}
+
+/// Split one CSV line, honouring double-quoted fields with `""` escapes.
+fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_and_string_inference() {
+        let t = parse_csv("iris", "sepal,species\n5.1,setosa\n4.9,virginica\n").unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(
+            t.column("sepal").unwrap().data.decode_f32().to_vec(),
+            vec![5.1, 4.9]
+        );
+        assert_eq!(
+            t.column("species").unwrap().data.decode_strings(),
+            vec!["setosa", "virginica"]
+        );
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let t = parse_csv("q", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.column("a").unwrap().data.decode_strings(), vec!["x,y"]);
+        assert_eq!(
+            t.column("b").unwrap().data.decode_strings(),
+            vec!["he said \"hi\""]
+        );
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(parse_csv("e", "").is_err());
+        assert!(parse_csv("e", "a,b\n1\n").unwrap_err().contains("fields"));
+        assert!(parse_csv("e", "a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = parse_csv("t", "x\n\n1\n\n2\n").unwrap();
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_strings() {
+        let t = parse_csv("m", "v\n1.5\nnot-a-number\n").unwrap();
+        assert_eq!(
+            t.column("v").unwrap().data.decode_strings(),
+            vec!["1.5", "not-a-number"]
+        );
+    }
+}

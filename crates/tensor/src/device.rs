@@ -1,0 +1,205 @@
+//! Execution devices.
+//!
+//! The paper runs compiled queries unchanged on CPU or GPU by virtue of
+//! PyTorch's device abstraction. We reproduce the *abstraction* (placement,
+//! `.to(device)`, device-aware kernel dispatch) with a simulated accelerator:
+//! [`Device::accel`] executes large kernels data-parallel across worker
+//! threads, while [`Device::Cpu`] stays single-threaded. The relative shape
+//! of CPU-vs-accelerator results in the Figure 2 experiment comes from this
+//! parallelism, standing in for the V100 the authors used.
+
+use std::thread;
+
+/// Minimum number of scalar operations before a kernel is worth
+/// parallelising on the simulated accelerator. Below this the thread spawn
+/// overhead dominates.
+pub const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Where a tensor lives and where kernels operating on it execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Device {
+    /// Single-threaded host execution.
+    #[default]
+    Cpu,
+    /// Simulated accelerator with the given degree of data parallelism.
+    Accel(usize),
+}
+
+
+impl Device {
+    /// A simulated accelerator sized to the host's available parallelism.
+    pub fn accel() -> Device {
+        let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Device::Accel(n.max(2))
+    }
+
+    /// Number of worker lanes used for kernels on this device.
+    pub fn lanes(self) -> usize {
+        match self {
+            Device::Cpu => 1,
+            Device::Accel(n) => n.max(1),
+        }
+    }
+
+    /// Whether the device is the simulated accelerator.
+    pub fn is_accel(self) -> bool {
+        matches!(self, Device::Accel(_))
+    }
+
+    /// Device that results from combining operands placed on `self` and
+    /// `other`. Mirrors PyTorch's rule of refusing silent cross-device
+    /// compute — except we promote instead of erroring, because our devices
+    /// share one address space; promotion keeps the API ergonomic while
+    /// preserving placement semantics for the benchmarks.
+    pub fn combine(self, other: Device) -> Device {
+        match (self, other) {
+            (Device::Accel(a), Device::Accel(b)) => Device::Accel(a.max(b)),
+            (Device::Accel(a), _) | (_, Device::Accel(a)) => Device::Accel(a),
+            _ => Device::Cpu,
+        }
+    }
+
+    /// Run `f(chunk_index, range)` over `len` items, split across the
+    /// device's lanes when profitable. `f` must be safe to run concurrently
+    /// on disjoint ranges.
+    pub fn for_each_chunk<F>(self, len: usize, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        let lanes = self.lanes();
+        if lanes <= 1 || len < PAR_THRESHOLD {
+            f(0, 0..len);
+            return;
+        }
+        let chunk = len.div_ceil(lanes);
+        thread::scope(|s| {
+            for lane in 0..lanes {
+                let start = lane * chunk;
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                let f = &f;
+                s.spawn(move || f(lane, start..end));
+            }
+        });
+    }
+
+    /// Run `f(i)` for every index in `0..len`, always splitting across the
+    /// device's lanes (no size threshold). For coarse-grained work — whole
+    /// images, model invocations — where each item is expensive even though
+    /// `len` is small.
+    pub fn for_each_heavy<F>(self, len: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let lanes = self.lanes().min(len.max(1));
+        if lanes <= 1 {
+            for i in 0..len {
+                f(i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(lanes);
+        thread::scope(|s| {
+            for lane in 0..lanes {
+                let start = lane * chunk;
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                let f = &f;
+                s.spawn(move || {
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Fill `out` by evaluating `f(i)` for every index, in parallel on the
+    /// accelerator.
+    pub fn fill_indexed<T: Send, F>(self, out: &mut [T], f: F)
+    where
+        F: Fn(usize) -> T + Sync,
+    {
+        let lanes = self.lanes();
+        let len = out.len();
+        if lanes <= 1 || len < PAR_THRESHOLD {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f(i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(lanes);
+        thread::scope(|s| {
+            for (lane, piece) in out.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let base = lane * chunk;
+                s.spawn(move || {
+                    for (j, o) in piece.iter_mut().enumerate() {
+                        *o = f(base + j);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Cpu => write!(f, "cpu"),
+            Device::Accel(n) => write!(f, "accel:{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_and_flags() {
+        assert_eq!(Device::Cpu.lanes(), 1);
+        assert_eq!(Device::Accel(8).lanes(), 8);
+        assert!(Device::accel().is_accel());
+        assert!(!Device::Cpu.is_accel());
+    }
+
+    #[test]
+    fn combine_promotes_to_accelerator() {
+        assert_eq!(Device::Cpu.combine(Device::Cpu), Device::Cpu);
+        assert_eq!(Device::Cpu.combine(Device::Accel(4)), Device::Accel(4));
+        assert_eq!(Device::Accel(2).combine(Device::Accel(6)), Device::Accel(6));
+    }
+
+    #[test]
+    fn fill_indexed_parallel_matches_serial() {
+        let n = PAR_THRESHOLD * 2 + 17;
+        let mut par = vec![0usize; n];
+        let mut ser = vec![0usize; n];
+        Device::Accel(4).fill_indexed(&mut par, |i| i * 3 + 1);
+        Device::Cpu.fill_indexed(&mut ser, |i| i * 3 + 1);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_range() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = PAR_THRESHOLD + 3;
+        let total = AtomicUsize::new(0);
+        Device::Accel(3).for_each_chunk(n, |_, r| {
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Device::Cpu.to_string(), "cpu");
+        assert_eq!(Device::Accel(4).to_string(), "accel:4");
+    }
+}

@@ -1,0 +1,652 @@
+//! einops-style tensor rearrangement.
+//!
+//! Listing 4 of the TDP paper splits an MNISTGrid image into tiles with
+//! `einops.rearrange(grid, "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2", h1=3, w1=3)`.
+//! This module implements the einops pattern mini-language over [`Tensor`]:
+//!
+//! * [`rearrange`] — reshape + transpose + reshape, driven by a pattern,
+//! * [`reduce`] — rearrange where axes missing on the right are reduced,
+//! * [`repeat`] — rearrange where axes new on the right are broadcast.
+//!
+//! A pattern is `LEFT -> RIGHT`, each side a space-separated list of axes:
+//! a bare name (`h`), the unit literal `1`, or a parenthesised composition
+//! (`(h w)`). Unknown axis extents are inferred from the input shape; at
+//! most one axis per composition may be unknown. Extents can also be pinned
+//! explicitly via the `sizes` argument (the `h1=3, w1=3` of the listing).
+//!
+//! ```
+//! use tdp_tensor::{einops, Tensor};
+//!
+//! // Listing 4: one 6×6 "grid" of 2×2 tiles -> batch of 9 tiles.
+//! let grid = Tensor::from_vec((0..36).map(|v| v as f32).collect(), &[1, 6, 6]);
+//! let tiles = einops::rearrange(
+//!     &grid,
+//!     "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2",
+//!     &[("h1", 3), ("w1", 3)],
+//! )
+//! .unwrap();
+//! assert_eq!(tiles.shape(), &[9, 1, 2, 2]);
+//! // Tile (0,0) is the top-left 2×2 block of the grid.
+//! assert_eq!(&tiles.data()[..4], &[0.0, 1.0, 6.0, 7.0]);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::element::{Element, Num};
+use crate::tensor::Tensor;
+
+/// Reduction applied by [`reduce`] to axes that vanish from the pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Mean,
+    Max,
+    Min,
+}
+
+/// Errors from pattern parsing or shape resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EinopsError {
+    /// The pattern text is malformed (missing `->`, unbalanced parens, …).
+    Parse(String),
+    /// The pattern does not fit the tensor (rank or extent mismatch,
+    /// non-divisible composition, unknown or duplicate axis…).
+    Shape(String),
+}
+
+impl fmt::Display for EinopsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EinopsError::Parse(m) => write!(f, "einops pattern error: {m}"),
+            EinopsError::Shape(m) => write!(f, "einops shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EinopsError {}
+
+/// One elementary axis inside a composite group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Atom {
+    /// Named axis.
+    Name(String),
+    /// The `1` literal: an anonymous unit axis.
+    Unit,
+}
+
+/// One top-level item of a pattern side: a composition of elementary axes.
+/// Bare names parse as singleton groups.
+type Group = Vec<Atom>;
+
+fn parse_side(side: &str) -> Result<Vec<Group>, EinopsError> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut current: Option<Group> = None; // Some(..) while inside parens
+    for tok in tokenize_side(side)? {
+        match tok.as_str() {
+            "(" => {
+                if current.is_some() {
+                    return Err(EinopsError::Parse("nested parentheses".into()));
+                }
+                current = Some(Vec::new());
+            }
+            ")" => match current.take() {
+                Some(g) => groups.push(g),
+                None => return Err(EinopsError::Parse("unbalanced ')'".into())),
+            },
+            name => {
+                let atom = if name == "1" {
+                    Atom::Unit
+                } else if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                {
+                    Atom::Name(name.to_owned())
+                } else {
+                    return Err(EinopsError::Parse(format!("bad axis name '{name}'")));
+                };
+                match &mut current {
+                    Some(g) => g.push(atom),
+                    None => groups.push(vec![atom]),
+                }
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(EinopsError::Parse("unbalanced '('".into()));
+    }
+    Ok(groups)
+}
+
+fn tokenize_side(side: &str) -> Result<Vec<String>, EinopsError> {
+    let mut toks = Vec::new();
+    let mut word = String::new();
+    for c in side.chars() {
+        match c {
+            '(' | ')' => {
+                if !word.is_empty() {
+                    toks.push(std::mem::take(&mut word));
+                }
+                toks.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !word.is_empty() {
+                    toks.push(std::mem::take(&mut word));
+                }
+            }
+            c => word.push(c),
+        }
+    }
+    if !word.is_empty() {
+        toks.push(word);
+    }
+    if toks.is_empty() {
+        return Err(EinopsError::Parse("empty pattern side".into()));
+    }
+    Ok(toks)
+}
+
+/// A parsed `LEFT -> RIGHT` pattern.
+#[derive(Debug, Clone)]
+struct Pattern {
+    left: Vec<Group>,
+    right: Vec<Group>,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Pattern, EinopsError> {
+    let (l, r) = pattern
+        .split_once("->")
+        .ok_or_else(|| EinopsError::Parse("pattern must contain '->'".into()))?;
+    let left = parse_side(l)?;
+    let right = parse_side(r)?;
+    for (side, name) in [(&left, "left"), (&right, "right")] {
+        let mut seen = Vec::new();
+        for g in side.iter() {
+            for a in g {
+                if let Atom::Name(n) = a {
+                    if seen.contains(&n) {
+                        return Err(EinopsError::Parse(format!(
+                            "axis '{n}' appears twice on the {name} side"
+                        )));
+                    }
+                    seen.push(n);
+                }
+            }
+        }
+    }
+    Ok(Pattern { left, right })
+}
+
+/// Resolve every elementary axis extent on the left side against the input
+/// shape. Returns the map of name → extent and the fully decomposed shape
+/// (one entry per elementary axis, including anonymous units).
+fn resolve_left(
+    left: &[Group],
+    shape: &[usize],
+    sizes: &HashMap<&str, usize>,
+) -> Result<(HashMap<String, usize>, Vec<usize>), EinopsError> {
+    if left.len() != shape.len() {
+        return Err(EinopsError::Shape(format!(
+            "pattern has {} axes but tensor has {} dimensions",
+            left.len(),
+            shape.len()
+        )));
+    }
+    let mut extents: HashMap<String, usize> = HashMap::new();
+    for (&name, &sz) in sizes {
+        extents.insert(name.to_owned(), sz);
+    }
+    let mut decomposed = Vec::new();
+    for (group, &dim) in left.iter().zip(shape) {
+        let mut known: usize = 1;
+        let mut unknown: Option<&str> = None;
+        for atom in group {
+            match atom {
+                Atom::Unit => {}
+                Atom::Name(n) => match extents.get(n) {
+                    Some(&sz) => known *= sz,
+                    None => {
+                        if unknown.replace(n).is_some() {
+                            return Err(EinopsError::Shape(format!(
+                                "composition {group:?} has more than one unknown axis"
+                            )));
+                        }
+                    }
+                },
+            }
+        }
+        if dim % known != 0 {
+            return Err(EinopsError::Shape(format!(
+                "dimension {dim} not divisible by known axis product {known}"
+            )));
+        }
+        match unknown {
+            Some(n) => {
+                extents.insert(n.to_owned(), dim / known);
+            }
+            None if known != dim => {
+                return Err(EinopsError::Shape(format!(
+                    "composition resolves to {known} but dimension is {dim}"
+                )));
+            }
+            None => {}
+        }
+        for atom in group {
+            decomposed.push(match atom {
+                Atom::Unit => 1,
+                Atom::Name(n) => extents[n],
+            });
+        }
+    }
+    Ok((extents, decomposed))
+}
+
+/// Names in left-to-right elementary order, with `None` for unit axes.
+fn elementary_names(side: &[Group]) -> Vec<Option<String>> {
+    side.iter()
+        .flat_map(|g| {
+            g.iter().map(|a| match a {
+                Atom::Unit => None,
+                Atom::Name(n) => Some(n.clone()),
+            })
+        })
+        .collect()
+}
+
+fn sizes_map<'a>(sizes: &'a [(&'a str, usize)]) -> HashMap<&'a str, usize> {
+    sizes.iter().copied().collect()
+}
+
+/// Rearrange dimensions of `t` according to an einops `pattern`.
+///
+/// Every named axis on the left must appear on the right and vice versa;
+/// use [`reduce`] to drop axes and [`repeat`] to introduce them. `sizes`
+/// pins axis extents that cannot be inferred (e.g. `h1` in Listing 4).
+pub fn rearrange<T: Element>(
+    t: &Tensor<T>,
+    pattern: &str,
+    sizes: &[(&str, usize)],
+) -> Result<Tensor<T>, EinopsError> {
+    let pat = parse_pattern(pattern)?;
+    let sizes = sizes_map(sizes);
+    let (extents, decomposed) = resolve_left(&pat.left, t.shape(), &sizes)?;
+
+    let left_names = elementary_names(&pat.left);
+    let right_names = elementary_names(&pat.right);
+    let left_set: Vec<&String> = left_names.iter().flatten().collect();
+    let right_set: Vec<&String> = right_names.iter().flatten().collect();
+    for n in &right_set {
+        if !left_set.contains(n) {
+            return Err(EinopsError::Shape(format!(
+                "axis '{n}' on the right side is not present on the left (use repeat)"
+            )));
+        }
+    }
+    for n in &left_set {
+        if !right_set.contains(n) {
+            return Err(EinopsError::Shape(format!(
+                "axis '{n}' dropped from the right side (use reduce)"
+            )));
+        }
+    }
+
+    // Decompose, permute named axes into right order (dropping left unit
+    // axes), then compose the right side.
+    let dec = t.reshape(&decomposed);
+    let (perm, perm_shape) = named_permutation(&left_names, &right_set, &decomposed);
+    let permuted = dec.reshape(&perm_shape.pre).permute(&perm);
+    let composed = compose_shape(&pat.right, &extents)?;
+    Ok(permuted.reshape(&composed))
+}
+
+/// Rearrange + reduction: named axes present on the left but absent from
+/// the right are reduced with `op`. Unit (`1`) axes may be dropped freely.
+pub fn reduce<T: Num>(
+    t: &Tensor<T>,
+    pattern: &str,
+    op: ReduceOp,
+    sizes: &[(&str, usize)],
+) -> Result<Tensor<T>, EinopsError> {
+    let pat = parse_pattern(pattern)?;
+    let sizes = sizes_map(sizes);
+    let (extents, decomposed) = resolve_left(&pat.left, t.shape(), &sizes)?;
+
+    let left_names = elementary_names(&pat.left);
+    let right_names = elementary_names(&pat.right);
+    let right_set: Vec<&String> = right_names.iter().flatten().collect();
+    for n in &right_set {
+        if !left_names.iter().flatten().any(|l| l == *n) {
+            return Err(EinopsError::Shape(format!(
+                "axis '{n}' on the right side is not present on the left"
+            )));
+        }
+    }
+    let reduced: Vec<&String> = left_names
+        .iter()
+        .flatten()
+        .filter(|l| !right_set.contains(l))
+        .collect();
+
+    // Permute to [kept axes in right order, reduced axes], then fold the
+    // trailing reduced axes one reduction at a time.
+    let mut order: Vec<&String> = right_set.clone();
+    order.extend(reduced.iter().copied());
+    let (perm, perm_shape) = named_permutation(&left_names, &order, &decomposed);
+    let mut out = t.reshape(&decomposed).reshape(&perm_shape.pre).permute(&perm);
+    for _ in 0..reduced.len() {
+        let last = out.ndim() - 1;
+        out = match op {
+            ReduceOp::Sum => out.sum_dim(last, false),
+            ReduceOp::Mean => out.mean_dim(last, false),
+            ReduceOp::Max => out.max_dim(last, false),
+            ReduceOp::Min => out.min_dim(last, false),
+        };
+    }
+    let composed = compose_shape(&pat.right, &extents)?;
+    Ok(out.reshape(&composed))
+}
+
+/// Rearrange + broadcast: named axes new on the right are tiled to the
+/// extent given in `sizes` (each new axis must be pinned there).
+pub fn repeat<T: Element>(
+    t: &Tensor<T>,
+    pattern: &str,
+    sizes: &[(&str, usize)],
+) -> Result<Tensor<T>, EinopsError> {
+    let pat = parse_pattern(pattern)?;
+    let sizes = sizes_map(sizes);
+    let (mut extents, decomposed) = resolve_left(&pat.left, t.shape(), &sizes)?;
+
+    let left_names = elementary_names(&pat.left);
+    let right_names = elementary_names(&pat.right);
+    let left_set: Vec<&String> = left_names.iter().flatten().collect();
+    for n in &left_set {
+        if !right_names.iter().flatten().any(|r| r == *n) {
+            return Err(EinopsError::Shape(format!(
+                "axis '{n}' dropped from the right side (use reduce)"
+            )));
+        }
+    }
+    // New axes must have a pinned extent.
+    let mut new_axes = Vec::new();
+    for n in right_names.iter().flatten() {
+        if !left_set.contains(&n) {
+            let sz = *sizes.get(n.as_str()).ok_or_else(|| {
+                EinopsError::Shape(format!("new axis '{n}' needs an explicit size"))
+            })?;
+            extents.insert(n.clone(), sz);
+            new_axes.push(n.clone());
+        }
+    }
+
+    // Permute existing axes into the order they appear on the right, with
+    // unit slots where new axes go, then broadcast and compose.
+    let kept_order: Vec<&String> = right_names
+        .iter()
+        .flatten()
+        .filter(|n| left_set.contains(n))
+        .collect();
+    let (perm, perm_shape) = named_permutation(&left_names, &kept_order, &decomposed);
+    let mut out = t.reshape(&decomposed).reshape(&perm_shape.pre).permute(&perm);
+
+    // Insert unit dims for new/unit axes, walking the right side.
+    let mut with_units = Vec::new();
+    let mut broadcast = Vec::new();
+    let mut kept_iter = out.shape().to_vec().into_iter();
+    for name in &right_names {
+        match name {
+            None => {
+                with_units.push(1);
+                broadcast.push(1);
+            }
+            Some(n) if new_axes.contains(n) => {
+                with_units.push(1);
+                broadcast.push(extents[n]);
+            }
+            Some(_) => {
+                let d = kept_iter.next().expect("kept axis count mismatch");
+                with_units.push(d);
+                broadcast.push(d);
+            }
+        }
+    }
+    out = out.reshape(&with_units).broadcast_to(&broadcast);
+    let composed = compose_shape(&pat.right, &extents)?;
+    Ok(out.reshape(&composed))
+}
+
+/// Shape bookkeeping for [`named_permutation`].
+struct PermShape {
+    /// Decomposed shape with left unit axes removed — what the tensor must
+    /// be reshaped to before applying the permutation.
+    pre: Vec<usize>,
+}
+
+/// Build the permutation taking the left side's named elementary axes
+/// (unit axes squeezed out) into `target` order.
+fn named_permutation(
+    left_names: &[Option<String>],
+    target: &[&String],
+    decomposed: &[usize],
+) -> (Vec<usize>, PermShape) {
+    let mut pre = Vec::new();
+    let mut named_pos: Vec<&String> = Vec::new();
+    for (name, &d) in left_names.iter().zip(decomposed) {
+        match name {
+            Some(n) => {
+                named_pos.push(n);
+                pre.push(d);
+            }
+            None => {
+                debug_assert_eq!(d, 1, "unit axis with extent != 1");
+            }
+        }
+    }
+    let perm: Vec<usize> = target
+        .iter()
+        .map(|t| named_pos.iter().position(|n| n == t).expect("axis resolved earlier"))
+        .collect();
+    (perm, PermShape { pre })
+}
+
+fn compose_shape(
+    side: &[Group],
+    extents: &HashMap<String, usize>,
+) -> Result<Vec<usize>, EinopsError> {
+    side.iter()
+        .map(|group| {
+            let mut d = 1usize;
+            for atom in group {
+                if let Atom::Name(n) = atom {
+                    d *= *extents.get(n).ok_or_else(|| {
+                        EinopsError::Shape(format!("axis '{n}' has no resolved extent"))
+                    })?;
+                }
+            }
+            Ok(d)
+        })
+        .collect()
+}
+
+impl<T: Element> Tensor<T> {
+    /// [`rearrange`] as a method: `t.rearrange("a b -> b a", &[])`.
+    pub fn rearrange(&self, pattern: &str, sizes: &[(&str, usize)]) -> Tensor<T> {
+        rearrange(self, pattern, sizes)
+            .unwrap_or_else(|e| panic!("rearrange('{pattern}'): {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[usize]) -> Tensor<f32> {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|v| v as f32).collect(), shape)
+    }
+
+    #[test]
+    fn transpose_via_pattern() {
+        let t = iota(&[2, 3]);
+        let r = rearrange(&t, "a b -> b a", &[]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.to_vec(), vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn flatten_and_split() {
+        let t = iota(&[2, 3, 4]);
+        let flat = rearrange(&t, "a b c -> (a b c)", &[]).unwrap();
+        assert_eq!(flat.shape(), &[24]);
+        assert_eq!(flat.to_vec(), t.to_vec());
+        let back = rearrange(&flat, "(a b c) -> a b c", &[("a", 2), ("b", 3)]).unwrap();
+        assert_eq!(back.shape(), &[2, 3, 4]);
+        assert_eq!(back.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn listing4_tile_split() {
+        // 1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2 with h1 = w1 = 3.
+        let grid = iota(&[1, 6, 6]);
+        let tiles =
+            rearrange(&grid, "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2", &[("h1", 3), ("w1", 3)])
+                .unwrap();
+        assert_eq!(tiles.shape(), &[9, 1, 2, 2]);
+        // Tile row-major ordering: tile (r, c) starts at grid[2r][2c].
+        for r in 0..3 {
+            for c in 0..3 {
+                let t0 = tiles.get(&[r * 3 + c, 0, 0, 0]);
+                assert_eq!(t0, (2 * r * 6 + 2 * c) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_axes_insert_and_drop() {
+        let t = iota(&[3, 4]);
+        let r = rearrange(&t, "a b -> a 1 b 1", &[]).unwrap();
+        assert_eq!(r.shape(), &[3, 1, 4, 1]);
+        let back = rearrange(&r, "a 1 b 1 -> a b", &[]).unwrap();
+        assert_eq!(back.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn reduce_mean_over_axis() {
+        let t = iota(&[2, 3]);
+        let r = reduce(&t, "a b -> a", ReduceOp::Mean, &[]).unwrap();
+        assert_eq!(r.shape(), &[2]);
+        assert_eq!(r.to_vec(), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn reduce_max_pool_2x2() {
+        // einops-style pooling: "(h h2) (w w2) -> h w" with max.
+        let t = iota(&[4, 4]);
+        let r = reduce(&t, "(h h2) (w w2) -> h w", ReduceOp::Max, &[("h2", 2), ("w2", 2)])
+            .unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.to_vec(), vec![5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn reduce_sum_all() {
+        let t = iota(&[2, 2]);
+        let r = reduce(&t, "a b -> 1", ReduceOp::Sum, &[]).unwrap();
+        assert_eq!(r.shape(), &[1]);
+        assert_eq!(r.to_vec(), vec![6.0]);
+    }
+
+    #[test]
+    fn repeat_new_axis() {
+        let t = iota(&[3]);
+        let r = repeat(&t, "a -> a r", &[("r", 2)]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.to_vec(), vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        let r2 = repeat(&t, "a -> r a", &[("r", 2)]).unwrap();
+        assert_eq!(r2.to_vec(), vec![0.0, 1.0, 2.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn repeat_into_composition() {
+        let t = iota(&[2]);
+        let r = repeat(&t, "a -> (a r)", &[("r", 3)]).unwrap();
+        assert_eq!(r.shape(), &[6]);
+        assert_eq!(r.to_vec(), vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn inference_of_one_unknown_per_group() {
+        let t = iota(&[12]);
+        let r = rearrange(&t, "(a b) -> a b", &[("a", 3)]).unwrap();
+        assert_eq!(r.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn error_two_unknowns() {
+        let t = iota(&[12]);
+        let e = rearrange(&t, "(a b) -> a b", &[]).unwrap_err();
+        assert!(matches!(e, EinopsError::Shape(_)), "{e}");
+    }
+
+    #[test]
+    fn error_rank_mismatch() {
+        let t = iota(&[2, 3]);
+        let e = rearrange(&t, "a -> a", &[]).unwrap_err();
+        assert!(matches!(e, EinopsError::Shape(_)));
+    }
+
+    #[test]
+    fn error_not_divisible() {
+        let t = iota(&[7]);
+        let e = rearrange(&t, "(a b) -> a b", &[("a", 2)]).unwrap_err();
+        assert!(matches!(e, EinopsError::Shape(_)));
+    }
+
+    #[test]
+    fn error_dangling_axis() {
+        let t = iota(&[2, 3]);
+        let e = rearrange(&t, "a b -> a", &[]).unwrap_err();
+        assert!(matches!(e, EinopsError::Shape(_)));
+        let e = rearrange(&t, "a b -> a b c", &[("c", 2)]).unwrap_err();
+        assert!(matches!(e, EinopsError::Shape(_)));
+    }
+
+    #[test]
+    fn error_parse() {
+        let t = iota(&[2]);
+        assert!(matches!(rearrange(&t, "a a -> a", &[]), Err(EinopsError::Parse(_))));
+        assert!(matches!(rearrange(&t, "a", &[]), Err(EinopsError::Parse(_))));
+        assert!(matches!(rearrange(&t, "(a -> a", &[]), Err(EinopsError::Parse(_))));
+        assert!(matches!(rearrange(&t, "((a)) -> a", &[]), Err(EinopsError::Parse(_))));
+    }
+
+    #[test]
+    fn method_form_panics_with_context() {
+        let t = iota(&[2, 2]);
+        let r = t.rearrange("a b -> (b a)", &[]);
+        assert_eq!(r.shape(), &[4]);
+    }
+
+    #[test]
+    fn rearrange_is_involutive_on_transpose() {
+        let t = iota(&[3, 5, 2]);
+        let fwd = rearrange(&t, "a b c -> c b a", &[]).unwrap();
+        let back = rearrange(&fwd, "c b a -> a b c", &[]).unwrap();
+        assert_eq!(back.to_vec(), t.to_vec());
+        assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn batched_listing4_pattern() {
+        // The batched variant used by the MNISTGrid TVF.
+        let grids = iota(&[2, 1, 6, 6]);
+        let tiles = rearrange(
+            &grids,
+            "n 1 (h1 h2) (w1 w2) -> (n h1 w1) 1 h2 w2",
+            &[("h1", 3), ("w1", 3)],
+        )
+        .unwrap();
+        assert_eq!(tiles.shape(), &[18, 1, 2, 2]);
+        // Second grid's first tile starts at offset 36.
+        assert_eq!(tiles.get(&[9, 0, 0, 0]), 36.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Dense linear algebra: matmul, batched matmul, dot products.
+//!
+//! The matmul kernel is the hot path of the whole platform — group-by over
+//! probability-encoded columns, dense layers, im2col convolution and the
+//! CLIP-sim similarity kernel all lower to it. The implementation uses the
+//! i-k-j loop order (unit-stride inner loop) and parallelises over row
+//! blocks on the simulated accelerator.
+
+use crate::element::Float;
+use crate::tensor::Tensor;
+
+impl<T: Float> Tensor<T> {
+    /// Matrix product. `self` is `[m, k]`, `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor<T>) -> Tensor<T> {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-d, got {:?}", self.shape());
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-d, got {:?}", other.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dims: [{m},{k}] x [{k2},{n}]");
+
+        let device = self.device().combine(other.device());
+        let a = self.data();
+        let b = other.data();
+        let out = vec![T::zero(); m * n];
+
+        device.for_each_chunk(m, |_, rows| {
+            // SAFETY-free parallelism: each lane owns a disjoint row range of
+            // `out`; we recreate the slice through a raw pointer wrapper to
+            // avoid Mutex traffic.
+            let out_ptr = SendPtr(out.as_ptr() as *mut T);
+            for i in rows {
+                let arow = &a[i * k..(i + 1) * k];
+                // Row i of the output, written exclusively by this lane.
+                let orow = unsafe {
+                    std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n)
+                };
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == T::zero() {
+                        continue; // sparse-friendly: PE matrices are mostly 0
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        });
+
+        Tensor::from_vec(out, &[m, n]).to(device)
+    }
+
+    /// Batched matmul: `[b, m, k] x [b, k, n] -> [b, m, n]`.
+    pub fn bmm(&self, other: &Tensor<T>) -> Tensor<T> {
+        assert_eq!(self.ndim(), 3, "bmm lhs must be 3-d");
+        assert_eq!(other.ndim(), 3, "bmm rhs must be 3-d");
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        assert_eq!(other.shape()[0], b, "bmm batch mismatch");
+        assert_eq!(other.shape()[1], k, "bmm inner dim mismatch");
+        let n = other.shape()[2];
+        let mut out = Vec::with_capacity(b * m * n);
+        for i in 0..b {
+            let lhs = Tensor::from_vec(
+                self.data()[i * m * k..(i + 1) * m * k].to_vec(),
+                &[m, k],
+            )
+            .to(self.device());
+            let rhs = Tensor::from_vec(
+                other.data()[i * k * n..(i + 1) * k * n].to_vec(),
+                &[k, n],
+            )
+            .to(other.device());
+            out.extend_from_slice(lhs.matmul(&rhs).data());
+        }
+        Tensor::from_vec(out, &[b, m, n]).to(self.device().combine(other.device()))
+    }
+
+    /// Inner product of two 1-d tensors.
+    pub fn dot(&self, other: &Tensor<T>) -> T {
+        assert_eq!(self.ndim(), 1, "dot lhs must be 1-d");
+        assert_eq!(self.shape(), other.shape(), "dot length mismatch");
+        let mut acc = T::zero();
+        for (&a, &b) in self.data().iter().zip(other.data()) {
+            acc += a * b;
+        }
+        acc
+    }
+
+    /// Matrix-vector product: `[m, k] x [k] -> [m]`.
+    pub fn matvec(&self, v: &Tensor<T>) -> Tensor<T> {
+        assert_eq!(v.ndim(), 1, "matvec rhs must be 1-d");
+        self.matmul(&v.reshape(&[v.numel(), 1])).reshape(&[self.shape()[0]])
+    }
+
+    /// Outer product of two 1-d tensors: `[m] x [n] -> [m, n]`.
+    pub fn outer(&self, other: &Tensor<T>) -> Tensor<T> {
+        assert_eq!(self.ndim(), 1, "outer lhs must be 1-d");
+        assert_eq!(other.ndim(), 1, "outer rhs must be 1-d");
+        self.reshape(&[self.numel(), 1]).matmul(&other.reshape(&[1, other.numel()]))
+    }
+
+    /// Row-wise L2 normalisation of a `[n, d]` matrix (unit embeddings for
+    /// cosine similarity).
+    pub fn normalize_rows(&self, eps: f64) -> Tensor<T> {
+        assert_eq!(self.ndim(), 2, "normalize_rows needs a matrix");
+        let sq = self.mul(self);
+        let norms = sq.sum_dim(1, true).map(|v| {
+            T::from_f64(v.to_f64().sqrt().max(eps))
+        });
+        self.div(&norms)
+    }
+}
+
+/// Wrapper making a raw pointer `Send`+`Sync` for disjoint-range writes.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor<f32> {
+        Tensor::from_vec(v, s)
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular_and_identity() {
+        let a = t((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let i3 = Tensor::<f32>::eye(3);
+        assert_eq!(a.matmul(&i3).to_vec(), a.to_vec());
+        let b = t((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 4]);
+        // c[1,2] = 3*2 + 4*6 + 5*10 = 80
+        assert_eq!(c.get(&[1, 2]), 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch() {
+        t(vec![0.0; 6], &[2, 3]).matmul(&t(vec![0.0; 8], &[2, 4]));
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        let m = 64;
+        let k = 48;
+        let n = 56;
+        let mut rng = crate::Rng64::new(1);
+        let a = Tensor::<f32>::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::<f32>::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let cpu = a.matmul(&b);
+        let acc = a.to(Device::Accel(4)).matmul(&b);
+        assert!(cpu.allclose(&acc, 1e-5));
+        assert!(acc.device().is_accel());
+    }
+
+    #[test]
+    fn bmm_batches_independently() {
+        let a = t((0..8).map(|i| i as f32).collect(), &[2, 2, 2]);
+        let b = Tensor::<f32>::eye(2)
+            .reshape(&[1, 2, 2])
+            .broadcast_to(&[2, 2, 2]);
+        assert_eq!(a.bmm(&b).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn dot_matvec_outer() {
+        let x = t(vec![1.0, 2.0, 3.0], &[3]);
+        let y = t(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(x.dot(&y), 32.0);
+        let m = t(vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0], &[2, 3]);
+        assert_eq!(m.matvec(&x).to_vec(), vec![1.0, 4.0]);
+        let o = t(vec![1.0, 2.0], &[2]).outer(&t(vec![3.0, 4.0], &[2]));
+        assert_eq!(o.to_vec(), vec![3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let m = t(vec![3.0, 4.0, 0.0, 5.0], &[2, 2]).normalize_rows(1e-12);
+        for r in 0..2 {
+            let n: f32 = (0..2).map(|c| m.get(&[r, c]).powi(2)).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn soft_groupby_shape_identity() {
+        // The PE group-by kernel is A^T B; verify on one-hot inputs it
+        // reduces to an exact contingency table.
+        let digit = t(
+            vec![
+                1.0, 0.0, 0.0, // row 0 -> class 0
+                0.0, 0.0, 1.0, // row 1 -> class 2
+                0.0, 0.0, 1.0, // row 2 -> class 2
+            ],
+            &[3, 3],
+        );
+        let size = t(
+            vec![
+                1.0, 0.0, // small
+                0.0, 1.0, // large
+                0.0, 1.0, // large
+            ],
+            &[3, 2],
+        );
+        let counts = digit.transpose().matmul(&size);
+        assert_eq!(counts.shape(), &[3, 2]);
+        assert_eq!(counts.get(&[0, 0]), 1.0);
+        assert_eq!(counts.get(&[2, 1]), 2.0);
+        assert_eq!(counts.sum(), 3.0);
+    }
+}

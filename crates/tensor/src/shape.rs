@@ -1,0 +1,203 @@
+//! Shapes, strides and broadcasting.
+//!
+//! Shapes are row-major. Broadcasting follows NumPy/PyTorch rules: shapes
+//! are right-aligned, and each dimension pair must be equal or contain a 1.
+
+/// The extents of a tensor. A scalar has an empty shape.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    pub fn new(dims: &[usize]) -> Shape {
+        Shape(dims.to_vec())
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Flat offset of a multi-index. Panics if out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.0.len()
+        );
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for d in (0..self.0.len()).rev() {
+            assert!(
+                idx[d] < self.0[d],
+                "index {} out of bounds for dim {} of size {}",
+                idx[d],
+                d,
+                self.0[d]
+            );
+            off += idx[d] * stride;
+            stride *= self.0[d];
+        }
+        off
+    }
+
+    /// Multi-index of a flat offset.
+    pub fn unravel(&self, mut flat: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.0.len()];
+        for d in (0..self.0.len()).rev() {
+            let sz = self.0[d];
+            idx[d] = flat % sz;
+            flat /= sz;
+        }
+        idx
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Shape {
+        Shape(d.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(d: Vec<usize>) -> Shape {
+        Shape(d)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Broadcast two shapes together, or `None` if they are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Iterator over all multi-indices of a shape in row-major order.
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl IndexIter {
+    pub fn new(shape: &[usize]) -> IndexIter {
+        let next = if shape.contains(&0) {
+            None
+        } else {
+            Some(vec![0usize; shape.len()])
+        };
+        IndexIter { shape: shape.to_vec(), next }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.clone()?;
+        // Advance odometer-style.
+        let mut idx = cur.clone();
+        let mut d = self.shape.len();
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < self.shape[d] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[d] = 0;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_unravel_round_trip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.numel() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_checks_bounds() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[4, 1], &[1, 5]), Some(vec![4, 5]));
+        assert_eq!(broadcast_shapes(&[2], &[]), Some(vec![2]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 4]), None);
+        assert_eq!(broadcast_shapes(&[1], &[7]), Some(vec![7]));
+    }
+
+    #[test]
+    fn index_iter_enumerates_in_row_major_order() {
+        let idxs: Vec<_> = IndexIter::new(&[2, 2]).collect();
+        assert_eq!(idxs, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(IndexIter::new(&[0, 3]).count(), 0);
+        assert_eq!(IndexIter::new(&[]).count(), 1); // one scalar index
+    }
+}

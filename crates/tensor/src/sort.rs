@@ -1,0 +1,211 @@
+//! Sorting, ranking and distinct-value kernels.
+//!
+//! ORDER BY, sort-based GROUP BY and top-k all lower to these primitives,
+//! mirroring how TQP expresses relational operators as tensor programs.
+
+use crate::element::Element;
+use crate::tensor::Tensor;
+
+impl<T: Element> Tensor<T> {
+    /// Indices that sort a 1-d tensor ascending (stable).
+    pub fn argsort(&self) -> Tensor<i64> {
+        assert_eq!(self.ndim(), 1, "argsort expects a 1-d tensor");
+        let d = self.data();
+        let mut idx: Vec<i64> = (0..d.len() as i64).collect();
+        idx.sort_by(|&a, &b| {
+            d[a as usize]
+                .partial_cmp(&d[b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n = idx.len();
+        Tensor::from_vec(idx, &[n]).to(self.device())
+    }
+
+    /// Indices that sort descending (stable).
+    pub fn argsort_desc(&self) -> Tensor<i64> {
+        assert_eq!(self.ndim(), 1, "argsort expects a 1-d tensor");
+        let d = self.data();
+        let mut idx: Vec<i64> = (0..d.len() as i64).collect();
+        idx.sort_by(|&a, &b| {
+            d[b as usize]
+                .partial_cmp(&d[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n = idx.len();
+        Tensor::from_vec(idx, &[n]).to(self.device())
+    }
+
+    /// Sorted copy of a 1-d tensor.
+    pub fn sorted(&self) -> Tensor<T> {
+        self.select_rows(&self.argsort())
+    }
+
+    /// Indices of the `k` largest entries, in descending order.
+    pub fn topk_indices(&self, k: usize) -> Tensor<i64> {
+        assert_eq!(self.ndim(), 1, "topk expects a 1-d tensor");
+        let order = self.argsort_desc();
+        order.narrow(0, 0, k.min(order.numel()))
+    }
+}
+
+/// Stable lexicographic argsort over several equal-length key columns
+/// (most-significant key first). The substrate of multi-column ORDER BY and
+/// sort-based GROUP BY.
+pub fn lexsort_i64(keys: &[&Tensor<i64>]) -> Tensor<i64> {
+    assert!(!keys.is_empty(), "lexsort needs at least one key");
+    let n = keys[0].numel();
+    for k in keys {
+        assert_eq!(k.ndim(), 1, "lexsort keys must be 1-d");
+        assert_eq!(k.numel(), n, "lexsort keys must have equal length");
+    }
+    let mut idx: Vec<i64> = (0..n as i64).collect();
+    idx.sort_by(|&a, &b| {
+        for k in keys {
+            let (ka, kb) = (k.at(a as usize), k.at(b as usize));
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Tensor::from_vec(idx, &[n])
+}
+
+/// Result of [`unique_i64`]: distinct values and supporting indexes.
+#[derive(Debug, Clone)]
+pub struct Unique {
+    /// Distinct values in ascending order.
+    pub values: Tensor<i64>,
+    /// For each input position, the index of its value within `values`.
+    pub inverse: Tensor<i64>,
+    /// Multiplicity of each distinct value.
+    pub counts: Tensor<i64>,
+}
+
+/// Distinct values of a 1-d i64 tensor with inverse mapping and counts —
+/// the core of GROUP BY key resolution.
+pub fn unique_i64(t: &Tensor<i64>) -> Unique {
+    assert_eq!(t.ndim(), 1, "unique expects a 1-d tensor");
+    let n = t.numel();
+    let order = t.argsort();
+    let d = t.data();
+    let mut values = Vec::new();
+    let mut counts: Vec<i64> = Vec::new();
+    let mut inverse = vec![0i64; n];
+    for &pos in order.data() {
+        let v = d[pos as usize];
+        if values.last() != Some(&v) {
+            values.push(v);
+            counts.push(0);
+        }
+        let g = values.len() - 1;
+        counts[g] += 1;
+        inverse[pos as usize] = g as i64;
+    }
+    let k = values.len();
+    Unique {
+        values: Tensor::from_vec(values, &[k]),
+        inverse: Tensor::from_vec(inverse, &[n]),
+        counts: Tensor::from_vec(counts, &[k]),
+    }
+}
+
+/// Compose several i64 key columns into one group id per row plus the
+/// distinct key tuples (row-major `[num_groups, num_keys]`), ordered
+/// lexicographically. Used by multi-key GROUP BY.
+pub fn group_ids(keys: &[&Tensor<i64>]) -> (Tensor<i64>, Tensor<i64>) {
+    assert!(!keys.is_empty(), "group_ids needs at least one key");
+    let n = keys[0].numel();
+    let order = lexsort_i64(keys);
+    let mut ids = vec![0i64; n];
+    let mut distinct: Vec<i64> = Vec::new();
+    let mut current = -1i64;
+    let mut prev: Option<Vec<i64>> = None;
+    for &pos in order.data() {
+        let tuple: Vec<i64> = keys.iter().map(|k| k.at(pos as usize)).collect();
+        if prev.as_ref() != Some(&tuple) {
+            distinct.extend_from_slice(&tuple);
+            current += 1;
+            prev = Some(tuple);
+        }
+        ids[pos as usize] = current;
+    }
+    let groups = (current + 1) as usize;
+    (
+        Tensor::from_vec(ids, &[n]),
+        Tensor::from_vec(distinct, &[groups, keys.len()]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ti(v: Vec<i64>) -> Tensor<i64> {
+        let n = v.len();
+        Tensor::from_vec(v, &[n])
+    }
+
+    #[test]
+    fn argsort_ascending_and_descending() {
+        let t = Tensor::from_vec(vec![3.0f32, 1.0, 2.0], &[3]);
+        assert_eq!(t.argsort().to_vec(), vec![1, 2, 0]);
+        assert_eq!(t.argsort_desc().to_vec(), vec![0, 2, 1]);
+        assert_eq!(t.sorted().to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn argsort_is_stable() {
+        let t = ti(vec![1, 0, 1, 0]);
+        assert_eq!(t.argsort().to_vec(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn topk_descending() {
+        let t = Tensor::from_vec(vec![0.1f32, 0.9, 0.5, 0.7], &[4]);
+        assert_eq!(t.topk_indices(2).to_vec(), vec![1, 3]);
+        assert_eq!(t.topk_indices(10).numel(), 4, "k is clamped to n");
+    }
+
+    #[test]
+    fn lexsort_two_keys() {
+        let a = ti(vec![1, 0, 1, 0]);
+        let b = ti(vec![5, 9, 3, 7]);
+        // Sort by (a, b): (0,7)@3, (0,9)@1, (1,3)@2, (1,5)@0
+        assert_eq!(lexsort_i64(&[&a, &b]).to_vec(), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn unique_counts_and_inverse() {
+        let t = ti(vec![4, 2, 4, 4, 1]);
+        let u = unique_i64(&t);
+        assert_eq!(u.values.to_vec(), vec![1, 2, 4]);
+        assert_eq!(u.counts.to_vec(), vec![1, 1, 3]);
+        assert_eq!(u.inverse.to_vec(), vec![2, 1, 2, 2, 0]);
+        // Invariant: counts sum to n.
+        assert_eq!(u.counts.sum(), 5);
+        // Invariant: values[inverse[i]] == t[i].
+        let recon = u.values.select_rows(&u.inverse);
+        assert_eq!(recon.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn group_ids_multi_key() {
+        let digit = ti(vec![3, 3, 5, 3]);
+        let size = ti(vec![0, 1, 0, 0]);
+        let (ids, distinct) = group_ids(&[&digit, &size]);
+        // Lexicographic distinct tuples: (3,0), (3,1), (5,0)
+        assert_eq!(distinct.shape(), &[3, 2]);
+        assert_eq!(distinct.to_vec(), vec![3, 0, 3, 1, 5, 0]);
+        assert_eq!(ids.to_vec(), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn group_ids_single_key_matches_unique() {
+        let t = ti(vec![7, 7, 2]);
+        let (ids, distinct) = group_ids(&[&t]);
+        assert_eq!(distinct.to_vec(), vec![2, 7]);
+        assert_eq!(ids.to_vec(), vec![1, 1, 0]);
+    }
+}

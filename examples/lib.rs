@@ -1,0 +1,17 @@
+//! Shared helpers for the tdp-rs examples (timing and formatting only —
+//! each example binary is a self-contained walkthrough of one paper
+//! scenario and uses the public `tdp_core` API exclusively).
+
+use std::time::Instant;
+
+/// Run a closure and return (result, elapsed seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,12 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use tdp_core::storage::{Table, TableBuilder};
+
+/// A small orders/items fixture used by several SQL integration tests.
+pub fn orders_table() -> Table {
+    TableBuilder::new()
+        .col_f32("price", vec![3.0, 1.0, 2.0, 5.0, 4.0, 2.5])
+        .col_str("item", &["b", "a", "a", "c", "b", "a"])
+        .col_i64("qty", vec![10, 20, 30, 40, 50, 60])
+        .build("orders")
+}

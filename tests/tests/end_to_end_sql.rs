@@ -1,0 +1,162 @@
+//! End-to-end SQL coverage across the whole stack: parser → optimizer →
+//! exact executor → storage, through the public session API only.
+
+use tdp_core::{Device, Tdp};
+use tdp_core::storage::TableBuilder;
+use tdp_integration::orders_table;
+
+fn session() -> Tdp {
+    let tdp = Tdp::new();
+    tdp.register_table(orders_table());
+    tdp.register_table(
+        TableBuilder::new()
+            .col_str("item", &["a", "b", "c"])
+            .col_f32("weight", vec![0.5, 1.5, 2.5])
+            .build("items"),
+    );
+    tdp
+}
+
+fn run_f32(tdp: &Tdp, sql: &str, col: &str) -> Vec<f32> {
+    tdp.query(sql)
+        .unwrap()
+        .run()
+        .unwrap()
+        .column(col)
+        .unwrap_or_else(|| panic!("missing column {col}"))
+        .data
+        .decode_f32()
+        .to_vec()
+}
+
+#[test]
+fn filters_projections_expressions() {
+    let tdp = session();
+    assert_eq!(
+        run_f32(&tdp, "SELECT price * qty AS total FROM orders WHERE item = 'a' ORDER BY total", "total"),
+        vec![20.0, 60.0, 150.0]
+    );
+    assert_eq!(
+        run_f32(&tdp, "SELECT price FROM orders WHERE price BETWEEN 2 AND 4 ORDER BY price DESC", "price"),
+        vec![4.0, 3.0, 2.5, 2.0]
+    );
+}
+
+#[test]
+fn aggregation_pipeline() {
+    let tdp = session();
+    let out = tdp
+        .query("SELECT item, COUNT(*), SUM(qty), AVG(price), MIN(price), MAX(price) \
+                FROM orders GROUP BY item ORDER BY item")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.rows(), 3);
+    assert_eq!(out.column("item").unwrap().data.decode_strings(), vec!["a", "b", "c"]);
+    assert_eq!(
+        out.column("SUM(qty)").unwrap().data.decode_f32().to_vec(),
+        vec![110.0, 60.0, 40.0]
+    );
+    assert_eq!(
+        out.column("MAX(price)").unwrap().data.decode_f32().to_vec(),
+        vec![2.5, 4.0, 5.0]
+    );
+}
+
+#[test]
+fn having_and_arithmetic_over_aggregates() {
+    let tdp = session();
+    let out = tdp
+        .query("SELECT item, SUM(qty) / COUNT(*) AS mean_qty FROM orders \
+                GROUP BY item HAVING COUNT(*) > 1 ORDER BY item")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.rows(), 2);
+    assert_eq!(
+        out.column("mean_qty").unwrap().data.decode_f32().to_vec(),
+        vec![110.0 / 3.0, 30.0]
+    );
+}
+
+#[test]
+fn joins_through_the_session() {
+    let tdp = session();
+    let out = tdp
+        .query("SELECT item, SUM(weight * qty) AS load FROM orders JOIN items \
+                ON orders.item = items.item GROUP BY item ORDER BY item")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        out.column("load").unwrap().data.decode_f32().to_vec(),
+        vec![55.0, 90.0, 100.0]
+    );
+}
+
+#[test]
+fn nested_subqueries() {
+    let tdp = session();
+    let out = tdp
+        .query(
+            "SELECT AVG(total) FROM (SELECT price * qty AS total FROM \
+             (SELECT price, qty FROM orders WHERE item <> 'c'))",
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+    // totals: b:30, a:20, a:60, b:200, a:150 -> avg 92
+    assert_eq!(
+        out.column("AVG(total)").unwrap().data.decode_f32().to_vec(),
+        vec![92.0]
+    );
+}
+
+#[test]
+fn order_by_limit_topk() {
+    let tdp = session();
+    assert_eq!(
+        run_f32(&tdp, "SELECT price FROM orders ORDER BY price DESC LIMIT 2", "price"),
+        vec![5.0, 4.0]
+    );
+    assert_eq!(
+        run_f32(&tdp, "SELECT qty FROM orders ORDER BY item ASC, qty DESC LIMIT 3", "qty"),
+        vec![60.0, 30.0, 20.0]
+    );
+}
+
+#[test]
+fn results_identical_across_devices() {
+    let tdp = session();
+    let sql = "SELECT item, SUM(price * qty) AS v FROM orders GROUP BY item ORDER BY item";
+    let cpu = tdp.query(sql).unwrap().run().unwrap();
+    let accel = tdp
+        .query_with(sql, tdp_core::QueryConfig::default().device(Device::accel()))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        cpu.column("v").unwrap().data.decode_f32().to_vec(),
+        accel.column("v").unwrap().data.decode_f32().to_vec(),
+        "device placement must not change results"
+    );
+}
+
+#[test]
+fn dictionary_range_predicates() {
+    let tdp = session();
+    assert_eq!(
+        run_f32(&tdp, "SELECT qty FROM orders WHERE item >= 'b' ORDER BY qty", "qty"),
+        vec![10.0, 40.0, 50.0]
+    );
+}
+
+#[test]
+fn errors_are_informative() {
+    let tdp = session();
+    let e = tdp.query("SELECT nope FROM orders").unwrap().run().unwrap_err();
+    assert!(e.to_string().contains("nope"));
+    let e2 = tdp.query("SELECT * FROM ghosts").unwrap().run().unwrap_err();
+    assert!(e2.to_string().contains("ghosts"));
+    assert!(tdp.query("SELECT FROM WHERE").is_err());
+}

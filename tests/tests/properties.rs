@@ -1,0 +1,428 @@
+//! Property-based integration tests: invariants that must hold for *all*
+//! inputs, spanning encodings, the soft/exact operator pair, and the SQL
+//! frontend.
+
+use proptest::prelude::*;
+use tdp_core::autodiff::Var;
+use tdp_core::encoding::{PeTensor, RleColumn, StringDict};
+use tdp_core::exec::soft;
+use tdp_core::storage::TableBuilder;
+use tdp_core::tensor::{Tensor};
+use tdp_core::Tdp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dictionary encoding round-trips arbitrary string columns, and code
+    /// order equals string order (the order-preserving property).
+    #[test]
+    fn dictionary_round_trip_and_order(strings in proptest::collection::vec("[a-z]{0,6}", 1..40)) {
+        let (dict, codes) = StringDict::encode(&strings);
+        prop_assert_eq!(dict.decode(&codes), strings.clone());
+        for i in 0..strings.len() {
+            for j in 0..strings.len() {
+                prop_assert_eq!(
+                    strings[i] < strings[j],
+                    codes.at(i) < codes.at(j),
+                    "order must be preserved for ({}, {})", strings[i], strings[j]
+                );
+            }
+        }
+    }
+
+    /// RLE round-trips arbitrary i64 columns and its predicate masks match
+    /// the plain comparison.
+    #[test]
+    fn rle_round_trip(values in proptest::collection::vec(-3i64..4, 0..100), probe in -3i64..4) {
+        let n = values.len();
+        let col = Tensor::from_vec(values, &[n]);
+        let rle = RleColumn::encode(&col);
+        prop_assert_eq!(rle.decode(), col.clone());
+        prop_assert_eq!(rle.eq_mask(probe).to_vec(), col.eq_scalar(probe).to_vec());
+    }
+
+    /// One-hot PE: soft counts equal exact counts — the lossless embedding
+    /// of exact data in the differentiable domain.
+    #[test]
+    fn soft_count_equals_exact_on_onehot(ids in proptest::collection::vec(0i64..5, 1..50)) {
+        let n = ids.len();
+        let id_t = Tensor::from_vec(ids.clone(), &[n]);
+        let pe = PeTensor::from_class_ids(&id_t, PeTensor::range_classes(5));
+        let soft = pe.soft_counts();
+        for c in 0..5 {
+            let exact = ids.iter().filter(|&&v| v == c as i64).count() as f32;
+            prop_assert!((soft.at(c) - exact).abs() < 1e-5);
+        }
+    }
+
+    /// Soft grouped counts always conserve probability mass: they sum to
+    /// the (weighted) row count for arbitrary stochastic matrices.
+    #[test]
+    fn soft_groupby_conserves_mass(
+        rows in proptest::collection::vec(proptest::collection::vec(0.01f32..1.0, 3), 1..20),
+        weights in proptest::collection::vec(0.0f32..1.0, 20)
+    ) {
+        let n = rows.len();
+        // Normalise rows into distributions.
+        let mut probs = Vec::with_capacity(n * 3);
+        for r in &rows {
+            let s: f32 = r.iter().sum();
+            probs.extend(r.iter().map(|v| v / s));
+        }
+        let membership = Var::constant(Tensor::from_vec(probs, &[n, 3]));
+        let w = Var::constant(Tensor::from_vec(weights[..n].to_vec(), &[n]));
+        let counts = soft::soft_groupby_count(&membership, Some(&w)).value();
+        let expected: f32 = weights[..n].iter().sum();
+        prop_assert!((counts.sum() - expected).abs() < 1e-3);
+    }
+
+    /// SQL pretty-print → reparse is a fixpoint for generated queries.
+    #[test]
+    fn sql_display_reparse_fixpoint(
+        col_a in "[a-c]", col_b in "[x-z]",
+        lit in 0u32..100, limit in 1u64..50, desc in any::<bool>()
+    ) {
+        let sql = format!(
+            "SELECT {col_a}, COUNT(*) FROM t WHERE {col_b} > {lit} GROUP BY {col_a} \
+             ORDER BY {col_a}{} LIMIT {limit}",
+            if desc { " DESC" } else { "" }
+        );
+        let ast1 = tdp_core::sql::parse(&sql).unwrap();
+        let printed = format!("{ast1}");
+        let ast2 = tdp_core::sql::parse(&printed).unwrap();
+        prop_assert_eq!(format!("{}", ast2), printed);
+    }
+
+    /// Engine-level COUNT/SUM agree with a scalar reference implementation
+    /// on arbitrary numeric tables.
+    #[test]
+    fn aggregates_match_reference(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..60),
+        keys in proptest::collection::vec(0i64..4, 60)
+    ) {
+        let n = values.len();
+        let keys = &keys[..n];
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("v", values.clone())
+                .col_i64("k", keys.to_vec())
+                .build("t"),
+        );
+        let out = tdp
+            .query("SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k ORDER BY k")
+            .unwrap()
+            .run()
+            .unwrap();
+        // Reference.
+        let mut ref_counts = std::collections::BTreeMap::new();
+        for (v, k) in values.iter().zip(keys) {
+            let e = ref_counts.entry(*k).or_insert((0i64, 0.0f64));
+            e.0 += 1;
+            e.1 += *v as f64;
+        }
+        let got_keys = out.column("k").unwrap().data.decode_i64();
+        let got_counts = out.column("COUNT(*)").unwrap().data.decode_i64();
+        let got_sums = out.column("SUM(v)").unwrap().data.decode_f32();
+        prop_assert_eq!(got_keys.numel(), ref_counts.len());
+        for (i, (k, (c, s))) in ref_counts.iter().enumerate() {
+            prop_assert_eq!(got_keys.at(i), *k);
+            prop_assert_eq!(got_counts.at(i), *c);
+            prop_assert!((got_sums.at(i) as f64 - s).abs() < 0.05, "sum mismatch");
+        }
+    }
+
+    /// Filter + count equals counting the predicate matches, for arbitrary
+    /// thresholds — WHERE lowering is consistent with expression lowering.
+    #[test]
+    fn filter_count_consistency(
+        values in proptest::collection::vec(-10.0f32..10.0, 1..50),
+        threshold in -10.0f32..10.0
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("v", values.clone()).build("t"));
+        let out = tdp
+            .query(&format!("SELECT COUNT(*) FROM t WHERE v > {threshold}"))
+            .unwrap()
+            .run()
+            .unwrap();
+        let got = out.column("COUNT(*)").unwrap().data.decode_i64().at(0);
+        let expected = values.iter().filter(|&&v| v > threshold).count() as i64;
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Bit-packed and delta encodings round-trip arbitrary i64 columns,
+    /// and the auto-compressor never loses data while never growing it.
+    #[test]
+    fn compressed_encodings_round_trip(
+        values in proptest::collection::vec(proptest::num::i64::ANY, 0..80)
+    ) {
+        use tdp_core::encoding::{BitPackedColumn, DeltaColumn, EncodedTensor};
+        let n = values.len();
+        let col = Tensor::from_vec(values.clone(), &[n]);
+        let packed = BitPackedColumn::encode(&col);
+        prop_assert_eq!(packed.decode().to_vec(), values.clone());
+        if let Some(delta) = DeltaColumn::encode(&col) {
+            prop_assert_eq!(delta.decode().to_vec(), values.clone());
+        }
+        let auto = EncodedTensor::compress_i64(&col);
+        prop_assert_eq!(auto.decode_i64().to_vec(), values.clone());
+        prop_assert!(auto.memory_bytes() <= n * 8 + 16, "auto pick may not inflate");
+    }
+
+    /// einops rearrange is invertible: applying the reversed pattern
+    /// recovers the original tensor for arbitrary 3-d shapes.
+    #[test]
+    fn einops_rearrange_invertible(
+        a in 1usize..5, b in 1usize..5, c in 1usize..5, perm in 0usize..6
+    ) {
+        use tdp_core::tensor::einops::rearrange;
+        let n = a * b * c;
+        let t = Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[a, b, c]);
+        let orders = ["a b c", "a c b", "b a c", "b c a", "c a b", "c b a"];
+        let fwd_pat = format!("a b c -> {}", orders[perm]);
+        let bwd_pat = format!("{} -> a b c", orders[perm]);
+        let fwd = rearrange(&t, &fwd_pat, &[]).unwrap();
+        let back = rearrange(&fwd, &bwd_pat, &[]).unwrap();
+        prop_assert_eq!(back.to_vec(), t.to_vec());
+        prop_assert_eq!(back.shape(), t.shape());
+        // Composition then decomposition also round-trips.
+        let flat = rearrange(&t, "a b c -> (a b c)", &[]).unwrap();
+        let split = rearrange(&flat, "(a b c) -> a b c", &[("a", a), ("b", b)]).unwrap();
+        prop_assert_eq!(split.to_vec(), t.to_vec());
+    }
+
+    /// SQL LIKE agrees with a reference regex-free matcher for arbitrary
+    /// patterns of literals, `%` and `_`.
+    #[test]
+    fn like_matches_reference(
+        strings in proptest::collection::vec("[ab]{0,5}", 1..20),
+        pattern in "[ab%_]{0,5}"
+    ) {
+        fn reference(p: &str, s: &str) -> bool {
+            // Naive DP reference.
+            let p: Vec<char> = p.chars().collect();
+            let s: Vec<char> = s.chars().collect();
+            let mut dp = vec![vec![false; s.len() + 1]; p.len() + 1];
+            dp[0][0] = true;
+            for i in 1..=p.len() {
+                if p[i - 1] == '%' {
+                    dp[i][0] = dp[i - 1][0];
+                }
+                for j in 1..=s.len() {
+                    dp[i][j] = match p[i - 1] {
+                        '%' => dp[i - 1][j] || dp[i][j - 1],
+                        '_' => dp[i - 1][j - 1],
+                        c => dp[i - 1][j - 1] && s[j - 1] == c,
+                    };
+                }
+            }
+            dp[p.len()][s.len()]
+        }
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_str("s", &strings).build("t"));
+        let escaped = pattern.replace('\'', "''");
+        let out = tdp
+            .query(&format!("SELECT COUNT(*) FROM t WHERE s LIKE '{escaped}'"))
+            .unwrap()
+            .run()
+            .unwrap();
+        let got = out.column("COUNT(*)").unwrap().data.decode_i64().at(0);
+        let expected = strings.iter().filter(|s| reference(&pattern, s)).count() as i64;
+        prop_assert_eq!(got, expected, "pattern '{}' over {:?}", pattern, strings);
+    }
+
+    /// DISTINCT returns exactly the set of unique rows, in first-occurrence
+    /// order, for arbitrary low-cardinality columns.
+    #[test]
+    fn distinct_matches_reference(
+        values in proptest::collection::vec(0i64..6, 1..60)
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_i64("v", values.clone()).build("t"));
+        let out = tdp.query("SELECT DISTINCT v FROM t").unwrap().run().unwrap();
+        let mut seen = Vec::new();
+        for v in &values {
+            if !seen.contains(v) {
+                seen.push(*v);
+            }
+        }
+        prop_assert_eq!(out.column("v").unwrap().data.decode_i64().to_vec(), seen);
+    }
+
+    /// The fused TopK operator returns exactly what the full sort + limit
+    /// returns, for arbitrary data, k and direction (including ties).
+    #[test]
+    fn topk_equals_sort_plus_limit(
+        values in proptest::collection::vec(-5i64..5, 1..60),
+        k in 1u64..70,
+        desc in proptest::bool::ANY
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_i64("v", values.clone())
+                .col_i64("row", (0..values.len() as i64).collect())
+                .build("t"),
+        );
+        let dir = if desc { "DESC" } else { "ASC" };
+        // The optimizer fuses this into TopK…
+        let fused = tdp
+            .query(&format!("SELECT v, row FROM t ORDER BY v {dir} LIMIT {k}"))
+            .unwrap();
+        prop_assert!(fused.explain().contains("TopK"), "{}", fused.explain());
+        let a = fused.run().unwrap();
+        // …while a reference full sort in plain code gives the ground truth.
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&x, &y| {
+            let ord = if desc { values[y].cmp(&values[x]) } else { values[x].cmp(&values[y]) };
+            ord.then(x.cmp(&y))
+        });
+        idx.truncate(k as usize);
+        prop_assert_eq!(
+            a.column("row").unwrap().data.decode_i64().to_vec(),
+            idx.iter().map(|&i| i as i64).collect::<Vec<_>>()
+        );
+    }
+
+    /// RANK / DENSE_RANK / ROW_NUMBER satisfy their defining relations on
+    /// arbitrary data: row_number is a permutation of 1..=n per partition,
+    /// rank equals 1 + count of strictly-smaller keys, dense_rank equals
+    /// the number of distinct keys ≤ this one.
+    #[test]
+    fn window_ranks_match_reference(
+        keys in proptest::collection::vec(0i64..5, 1..30)
+    ) {
+        let n = keys.len();
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_i64("k", keys.clone())
+                .col_i64("row", (0..n as i64).collect())
+                .build("t"),
+        );
+        let out = tdp
+            .query(
+                "SELECT row, ROW_NUMBER() OVER (ORDER BY k) AS rn, \
+                 RANK() OVER (ORDER BY k) AS r, DENSE_RANK() OVER (ORDER BY k) AS d \
+                 FROM t ORDER BY row",
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+        let rn = out.column("rn").unwrap().data.decode_i64();
+        let r = out.column("r").unwrap().data.decode_i64();
+        let d = out.column("d").unwrap().data.decode_i64();
+        let mut rns: Vec<i64> = rn.to_vec();
+        rns.sort_unstable();
+        prop_assert_eq!(rns, (1..=n as i64).collect::<Vec<_>>());
+        for i in 0..n {
+            let smaller = keys.iter().filter(|&&k| k < keys[i]).count() as i64;
+            prop_assert_eq!(r.at(i), smaller + 1, "rank at {}", i);
+            let mut distinct_le: Vec<i64> =
+                keys.iter().copied().filter(|&k| k <= keys[i]).collect();
+            distinct_le.sort_unstable();
+            distinct_le.dedup();
+            prop_assert_eq!(d.at(i), distinct_le.len() as i64, "dense_rank at {}", i);
+        }
+    }
+
+    /// einops reduce agrees with manual pooling for arbitrary block sizes.
+    #[test]
+    fn einops_reduce_matches_manual_pooling(
+        h in 1usize..4, w in 1usize..4, bh in 1usize..4, bw in 1usize..4
+    ) {
+        use tdp_core::tensor::einops::{reduce, ReduceOp};
+        let (hh, ww) = (h * bh, w * bw);
+        let t = Tensor::from_vec(
+            (0..hh * ww).map(|v| (v as f32).sin()).collect(),
+            &[hh, ww],
+        );
+        let pooled = reduce(
+            &t,
+            "(h bh) (w bw) -> h w",
+            ReduceOp::Sum,
+            &[("bh", bh), ("bw", bw)],
+        )
+        .unwrap();
+        prop_assert_eq!(pooled.shape(), &[h, w]);
+        for y in 0..h {
+            for x in 0..w {
+                let mut manual = 0.0f32;
+                for dy in 0..bh {
+                    for dx in 0..bw {
+                        manual += t.get(&[y * bh + dy, x * bw + dx]);
+                    }
+                }
+                prop_assert!(
+                    (pooled.get(&[y, x]) - manual).abs() < 1e-4,
+                    "block ({}, {})", y, x
+                );
+            }
+        }
+    }
+
+    /// Windowed running SUM matches a plain-code reference (per-partition,
+    /// peers-inclusive) for arbitrary data.
+    #[test]
+    fn window_running_sum_matches_reference(
+        parts in proptest::collection::vec(0i64..3, 1..40),
+        keys in proptest::collection::vec(0i64..4, 40),
+        vals in proptest::collection::vec(-10.0f32..10.0, 40)
+    ) {
+        let n = parts.len();
+        let keys = &keys[..n];
+        let vals = &vals[..n];
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_i64("p", parts.clone())
+                .col_i64("k", keys.to_vec())
+                .col_f32("v", vals.to_vec())
+                .col_i64("row", (0..n as i64).collect())
+                .build("t"),
+        );
+        let out = tdp
+            .query(
+                "SELECT row, SUM(v) OVER (PARTITION BY p ORDER BY k) AS s FROM t ORDER BY row",
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+        let got = out.column("s").unwrap().data.decode_f32();
+        for i in 0..n {
+            // Reference: sum of v over rows in the same partition whose
+            // order key is <= this row's key (peers included).
+            let expect: f32 = (0..n)
+                .filter(|&j| parts[j] == parts[i] && keys[j] <= keys[i])
+                .map(|j| vals[j])
+                .sum();
+            prop_assert!(
+                (got.at(i) - expect).abs() < 1e-3,
+                "row {i}: got {} expect {expect}", got.at(i)
+            );
+        }
+    }
+
+    /// Soft top-k mass always sums to k (≤ n) and weights stay in [0, k]
+    /// (the NeuralSort matrix is row-stochastic, not doubly stochastic, so
+    /// a single row's weight may exceed 1 at high temperature), for
+    /// arbitrary scores and temperatures.
+    #[test]
+    fn soft_topk_mass_invariant(
+        scores in proptest::collection::vec(-3.0f32..3.0, 1..20),
+        k in 0usize..25,
+        temp in 0.05f32..2.0
+    ) {
+        let n = scores.len();
+        let s = Var::constant(Tensor::from_vec(scores, &[n]));
+        let w = soft::soft_topk_weights(&s, k, true, temp).value();
+        let mass: f32 = w.data().iter().sum();
+        let expect = k.min(n) as f32;
+        prop_assert!((mass - expect).abs() < 1e-3, "mass {} vs k {}", mass, expect);
+        prop_assert!(
+            w.data().iter().all(|&x| (-1e-4..=expect + 1e-3).contains(&x)),
+            "weights outside [0, k]: {:?}", w.to_vec()
+        );
+    }
+}

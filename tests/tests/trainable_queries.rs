@@ -1,0 +1,224 @@
+//! Integration tests of the differentiable-SQL machinery: soft/exact
+//! agreement, gradient flow, weight-threading, and the operator-swap
+//! contract of paper §4.
+
+use std::sync::Arc;
+
+use tdp_core::autodiff::Var;
+use tdp_core::exec::{ArgValue, Batch, ColumnData, DiffColumn, ExecContext, ExecError, ScalarUdf, TableFunction};
+use tdp_core::encoding::EncodedTensor;
+use tdp_core::nn::{Adam, Optimizer};
+use tdp_core::storage::TableBuilder;
+use tdp_core::tensor::{Rng64, Tensor};
+use tdp_core::{QueryConfig, Tdp};
+
+/// TVF emitting a PE column driven by a trainable logits parameter.
+struct LogitClassifier {
+    logits: Var,
+    classes: usize,
+}
+
+impl TableFunction for LogitClassifier {
+    fn name(&self) -> &str {
+        "classify"
+    }
+    fn invoke_table(&self, input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
+        let diff = self.invoke_table_diff(input, ctx)?;
+        let mut out = Batch::new();
+        for (name, col) in diff.columns() {
+            out.push(name.clone(), ColumnData::Exact(col.to_exact()));
+        }
+        Ok(out)
+    }
+    fn invoke_table_diff(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+        let mut out = Batch::new();
+        out.push(
+            "Label",
+            ColumnData::Diff(DiffColumn::pe(
+                self.logits.softmax(1),
+                Tensor::arange(self.classes),
+            )),
+        );
+        Ok(out)
+    }
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.logits.clone()]
+    }
+}
+
+fn fixture(n: usize, classes: usize) -> (Tdp, Var) {
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("x", (0..n).map(|i| i as f32).collect())
+            .build("rows"),
+    );
+    let logits = Var::param(Tensor::<f32>::zeros(&[n, classes]));
+    tdp.register_tvf(Arc::new(LogitClassifier { logits: logits.clone(), classes }));
+    (tdp, logits)
+}
+
+#[test]
+fn soft_counts_conserve_mass() {
+    let (tdp, _) = fixture(12, 4);
+    let q = tdp
+        .query_with(
+            "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label",
+            QueryConfig::default().trainable(true),
+        )
+        .unwrap();
+    let counts = q.run_counts().unwrap().value();
+    assert_eq!(counts.numel(), 4);
+    assert!((counts.sum() - 12.0).abs() < 1e-4, "soft mass = row count");
+}
+
+#[test]
+fn soft_equals_exact_for_confident_models() {
+    // With near-one-hot logits, soft counts must agree with the exact
+    // (argmax-decoded) counts — the inference swap is then error-free.
+    let (tdp, logits) = fixture(6, 2);
+    let sharp: Vec<f32> = (0..6)
+        .flat_map(|i| if i % 3 == 0 { [30.0, -30.0] } else { [-30.0, 30.0] })
+        .collect();
+    logits.set_value(Tensor::from_vec(sharp, &[6, 2]));
+    let sql = "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label";
+    let q = tdp.query_with(sql, QueryConfig::default().trainable(true)).unwrap();
+    let soft = q.run_counts().unwrap().value();
+    let exact = q.run().unwrap();
+    let exact_counts = exact.column("COUNT(*)").unwrap().data.decode_f32();
+    assert!((soft.at(0) - 2.0).abs() < 1e-4);
+    assert!((soft.at(1) - 4.0).abs() < 1e-4);
+    assert_eq!(exact_counts.to_vec(), vec![2.0, 4.0]);
+}
+
+#[test]
+fn trainable_count_supervision_converges_and_transfers() {
+    let (tdp, logits) = fixture(8, 2);
+    let q = tdp
+        .query_with(
+            "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label",
+            QueryConfig::default().trainable(true),
+        )
+        .unwrap();
+    let target = Tensor::from_vec(vec![5.0f32, 3.0], &[2]);
+    let mut opt = Adam::new(q.parameters(), 0.2);
+    let mut last = f32::MAX;
+    for _ in 0..150 {
+        opt.zero_grad();
+        let loss = q.run_counts().unwrap().mse_loss(&target);
+        loss.backward();
+        opt.step();
+        last = loss.value().item();
+    }
+    // Count supervision alone admits fractional optima (every row at
+    // p = 5/8 also yields soft counts [5, 3]); what must hold is that the
+    // soft counts fit the target and total mass is conserved exactly.
+    assert!(last < 1e-3, "soft counts must fit the target: loss {last}");
+    let soft = q.run_counts().unwrap().value();
+    assert!((soft.at(0) - 5.0).abs() < 0.05 && (soft.at(1) - 3.0).abs() < 0.05);
+    let exact = q.run().unwrap();
+    assert_eq!(
+        exact.column("COUNT(*)").unwrap().data.decode_i64().sum(),
+        8,
+        "exact decode conserves rows"
+    );
+    let _ = logits;
+}
+
+#[test]
+fn weighted_soft_filter_flows_gradients() {
+    // Trainable threshold-style UDF: score(x) = x * w, filter > 1.
+    struct ScoreUdf {
+        w: Var,
+    }
+    impl ScalarUdf for ScoreUdf {
+        fn name(&self) -> &str {
+            "score"
+        }
+        fn invoke(&self, args: &[ArgValue], _: &ExecContext) -> Result<EncodedTensor, ExecError> {
+            let x = args[0].as_column()?.decode_f32();
+            Ok(EncodedTensor::F32(x.mul_scalar(self.w.value().item())))
+        }
+        fn invoke_diff(&self, args: &[ArgValue], _: &ExecContext) -> Result<DiffColumn, ExecError> {
+            let x = match &args[0] {
+                ArgValue::Column(c) => Var::constant(c.decode_f32()),
+                ArgValue::DiffColumn(d) => d.var.clone(),
+                other => return Err(ExecError::TypeMismatch(format!("{other:?}"))),
+            };
+            Ok(DiffColumn::plain(x.mul(&self.w.broadcast_to(&[x.shape()[0]]))))
+        }
+        fn parameters(&self) -> Vec<Var> {
+            vec![self.w.clone()]
+        }
+    }
+
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("x", vec![0.5, 1.0, 1.5, 2.0])
+            .build("t"),
+    );
+    let w = Var::param(Tensor::from_vec(vec![1.0f32], &[1]));
+    tdp.register_udf(Arc::new(ScoreUdf { w: w.clone() }));
+    let q = tdp
+        .query_with(
+            "SELECT COUNT(*) FROM t WHERE score(x) > 1.0",
+            QueryConfig::default().trainable(true).temperature(0.5),
+        )
+        .unwrap();
+    // Train the weight so the soft count reaches 2. (A generous temperature
+    // and a small step size keep the relaxed predicate out of the saturated
+    // sigmoid region, where gradients vanish.)
+    let target = Tensor::from_vec(vec![2.0f32], &[1]);
+    let mut opt = Adam::new(q.parameters(), 0.02);
+    let mut last = f32::MAX;
+    for _ in 0..300 {
+        opt.zero_grad();
+        let loss = q.run_counts().unwrap().mse_loss(&target);
+        loss.backward();
+        opt.step();
+        last = loss.value().item();
+    }
+    assert!(last < 0.05, "trainable filter should fit the target count: {last}");
+    // Exact execution of the trained query returns an integer count near 2.
+    let exact = q.run().unwrap();
+    let c = exact.column("COUNT(*)").unwrap().data.decode_i64().at(0);
+    assert!((1..=3).contains(&c), "exact count after training: {c}");
+}
+
+#[test]
+fn non_trainable_query_rejects_diff_run() {
+    let (tdp, _) = fixture(4, 2);
+    let q = tdp
+        .query("SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label")
+        .unwrap();
+    assert!(q.run_diff().is_err());
+    assert!(q.run().is_ok());
+}
+
+#[test]
+fn group_order_is_lexicographic_in_both_modes() {
+    let (tdp, logits) = fixture(4, 3);
+    // Confident: classes 2, 1, 0, 2.
+    let mut l = vec![-20.0f32; 12];
+    for (i, c) in [2usize, 1, 0, 2].iter().enumerate() {
+        l[i * 3 + c] = 20.0;
+    }
+    logits.set_value(Tensor::from_vec(l, &[4, 3]));
+    let sql = "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label";
+    let q = tdp.query_with(sql, QueryConfig::default().trainable(true)).unwrap();
+    // Soft mode: dense table over all classes 0,1,2.
+    let soft_batch = q.run_diff().unwrap();
+    let labels = soft_batch.column("Label").unwrap().to_exact().decode_f32();
+    assert_eq!(labels.to_vec(), vec![0.0, 1.0, 2.0]);
+    // Exact mode: observed classes in ascending order.
+    let exact = q.run().unwrap();
+    assert_eq!(
+        exact.column("Label").unwrap().data.decode_f32().to_vec(),
+        vec![0.0, 1.0, 2.0]
+    );
+    assert_eq!(
+        exact.column("COUNT(*)").unwrap().data.decode_i64().to_vec(),
+        vec![1, 1, 2]
+    );
+}
