@@ -54,9 +54,7 @@ impl Var {
         Var::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                vec![reduce_to_shape(g, &sa), reduce_to_shape(&g.neg(), &sb)]
-            }),
+            Box::new(move |g| vec![reduce_to_shape(g, &sa), reduce_to_shape(&g.neg(), &sb)]),
         )
     }
 
@@ -446,9 +444,7 @@ impl Var {
         Var::from_op(
             self.value().select_rows(idx),
             vec![self.clone()],
-            Box::new(move |g| {
-                vec![F32Tensor::zeros(&orig).scatter_add_rows(&idx2, g)]
-            }),
+            Box::new(move |g| vec![F32Tensor::zeros(&orig).scatter_add_rows(&idx2, g)]),
         )
     }
 
@@ -517,7 +513,10 @@ impl Var {
         assert_eq!(targets.numel(), n, "one target per row");
         let onehot = tdp_tensor::index::one_hot(targets, classes);
         let ls = self.log_softmax(1);
-        ls.mul(&Var::constant(onehot)).sum().div_scalar(n as f32).neg()
+        ls.mul(&Var::constant(onehot))
+            .sum()
+            .div_scalar(n as f32)
+            .neg()
     }
 }
 
@@ -591,11 +590,21 @@ mod tests {
             |v| v.relu().sum(),
             |v| v.abs().sum(),
         ] {
-            check_gradients(&[xs.clone()], &[vec![4]], |vars| f(&vars[0]), 1e-2);
+            check_gradients(
+                std::slice::from_ref(&xs),
+                &[vec![4]],
+                |vars| f(&vars[0]),
+                1e-2,
+            );
         }
         // ln and sqrt need positive inputs.
         let pos = vec![0.5f32, 1.25, 2.0, 0.1];
-        check_gradients(&[pos.clone()], &[vec![4]], |vars| vars[0].ln().sum(), 1e-2);
+        check_gradients(
+            std::slice::from_ref(&pos),
+            &[vec![4]],
+            |vars| vars[0].ln().sum(),
+            1e-2,
+        );
         check_gradients(&[pos], &[vec![4]], |vars| vars[0].sqrt().sum(), 1e-2);
     }
 
@@ -603,7 +612,7 @@ mod tests {
     fn softmax_gradient() {
         let xs = vec![0.2f32, -0.4, 1.1, 0.0, 0.7, -1.0];
         check_gradients(
-            &[xs.clone()],
+            std::slice::from_ref(&xs),
             &[vec![2, 3]],
             |vars| {
                 // weighted sum so the gradient is not trivially zero
@@ -633,13 +642,13 @@ mod tests {
     fn reductions_and_reshape_gradients() {
         let xs: Vec<f32> = (0..12).map(|i| i as f32 / 3.0 - 2.0).collect();
         check_gradients(
-            &[xs.clone()],
+            std::slice::from_ref(&xs),
             &[vec![3, 4]],
             |vars| vars[0].sum_dim(0, false).square().sum(),
             1e-2,
         );
         check_gradients(
-            &[xs.clone()],
+            std::slice::from_ref(&xs),
             &[vec![3, 4]],
             |vars| vars[0].mean_dim(1, true).square().sum(),
             1e-2,
@@ -742,7 +751,9 @@ mod tests {
     fn training_converges_linear_regression() {
         // y = 2x - 1 learned by gradient descent through the tape.
         let mut rng = Rng64::new(77);
-        let xs: Vec<f32> = (0..64).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let xs: Vec<f32> = (0..64)
+            .map(|_| rng.uniform_range(-1.0, 1.0) as f32)
+            .collect();
         let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x - 1.0).collect();
         let x = Tensor::from_vec(xs, &[64, 1]);
         let y = Tensor::from_vec(ys, &[64, 1]);

@@ -168,7 +168,9 @@ impl Var {
         self.accumulate_grad(seed);
         // `order` is parents-before-children; walk it childmost-first.
         for node in order.iter().rev() {
-            let Some(bw) = node.0.backward.as_ref() else { continue };
+            let Some(bw) = node.0.backward.as_ref() else {
+                continue;
+            };
             // A node with no accumulated gradient is off the path from the
             // seed (e.g. an unused TVF output column): nothing to propagate.
             let Some(g) = node.grad() else { continue };

@@ -133,15 +133,13 @@ impl BaselineDb {
         match pred {
             Predicate::True => (0..n).collect(),
             Predicate::StrEq(col, lit) => match table.column(col) {
-                Some(BaselineColumn::Str(v)) => {
-                    (0..n).filter(|&i| v[i] == *lit).collect()
-                }
+                Some(BaselineColumn::Str(v)) => (0..n).filter(|&i| v[i] == *lit).collect(),
                 _ => Vec::new(),
             },
             Predicate::NumBetween(col, lo, hi) => match table.column(col) {
-                Some(BaselineColumn::Num(v)) => (0..n)
-                    .filter(|&i| v[i] >= *lo && v[i] <= *hi)
-                    .collect(),
+                Some(BaselineColumn::Num(v)) => {
+                    (0..n).filter(|&i| v[i] >= *lo && v[i] <= *hi).collect()
+                }
                 _ => Vec::new(),
             },
         }
@@ -199,10 +197,7 @@ mod tests {
         let mut t = BaselineTable::new();
         t.add_num("SepalLength", vec![5.0, 6.0, 7.0, 4.0])
             .add_num("PetalLength", vec![1.0, 2.0, 3.0, 4.0])
-            .add_str(
-                "ts",
-                vec!["a".into(), "b".into(), "a".into(), "c".into()],
-            );
+            .add_str("ts", vec!["a".into(), "b".into(), "a".into(), "c".into()]);
         t
     }
 
@@ -230,7 +225,10 @@ mod tests {
         let mut db = BaselineDb::new();
         db.create("iris", iris_like());
         assert_eq!(
-            db.count("iris", &Predicate::NumBetween("SepalLength".into(), 5.5, 7.5)),
+            db.count(
+                "iris",
+                &Predicate::NumBetween("SepalLength".into(), 5.5, 7.5)
+            ),
             2
         );
     }
@@ -248,10 +246,7 @@ mod tests {
         let mut db = BaselineDb::new();
         db.create("iris", iris_like());
         let g = db.group_count("iris", "ts").unwrap();
-        assert_eq!(
-            g,
-            vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 1)]
-        );
+        assert_eq!(g, vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 1)]);
     }
 
     #[test]
@@ -261,12 +256,19 @@ mod tests {
         assert!(db.avg("nope", &["x"], &Predicate::True).is_none());
         let mut db2 = BaselineDb::new();
         db2.create("t", iris_like());
-        assert!(db2
-            .avg("t", &["ts"], &Predicate::True)
-            .is_none(), "avg over strings is refused");
-        assert!(db2
-            .avg("t", &["SepalLength"], &Predicate::StrEq("ts".into(), "zz".into()))
-            .is_none(), "empty selection yields no average");
+        assert!(
+            db2.avg("t", &["ts"], &Predicate::True).is_none(),
+            "avg over strings is refused"
+        );
+        assert!(
+            db2.avg(
+                "t",
+                &["SepalLength"],
+                &Predicate::StrEq("ts".into(), "zz".into())
+            )
+            .is_none(),
+            "empty selection yields no average"
+        );
     }
 
     #[test]

@@ -57,26 +57,39 @@ fn sweep(name: &str, data: F32Tensor, metric: Metric, rng: &mut Rng64) {
 
     let flat = FlatIndex::build(data.clone(), metric);
     let (truth, exact_total) = timed(|| {
-        queries.iter().map(|q| flat.search(q, K)).collect::<Vec<_>>()
+        queries
+            .iter()
+            .map(|q| flat.search(q, K))
+            .collect::<Vec<_>>()
     });
     let exact_ms = exact_total * 1e3 / N_QUERIES as f64;
 
-    let (ivf, train_s) =
-        timed(|| IvfFlatIndex::train(data, metric, IvfParams::new(nlist), rng));
-    println!("ivf train: {:.2}s  cells {}  sizes min/max {}/{}",
+    let (ivf, train_s) = timed(|| IvfFlatIndex::train(data, metric, IvfParams::new(nlist), rng));
+    println!(
+        "ivf train: {:.2}s  cells {}  sizes min/max {}/{}",
         train_s,
         ivf.nlist(),
         ivf.list_sizes().iter().min().unwrap(),
-        ivf.list_sizes().iter().max().unwrap());
+        ivf.list_sizes().iter().max().unwrap()
+    );
 
-    println!("{:>10} {:>12} {:>12} {:>10}", "nprobe", "recall@10", "ms/query", "speedup");
-    println!("{:>10} {:>12} {:>12.3} {:>10}", "exact", "1.000", exact_ms, "1.0x");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "nprobe", "recall@10", "ms/query", "speedup"
+    );
+    println!(
+        "{:>10} {:>12} {:>12.3} {:>10}",
+        "exact", "1.000", exact_ms, "1.0x"
+    );
     for nprobe in [1usize, 2, 4, 8, 16, 32] {
         if nprobe > ivf.nlist() {
             break;
         }
         let (results, total) = timed(|| {
-            queries.iter().map(|q| ivf.search(q, K, nprobe)).collect::<Vec<_>>()
+            queries
+                .iter()
+                .map(|q| ivf.search(q, K, nprobe))
+                .collect::<Vec<_>>()
         });
         let ms = total * 1e3 / N_QUERIES as f64;
         let recall: f64 = truth

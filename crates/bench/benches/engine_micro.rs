@@ -30,7 +30,10 @@ fn bench_sql_operators(c: &mut Criterion) {
         ("filter", "SELECT v FROM t WHERE v > 0.5"),
         ("filter_string", "SELECT v FROM t WHERE label = 'alpha'"),
         ("groupby_count", "SELECT k, COUNT(*) FROM t GROUP BY k"),
-        ("groupby_agg", "SELECT label, SUM(v), AVG(v) FROM t GROUP BY label"),
+        (
+            "groupby_agg",
+            "SELECT label, SUM(v), AVG(v) FROM t GROUP BY label",
+        ),
         ("orderby_limit", "SELECT v FROM t ORDER BY v DESC LIMIT 10"),
     ] {
         let q = tdp.query(sql).expect("compile");
@@ -59,16 +62,47 @@ fn bench_soft_vs_exact_groupby(c: &mut Criterion) {
 
 fn bench_compilation(c: &mut Criterion) {
     let tdp = session(100);
+    let sql = "SELECT label, SUM(v * 2 + 1) AS s FROM t WHERE k > 10 \
+               GROUP BY label HAVING COUNT(*) > 5 ORDER BY s DESC LIMIT 3";
     let mut group = c.benchmark_group("compile");
     group.sample_size(50);
-    group.bench_function("parse_plan_optimize", |b| {
+    // Full pipeline: parse → plan → optimize → lower (cache cleared).
+    group.bench_function("parse_plan_optimize_lower", |b| {
         b.iter(|| {
-            tdp.query(
-                "SELECT label, SUM(v * 2 + 1) AS s FROM t WHERE k > 10 \
-                 GROUP BY label HAVING COUNT(*) > 5 ORDER BY s DESC LIMIT 3",
-            )
-            .expect("compile")
+            tdp.clear_plan_cache();
+            tdp.query(sql).expect("compile")
         })
+    });
+    // Plan-cache hit: the same SQL re-compiled skips all of the above.
+    group.bench_function("plan_cache_hit", |b| {
+        b.iter(|| tdp.query(sql).expect("compile"))
+    });
+    group.finish();
+}
+
+fn bench_compiled_vs_uncompiled_repeated(c: &mut Criterion) {
+    // The compile-once story, end to end: issuing the same query many
+    // times. `recompile_uncached` pays parse → plan → optimize → lower on
+    // every run; `recompile_cached` pays one plan-cache probe; the
+    // compiled query pays neither — it is pure slot-indexed kernel
+    // dispatch. Small table so per-run overhead (not kernels) dominates.
+    let tdp = session(1_000);
+    let sql = "SELECT label, SUM(v) AS s FROM t WHERE k > 10 GROUP BY label \
+               ORDER BY s DESC LIMIT 3";
+    let mut group = c.benchmark_group("repeated_query_1k_rows");
+    group.sample_size(50);
+    group.bench_function("recompile_uncached", |b| {
+        b.iter(|| {
+            tdp.clear_plan_cache();
+            tdp.query(sql).expect("compile").run().expect("run")
+        })
+    });
+    group.bench_function("recompile_cached", |b| {
+        b.iter(|| tdp.query(sql).expect("compile").run().expect("run"))
+    });
+    let compiled = tdp.query(sql).expect("compile");
+    group.bench_function("compile_once_run_many", |b| {
+        b.iter(|| compiled.run().expect("run"))
     });
     group.finish();
 }
@@ -95,7 +129,9 @@ fn bench_topk_vs_full_sort(c: &mut Criterion) {
     use tdp_core::sql::ast::OrderItem;
     use tdp_core::sql::plan::LogicalPlan;
     let tdp = session(200_000);
-    let fused = tdp.query("SELECT v FROM t ORDER BY v DESC LIMIT 10").expect("compile");
+    let fused = tdp
+        .query("SELECT v FROM t ORDER BY v DESC LIMIT 10")
+        .expect("compile");
     assert!(fused.explain().contains("TopK"), "fusion must fire");
     let mut group = c.benchmark_group("topk_200k");
     group.sample_size(20);
@@ -120,8 +156,9 @@ fn bench_topk_vs_full_sort(c: &mut Criterion) {
     let catalog = tdp.catalog();
     let udfs = tdp_core::exec::UdfRegistry::new();
     let ctx = tdp_core::exec::ExecContext::new(catalog, &udfs);
+    let unfused = tdp_core::exec::lower(&unfused_plan, catalog, &udfs).expect("lower");
     group.bench_function("full_sort_then_limit", |b| {
-        b.iter(|| tdp_core::exec::execute(&unfused_plan, &ctx).expect("run"))
+        b.iter(|| tdp_core::exec::execute(&unfused, &ctx).expect("run"))
     });
     group.finish();
 }
@@ -138,13 +175,17 @@ fn bench_compressed_encodings(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("compressed_encodings_100k");
     group.sample_size(20);
-    group.bench_function("bitpack_encode", |b| b.iter(|| BitPackedColumn::encode(&low)));
+    group.bench_function("bitpack_encode", |b| {
+        b.iter(|| BitPackedColumn::encode(&low))
+    });
     group.bench_function("delta_encode", |b| b.iter(|| DeltaColumn::encode(&ts)));
     let packed = BitPackedColumn::encode(&low);
     let delta = DeltaColumn::encode(&ts).expect("encodable");
     group.bench_function("bitpack_decode", |b| b.iter(|| packed.decode()));
     group.bench_function("delta_decode", |b| b.iter(|| delta.decode()));
-    group.bench_function("auto_compress", |b| b.iter(|| EncodedTensor::compress_i64(&low)));
+    group.bench_function("auto_compress", |b| {
+        b.iter(|| EncodedTensor::compress_i64(&low))
+    });
 
     // End-to-end: same GROUP BY over plain vs compressed storage.
     for (name, compress) in [("groupby_plain_i64", false), ("groupby_bitpacked", true)] {
@@ -154,7 +195,9 @@ fn bench_compressed_encodings(c: &mut Criterion) {
             .col_f32("v", vec![1.0; n])
             .build("t");
         tdp.register_table(if compress { table.compress() } else { table });
-        let q = tdp.query("SELECT k, COUNT(*) FROM t GROUP BY k").expect("compile");
+        let q = tdp
+            .query("SELECT k, COUNT(*) FROM t GROUP BY k")
+            .expect("compile");
         group.bench_function(name, |b| b.iter(|| q.run().expect("run")));
     }
     group.finish();
@@ -165,6 +208,7 @@ criterion_group!(
     bench_sql_operators,
     bench_soft_vs_exact_groupby,
     bench_compilation,
+    bench_compiled_vs_uncompiled_repeated,
     bench_encodings,
     bench_compressed_encodings,
     bench_topk_vs_full_sort

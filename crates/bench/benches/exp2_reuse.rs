@@ -33,7 +33,9 @@ fn main() {
         "Exp. 2 (§5.5): reuse of the digit parser trained through the query",
         "98.15% standalone digit accuracy without ever seeing digit labels",
     );
-    println!("{n_train} training grids, {iters} iterations (batch {BATCH}), {n_eval} eval digits\n");
+    println!(
+        "{n_train} training grids, {iters} iterations (batch {BATCH}), {n_eval} eval digits\n"
+    );
 
     let mut rng = Rng64::new(42);
     let train = generate_grids(n_train, &mut rng);
@@ -80,6 +82,9 @@ fn main() {
     let size_acc = accuracy(&size_logits, &eval.sizes);
 
     println!("\ntrained in {train_secs:.0}s through count supervision only");
-    println!("digit_parser standalone accuracy: {:.2}% (paper: 98.15%)", digit_acc * 100.0);
+    println!(
+        "digit_parser standalone accuracy: {:.2}% (paper: 98.15%)",
+        digit_acc * 100.0
+    );
     println!("size_parser  standalone accuracy: {:.2}%", size_acc * 100.0);
 }

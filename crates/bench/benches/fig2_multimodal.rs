@@ -21,7 +21,11 @@ use tdp_ml::{ClipSim, ImageTextSimilarityUdf};
 
 fn main() {
     let n_images = knob("FIG2_IMAGES", 200, 1000);
-    let (h, w) = if tdp_bench::full_scale() { (100, 150) } else { (48, 72) };
+    let (h, w) = if tdp_bench::full_scale() {
+        (100, 150)
+    } else {
+        (48, 72)
+    };
     let n_queries = knob("FIG2_QUERIES", 30, 30);
 
     figure(
@@ -29,9 +33,13 @@ fn main() {
         "GPU ~6s vs CPU ~31s average over 30 queries on 1000 images (~5x)",
     );
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("host parallelism: {cores} hardware thread(s) — the simulated \
-              accelerator can only beat the CPU device when this exceeds 1");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "host parallelism: {cores} hardware thread(s) — the simulated \
+              accelerator can only beat the CPU device when this exceeds 1"
+    );
     let mut rng = Rng64::new(2023);
     println!("generating {n_images} attachments at {h}x{w}...");
     let ds = generate_attachments(n_images, h, w, &mut rng);
@@ -80,8 +88,13 @@ fn main() {
     }
 
     let speedup = rows[0].1 / rows[1].1.max(1e-12);
-    println!("\nAvg. execution time: CPU {} vs {} {}  ->  {:.1}x speedup",
-        secs(rows[0].1), rows[1].0, secs(rows[1].1), speedup);
+    println!(
+        "\nAvg. execution time: CPU {} vs {} {}  ->  {:.1}x speedup",
+        secs(rows[0].1),
+        rows[1].0,
+        secs(rows[1].1),
+        speedup
+    );
     println!("paper shape: accelerator wins on the embedding-heavy workload (paper: ~5x)");
 
     // Sanity: the queries actually answer correctly on either device.

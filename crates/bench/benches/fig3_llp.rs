@@ -16,7 +16,9 @@ use tdp_core::autodiff::Var;
 use tdp_core::nn::{Adam, Module, Optimizer};
 use tdp_core::tensor::Rng64;
 use tdp_core::{QueryConfig, Tdp};
-use tdp_data::income::{add_label_dp_noise, generate_income, make_bags, Bag, IncomeDataset, NUM_FEATURES};
+use tdp_data::income::{
+    add_label_dp_noise, generate_income, make_bags, Bag, IncomeDataset, NUM_FEATURES,
+};
 use tdp_ml::ClassifyIncomesTvf;
 
 fn test_error(tvf: &ClassifyIncomesTvf, data: &IncomeDataset) -> f64 {
@@ -86,7 +88,10 @@ fn main() {
     }
     let non_llp = test_error(&sup, &test);
 
-    println!("{:>8} {:>12} {:>14} {:>12}", "bag_size", "LLP", "LLP-DP(e=0.1)", "non-LLP");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "bag_size", "LLP", "LLP-DP(e=0.1)", "non-LLP"
+    );
     let bag_sizes = [1usize, 8, 16, 32, 64, 128, 256, 512];
     for &bag_size in &bag_sizes {
         let mut err_sum = 0.0;

@@ -30,7 +30,11 @@ const BATCH: usize = 8;
 
 fn grid_batch(ds: &GridDataset, start: usize) -> (F32Tensor, F32Tensor) {
     let imgs: Vec<F32Tensor> = (0..BATCH)
-        .map(|b| ds.samples[(start + b) % ds.len()].image.reshape(&[1, 1, 84, 84]))
+        .map(|b| {
+            ds.samples[(start + b) % ds.len()]
+                .image
+                .reshape(&[1, 1, 84, 84])
+        })
         .collect();
     let refs: Vec<&F32Tensor> = imgs.iter().collect();
     let images = tdp_core::tensor::index::concat_rows(&refs);
@@ -118,7 +122,10 @@ fn main() {
     });
 
     // -------------------- CNN-Small --------------------
-    println!("\n[CNN-Small, {} params]", CnnSmall::new(20, &mut rng).num_parameters());
+    println!(
+        "\n[CNN-Small, {} params]",
+        CnnSmall::new(20, &mut rng).num_parameters()
+    );
     let cnn = CnnSmall::new(20, &mut rng);
     let mut opt = Adam::new(cnn.parameters(), 0.001);
     let mut cnn_series = Vec::new();
@@ -138,7 +145,10 @@ fn main() {
     });
 
     // -------------------- ResNet-18 --------------------
-    println!("\n[ResNet-18, {} params]", ResNet18::new(20, &mut rng).num_parameters());
+    println!(
+        "\n[ResNet-18, {} params]",
+        ResNet18::new(20, &mut rng).num_parameters()
+    );
     let resnet = ResNet18::new(20, &mut rng);
     let mut opt = Adam::new(resnet.parameters(), 0.0005);
     let mut res_series = Vec::new();

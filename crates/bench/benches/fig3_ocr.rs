@@ -31,7 +31,10 @@ fn main() {
     );
 
     let mut rng = Rng64::new(7);
-    println!("generating {n_docs} document images of {}x{}...", g.height, g.width);
+    println!(
+        "generating {n_docs} document images of {}x{}...",
+        g.height, g.width
+    );
     let ds = generate_documents(n_docs, g, &mut rng);
     let target_ts = ds.timestamps[n_docs / 2].clone();
 
@@ -76,7 +79,7 @@ fn main() {
             "timestamp",
             ds.timestamps
                 .iter()
-                .flat_map(|t| std::iter::repeat(t.clone()).take(g.rows))
+                .flat_map(|t| std::iter::repeat_n(t.clone(), g.rows))
                 .collect(),
         );
         db.create("iris", bt);
@@ -92,7 +95,10 @@ fn main() {
     });
 
     // ---------------- Figure rows ----------------
-    println!("\n{:<18} {:>12} {:>12} {:>12} {:>12}", "system", "loading", "conversion", "query", "total");
+    println!(
+        "\n{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "system", "loading", "conversion", "query", "total"
+    );
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12}",
         "TDP (lazy)",

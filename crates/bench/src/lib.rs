@@ -10,7 +10,9 @@ use std::time::Instant;
 
 /// Whether paper-scale mode is requested.
 pub fn full_scale() -> bool {
-    std::env::var("TDP_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TDP_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Integer knob with laptop/full defaults and an env override

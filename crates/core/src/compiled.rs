@@ -1,7 +1,9 @@
 //! Compiled queries: the "query as a PyTorch model" object.
 
+use std::sync::Arc;
+
 use tdp_autodiff::Var;
-use tdp_exec::{Batch, ColumnData, ExecContext};
+use tdp_exec::{Batch, ColumnData, ExecContext, PhysicalPlan};
 use tdp_sql::ast::Expr;
 use tdp_sql::plan::LogicalPlan;
 use tdp_storage::Table;
@@ -23,7 +25,11 @@ pub struct QueryConfig {
 
 impl Default for QueryConfig {
     fn default() -> Self {
-        QueryConfig { device: Device::Cpu, trainable: false, temperature: 0.1 }
+        QueryConfig {
+            device: Device::Cpu,
+            trainable: false,
+            temperature: 0.1,
+        }
     }
 }
 
@@ -51,15 +57,36 @@ impl QueryConfig {
 /// works), moved across devices at compile time, inspected via
 /// [`CompiledQuery::explain`], and — when trainable — differentiated
 /// end-to-end through [`CompiledQuery::run_diff`].
+///
+/// Compilation happens once, at [`Tdp::query`] time: the optimised logical
+/// plan is lowered into a slot-resolved [`PhysicalPlan`] shared by the
+/// exact and differentiable executors. Repeated `run()` calls dispatch
+/// kernels directly — no plan walking, no per-run name resolution.
 pub struct CompiledQuery<'s> {
     session: &'s Tdp,
-    plan: LogicalPlan,
+    plan: Arc<LogicalPlan>,
+    physical: Arc<PhysicalPlan>,
+    fingerprint: u64,
     config: QueryConfig,
 }
 
 impl<'s> CompiledQuery<'s> {
-    pub(crate) fn new(session: &'s Tdp, plan: LogicalPlan, config: QueryConfig) -> Self {
-        CompiledQuery { session, plan, config }
+    /// `fingerprint` is computed once at lowering time and threaded
+    /// through — plan-cache hits must not re-render the plan to hash it.
+    pub(crate) fn new(
+        session: &'s Tdp,
+        plan: Arc<LogicalPlan>,
+        physical: Arc<PhysicalPlan>,
+        fingerprint: u64,
+        config: QueryConfig,
+    ) -> Self {
+        CompiledQuery {
+            session,
+            plan,
+            physical,
+            fingerprint,
+            config,
+        }
     }
 
     /// The optimised logical plan.
@@ -67,9 +94,27 @@ impl<'s> CompiledQuery<'s> {
         &self.plan
     }
 
-    /// EXPLAIN-style plan rendering.
+    /// The lowered physical plan (slots resolved, functions bound).
+    pub fn physical_plan(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// Stable fingerprint of the physical plan; identical SQL compiled
+    /// against an unchanged catalog yields the same value (the plan-cache
+    /// identity).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// EXPLAIN-style rendering: the optimised logical tree followed by the
+    /// physical tree with resolved slots.
     pub fn explain(&self) -> String {
-        self.plan.explain()
+        format!(
+            "== logical ==\n{}== physical (fingerprint {:016x}) ==\n{}",
+            self.plan.explain(),
+            self.fingerprint,
+            self.physical.explain()
+        )
     }
 
     pub fn config(&self) -> QueryConfig {
@@ -88,7 +133,7 @@ impl<'s> CompiledQuery<'s> {
             trainable: false,
             temperature: self.config.temperature,
         };
-        let batch = tdp_exec::execute(&self.plan, &ctx)?;
+        let batch = tdp_exec::execute(&self.physical, &ctx)?;
         Ok(batch.to_table("result"))
     }
 
@@ -104,7 +149,7 @@ impl<'s> CompiledQuery<'s> {
             trainable: false,
             temperature: self.config.temperature,
         };
-        let (batch, profile) = tdp_exec::execute_profiled(&self.plan, &ctx)?;
+        let (batch, profile) = tdp_exec::execute_profiled(&self.physical, &ctx)?;
         Ok((batch.to_table("result"), profile))
     }
 
@@ -125,7 +170,7 @@ impl<'s> CompiledQuery<'s> {
             trainable: true,
             temperature: self.config.temperature,
         };
-        Ok(tdp_exec::execute_diff(&self.plan, &ctx)?)
+        Ok(tdp_exec::execute_diff(&self.physical, &ctx)?)
     }
 
     /// Run the differentiable plan and return a single named column as a
@@ -174,6 +219,15 @@ impl<'s> CompiledQuery<'s> {
     }
 }
 
+impl std::fmt::Debug for CompiledQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledQuery")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 fn collect_function_names(plan: &LogicalPlan, out: &mut Vec<String>) {
     match plan {
         LogicalPlan::TvfScan { name, .. } | LogicalPlan::TvfProject { name, .. } => {
@@ -185,7 +239,11 @@ fn collect_function_names(plan: &LogicalPlan, out: &mut Vec<String>) {
                 collect_expr_functions(&i.expr, out);
             }
         }
-        LogicalPlan::Aggregate { aggregates, group_by, .. } => {
+        LogicalPlan::Aggregate {
+            aggregates,
+            group_by,
+            ..
+        } => {
             for g in group_by {
                 collect_expr_functions(g, out);
             }
@@ -221,7 +279,11 @@ fn collect_expr_functions(expr: &Expr, out: &mut Vec<String>) {
         }
         Expr::Unary { expr, .. } => collect_expr_functions(expr, out),
         Expr::Aggregate { arg: Some(a), .. } => collect_expr_functions(a, out),
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(o) = operand {
                 collect_expr_functions(o, out);
             }
@@ -276,7 +338,11 @@ mod tests {
             }
             Ok(out)
         }
-        fn invoke_table_diff(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+        fn invoke_table_diff(
+            &self,
+            _input: &Batch,
+            _ctx: &ExecContext,
+        ) -> Result<Batch, ExecError> {
             let mut out = Batch::new();
             out.push(
                 "Label",
@@ -292,10 +358,14 @@ mod tests {
     fn session_with_tvf() -> (Tdp, Var) {
         let tdp = Tdp::new();
         tdp.register_table(
-            TableBuilder::new().col_f32("x", vec![0.0, 1.0, 2.0]).build("rows"),
+            TableBuilder::new()
+                .col_f32("x", vec![0.0, 1.0, 2.0])
+                .build("rows"),
         );
         let logits = Var::param(Tensor::<f32>::zeros(&[3, 2]));
-        tdp.register_tvf(Arc::new(TinyClassifier { logits: logits.clone() }));
+        tdp.register_tvf(Arc::new(TinyClassifier {
+            logits: logits.clone(),
+        }));
         (tdp, logits)
     }
 
@@ -317,10 +387,16 @@ mod tests {
     #[test]
     fn run_diff_requires_trainable_flag() {
         let (tdp, _) = session_with_tvf();
-        let q = tdp.query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label").unwrap();
+        let q = tdp
+            .query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label")
+            .unwrap();
         assert!(matches!(q.run_diff(), Err(TdpError::Session(_))));
         // Exact run still works for the same SQL.
-        assert_eq!(q.run().unwrap().rows(), 1, "all logits zero -> argmax class 0");
+        assert_eq!(
+            q.run().unwrap().rows(),
+            1,
+            "all logits zero -> argmax class 0"
+        );
     }
 
     #[test]
@@ -335,13 +411,18 @@ mod tests {
         let counts = q.run_counts().unwrap();
         assert_eq!(counts.shape(), vec![2]);
         let v = counts.value();
-        assert!((v.at(0) - 1.5).abs() < 1e-5, "uniform logits split rows evenly");
+        assert!(
+            (v.at(0) - 1.5).abs() < 1e-5,
+            "uniform logits split rows evenly"
+        );
     }
 
     #[test]
     fn explain_exposes_the_plan() {
         let (tdp, _) = session_with_tvf();
-        let q = tdp.query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label").unwrap();
+        let q = tdp
+            .query("SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label")
+            .unwrap();
         let text = q.explain();
         assert!(text.contains("TvfScan: tiny"));
         assert!(text.contains("Aggregate"));

@@ -63,10 +63,10 @@ pub mod constants {
 pub use tdp_autodiff as autodiff;
 pub use tdp_encoding as encoding;
 pub use tdp_exec as exec;
+pub use tdp_index as index;
 pub use tdp_nn as nn;
 pub use tdp_sql as sql;
 pub use tdp_storage as storage;
-pub use tdp_index as index;
 pub use tdp_tensor as tensor;
 
 pub use tdp_tensor::Device;

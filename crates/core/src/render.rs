@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn ppm_header_and_payload() {
         // 1x2 RGB: red then white.
-        let img = Tensor::from_vec(
-            vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0],
-            &[3, 1, 2],
-        );
+        let img = Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0], &[3, 1, 2]);
         let ppm = to_ppm(&img).unwrap();
         let header = b"P6\n2 1\n255\n";
         assert_eq!(&ppm[..header.len()], header);

@@ -1,16 +1,41 @@
 //! TDP sessions: catalog + function registry + query compiler.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use tdp_exec::{ScalarUdf, TableFunction, UdfRegistry};
-use tdp_sql::plan::PlannerContext;
+use tdp_exec::{PhysicalPlan, ScalarUdf, TableFunction, UdfRegistry};
+use tdp_sql::plan::{LogicalPlan, PlannerContext};
 use tdp_sql::{optimizer, parse};
 use tdp_storage::{Catalog, Table, TableBuilder};
 use tdp_tensor::{Device, F32Tensor};
 
 use crate::compiled::{CompiledQuery, QueryConfig};
 use crate::error::TdpError;
+
+/// Upper bound on cached plans. Sessions formatting literals into SQL
+/// (REPLs, training loops) would otherwise grow the cache without bound;
+/// on overflow the cache is cleared wholesale — recompiling is cheap and
+/// an LRU would complicate the common all-hits path for nothing.
+const PLAN_CACHE_CAP: usize = 256;
+
+/// A cached compilation: the optimised logical plan, its lowering, and
+/// the state it was compiled against (for invalidation). Keyed by SQL
+/// text alone: `lower()` depends only on the catalog and function
+/// registry, so device/trainable/temperature knobs live on the
+/// [`CompiledQuery`], not in the cache key.
+struct CachedPlan {
+    logical: Arc<LogicalPlan>,
+    physical: Arc<PhysicalPlan>,
+    /// Computed once here; cache hits hand it out without re-rendering
+    /// the plan tree.
+    fingerprint: u64,
+    catalog_version: u64,
+    udf_epoch: u64,
+    /// `(table, column names)` for every base-table scan — the schemas
+    /// the slot assignments depend on.
+    scans: Vec<(String, Vec<String>)>,
+}
 
 /// An AI-centric database session.
 ///
@@ -22,6 +47,12 @@ pub struct Tdp {
     udfs: RefCell<UdfRegistry>,
     default_device: RefCell<Device>,
     vector_indexes: RefCell<crate::vector::VectorIndexes>,
+    /// Compiled-plan cache keyed by SQL text: repeated `query()` calls
+    /// skip parse → optimize → lower entirely.
+    plan_cache: RefCell<HashMap<String, CachedPlan>>,
+    /// Bumped on every UDF/TVF registration; registrations can change
+    /// plan *shape* (TVF-ness of a name), so they invalidate cached plans.
+    udf_epoch: Cell<u64>,
 }
 
 impl Default for Tdp {
@@ -37,6 +68,8 @@ impl Tdp {
             udfs: RefCell::new(UdfRegistry::new()),
             default_device: RefCell::new(Device::Cpu),
             vector_indexes: RefCell::new(Default::default()),
+            plan_cache: RefCell::new(HashMap::new()),
+            udf_epoch: Cell::new(0),
         }
     }
 
@@ -92,8 +125,7 @@ impl Tdp {
 
     /// Register CSV text as a table (numeric columns inferred).
     pub fn register_csv(&self, name: &str, text: &str) -> Result<(), TdpError> {
-        let table =
-            tdp_storage::csv::parse_csv(name, text).map_err(TdpError::Session)?;
+        let table = tdp_storage::csv::parse_csv(name, text).map_err(TdpError::Session)?;
         self.register_table(table);
         Ok(())
     }
@@ -102,8 +134,7 @@ impl Tdp {
     /// of paper Listing 1). The table keeps the name stored in the file;
     /// returns that name.
     pub fn register_file(&self, path: impl AsRef<std::path::Path>) -> Result<String, TdpError> {
-        let table = tdp_storage::load_table(path)
-            .map_err(|e| TdpError::Session(e.to_string()))?;
+        let table = tdp_storage::load_table(path).map_err(|e| TdpError::Session(e.to_string()))?;
         let name = table.name().to_owned();
         self.register_table(table);
         Ok(name)
@@ -124,10 +155,7 @@ impl Tdp {
 
     /// Save every registered table into `dir` as `<table>.tdpf` files —
     /// a whole-database snapshot. Returns the table names written.
-    pub fn save_catalog(
-        &self,
-        dir: impl AsRef<std::path::Path>,
-    ) -> Result<Vec<String>, TdpError> {
+    pub fn save_catalog(&self, dir: impl AsRef<std::path::Path>) -> Result<Vec<String>, TdpError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)
             .map_err(|e| TdpError::Session(format!("cannot create {}: {e}", dir.display())))?;
@@ -141,10 +169,7 @@ impl Tdp {
 
     /// Register every `.tdpf` file found in `dir`. Returns the table
     /// names registered (the inverse of [`Tdp::save_catalog`]).
-    pub fn open_catalog(
-        &self,
-        dir: impl AsRef<std::path::Path>,
-    ) -> Result<Vec<String>, TdpError> {
+    pub fn open_catalog(&self, dir: impl AsRef<std::path::Path>) -> Result<Vec<String>, TdpError> {
         let dir = dir.as_ref();
         let entries = std::fs::read_dir(dir)
             .map_err(|e| TdpError::Session(format!("cannot read {}: {e}", dir.display())))?;
@@ -172,11 +197,13 @@ impl Tdp {
     /// Register a scalar UDF.
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
         self.udfs.borrow_mut().register_scalar(udf);
+        self.udf_epoch.set(self.udf_epoch.get() + 1);
     }
 
     /// Register a table-valued function.
     pub fn register_tvf(&self, tvf: Arc<dyn TableFunction>) {
         self.udfs.borrow_mut().register_table_fn(tvf);
+        self.udf_epoch.set(self.udf_epoch.get() + 1);
     }
 
     pub(crate) fn udfs_snapshot(&self) -> UdfRegistry {
@@ -196,20 +223,107 @@ impl Tdp {
     /// Compile SQL with an explicit configuration. With
     /// [`QueryConfig::trainable`], the physical plan uses the soft
     /// differentiable operators (paper §4).
+    ///
+    /// Compilation results are cached per SQL text (plans are config-
+    /// independent; the config rides on the returned [`CompiledQuery`]): a
+    /// repeated call returns the cached logical + physical plans
+    /// (fingerprint-identical) without re-running parse → optimize →
+    /// lower. Cache entries are invalidated when a referenced table's
+    /// schema changes or when the function registry changes.
     pub fn query_with(
         &self,
         sql: &str,
         config: QueryConfig,
     ) -> Result<CompiledQuery<'_>, TdpError> {
+        let catalog_version = self.catalog.version();
+        let udf_epoch = self.udf_epoch.get();
+
+        if let Some(entry) = self.plan_cache.borrow_mut().get_mut(sql) {
+            let valid = entry.udf_epoch == udf_epoch
+                && (entry.catalog_version == catalog_version || self.scans_unchanged(&entry.scans));
+            if valid {
+                // Schemas re-validated above; fast-forward the version so
+                // the next hit takes the cheap equality path.
+                entry.catalog_version = catalog_version;
+                return Ok(CompiledQuery::new(
+                    self,
+                    Arc::clone(&entry.logical),
+                    Arc::clone(&entry.physical),
+                    entry.fingerprint,
+                    config,
+                ));
+            }
+        }
+
         let ast = parse(sql)?;
         let udfs = self.udfs.borrow();
         let plan = tdp_sql::plan::build_plan(
             &ast,
-            &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) },
+            &PlannerContext {
+                is_tvf: &|n| udfs.is_table_fn(n),
+            },
         )?;
-        drop(udfs);
         let plan = optimizer::optimize(plan);
-        Ok(CompiledQuery::new(self, plan, config))
+        let physical = Arc::new(tdp_exec::lower(&plan, &self.catalog, &udfs)?);
+        drop(udfs);
+        let logical = Arc::new(plan);
+        let fingerprint = physical.fingerprint();
+
+        // Cache only plans whose scans all resolved a schema: a plan
+        // compiled against a missing table must not pin that state.
+        let scans = physical.scans();
+        if scans.iter().all(|(_, s)| s.is_some()) {
+            let mut cache = self.plan_cache.borrow_mut();
+            if cache.len() >= PLAN_CACHE_CAP && !cache.contains_key(sql) {
+                cache.clear();
+            }
+            cache.insert(
+                sql.to_owned(),
+                CachedPlan {
+                    logical: Arc::clone(&logical),
+                    physical: Arc::clone(&physical),
+                    fingerprint,
+                    catalog_version,
+                    udf_epoch,
+                    scans: scans
+                        .into_iter()
+                        .map(|(t, s)| (t, s.expect("checked above")))
+                        .collect(),
+                },
+            );
+        }
+        Ok(CompiledQuery::new(
+            self,
+            logical,
+            physical,
+            fingerprint,
+            config,
+        ))
+    }
+
+    /// Whether every `(table, schema)` a cached plan was compiled against
+    /// still matches the live catalog.
+    fn scans_unchanged(&self, scans: &[(String, Vec<String>)]) -> bool {
+        scans.iter().all(|(table, expected)| {
+            self.catalog.get(table).is_some_and(|t| {
+                let live = t.columns();
+                live.len() == expected.len()
+                    && live
+                        .iter()
+                        .zip(expected)
+                        .all(|(c, e)| c.name.eq_ignore_ascii_case(e))
+            })
+        })
+    }
+
+    /// Number of cached compiled plans (diagnostics / tests).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.borrow().len()
+    }
+
+    /// Drop every cached compiled plan.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.borrow_mut().clear();
     }
 }
 
@@ -226,7 +340,11 @@ mod tests {
                 .col_f32("x", vec![1.0, 2.0, 3.0])
                 .build("t"),
         );
-        let out = tdp.query("SELECT x FROM t WHERE x >= 2").unwrap().run().unwrap();
+        let out = tdp
+            .query("SELECT x FROM t WHERE x >= 2")
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(out.rows(), 2);
     }
 
@@ -245,13 +363,25 @@ mod tests {
         tdp.register_tensor("g", Tensor::<f32>::zeros(&[1, 2]));
         let q = tdp.query("SELECT COUNT(*) FROM g").unwrap();
         assert_eq!(
-            q.run().unwrap().column("COUNT(*)").unwrap().data.decode_i64().to_vec(),
+            q.run()
+                .unwrap()
+                .column("COUNT(*)")
+                .unwrap()
+                .data
+                .decode_i64()
+                .to_vec(),
             vec![1]
         );
         // New input under the same name; the *same* compiled query sees it.
         tdp.register_tensor("g", Tensor::<f32>::zeros(&[5, 2]));
         assert_eq!(
-            q.run().unwrap().column("COUNT(*)").unwrap().data.decode_i64().to_vec(),
+            q.run()
+                .unwrap()
+                .column("COUNT(*)")
+                .unwrap()
+                .data
+                .decode_i64()
+                .to_vec(),
             vec![5]
         );
     }
@@ -259,7 +389,8 @@ mod tests {
     #[test]
     fn csv_registration() {
         let tdp = Tdp::new();
-        tdp.register_csv("iris", "w,species\n1.5,a\n2.5,b\n").unwrap();
+        tdp.register_csv("iris", "w,species\n1.5,a\n2.5,b\n")
+            .unwrap();
         let out = tdp.query("SELECT AVG(w) FROM iris").unwrap().run().unwrap();
         assert_eq!(
             out.column("AVG(w)").unwrap().data.decode_f32().to_vec(),
@@ -329,12 +460,232 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_hits_and_is_fingerprint_identical() {
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("x", vec![1.0, 2.0, 3.0])
+                .build("t"),
+        );
+        let sql = "SELECT x FROM t WHERE x > 1 ORDER BY x DESC LIMIT 2";
+        let q1 = tdp.query(sql).unwrap();
+        assert_eq!(tdp.plan_cache_len(), 1);
+        let q2 = tdp.query(sql).unwrap();
+        assert_eq!(tdp.plan_cache_len(), 1, "second compile is a cache hit");
+        assert_eq!(q1.fingerprint(), q2.fingerprint());
+        // The cached physical plan is literally shared, not re-lowered.
+        assert!(std::ptr::eq(q1.physical_plan(), q2.physical_plan()));
+        // Plans are config-independent: a different config reuses the
+        // same cache entry (the config rides on the CompiledQuery).
+        let q3 = tdp
+            .query_with(sql, QueryConfig::default().temperature(0.5))
+            .unwrap();
+        assert_eq!(tdp.plan_cache_len(), 1);
+        assert_eq!(q3.fingerprint(), q1.fingerprint());
+        assert!(std::ptr::eq(q1.physical_plan(), q3.physical_plan()));
+        assert_eq!(q3.config().temperature, 0.5);
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_subquery_table_schema_change() {
+        // Scans inside scalar subqueries pin cache validity too: changing
+        // the subquery's table schema must recompile, not serve the stale
+        // plan forever.
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0, 5.0]).build("t"));
+        tdp.register_table(TableBuilder::new().col_f32("y", vec![3.0]).build("sub"));
+        let sql = "SELECT x FROM t WHERE x > (SELECT MAX(y) FROM sub)";
+        let before = tdp.query(sql).unwrap();
+        assert_eq!(
+            before
+                .run()
+                .unwrap()
+                .column("x")
+                .unwrap()
+                .data
+                .decode_f32()
+                .to_vec(),
+            vec![5.0]
+        );
+        // y moves from slot 0 to slot 1.
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("pad", vec![0.0])
+                .col_f32("y", vec![0.5])
+                .build("sub"),
+        );
+        let after = tdp.query(sql).unwrap();
+        assert_ne!(after.fingerprint(), before.fingerprint());
+        assert_eq!(
+            after
+                .run()
+                .unwrap()
+                .column("x")
+                .unwrap()
+                .data
+                .decode_f32()
+                .to_vec(),
+            vec![1.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn plan_fingerprints_distinguish_subqueries() {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0]).build("t"));
+        tdp.register_table(TableBuilder::new().col_f32("y", vec![2.0]).build("sub"));
+        let a = tdp
+            .query("SELECT x FROM t WHERE x > (SELECT MAX(y) FROM sub)")
+            .unwrap()
+            .fingerprint();
+        let b = tdp
+            .query("SELECT x FROM t WHERE x > (SELECT MIN(y) FROM sub)")
+            .unwrap()
+            .fingerprint();
+        assert_ne!(a, b, "subquery content must reach the fingerprint");
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0]).build("t"));
+        for i in 0..(PLAN_CACHE_CAP + 10) {
+            tdp.query(&format!("SELECT x FROM t WHERE x > {i}"))
+                .unwrap();
+        }
+        assert!(tdp.plan_cache_len() <= PLAN_CACHE_CAP);
+        // Still functional after the wholesale eviction.
+        assert_eq!(
+            tdp.query("SELECT COUNT(*) FROM t")
+                .unwrap()
+                .run()
+                .unwrap()
+                .rows(),
+            1
+        );
+    }
+
+    #[test]
+    fn plan_cache_survives_same_schema_re_registration() {
+        // The Listing-5 training loop re-registers the input every
+        // iteration with an identical schema: the cache must keep hitting.
+        let tdp = Tdp::new();
+        tdp.register_tensor("g", Tensor::<f32>::zeros(&[2, 2]));
+        let sql = "SELECT COUNT(*) FROM g";
+        let a = tdp.query(sql).unwrap().fingerprint();
+        tdp.register_tensor("g", Tensor::<f32>::zeros(&[7, 2]));
+        let b = tdp.query(sql).unwrap().fingerprint();
+        assert_eq!(a, b);
+        assert_eq!(tdp.plan_cache_len(), 1);
+        assert_eq!(
+            tdp.query(sql)
+                .unwrap()
+                .run()
+                .unwrap()
+                .column("COUNT(*)")
+                .unwrap()
+                .data
+                .decode_i64()
+                .to_vec(),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_schema_change() {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0, 2.0]).build("t"));
+        let sql = "SELECT x FROM t";
+        let before = tdp.query(sql).unwrap().fingerprint();
+        // Same name, different schema: slots move, the entry must recompile.
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("pad", vec![0.0, 0.0])
+                .col_f32("x", vec![3.0, 4.0])
+                .build("t"),
+        );
+        let q = tdp.query(sql).unwrap();
+        assert_ne!(q.fingerprint(), before, "x moved from slot 0 to slot 1");
+        assert_eq!(
+            q.run()
+                .unwrap()
+                .column("x")
+                .unwrap()
+                .data
+                .decode_f32()
+                .to_vec(),
+            vec![3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_function_registration() {
+        use tdp_encoding::EncodedTensor;
+        struct Boost;
+        impl ScalarUdf for Boost {
+            fn name(&self) -> &str {
+                "boost"
+            }
+            fn invoke(
+                &self,
+                args: &[tdp_exec::ArgValue],
+                _ctx: &tdp_exec::ExecContext,
+            ) -> Result<EncodedTensor, tdp_exec::ExecError> {
+                Ok(EncodedTensor::F32(
+                    args[0].as_column()?.decode_f32().mul_scalar(10.0),
+                ))
+            }
+        }
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("abs", vec![-1.0]).build("t"));
+        // 'ABS(abs)' resolves to the built-in before registration…
+        let sql = "SELECT ABS(abs) AS v FROM t";
+        let v1 = tdp.query(sql).unwrap().run().unwrap();
+        assert_eq!(
+            v1.column("v").unwrap().data.decode_f32().to_vec(),
+            vec![1.0]
+        );
+        // …and to the session UDF of the same name after: the cached plan
+        // must not survive the registration.
+        tdp.register_udf(Arc::new(Boost));
+        struct Abs;
+        impl ScalarUdf for Abs {
+            fn name(&self) -> &str {
+                "abs"
+            }
+            fn invoke(
+                &self,
+                args: &[tdp_exec::ArgValue],
+                _ctx: &tdp_exec::ExecContext,
+            ) -> Result<EncodedTensor, tdp_exec::ExecError> {
+                Ok(EncodedTensor::F32(
+                    args[0].as_column()?.decode_f32().mul_scalar(-2.0),
+                ))
+            }
+        }
+        tdp.register_udf(Arc::new(Abs));
+        let v2 = tdp.query(sql).unwrap().run().unwrap();
+        assert_eq!(
+            v2.column("v").unwrap().data.decode_f32().to_vec(),
+            vec![2.0],
+            "UDF override must take effect after registration"
+        );
+    }
+
+    #[test]
+    fn clear_plan_cache_empties_it() {
+        let tdp = Tdp::new();
+        tdp.register_tensor("t", Tensor::<f32>::zeros(&[1]));
+        tdp.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(tdp.plan_cache_len(), 1);
+        tdp.clear_plan_cache();
+        assert_eq!(tdp.plan_cache_len(), 0);
+    }
+
+    #[test]
     fn parse_errors_surface_at_compile_time() {
         let tdp = Tdp::new();
-        assert!(matches!(
-            tdp.query("SELEKT nope"),
-            Err(TdpError::Sql(_))
-        ));
+        assert!(matches!(tdp.query("SELEKT nope"), Err(TdpError::Sql(_))));
     }
 
     #[test]

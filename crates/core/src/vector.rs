@@ -131,10 +131,7 @@ mod tests {
 
     fn embeddings_table() -> tdp_storage::Table {
         // 3 unit vectors along distinct axes.
-        let data = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let data = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         TableBuilder::new().col_tensor("emb", data).build("vecs")
     }
 
@@ -146,7 +143,13 @@ mod tests {
             .unwrap();
         assert!(tdp.has_vector_index("vecs", "emb"));
         let hits = tdp
-            .vector_topk("vecs", "emb", &Tensor::from_vec(vec![0.9, 0.1, 0.0], &[3]), 1, 1)
+            .vector_topk(
+                "vecs",
+                "emb",
+                &Tensor::from_vec(vec![0.9, 0.1, 0.0], &[3]),
+                1,
+                1,
+            )
             .unwrap();
         assert_eq!(hits[0].id, 0);
     }

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! ships a tiny API-compatible subset: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! warmup + sample loop reporting mean wall-clock per iteration; there
+//! are no statistics, plots or baselines. Swap back to the real crate
+//! by changing one line in `bench/Cargo.toml` when a registry is
+//! available — the bench sources need no edits.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier used for parameterised benches.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_seconds: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: one call to fault in caches/allocations.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.mean_seconds = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(format!("{id}"), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.0.clone(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mean_seconds: 0.0,
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        println!(
+            "{}/{id:<32} {:>12.3} µs/iter  ({} samples)",
+            self.name,
+            b.mean_seconds * 1e6,
+            self.sample_size
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name: format!("{name}"),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: String::from("bench"),
+            sample_size: 10,
+            _parent: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export point used by `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

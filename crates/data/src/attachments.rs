@@ -54,9 +54,7 @@ impl AttachmentClass {
     pub fn is_photo(self) -> bool {
         matches!(
             self,
-            AttachmentClass::PhotoDog
-                | AttachmentClass::PhotoCat
-                | AttachmentClass::PhotoLandscape
+            AttachmentClass::PhotoDog | AttachmentClass::PhotoCat | AttachmentClass::PhotoLandscape
         )
     }
 
@@ -96,12 +94,7 @@ impl AttachmentDataset {
 }
 
 /// Generate one attachment image `[3, h, w]`.
-pub fn render_attachment(
-    class: AttachmentClass,
-    h: usize,
-    w: usize,
-    rng: &mut Rng64,
-) -> F32Tensor {
+pub fn render_attachment(class: AttachmentClass, h: usize, w: usize, rng: &mut Rng64) -> F32Tensor {
     let mut img = vec![0.0f32; 3 * h * w];
     let mut set = |c: usize, y: usize, x: usize, v: f32| {
         img[(c * h + y) * w + x] = v.clamp(0.0, 1.0);
@@ -195,8 +188,7 @@ pub fn render_attachment(
             let r = h.min(w) as f64 * 0.3;
             for y in 0..h {
                 for x in 0..w {
-                    let inside =
-                        ((y as f64 - cy).powi(2) + (x as f64 - cx).powi(2)).sqrt() < r;
+                    let inside = ((y as f64 - cy).powi(2) + (x as f64 - cx).powi(2)).sqrt() < r;
                     let col = if inside { fg } else { bg };
                     #[allow(clippy::needless_range_loop)] // ch is also set()'s channel arg
                     for ch in 0..3 {
@@ -222,7 +214,11 @@ pub fn generate_attachments(n: usize, h: usize, w: usize, rng: &mut Rng64) -> At
                 _ => AttachmentClass::PhotoLandscape,
             }
         } else if i < n * 3 / 4 {
-            if i % 5 == 0 { AttachmentClass::KfcReceipt } else { AttachmentClass::Receipt }
+            if i % 5 == 0 {
+                AttachmentClass::KfcReceipt
+            } else {
+                AttachmentClass::Receipt
+            }
         } else {
             AttachmentClass::Logo
         };

@@ -85,7 +85,11 @@ pub fn render_clip(class: AudioClass, rng: &mut Rng64) -> F32Tensor {
     let mut wave = Vec::with_capacity(CLIP_LEN);
     match class {
         AudioClass::ToneLow | AudioClass::ToneHigh => {
-            let base = if class == AudioClass::ToneLow { 220.0 } else { 1200.0 };
+            let base = if class == AudioClass::ToneLow {
+                220.0
+            } else {
+                1200.0
+            };
             let f = base * (1.0 + 0.1 * (rng.uniform() as f32 - 0.5));
             for t in 0..CLIP_LEN {
                 let x = std::f32::consts::TAU * f * t as f32 / sr + phase;
@@ -100,10 +104,10 @@ pub fn render_clip(class: AudioClass, rng: &mut Rng64) -> F32Tensor {
                 let u = t as f32 / CLIP_LEN as f32;
                 let f = f0 + (f1 - f0) * u;
                 // Phase integral of a linear sweep.
-                let x = std::f32::consts::TAU * (f0 * u + 0.5 * (f1 - f0) * u * u)
-                    * CLIP_LEN as f32
-                    / sr
-                    + phase;
+                let x =
+                    std::f32::consts::TAU * (f0 * u + 0.5 * (f1 - f0) * u * u) * CLIP_LEN as f32
+                        / sr
+                        + phase;
                 let _ = f;
                 wave.push(amp * x.sin());
             }

@@ -107,7 +107,11 @@ pub fn generate_digits(n: usize, rng: &mut Rng64) -> DigitDataset {
     let mut sizes = Vec::with_capacity(n);
     for _ in 0..n {
         let d = rng.below(10) as u8;
-        let s = if rng.coin(0.5) { SizeClass::Small } else { SizeClass::Large };
+        let s = if rng.coin(0.5) {
+            SizeClass::Small
+        } else {
+            SizeClass::Large
+        };
         let img = render_digit(d, s, rng);
         pixels.extend_from_slice(img.data());
         digits.push(d as i64);

@@ -108,7 +108,10 @@ pub fn format_cell(v: f32) -> String {
 /// Returns the image and the ground-truth table.
 pub fn render_document(g: DocGeometry, rng: &mut Rng64) -> (F32Tensor, F32Tensor) {
     let (ext_h, ext_w) = g.table_extent();
-    assert!(ext_h + 16 < g.height && ext_w + 16 < g.width, "table must fit");
+    assert!(
+        ext_h + 16 < g.height && ext_w + 16 < g.width,
+        "table must fit"
+    );
     let off_y = 4 + rng.below(g.height - ext_h - 8);
     let off_x = 4 + rng.below(g.width - ext_w - 8);
 
@@ -227,7 +230,7 @@ mod tests {
         assert_eq!(format_cell(5.0), "5.00");
         assert_eq!(format_cell(0.1), "0.10");
         assert_eq!(format_cell(42.0), "9.99", "clamped to renderable range");
-        for v in [0.1f32, 3.14159, 9.99] {
+        for v in [0.1f32, 3.25159, 9.99] {
             assert_eq!(format_cell(v).len(), 4);
         }
     }

@@ -58,7 +58,11 @@ pub fn generate_grid(rng: &mut Rng64) -> GridSample {
     for ty in 0..GRID {
         for tx in 0..GRID {
             let d = rng.below(DIGIT_CLASSES) as u8;
-            let s = if rng.coin(0.5) { SizeClass::Small } else { SizeClass::Large };
+            let s = if rng.coin(0.5) {
+                SizeClass::Small
+            } else {
+                SizeClass::Large
+            };
             let tile = render_digit(d, s, rng).reshape(&[TILE, TILE]);
             // Copy the tile into its cell.
             let base_y = ty * TILE;
@@ -84,7 +88,9 @@ pub fn generate_grid(rng: &mut Rng64) -> GridSample {
 
 /// Generate a dataset of `n` grids.
 pub fn generate_grids(n: usize, rng: &mut Rng64) -> GridDataset {
-    GridDataset { samples: (0..n).map(|_| generate_grid(rng)).collect() }
+    GridDataset {
+        samples: (0..n).map(|_| generate_grid(rng)).collect(),
+    }
 }
 
 /// The tile split of Listing 4: `[1, 84, 84] -> [9, 1, 28, 28]`, tiles in
@@ -154,9 +160,6 @@ mod tests {
         let ds = generate_grids(12, &mut rng);
         assert_eq!(ds.len(), 12);
         // Samples differ (vanishingly unlikely to collide).
-        assert_ne!(
-            ds.samples[0].image.to_vec(),
-            ds.samples[1].image.to_vec()
-        );
+        assert_ne!(ds.samples[0].image.to_vec(), ds.samples[1].image.to_vec());
     }
 }

@@ -146,7 +146,10 @@ mod tests {
         let ds = generate_income(2000, 0.1, &mut rng);
         assert_eq!(ds.features.shape(), &[2000, NUM_FEATURES]);
         let pos = ds.labels.count_eq(1);
-        assert!(pos > 400 && pos < 1600, "labels should not be degenerate: {pos}");
+        assert!(
+            pos > 400 && pos < 1600,
+            "labels should not be degenerate: {pos}"
+        );
     }
 
     #[test]
@@ -179,7 +182,11 @@ mod tests {
         let bags = make_bags(&ds, 32, &mut rng);
         assert_eq!(bags.len(), 1000 / 32);
         let total: f32 = bags.iter().map(|b| b.counts.sum()).sum();
-        assert_eq!(total as usize, 31 * 32, "each bag contributes bag_size counts");
+        assert_eq!(
+            total as usize,
+            31 * 32,
+            "each bag contributes bag_size counts"
+        );
         for b in &bags {
             assert_eq!(b.features.shape(), &[32, NUM_FEATURES]);
             assert_eq!(b.counts.sum(), 32.0);

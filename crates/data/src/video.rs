@@ -154,7 +154,10 @@ mod tests {
         let clip = render_video(VideoClass::Static, &mut rng);
         let first = clip.narrow(0, 0, 1);
         let last = clip.narrow(0, FRAMES - 1, 1);
-        assert!(first.max_abs_diff(&last) < 1e-6, "static frames must be identical");
+        assert!(
+            first.max_abs_diff(&last) < 1e-6,
+            "static frames must be identical"
+        );
     }
 
     #[test]

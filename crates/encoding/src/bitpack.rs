@@ -26,12 +26,21 @@ impl BitPackedColumn {
         let data = values.data();
         let len = data.len();
         if len == 0 {
-            return BitPackedColumn { min: 0, width: 0, words: Vec::new(), len: 0 };
+            return BitPackedColumn {
+                min: 0,
+                width: 0,
+                words: Vec::new(),
+                len: 0,
+            };
         }
         let min = data.iter().copied().min().expect("non-empty");
         let max = data.iter().copied().max().expect("non-empty");
         let range = (max as i128 - min as i128) as u128;
-        let width = if range == 0 { 0 } else { 128 - range.leading_zeros() };
+        let width = if range == 0 {
+            0
+        } else {
+            128 - range.leading_zeros()
+        };
         assert!(width <= 64, "range does not fit in 64 bits");
         let width = width.min(64);
 
@@ -48,7 +57,12 @@ impl BitPackedColumn {
                 }
             }
         }
-        BitPackedColumn { min, width, words, len }
+        BitPackedColumn {
+            min,
+            width,
+            words,
+            len,
+        }
     }
 
     /// Rebuild from raw parts — the deserialization path. Panics when the
@@ -56,8 +70,16 @@ impl BitPackedColumn {
     pub fn from_parts(min: i64, width: u32, words: Vec<u64>, len: usize) -> BitPackedColumn {
         assert!(width <= 64, "width {width} exceeds 64 bits");
         let needed = (len * width as usize).div_ceil(64);
-        assert!(words.len() >= needed, "word buffer too short for {len} x {width}-bit values");
-        BitPackedColumn { min, width, words, len }
+        assert!(
+            words.len() >= needed,
+            "word buffer too short for {len} x {width}-bit values"
+        );
+        BitPackedColumn {
+            min,
+            width,
+            words,
+            len,
+        }
     }
 
     /// Raw parts `(min, width, words, len)` for serialization.
@@ -90,7 +112,11 @@ impl BitPackedColumn {
         if s + self.width > 64 {
             off |= self.words[w + 1] << (64 - s);
         }
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         self.min.wrapping_add((off & mask) as i64)
     }
 

@@ -51,13 +51,21 @@ impl DeltaColumn {
             zz.push(zigzag(d));
         }
         let deltas = BitPackedColumn::encode(&Tensor::from_vec(zz, &[len - 1]));
-        Some(DeltaColumn { first: data[0], deltas, len })
+        Some(DeltaColumn {
+            first: data[0],
+            deltas,
+            len,
+        })
     }
 
     /// Rebuild from raw parts — the deserialization path. The packed
     /// deltas must hold exactly `len.saturating_sub(1)` values.
     pub fn from_parts(first: i64, deltas: BitPackedColumn, len: usize) -> DeltaColumn {
-        assert_eq!(deltas.len(), len.saturating_sub(1), "one delta per successive pair");
+        assert_eq!(
+            deltas.len(),
+            len.saturating_sub(1),
+            "one delta per successive pair"
+        );
         DeltaColumn { first, deltas, len }
     }
 
@@ -117,7 +125,17 @@ mod tests {
 
     #[test]
     fn zigzag_inverts() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX / 2, i64::MIN / 2, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX / 2,
+            i64::MIN / 2,
+            i64::MAX,
+            i64::MIN,
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v, "{v}");
         }
     }

@@ -19,8 +19,7 @@ pub struct StringDict {
 impl StringDict {
     /// Build a dictionary and encode `strings` against it in one pass.
     pub fn encode(strings: &[impl AsRef<str>]) -> (Arc<StringDict>, I64Tensor) {
-        let mut values: Vec<String> =
-            strings.iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut values: Vec<String> = strings.iter().map(|s| s.as_ref().to_owned()).collect();
         values.sort_unstable();
         values.dedup();
         let dict = Arc::new(StringDict { values });
@@ -34,7 +33,10 @@ impl StringDict {
 
     /// Code of a string, if present.
     pub fn code_of(&self, s: &str) -> Option<i64> {
-        self.values.binary_search_by(|v| v.as_str().cmp(s)).ok().map(|i| i as i64)
+        self.values
+            .binary_search_by(|v| v.as_str().cmp(s))
+            .ok()
+            .map(|i| i as i64)
     }
 
     /// Smallest code whose string is `>= s` (for range predicates on values
@@ -50,7 +52,11 @@ impl StringDict {
 
     /// Decode a whole code column.
     pub fn decode(&self, codes: &I64Tensor) -> Vec<String> {
-        codes.data().iter().map(|&c| self.decode_one(c).to_owned()).collect()
+        codes
+            .data()
+            .iter()
+            .map(|&c| self.decode_one(c).to_owned())
+            .collect()
     }
 
     /// Number of distinct values.

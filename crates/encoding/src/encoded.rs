@@ -37,7 +37,10 @@ pub enum EncodedTensor {
     /// Plain booleans.
     Bool(BoolTensor),
     /// Order-preserving dictionary-encoded strings.
-    Dict { codes: I64Tensor, dict: Arc<StringDict> },
+    Dict {
+        codes: I64Tensor,
+        dict: Arc<StringDict>,
+    },
     /// Run-length-encoded integers.
     Rle(RleColumn),
     /// Probability-encoded classification output.
@@ -178,15 +181,19 @@ impl EncodedTensor {
             }
             EncodedTensor::I64(t) => t.data().iter().map(|v| v.to_string()).collect(),
             EncodedTensor::Bool(t) => t.data().iter().map(|v| v.to_string()).collect(),
-            EncodedTensor::Rle(r) => {
-                r.decode().data().iter().map(|v| v.to_string()).collect()
-            }
-            EncodedTensor::Pe(p) => {
-                p.decode_values().data().iter().map(|v| format!("{v}")).collect()
-            }
-            EncodedTensor::BitPacked(_) | EncodedTensor::Delta(_) => {
-                self.decode_i64().data().iter().map(|v| v.to_string()).collect()
-            }
+            EncodedTensor::Rle(r) => r.decode().data().iter().map(|v| v.to_string()).collect(),
+            EncodedTensor::Pe(p) => p
+                .decode_values()
+                .data()
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect(),
+            EncodedTensor::BitPacked(_) | EncodedTensor::Delta(_) => self
+                .decode_i64()
+                .data()
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
             EncodedTensor::F32(_) => vec![String::from("<tensor>"); self.rows()],
         }
     }
@@ -220,9 +227,33 @@ impl EncodedTensor {
             EncodedTensor::BitPacked(b) => {
                 EncodedTensor::compress_i64(&b.decode().filter_rows(mask))
             }
-            EncodedTensor::Delta(d) => {
-                EncodedTensor::compress_i64(&d.decode().filter_rows(mask))
+            EncodedTensor::Delta(d) => EncodedTensor::compress_i64(&d.decode().filter_rows(mask)),
+        }
+    }
+
+    /// First `n` rows (clamped), preserving the encoding. Plain and
+    /// dictionary layouts slice their buffers directly — no index tensor,
+    /// no gather; compressed layouts re-encode the decoded prefix exactly
+    /// like [`EncodedTensor::select_rows`] would.
+    pub fn head(&self, n: usize) -> EncodedTensor {
+        let n = n.min(self.rows());
+        match self {
+            EncodedTensor::F32(t) => EncodedTensor::F32(t.head_rows(n)),
+            EncodedTensor::I64(t) => EncodedTensor::I64(t.head_rows(n)),
+            EncodedTensor::Bool(t) => EncodedTensor::Bool(t.head_rows(n)),
+            EncodedTensor::Dict { codes, dict } => EncodedTensor::Dict {
+                codes: codes.head_rows(n),
+                dict: Arc::clone(dict),
+            },
+            EncodedTensor::Pe(p) => EncodedTensor::Pe(PeTensor::new(
+                p.probs().head_rows(n),
+                p.class_values().clone(),
+            )),
+            EncodedTensor::Rle(r) => {
+                EncodedTensor::Rle(RleColumn::encode(&r.decode().head_rows(n)))
             }
+            EncodedTensor::BitPacked(b) => EncodedTensor::compress_i64(&b.decode().head_rows(n)),
+            EncodedTensor::Delta(d) => EncodedTensor::compress_i64(&d.decode().head_rows(n)),
         }
     }
 
@@ -243,9 +274,7 @@ impl EncodedTensor {
             EncodedTensor::BitPacked(b) => {
                 EncodedTensor::compress_i64(&b.decode().select_rows(idx))
             }
-            EncodedTensor::Delta(d) => {
-                EncodedTensor::compress_i64(&d.decode().select_rows(idx))
-            }
+            EncodedTensor::Delta(d) => EncodedTensor::compress_i64(&d.decode().select_rows(idx)),
         }
     }
 
@@ -311,10 +340,7 @@ mod tests {
         assert_eq!(f.kind(), EncodingKind::Dictionary);
         assert_eq!(f.decode_strings(), vec!["x", "z"]);
 
-        let rle = EncodedTensor::Rle(RleColumn::encode(&Tensor::from_vec(
-            vec![7i64, 7, 8],
-            &[3],
-        )));
+        let rle = EncodedTensor::Rle(RleColumn::encode(&Tensor::from_vec(vec![7i64, 7, 8], &[3])));
         let fr = rle.filter_rows(&mask);
         assert_eq!(fr.kind(), EncodingKind::RunLength);
         assert_eq!(fr.decode_i64().to_vec(), vec![7, 8]);
@@ -327,6 +353,29 @@ mod tests {
         assert_eq!(f.decode_f32().to_vec(), vec![30.0, 10.0]);
         let d = EncodedTensor::from_strings(&["p", "q", "r"]).select_rows(&idx);
         assert_eq!(d.decode_strings(), vec!["r", "p"]);
+    }
+
+    #[test]
+    fn head_slices_all_encodings() {
+        let f = EncodedTensor::from_f32_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.head(2).decode_f32().to_vec(), vec![1.0, 2.0]);
+        assert_eq!(f.head(9).rows(), 3, "clamps");
+        let s = EncodedTensor::from_strings(&["x", "y", "z"]);
+        assert_eq!(s.head(2).decode_strings(), vec!["x", "y"]);
+        assert_eq!(s.head(2).kind(), EncodingKind::Dictionary);
+        let rle = EncodedTensor::Rle(RleColumn::encode(&Tensor::from_vec(
+            vec![7i64, 7, 8, 8],
+            &[4],
+        )));
+        assert_eq!(rle.head(3).decode_i64().to_vec(), vec![7, 7, 8]);
+        // Payload columns keep their trailing shape.
+        let img = EncodedTensor::F32(Tensor::zeros(&[4, 2, 2]));
+        assert_eq!(img.head(1).decode_f32().shape(), &[1, 2, 2]);
+        let pe = EncodedTensor::Pe(PeTensor::from_class_ids(
+            &Tensor::from_vec(vec![1i64, 0, 1], &[3]),
+            PeTensor::range_classes(2),
+        ));
+        assert_eq!(pe.head(2).decode_f32().to_vec(), vec![1.0, 0.0]);
     }
 
     #[test]

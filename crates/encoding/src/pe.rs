@@ -42,7 +42,10 @@ impl PeTensor {
                     .all(|&s| (s - 1.0).abs() < 1e-3),
             "PE rows must be (approximately) stochastic"
         );
-        PeTensor { probs, class_values }
+        PeTensor {
+            probs,
+            class_values,
+        }
     }
 
     /// Encode raw classifier logits: softmax-normalise then wrap.
@@ -122,10 +125,7 @@ mod tests {
 
     fn pe_2rows() -> PeTensor {
         // Row 0 favours class 2, row 1 favours class 0.
-        let probs = Tensor::from_vec(
-            vec![0.1, 0.2, 0.7, /* row 1 */ 0.8, 0.1, 0.1],
-            &[2, 3],
-        );
+        let probs = Tensor::from_vec(vec![0.1, 0.2, 0.7, /* row 1 */ 0.8, 0.1, 0.1], &[2, 3]);
         PeTensor::new(probs, PeTensor::range_classes(3))
     }
 

@@ -29,7 +29,11 @@ impl RleColumn {
                 runs.push(1);
             }
         }
-        RleColumn { values, runs, len: col.numel() }
+        RleColumn {
+            values,
+            runs,
+            len: col.numel(),
+        }
     }
 
     /// Rebuild from raw (values, runs) pairs — the deserialization path.
@@ -84,7 +88,11 @@ impl RleColumn {
 
     /// Value at a logical row index.
     pub fn get(&self, mut row: usize) -> i64 {
-        assert!(row < self.len, "row {row} out of bounds for {} rows", self.len);
+        assert!(
+            row < self.len,
+            "row {row} out of bounds for {} rows",
+            self.len
+        );
         for (&v, &r) in self.values.iter().zip(&self.runs) {
             if row < r as usize {
                 return v;

@@ -19,7 +19,10 @@ pub struct DiffColumn {
 impl DiffColumn {
     /// Plain differentiable value column (`[N]`).
     pub fn plain(var: Var) -> DiffColumn {
-        DiffColumn { var, class_values: None }
+        DiffColumn {
+            var,
+            class_values: None,
+        }
     }
 
     /// Probability-encoded differentiable column (`[N, C]`).
@@ -35,7 +38,10 @@ impl DiffColumn {
             class_values.numel(),
             "one class value per probability column"
         );
-        DiffColumn { var, class_values: Some(class_values) }
+        DiffColumn {
+            var,
+            class_values: Some(class_values),
+        }
     }
 
     pub fn is_pe(&self) -> bool {
@@ -96,9 +102,16 @@ impl ColumnData {
 
 /// An ordered set of named columns (plus, in trainable mode, soft row
 /// weights produced by relaxed predicates).
+///
+/// Columns are addressed two ways: by **slot index** (the hot path — the
+/// physical plan resolves names to slots at compile time) or by name
+/// through an O(1) lowercase name→slot map kept in sync on every push.
 #[derive(Clone, Debug, Default)]
 pub struct Batch {
     columns: Vec<(String, ColumnData)>,
+    /// Lowercased name → first slot carrying it (mirrors the
+    /// first-match-wins semantics of the former linear scan).
+    index: std::collections::HashMap<String, usize>,
     /// Soft filter weights (`[N]` Var in (0,1)); `None` means all-ones.
     pub weights: Option<Var>,
 }
@@ -109,14 +122,11 @@ impl Batch {
     }
 
     pub fn from_table(table: &Table) -> Batch {
-        Batch {
-            columns: table
-                .columns()
-                .iter()
-                .map(|c| (c.name.clone(), ColumnData::Exact(c.data.clone())))
-                .collect(),
-            weights: None,
+        let mut out = Batch::new();
+        for c in table.columns() {
+            out.push(c.name.clone(), ColumnData::Exact(c.data.clone()));
         }
+        out
     }
 
     /// Convert to a storage table (detaching differentiable columns).
@@ -131,7 +141,10 @@ impl Batch {
     }
 
     pub fn push(&mut self, name: impl Into<String>, data: ColumnData) {
-        self.columns.push((name.into(), data));
+        let name = name.into();
+        let slot = self.columns.len();
+        self.index.entry(name.to_ascii_lowercase()).or_insert(slot);
+        self.columns.push((name, data));
     }
 
     pub fn columns(&self) -> &[(String, ColumnData)] {
@@ -150,13 +163,38 @@ impl Batch {
         self.columns.iter().map(|(n, _)| n.as_str()).collect()
     }
 
-    /// Case-insensitive column lookup.
+    /// Case-insensitive column lookup, O(1) via the name index.
     pub fn column(&self, name: &str) -> Result<&ColumnData, ExecError> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, c)| c)
+        self.slot(name)
+            .map(|s| &self.columns[s].1)
             .ok_or_else(|| ExecError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Slot carrying `name` (case-insensitive, first occurrence).
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Column at a physical slot index.
+    pub fn column_at(&self, slot: usize) -> Option<&ColumnData> {
+        self.columns.get(slot).map(|(_, c)| c)
+    }
+
+    /// Name of the column at a slot.
+    pub fn name_at(&self, slot: usize) -> Option<&str> {
+        self.columns.get(slot).map(|(n, _)| n.as_str())
+    }
+
+    /// First `n` rows of every column as a new batch — a contiguous
+    /// prefix slice, cheaper than materialising an index tensor and
+    /// gathering. Soft weights are dropped (callers on the trainable path
+    /// handle weights themselves).
+    pub fn head(&self, n: usize) -> Batch {
+        let mut out = Batch::new();
+        for (name, col) in &self.columns {
+            out.push(name.clone(), ColumnData::Exact(col.to_exact().head(n)));
+        }
+        out
     }
 
     /// Whether any column is differentiable.
@@ -194,7 +232,10 @@ mod tests {
         assert_eq!(b.rows(), 2);
         assert_eq!(b.names(), vec!["v", "s"]);
         let back = b.to_table("out");
-        assert_eq!(back.column("s").unwrap().data.decode_strings(), vec!["a", "b"]);
+        assert_eq!(
+            back.column("s").unwrap().data.decode_strings(),
+            vec!["a", "b"]
+        );
     }
 
     #[test]
@@ -202,17 +243,17 @@ mod tests {
         let t = TableBuilder::new().col_f32("Digit", vec![1.0]).build("t");
         let b = Batch::from_table(&t);
         assert!(b.column("digit").is_ok());
-        assert!(matches!(
-            b.column("nope"),
-            Err(ExecError::UnknownColumn(_))
-        ));
+        assert!(matches!(b.column("nope"), Err(ExecError::UnknownColumn(_))));
     }
 
     #[test]
     fn diff_columns_flagged_and_detached() {
         let mut b = Batch::new();
         let probs = Var::param(Tensor::from_vec(vec![0.3f32, 0.7, 0.9, 0.1], &[2, 2]));
-        b.push("Income", ColumnData::Diff(DiffColumn::pe(probs, Tensor::arange(2))));
+        b.push(
+            "Income",
+            ColumnData::Diff(DiffColumn::pe(probs, Tensor::arange(2))),
+        );
         assert!(b.has_diff());
         assert_eq!(b.rows(), 2);
         let t = b.to_table("out");
@@ -236,11 +277,52 @@ mod tests {
     }
 
     #[test]
+    fn slot_index_tracks_pushes_first_match_wins() {
+        let mut b = Batch::new();
+        b.push(
+            "A",
+            ColumnData::Exact(EncodedTensor::from_f32_slice(&[1.0])),
+        );
+        b.push(
+            "b",
+            ColumnData::Exact(EncodedTensor::from_f32_slice(&[2.0])),
+        );
+        // Duplicate name: the map must keep pointing at the first slot.
+        b.push(
+            "a",
+            ColumnData::Exact(EncodedTensor::from_f32_slice(&[3.0])),
+        );
+        assert_eq!(b.slot("a"), Some(0));
+        assert_eq!(b.slot("B"), Some(1));
+        assert_eq!(b.slot("missing"), None);
+        assert_eq!(b.name_at(2), Some("a"));
+        assert_eq!(
+            b.column("A").unwrap().to_exact().decode_f32().to_vec(),
+            vec![1.0]
+        );
+        assert!(b.column_at(3).is_none());
+    }
+
+    #[test]
+    fn head_takes_prefix_rows() {
+        let t = TableBuilder::new()
+            .col_f32("v", vec![1.0, 2.0, 3.0])
+            .col_str("s", &["a", "b", "c"])
+            .build("t");
+        let b = Batch::from_table(&t);
+        let h = b.head(2);
+        assert_eq!(h.rows(), 2);
+        assert_eq!(
+            h.column("s").unwrap().to_exact().decode_strings(),
+            vec!["a", "b"]
+        );
+        assert_eq!(b.head(10).rows(), 3, "head clamps to the row count");
+        assert_eq!(b.head(0).rows(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "PE diff column must be")]
     fn pe_diff_column_validates_rank() {
-        DiffColumn::pe(
-            Var::constant(Tensor::<f32>::zeros(&[4])),
-            Tensor::arange(2),
-        );
+        DiffColumn::pe(Var::constant(Tensor::<f32>::zeros(&[4])), Tensor::arange(2));
     }
 }

@@ -1,7 +1,8 @@
-//! Differentiable (trainable-query) plan execution.
+//! Differentiable (trainable-query) execution of compiled physical plans.
 //!
 //! This is the lowering selected by the `TRAINABLE` compilation flag
-//! (paper Listing 6). Structure mirrors [`crate::exact::execute`], but:
+//! (paper Listing 6). It consumes the *same* [`PhysicalPlan`] as
+//! [`crate::exact::execute`] — one compile step, two kernel families:
 //!
 //! * TVFs run their differentiable implementations, emitting
 //!   [`DiffColumn`]s whose `Var`s carry the tape;
@@ -17,28 +18,22 @@
 
 use tdp_autodiff::Var;
 use tdp_encoding::EncodedTensor;
-use tdp_sql::ast::{AggFunc, BinOp, Expr, Literal, SelectItem, UnOp};
-use tdp_sql::plan::{AggregateExpr, LogicalPlan};
+use tdp_sql::ast::{AggFunc, BinOp, UnOp};
 use tdp_tensor::{F32Tensor, Tensor};
 
 use crate::batch::{Batch, ColumnData, DiffColumn};
 use crate::error::ExecError;
 use crate::exact;
 use crate::expr::eval_expr;
+use crate::physical::{CompiledExpr, PhysAggregate, PhysKey, PhysProjectItem, PhysicalPlan};
 use crate::soft;
 use crate::udf::{ArgValue, ExecContext};
 
-/// Execute a plan differentiably.
-pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
+/// Execute a physical plan differentiably.
+pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match plan {
-        LogicalPlan::Scan { table } => {
-            let t = ctx
-                .catalog
-                .get(table)
-                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
-            Ok(Batch::from_table(&t.to_device(ctx.device)))
-        }
-        LogicalPlan::TvfScan { name, input } => {
+        PhysicalPlan::Scan { table, schema } => exact::scan_table(table, schema.as_deref(), ctx),
+        PhysicalPlan::TvfScan { name, input } => {
             let inp = execute_diff(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut out = tvf.invoke_table_diff(&inp, ctx)?;
@@ -48,7 +43,7 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
             }
             Ok(out)
         }
-        LogicalPlan::TvfProject { name, args, input } => {
+        PhysicalPlan::TvfProject { name, args, input } => {
             let inp = execute_diff(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
@@ -57,19 +52,28 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
             }
             tvf.invoke_cols(&arg_values, ctx)
         }
-        LogicalPlan::Filter { predicate, input } => {
+        PhysicalPlan::Filter { predicate, input } => {
             let inp = execute_diff(input, ctx)?;
             filter_diff(&inp, predicate, ctx)
         }
-        LogicalPlan::Project { items, input } => {
+        PhysicalPlan::Project { items, input } => {
             let inp = execute_diff(input, ctx)?;
             project_diff(&inp, items, ctx)
         }
-        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+        PhysicalPlan::Aggregate {
+            keys,
+            aggregates,
+            input,
+        } => {
             let inp = execute_diff(input, ctx)?;
-            aggregate_diff(&inp, group_by, aggregates, ctx)
+            aggregate_diff(&inp, keys, aggregates, ctx)
         }
-        LogicalPlan::Join { left, right, kind, on } => {
+        PhysicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = execute_diff(left, ctx)?;
             let r = execute_diff(right, ctx)?;
             if l.has_diff() || r.has_diff() {
@@ -77,9 +81,9 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
                     "JOIN over differentiable columns".into(),
                 ));
             }
-            exact::join_batches(&l, &r, *kind, on.as_ref(), ctx)
+            exact::join_batches(&l, &r, *kind, on)
         }
-        LogicalPlan::Sort { keys, input } => {
+        PhysicalPlan::Sort { keys, input } => {
             let inp = execute_diff(input, ctx)?;
             if inp.has_diff() {
                 return Err(ExecError::NotDifferentiable(
@@ -88,17 +92,20 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
             }
             exact::sort_batch(&inp, keys, ctx)
         }
-        LogicalPlan::Limit { n, input } => {
+        PhysicalPlan::Limit { n, input } => {
             // `ORDER BY score DESC LIMIT k` over a differentiable score
             // relaxes to NeuralSort top-k weights: every row survives,
             // carrying a soft membership weight that downstream soft
             // aggregates consume (the §4 operator-relaxation story applied
             // to top-k, as in the paper's multimodal search queries).
-            if let LogicalPlan::Sort { keys, input: sort_input } = &**input {
+            if let PhysicalPlan::Sort {
+                keys,
+                input: sort_input,
+            } = &**input
+            {
                 let inp = execute_diff(sort_input, ctx)?;
                 if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
-                    let scores =
-                        eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
+                    let scores = eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
                     let w = soft::soft_topk_weights(
                         &scores,
                         *n as usize,
@@ -118,9 +125,7 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
                     ));
                 }
                 let sorted = exact::sort_batch(&inp, keys, ctx)?;
-                let take = (*n as usize).min(sorted.rows());
-                let idx = Tensor::from_vec((0..take as i64).collect(), &[take]);
-                return Ok(exact::select_batch(&sorted, &idx));
+                return Ok(sorted.head(*n as usize));
             }
             let inp = execute_diff(input, ctx)?;
             if inp.has_diff() {
@@ -128,22 +133,16 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
                     "LIMIT over differentiable columns".into(),
                 ));
             }
-            let take = (*n as usize).min(inp.rows());
-            let idx = Tensor::from_vec((0..take as i64).collect(), &[take]);
-            Ok(exact::select_batch(&inp, &idx))
+            Ok(inp.head(*n as usize))
         }
-        LogicalPlan::TopK { keys, n, input } => {
+        PhysicalPlan::TopK { keys, n, input } => {
             // The fused form of ORDER BY + LIMIT: same soft relaxation as
             // the unfused pattern when the (single) key is on the tape.
             let inp = execute_diff(input, ctx)?;
             if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
                 let scores = eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
-                let w = soft::soft_topk_weights(
-                    &scores,
-                    *n as usize,
-                    keys[0].desc,
-                    ctx.temperature,
-                );
+                let w =
+                    soft::soft_topk_weights(&scores, *n as usize, keys[0].desc, ctx.temperature);
                 let mut out = inp;
                 out.weights = Some(match out.weights.take() {
                     Some(prev) => prev.mul(&w),
@@ -158,7 +157,7 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
             }
             exact::topk_batch(&inp, keys, *n as usize, ctx)
         }
-        LogicalPlan::Window { windows, input } => {
+        PhysicalPlan::Window { windows, input } => {
             let inp = execute_diff(input, ctx)?;
             if inp.has_diff() {
                 return Err(ExecError::NotDifferentiable(
@@ -167,7 +166,7 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
             }
             exact::window_batch(&inp, windows, ctx)
         }
-        LogicalPlan::Distinct { input } => {
+        PhysicalPlan::Distinct { input } => {
             let inp = execute_diff(input, ctx)?;
             if inp.has_diff() {
                 return Err(ExecError::NotDifferentiable(
@@ -176,7 +175,7 @@ pub fn execute_diff(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, Exec
             }
             exact::distinct_batch(&inp)
         }
-        LogicalPlan::UnionAll { left, right } => {
+        PhysicalPlan::UnionAll { left, right } => {
             let l = execute_diff(left, ctx)?;
             let r = execute_diff(right, ctx)?;
             if l.has_diff() || r.has_diff() {
@@ -246,29 +245,35 @@ impl DiffVal {
 
 /// Whether an expression touches any differentiable column or
 /// differentiable UDF output.
-fn references_diff(expr: &Expr, batch: &Batch) -> bool {
+fn references_diff(expr: &CompiledExpr, batch: &Batch) -> bool {
     match expr {
-        Expr::Column { name, .. } => batch
-            .column(name)
-            .map(|c| c.is_diff())
-            .unwrap_or(false),
-        Expr::Binary { left, right, .. } => {
+        CompiledExpr::Column(c) => c.resolve(batch).map(|d| d.is_diff()).unwrap_or(false),
+        CompiledExpr::Binary { left, right, .. } => {
             references_diff(left, batch) || references_diff(right, batch)
         }
-        Expr::Unary { expr, .. } => references_diff(expr, batch),
-        Expr::Func { args, .. } => args.iter().any(|a| references_diff(a, batch)),
-        Expr::Aggregate { arg: Some(a), .. } => references_diff(a, batch),
-        Expr::Case { operand, branches, else_expr } => {
-            operand.as_deref().is_some_and(|o| references_diff(o, batch))
+        CompiledExpr::Unary { expr, .. } => references_diff(expr, batch),
+        CompiledExpr::Udf { args, .. } | CompiledExpr::Builtin { args, .. } => {
+            args.iter().any(|a| references_diff(a, batch))
+        }
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand
+                .as_deref()
+                .is_some_and(|o| references_diff(o, batch))
                 || branches
                     .iter()
                     .any(|(w, t)| references_diff(w, batch) || references_diff(t, batch))
-                || else_expr.as_deref().is_some_and(|e| references_diff(e, batch))
+                || else_expr
+                    .as_deref()
+                    .is_some_and(|e| references_diff(e, batch))
         }
-        Expr::InList { expr, list, .. } => {
+        CompiledExpr::InList { expr, list, .. } => {
             references_diff(expr, batch) || list.iter().any(|i| references_diff(i, batch))
         }
-        Expr::Like { expr, .. } => references_diff(expr, batch),
+        CompiledExpr::Like { expr, .. } => references_diff(expr, batch),
         _ => false,
     }
 }
@@ -276,73 +281,82 @@ fn references_diff(expr: &Expr, batch: &Batch) -> bool {
 /// Whether the expression calls a scalar UDF that carries trainable
 /// parameters — such calls must take the differentiable path even when no
 /// input column is differentiable (e.g. a learnable filter threshold).
-fn has_trainable_udf(expr: &Expr, ctx: &ExecContext) -> bool {
+fn has_trainable_udf(expr: &CompiledExpr, ctx: &ExecContext) -> bool {
     match expr {
-        Expr::Func { name, args } => {
+        // Builtin included: a trainable session UDF registered after
+        // compilation shadows the built-in at evaluation time.
+        CompiledExpr::Udf { name, args } | CompiledExpr::Builtin { name, args, .. } => {
             ctx.udfs
                 .scalar(name)
                 .map(|u| !u.parameters().is_empty())
                 .unwrap_or(false)
                 || args.iter().any(|a| has_trainable_udf(a, ctx))
         }
-        Expr::Binary { left, right, .. } => {
+        CompiledExpr::Binary { left, right, .. } => {
             has_trainable_udf(left, ctx) || has_trainable_udf(right, ctx)
         }
-        Expr::Unary { expr, .. } => has_trainable_udf(expr, ctx),
-        Expr::Aggregate { arg: Some(a), .. } => has_trainable_udf(a, ctx),
-        Expr::Case { operand, branches, else_expr } => {
-            operand.as_deref().is_some_and(|o| has_trainable_udf(o, ctx))
+        CompiledExpr::Unary { expr, .. } => has_trainable_udf(expr, ctx),
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand
+                .as_deref()
+                .is_some_and(|o| has_trainable_udf(o, ctx))
                 || branches
                     .iter()
                     .any(|(w, t)| has_trainable_udf(w, ctx) || has_trainable_udf(t, ctx))
-                || else_expr.as_deref().is_some_and(|e| has_trainable_udf(e, ctx))
+                || else_expr
+                    .as_deref()
+                    .is_some_and(|e| has_trainable_udf(e, ctx))
         }
-        Expr::InList { expr, list, .. } => {
+        CompiledExpr::InList { expr, list, .. } => {
             has_trainable_udf(expr, ctx) || list.iter().any(|i| has_trainable_udf(i, ctx))
         }
-        Expr::Like { expr, .. } => has_trainable_udf(expr, ctx),
+        CompiledExpr::Like { expr, .. } => has_trainable_udf(expr, ctx),
         _ => false,
     }
 }
 
 /// An expression is "on the tape" when it touches a differentiable column
 /// or calls a parameterized UDF.
-fn on_tape(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> bool {
+fn on_tape(expr: &CompiledExpr, batch: &Batch, ctx: &ExecContext) -> bool {
     references_diff(expr, batch) || has_trainable_udf(expr, ctx)
 }
 
-/// Evaluate an expression in the differentiable domain.
-pub fn eval_diff(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<DiffVal, ExecError> {
+/// Evaluate a compiled expression in the differentiable domain.
+pub fn eval_diff(
+    expr: &CompiledExpr,
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<DiffVal, ExecError> {
     match expr {
-        Expr::Column { name, .. } => match batch.column(name)? {
+        CompiledExpr::Column(c) => match c.resolve(batch)? {
             ColumnData::Diff(d) if d.is_pe() => Ok(DiffVal::Pe(d.clone())),
             ColumnData::Diff(d) => Ok(DiffVal::Var(d.var.clone())),
             ColumnData::Exact(e) => Ok(DiffVal::Exact(e.clone())),
         },
-        Expr::Literal(Literal::Number(n)) => Ok(DiffVal::Num(*n)),
-        Expr::Literal(Literal::String(s)) => Ok(DiffVal::Str(s.clone())),
-        Expr::Literal(Literal::Bool(b)) => Ok(DiffVal::Num(if *b { 1.0 } else { 0.0 })),
-        Expr::Literal(Literal::Null) => {
-            Err(ExecError::Unsupported("NULL literals are not supported".into()))
-        }
-        Expr::Unary { op: UnOp::Neg, expr } => {
+        CompiledExpr::Num(n) => Ok(DiffVal::Num(*n)),
+        CompiledExpr::Str(s) => Ok(DiffVal::Str(s.clone())),
+        CompiledExpr::Bool(b) => Ok(DiffVal::Num(if *b { 1.0 } else { 0.0 })),
+        CompiledExpr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => {
             let n = batch.rows();
-            Ok(DiffVal::Var(eval_diff(expr, batch, ctx)?.into_var(n)?.neg()))
+            Ok(DiffVal::Var(
+                eval_diff(expr, batch, ctx)?.into_var(n)?.neg(),
+            ))
         }
-        Expr::Unary { op: UnOp::Not, .. } => Err(ExecError::NotDifferentiable(
+        CompiledExpr::Unary { op: UnOp::Not, .. } => Err(ExecError::NotDifferentiable(
             "NOT outside a predicate".into(),
         )),
-        Expr::Binary { op, left, right } => {
+        CompiledExpr::Binary { op, left, right } => {
             // Pure-exact subtrees evaluate exactly (keeps dictionary
             // predicates etc. available inside trainable queries).
             if !on_tape(expr, batch, ctx) {
-                let v = eval_expr(expr, batch, ctx)?;
-                return Ok(match v {
-                    crate::expr::Value::Column(c) => DiffVal::Exact(c),
-                    crate::expr::Value::Num(n) => DiffVal::Num(n),
-                    crate::expr::Value::Str(s) => DiffVal::Str(s),
-                    crate::expr::Value::Bool(b) => DiffVal::Num(if b { 1.0 } else { 0.0 }),
-                });
+                return exact_as_diff(expr, batch, ctx);
             }
             let n = batch.rows();
             let l = eval_diff(left, batch, ctx)?;
@@ -361,58 +375,43 @@ pub fn eval_diff(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<DiffVa
             };
             Ok(DiffVal::Var(out))
         }
-        Expr::Func { name, args } => {
-            let any_diff = args.iter().any(|a| references_diff(a, batch));
-            if !ctx.udfs.is_scalar(name) {
-                // Built-in math functions: exact off the tape, Var ops on
-                // it (only the ones autodiff provides).
-                if !any_diff {
-                    let v = eval_expr(expr, batch, ctx)?;
-                    return Ok(match v {
-                        crate::expr::Value::Column(c) => DiffVal::Exact(c),
-                        crate::expr::Value::Num(n) => DiffVal::Num(n),
-                        crate::expr::Value::Str(s) => DiffVal::Str(s),
-                        crate::expr::Value::Bool(b) => {
-                            DiffVal::Num(if b { 1.0 } else { 0.0 })
-                        }
-                    });
-                }
-                let n = batch.rows();
-                if args.len() == 1 {
-                    let x = eval_diff(&args[0], batch, ctx)?.into_var(n)?;
-                    let out = match name.to_ascii_lowercase().as_str() {
-                        "abs" => x.abs(),
-                        "sqrt" => x.sqrt(),
-                        "exp" => x.exp(),
-                        "ln" => x.ln(),
-                        other => {
-                            return Err(ExecError::NotDifferentiable(format!(
-                                "built-in {other} over differentiable columns"
-                            )))
-                        }
-                    };
-                    return Ok(DiffVal::Var(out));
-                }
-                return Err(ExecError::NotDifferentiable(format!(
-                    "built-in {name} over differentiable columns"
-                )));
+        CompiledExpr::Builtin { name, args, .. } => {
+            // A session UDF registered *after* compilation shadows the
+            // built-in (pre-compilation resolution order).
+            if ctx.udfs.is_scalar(name) {
+                return invoke_udf_diff(name, args, batch, ctx);
             }
-            let udf = ctx.udfs.scalar(name)?.clone();
-            let mut arg_values = Vec::with_capacity(args.len());
-            for a in args {
-                arg_values.push(eval_diff(a, batch, ctx)?.into_arg());
+            // Built-in math functions: exact off the tape, Var ops on it
+            // (only the ones autodiff provides).
+            if !args.iter().any(|a| references_diff(a, batch))
+                && !args.iter().any(|a| has_trainable_udf(a, ctx))
+            {
+                return exact_as_diff(expr, batch, ctx);
             }
-            if any_diff || !udf.parameters().is_empty() {
-                let out = udf.invoke_diff(&arg_values, ctx)?;
-                Ok(if out.is_pe() { DiffVal::Pe(out) } else { DiffVal::Var(out.var) })
-            } else {
-                Ok(DiffVal::Exact(udf.invoke(&arg_values, ctx)?))
+            let n = batch.rows();
+            if args.len() == 1 {
+                let x = eval_diff(&args[0], batch, ctx)?.into_var(n)?;
+                let out = match name.to_ascii_lowercase().as_str() {
+                    "abs" => x.abs(),
+                    "sqrt" => x.sqrt(),
+                    "exp" => x.exp(),
+                    "ln" => x.ln(),
+                    other => {
+                        return Err(ExecError::NotDifferentiable(format!(
+                            "built-in {other} over differentiable columns"
+                        )))
+                    }
+                };
+                return Ok(DiffVal::Var(out));
             }
+            Err(ExecError::NotDifferentiable(format!(
+                "built-in {name} over differentiable columns"
+            )))
         }
-        Expr::Aggregate { .. } => Err(ExecError::Unsupported(
-            "aggregate outside of an Aggregate plan node".into(),
-        )),
-        e @ (Expr::Case { .. } | Expr::InList { .. } | Expr::Like { .. }) => {
+        CompiledExpr::Udf { name, args } => invoke_udf_diff(name, args, batch, ctx),
+        e @ (CompiledExpr::Case { .. }
+        | CompiledExpr::InList { .. }
+        | CompiledExpr::Like { .. }) => {
             // CASE/IN/LIKE run exactly when they do not touch the tape;
             // relaxing them is future work (the paper only relaxes
             // comparisons and aggregates).
@@ -421,26 +420,58 @@ pub fn eval_diff(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<DiffVa
                     "'{e}' over differentiable columns"
                 )));
             }
-            match eval_expr(e, batch, ctx)? {
-                crate::expr::Value::Column(c) => Ok(DiffVal::Exact(c)),
-                crate::expr::Value::Num(v) => Ok(DiffVal::Num(v)),
-                crate::expr::Value::Str(s) => Ok(DiffVal::Str(s)),
-                crate::expr::Value::Bool(b) => Ok(DiffVal::Num(if b { 1.0 } else { 0.0 })),
-            }
+            exact_as_diff(e, batch, ctx)
         }
-        Expr::Window { .. } => Err(ExecError::Unsupported(
-            "window function outside of a Window plan node".into(),
-        )),
         // Scalar subqueries evaluate exactly — no gradient crosses the
         // subquery boundary (its tables are catalog constants).
-        Expr::ScalarSubquery(q) => match crate::expr::eval_scalar_subquery(q, ctx)? {
+        CompiledExpr::ScalarSubquery(plan) => match crate::expr::eval_scalar_subquery(plan, ctx)? {
             crate::expr::Value::Num(v) => Ok(DiffVal::Num(v)),
             crate::expr::Value::Str(s) => Ok(DiffVal::Str(s)),
             crate::expr::Value::Bool(b) => Ok(DiffVal::Num(if b { 1.0 } else { 0.0 })),
             crate::expr::Value::Column(c) => Ok(DiffVal::Exact(c)),
         },
-        Expr::Star => Err(ExecError::Unsupported("'*' outside of COUNT(*)".into())),
     }
+}
+
+/// Invoke a session scalar UDF in the differentiable domain: the diff
+/// implementation when gradients may flow, the exact one otherwise.
+fn invoke_udf_diff(
+    name: &str,
+    args: &[CompiledExpr],
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<DiffVal, ExecError> {
+    let any_diff = args.iter().any(|a| references_diff(a, batch));
+    let udf = ctx.udfs.scalar(name)?.clone();
+    let mut arg_values = Vec::with_capacity(args.len());
+    for a in args {
+        arg_values.push(eval_diff(a, batch, ctx)?.into_arg());
+    }
+    if any_diff || !udf.parameters().is_empty() {
+        let out = udf.invoke_diff(&arg_values, ctx)?;
+        Ok(if out.is_pe() {
+            DiffVal::Pe(out)
+        } else {
+            DiffVal::Var(out.var)
+        })
+    } else {
+        Ok(DiffVal::Exact(udf.invoke(&arg_values, ctx)?))
+    }
+}
+
+/// Evaluate an off-tape expression with the exact evaluator and wrap the
+/// result as a constant in the differentiable domain.
+fn exact_as_diff(
+    expr: &CompiledExpr,
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<DiffVal, ExecError> {
+    Ok(match eval_expr(expr, batch, ctx)? {
+        crate::expr::Value::Column(c) => DiffVal::Exact(c),
+        crate::expr::Value::Num(n) => DiffVal::Num(n),
+        crate::expr::Value::Str(s) => DiffVal::Str(s),
+        crate::expr::Value::Bool(b) => DiffVal::Num(if b { 1.0 } else { 0.0 }),
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -448,25 +479,36 @@ pub fn eval_diff(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<DiffVa
 // ----------------------------------------------------------------------
 
 /// Soft weights for a predicate over differentiable values.
-fn soft_predicate(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Var, ExecError> {
+fn soft_predicate(expr: &CompiledExpr, batch: &Batch, ctx: &ExecContext) -> Result<Var, ExecError> {
     let n = batch.rows();
     match expr {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        CompiledExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             let lw = soft_predicate(left, batch, ctx)?;
             let rw = soft_predicate(right, batch, ctx)?;
             Ok(lw.mul(&rw))
         }
-        Expr::Binary { op: BinOp::Or, left, right } => {
+        CompiledExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
             // Probabilistic OR: w1 + w2 − w1·w2.
             let lw = soft_predicate(left, batch, ctx)?;
             let rw = soft_predicate(right, batch, ctx)?;
             Ok(lw.add(&rw).sub(&lw.mul(&rw)))
         }
-        Expr::Unary { op: UnOp::Not, expr } => {
+        CompiledExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => {
             let w = soft_predicate(expr, batch, ctx)?;
             Ok(w.neg().add_scalar(1.0))
         }
-        Expr::Binary { op, left, right } if op.is_comparison() => {
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => {
             if !on_tape(expr, batch, ctx) {
                 // Exact sub-predicate: 0/1 weights, constants on the tape.
                 let mask = eval_expr(expr, batch, ctx)?.into_mask(n)?;
@@ -502,7 +544,11 @@ fn soft_predicate(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Var, 
     }
 }
 
-fn filter_diff(batch: &Batch, predicate: &Expr, ctx: &ExecContext) -> Result<Batch, ExecError> {
+fn filter_diff(
+    batch: &Batch,
+    predicate: &CompiledExpr,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
     let n = batch.rows();
     if !on_tape(predicate, batch, ctx) {
         // Hard filter; differentiable columns are gathered on-tape so
@@ -541,12 +587,16 @@ fn filter_diff(batch: &Batch, predicate: &Expr, ctx: &ExecContext) -> Result<Bat
     Ok(out)
 }
 
-fn project_diff(batch: &Batch, items: &[SelectItem], ctx: &ExecContext) -> Result<Batch, ExecError> {
+fn project_diff(
+    batch: &Batch,
+    items: &[PhysProjectItem],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
     let mut out = Batch::new();
     out.weights = batch.weights.clone();
     let n = batch.rows();
     for item in items {
-        let name = item.output_name();
+        let name = item.name.clone();
         match eval_diff(&item.expr, batch, ctx)? {
             DiffVal::Var(v) => out.push(name, ColumnData::Diff(DiffColumn::plain(v))),
             DiffVal::Pe(p) => out.push(name, ColumnData::Diff(p)),
@@ -555,9 +605,10 @@ fn project_diff(batch: &Batch, items: &[SelectItem], ctx: &ExecContext) -> Resul
                 name,
                 ColumnData::Exact(EncodedTensor::F32(Tensor::full(&[n], v as f32))),
             ),
-            DiffVal::Str(s) => {
-                out.push(name, ColumnData::Exact(EncodedTensor::from_strings(&vec![s; n])))
-            }
+            DiffVal::Str(s) => out.push(
+                name,
+                ColumnData::Exact(EncodedTensor::from_strings(&vec![s; n])),
+            ),
         }
     }
     Ok(out)
@@ -570,10 +621,7 @@ fn exact_key_as_pe(col: &EncodedTensor) -> Result<(Var, F32Tensor), ExecError> {
         EncodedTensor::Pe(p) => {
             // Exact PE column (already detached): one-hot by argmax.
             return Ok((
-                Var::constant(tdp_tensor::index::one_hot(
-                    &p.decode_ids(),
-                    p.num_classes(),
-                )),
+                Var::constant(tdp_tensor::index::one_hot(&p.decode_ids(), p.num_classes())),
                 p.class_values().clone(),
             ));
         }
@@ -597,15 +645,15 @@ fn exact_key_as_pe(col: &EncodedTensor) -> Result<(Var, F32Tensor), ExecError> {
 
 fn aggregate_diff(
     batch: &Batch,
-    group_by: &[Expr],
-    aggregates: &[AggregateExpr],
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let n = batch.rows();
     let weights = batch.weights.clone();
 
     // Global aggregation (no keys): scalar soft aggregates.
-    if group_by.is_empty() {
+    if keys.is_empty() {
         let mut out = Batch::new();
         let w = weights.unwrap_or_else(|| Var::constant(F32Tensor::ones(&[n])));
         for agg in aggregates {
@@ -634,25 +682,27 @@ fn aggregate_diff(
     }
 
     // Keyed aggregation: every key must be (or become) probability-encoded.
-    let mut membership: Vec<Var> = Vec::with_capacity(group_by.len());
-    let mut class_values: Vec<F32Tensor> = Vec::with_capacity(group_by.len());
-    let mut key_names: Vec<String> = Vec::with_capacity(group_by.len());
-    for g in group_by {
-        let Expr::Column { name, .. } = g else {
+    let mut membership: Vec<Var> = Vec::with_capacity(keys.len());
+    let mut class_values: Vec<F32Tensor> = Vec::with_capacity(keys.len());
+    let mut key_names: Vec<String> = Vec::with_capacity(keys.len());
+    for k in keys {
+        let CompiledExpr::Column(col_ref) = &k.expr else {
             return Err(ExecError::NotDifferentiable(format!(
-                "soft GROUP BY key '{g}' must be a plain column"
+                "soft GROUP BY key '{}' must be a plain column",
+                k.name
             )));
         };
-        key_names.push(g.display_name());
-        match batch.column(name)? {
+        key_names.push(k.name.clone());
+        match col_ref.resolve(batch)? {
             ColumnData::Diff(d) if d.is_pe() => {
                 membership.push(d.var.clone());
                 class_values.push(d.class_values.clone().expect("pe column"));
             }
             ColumnData::Diff(_) => {
                 return Err(ExecError::NotDifferentiable(format!(
-                    "cannot group by continuous differentiable column '{name}' \
-                     (probability-encode it first)"
+                    "cannot group by continuous differentiable column '{}' \
+                     (probability-encode it first)",
+                    col_ref.name()
                 )))
             }
             ColumnData::Exact(e) => {
@@ -698,11 +748,12 @@ fn aggregate_diff(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::physical::lower;
+    use crate::udf::{ScalarUdf, TableFunction, UdfRegistry};
     use std::sync::Arc;
     use tdp_sql::plan::{build_plan, PlannerContext};
     use tdp_sql::{optimizer, parse};
     use tdp_storage::{Catalog, TableBuilder};
-    use crate::udf::{ScalarUdf, TableFunction, UdfRegistry};
 
     /// TVF producing a PE column from a logits parameter — a stand-in for
     /// a classifier over the input rows.
@@ -723,7 +774,11 @@ mod tests {
             }
             Ok(out)
         }
-        fn invoke_table_diff(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+        fn invoke_table_diff(
+            &self,
+            _input: &Batch,
+            _ctx: &ExecContext,
+        ) -> Result<Batch, ExecError> {
             let mut out = Batch::new();
             let probs = self.logits.softmax(1);
             out.push(
@@ -756,12 +811,23 @@ mod tests {
         ))
     }
 
-    fn run_diff(catalog: &Catalog, udfs: &UdfRegistry, sql: &str) -> Batch {
-        let ctx = ExecContext::new(catalog, udfs).with_trainable(true);
+    fn compile(catalog: &Catalog, udfs: &UdfRegistry, sql: &str) -> PhysicalPlan {
         let q = parse(sql).unwrap();
         let plan = optimizer::optimize(
-            build_plan(&q, &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) }).unwrap(),
+            build_plan(
+                &q,
+                &PlannerContext {
+                    is_tvf: &|n| udfs.is_table_fn(n),
+                },
+            )
+            .unwrap(),
         );
+        lower(&plan, catalog, udfs).unwrap()
+    }
+
+    fn run_diff(catalog: &Catalog, udfs: &UdfRegistry, sql: &str) -> Batch {
+        let ctx = ExecContext::new(catalog, udfs).with_trainable(true);
+        let plan = compile(catalog, udfs, sql);
         execute_diff(&plan, &ctx).unwrap()
     }
 
@@ -806,7 +872,9 @@ mod tests {
         let target = Tensor::from_vec(vec![2.0f32, 2.0], &[2]);
         let loss = counts_var.mse_loss(&target);
         loss.backward();
-        let g = logits.grad().expect("gradient must reach the TVF parameter");
+        let g = logits
+            .grad()
+            .expect("gradient must reach the TVF parameter");
         assert!(g.norm() > 0.0);
     }
 
@@ -832,7 +900,10 @@ mod tests {
             let g = logits.grad().unwrap();
             logits.set_value(logits.value().sub(&g.mul_scalar(5.0)));
         }
-        assert!(loss_v < 1e-3, "count-supervised training must converge: {loss_v}");
+        assert!(
+            loss_v < 1e-3,
+            "count-supervised training must converge: {loss_v}"
+        );
     }
 
     /// Scalar UDF emitting a differentiable score column from a parameter.
@@ -873,13 +944,16 @@ mod tests {
                 .build("rows"),
         );
         let mut udfs = UdfRegistry::new();
-        udfs.register_scalar(Arc::new(ScoreUdf { scores: scores.clone() }));
+        udfs.register_scalar(Arc::new(ScoreUdf {
+            scores: scores.clone(),
+        }));
 
         let mut ctx = ExecContext::new(&catalog, &udfs).with_trainable(true);
         ctx.temperature = 0.01;
-        let q = parse("SELECT x, score(x) AS s FROM rows ORDER BY s DESC LIMIT 2").unwrap();
-        let plan = optimizer::optimize(
-            build_plan(&q, &PlannerContext { is_tvf: &|_| false }).unwrap(),
+        let plan = compile(
+            &catalog,
+            &udfs,
+            "SELECT x, score(x) AS s FROM rows ORDER BY s DESC LIMIT 2",
         );
         let out = execute_diff(&plan, &ctx).unwrap();
 
@@ -906,9 +980,11 @@ mod tests {
         );
         let udfs = UdfRegistry::new();
         let ctx = ExecContext::new(&catalog, &udfs).with_trainable(true);
+        // Unoptimised Limit(Sort(…)) shape: exercised via the raw lowering.
         let q = parse("SELECT x FROM rows ORDER BY x DESC LIMIT 2").unwrap();
         let plan = build_plan(&q, &PlannerContext { is_tvf: &|_| false }).unwrap();
-        let out = execute_diff(&plan, &ctx).unwrap();
+        let phys = lower(&plan, &catalog, &udfs).unwrap();
+        let out = execute_diff(&phys, &ctx).unwrap();
         assert_eq!(out.rows(), 2);
         assert!(out.weights.is_none());
         assert_eq!(
@@ -924,14 +1000,20 @@ mod tests {
             fn name(&self) -> &str {
                 "score"
             }
-            fn invoke(&self, args: &[ArgValue], _: &ExecContext) -> Result<EncodedTensor, ExecError> {
+            fn invoke(
+                &self,
+                args: &[ArgValue],
+                _: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
                 Ok(args[0].as_column()?.clone())
             }
-            fn invoke_diff(&self, args: &[ArgValue], _: &ExecContext) -> Result<DiffColumn, ExecError> {
+            fn invoke_diff(
+                &self,
+                args: &[ArgValue],
+                _: &ExecContext,
+            ) -> Result<DiffColumn, ExecError> {
                 match &args[0] {
-                    ArgValue::Column(c) => {
-                        Ok(DiffColumn::plain(Var::constant(c.decode_f32())))
-                    }
+                    ArgValue::Column(c) => Ok(DiffColumn::plain(Var::constant(c.decode_f32()))),
                     ArgValue::DiffColumn(d) => Ok(d.clone()),
                     other => Err(ExecError::TypeMismatch(format!("{other:?}"))),
                 }
@@ -949,11 +1031,19 @@ mod tests {
         );
         let mut udfs = UdfRegistry::new();
         udfs.register_scalar(Arc::new(Score));
-        let b = run_diff(&catalog, &udfs, "SELECT COUNT(*) FROM t WHERE score(x) > 0.75");
+        let b = run_diff(
+            &catalog,
+            &udfs,
+            "SELECT COUNT(*) FROM t WHERE score(x) > 0.75",
+        );
         let (_, counts) = counts_of(&b);
         // Soft count: rows 1.0, 1.5 nearly in; 0.5 partially; 0.0 nearly out.
         assert_eq!(counts.len(), 1);
-        assert!(counts[0] > 1.5 && counts[0] < 2.5, "soft count = {}", counts[0]);
+        assert!(
+            counts[0] > 1.5 && counts[0] < 2.5,
+            "soft count = {}",
+            counts[0]
+        );
     }
 
     #[test]
@@ -961,11 +1051,7 @@ mod tests {
         let logits = fresh_logits();
         let (catalog, udfs) = setup(logits);
         // x > 2.5 keeps rows 2 and 3 (exact filter before the aggregate).
-        let b = run_diff(
-            &catalog,
-            &udfs,
-            "SELECT COUNT(*) FROM rows WHERE x > 2.5",
-        );
+        let b = run_diff(&catalog, &udfs, "SELECT COUNT(*) FROM rows WHERE x > 2.5");
         let (_, counts) = counts_of(&b);
         assert!((counts[0] - 2.0).abs() < 1e-6);
     }
@@ -980,7 +1066,11 @@ mod tests {
                 .build("t"),
         );
         let udfs = UdfRegistry::new();
-        let b = run_diff(&catalog, &udfs, "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k");
+        let b = run_diff(
+            &catalog,
+            &udfs,
+            "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k",
+        );
         assert_eq!(
             b.column("k").unwrap().to_exact().decode_f32().to_vec(),
             vec![7.0, 8.0]
@@ -1015,10 +1105,16 @@ mod tests {
         let (catalog, udfs) = setup(logits);
         let ctx = ExecContext::new(&catalog, &udfs).with_trainable(true);
         let q = parse("SELECT Label FROM classify(rows) ORDER BY Label").unwrap();
-        let plan =
-            build_plan(&q, &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) }).unwrap();
+        let plan = build_plan(
+            &q,
+            &PlannerContext {
+                is_tvf: &|n| udfs.is_table_fn(n),
+            },
+        )
+        .unwrap();
+        let phys = lower(&plan, &catalog, &udfs).unwrap();
         assert!(matches!(
-            execute_diff(&plan, &ctx),
+            execute_diff(&phys, &ctx),
             Err(ExecError::NotDifferentiable(_))
         ));
     }

@@ -43,8 +43,12 @@ mod tests {
 
     #[test]
     fn display_messages_name_the_offender() {
-        assert!(ExecError::UnknownTable("docs".into()).to_string().contains("docs"));
-        assert!(ExecError::UnknownColumn("x".into()).to_string().contains("'x'"));
+        assert!(ExecError::UnknownTable("docs".into())
+            .to_string()
+            .contains("docs"));
+        assert!(ExecError::UnknownColumn("x".into())
+            .to_string()
+            .contains("'x'"));
         assert!(ExecError::NotDifferentiable("join".into())
             .to_string()
             .contains("TRAINABLE"));

@@ -1,32 +1,33 @@
-//! Exact (inference-time) plan execution on tensor kernels.
+//! Exact (inference-time) execution of compiled physical plans.
+//!
+//! All name resolution, schema propagation and function lookup happened at
+//! lowering time ([`crate::physical::lower`]); this module is pure kernel
+//! dispatch over slot-indexed batches.
 
 use tdp_encoding::EncodedTensor;
-use tdp_sql::ast::{AggFunc, BinOp, Expr, JoinKind, OrderItem, SelectItem};
-use tdp_sql::plan::{AggregateExpr, LogicalPlan};
+use tdp_sql::ast::{AggFunc, JoinKind};
 use tdp_tensor::sort::group_ids;
 use tdp_tensor::{F32Tensor, I64Tensor, Tensor};
 
 use crate::batch::{Batch, ColumnData};
 use crate::error::ExecError;
 use crate::expr::{eval_expr, Value};
+use crate::physical::{
+    JoinOn, PhysAggregate, PhysKey, PhysOrderKey, PhysProjectItem, PhysWindow, PhysWindowFunc,
+    PhysicalPlan,
+};
 use crate::udf::ExecContext;
 
-/// Execute a logical plan exactly, producing a batch.
-pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
+/// Execute a physical plan exactly, producing a batch.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match plan {
-        LogicalPlan::Scan { table } => {
-            let t = ctx
-                .catalog
-                .get(table)
-                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
-            Ok(Batch::from_table(&t.to_device(ctx.device)))
-        }
-        LogicalPlan::TvfScan { name, input } => {
+        PhysicalPlan::Scan { table, schema } => scan_table(table, schema.as_deref(), ctx),
+        PhysicalPlan::TvfScan { name, input } => {
             let inp = execute(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             tvf.invoke_table(&inp, ctx)
         }
-        LogicalPlan::TvfProject { name, args, input } => {
+        PhysicalPlan::TvfProject { name, args, input } => {
             let inp = execute(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
@@ -35,52 +36,87 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError
             }
             tvf.invoke_cols(&arg_values, ctx)
         }
-        LogicalPlan::Filter { predicate, input } => {
+        PhysicalPlan::Filter { predicate, input } => {
             let inp = execute(input, ctx)?;
             let mask = eval_expr(predicate, &inp, ctx)?.into_mask(inp.rows())?;
             Ok(filter_batch(&inp, &mask))
         }
-        LogicalPlan::Project { items, input } => {
+        PhysicalPlan::Project { items, input } => {
             let inp = execute(input, ctx)?;
             project_batch(&inp, items, ctx)
         }
-        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+        PhysicalPlan::Aggregate {
+            keys,
+            aggregates,
+            input,
+        } => {
             let inp = execute(input, ctx)?;
-            aggregate_batch(&inp, group_by, aggregates, ctx)
+            aggregate_batch(&inp, keys, aggregates, ctx)
         }
-        LogicalPlan::Join { left, right, kind, on } => {
+        PhysicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = execute(left, ctx)?;
             let r = execute(right, ctx)?;
-            join_batches(&l, &r, *kind, on.as_ref(), ctx)
+            join_batches(&l, &r, *kind, on)
         }
-        LogicalPlan::Sort { keys, input } => {
+        PhysicalPlan::Sort { keys, input } => {
             let inp = execute(input, ctx)?;
             sort_batch(&inp, keys, ctx)
         }
-        LogicalPlan::Limit { n, input } => {
+        // LIMIT is a contiguous prefix slice — no index tensor, no gather.
+        PhysicalPlan::Limit { n, input } => {
             let inp = execute(input, ctx)?;
-            let take = (*n as usize).min(inp.rows());
-            let idx: I64Tensor = Tensor::from_vec((0..take as i64).collect(), &[take]);
-            Ok(select_batch(&inp, &idx))
+            Ok(inp.head(*n as usize))
         }
-        LogicalPlan::TopK { keys, n, input } => {
+        PhysicalPlan::TopK { keys, n, input } => {
             let inp = execute(input, ctx)?;
             topk_batch(&inp, keys, *n as usize, ctx)
         }
-        LogicalPlan::Window { windows, input } => {
+        PhysicalPlan::Window { windows, input } => {
             let inp = execute(input, ctx)?;
             window_batch(&inp, windows, ctx)
         }
-        LogicalPlan::Distinct { input } => {
+        PhysicalPlan::Distinct { input } => {
             let inp = execute(input, ctx)?;
             distinct_batch(&inp)
         }
-        LogicalPlan::UnionAll { left, right } => {
+        PhysicalPlan::UnionAll { left, right } => {
             let l = execute(left, ctx)?;
             let r = execute(right, ctx)?;
             union_all_batches(&l, &r)
         }
     }
+}
+
+/// Resolve a base table, checking a compile-time schema (when present)
+/// against the live catalog so stale slot assignments fail loudly.
+pub(crate) fn scan_table(
+    table: &str,
+    schema: Option<&[String]>,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let t = ctx
+        .catalog
+        .get(table)
+        .ok_or_else(|| ExecError::UnknownTable(table.to_owned()))?;
+    if let Some(expected) = schema {
+        let live = t.columns();
+        let matches = live.len() == expected.len()
+            && live
+                .iter()
+                .zip(expected)
+                .all(|(c, e)| c.name.eq_ignore_ascii_case(e));
+        if !matches {
+            return Err(ExecError::TypeMismatch(format!(
+                "schema of table '{table}' changed since the query was compiled; recompile"
+            )));
+        }
+    }
+    Ok(Batch::from_table(&t.to_device(ctx.device)))
 }
 
 /// Deduplicate rows, keeping first occurrences in input order
@@ -91,8 +127,7 @@ pub fn distinct_batch(batch: &Batch) -> Result<Batch, ExecError> {
     if n == 0 || batch.columns().is_empty() {
         return Ok(batch.clone());
     }
-    let cols: Vec<EncodedTensor> =
-        batch.columns().iter().map(|(_, c)| c.to_exact()).collect();
+    let cols: Vec<EncodedTensor> = batch.columns().iter().map(|(_, c)| c.to_exact()).collect();
     let codes: Vec<I64Tensor> = cols.iter().map(key_codes).collect::<Result<_, _>>()?;
     let refs: Vec<&I64Tensor> = codes.iter().collect();
     let (ids, distinct) = group_ids(&refs);
@@ -126,7 +161,10 @@ pub fn union_all_batches(left: &Batch, right: &Batch) -> Result<Batch, ExecError
 pub fn filter_batch(batch: &Batch, mask: &tdp_tensor::BoolTensor) -> Batch {
     let mut out = Batch::new();
     for (name, col) in batch.columns() {
-        out.push(name.clone(), ColumnData::Exact(col.to_exact().filter_rows(mask)));
+        out.push(
+            name.clone(),
+            ColumnData::Exact(col.to_exact().filter_rows(mask)),
+        );
     }
     out
 }
@@ -135,23 +173,29 @@ pub fn filter_batch(batch: &Batch, mask: &tdp_tensor::BoolTensor) -> Batch {
 pub fn select_batch(batch: &Batch, idx: &I64Tensor) -> Batch {
     let mut out = Batch::new();
     for (name, col) in batch.columns() {
-        out.push(name.clone(), ColumnData::Exact(col.to_exact().select_rows(idx)));
+        out.push(
+            name.clone(),
+            ColumnData::Exact(col.to_exact().select_rows(idx)),
+        );
     }
     out
 }
 
-pub fn project_batch(batch: &Batch, items: &[SelectItem], ctx: &ExecContext) -> Result<Batch, ExecError> {
+pub fn project_batch(
+    batch: &Batch,
+    items: &[PhysProjectItem],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
     let n = batch.rows();
     let mut out = Batch::new();
     for item in items {
-        let name = item.output_name();
         let col = match eval_expr(&item.expr, batch, ctx)? {
             Value::Column(c) => c,
             Value::Num(v) => EncodedTensor::F32(Tensor::full(&[n], v as f32)),
             Value::Bool(b) => EncodedTensor::Bool(Tensor::full(&[n], b)),
             Value::Str(s) => EncodedTensor::from_strings(&vec![s; n]),
         };
-        out.push(name, ColumnData::Exact(col));
+        out.push(item.name.clone(), ColumnData::Exact(col));
     }
     Ok(out)
 }
@@ -159,7 +203,11 @@ pub fn project_batch(batch: &Batch, items: &[SelectItem], ctx: &ExecContext) -> 
 /// Order-preserving map from f32 to i64 (total order including sign).
 fn f32_order_key(v: f32) -> i64 {
     let b = v.to_bits();
-    let u = if b & 0x8000_0000 != 0 { !b } else { b | 0x8000_0000 };
+    let u = if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000
+    };
     u as i64
 }
 
@@ -186,18 +234,17 @@ fn key_codes(col: &EncodedTensor) -> Result<I64Tensor, ExecError> {
 
 pub fn aggregate_batch(
     batch: &Batch,
-    group_by: &[Expr],
-    aggregates: &[AggregateExpr],
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let n = batch.rows();
 
     // Evaluate key expressions once.
-    let mut key_cols: Vec<(String, EncodedTensor)> = Vec::with_capacity(group_by.len());
-    for g in group_by {
-        let name = g.display_name();
-        match eval_expr(g, batch, ctx)? {
-            Value::Column(c) => key_cols.push((name, c)),
+    let mut key_cols: Vec<(&str, EncodedTensor)> = Vec::with_capacity(keys.len());
+    for k in keys {
+        match eval_expr(&k.expr, batch, ctx)? {
+            Value::Column(c) => key_cols.push((&k.name, c)),
             other => {
                 return Err(ExecError::TypeMismatch(format!(
                     "GROUP BY expression must be a column, got {other:?}"
@@ -235,7 +282,10 @@ pub fn aggregate_batch(
     let mut out = Batch::new();
     // Key columns keep their original encoding via representative rows.
     for (name, col) in &key_cols {
-        out.push(name.clone(), ColumnData::Exact(col.select_rows(&rep_rows)));
+        out.push(
+            name.to_string(),
+            ColumnData::Exact(col.select_rows(&rep_rows)),
+        );
     }
 
     // Per-group aggregate columns.
@@ -329,7 +379,11 @@ pub fn aggregate_batch(
             (AggFunc::Min, Some(e)) | (AggFunc::Max, Some(e)) => {
                 let vals = eval_expr(e, batch, ctx)?.into_f32_column(n)?;
                 let is_min = agg.func == AggFunc::Min;
-                let init = if is_min { f32::INFINITY } else { f32::NEG_INFINITY };
+                let init = if is_min {
+                    f32::INFINITY
+                } else {
+                    f32::NEG_INFINITY
+                };
                 let mut acc = vec![init; num_groups];
                 for (row, &g) in ids.data().iter().enumerate() {
                     let v = vals.at(row);
@@ -352,37 +406,44 @@ pub fn aggregate_batch(
     Ok(out)
 }
 
-/// Extract equi-join key column names from an ON expression.
-fn equi_keys(
-    on: &Expr,
-    left: &Batch,
-    right: &Batch,
-) -> Result<Vec<(String, String)>, ExecError> {
+/// Resolve compiled join keys into `(left, right)` exact key columns.
+fn resolve_join_keys<'a>(
+    on: &JoinOn,
+    left: &'a Batch,
+    right: &'a Batch,
+) -> Result<(Vec<&'a EncodedTensor>, Vec<&'a EncodedTensor>), ExecError> {
+    let as_exact = |c: &'a ColumnData| match c {
+        ColumnData::Exact(e) => e,
+        ColumnData::Diff(_) => unreachable!("exact executor sees exact columns"),
+    };
     match on {
-        Expr::Binary { op: BinOp::And, left: l, right: r } => {
-            let mut keys = equi_keys(l, left, right)?;
-            keys.extend(equi_keys(r, left, right)?);
-            Ok(keys)
-        }
-        Expr::Binary { op: BinOp::Eq, left: l, right: r } => {
-            let (Expr::Column { name: a, .. }, Expr::Column { name: b, .. }) = (&**l, &**r)
-            else {
-                return Err(ExecError::Unsupported(
-                    "join conditions must be column equalities".into(),
-                ));
-            };
-            // Decide which side each column belongs to.
-            if left.column(a).is_ok() && right.column(b).is_ok() {
-                Ok(vec![(a.clone(), b.clone())])
-            } else if left.column(b).is_ok() && right.column(a).is_ok() {
-                Ok(vec![(b.clone(), a.clone())])
-            } else {
-                Err(ExecError::UnknownColumn(format!("{a} / {b} in join")))
+        JoinOn::Resolved(pairs) => {
+            let mut l = Vec::with_capacity(pairs.len());
+            let mut r = Vec::with_capacity(pairs.len());
+            for (lk, rk) in pairs {
+                l.push(as_exact(lk.resolve(left)?));
+                r.push(as_exact(rk.resolve(right)?));
             }
+            Ok((l, r))
         }
-        other => Err(ExecError::Unsupported(format!(
-            "join condition '{other}' (only conjunctions of equalities)"
-        ))),
+        JoinOn::Deferred(pairs) => {
+            // Input schema was unknown at compile time: probe which side
+            // carries which column, per run.
+            let mut l = Vec::with_capacity(pairs.len());
+            let mut r = Vec::with_capacity(pairs.len());
+            for (a, b) in pairs {
+                if left.column(a).is_ok() && right.column(b).is_ok() {
+                    l.push(as_exact(left.column(a)?));
+                    r.push(as_exact(right.column(b)?));
+                } else if left.column(b).is_ok() && right.column(a).is_ok() {
+                    l.push(as_exact(left.column(b)?));
+                    r.push(as_exact(right.column(a)?));
+                } else {
+                    return Err(ExecError::UnknownColumn(format!("{a} / {b} in join")));
+                }
+            }
+            Ok((l, r))
+        }
     }
 }
 
@@ -406,20 +467,11 @@ pub fn join_batches(
     left: &Batch,
     right: &Batch,
     kind: JoinKind,
-    on: Option<&Expr>,
-    _ctx: &ExecContext,
+    on: &JoinOn,
 ) -> Result<Batch, ExecError> {
-    let on = on.ok_or_else(|| ExecError::Unsupported("joins require an ON clause".into()))?;
-    let keys = equi_keys(on, left, right)?;
+    let (left_cols, right_cols) = resolve_join_keys(on, left, right)?;
 
     // Build side: hash right rows by composite key.
-    let right_cols: Vec<&EncodedTensor> = keys
-        .iter()
-        .map(|(_, rk)| right.column(rk).map(|c| match c {
-            ColumnData::Exact(e) => e,
-            ColumnData::Diff(_) => unreachable!("exact executor sees exact columns"),
-        }))
-        .collect::<Result<_, _>>()?;
     let mut table: std::collections::HashMap<Vec<String>, Vec<i64>> =
         std::collections::HashMap::new();
     for row in 0..right.rows() {
@@ -428,13 +480,6 @@ pub fn join_batches(
     }
 
     // Probe side.
-    let left_cols: Vec<&EncodedTensor> = keys
-        .iter()
-        .map(|(lk, _)| left.column(lk).map(|c| match c {
-            ColumnData::Exact(e) => e,
-            ColumnData::Diff(_) => unreachable!("exact executor sees exact columns"),
-        }))
-        .collect::<Result<_, _>>()?;
     let mut left_idx: Vec<i64> = Vec::new();
     let mut right_idx: Vec<i64> = Vec::new();
     let mut left_unmatched: Vec<i64> = Vec::new();
@@ -457,7 +502,8 @@ pub fn join_batches(
     let ri = Tensor::from_vec(right_idx, &[matched]);
     let mut out = select_batch(left, &li);
 
-    // Right columns, renamed on collision.
+    // Right columns, renamed on collision (mirrored by the compile-time
+    // schema propagation in `physical::lower`).
     let right_matched = select_batch(right, &ri);
     for (name, col) in right_matched.columns() {
         let out_name = if out.column(name).is_ok() {
@@ -606,7 +652,11 @@ impl WindowAcc {
                 } else {
                     ((self.sumsq - self.sum * self.sum / c) / (c - 1.0)).max(0.0)
                 };
-                let v = if func == AggFunc::Stddev { var.sqrt() } else { var };
+                let v = if func == AggFunc::Stddev {
+                    var.sqrt()
+                } else {
+                    var
+                };
                 (0, v as f32)
             }
         }
@@ -624,11 +674,9 @@ impl WindowAcc {
 /// otherwise.
 pub fn window_batch(
     batch: &Batch,
-    windows: &[tdp_sql::plan::WindowExpr],
+    windows: &[PhysWindow],
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
-    use tdp_sql::ast::WindowFunc;
-
     let n = batch.rows();
     let mut out = batch.clone();
     for w in windows {
@@ -687,7 +735,7 @@ pub fn window_batch(
 
         // --- aggregate argument, when the window has one -----------------
         let (agg_vals, agg_bool): (Option<Vec<f32>>, Option<Vec<bool>>) = match &w.func {
-            WindowFunc::Agg { arg: Some(e), .. } => match eval_expr(e, batch, ctx)? {
+            PhysWindowFunc::Agg { arg: Some(e), .. } => match eval_expr(e, batch, ctx)? {
                 Value::Column(EncodedTensor::Bool(m)) => (None, Some(m.to_vec())),
                 v => (Some(v.into_f32_column(n)?.to_vec()), None),
             },
@@ -699,10 +747,13 @@ pub fn window_batch(
         let mut out_i64 = vec![0i64; n];
         let is_int_output = matches!(
             w.func,
-            WindowFunc::RowNumber
-                | WindowFunc::Rank
-                | WindowFunc::DenseRank
-                | WindowFunc::Agg { func: AggFunc::Count | AggFunc::CountDistinct, .. }
+            PhysWindowFunc::RowNumber
+                | PhysWindowFunc::Rank
+                | PhysWindowFunc::DenseRank
+                | PhysWindowFunc::Agg {
+                    func: AggFunc::Count | AggFunc::CountDistinct,
+                    ..
+                }
         );
 
         let mut start = 0usize;
@@ -715,13 +766,13 @@ pub fn window_batch(
             let running = !w.order_by.is_empty();
 
             match &w.func {
-                WindowFunc::RowNumber => {
+                PhysWindowFunc::RowNumber => {
                     for (pos, &r) in rows.iter().enumerate() {
                         out_i64[r] = pos as i64 + 1;
                     }
                 }
-                WindowFunc::Rank | WindowFunc::DenseRank => {
-                    let dense = w.func == WindowFunc::DenseRank;
+                PhysWindowFunc::Rank | PhysWindowFunc::DenseRank => {
+                    let dense = w.func == PhysWindowFunc::DenseRank;
                     let mut rank = 0i64;
                     let mut dense_rank = 0i64;
                     for (pos, &r) in rows.iter().enumerate() {
@@ -732,7 +783,7 @@ pub fn window_batch(
                         out_i64[r] = if dense { dense_rank } else { rank };
                     }
                 }
-                WindowFunc::Agg { func, arg: _ } => {
+                PhysWindowFunc::Agg { func, arg: _ } => {
                     let mut acc = WindowAcc::new();
                     if running {
                         // Peer groups share the frame end (RANGE default).
@@ -781,7 +832,7 @@ pub fn window_batch(
 /// (ties resolved by input position).
 pub fn topk_batch(
     batch: &Batch,
-    keys: &[OrderItem],
+    keys: &[PhysOrderKey],
     k: usize,
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
@@ -790,18 +841,7 @@ pub fn topk_batch(
     if k == 0 {
         return Ok(select_batch(batch, &Tensor::from_vec(vec![], &[0])));
     }
-    let mut key_vecs: Vec<(Vec<i64>, bool)> = Vec::with_capacity(keys.len());
-    for key in keys {
-        let codes = match eval_expr(&key.expr, batch, ctx)? {
-            Value::Column(c) => key_codes(&c)?,
-            other => {
-                return Err(ExecError::TypeMismatch(format!(
-                    "ORDER BY expression must be a column, got {other:?}"
-                )))
-            }
-        };
-        key_vecs.push((codes.to_vec(), key.desc));
-    }
+    let key_vecs = order_key_codes(batch, keys, ctx)?;
     let cmp = |a: &i64, b: &i64| {
         for (vals, desc) in &key_vecs {
             let (va, vb) = (vals[*a as usize], vals[*b as usize]);
@@ -821,10 +861,13 @@ pub fn topk_batch(
     Ok(select_batch(batch, &Tensor::from_vec(idx, &[k])))
 }
 
-pub fn sort_batch(batch: &Batch, keys: &[OrderItem], ctx: &ExecContext) -> Result<Batch, ExecError> {
-    let n = batch.rows();
-    // Resolve each key to an order-preserving i64 vector.
-    let mut key_vecs: Vec<(Vec<i64>, bool)> = Vec::with_capacity(keys.len());
+/// Resolve each sort key to an order-preserving i64 vector.
+fn order_key_codes(
+    batch: &Batch,
+    keys: &[PhysOrderKey],
+    ctx: &ExecContext,
+) -> Result<Vec<(Vec<i64>, bool)>, ExecError> {
+    let mut key_vecs = Vec::with_capacity(keys.len());
     for k in keys {
         let codes = match eval_expr(&k.expr, batch, ctx)? {
             Value::Column(c) => key_codes(&c)?,
@@ -836,6 +879,16 @@ pub fn sort_batch(batch: &Batch, keys: &[OrderItem], ctx: &ExecContext) -> Resul
         };
         key_vecs.push((codes.to_vec(), k.desc));
     }
+    Ok(key_vecs)
+}
+
+pub fn sort_batch(
+    batch: &Batch,
+    keys: &[PhysOrderKey],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let n = batch.rows();
+    let key_vecs = order_key_codes(batch, keys, ctx)?;
     let mut idx: Vec<i64> = (0..n as i64).collect();
     idx.sort_by(|&a, &b| {
         for (vals, desc) in &key_vecs {
@@ -853,10 +906,11 @@ pub fn sort_batch(batch: &Batch, keys: &[OrderItem], ctx: &ExecContext) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::physical::lower;
+    use crate::udf::UdfRegistry;
     use tdp_sql::plan::{build_plan, PlannerContext};
     use tdp_sql::{optimizer, parse};
     use tdp_storage::{Catalog, TableBuilder};
-    use crate::udf::UdfRegistry;
 
     fn setup() -> Catalog {
         let catalog = Catalog::new();
@@ -876,13 +930,24 @@ mod tests {
         catalog
     }
 
+    fn compile(catalog: &Catalog, udfs: &UdfRegistry, sql: &str) -> PhysicalPlan {
+        let q = parse(sql).unwrap();
+        let plan = optimizer::optimize(
+            build_plan(
+                &q,
+                &PlannerContext {
+                    is_tvf: &|n| udfs.is_table_fn(n),
+                },
+            )
+            .unwrap(),
+        );
+        lower(&plan, catalog, udfs).unwrap()
+    }
+
     fn run(catalog: &Catalog, sql: &str) -> Batch {
         let udfs = UdfRegistry::new();
         let ctx = ExecContext::new(catalog, &udfs);
-        let q = parse(sql).unwrap();
-        let plan = optimizer::optimize(
-            build_plan(&q, &PlannerContext { is_tvf: &|n| udfs.is_table_fn(n) }).unwrap(),
-        );
+        let plan = compile(catalog, &udfs, sql);
         execute(&plan, &ctx).unwrap()
     }
 
@@ -908,7 +973,10 @@ mod tests {
     #[test]
     fn projection_expressions_and_aliases() {
         let c = setup();
-        let b = run(&c, "SELECT price * qty AS total FROM orders WHERE qty <= 20");
+        let b = run(
+            &c,
+            "SELECT price * qty AS total FROM orders WHERE qty <= 20",
+        );
         assert_eq!(b.names(), vec!["total"]);
         assert_eq!(f32_col(&b, "total"), vec![30.0, 20.0]);
     }
@@ -923,7 +991,11 @@ mod tests {
             vec!["a", "b", "c"]
         );
         assert_eq!(
-            b.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
+            b.column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
             vec![2, 2, 1]
         );
     }
@@ -947,7 +1019,11 @@ mod tests {
         let b = run(&c, "SELECT COUNT(*), SUM(qty), AVG(price) FROM orders");
         assert_eq!(b.rows(), 1);
         assert_eq!(
-            b.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
+            b.column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
             vec![5]
         );
         assert_eq!(f32_col(&b, "SUM(qty)"), vec![150.0]);
@@ -957,7 +1033,10 @@ mod tests {
     #[test]
     fn having_filters_groups() {
         let c = setup();
-        let b = run(&c, "SELECT item, COUNT(*) FROM orders GROUP BY item HAVING COUNT(*) > 1");
+        let b = run(
+            &c,
+            "SELECT item, COUNT(*) FROM orders GROUP BY item HAVING COUNT(*) > 1",
+        );
         assert_eq!(b.rows(), 2);
         assert_eq!(
             b.column("item").unwrap().to_exact().decode_strings(),
@@ -970,7 +1049,10 @@ mod tests {
         let c = setup();
         let b = run(&c, "SELECT price FROM orders ORDER BY price DESC");
         assert_eq!(f32_col(&b, "price"), vec![5.0, 4.0, 3.0, 2.0, 1.0]);
-        let b2 = run(&c, "SELECT item, price FROM orders ORDER BY item ASC, price DESC");
+        let b2 = run(
+            &c,
+            "SELECT item, price FROM orders ORDER BY item ASC, price DESC",
+        );
         assert_eq!(
             b2.column("item").unwrap().to_exact().decode_strings(),
             vec!["a", "a", "b", "b", "c"]
@@ -993,11 +1075,17 @@ mod tests {
     #[test]
     fn limit_and_topk() {
         let c = setup();
-        let b = run(&c, "SELECT item, price FROM orders ORDER BY price DESC LIMIT 2");
+        let b = run(
+            &c,
+            "SELECT item, price FROM orders ORDER BY price DESC LIMIT 2",
+        );
         assert_eq!(b.rows(), 2);
         assert_eq!(f32_col(&b, "price"), vec![5.0, 4.0]);
         let empty = run(&c, "SELECT * FROM orders LIMIT 0");
         assert_eq!(empty.rows(), 0);
+        // Plain LIMIT without a sort slices the scan prefix.
+        let head = run(&c, "SELECT price FROM orders LIMIT 3");
+        assert_eq!(f32_col(&head, "price"), vec![3.0, 1.0, 2.0]);
     }
 
     #[test]
@@ -1037,24 +1125,49 @@ mod tests {
         let c = setup();
         let udfs = UdfRegistry::new();
         let ctx = ExecContext::new(&c, &udfs);
+        // Unknown table: compiles to a schema-less scan, fails at run time
+        // (preserving the register-after-compile workflow).
         let q = parse("SELECT * FROM missing").unwrap();
         let plan = build_plan(&q, &PlannerContext::default()).unwrap();
+        let phys = lower(&plan, &c, &udfs).unwrap();
         assert!(matches!(
-            execute(&plan, &ctx),
+            execute(&phys, &ctx),
             Err(ExecError::UnknownTable(_))
         ));
+        // Unknown column over a known table: caught at compile time.
         let q2 = parse("SELECT nope FROM orders").unwrap();
         let plan2 = build_plan(&q2, &PlannerContext::default()).unwrap();
         assert!(matches!(
-            execute(&plan2, &ctx),
+            lower(&plan2, &c, &udfs),
             Err(ExecError::UnknownColumn(_))
         ));
     }
 
     #[test]
+    fn stale_schema_detected_at_run_time() {
+        let c = setup();
+        let udfs = UdfRegistry::new();
+        let plan = compile(&c, &udfs, "SELECT price FROM orders");
+        // Re-register 'orders' with a different shape: slots are stale.
+        c.register(
+            TableBuilder::new()
+                .col_f32("other", vec![1.0])
+                .build("orders"),
+        );
+        let ctx = ExecContext::new(&c, &udfs);
+        match execute(&plan, &ctx) {
+            Err(ExecError::TypeMismatch(msg)) => assert!(msg.contains("recompile"), "{msg}"),
+            other => panic!("expected stale-schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn count_of_boolean_expression() {
         let c = setup();
-        let b = run(&c, "SELECT item, COUNT(price > 1.5) FROM orders GROUP BY item");
+        let b = run(
+            &c,
+            "SELECT item, COUNT(price > 1.5) FROM orders GROUP BY item",
+        );
         assert_eq!(
             b.column("COUNT((price > 1.5))")
                 .unwrap()
@@ -1085,13 +1198,12 @@ mod tests {
             "SELECT price FROM orders WHERE price > 4 UNION ALL SELECT price FROM orders WHERE price < 2",
         );
         assert_eq!(f32_col(&b, "price"), vec![5.0, 1.0]);
-        // Arity mismatch is an execution error.
+        // Arity mismatch is now a compile-time error.
         let udfs = UdfRegistry::new();
-        let ctx = ExecContext::new(&c, &udfs);
         let q = parse("SELECT price FROM orders UNION ALL SELECT price, qty FROM orders").unwrap();
         let plan = build_plan(&q, &PlannerContext::default()).unwrap();
         assert!(matches!(
-            execute(&plan, &ctx),
+            lower(&plan, &c, &udfs),
             Err(ExecError::TypeMismatch(_))
         ));
     }
@@ -1166,7 +1278,10 @@ mod tests {
         let b2 = run(&c, "SELECT item, VARIANCE(price) FROM orders GROUP BY item");
         assert_eq!(f32_col(&b2, "VARIANCE(price)"), vec![0.5, 0.5, 0.0]);
         // COUNT(DISTINCT) per group.
-        let b3 = run(&c, "SELECT item, COUNT(DISTINCT qty) FROM orders GROUP BY item");
+        let b3 = run(
+            &c,
+            "SELECT item, COUNT(DISTINCT qty) FROM orders GROUP BY item",
+        );
         assert_eq!(
             b3.column("COUNT(DISTINCT qty)")
                 .unwrap()
@@ -1194,18 +1309,23 @@ mod tests {
         assert_eq!(f32_col(&b, "fl"), vec![-3.0, 0.0, 2.0]);
         assert_eq!(f32_col(&b, "ce"), vec![-2.0, 0.0, 3.0]);
         assert_eq!(f32_col(&b, "s"), vec![-1.0, 0.0, 1.0]);
-        let b2 = run(&catalog, "SELECT POWER(v, 2) AS p, SQRT(ABS(v)) AS q FROM t");
+        let b2 = run(
+            &catalog,
+            "SELECT POWER(v, 2) AS p, SQRT(ABS(v)) AS q FROM t",
+        );
         assert_eq!(f32_col(&b2, "p"), vec![5.0625, 0.0, 5.0625]);
         assert!((f32_col(&b2, "q")[0] - 1.5).abs() < 1e-6);
         // Scalars fold: EXP(0) is a literal 1 broadcast to every row.
         let b3 = run(&catalog, "SELECT EXP(0) AS e FROM t");
         assert_eq!(f32_col(&b3, "e"), vec![1.0, 1.0, 1.0]);
-        // Unknown functions still error.
+        // Unknown functions error at compile time.
         let udfs = UdfRegistry::new();
-        let ctx = ExecContext::new(&catalog, &udfs);
         let q = parse("SELECT nope(v) FROM t").unwrap();
         let plan = build_plan(&q, &PlannerContext::default()).unwrap();
-        assert!(execute(&plan, &ctx).is_err());
+        assert!(matches!(
+            lower(&plan, &catalog, &udfs),
+            Err(ExecError::UnknownFunction(_))
+        ));
     }
 
     #[test]
@@ -1310,17 +1430,22 @@ mod tests {
             .map(|q| build_plan(&q, &PlannerContext::default()))
             .unwrap()
             .is_err());
-        assert!(parse("SELECT item, COUNT(*), RANK() OVER () FROM t GROUP BY item")
-            .map(|q| build_plan(&q, &PlannerContext::default()))
-            .unwrap()
-            .is_err());
+        assert!(
+            parse("SELECT item, COUNT(*), RANK() OVER () FROM t GROUP BY item")
+                .map(|q| build_plan(&q, &PlannerContext::default()))
+                .unwrap()
+                .is_err()
+        );
     }
 
     #[test]
     fn scalar_subqueries_in_predicates_and_projections() {
         let c = setup();
         // Rows above the average price (avg = 3.0).
-        let b = run(&c, "SELECT price FROM orders WHERE price > (SELECT AVG(price) FROM orders)");
+        let b = run(
+            &c,
+            "SELECT price FROM orders WHERE price > (SELECT AVG(price) FROM orders)",
+        );
         assert_eq!(f32_col(&b, "price"), vec![5.0, 4.0]);
         // Scalar subquery inside a projection expression.
         let b2 = run(
@@ -1334,7 +1459,11 @@ mod tests {
             "SELECT COUNT(*) FROM orders WHERE qty > (SELECT AVG(qty) FROM orders WHERE price > (SELECT MIN(price) FROM orders))",
         );
         assert_eq!(
-            b3.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
+            b3.column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
             vec![2] // avg qty of non-min-price rows = 32.5 -> qty 40, 50
         );
         // String-valued scalar subquery compares against dict columns.
@@ -1343,16 +1472,21 @@ mod tests {
             "SELECT COUNT(*) FROM orders WHERE item = (SELECT item FROM orders ORDER BY price DESC LIMIT 1)",
         );
         assert_eq!(
-            b4.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
-            vec![1] // the most expensive item is 'candle'
+            b4.column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
+            vec![1] // the most expensive item is 'c'
         );
-        // Multi-row subqueries are rejected.
+        // Multi-row subqueries are rejected at run time.
         let udfs = UdfRegistry::new();
         let ctx = ExecContext::new(&c, &udfs);
         let q = parse("SELECT 1 FROM orders WHERE price > (SELECT price FROM orders)").unwrap();
         let plan = build_plan(&q, &PlannerContext::default()).unwrap();
+        let phys = lower(&plan, &c, &udfs).unwrap();
         assert!(matches!(
-            execute(&plan, &ctx),
+            execute(&phys, &ctx),
             Err(ExecError::TypeMismatch(_))
         ));
     }
@@ -1377,6 +1511,7 @@ mod tests {
             "SELECT cat, COUNT(*) FROM log GROUP BY cat",
             "SELECT COUNT(*) FROM log WHERE ts > 1000300",
             "SELECT cat FROM log ORDER BY ts DESC LIMIT 7",
+            "SELECT cat FROM log LIMIT 5",
             "SELECT DISTINCT cat FROM log",
             // Window partition/order keys over compressed columns.
             "SELECT ROW_NUMBER() OVER (PARTITION BY cat ORDER BY ts DESC) AS rn FROM log ORDER BY ts LIMIT 9",
@@ -1409,7 +1544,11 @@ mod tests {
         let b = run(&catalog, "SELECT v, COUNT(*) FROM t GROUP BY v");
         assert_eq!(f32_col(&b, "v"), vec![-2.0, 1.5]);
         assert_eq!(
-            b.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
+            b.column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
             vec![2, 3]
         );
     }

@@ -1,16 +1,19 @@
-//! Exact scalar-expression evaluation over batches.
+//! Exact evaluation of compiled expression programs over batches.
 //!
-//! Expressions lower to tensor kernels: comparisons become mask kernels,
-//! arithmetic becomes elementwise kernels, string predicates become integer
-//! predicates on dictionary codes (the encoding-aware strategy selection of
-//! paper §2).
+//! Expressions arrive here already lowered by [`crate::physical::lower`]:
+//! columns are slot indices, built-ins are resolved kernels, scalar
+//! subqueries are nested physical plans. Evaluation dispatches straight to
+//! tensor kernels — comparisons become mask kernels, arithmetic becomes
+//! elementwise kernels, string predicates become integer predicates on
+//! dictionary codes (the encoding-aware strategy selection of paper §2).
 
 use tdp_encoding::EncodedTensor;
-use tdp_sql::ast::{BinOp, Expr, Literal, UnOp};
+use tdp_sql::ast::{BinOp, UnOp};
 use tdp_tensor::{BoolTensor, F32Tensor, Tensor};
 
 use crate::batch::Batch;
 use crate::error::ExecError;
+use crate::physical::{CompiledExpr, PhysicalPlan, ScalarFn};
 use crate::udf::{ArgValue, ExecContext};
 
 /// Result of evaluating an expression: a column or a scalar.
@@ -57,61 +60,70 @@ impl Value {
     }
 }
 
-/// Evaluate `expr` against `batch`.
-pub fn eval_expr(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Value, ExecError> {
+/// Evaluate a compiled expression against `batch`.
+pub fn eval_expr(
+    expr: &CompiledExpr,
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<Value, ExecError> {
     match expr {
-        Expr::Column { name, .. } => Ok(Value::Column(batch.column(name)?.to_exact())),
-        Expr::Literal(Literal::Number(n)) => Ok(Value::Num(*n)),
-        Expr::Literal(Literal::String(s)) => Ok(Value::Str(s.clone())),
-        Expr::Literal(Literal::Bool(b)) => Ok(Value::Bool(*b)),
-        Expr::Literal(Literal::Null) => {
-            Err(ExecError::Unsupported("NULL literals are not supported".into()))
-        }
-        Expr::Unary { op: UnOp::Neg, expr } => match eval_expr(expr, batch, ctx)? {
+        CompiledExpr::Column(c) => Ok(Value::Column(c.resolve(batch)?.to_exact())),
+        CompiledExpr::Num(n) => Ok(Value::Num(*n)),
+        CompiledExpr::Str(s) => Ok(Value::Str(s.clone())),
+        CompiledExpr::Bool(b) => Ok(Value::Bool(*b)),
+        CompiledExpr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => match eval_expr(expr, batch, ctx)? {
             Value::Num(n) => Ok(Value::Num(-n)),
             Value::Column(c) => Ok(Value::Column(EncodedTensor::F32(c.decode_f32().neg()))),
             other => Err(ExecError::TypeMismatch(format!("cannot negate {other:?}"))),
         },
-        Expr::Unary { op: UnOp::Not, expr } => match eval_expr(expr, batch, ctx)? {
+        CompiledExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => match eval_expr(expr, batch, ctx)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
             Value::Column(EncodedTensor::Bool(m)) => {
                 Ok(Value::Column(EncodedTensor::Bool(m.not())))
             }
             other => Err(ExecError::TypeMismatch(format!("cannot NOT {other:?}"))),
         },
-        Expr::Binary { op, left, right } => {
+        CompiledExpr::Binary { op, left, right } => {
             let l = eval_expr(left, batch, ctx)?;
             let r = eval_expr(right, batch, ctx)?;
             eval_binary(*op, l, r, batch.rows())
         }
-        Expr::Func { name, args } => {
-            // Session UDFs take precedence; otherwise try the built-in
-            // scalar math functions; otherwise report the unknown function.
+        CompiledExpr::Udf { name, args } => invoke_udf(name, args, batch, ctx),
+        CompiledExpr::Builtin { name, func, args } => {
+            // A session UDF registered *after* compilation shadows the
+            // built-in, preserving the pre-compilation resolution order
+            // for already-held queries.
             if ctx.udfs.is_scalar(name) {
-                let udf = ctx.udfs.scalar(name)?.clone();
-                let mut arg_values = Vec::with_capacity(args.len());
-                for a in args {
-                    arg_values.push(eval_expr(a, batch, ctx)?.into_arg());
-                }
-                return Ok(Value::Column(udf.invoke(&arg_values, ctx)?));
+                return invoke_udf(name, args, batch, ctx);
             }
-            if let Some(builtin) = builtin_scalar(name) {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(eval_expr(a, batch, ctx)?);
-                }
-                return builtin.eval(name, &vals, batch.rows());
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, batch, ctx)?);
             }
-            // Surfaces the original "unknown scalar function" error.
-            match ctx.udfs.scalar(name) {
-                Err(e) => Err(e),
-                Ok(_) => unreachable!("is_scalar was false"),
-            }
+            eval_builtin(name, *func, &vals, batch.rows())
         }
-        Expr::Case { operand, branches, else_expr } => {
-            eval_case(operand.as_deref(), branches, else_expr.as_deref(), batch, ctx)
-        }
-        Expr::InList { expr, list, negated } => {
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => eval_case(
+            operand.as_deref(),
+            branches,
+            else_expr.as_deref(),
+            batch,
+            ctx,
+        ),
+        CompiledExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, batch, ctx)?;
             let mut mask: Option<BoolTensor> = None;
             let n = batch.rows();
@@ -123,19 +135,29 @@ pub fn eval_expr(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Value,
                     None => eq,
                 });
             }
-            let m = mask.ok_or_else(|| {
-                ExecError::TypeMismatch("IN requires a non-empty list".into())
-            })?;
-            Ok(Value::Column(EncodedTensor::Bool(if *negated { m.not() } else { m })))
+            let m =
+                mask.ok_or_else(|| ExecError::TypeMismatch("IN requires a non-empty list".into()))?;
+            Ok(Value::Column(EncodedTensor::Bool(if *negated {
+                m.not()
+            } else {
+                m
+            })))
         }
-        Expr::Like { expr, pattern, negated } => {
+        CompiledExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let mask = match eval_expr(expr, batch, ctx)? {
                 Value::Column(EncodedTensor::Dict { codes, dict }) => {
                     // Evaluate the pattern once per dictionary entry, then
                     // broadcast the verdicts through the codes — the
                     // encoding-aware strategy of paper §2.
-                    let verdicts: Vec<bool> =
-                        dict.values().iter().map(|v| like_match(pattern, v)).collect();
+                    let verdicts: Vec<bool> = dict
+                        .values()
+                        .iter()
+                        .map(|v| like_match(pattern, v))
+                        .collect();
                     codes.map(|c| verdicts[c as usize])
                 }
                 Value::Str(s) => Tensor::full(&[batch.rows()], like_match(pattern, &s)),
@@ -151,30 +173,32 @@ pub fn eval_expr(expr: &Expr, batch: &Batch, ctx: &ExecContext) -> Result<Value,
                 mask
             })))
         }
-        Expr::Aggregate { .. } => Err(ExecError::Unsupported(
-            "aggregate outside of an Aggregate plan node".into(),
-        )),
-        Expr::Window { .. } => Err(ExecError::Unsupported(
-            "window function outside of a Window plan node".into(),
-        )),
-        Expr::ScalarSubquery(q) => eval_scalar_subquery(q, ctx),
-        Expr::Star => Err(ExecError::Unsupported("'*' outside of COUNT(*)".into())),
+        CompiledExpr::ScalarSubquery(plan) => eval_scalar_subquery(plan, ctx),
     }
 }
 
-/// Plan, optimise and execute an uncorrelated scalar subquery against the
-/// session catalog; it must return exactly one row and one column.
-pub(crate) fn eval_scalar_subquery(
-    q: &tdp_sql::ast::Query,
+/// Evaluate arguments and invoke a session scalar UDF by name.
+fn invoke_udf(
+    name: &str,
+    args: &[CompiledExpr],
+    batch: &Batch,
     ctx: &ExecContext,
 ) -> Result<Value, ExecError> {
-    let plan = tdp_sql::plan::build_plan(
-        q,
-        &tdp_sql::plan::PlannerContext { is_tvf: &|n| ctx.udfs.is_table_fn(n) },
-    )
-    .map_err(|e| ExecError::Unsupported(format!("scalar subquery: {e}")))?;
-    let plan = tdp_sql::optimizer::optimize(plan);
-    let batch = crate::exact::execute(&plan, ctx)?;
+    let udf = ctx.udfs.scalar(name)?.clone();
+    let mut arg_values = Vec::with_capacity(args.len());
+    for a in args {
+        arg_values.push(eval_expr(a, batch, ctx)?.into_arg());
+    }
+    Ok(Value::Column(udf.invoke(&arg_values, ctx)?))
+}
+
+/// Execute a lowered scalar-subquery plan against the session catalog; it
+/// must return exactly one row and one column.
+pub(crate) fn eval_scalar_subquery(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+) -> Result<Value, ExecError> {
+    let batch = crate::exact::execute(plan, ctx)?;
     if batch.rows() != 1 || batch.columns().len() != 1 {
         return Err(ExecError::TypeMismatch(format!(
             "scalar subquery must return 1 row x 1 column, got {} x {}",
@@ -209,9 +233,9 @@ fn like_match(pattern: &str, s: &str) -> bool {
 /// tested in order; earlier matches win. The NULL-free dialect defaults a
 /// missing ELSE to 0.
 fn eval_case(
-    operand: Option<&Expr>,
-    branches: &[(Expr, Expr)],
-    else_expr: Option<&Expr>,
+    operand: Option<&CompiledExpr>,
+    branches: &[(CompiledExpr, CompiledExpr)],
+    else_expr: Option<&CompiledExpr>,
     batch: &Batch,
     ctx: &ExecContext,
 ) -> Result<Value, ExecError> {
@@ -239,85 +263,52 @@ fn eval_case(
     Ok(Value::Column(EncodedTensor::F32(out)))
 }
 
-/// Built-in scalar math functions (resolved after session UDFs).
-enum Builtin {
-    Unary(fn(f32) -> f32),
-    /// POWER(x, e) and friends.
-    Binary(fn(f32, f32) -> f32),
-}
-
-impl Builtin {
-    fn eval(&self, name: &str, args: &[Value], n: usize) -> Result<Value, ExecError> {
-        let need = match self {
-            Builtin::Unary(_) => 1,
-            Builtin::Binary(_) => 2,
-        };
-        if args.len() != need {
-            return Err(ExecError::TypeMismatch(format!(
-                "{name} expects {need} argument(s), got {}",
-                args.len()
-            )));
+/// Dispatch a pre-resolved built-in math kernel. Scalar-only arguments
+/// stay scalar so literals keep folding through plans.
+fn eval_builtin(name: &str, func: ScalarFn, args: &[Value], n: usize) -> Result<Value, ExecError> {
+    if args.len() != func.arity() {
+        return Err(ExecError::TypeMismatch(format!(
+            "{name} expects {} argument(s), got {}",
+            func.arity(),
+            args.len()
+        )));
+    }
+    let all_scalar = args.iter().all(|a| matches!(a, Value::Num(_)));
+    match func {
+        ScalarFn::Unary(f) => {
+            if all_scalar {
+                let Value::Num(x) = args[0] else {
+                    unreachable!()
+                };
+                return Ok(Value::Num(f(x as f32) as f64));
+            }
+            let c = args[0].clone().into_f32_column(n)?;
+            Ok(Value::Column(EncodedTensor::F32(c.map(f))))
         }
-        // Scalar fast path keeps literals scalar (folds through plans).
-        let all_scalar = args.iter().all(|a| matches!(a, Value::Num(_)));
-        match self {
-            Builtin::Unary(f) => {
-                if all_scalar {
-                    let Value::Num(x) = args[0] else { unreachable!() };
-                    return Ok(Value::Num(f(x as f32) as f64));
-                }
-                let c = args[0].clone().into_f32_column(n)?;
-                Ok(Value::Column(EncodedTensor::F32(c.map(f))))
+        ScalarFn::Binary(f) => {
+            if all_scalar {
+                let (Value::Num(a), Value::Num(b)) = (&args[0], &args[1]) else {
+                    unreachable!()
+                };
+                return Ok(Value::Num(f(*a as f32, *b as f32) as f64));
             }
-            Builtin::Binary(f) => {
-                if all_scalar {
-                    let (Value::Num(a), Value::Num(b)) = (&args[0], &args[1]) else {
-                        unreachable!()
-                    };
-                    return Ok(Value::Num(f(*a as f32, *b as f32) as f64));
-                }
-                let a = args[0].clone().into_f32_column(n)?;
-                let b = args[1].clone().into_f32_column(n)?;
-                let out: Vec<f32> =
-                    a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
-                Ok(Value::Column(EncodedTensor::F32(Tensor::from_vec(
-                    out,
-                    a.shape(),
-                ))))
-            }
+            let a = args[0].clone().into_f32_column(n)?;
+            let b = args[1].clone().into_f32_column(n)?;
+            let out: Vec<f32> = a
+                .data()
+                .iter()
+                .zip(b.data())
+                .map(|(&x, &y)| f(x, y))
+                .collect();
+            Ok(Value::Column(EncodedTensor::F32(Tensor::from_vec(
+                out,
+                a.shape(),
+            ))))
         }
     }
 }
 
-/// SQL SIGN: −1, 0 or 1 (unlike `f32::signum`, zero maps to zero).
-fn sql_sign(x: f32) -> f32 {
-    if x > 0.0 {
-        1.0
-    } else if x < 0.0 {
-        -1.0
-    } else {
-        0.0
-    }
-}
-
-fn builtin_scalar(name: &str) -> Option<Builtin> {
-    let lower = name.to_ascii_lowercase();
-    Some(match lower.as_str() {
-        "abs" => Builtin::Unary(f32::abs),
-        "round" => Builtin::Unary(f32::round),
-        "floor" => Builtin::Unary(f32::floor),
-        "ceil" | "ceiling" => Builtin::Unary(f32::ceil),
-        "sqrt" => Builtin::Unary(f32::sqrt),
-        "exp" => Builtin::Unary(f32::exp),
-        "ln" => Builtin::Unary(f32::ln),
-        "log10" => Builtin::Unary(f32::log10),
-        "sign" => Builtin::Unary(sql_sign),
-        "power" | "pow" => Builtin::Binary(f32::powf),
-        _ => return None,
-    })
-}
-
-fn eval_binary(op: BinOp, l: Value, r: Value, rows: usize) -> Result<Value, ExecError> {
+pub(crate) fn eval_binary(op: BinOp, l: Value, r: Value, rows: usize) -> Result<Value, ExecError> {
     use BinOp::*;
 
     // Logical connectives.
@@ -462,9 +453,10 @@ fn compare_dict(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::physical::{lower_expr, Schema};
+    use crate::udf::UdfRegistry;
     use tdp_sql::parse;
     use tdp_storage::{Catalog, TableBuilder};
-    use crate::udf::UdfRegistry;
 
     fn test_batch() -> Batch {
         Batch::from_table(
@@ -477,12 +469,19 @@ mod tests {
         )
     }
 
-    fn eval(sql_expr: &str, batch: &Batch) -> Value {
+    fn compile(sql_expr: &str, batch: &Batch, udfs: &UdfRegistry) -> CompiledExpr {
         let q = parse(&format!("SELECT {sql_expr} FROM t")).unwrap();
+        let schema = Schema::new(batch.names().iter().map(|n| n.to_string()).collect());
+        let catalog = Catalog::new();
+        lower_expr(&q.select[0].expr, Some(&schema), &catalog, udfs).unwrap()
+    }
+
+    fn eval(sql_expr: &str, batch: &Batch) -> Value {
         let catalog = Catalog::new();
         let udfs = UdfRegistry::new();
+        let compiled = compile(sql_expr, batch, &udfs);
         let ctx = ExecContext::new(&catalog, &udfs);
-        eval_expr(&q.select[0].expr, batch, &ctx).unwrap()
+        eval_expr(&compiled, batch, &ctx).unwrap()
     }
 
     fn as_f32(v: Value) -> Vec<f32> {
@@ -541,7 +540,10 @@ mod tests {
         );
         // Absent literal: equality is empty, ranges still work.
         assert_eq!(as_mask(eval("tag = 'zz'", &b)), vec![false; 4]);
-        assert_eq!(as_mask(eval("tag < 'b'", &b)), vec![true, false, true, false]);
+        assert_eq!(
+            as_mask(eval("tag < 'b'", &b)),
+            vec![true, false, true, false]
+        );
         // Flipped operand order.
         assert_eq!(
             as_mask(eval("'b' <= tag", &b)),
@@ -563,16 +565,74 @@ mod tests {
     }
 
     #[test]
-    fn unknown_column_is_reported() {
+    fn unknown_column_is_reported_at_compile_time() {
         let b = test_batch();
         let q = parse("SELECT missing FROM t").unwrap();
         let catalog = Catalog::new();
         let udfs = UdfRegistry::new();
-        let ctx = ExecContext::new(&catalog, &udfs);
+        let schema = Schema::new(b.names().iter().map(|n| n.to_string()).collect());
         assert!(matches!(
-            eval_expr(&q.select[0].expr, &b, &ctx),
+            lower_expr(&q.select[0].expr, Some(&schema), &catalog, &udfs),
             Err(ExecError::UnknownColumn(_))
         ));
+    }
+
+    #[test]
+    fn name_fallback_resolves_through_batch_index() {
+        // Downstream of a TVF the schema is unknown: refs lower to names
+        // and resolve per batch via the O(1) map.
+        let b = test_batch();
+        let q = parse("SELECT x + 1 FROM t").unwrap();
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let compiled = lower_expr(&q.select[0].expr, None, &catalog, &udfs).unwrap();
+        let ctx = ExecContext::new(&catalog, &udfs);
+        assert_eq!(
+            eval_expr(&compiled, &b, &ctx)
+                .unwrap()
+                .into_f32_column(4)
+                .unwrap()
+                .to_vec(),
+            vec![2.0, 3.0, 4.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn udf_registered_after_compile_shadows_builtin() {
+        use std::sync::Arc;
+        struct NegAbs;
+        impl crate::udf::ScalarUdf for NegAbs {
+            fn name(&self) -> &str {
+                "abs"
+            }
+            fn invoke(
+                &self,
+                args: &[ArgValue],
+                _ctx: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
+                Ok(EncodedTensor::F32(
+                    args[0].as_column()?.decode_f32().map(|v| -v.abs()),
+                ))
+            }
+        }
+        let b = test_batch();
+        // Compiled while 'abs' resolves to the built-in…
+        let compiled = compile("ABS(x)", &b, &UdfRegistry::new());
+        assert!(matches!(compiled, CompiledExpr::Builtin { .. }));
+        // …but a UDF of the same name registered afterwards wins at
+        // evaluation, matching pre-compilation resolution order.
+        let catalog = Catalog::new();
+        let mut udfs = UdfRegistry::new();
+        udfs.register_scalar(Arc::new(NegAbs));
+        let ctx = ExecContext::new(&catalog, &udfs);
+        assert_eq!(
+            eval_expr(&compiled, &b, &ctx)
+                .unwrap()
+                .into_f32_column(4)
+                .unwrap()
+                .to_vec(),
+            vec![-1.0, -2.0, -3.0, -4.0]
+        );
     }
 
     #[test]
@@ -594,12 +654,15 @@ mod tests {
             }
         }
         let b = test_batch();
-        let q = parse("SELECT plus_ten(x) > 12 FROM t").unwrap();
         let catalog = Catalog::new();
         let mut udfs = UdfRegistry::new();
         udfs.register_scalar(Arc::new(PlusTen));
+        let compiled = compile("plus_ten(x) > 12", &b, &udfs);
         let ctx = ExecContext::new(&catalog, &udfs);
-        let v = eval_expr(&q.select[0].expr, &b, &ctx).unwrap();
-        assert_eq!(v.into_mask(4).unwrap().to_vec(), vec![false, false, true, true]);
+        let v = eval_expr(&compiled, &b, &ctx).unwrap();
+        assert_eq!(
+            v.into_mask(4).unwrap().to_vec(),
+            vec![false, false, true, true]
+        );
     }
 }

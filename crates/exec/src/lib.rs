@@ -1,7 +1,33 @@
 //! # tdp-exec
 //!
 //! The physical executor: relational operators lowered onto tensor kernels
-//! (the TQP lowering the paper builds on), in two flavours:
+//! (the TQP lowering the paper builds on).
+//!
+//! ## Architecture: logical → physical → kernels
+//!
+//! Execution is a three-stage pipeline, compiled **once** and run many
+//! times — the "query compiled like a PyTorch model" contract:
+//!
+//! ```text
+//!   SQL ── parse ──► ast::Query
+//!       ── plan  ──► LogicalPlan          (tdp-sql: relational algebra)
+//!       ── optimize► LogicalPlan          (rule fixpoint: folding, pushdown, fusion)
+//!       ── lower ──► PhysicalPlan         (physical::lower — THE compile step)
+//!                      │
+//!          ┌───────────┴────────────┐
+//!          ▼                        ▼
+//!   exact::execute           diff::execute_diff
+//!   (hard kernels)           (soft/differentiable kernels)
+//! ```
+//!
+//! [`physical::lower`] walks the logical tree a single time, propagating
+//! output **schemas** through every operator and resolving each column
+//! reference to a **slot index** ([`physical::CompiledExpr`]). It also
+//! resolves functions (session UDF vs. built-in kernel), lowers scalar
+//! subqueries into nested physical plans, and type-checks what can be
+//! checked statically (unknown columns/functions, UNION arity,
+//! non-COUNT `*` aggregates). Both executors then consume the *same*
+//! [`physical::PhysicalPlan`]; they diverge only in kernel choice:
 //!
 //! * **Exact** ([`exact`]) — filters are boolean masks, GROUP BY is
 //!   sort-based over composite integer keys, joins are hash joins, ORDER BY
@@ -14,6 +40,17 @@
 //!   multiplications, hence end-to-end differentiable; predicates become
 //!   sigmoid-weighted row weights threaded through downstream aggregates.
 //!
+//! Batches ([`Batch`]) carry an O(1) name→slot map, but the hot path never
+//! consults it: compiled expressions address columns by slot. Name lookup
+//! remains only where schemas are dynamic — downstream of table-valued
+//! functions, whose output relation is whatever the TVF builds.
+//!
+//! What should hang off this layer next: morsel-driven parallel operators
+//! (a physical plan is device- and thread-agnostic, so a scheduler can
+//! partition batches across cores), cross-query kernel reuse keyed by
+//! [`physical::PhysicalPlan::fingerprint`], and device placement decisions
+//! made per physical node instead of per session.
+//!
 //! UDFs and table-valued functions ([`udf`]) execute *inside* the tensor
 //! runtime: they receive encoded tensors and return encoded tensors (or
 //! differentiable columns in trainable mode), so there is no context-switch
@@ -24,6 +61,7 @@ pub mod diff;
 pub mod error;
 pub mod exact;
 pub mod expr;
+pub mod physical;
 pub mod profile;
 pub mod soft;
 pub mod udf;
@@ -32,5 +70,6 @@ pub use batch::{Batch, ColumnData, DiffColumn};
 pub use diff::execute_diff;
 pub use error::ExecError;
 pub use exact::execute;
+pub use physical::{lower, CompiledExpr, PhysicalPlan};
 pub use profile::{execute_profiled, OpTrace, QueryProfile};
 pub use udf::{ArgValue, ExecContext, ScalarUdf, TableFunction, UdfRegistry};

@@ -3,24 +3,22 @@
 //! The paper's §2 notes a compiled TDP query can be "profiled using
 //! TensorBoard" because it *is* a tensor program. Our equivalent: a
 //! profiled execution mode that drives the same exact operator kernels as
-//! [`crate::exact::execute`] while recording wall-clock time and output
-//! cardinality per plan node.
+//! [`crate::exact::execute`] — over the same compiled [`PhysicalPlan`] —
+//! while recording wall-clock time and output cardinality per plan node.
 
 use std::time::Instant;
-
-use tdp_sql::plan::LogicalPlan;
-use tdp_tensor::Tensor;
 
 use crate::batch::Batch;
 use crate::error::ExecError;
 use crate::exact;
 use crate::expr::eval_expr;
+use crate::physical::PhysicalPlan;
 use crate::udf::ExecContext;
 
 /// One profiled plan node.
 #[derive(Debug, Clone)]
 pub struct OpTrace {
-    /// First line of the node's EXPLAIN rendering (e.g. `Filter: (x > 1)`).
+    /// First line of the node's EXPLAIN rendering (e.g. `Filter: (x@0 > 1)`).
     pub label: String,
     /// Depth in the plan tree (root = 0).
     pub depth: usize,
@@ -71,9 +69,9 @@ impl QueryProfile {
     }
 }
 
-/// Execute a plan exactly while recording a per-operator profile.
+/// Execute a physical plan exactly while recording a per-operator profile.
 pub fn execute_profiled(
-    plan: &LogicalPlan,
+    plan: &PhysicalPlan,
     ctx: &ExecContext,
 ) -> Result<(Batch, QueryProfile), ExecError> {
     let mut profile = QueryProfile::default();
@@ -82,12 +80,17 @@ pub fn execute_profiled(
 }
 
 /// First line of a node's EXPLAIN rendering.
-fn node_label(plan: &LogicalPlan) -> String {
-    plan.explain().lines().next().unwrap_or("?").trim().to_owned()
+fn node_label(plan: &PhysicalPlan) -> String {
+    plan.explain()
+        .lines()
+        .next()
+        .unwrap_or("?")
+        .trim()
+        .to_owned()
 }
 
 fn run_node(
-    plan: &LogicalPlan,
+    plan: &PhysicalPlan,
     ctx: &ExecContext,
     depth: usize,
     profile: &mut QueryProfile,
@@ -104,29 +107,22 @@ fn run_node(
 
     let start = Instant::now();
     let mut child_seconds = 0.0f64;
-    let mut run_child = |p: &LogicalPlan,
-                         profile: &mut QueryProfile|
-     -> Result<Batch, ExecError> {
-        let t0 = Instant::now();
-        let out = run_node(p, ctx, depth + 1, profile)?;
-        child_seconds += t0.elapsed().as_secs_f64();
-        Ok(out)
-    };
+    let mut run_child =
+        |p: &PhysicalPlan, profile: &mut QueryProfile| -> Result<Batch, ExecError> {
+            let t0 = Instant::now();
+            let out = run_node(p, ctx, depth + 1, profile)?;
+            child_seconds += t0.elapsed().as_secs_f64();
+            Ok(out)
+        };
 
     let batch = match plan {
-        LogicalPlan::Scan { table } => {
-            let t = ctx
-                .catalog
-                .get(table)
-                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
-            Batch::from_table(&t.to_device(ctx.device))
-        }
-        LogicalPlan::TvfScan { name, input } => {
+        PhysicalPlan::Scan { table, schema } => exact::scan_table(table, schema.as_deref(), ctx)?,
+        PhysicalPlan::TvfScan { name, input } => {
             let inp = run_child(input, profile)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             tvf.invoke_table(&inp, ctx)?
         }
-        LogicalPlan::TvfProject { name, args, input } => {
+        PhysicalPlan::TvfProject { name, args, input } => {
             let inp = run_child(input, profile)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
@@ -135,47 +131,54 @@ fn run_node(
             }
             tvf.invoke_cols(&arg_values, ctx)?
         }
-        LogicalPlan::Filter { predicate, input } => {
+        PhysicalPlan::Filter { predicate, input } => {
             let inp = run_child(input, profile)?;
             let mask = eval_expr(predicate, &inp, ctx)?.into_mask(inp.rows())?;
             exact::filter_batch(&inp, &mask)
         }
-        LogicalPlan::Project { items, input } => {
+        PhysicalPlan::Project { items, input } => {
             let inp = run_child(input, profile)?;
             exact::project_batch(&inp, items, ctx)?
         }
-        LogicalPlan::Aggregate { group_by, aggregates, input } => {
+        PhysicalPlan::Aggregate {
+            keys,
+            aggregates,
+            input,
+        } => {
             let inp = run_child(input, profile)?;
-            exact::aggregate_batch(&inp, group_by, aggregates, ctx)?
+            exact::aggregate_batch(&inp, keys, aggregates, ctx)?
         }
-        LogicalPlan::Join { left, right, kind, on } => {
+        PhysicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = run_child(left, profile)?;
             let r = run_child(right, profile)?;
-            exact::join_batches(&l, &r, *kind, on.as_ref(), ctx)?
+            exact::join_batches(&l, &r, *kind, on)?
         }
-        LogicalPlan::Sort { keys, input } => {
+        PhysicalPlan::Sort { keys, input } => {
             let inp = run_child(input, profile)?;
             exact::sort_batch(&inp, keys, ctx)?
         }
-        LogicalPlan::Limit { n, input } => {
+        PhysicalPlan::Limit { n, input } => {
             let inp = run_child(input, profile)?;
-            let take = (*n as usize).min(inp.rows());
-            let idx = Tensor::from_vec((0..take as i64).collect(), &[take]);
-            exact::select_batch(&inp, &idx)
+            inp.head(*n as usize)
         }
-        LogicalPlan::TopK { keys, n, input } => {
+        PhysicalPlan::TopK { keys, n, input } => {
             let inp = run_child(input, profile)?;
             exact::topk_batch(&inp, keys, *n as usize, ctx)?
         }
-        LogicalPlan::Window { windows, input } => {
+        PhysicalPlan::Window { windows, input } => {
             let inp = run_child(input, profile)?;
             exact::window_batch(&inp, windows, ctx)?
         }
-        LogicalPlan::Distinct { input } => {
+        PhysicalPlan::Distinct { input } => {
             let inp = run_child(input, profile)?;
             exact::distinct_batch(&inp)?
         }
-        LogicalPlan::UnionAll { left, right } => {
+        PhysicalPlan::UnionAll { left, right } => {
             let l = run_child(left, profile)?;
             let r = run_child(right, profile)?;
             exact::union_all_batches(&l, &r)?
@@ -193,17 +196,21 @@ fn run_node(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::physical::lower;
+    use crate::udf::UdfRegistry;
     use tdp_sql::plan::{build_plan, PlannerContext};
     use tdp_sql::{optimizer, parse};
     use tdp_storage::{Catalog, TableBuilder};
-    use crate::udf::UdfRegistry;
 
     fn setup() -> Catalog {
         let catalog = Catalog::new();
         catalog.register(
             TableBuilder::new()
                 .col_f32("x", (0..100).map(|v| v as f32).collect())
-                .col_str("tag", &(0..100).map(|v| format!("t{}", v % 3)).collect::<Vec<_>>())
+                .col_str(
+                    "tag",
+                    &(0..100).map(|v| format!("t{}", v % 3)).collect::<Vec<_>>(),
+                )
                 .build("t"),
         );
         catalog
@@ -215,20 +222,22 @@ mod tests {
         let plan = optimizer::optimize(
             build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap(),
         );
-        execute_profiled(&plan, &ctx).unwrap()
+        let phys = lower(&plan, catalog, &udfs).unwrap();
+        execute_profiled(&phys, &ctx).unwrap()
     }
 
     #[test]
     fn profile_matches_plan_shape_and_result() {
         let c = setup();
-        let (batch, prof) =
-            profiled(&c, "SELECT tag, COUNT(*) FROM t WHERE x >= 10 GROUP BY tag");
+        let (batch, prof) = profiled(&c, "SELECT tag, COUNT(*) FROM t WHERE x >= 10 GROUP BY tag");
         assert_eq!(batch.rows(), 3);
         let labels: Vec<&str> = prof.ops.iter().map(|o| o.label.as_str()).collect();
         assert_eq!(labels.len(), 3, "{labels:?}");
         assert!(labels[0].starts_with("Aggregate"), "{labels:?}");
         assert!(labels[1].starts_with("Filter"), "{labels:?}");
         assert!(labels[2].starts_with("Scan"), "{labels:?}");
+        // Labels carry resolved slots.
+        assert!(labels[1].contains("x@0"), "{labels:?}");
         // Depths follow the tree.
         assert_eq!(
             prof.ops.iter().map(|o| o.depth).collect::<Vec<_>>(),
@@ -263,10 +272,21 @@ mod tests {
         let plan = optimizer::optimize(
             build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap(),
         );
-        let plain = crate::exact::execute(&plan, &ctx).unwrap();
+        let phys = lower(&plan, &c, &udfs).unwrap();
+        let plain = crate::exact::execute(&phys, &ctx).unwrap();
         assert_eq!(
-            batch.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec(),
-            plain.column("COUNT(*)").unwrap().to_exact().decode_i64().to_vec()
+            batch
+                .column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
+            plain
+                .column("COUNT(*)")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec()
         );
     }
 

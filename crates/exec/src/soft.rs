@@ -98,7 +98,10 @@ pub fn soft_global_count(weights: &Var) -> Var {
 /// the exact comparison (paper §4).
 pub fn soft_gt(score: &Var, threshold: f32, temperature: f32) -> Var {
     assert!(temperature > 0.0, "temperature must be positive");
-    score.sub_scalar(threshold).div_scalar(temperature).sigmoid()
+    score
+        .sub_scalar(threshold)
+        .div_scalar(temperature)
+        .sigmoid()
 }
 
 /// Relaxed `<`: complement of [`soft_gt`].
@@ -118,12 +121,16 @@ pub fn soft_lt(score: &Var, threshold: f32, temperature: f32) -> Var {
 pub fn soft_sort_matrix(scores: &Var, descending: bool, temperature: f32) -> Var {
     assert!(temperature > 0.0, "temperature must be positive");
     let n = scores.shape()[0];
-    let s = if descending { scores.clone() } else { scores.neg() };
+    let s = if descending {
+        scores.clone()
+    } else {
+        scores.neg()
+    };
     // Pairwise |s_j − s_k| column sums: [N].
     let col = s.reshape(&[n, 1]);
     let row = s.reshape(&[1, n]);
     let abs_sum = col.sub(&row).abs().sum_dim(0, false); // Σ_k |s_j − s_k|
-    // Rank coefficients (N+1−2(i+1)) as a constant column.
+                                                         // Rank coefficients (N+1−2(i+1)) as a constant column.
     let coef: Vec<f32> = (1..=n).map(|i| (n as f32) + 1.0 - 2.0 * i as f32).collect();
     let coef = Var::constant(Tensor::from_vec(coef, &[n, 1]));
     let logits = coef
@@ -178,7 +185,10 @@ mod tests {
         let b = Var::constant(Tensor::from_vec(vec![5.0f32, 6.0, 7.0, 8.0], &[2, 2]));
         let k = khatri_rao(&a, &b);
         assert_eq!(k.shape(), vec![2, 4]);
-        assert_eq!(k.value().to_vec(), vec![5.0, 6.0, 10.0, 12.0, 21.0, 24.0, 28.0, 32.0]);
+        assert_eq!(
+            k.value().to_vec(),
+            vec![5.0, 6.0, 10.0, 12.0, 21.0, 24.0, 28.0, 32.0]
+        );
     }
 
     #[test]
@@ -259,10 +269,7 @@ mod tests {
             &[vec![2, 2], vec![2, 2], vec![2]],
             |vars| {
                 let joint = khatri_rao(&vars[0], &vars[1]);
-                let target = Var::constant(Tensor::from_vec(
-                    vec![0.5f32, 0.0, 0.0, 0.5],
-                    &[4],
-                ));
+                let target = Var::constant(Tensor::from_vec(vec![0.5f32, 0.0, 0.0, 0.5], &[4]));
                 soft_groupby_count(&joint, Some(&vars[2]))
                     .sub(&target)
                     .square()
@@ -298,7 +305,11 @@ mod tests {
         assert!(w.at(0) < 0.01 && w.at(2) < 0.01, "{:?}", w.to_vec());
         // Ascending selects the smallest instead.
         let w_asc = soft_topk_weights(&s, 2, false, 0.01).value();
-        assert!(w_asc.at(2) > 0.99 && w_asc.at(0) > 0.99, "{:?}", w_asc.to_vec());
+        assert!(
+            w_asc.at(2) > 0.99 && w_asc.at(0) > 0.99,
+            "{:?}",
+            w_asc.to_vec()
+        );
         // Total mass is k regardless of temperature.
         let w_soft = soft_topk_weights(&s, 2, true, 1.0).value();
         assert!((w_soft.sum() - 2.0).abs() < 1e-4);

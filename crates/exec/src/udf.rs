@@ -70,11 +70,7 @@ pub trait ScalarUdf {
     fn invoke(&self, args: &[ArgValue], ctx: &ExecContext) -> Result<EncodedTensor, ExecError>;
 
     /// Differentiable evaluation; defaults to "not differentiable".
-    fn invoke_diff(
-        &self,
-        _args: &[ArgValue],
-        _ctx: &ExecContext,
-    ) -> Result<DiffColumn, ExecError> {
+    fn invoke_diff(&self, _args: &[ArgValue], _ctx: &ExecContext) -> Result<DiffColumn, ExecError> {
         Err(ExecError::NotDifferentiable(format!(
             "scalar UDF '{}' has no differentiable implementation",
             self.name()
@@ -235,7 +231,11 @@ mod tests {
         fn name(&self) -> &str {
             "double_it"
         }
-        fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
+        fn invoke(
+            &self,
+            args: &[ArgValue],
+            _ctx: &ExecContext,
+        ) -> Result<EncodedTensor, ExecError> {
             let col = args[0].as_column()?.decode_f32();
             Ok(EncodedTensor::F32(col.mul_scalar(2.0)))
         }
@@ -275,7 +275,11 @@ mod tests {
             vec![1.0f32, 2.5],
             &[2],
         )));
-        let out = reg.scalar("double_it").unwrap().invoke(&[col], &ctx).unwrap();
+        let out = reg
+            .scalar("double_it")
+            .unwrap()
+            .invoke(&[col], &ctx)
+            .unwrap();
         assert_eq!(out.decode_f32().to_vec(), vec![2.0, 5.0]);
     }
 

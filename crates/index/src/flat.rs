@@ -65,10 +65,7 @@ mod tests {
 
     fn index() -> FlatIndex {
         // Rows 0..4 along one axis with growing magnitude.
-        let data = Tensor::from_vec(
-            vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 1.0],
-            &[4, 2],
-        );
+        let data = Tensor::from_vec(vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 1.0], &[4, 2]);
         FlatIndex::build(data, Metric::InnerProduct)
     }
 

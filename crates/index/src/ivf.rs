@@ -23,7 +23,10 @@ pub struct IvfParams {
 
 impl IvfParams {
     pub fn new(nlist: usize) -> IvfParams {
-        IvfParams { nlist, train_iters: 20 }
+        IvfParams {
+            nlist,
+            train_iters: 20,
+        }
     }
 
     pub fn train_iters(mut self, iters: usize) -> IvfParams {
@@ -60,7 +63,11 @@ impl IvfFlatIndex {
         let d = data.shape()[1];
         let nlist = params.nlist.clamp(1, n.max(1));
 
-        let work = if metric.wants_normalized() { normalize_rows(&data) } else { data };
+        let work = if metric.wants_normalized() {
+            normalize_rows(&data)
+        } else {
+            data
+        };
         let km = kmeans(&work, nlist, params.train_iters, Metric::L2, rng);
 
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
@@ -80,7 +87,14 @@ impl IvfFlatIndex {
             })
             .collect();
 
-        IvfFlatIndex { metric, centroids: km.centroids, lists, slabs, dim: d, len: n }
+        IvfFlatIndex {
+            metric,
+            centroids: km.centroids,
+            lists,
+            slabs,
+            dim: d,
+            len: n,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -147,7 +161,10 @@ impl IvfFlatIndex {
                     .data()
                     .iter()
                     .zip(&self.lists[cell])
-                    .map(|(&score, &id)| Hit { id: id as usize, score }),
+                    .map(|(&score, &id)| Hit {
+                        id: id as usize,
+                        score,
+                    }),
             );
         }
         top_k(hits, k)
@@ -219,8 +236,15 @@ mod tests {
             r1_sum += recall_at_k(&truth, &ivf.search(&q, 10, 1));
             r8_sum += recall_at_k(&truth, &ivf.search(&q, 10, 8));
         }
-        assert!(r8_sum >= r1_sum, "recall@nprobe=8 {r8_sum} < recall@nprobe=1 {r1_sum}");
-        assert!(r8_sum / 10.0 > 0.8, "recall with 8 probes too low: {}", r8_sum / 10.0);
+        assert!(
+            r8_sum >= r1_sum,
+            "recall@nprobe=8 {r8_sum} < recall@nprobe=1 {r1_sum}"
+        );
+        assert!(
+            r8_sum / 10.0 > 0.8,
+            "recall with 8 probes too low: {}",
+            r8_sum / 10.0
+        );
     }
 
     #[test]
@@ -261,6 +285,9 @@ mod tests {
         let data = Tensor::from_vec(v, &[64, 2]);
         let ivf = IvfFlatIndex::train(data, Metric::Cosine, IvfParams::new(2), &mut rng);
         let hits = ivf.search(&Tensor::from_vec(vec![1.0, 0.0], &[2]), 8, 2);
-        assert!(hits.iter().all(|h| h.id % 2 == 0), "cosine ignored magnitude: {hits:?}");
+        assert!(
+            hits.iter().all(|h| h.id % 2 == 0),
+            "cosine ignored magnitude: {hits:?}"
+        );
     }
 }

@@ -39,7 +39,11 @@ pub fn kmeans(
     assert!(k >= 1, "k must be at least 1");
     assert!(n >= k, "cannot build {k} clusters from {n} rows");
 
-    let work = if metric.wants_normalized() { normalize_rows(data) } else { data.clone() };
+    let work = if metric.wants_normalized() {
+        normalize_rows(data)
+    } else {
+        data.clone()
+    };
     let rows = work.data();
 
     // --- k-means++ seeding -------------------------------------------------

@@ -67,8 +67,7 @@ pub fn audio_features(wave: &F32Tensor) -> F32Tensor {
 
     Tensor::from_vec(
         vec![
-            rms, zc, bands[0], bands[1], bands[2], bands[3], bands[4], silent, crest,
-            dc_ratio,
+            rms, zc, bands[0], bands[1], bands[2], bands[3], bands[4], silent, crest, dc_ratio,
         ],
         &[NUM_AUDIO_FEATURES],
     )
@@ -108,7 +107,13 @@ impl AudioSim {
             .sqrt()
             .add_scalar(1e-6);
         let exemplars = all.sub(&mu).div(&sigma);
-        AudioSim { mu, sigma, exemplars, per_class: samples_per_class, beta: 2.0 }
+        AudioSim {
+            mu,
+            sigma,
+            exemplars,
+            per_class: samples_per_class,
+            beta: 2.0,
+        }
     }
 
     /// Class posterior of one clip.
@@ -213,7 +218,9 @@ impl ScalarUdf for AudioTextSimilarityUdf {
                 clips.shape()
             )));
         }
-        Ok(EncodedTensor::F32(self.model.similarity_batch(query, &clips)))
+        Ok(EncodedTensor::F32(
+            self.model.similarity_batch(query, &clips),
+        ))
     }
 }
 
@@ -229,7 +236,10 @@ mod tests {
         let high = audio_features(&render_clip(AudioClass::ToneHigh, &mut rng));
         // Band energies concentrate at the right resonator.
         assert!(low.at(2) > low.at(4), "low tone favours the 220 Hz band");
-        assert!(high.at(4) > high.at(2), "high tone favours the 1200 Hz band");
+        assert!(
+            high.at(4) > high.at(2),
+            "high tone favours the 1200 Hz band"
+        );
     }
 
     #[test]
@@ -246,7 +256,12 @@ mod tests {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .unwrap()
                 .0;
-            assert_eq!(argmax as i64, c.id(), "{c:?}: posterior {:?}", post.to_vec());
+            assert_eq!(
+                argmax as i64,
+                c.id(),
+                "{c:?}: posterior {:?}",
+                post.to_vec()
+            );
         }
     }
 

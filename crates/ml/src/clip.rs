@@ -46,8 +46,16 @@ pub fn image_features(img: &F32Tensor) -> F32Tensor {
 
     // Texture anisotropy: horizontal text lines make row-to-row differences
     // much larger than column-to-column ones.
-    let row_diff = gray.narrow(0, 1, h - 1).sub(&gray.narrow(0, 0, h - 1)).abs().mean();
-    let col_diff = gray.narrow(1, 1, w - 1).sub(&gray.narrow(1, 0, w - 1)).abs().mean();
+    let row_diff = gray
+        .narrow(0, 1, h - 1)
+        .sub(&gray.narrow(0, 0, h - 1))
+        .abs()
+        .mean();
+    let col_diff = gray
+        .narrow(1, 1, w - 1)
+        .sub(&gray.narrow(1, 0, w - 1))
+        .abs()
+        .mean();
     let anisotropy = (row_diff / (row_diff + col_diff + 1e-9)) as f32;
 
     // Saturation: mean channel spread.
@@ -57,13 +65,16 @@ pub fn image_features(img: &F32Tensor) -> F32Tensor {
 
     // Top-band redness (brand bands, skies).
     let band = h / 6;
-    let top_red = r.narrow(0, 0, band.max(1)).mean() as f32
-        - g.narrow(0, 0, band.max(1)).mean() as f32;
+    let top_red =
+        r.narrow(0, 0, band.max(1)).mean() as f32 - g.narrow(0, 0, band.max(1)).mean() as f32;
 
     // Central contrast (logo discs): |centre mean − border mean|.
     let ch = h / 3;
     let cw = w / 3;
-    let centre = gray.narrow(0, ch, ch.max(1)).narrow(1, cw, cw.max(1)).mean() as f32;
+    let centre = gray
+        .narrow(0, ch, ch.max(1))
+        .narrow(1, cw, cw.max(1))
+        .mean() as f32;
     let central_contrast = (centre - brightness).abs();
 
     Tensor::from_vec(
@@ -124,7 +135,13 @@ impl ClipSim {
 
         // Standardised exemplars, grouped by class.
         let exemplars = all.sub(&mu).div(&sigma);
-        ClipSim { mu, sigma, exemplars, per_class: samples_per_class, beta: 2.0 }
+        ClipSim {
+            mu,
+            sigma,
+            exemplars,
+            per_class: samples_per_class,
+            beta: 2.0,
+        }
     }
 
     /// Class posterior of one image:
@@ -238,7 +255,9 @@ impl ScalarUdf for ImageTextSimilarityUdf {
                 )))
             }
         };
-        Ok(EncodedTensor::F32(self.model.similarity_batch(query, &images)))
+        Ok(EncodedTensor::F32(
+            self.model.similarity_batch(query, &images),
+        ))
     }
 }
 
@@ -321,7 +340,10 @@ mod tests {
         let batch = tdp_tensor::index::stack(&[&img]);
         let out = udf
             .invoke(
-                &[ArgValue::Str("logo".into()), ArgValue::Column(EncodedTensor::F32(batch))],
+                &[
+                    ArgValue::Str("logo".into()),
+                    ArgValue::Column(EncodedTensor::F32(batch)),
+                ],
                 &ctx,
             )
             .unwrap();

@@ -1,7 +1,9 @@
 //! Convolutional models: parser CNNs and the deep-learning baselines.
 
 use tdp_autodiff::Var;
-use tdp_nn::{Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Module, ReLU, Residual, Sequential};
+use tdp_nn::{
+    Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Module, ReLU, Residual, Sequential,
+};
 use tdp_tensor::Rng64;
 
 /// The parser CNN of Listing 4: a small convnet classifying 28×28 tiles
@@ -222,7 +224,9 @@ mod tests {
         let mut last = f32::MAX;
         for _ in 0..30 {
             opt.zero_grad();
-            let loss = cnn.forward(&Var::constant(batch.clone())).cross_entropy(&labels);
+            let loss = cnn
+                .forward(&Var::constant(batch.clone()))
+                .cross_entropy(&labels);
             loss.backward();
             opt.step();
             last = loss.value().item();

@@ -32,7 +32,11 @@ pub struct ExtractTableTvf {
 
 impl ExtractTableTvf {
     pub fn new(geometry: DocGeometry, schema: Vec<String>) -> ExtractTableTvf {
-        assert_eq!(schema.len(), geometry.cols, "one schema column per table column");
+        assert_eq!(
+            schema.len(),
+            geometry.cols,
+            "one schema column per table column"
+        );
         let templates = font::CHARSET
             .iter()
             .map(|&c| {
@@ -43,7 +47,12 @@ impl ExtractTableTvf {
             })
             .collect();
         let anchor = F32Tensor::ones(&[geometry.anchor, geometry.anchor]);
-        ExtractTableTvf { geometry, schema, templates, anchor }
+        ExtractTableTvf {
+            geometry,
+            schema,
+            templates,
+            anchor,
+        }
     }
 
     /// Locate the table origin (anchor top-left) in a `[h, w]` image.
@@ -124,7 +133,9 @@ impl TableFunction for ExtractTableTvf {
     /// Projection position: `SELECT extract_table(images) FROM …`.
     fn invoke_cols(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<Batch, ExecError> {
         if args.len() != 1 {
-            return Err(ExecError::Udf("extract_table takes one image column".into()));
+            return Err(ExecError::Udf(
+                "extract_table takes one image column".into(),
+            ));
         }
         let images = match args[0].as_column()? {
             EncodedTensor::F32(t) => t.clone(),
@@ -225,9 +236,15 @@ mod tests {
         let udfs = tdp_exec::UdfRegistry::new();
         let ctx = ExecContext::new(&catalog, &udfs);
         let out = tvf
-            .invoke_cols(&[ArgValue::Column(EncodedTensor::F32(ds.images.clone()))], &ctx)
+            .invoke_cols(
+                &[ArgValue::Column(EncodedTensor::F32(ds.images.clone()))],
+                &ctx,
+            )
             .unwrap();
-        assert_eq!(out.names(), vec!["SepalLength", "SepalWidth", "PetalLength", "PetalWidth"]);
+        assert_eq!(
+            out.names(),
+            vec!["SepalLength", "SepalWidth", "PetalLength", "PetalWidth"]
+        );
         assert_eq!(out.rows(), 12);
         // AVG over the extracted column ≈ AVG over ground truth.
         let got = out.column("SepalLength").unwrap().to_exact().decode_f32();

@@ -101,7 +101,9 @@ pub struct ClassifyIncomesTvf {
 
 impl ClassifyIncomesTvf {
     pub fn new(num_features: usize, rng: &mut Rng64) -> ClassifyIncomesTvf {
-        ClassifyIncomesTvf { model: Linear::new(num_features, 2, rng) }
+        ClassifyIncomesTvf {
+            model: Linear::new(num_features, 2, rng),
+        }
     }
 
     /// Instance-level predictions for a feature matrix (used to compute
@@ -191,7 +193,6 @@ mod tests {
     #[test]
     fn parse_mnist_grid_batches_multiple_grids() {
         let mut rng = Rng64::new(2);
-        let tvf = ParseMnistGridTvf::new(&mut rng);
         let g1 = generate_grid(&mut rng);
         let g2 = generate_grid(&mut rng);
         let stacked = tdp_tensor::index::concat_rows(&[
@@ -226,7 +227,10 @@ mod tests {
         let tvf = ClassifyIncomesTvf::new(10, &mut rng);
         let feats = F32Tensor::randn(&[16, 10], 0.0, 1.0, &mut rng);
         let mut input = Batch::new();
-        input.push("value", ColumnData::Exact(EncodedTensor::F32(feats.clone())));
+        input.push(
+            "value",
+            ColumnData::Exact(EncodedTensor::F32(feats.clone())),
+        );
         let (catalog, udfs) = ctx_fixture();
         let ctx = ExecContext::new(&catalog, &udfs);
         let out = tvf.invoke_table_diff(&input, &ctx).unwrap();
@@ -236,7 +240,12 @@ mod tests {
         let pred = tvf.predict(&feats);
         let exact = tvf.invoke_table(&input, &ctx).unwrap();
         assert_eq!(
-            exact.column("Income").unwrap().to_exact().decode_i64().to_vec(),
+            exact
+                .column("Income")
+                .unwrap()
+                .to_exact()
+                .decode_i64()
+                .to_vec(),
             pred.to_vec()
         );
     }

@@ -103,7 +103,13 @@ impl VideoSim {
             .sqrt()
             .add_scalar(1e-6);
         let exemplars = all.sub(&mu).div(&sigma);
-        VideoSim { mu, sigma, exemplars, per_class: samples_per_class, beta: 2.0 }
+        VideoSim {
+            mu,
+            sigma,
+            exemplars,
+            per_class: samples_per_class,
+            beta: 2.0,
+        }
     }
 
     /// Class posterior of one clip.
@@ -192,7 +198,9 @@ impl ScalarUdf for VideoTextSimilarityUdf {
                 clips.shape()
             )));
         }
-        Ok(EncodedTensor::F32(self.model.similarity_batch(query, &clips)))
+        Ok(EncodedTensor::F32(
+            self.model.similarity_batch(query, &clips),
+        ))
     }
 }
 
@@ -211,7 +219,10 @@ mod tests {
         assert!(right.at(1) > 0.2, "rightward drift: {:?}", right.to_vec());
         assert!(left.at(1) < -0.2, "leftward drift: {:?}", left.to_vec());
         assert!(still.at(0) < 1e-6, "no temporal energy when static");
-        assert!(flicker.at(3) > still.at(3) + 0.05, "flicker has brightness swing");
+        assert!(
+            flicker.at(3) > still.at(3) + 0.05,
+            "flicker has brightness swing"
+        );
     }
 
     #[test]

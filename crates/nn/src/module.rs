@@ -49,7 +49,10 @@ impl Linear {
     pub fn from_weights(weight: F32Tensor, bias: F32Tensor) -> Linear {
         assert_eq!(weight.ndim(), 2, "Linear weight must be [in, out]");
         assert_eq!(bias.shape(), &[weight.shape()[1]], "bias must be [out]");
-        Linear { weight: Var::param(weight), bias: Var::param(bias) }
+        Linear {
+            weight: Var::param(weight),
+            bias: Var::param(bias),
+        }
     }
 
     pub fn in_features(&self) -> usize {
@@ -95,7 +98,12 @@ impl Conv2d {
             rng,
         ));
         let bias = Var::param(F32Tensor::zeros(&[out_channels]));
-        Conv2d { weight, bias, stride, pad }
+        Conv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+        }
     }
 }
 
@@ -297,10 +305,7 @@ mod tests {
         let x = Var::constant(F32Tensor::ones(&[2, 1, 8, 8]));
         assert_eq!(c.forward(&x).shape(), vec![2, 4, 8, 8]);
         let strided = Conv2d::new(4, 8, 3, 2, 1, &mut rng);
-        assert_eq!(
-            strided.forward(&c.forward(&x)).shape(),
-            vec![2, 8, 4, 4]
-        );
+        assert_eq!(strided.forward(&c.forward(&x)).shape(), vec![2, 8, 4, 4]);
     }
 
     #[test]
@@ -315,7 +320,7 @@ mod tests {
         ]);
         let x = Var::constant(F32Tensor::ones(&[1, 1, 8, 8]));
         assert_eq!(net.forward(&x).shape(), vec![1, 5]);
-        let expected = (2 * 1 * 9 + 2) + (2 * 16 * 5 + 5);
+        let expected = (2 * 9 + 2) + (2 * 16 * 5 + 5);
         assert_eq!(net.num_parameters(), expected);
     }
 
@@ -345,10 +350,7 @@ mod tests {
 
     #[test]
     fn global_avg_pool_module() {
-        let x = Var::constant(Tensor::from_vec(
-            vec![1.0f32, 3.0, 5.0, 7.0],
-            &[1, 1, 2, 2],
-        ));
+        let x = Var::constant(Tensor::from_vec(vec![1.0f32, 3.0, 5.0, 7.0], &[1, 1, 2, 2]));
         assert_eq!(GlobalAvgPool.forward(&x).value().to_vec(), vec![4.0]);
     }
 

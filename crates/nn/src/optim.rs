@@ -34,7 +34,12 @@ impl Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
         let n = params.len();
-        Sgd { params, lr, momentum, velocity: vec![None; n] }
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity: vec![None; n],
+        }
     }
 
     pub fn set_lr(&mut self, lr: f32) {
@@ -95,7 +100,16 @@ impl Adam {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
         let n = params.len();
-        Adam { params, lr, beta1, beta2, eps, m: vec![None; n], v: vec![None; n], t: 0 }
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m: vec![None; n],
+            v: vec![None; n],
+            t: 0,
+        }
     }
 }
 
@@ -107,12 +121,16 @@ impl Optimizer for Adam {
         for (i, p) in self.params.iter().enumerate() {
             let Some(g) = p.grad() else { continue };
             let m = match &self.m[i] {
-                Some(prev) => prev.mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1)),
+                Some(prev) => prev
+                    .mul_scalar(self.beta1)
+                    .add(&g.mul_scalar(1.0 - self.beta1)),
                 None => g.mul_scalar(1.0 - self.beta1),
             };
             let g2 = g.mul(&g);
             let v = match &self.v[i] {
-                Some(prev) => prev.mul_scalar(self.beta2).add(&g2.mul_scalar(1.0 - self.beta2)),
+                Some(prev) => prev
+                    .mul_scalar(self.beta2)
+                    .add(&g2.mul_scalar(1.0 - self.beta2)),
                 None => g2.mul_scalar(1.0 - self.beta2),
             };
             let m_hat = m.div_scalar(bc1);
@@ -199,7 +217,10 @@ mod tests {
             }
             p.value().norm()
         };
-        assert!(run(0.9) < run(0.0), "momentum should outpace plain SGD here");
+        assert!(
+            run(0.9) < run(0.0),
+            "momentum should outpace plain SGD here"
+        );
     }
 
     #[test]
@@ -246,7 +267,7 @@ mod tests {
     fn clip_grad_norm_bounds_updates() {
         let p = Var::param(Tensor::from_vec(vec![100.0f32, 100.0], &[2]));
         p.square().sum().backward();
-        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!(pre > 100.0);
         let g = p.grad().unwrap();
         assert!((g.norm() - 1.0).abs() < 1e-4, "clipped norm = {}", g.norm());
@@ -272,6 +293,9 @@ mod tests {
             opt.step();
             final_loss = loss.value().item();
         }
-        assert!(final_loss < 0.01, "XOR should be learnable, loss={final_loss}");
+        assert!(
+            final_loss < 0.01,
+            "XOR should be learnable, loss={final_loss}"
+        );
     }
 }

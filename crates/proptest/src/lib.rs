@@ -1,0 +1,362 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The container cannot reach crates.io, so this workspace-local crate
+//! implements the subset of proptest the integration tests use: the
+//! `proptest!` macro over `arg in strategy` bindings, numeric range
+//! strategies, `collection::vec`, `any::<bool>()`, and string strategies
+//! written as simple character-class patterns (`"[a-z]{0,6}"`). Failing
+//! cases panic with the generated inputs in the message; there is no
+//! shrinking. The generator is a deterministic SplitMix64 seeded from the
+//! test name (override with `PROPTEST_SEED`), so failures reproduce.
+
+use std::ops::Range;
+
+/// Deterministic generator state handed to strategies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed | 1)
+    }
+
+    /// SplitMix64 step.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; bound 0 returns 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Seed a [`TestRng`] from the test name (or `PROPTEST_SEED`).
+pub fn test_rng(name: &str) -> TestRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = seed.parse::<u64>() {
+            return TestRng::new(n);
+        }
+    }
+    // FNV-1a over the test name keeps runs deterministic per test.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(h)
+}
+
+/// A value generator. The proptest `Strategy` trait reduced to sampling.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as f64;
+                (self.start as f64 + rng.unit() * span) as $t
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+/// String strategies are written as character-class patterns:
+/// `"[a-z]{0,6}"` — a bracketed class (ranges and literals) with an
+/// optional `{min,max}` repeat, or bare literal characters. This covers
+/// the regex subset the tests rely on.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let class: Vec<char> = if chars[i] == '[' {
+                let mut cls = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            cls.push(char::from_u32(c).unwrap());
+                        }
+                        i += 3;
+                    } else {
+                        cls.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                cls
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional {min,max} repeat count.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (a, b) = body
+                    .split_once(',')
+                    .unwrap_or((body.as_str(), body.as_str()));
+                i = close + 1;
+                (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0))
+            } else {
+                (1usize, 1usize)
+            };
+            let reps = lo + rng.below((hi.saturating_sub(lo) + 1) as u64) as usize;
+            for _ in 0..reps {
+                if !class.is_empty() {
+                    out.push(class[rng.below(class.len() as u64) as usize]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Marker strategy for `any::<T>()` / the `ANY` constants.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// `proptest::arbitrary::any::<T>()` for the types the tests use.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod bool {
+    /// `proptest::bool::ANY`.
+    pub const ANY: super::Any<::core::primitive::bool> = super::Any(std::marker::PhantomData);
+}
+
+pub mod num {
+    pub mod i64 {
+        /// `proptest::num::i64::ANY`.
+        pub const ANY: crate::Any<::core::primitive::i64> = crate::Any(std::marker::PhantomData);
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification: a fixed size or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`with_cases` is the only knob the tests use).
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Assertions that fail the current case. Without shrinking these simply
+/// panic, which fails the test with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// The `proptest!` macro: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a plain test that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) { $($body:tt)* }
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    { $($body)* }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = test_rng("ranges");
+        for _ in 0..200 {
+            let v = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&v));
+            let f = (0.05f32..2.0).generate(&mut rng);
+            assert!((0.05..2.0).contains(&f));
+            let u = (1u64..50).generate(&mut rng);
+            assert!((1..50).contains(&u));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = test_rng("strings");
+        for _ in 0..100 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ab%_]{0,5}".generate(&mut rng);
+            assert!(t.chars().all(|c| matches!(c, 'a' | 'b' | '%' | '_')));
+            let one = "[x-z]".generate(&mut rng);
+            assert_eq!(one.len(), 1);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = test_rng("vecs");
+        for _ in 0..100 {
+            let v = collection::vec(0i64..5, 1..40).generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            let fixed = collection::vec(0i64..5, 7usize).generate(&mut rng);
+            assert_eq!(fixed.len(), 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_arguments(xs in collection::vec(0i64..10, 1..5), flag in any::<bool>()) {
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            let _ = flag;
+        }
+    }
+}

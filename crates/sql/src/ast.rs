@@ -102,7 +102,10 @@ pub enum WindowFunc {
     /// Aggregate over the partition; *running* (peers-inclusive
     /// cumulative) when the window has an ORDER BY, whole-partition
     /// otherwise. `None` argument encodes `COUNT(*)`.
-    Agg { func: AggFunc, arg: Option<Box<Expr>> },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
 }
 
 impl WindowFunc {
@@ -123,14 +126,30 @@ impl WindowFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Column reference, optionally qualified (`t.c` keeps `qualifier`).
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     Literal(Literal),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
-    Unary { op: UnOp, expr: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
     /// Function call: scalar UDF or table-valued function, resolved later.
-    Func { name: String, args: Vec<Expr> },
+    Func {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// Aggregate call; `None` argument means `COUNT(*)`.
-    Aggregate { func: AggFunc, arg: Option<Box<Expr>> },
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
     /// `CASE [operand] WHEN … THEN … [ELSE …] END`. With an operand, each
     /// WHEN is compared for equality against it; without, each WHEN is a
     /// boolean condition.
@@ -140,9 +159,17 @@ pub enum Expr {
         else_expr: Option<Box<Expr>>,
     },
     /// `expr [NOT] IN (item, …)` — list membership.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] LIKE 'pattern'` — SQL wildcard match (`%`, `_`).
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
     /// Window function call.
     Window {
         func: WindowFunc,
@@ -159,7 +186,10 @@ pub enum Expr {
 
 impl Expr {
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_owned() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_owned(),
+        }
     }
 
     pub fn num(v: f64) -> Expr {
@@ -171,7 +201,11 @@ impl Expr {
     }
 
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Whether any aggregate call appears in the expression.
@@ -183,7 +217,11 @@ impl Expr {
             }
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 operand.as_deref().is_some_and(Expr::contains_aggregate)
                     || branches
                         .iter()
@@ -219,7 +257,11 @@ impl Expr {
                 }
             }
             Expr::Aggregate { arg: Some(a), .. } => a.collect_columns(out),
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.collect_columns(out);
                 }
@@ -238,7 +280,11 @@ impl Expr {
                 }
             }
             Expr::Like { expr, .. } => expr.collect_columns(out),
-            Expr::Window { func, partition_by, order_by } => {
+            Expr::Window {
+                func,
+                partition_by,
+                order_by,
+            } => {
                 if let WindowFunc::Agg { arg: Some(a), .. } = func {
                     a.collect_columns(out);
                 }
@@ -257,13 +303,15 @@ impl Expr {
     pub fn contains_window(&self) -> bool {
         match self {
             Expr::Window { .. } => true,
-            Expr::Binary { left, right, .. } => {
-                left.contains_window() || right.contains_window()
-            }
+            Expr::Binary { left, right, .. } => left.contains_window() || right.contains_window(),
             Expr::Unary { expr, .. } => expr.contains_window(),
             Expr::Func { args, .. } => args.iter().any(Expr::contains_window),
             Expr::Aggregate { arg: Some(a), .. } => a.contains_window(),
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 operand.as_deref().is_some_and(Expr::contains_window)
                     || branches
                         .iter()
@@ -295,8 +343,14 @@ impl Expr {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             Expr::Literal(Literal::Number(n)) => write!(f, "{n}"),
             Expr::Literal(Literal::String(s)) => write!(f, "'{}'", s.replace('\'', "''")),
             Expr::Literal(Literal::Bool(b)) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
@@ -319,8 +373,14 @@ impl fmt::Display for Expr {
                 };
                 write!(f, "({left} {sym} {right})")
             }
-            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
-            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "(NOT {expr})"),
             Expr::Func { name, args } => {
                 write!(f, "{name}(")?;
                 for (i, a) in args.iter().enumerate() {
@@ -335,7 +395,11 @@ impl fmt::Display for Expr {
                 Some(a) => write!(f, "{}", func.render_call(&a.to_string())),
                 None => write!(f, "{}(*)", func.name()),
             },
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 write!(f, "CASE")?;
                 if let Some(o) = operand {
                     write!(f, " {o}")?;
@@ -348,7 +412,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, " END")
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, item) in list.iter().enumerate() {
                     if i > 0 {
@@ -358,13 +426,21 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
-            Expr::Like { expr, pattern, negated } => write!(
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
                 f,
                 "({expr} {}LIKE '{}')",
                 if *negated { "NOT " } else { "" },
                 pattern.replace('\'', "''")
             ),
-            Expr::Window { func, partition_by, order_by } => {
+            Expr::Window {
+                func,
+                partition_by,
+                order_by,
+            } => {
                 write!(f, "{} OVER (", func.display_head())?;
                 let mut space = "";
                 if !partition_by.is_empty() {
@@ -403,7 +479,9 @@ pub struct SelectItem {
 
 impl SelectItem {
     pub fn output_name(&self) -> String {
-        self.alias.clone().unwrap_or_else(|| self.expr.display_name())
+        self.alias
+            .clone()
+            .unwrap_or_else(|| self.expr.display_name())
     }
 }
 
@@ -430,9 +508,16 @@ pub enum TableRef {
     Named { name: String, alias: Option<String> },
     /// Table-valued function over a table/subquery input:
     /// `FROM parse_mnist_grid(MNIST_Grid)`.
-    Tvf { name: String, input: Box<TableRef>, alias: Option<String> },
+    Tvf {
+        name: String,
+        input: Box<TableRef>,
+        alias: Option<String>,
+    },
     /// Derived table.
-    Subquery { query: Box<Query>, alias: Option<String> },
+    Subquery {
+        query: Box<Query>,
+        alias: Option<String>,
+    },
     /// Binary join.
     Join {
         left: Box<TableRef>,
@@ -466,7 +551,12 @@ impl fmt::Display for TableRef {
                 }
                 Ok(())
             }
-            TableRef::Join { left, right, kind, on } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let kw = match kind {
                     JoinKind::Inner => "JOIN",
                     JoinKind::Left => "LEFT JOIN",
@@ -570,7 +660,10 @@ mod tests {
         let e = Expr::binary(BinOp::Gt, Expr::col("score"), Expr::num(0.8));
         assert_eq!(e.referenced_columns(), vec!["score"]);
         assert!(!e.contains_aggregate());
-        let agg = Expr::Aggregate { func: AggFunc::Count, arg: None };
+        let agg = Expr::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+        };
         assert!(agg.contains_aggregate());
         assert_eq!(agg.display_name(), "COUNT(*)");
     }
@@ -580,7 +673,10 @@ mod tests {
         let e = Expr::binary(
             BinOp::And,
             Expr::binary(BinOp::GtEq, Expr::col("a"), Expr::num(1.0)),
-            Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::col("b")) },
+            Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(Expr::col("b")),
+            },
         );
         assert_eq!(format!("{e}"), "((a >= 1) AND (NOT b))");
     }
@@ -593,10 +689,16 @@ mod tests {
 
     #[test]
     fn select_item_naming() {
-        let plain = SelectItem { expr: Expr::col("Digit"), alias: None };
+        let plain = SelectItem {
+            expr: Expr::col("Digit"),
+            alias: None,
+        };
         assert_eq!(plain.output_name(), "Digit");
         let aliased = SelectItem {
-            expr: Expr::Aggregate { func: AggFunc::Avg, arg: Some(Box::new(Expr::col("x"))) },
+            expr: Expr::Aggregate {
+                func: AggFunc::Avg,
+                arg: Some(Box::new(Expr::col("x"))),
+            },
             alias: Some("mean_x".into()),
         };
         assert_eq!(aliased.output_name(), "mean_x");

@@ -35,10 +35,47 @@ pub enum Sym {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND", "OR",
-    "NOT", "ASC", "DESC", "JOIN", "INNER", "LEFT", "ON", "COUNT", "SUM", "AVG", "MIN", "MAX",
-    "TRUE", "FALSE", "NULL", "BETWEEN", "IN", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE",
-    "END", "LIKE", "UNION", "ALL", "VARIANCE", "STDDEV", "OVER", "PARTITION",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "ASC",
+    "DESC",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "ON",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "TRUE",
+    "FALSE",
+    "NULL",
+    "BETWEEN",
+    "IN",
+    "DISTINCT",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "LIKE",
+    "UNION",
+    "ALL",
+    "VARIANCE",
+    "STDDEV",
+    "OVER",
+    "PARTITION",
 ];
 
 /// Tokenize SQL text.
@@ -154,7 +191,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 while i < chars.len()
-                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
                         || chars[i] == 'E'
                         || ((chars[i] == '+' || chars[i] == '-')
                             && matches!(chars.get(i - 1), Some('e') | Some('E'))))
@@ -210,7 +249,10 @@ mod tests {
         let t = tokenize("Digit MNIST_Grid").unwrap();
         assert_eq!(
             t,
-            vec![Token::Ident("Digit".into()), Token::Ident("MNIST_Grid".into())]
+            vec![
+                Token::Ident("Digit".into()),
+                Token::Ident("MNIST_Grid".into())
+            ]
         );
     }
 
@@ -259,7 +301,8 @@ mod tests {
 
     #[test]
     fn paper_query_tokenizes() {
-        let q = "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size";
+        let q =
+            "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size";
         let t = tokenize(q).unwrap();
         assert!(t.contains(&Token::Keyword("COUNT".into())));
         assert!(t.contains(&Token::Ident("parse_mnist_grid".into())));

@@ -29,7 +29,9 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 
-pub use ast::{AggFunc, BinOp, Expr, JoinKind, Literal, OrderItem, Query, SelectItem, TableRef, UnOp};
+pub use ast::{
+    AggFunc, BinOp, Expr, JoinKind, Literal, OrderItem, Query, SelectItem, TableRef, UnOp,
+};
 pub use parser::parse;
 pub use plan::{build_plan, LogicalPlan, PlannerContext};
 

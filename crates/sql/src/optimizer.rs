@@ -12,12 +12,23 @@
 use crate::ast::{BinOp, Expr, Literal, SelectItem, UnOp};
 use crate::plan::LogicalPlan;
 
+/// Hard cap on rewrite passes: a diverging rule set is a bug, not a
+/// reason to spin — plans deep enough to need more than this are
+/// pathological.
+const MAX_PASSES: usize = 16;
+
 /// Optimise a logical plan. Semantics-preserving by construction.
+/// Rewrites run to an actual fixpoint (the pass that changes nothing is
+/// the last), capped at [`MAX_PASSES`] so deep filter/projection stacks
+/// still fold fully.
 pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
     let mut cur = plan;
-    // Small fixed number of passes reaches fixpoint for our rule set.
-    for _ in 0..4 {
-        cur = rewrite(cur);
+    for _ in 0..MAX_PASSES {
+        let next = rewrite(cur.clone());
+        if next == cur {
+            return cur;
+        }
+        cur = next;
     }
     cur
 }
@@ -34,59 +45,88 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
             }
             match *input {
                 // Fuse Filter(Filter(x)) into one conjunction.
-                LogicalPlan::Filter { predicate: inner, input: deeper } => LogicalPlan::Filter {
+                LogicalPlan::Filter {
+                    predicate: inner,
+                    input: deeper,
+                } => LogicalPlan::Filter {
                     predicate: fold_expr(Expr::binary(BinOp::And, inner, predicate)),
                     input: deeper,
                 },
                 // Push below Project when the predicate only references
                 // columns the projection passes through unchanged.
-                LogicalPlan::Project { items, input: deeper }
-                    if pushable_through_project(&predicate, &items) =>
-                {
-                    LogicalPlan::Project {
-                        items,
-                        input: Box::new(rewrite(LogicalPlan::Filter {
-                            predicate,
-                            input: deeper,
-                        })),
-                    }
-                }
+                LogicalPlan::Project {
+                    items,
+                    input: deeper,
+                } if pushable_through_project(&predicate, &items) => LogicalPlan::Project {
+                    items,
+                    input: Box::new(rewrite(LogicalPlan::Filter {
+                        predicate,
+                        input: deeper,
+                    })),
+                },
                 // Filtering before sorting is always valid and cheaper.
-                LogicalPlan::Sort { keys, input: deeper } => LogicalPlan::Sort {
+                LogicalPlan::Sort {
+                    keys,
+                    input: deeper,
+                } => LogicalPlan::Sort {
                     keys,
                     input: Box::new(rewrite(LogicalPlan::Filter {
                         predicate,
                         input: deeper,
                     })),
                 },
-                other => LogicalPlan::Filter { predicate, input: Box::new(other) },
+                other => LogicalPlan::Filter {
+                    predicate,
+                    input: Box::new(other),
+                },
             }
         }
         LogicalPlan::Project { items, input } => {
             let items: Vec<SelectItem> = items
                 .into_iter()
-                .map(|i| SelectItem { expr: fold_expr(i.expr), alias: i.alias })
+                .map(|i| SelectItem {
+                    expr: fold_expr(i.expr),
+                    alias: i.alias,
+                })
                 .collect();
             // Fuse Project(Project(x)) when the outer projection only
             // passes through (possibly re-ordering/renaming) columns the
             // inner one computes.
-            if let LogicalPlan::Project { items: inner, input: deeper } = *input {
+            if let LogicalPlan::Project {
+                items: inner,
+                input: deeper,
+            } = *input
+            {
                 if let Some(fused) = fuse_projections(&items, &inner) {
-                    return LogicalPlan::Project { items: fused, input: deeper };
+                    return LogicalPlan::Project {
+                        items: fused,
+                        input: deeper,
+                    };
                 }
                 return LogicalPlan::Project {
                     items,
-                    input: Box::new(LogicalPlan::Project { items: inner, input: deeper }),
+                    input: Box::new(LogicalPlan::Project {
+                        items: inner,
+                        input: deeper,
+                    }),
                 };
             }
             LogicalPlan::Project { items, input }
         }
         // ORDER BY + LIMIT fuses into a partial top-k selection.
         LogicalPlan::Limit { n, input } => match *input {
-            LogicalPlan::Sort { keys, input: deeper } => {
-                LogicalPlan::TopK { keys, n, input: deeper }
-            }
-            other => LogicalPlan::Limit { n, input: Box::new(other) },
+            LogicalPlan::Sort {
+                keys,
+                input: deeper,
+            } => LogicalPlan::TopK {
+                keys,
+                n,
+                input: deeper,
+            },
+            other => LogicalPlan::Limit {
+                n,
+                input: Box::new(other),
+            },
         },
         other => other,
     }
@@ -95,10 +135,7 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
 /// Outer items that are bare column references resolve against the inner
 /// projection's outputs; the result is the inner expression under the
 /// outer name. Any non-column outer item blocks fusion.
-fn fuse_projections(
-    outer: &[SelectItem],
-    inner: &[SelectItem],
-) -> Option<Vec<SelectItem>> {
+fn fuse_projections(outer: &[SelectItem], inner: &[SelectItem]) -> Option<Vec<SelectItem>> {
     let mut fused = Vec::with_capacity(outer.len());
     for item in outer {
         let Expr::Column { name, .. } = &item.expr else {
@@ -118,42 +155,63 @@ fn fuse_projections(
 fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy) -> LogicalPlan {
     match plan {
         LogicalPlan::Scan { .. } => plan,
-        LogicalPlan::TvfScan { name, input } => {
-            LogicalPlan::TvfScan { name, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::TvfProject { name, args, input } => {
-            LogicalPlan::TvfProject { name, args, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Filter { predicate, input } => {
-            LogicalPlan::Filter { predicate, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Project { items, input } => {
-            LogicalPlan::Project { items, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Aggregate { group_by, aggregates, input } => {
-            LogicalPlan::Aggregate { group_by, aggregates, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Join { left, right, kind, on } => LogicalPlan::Join {
+        LogicalPlan::TvfScan { name, input } => LogicalPlan::TvfScan {
+            name,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::TvfProject { name, args, input } => LogicalPlan::TvfProject {
+            name,
+            args,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Filter { predicate, input } => LogicalPlan::Filter {
+            predicate,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Project { items, input } => LogicalPlan::Project {
+            items,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input,
+        } => LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
             kind,
             on,
         },
-        LogicalPlan::Sort { keys, input } => {
-            LogicalPlan::Sort { keys, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Limit { n, input } => {
-            LogicalPlan::Limit { n, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::TopK { keys, n, input } => {
-            LogicalPlan::TopK { keys, n, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Window { windows, input } => {
-            LogicalPlan::Window { windows, input: Box::new(f(*input)) }
-        }
-        LogicalPlan::Distinct { input } => {
-            LogicalPlan::Distinct { input: Box::new(f(*input)) }
-        }
+        LogicalPlan::Sort { keys, input } => LogicalPlan::Sort {
+            keys,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Limit { n, input } => LogicalPlan::Limit {
+            n,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::TopK { keys, n, input } => LogicalPlan::TopK {
+            keys,
+            n,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Window { windows, input } => LogicalPlan::Window {
+            windows,
+            input: Box::new(f(*input)),
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
         LogicalPlan::UnionAll { left, right } => LogicalPlan::UnionAll {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
@@ -166,10 +224,8 @@ fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy
 fn pushable_through_project(pred: &Expr, items: &[SelectItem]) -> bool {
     pred.referenced_columns().iter().all(|col| {
         items.iter().any(|item| {
-            let passes_unchanged =
-                matches!(&item.expr, Expr::Column { name, .. } if name == col);
-            let not_renamed = item.alias.is_none()
-                || item.alias.as_deref() == Some(col.as_str());
+            let passes_unchanged = matches!(&item.expr, Expr::Column { name, .. } if name == col);
+            let not_renamed = item.alias.is_none() || item.alias.as_deref() == Some(col.as_str());
             passes_unchanged && not_renamed
         })
     })
@@ -222,16 +278,21 @@ pub fn fold_expr(expr: Expr) -> Expr {
                 (BinOp::Or, _, Expr::Literal(Literal::Bool(false))) => return left,
                 _ => {}
             }
-            Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+            Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
         }
         Expr::Unary { op, expr } => {
             let inner = fold_expr(*expr);
             match (op, &inner) {
                 (UnOp::Neg, Expr::Literal(Literal::Number(n))) => Expr::num(-n),
-                (UnOp::Not, Expr::Literal(Literal::Bool(b))) => {
-                    Expr::Literal(Literal::Bool(!b))
-                }
-                _ => Expr::Unary { op, expr: Box::new(inner) },
+                (UnOp::Not, Expr::Literal(Literal::Bool(b))) => Expr::Literal(Literal::Bool(!b)),
+                _ => Expr::Unary {
+                    op,
+                    expr: Box::new(inner),
+                },
             }
         }
         Expr::Func { name, args } => Expr::Func {
@@ -242,7 +303,11 @@ pub fn fold_expr(expr: Expr) -> Expr {
             func,
             arg: arg.map(|a| Box::new(fold_expr(*a))),
         },
-        Expr::Case { operand, branches, else_expr } => Expr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
             operand: operand.map(|o| Box::new(fold_expr(*o))),
             branches: branches
                 .into_iter()
@@ -250,7 +315,11 @@ pub fn fold_expr(expr: Expr) -> Expr {
                 .collect(),
             else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
         },
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let expr = fold_expr(*expr);
             let list: Vec<Expr> = list.into_iter().map(fold_expr).collect();
             // A fully-literal membership test folds to a boolean.
@@ -265,9 +334,17 @@ pub fn fold_expr(expr: Expr) -> Expr {
                     return Expr::Literal(Literal::Bool(found != negated));
                 }
             }
-            Expr::InList { expr: Box::new(expr), list, negated }
+            Expr::InList {
+                expr: Box::new(expr),
+                list,
+                negated,
+            }
         }
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(fold_expr(*expr)),
             pattern,
             negated,
@@ -295,7 +372,10 @@ mod tests {
         );
         assert_eq!(fold_expr(parse_expr("-(3 + 4)")), Expr::num(-7.0));
         // Non-constant parts survive.
-        assert_eq!(format!("{}", fold_expr(parse_expr("x + (1 + 1)"))), "(x + 2)");
+        assert_eq!(
+            format!("{}", fold_expr(parse_expr("x + (1 + 1)"))),
+            "(x + 2)"
+        );
     }
 
     fn parse_expr(e: &str) -> Expr {
@@ -404,7 +484,10 @@ mod tests {
     #[test]
     fn case_branches_fold() {
         assert_eq!(
-            format!("{}", fold_expr(parse_expr("CASE WHEN x > 1 + 1 THEN 2 * 3 ELSE 0 END"))),
+            format!(
+                "{}",
+                fold_expr(parse_expr("CASE WHEN x > 1 + 1 THEN 2 * 3 ELSE 0 END"))
+            ),
             "CASE WHEN (x > 2) THEN 6 ELSE 0 END"
         );
     }
@@ -414,8 +497,14 @@ mod tests {
         let p = optimized("SELECT DISTINCT a FROM t WHERE 1 < 2 UNION ALL SELECT a FROM u");
         match p {
             LogicalPlan::UnionAll { left, right } => {
-                assert!(matches!(*left, LogicalPlan::Distinct { .. }), "left: {left}");
-                assert!(matches!(*right, LogicalPlan::Project { .. }), "right: {right}");
+                assert!(
+                    matches!(*left, LogicalPlan::Distinct { .. }),
+                    "left: {left}"
+                );
+                assert!(
+                    matches!(*right, LogicalPlan::Project { .. }),
+                    "right: {right}"
+                );
             }
             other => panic!("expected union, got {other:?}"),
         }
@@ -435,9 +524,7 @@ mod tests {
         let p2 = optimized("SELECT a FROM t LIMIT 3");
         assert!(matches!(p2, LogicalPlan::Limit { .. }), "{p2}");
         // Filters never push through TopK (they change the selected set).
-        let p3 = optimized(
-            "SELECT a FROM (SELECT a FROM t ORDER BY a LIMIT 5) WHERE a > 1",
-        );
+        let p3 = optimized("SELECT a FROM (SELECT a FROM t ORDER BY a LIMIT 5) WHERE a > 1");
         fn filter_above_topk(p: &LogicalPlan) -> bool {
             match p {
                 LogicalPlan::Filter { input, .. } => {
@@ -451,6 +538,33 @@ mod tests {
             }
         }
         assert!(filter_above_topk(&p3), "plan: {p3}");
+    }
+
+    #[test]
+    fn deep_plans_reach_fixpoint() {
+        // A nesting depth the old fixed 4-pass loop could not fully fold:
+        // each subquery level adds a Filter + passthrough Projection pair
+        // that must fuse into the single scan-level filter.
+        let mut sql = String::from("SELECT * FROM t WHERE c0 > 0");
+        for i in 1..10 {
+            sql = format!("SELECT * FROM ({sql}) WHERE c{i} > {i}");
+        }
+        let p = optimized(&sql);
+        match &p {
+            LogicalPlan::Filter { predicate, input } => {
+                let text = format!("{predicate}");
+                for i in 0..10 {
+                    assert!(text.contains(&format!("c{i}")), "missing c{i} in {text}");
+                }
+                assert!(
+                    matches!(**input, LogicalPlan::Scan { .. }),
+                    "all filters must fuse onto the scan: {p}"
+                );
+            }
+            other => panic!("expected one fused filter, got {other}"),
+        }
+        // Idempotence: optimising an optimised plan changes nothing.
+        assert_eq!(optimize(p.clone()), p);
     }
 
     #[test]
@@ -477,9 +591,7 @@ mod tests {
 
     #[test]
     fn aggregate_blocks_pushdown() {
-        let p = optimized(
-            "SELECT d FROM (SELECT d, COUNT(*) AS c FROM t GROUP BY d) WHERE d > 1",
-        );
+        let p = optimized("SELECT d FROM (SELECT d, COUNT(*) AS c FROM t GROUP BY d) WHERE d > 1");
         // Filter over the aggregate's key output may not move below the
         // aggregate in our conservative rule set.
         fn has_filter_above_aggregate(p: &LogicalPlan) -> bool {

@@ -51,7 +51,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(SqlError::new(format!("expected {kw}, found {:?}", self.peek())))
+            Err(SqlError::new(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -68,7 +71,10 @@ impl Parser {
         if self.eat_symbol(s) {
             Ok(())
         } else {
-            Err(SqlError::new(format!("expected {s:?}, found {:?}", self.peek())))
+            Err(SqlError::new(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -227,7 +233,10 @@ impl Parser {
                 let q = self.parse_query()?;
                 self.expect_symbol(Sym::RParen)?;
                 let alias = self.parse_optional_alias();
-                return Ok(TableRef::Subquery { query: Box::new(q), alias });
+                return Ok(TableRef::Subquery {
+                    query: Box::new(q),
+                    alias,
+                });
             }
             // Parenthesised table ref.
             let t = self.parse_table_ref()?;
@@ -241,12 +250,18 @@ impl Parser {
                     let input = self.parse_table_factor()?;
                     self.expect_symbol(Sym::RParen)?;
                     let alias = self.parse_optional_alias();
-                    return Ok(TableRef::Tvf { name, input: Box::new(input), alias });
+                    return Ok(TableRef::Tvf {
+                        name,
+                        input: Box::new(input),
+                        alias,
+                    });
                 }
                 let alias = self.parse_optional_alias();
                 Ok(TableRef::Named { name, alias })
             }
-            other => Err(SqlError::new(format!("expected table reference, found {other:?}"))),
+            other => Err(SqlError::new(format!(
+                "expected table reference, found {other:?}"
+            ))),
         }
     }
 
@@ -296,7 +311,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Expr, SqlError> {
         if self.eat_keyword("NOT") {
             let inner = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_comparison()
     }
@@ -323,7 +341,10 @@ impl Parser {
                 Expr::binary(BinOp::LtEq, left, hi),
             );
             return Ok(if negated {
-                Expr::Unary { op: UnOp::Not, expr: Box::new(range) }
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(range),
+                }
             } else {
                 range
             });
@@ -338,7 +359,11 @@ impl Parser {
                 }
             }
             self.expect_symbol(Sym::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("LIKE") {
             let pattern = match self.advance() {
@@ -349,7 +374,11 @@ impl Parser {
                     )))
                 }
             };
-            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
         }
         if negated {
             return Err(SqlError::new("expected IN, LIKE or BETWEEN after NOT"));
@@ -409,7 +438,10 @@ impl Parser {
             if let Expr::Literal(Literal::Number(n)) = inner {
                 return Ok(Expr::num(-n));
             }
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         if self.eat_symbol(Sym::Plus) {
             return self.parse_unary();
@@ -505,19 +537,24 @@ impl Parser {
                             }
                         };
                         if !args.is_empty() {
-                            return Err(SqlError::new(format!(
-                                "{name}() takes no arguments"
-                            )));
+                            return Err(SqlError::new(format!("{name}() takes no arguments")));
                         }
                         let (partition_by, order_by) = self.parse_window_spec()?;
-                        return Ok(Expr::Window { func, partition_by, order_by });
+                        return Ok(Expr::Window {
+                            func,
+                            partition_by,
+                            order_by,
+                        });
                     }
                     return Ok(Expr::Func { name, args });
                 }
                 if self.eat_symbol(Sym::Dot) {
                     match self.advance() {
                         Some(Token::Ident(col)) => {
-                            return Ok(Expr::Column { qualifier: Some(name), name: col })
+                            return Ok(Expr::Column {
+                                qualifier: Some(name),
+                                name: col,
+                            })
                         }
                         Some(Token::Symbol(Sym::Star)) => return Ok(Expr::Star),
                         other => {
@@ -527,9 +564,14 @@ impl Parser {
                         }
                     }
                 }
-                Ok(Expr::Column { qualifier: None, name })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
             }
-            other => Err(SqlError::new(format!("unexpected token in expression: {other:?}"))),
+            other => Err(SqlError::new(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
         }
     }
 
@@ -592,7 +634,11 @@ impl Parser {
             None
         };
         self.expect_keyword("END")?;
-        Ok(Expr::Case { operand, branches, else_expr })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 }
 
@@ -625,7 +671,11 @@ mod tests {
         .unwrap();
         let w = q.where_clause.unwrap();
         match w {
-            Expr::Binary { op: BinOp::Gt, left, .. } => match *left {
+            Expr::Binary {
+                op: BinOp::Gt,
+                left,
+                ..
+            } => match *left {
                 Expr::Func { name, args } => {
                     assert_eq!(name, "image_text_similarity");
                     assert_eq!(args.len(), 2);
@@ -685,8 +735,18 @@ mod tests {
     fn joins_parse() {
         let q = parse("SELECT a FROM t JOIN u ON t.id = u.id LEFT JOIN v ON u.k = v.k").unwrap();
         match q.from.unwrap() {
-            TableRef::Join { kind: JoinKind::Left, left, .. } => {
-                assert!(matches!(*left, TableRef::Join { kind: JoinKind::Inner, .. }));
+            TableRef::Join {
+                kind: JoinKind::Left,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    *left,
+                    TableRef::Join {
+                        kind: JoinKind::Inner,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected nested join, got {other:?}"),
         }
@@ -743,7 +803,9 @@ mod tests {
     fn parses_like_and_not_like() {
         let q = parse("SELECT 1 FROM t WHERE name LIKE 'rec%'").unwrap();
         match q.where_clause.unwrap() {
-            Expr::Like { pattern, negated, .. } => {
+            Expr::Like {
+                pattern, negated, ..
+            } => {
                 assert_eq!(pattern, "rec%");
                 assert!(!negated);
             }
@@ -770,12 +832,14 @@ mod tests {
 
     #[test]
     fn parses_case_expressions() {
-        let q = parse(
-            "SELECT CASE WHEN x > 0 THEN 1 WHEN x < 0 THEN -1 ELSE 0 END FROM t",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT CASE WHEN x > 0 THEN 1 WHEN x < 0 THEN -1 ELSE 0 END FROM t").unwrap();
         match &q.select[0].expr {
-            Expr::Case { operand: None, branches, else_expr } => {
+            Expr::Case {
+                operand: None,
+                branches,
+                else_expr,
+            } => {
                 assert_eq!(branches.len(), 2);
                 assert!(else_expr.is_some());
             }
@@ -785,7 +849,10 @@ mod tests {
         let q2 = parse("SELECT CASE tag WHEN 'a' THEN 1 ELSE 2 END FROM t").unwrap();
         assert!(matches!(
             &q2.select[0].expr,
-            Expr::Case { operand: Some(_), .. }
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
         ));
         // Missing WHEN / END are errors.
         assert!(parse("SELECT CASE ELSE 1 END FROM t").is_err());
@@ -796,8 +863,8 @@ mod tests {
     fn parses_distinct_and_union_all() {
         let q = parse("SELECT DISTINCT item FROM orders").unwrap();
         assert!(q.distinct);
-        let q2 = parse("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v")
-            .unwrap();
+        let q2 =
+            parse("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v").unwrap();
         let second = q2.union_all.as_deref().unwrap();
         assert!(second.union_all.is_some());
         // Bare UNION (without ALL) is rejected in this dialect.
@@ -809,15 +876,24 @@ mod tests {
         let q = parse("SELECT COUNT(DISTINCT tag), VARIANCE(x), STDDEV(x) FROM t").unwrap();
         assert!(matches!(
             &q.select[0].expr,
-            Expr::Aggregate { func: AggFunc::CountDistinct, arg: Some(_) }
+            Expr::Aggregate {
+                func: AggFunc::CountDistinct,
+                arg: Some(_)
+            }
         ));
         assert!(matches!(
             &q.select[1].expr,
-            Expr::Aggregate { func: AggFunc::Variance, .. }
+            Expr::Aggregate {
+                func: AggFunc::Variance,
+                ..
+            }
         ));
         assert!(matches!(
             &q.select[2].expr,
-            Expr::Aggregate { func: AggFunc::Stddev, .. }
+            Expr::Aggregate {
+                func: AggFunc::Stddev,
+                ..
+            }
         ));
         assert!(parse("SELECT COUNT(DISTINCT *) FROM t").is_err());
         assert!(parse("SELECT VARIANCE(*) FROM t").is_err());
@@ -834,7 +910,10 @@ mod tests {
         }
         // A parenthesised non-SELECT expression is still just grouping.
         let q2 = parse("SELECT (1 + 2) FROM t").unwrap();
-        assert!(matches!(q2.select[0].expr, Expr::Literal(_) | Expr::Binary { .. }));
+        assert!(matches!(
+            q2.select[0].expr,
+            Expr::Literal(_) | Expr::Binary { .. }
+        ));
     }
 
     #[test]
@@ -845,7 +924,11 @@ mod tests {
         )
         .unwrap();
         match &q.select[1].expr {
-            Expr::Window { func: WindowFunc::RowNumber, partition_by, order_by } => {
+            Expr::Window {
+                func: WindowFunc::RowNumber,
+                partition_by,
+                order_by,
+            } => {
                 assert_eq!(partition_by.len(), 1);
                 assert_eq!(order_by.len(), 1);
                 assert!(order_by[0].desc);
@@ -853,7 +936,15 @@ mod tests {
             other => panic!("expected window, got {other:?}"),
         }
         match &q.select[2].expr {
-            Expr::Window { func: WindowFunc::Agg { func: AggFunc::Sum, arg }, order_by, .. } => {
+            Expr::Window {
+                func:
+                    WindowFunc::Agg {
+                        func: AggFunc::Sum,
+                        arg,
+                    },
+                order_by,
+                ..
+            } => {
                 assert!(arg.is_some());
                 assert!(order_by.is_empty());
             }

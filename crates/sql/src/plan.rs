@@ -33,15 +33,28 @@ pub enum LogicalPlan {
     Scan { table: String },
     /// Table-valued function applied to an input relation
     /// (`FROM parse_mnist_grid(MNIST_Grid)`).
-    TvfScan { name: String, input: Box<LogicalPlan> },
+    TvfScan {
+        name: String,
+        input: Box<LogicalPlan>,
+    },
     /// Table-valued function in projection position
     /// (`SELECT extract_table(images) FROM …`): evaluates the TVF on the
     /// argument columns of each input row and emits the TVF's output table.
-    TvfProject { name: String, args: Vec<Expr>, input: Box<LogicalPlan> },
+    TvfProject {
+        name: String,
+        args: Vec<Expr>,
+        input: Box<LogicalPlan>,
+    },
     /// Row filter.
-    Filter { predicate: Expr, input: Box<LogicalPlan> },
+    Filter {
+        predicate: Expr,
+        input: Box<LogicalPlan>,
+    },
     /// Column projection / expression evaluation.
-    Project { items: Vec<SelectItem>, input: Box<LogicalPlan> },
+    Project {
+        items: Vec<SelectItem>,
+        input: Box<LogicalPlan>,
+    },
     /// Grouped (or global, when `group_by` is empty) aggregation.
     Aggregate {
         group_by: Vec<Expr>,
@@ -56,20 +69,33 @@ pub enum LogicalPlan {
         on: Option<Expr>,
     },
     /// Sort by keys.
-    Sort { keys: Vec<OrderItem>, input: Box<LogicalPlan> },
+    Sort {
+        keys: Vec<OrderItem>,
+        input: Box<LogicalPlan>,
+    },
     /// Row-count cap.
     Limit { n: u64, input: Box<LogicalPlan> },
     /// Window-function evaluation: appends one column per window
     /// expression, preserving row order and the input columns.
-    Window { windows: Vec<WindowExpr>, input: Box<LogicalPlan> },
+    Window {
+        windows: Vec<WindowExpr>,
+        input: Box<LogicalPlan>,
+    },
     /// Fused `ORDER BY … LIMIT n`: partial top-k selection, produced by
     /// the optimizer from `Limit(Sort(…))`. Output order matches the full
     /// sort (ties broken by input position).
-    TopK { keys: Vec<OrderItem>, n: u64, input: Box<LogicalPlan> },
+    TopK {
+        keys: Vec<OrderItem>,
+        n: u64,
+        input: Box<LogicalPlan>,
+    },
     /// Row deduplication (`SELECT DISTINCT`).
     Distinct { input: Box<LogicalPlan> },
     /// Bag union of two relations with compatible schemas.
-    UnionAll { left: Box<LogicalPlan>, right: Box<LogicalPlan> },
+    UnionAll {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
 }
 
 impl LogicalPlan {
@@ -87,8 +113,9 @@ impl LogicalPlan {
             | LogicalPlan::TopK { input, .. }
             | LogicalPlan::Window { input, .. }
             | LogicalPlan::Distinct { input } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::UnionAll { left, right } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::UnionAll { left, right } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -117,7 +144,11 @@ impl LogicalPlan {
                 let rendered: Vec<String> = items.iter().map(|i| i.to_string()).collect();
                 out.push_str(&format!("Project: {}\n", rendered.join(", ")));
             }
-            LogicalPlan::Aggregate { group_by, aggregates, .. } => {
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
                 let keys: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
                 let aggs: Vec<String> = aggregates
                     .iter()
@@ -133,10 +164,7 @@ impl LogicalPlan {
                 ));
             }
             LogicalPlan::Join { kind, on, .. } => {
-                let on_txt = on
-                    .as_ref()
-                    .map(|o| format!(" ON {o}"))
-                    .unwrap_or_default();
+                let on_txt = on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default();
                 out.push_str(&format!("Join: {kind:?}{on_txt}\n"));
             }
             LogicalPlan::Sort { keys, .. } => {
@@ -199,18 +227,22 @@ pub fn build_plan(query: &Query, ctx: &PlannerContext<'_>) -> Result<LogicalPlan
 
     if let Some(pred) = &query.where_clause {
         if pred.contains_aggregate() {
-            return Err(SqlError::new("aggregates are not allowed in WHERE (use HAVING)"));
+            return Err(SqlError::new(
+                "aggregates are not allowed in WHERE (use HAVING)",
+            ));
         }
         if pred.contains_window() {
             return Err(SqlError::new("window functions are not allowed in WHERE"));
         }
-        plan = LogicalPlan::Filter { predicate: pred.clone(), input: Box::new(plan) };
+        plan = LogicalPlan::Filter {
+            predicate: pred.clone(),
+            input: Box::new(plan),
+        };
     }
 
     let has_window = query.select.iter().any(|i| i.expr.contains_window());
     if has_window
-        && (!query.group_by.is_empty()
-            || query.select.iter().any(|i| i.expr.contains_aggregate()))
+        && (!query.group_by.is_empty() || query.select.iter().any(|i| i.expr.contains_aggregate()))
     {
         return Err(SqlError::new(
             "window functions cannot be mixed with GROUP BY aggregation in this dialect              (window over an aggregated subquery instead)",
@@ -237,7 +269,10 @@ pub fn build_plan(query: &Query, ctx: &PlannerContext<'_>) -> Result<LogicalPlan
                     alias: i.alias.clone(),
                 })
                 .collect();
-            plan = LogicalPlan::Window { windows, input: Box::new(plan) };
+            plan = LogicalPlan::Window {
+                windows,
+                input: Box::new(plan),
+            };
             plan = plan_projection(&items, plan, ctx)?;
         } else {
             plan = plan_projection(&query.select, plan, ctx)?;
@@ -245,7 +280,9 @@ pub fn build_plan(query: &Query, ctx: &PlannerContext<'_>) -> Result<LogicalPlan
     }
 
     if query.distinct {
-        plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        plan = LogicalPlan::Distinct {
+            input: Box::new(plan),
+        };
     }
 
     if !query.order_by.is_empty() {
@@ -271,7 +308,10 @@ pub fn build_plan(query: &Query, ctx: &PlannerContext<'_>) -> Result<LogicalPlan
         };
     }
     if let Some(n) = query.limit {
-        plan = LogicalPlan::Limit { n, input: Box::new(plan) };
+        plan = LogicalPlan::Limit {
+            n,
+            input: Box::new(plan),
+        };
     }
     if let Some(next) = &query.union_all {
         plan = LogicalPlan::UnionAll {
@@ -284,13 +324,20 @@ pub fn build_plan(query: &Query, ctx: &PlannerContext<'_>) -> Result<LogicalPlan
 
 fn plan_table_ref(t: &TableRef, ctx: &PlannerContext<'_>) -> Result<LogicalPlan, SqlError> {
     match t {
-        TableRef::Named { name, .. } => Ok(LogicalPlan::Scan { table: name.clone() }),
+        TableRef::Named { name, .. } => Ok(LogicalPlan::Scan {
+            table: name.clone(),
+        }),
         TableRef::Tvf { name, input, .. } => Ok(LogicalPlan::TvfScan {
             name: name.clone(),
             input: Box::new(plan_table_ref(input, ctx)?),
         }),
         TableRef::Subquery { query, .. } => build_plan(query, ctx),
-        TableRef::Join { left, right, kind, on } => Ok(LogicalPlan::Join {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => Ok(LogicalPlan::Join {
             left: Box::new(plan_table_ref(left, ctx)?),
             right: Box::new(plan_table_ref(right, ctx)?),
             kind: *kind,
@@ -327,7 +374,10 @@ fn plan_projection(
             ));
         }
     }
-    Ok(LogicalPlan::Project { items: items.to_vec(), input: Box::new(input) })
+    Ok(LogicalPlan::Project {
+        items: items.to_vec(),
+        input: Box::new(input),
+    })
 }
 
 fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlError> {
@@ -338,7 +388,10 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
     let mut rewritten_select = Vec::with_capacity(query.select.len());
     for item in &query.select {
         let expr = extract_aggregates(&item.expr, &mut aggregates);
-        rewritten_select.push(SelectItem { expr, alias: item.alias.clone() });
+        rewritten_select.push(SelectItem {
+            expr,
+            alias: item.alias.clone(),
+        });
     }
     let rewritten_having = query
         .having
@@ -368,7 +421,10 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
         input: Box::new(input),
     };
     if let Some(h) = rewritten_having {
-        plan = LogicalPlan::Filter { predicate: h, input: Box::new(plan) };
+        plan = LogicalPlan::Filter {
+            predicate: h,
+            input: Box::new(plan),
+        };
     }
 
     // Final projection for ordering/aliasing. Skip when it is an identity
@@ -379,7 +435,10 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
     if trivial {
         Ok(plan)
     } else {
-        Ok(LogicalPlan::Project { items: rewritten_select, input: Box::new(plan) })
+        Ok(LogicalPlan::Project {
+            items: rewritten_select,
+            input: Box::new(plan),
+        })
     }
 }
 
@@ -400,7 +459,11 @@ fn sort_needs_input_columns(keys: &[OrderItem], items: &[SelectItem]) -> bool {
 /// outputs, registering each distinct window once.
 fn extract_windows(expr: &Expr, out: &mut Vec<WindowExpr>) -> Expr {
     match expr {
-        Expr::Window { func, partition_by, order_by } => {
+        Expr::Window {
+            func,
+            partition_by,
+            order_by,
+        } => {
             let name = expr.to_string();
             if !out.iter().any(|w| w.output == name) {
                 out.push(WindowExpr {
@@ -410,7 +473,10 @@ fn extract_windows(expr: &Expr, out: &mut Vec<WindowExpr>) -> Expr {
                     output: name.clone(),
                 });
             }
-            Expr::Column { qualifier: None, name }
+            Expr::Column {
+                qualifier: None,
+                name,
+            }
         }
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
@@ -442,7 +508,10 @@ fn extract_aggregates(expr: &Expr, out: &mut Vec<AggregateExpr>) -> Expr {
                     output: name.clone(),
                 });
             }
-            Expr::Column { qualifier: None, name }
+            Expr::Column {
+                qualifier: None,
+                name,
+            }
         }
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
@@ -498,7 +567,11 @@ mod tests {
     fn groupby_count_plan() {
         let p = plan("SELECT Digit, Size, COUNT(*) FROM g GROUP BY Digit, Size");
         match p {
-            LogicalPlan::Aggregate { group_by, aggregates, .. } => {
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
                 assert_eq!(group_by.len(), 2);
                 assert_eq!(aggregates.len(), 1);
                 assert_eq!(aggregates[0].output, "COUNT(*)");

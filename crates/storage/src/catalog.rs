@@ -1,6 +1,7 @@
 //! The session catalog: a concurrent name → table registry.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::table::{Table, TableStats};
@@ -11,6 +12,10 @@ use crate::table::{Table, TableStats};
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// Monotonic change counter, bumped on every register/drop. Plan
+    /// caches use it as a cheap "anything changed?" check before falling
+    /// back to per-table schema validation.
+    version: AtomicU64,
 }
 
 impl Catalog {
@@ -29,7 +34,13 @@ impl Catalog {
             .write()
             .expect("catalog lock poisoned")
             .insert(Self::key(arc.name()), Arc::clone(&arc));
+        self.version.fetch_add(1, Ordering::Relaxed);
         arc
+    }
+
+    /// Current value of the change counter (any register/drop bumps it).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
     }
 
     /// Fetch a table by case-insensitive name.
@@ -43,11 +54,16 @@ impl Catalog {
 
     /// Remove a table; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables
+        let existed = self
+            .tables
             .write()
             .expect("catalog lock poisoned")
             .remove(&Self::key(name))
-            .is_some()
+            .is_some();
+        if existed {
+            self.version.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
     }
 
     /// Registered table names, sorted.
@@ -75,7 +91,11 @@ impl Catalog {
     /// Aggregate statistics over all tables.
     pub fn stats(&self) -> TableStats {
         let guard = self.tables.read().expect("catalog lock poisoned");
-        let mut total = TableStats { rows: 0, columns: 0, bytes: 0 };
+        let mut total = TableStats {
+            rows: 0,
+            columns: 0,
+            bytes: 0,
+        };
         for t in guard.values() {
             let s = t.stats();
             total.rows += s.rows;
@@ -115,6 +135,23 @@ mod tests {
         cat.register(tbl("grid", 9));
         assert_eq!(cat.len(), 1);
         assert_eq!(cat.get("grid").unwrap().rows(), 9);
+    }
+
+    #[test]
+    fn version_bumps_on_register_and_drop() {
+        let cat = Catalog::new();
+        let v0 = cat.version();
+        cat.register(tbl("t", 1));
+        assert!(cat.version() > v0);
+        let v1 = cat.version();
+        cat.register(tbl("t", 2)); // replacement bumps too
+        assert!(cat.version() > v1);
+        let v2 = cat.version();
+        assert!(cat.drop_table("t"));
+        assert!(cat.version() > v2);
+        let v3 = cat.version();
+        assert!(!cat.drop_table("t"), "missing drop is a no-op");
+        assert_eq!(cat.version(), v3);
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Table, String> {
     let mut builder = TableBuilder::new();
     for (c, col_name) in header.iter().enumerate() {
         let values: Vec<&str> = body.iter().map(|r| r[c].as_str()).collect();
-        let parsed: Option<Vec<f32>> =
-            values.iter().map(|v| v.trim().parse::<f32>().ok()).collect();
+        let parsed: Option<Vec<f32>> = values
+            .iter()
+            .map(|v| v.trim().parse::<f32>().ok())
+            .collect();
         builder = match parsed {
             Some(nums) if !values.is_empty() => builder.col_f32(col_name.clone(), nums),
             _ => builder.col_str(col_name.clone(), &values),

@@ -21,9 +21,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use tdp_encoding::{
-    BitPackedColumn, DeltaColumn, EncodedTensor, PeTensor, RleColumn,
-};
+use tdp_encoding::{BitPackedColumn, DeltaColumn, EncodedTensor, PeTensor, RleColumn};
 use tdp_tensor::{F32Tensor, Tensor};
 
 use crate::table::{Column, Table};
@@ -212,7 +210,9 @@ fn read_bitpacked(r: &mut impl Read) -> Result<BitPackedColumn, FormatError> {
     let len = checked_len(read_u64(r)?, "bitpacked column")?;
     let n_words = checked_len(read_u64(r)?, "bitpacked words")?;
     if n_words < (len * width as usize).div_ceil(64) {
-        return Err(corrupt("bitpacked word buffer shorter than declared length"));
+        return Err(corrupt(
+            "bitpacked word buffer shorter than declared length",
+        ));
     }
     let mut words = Vec::with_capacity(n_words);
     for _ in 0..n_words {
@@ -321,8 +321,7 @@ fn read_encoded(r: &mut impl Read) -> Result<EncodedTensor, FormatError> {
             }
             // Decode + re-encode keeps StringDict's internal invariants
             // without exposing an unchecked constructor.
-            let strings: Vec<&str> =
-                codes.iter().map(|&c| values[c as usize].as_str()).collect();
+            let strings: Vec<&str> = codes.iter().map(|&c| values[c as usize].as_str()).collect();
             EncodedTensor::from_strings(&strings)
         }
         TAG_RLE => {
@@ -481,7 +480,10 @@ mod tests {
     #[test]
     fn compressed_encodings_stay_compressed_on_disk() {
         let ts: Vec<i64> = (0..4_000).map(|i| 9_000 + i).collect();
-        let t = TableBuilder::new().col_i64("ts", ts.clone()).build("log").compress();
+        let t = TableBuilder::new()
+            .col_i64("ts", ts.clone())
+            .build("log")
+            .compress();
         let kind = t.column("ts").unwrap().data.kind();
         assert_ne!(kind, tdp_encoding::EncodingKind::PlainI64);
 

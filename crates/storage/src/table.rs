@@ -12,7 +12,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, data: EncodedTensor) -> Column {
-        Column { name: name.into(), data }
+        Column {
+            name: name.into(),
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -86,7 +89,9 @@ impl Table {
 
     /// Look up a column by (case-insensitive) name.
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Statistics for catalog listings and memory accounting.
@@ -208,7 +213,9 @@ pub struct TableBuilder {
 
 impl TableBuilder {
     pub fn new() -> TableBuilder {
-        TableBuilder { columns: Vec::new() }
+        TableBuilder {
+            columns: Vec::new(),
+        }
     }
 
     /// 1-d f32 column.
@@ -233,7 +240,8 @@ impl TableBuilder {
 
     /// Dictionary-encoded string column.
     pub fn col_str(mut self, name: impl Into<String>, values: &[impl AsRef<str>]) -> TableBuilder {
-        self.columns.push(Column::new(name, EncodedTensor::from_strings(values)));
+        self.columns
+            .push(Column::new(name, EncodedTensor::from_strings(values)));
         self
     }
 
@@ -254,7 +262,8 @@ impl TableBuilder {
             tensor.ndim() >= 1,
             "payload columns need a leading row dimension"
         );
-        self.columns.push(Column::new(name, EncodedTensor::F32(tensor)));
+        self.columns
+            .push(Column::new(name, EncodedTensor::F32(tensor)));
         self
     }
 
@@ -291,7 +300,12 @@ mod tests {
             .col_f32("v", vec![0.5; 5_000])
             .build("log");
         let c = t.compress();
-        assert!(c.memory_bytes() * 3 < t.memory_bytes(), "{} vs {}", c.memory_bytes(), t.memory_bytes());
+        assert!(
+            c.memory_bytes() * 3 < t.memory_bytes(),
+            "{} vs {}",
+            c.memory_bytes(),
+            t.memory_bytes()
+        );
         assert_eq!(c.column("ts").unwrap().data.decode_i64().to_vec(), ts);
         assert_eq!(c.column("cat").unwrap().data.decode_i64().to_vec(), cat);
         // Float column untouched.
@@ -335,11 +349,17 @@ mod tests {
         let mask = Tensor::from_vec(vec![true, false, true], &[3]);
         let f = t.filter_rows(&mask);
         assert_eq!(f.rows(), 2);
-        assert_eq!(f.column("item").unwrap().data.decode_strings(), vec!["pen", "pad"]);
+        assert_eq!(
+            f.column("item").unwrap().data.decode_strings(),
+            vec!["pen", "pad"]
+        );
 
         let idx = Tensor::from_vec(vec![2i64, 2, 0], &[3]);
         let s = t.select_rows(&idx);
-        assert_eq!(s.column("qty").unwrap().data.decode_i64().to_vec(), vec![1, 1, 2]);
+        assert_eq!(
+            s.column("qty").unwrap().data.decode_i64().to_vec(),
+            vec![1, 1, 2]
+        );
     }
 
     #[test]

@@ -20,13 +20,22 @@ pub struct Conv2dGeom {
 impl Conv2dGeom {
     pub fn new(kh: usize, kw: usize, stride: usize, pad: usize) -> Conv2dGeom {
         assert!(stride > 0, "stride must be positive");
-        Conv2dGeom { kh, kw, stride, pad }
+        Conv2dGeom {
+            kh,
+            kw,
+            stride,
+            pad,
+        }
     }
 
     /// Output spatial size for an input of `h x w`.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.pad).checked_sub(self.kh).map(|v| v / self.stride + 1);
-        let ow = (w + 2 * self.pad).checked_sub(self.kw).map(|v| v / self.stride + 1);
+        let oh = (h + 2 * self.pad)
+            .checked_sub(self.kh)
+            .map(|v| v / self.stride + 1);
+        let ow = (w + 2 * self.pad)
+            .checked_sub(self.kw)
+            .map(|v| v / self.stride + 1);
         match (oh, ow) {
             (Some(oh), Some(ow)) => (oh, ow),
             _ => panic!(
@@ -42,7 +51,12 @@ impl Conv2dGeom {
 
 /// Unfold `[n, c, h, w]` into columns `[n * oh * ow, c * kh * kw]`.
 pub fn im2col<T: Float>(input: &Tensor<T>, g: Conv2dGeom) -> Tensor<T> {
-    assert_eq!(input.ndim(), 4, "im2col expects NCHW, got {:?}", input.shape());
+    assert_eq!(
+        input.ndim(),
+        4,
+        "im2col expects NCHW, got {:?}",
+        input.shape()
+    );
     let (n, c, h, w) = (
         input.shape()[0],
         input.shape()[1],
@@ -59,17 +73,15 @@ pub fn im2col<T: Float>(input: &Tensor<T>, g: Conv2dGeom) -> Tensor<T> {
             let b = patch / (oh * ow);
             let oy = (patch / ow) % oh;
             let ox = patch % ow;
-            let row = unsafe {
-                std::slice::from_raw_parts_mut(out_ptr.0.add(patch * cols_w), cols_w)
-            };
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(patch * cols_w), cols_w) };
             let mut col = 0usize;
             for ch in 0..c {
                 for ky in 0..g.kh {
                     let iy = (oy * g.stride + ky) as isize - g.pad as isize;
                     for kx in 0..g.kw {
                         let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                        row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
-                        {
+                        row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
                             data[((b * c + ch) * h + iy as usize) * w + ix as usize]
                         } else {
                             T::zero()
@@ -95,7 +107,11 @@ pub fn col2im<T: Float>(
 ) -> Tensor<T> {
     let (oh, ow) = g.out_size(h, w);
     let cols_w = c * g.kh * g.kw;
-    assert_eq!(cols.shape(), &[n * oh * ow, cols_w], "col2im shape mismatch");
+    assert_eq!(
+        cols.shape(),
+        &[n * oh * ow, cols_w],
+        "col2im shape mismatch"
+    );
     let data = cols.data();
     let mut out = vec![T::zero(); n * c * h * w];
     for patch in 0..n * oh * ow {
@@ -323,7 +339,10 @@ mod tests {
     #[test]
     fn conv2d_multi_channel() {
         // Two input channels, kernel sums them.
-        let img = t(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let img = t(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
         let k = t(vec![1.0, 1.0], &[1, 2, 1, 1]);
         let out = img.conv2d(&k, None, 1, 0);
         assert_eq!(out.to_vec(), vec![11.0, 22.0, 33.0, 44.0]);
@@ -372,7 +391,10 @@ mod tests {
     fn avg_and_global_pool() {
         let img = t(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
         assert_eq!(img.avg_pool2d(2, 2).to_vec(), vec![2.5]);
-        let two_ch = t(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2]);
+        let two_ch = t(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        );
         assert_eq!(two_ch.global_avg_pool().to_vec(), vec![2.5, 10.0]);
     }
 

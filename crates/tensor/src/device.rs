@@ -16,8 +16,7 @@ use std::thread;
 pub const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// Where a tensor lives and where kernels operating on it execute.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Device {
     /// Single-threaded host execution.
     #[default]
@@ -26,11 +25,12 @@ pub enum Device {
     Accel(usize),
 }
 
-
 impl Device {
     /// A simulated accelerator sized to the host's available parallelism.
     pub fn accel() -> Device {
-        let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let n = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         Device::Accel(n.max(2))
     }
 

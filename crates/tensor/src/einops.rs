@@ -98,7 +98,10 @@ fn parse_side(side: &str) -> Result<Vec<Group>, EinopsError> {
                 let atom = if name == "1" {
                     Atom::Unit
                 } else if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                    && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
                 {
                     Atom::Name(name.to_owned())
                 } else {
@@ -331,7 +334,10 @@ pub fn reduce<T: Num>(
     let mut order: Vec<&String> = right_set.clone();
     order.extend(reduced.iter().copied());
     let (perm, perm_shape) = named_permutation(&left_names, &order, &decomposed);
-    let mut out = t.reshape(&decomposed).reshape(&perm_shape.pre).permute(&perm);
+    let mut out = t
+        .reshape(&decomposed)
+        .reshape(&perm_shape.pre)
+        .permute(&perm);
     for _ in 0..reduced.len() {
         let last = out.ndim() - 1;
         out = match op {
@@ -386,7 +392,10 @@ pub fn repeat<T: Element>(
         .filter(|n| left_set.contains(n))
         .collect();
     let (perm, perm_shape) = named_permutation(&left_names, &kept_order, &decomposed);
-    let mut out = t.reshape(&decomposed).reshape(&perm_shape.pre).permute(&perm);
+    let mut out = t
+        .reshape(&decomposed)
+        .reshape(&perm_shape.pre)
+        .permute(&perm);
 
     // Insert unit dims for new/unit axes, walking the right side.
     let mut with_units = Vec::new();
@@ -443,7 +452,12 @@ fn named_permutation(
     }
     let perm: Vec<usize> = target
         .iter()
-        .map(|t| named_pos.iter().position(|n| n == t).expect("axis resolved earlier"))
+        .map(|t| {
+            named_pos
+                .iter()
+                .position(|n| n == t)
+                .expect("axis resolved earlier")
+        })
         .collect();
     (perm, PermShape { pre })
 }
@@ -470,8 +484,7 @@ fn compose_shape(
 impl<T: Element> Tensor<T> {
     /// [`rearrange`] as a method: `t.rearrange("a b -> b a", &[])`.
     pub fn rearrange(&self, pattern: &str, sizes: &[(&str, usize)]) -> Tensor<T> {
-        rearrange(self, pattern, sizes)
-            .unwrap_or_else(|e| panic!("rearrange('{pattern}'): {e}"))
+        rearrange(self, pattern, sizes).unwrap_or_else(|e| panic!("rearrange('{pattern}'): {e}"))
     }
 }
 
@@ -507,9 +520,12 @@ mod tests {
     fn listing4_tile_split() {
         // 1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2 with h1 = w1 = 3.
         let grid = iota(&[1, 6, 6]);
-        let tiles =
-            rearrange(&grid, "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2", &[("h1", 3), ("w1", 3)])
-                .unwrap();
+        let tiles = rearrange(
+            &grid,
+            "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2",
+            &[("h1", 3), ("w1", 3)],
+        )
+        .unwrap();
         assert_eq!(tiles.shape(), &[9, 1, 2, 2]);
         // Tile row-major ordering: tile (r, c) starts at grid[2r][2c].
         for r in 0..3 {
@@ -541,8 +557,13 @@ mod tests {
     fn reduce_max_pool_2x2() {
         // einops-style pooling: "(h h2) (w w2) -> h w" with max.
         let t = iota(&[4, 4]);
-        let r = reduce(&t, "(h h2) (w w2) -> h w", ReduceOp::Max, &[("h2", 2), ("w2", 2)])
-            .unwrap();
+        let r = reduce(
+            &t,
+            "(h h2) (w w2) -> h w",
+            ReduceOp::Max,
+            &[("h2", 2), ("w2", 2)],
+        )
+        .unwrap();
         assert_eq!(r.shape(), &[2, 2]);
         assert_eq!(r.to_vec(), vec![5.0, 7.0, 13.0, 15.0]);
     }
@@ -613,10 +634,22 @@ mod tests {
     #[test]
     fn error_parse() {
         let t = iota(&[2]);
-        assert!(matches!(rearrange(&t, "a a -> a", &[]), Err(EinopsError::Parse(_))));
-        assert!(matches!(rearrange(&t, "a", &[]), Err(EinopsError::Parse(_))));
-        assert!(matches!(rearrange(&t, "(a -> a", &[]), Err(EinopsError::Parse(_))));
-        assert!(matches!(rearrange(&t, "((a)) -> a", &[]), Err(EinopsError::Parse(_))));
+        assert!(matches!(
+            rearrange(&t, "a a -> a", &[]),
+            Err(EinopsError::Parse(_))
+        ));
+        assert!(matches!(
+            rearrange(&t, "a", &[]),
+            Err(EinopsError::Parse(_))
+        ));
+        assert!(matches!(
+            rearrange(&t, "(a -> a", &[]),
+            Err(EinopsError::Parse(_))
+        ));
+        assert!(matches!(
+            rearrange(&t, "((a)) -> a", &[]),
+            Err(EinopsError::Parse(_))
+        ));
     }
 
     #[test]

@@ -184,8 +184,8 @@ mod tests {
 
     #[test]
     fn fold_identities() {
-        assert!(f32::min_value() < -1e30);
-        assert!(i64::max_value() > 1 << 62);
+        assert!(<f32 as Num>::min_value() < -1e30);
+        assert_eq!(<i64 as Num>::max_value(), i64::MAX);
     }
 
     #[test]

@@ -27,9 +27,8 @@ impl<T: Element> Tensor<T> {
                     src >= 0 && (src as usize) < n,
                     "row index {src} out of bounds for {n} rows"
                 );
-                let dst = unsafe {
-                    std::slice::from_raw_parts_mut(out_ptr.0.add(i * stride), stride)
-                };
+                let dst =
+                    unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * stride), stride) };
                 dst.copy_from_slice(&data[src as usize * stride..(src as usize + 1) * stride]);
             }
         });

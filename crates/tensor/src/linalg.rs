@@ -12,8 +12,18 @@ use crate::tensor::Tensor;
 impl<T: Float> Tensor<T> {
     /// Matrix product. `self` is `[m, k]`, `other` is `[k, n]`.
     pub fn matmul(&self, other: &Tensor<T>) -> Tensor<T> {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-d, got {:?}", self.shape());
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-d, got {:?}", other.shape());
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-d, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-d, got {:?}",
+            other.shape()
+        );
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul inner dims: [{m},{k}] x [{k2},{n}]");
@@ -31,9 +41,7 @@ impl<T: Float> Tensor<T> {
             for i in rows {
                 let arow = &a[i * k..(i + 1) * k];
                 // Row i of the output, written exclusively by this lane.
-                let orow = unsafe {
-                    std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n)
-                };
+                let orow = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(i * n), n) };
                 for (kk, &av) in arow.iter().enumerate() {
                     if av == T::zero() {
                         continue; // sparse-friendly: PE matrices are mostly 0
@@ -59,16 +67,10 @@ impl<T: Float> Tensor<T> {
         let n = other.shape()[2];
         let mut out = Vec::with_capacity(b * m * n);
         for i in 0..b {
-            let lhs = Tensor::from_vec(
-                self.data()[i * m * k..(i + 1) * m * k].to_vec(),
-                &[m, k],
-            )
-            .to(self.device());
-            let rhs = Tensor::from_vec(
-                other.data()[i * k * n..(i + 1) * k * n].to_vec(),
-                &[k, n],
-            )
-            .to(other.device());
+            let lhs = Tensor::from_vec(self.data()[i * m * k..(i + 1) * m * k].to_vec(), &[m, k])
+                .to(self.device());
+            let rhs = Tensor::from_vec(other.data()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n])
+                .to(other.device());
             out.extend_from_slice(lhs.matmul(&rhs).data());
         }
         Tensor::from_vec(out, &[b, m, n]).to(self.device().combine(other.device()))
@@ -88,14 +90,16 @@ impl<T: Float> Tensor<T> {
     /// Matrix-vector product: `[m, k] x [k] -> [m]`.
     pub fn matvec(&self, v: &Tensor<T>) -> Tensor<T> {
         assert_eq!(v.ndim(), 1, "matvec rhs must be 1-d");
-        self.matmul(&v.reshape(&[v.numel(), 1])).reshape(&[self.shape()[0]])
+        self.matmul(&v.reshape(&[v.numel(), 1]))
+            .reshape(&[self.shape()[0]])
     }
 
     /// Outer product of two 1-d tensors: `[m] x [n] -> [m, n]`.
     pub fn outer(&self, other: &Tensor<T>) -> Tensor<T> {
         assert_eq!(self.ndim(), 1, "outer lhs must be 1-d");
         assert_eq!(other.ndim(), 1, "outer rhs must be 1-d");
-        self.reshape(&[self.numel(), 1]).matmul(&other.reshape(&[1, other.numel()]))
+        self.reshape(&[self.numel(), 1])
+            .matmul(&other.reshape(&[1, other.numel()]))
     }
 
     /// Row-wise L2 normalisation of a `[n, d]` matrix (unit embeddings for
@@ -103,9 +107,9 @@ impl<T: Float> Tensor<T> {
     pub fn normalize_rows(&self, eps: f64) -> Tensor<T> {
         assert_eq!(self.ndim(), 2, "normalize_rows needs a matrix");
         let sq = self.mul(self);
-        let norms = sq.sum_dim(1, true).map(|v| {
-            T::from_f64(v.to_f64().sqrt().max(eps))
-        });
+        let norms = sq
+            .sum_dim(1, true)
+            .map(|v| T::from_f64(v.to_f64().sqrt().max(eps)));
         self.div(&norms)
     }
 }

@@ -322,7 +322,10 @@ mod tests {
         let m = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let row = t(vec![10.0, 20.0, 30.0], &[3]);
         let col = t(vec![100.0, 200.0], &[2, 1]);
-        assert_eq!(m.add(&row).to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(
+            m.add(&row).to_vec(),
+            vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
         assert_eq!(
             m.add(&col).to_vec(),
             vec![101.0, 102.0, 103.0, 204.0, 205.0, 206.0]
@@ -330,10 +333,7 @@ mod tests {
         // Outer broadcast: [2,1] vs [1,3] -> [2,3]
         let a = t(vec![1.0, 2.0], &[2, 1]);
         let b = t(vec![10.0, 20.0, 30.0], &[1, 3]);
-        assert_eq!(
-            a.mul(&b).to_vec(),
-            vec![10.0, 20.0, 30.0, 20.0, 40.0, 60.0]
-        );
+        assert_eq!(a.mul(&b).to_vec(), vec![10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
     }
 
     #[test]

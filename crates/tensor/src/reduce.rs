@@ -72,12 +72,22 @@ impl<T: Num> Tensor<T> {
 
     /// Maximum along one dimension.
     pub fn max_dim(&self, dim: usize, keepdim: bool) -> Tensor<T> {
-        self.reduce_dim(dim, keepdim, T::min_value(), |acc, v| if v > acc { v } else { acc })
+        self.reduce_dim(
+            dim,
+            keepdim,
+            T::min_value(),
+            |acc, v| if v > acc { v } else { acc },
+        )
     }
 
     /// Minimum along one dimension.
     pub fn min_dim(&self, dim: usize, keepdim: bool) -> Tensor<T> {
-        self.reduce_dim(dim, keepdim, T::max_value(), |acc, v| if v < acc { v } else { acc })
+        self.reduce_dim(
+            dim,
+            keepdim,
+            T::max_value(),
+            |acc, v| if v < acc { v } else { acc },
+        )
     }
 
     /// Index of the maximum along one dimension.
@@ -152,7 +162,11 @@ impl<T: Num> Tensor<T> {
 
     /// Decompose the shape around `dim` as (outer, len(dim), inner).
     fn split_at_dim(&self, dim: usize) -> (usize, usize, usize) {
-        assert!(dim < self.ndim(), "reduce dim {dim} out of range for rank {}", self.ndim());
+        assert!(
+            dim < self.ndim(),
+            "reduce dim {dim} out of range for rank {}",
+            self.ndim()
+        );
         let dims = self.shape();
         let outer: usize = dims[..dim].iter().product();
         let inner: usize = dims[dim + 1..].iter().product();
@@ -180,7 +194,11 @@ impl<T: Float> Tensor<T> {
 
     /// Euclidean (L2) norm of the whole tensor.
     pub fn norm(&self) -> f64 {
-        self.data().iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+        self.data()
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

@@ -162,10 +162,12 @@ mod tests {
         let mut r = Rng64::new(13);
         let n = 20_000;
         let scale = 10.0; // epsilon = 0.1 as in the paper
-        let mean_abs: f64 =
-            (0..n).map(|_| r.laplace(scale).abs()).sum::<f64>() / n as f64;
+        let mean_abs: f64 = (0..n).map(|_| r.laplace(scale).abs()).sum::<f64>() / n as f64;
         // E|Laplace(0,b)| = b.
-        assert!((mean_abs - scale).abs() < 0.5, "laplace mean abs {mean_abs}");
+        assert!(
+            (mean_abs - scale).abs() < 0.5,
+            "laplace mean abs {mean_abs}"
+        );
     }
 
     #[test]

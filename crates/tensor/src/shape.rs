@@ -101,8 +101,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0usize; ndim];
     for i in 0..ndim {
-        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
-        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        let da = if i < ndim - a.len() {
+            1
+        } else {
+            a[i - (ndim - a.len())]
+        };
+        let db = if i < ndim - b.len() {
+            1
+        } else {
+            b[i - (ndim - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -129,7 +137,10 @@ impl IndexIter {
         } else {
             Some(vec![0usize; shape.len()])
         };
-        IndexIter { shape: shape.to_vec(), next }
+        IndexIter {
+            shape: shape.to_vec(),
+            next,
+        }
     }
 }
 

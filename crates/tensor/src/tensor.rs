@@ -35,7 +35,11 @@ impl<T: Element> Tensor<T> {
             data.len(),
             sh
         );
-        Tensor { data: Arc::new(data), shape: sh, device: Device::Cpu }
+        Tensor {
+            data: Arc::new(data),
+            shape: sh,
+            device: Device::Cpu,
+        }
     }
 
     /// A 0-dimensional (scalar) tensor.
@@ -127,7 +131,12 @@ impl<T: Element> Tensor<T> {
 
     /// The single element of a scalar or 1-element tensor.
     pub fn item(&self) -> T {
-        assert_eq!(self.numel(), 1, "item() on tensor of {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor of {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -162,7 +171,11 @@ impl<T: Element> Tensor<T> {
             self.numel(),
             sh
         );
-        Tensor { data: Arc::clone(&self.data), shape: sh, device: self.device }
+        Tensor {
+            data: Arc::clone(&self.data),
+            shape: sh,
+            device: self.device,
+        }
     }
 
     /// Flatten into 1-d.
@@ -259,7 +272,12 @@ impl<T: Element> Tensor<T> {
 
     /// 2-d transpose.
     pub fn transpose(&self) -> Tensor<T> {
-        assert_eq!(self.ndim(), 2, "transpose() requires a matrix, got {}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "transpose() requires a matrix, got {}",
+            self.shape
+        );
         self.permute(&[1, 0])
     }
 
@@ -280,6 +298,17 @@ impl<T: Element> Tensor<T> {
         let mut out = vec![U::default(); self.numel()];
         self.device.fill_indexed(&mut out, |i| f(data[i]));
         Tensor::from_vec(out, self.shape.dims()).with_device(self.device)
+    }
+
+    /// First `n` rows as a contiguous prefix slice (clamped to the row
+    /// count). One memcpy — no index materialisation or gather.
+    pub fn head_rows(&self, n: usize) -> Tensor<T> {
+        assert!(self.ndim() >= 1, "head_rows() on a scalar");
+        let n = n.min(self.rows());
+        let stride: usize = self.shape.dims()[1..].iter().product();
+        let mut shape = self.shape.dims().to_vec();
+        shape[0] = n;
+        Tensor::from_vec(self.data[..n * stride].to_vec(), &shape).with_device(self.device)
     }
 
     /// Row `i` of a tensor with ndim >= 1, as a tensor of one lower rank.
@@ -337,7 +366,9 @@ impl<T: Num> Tensor<T> {
     pub fn rand_uniform(shape: &[usize], lo: f64, hi: f64, rng: &mut Rng64) -> Tensor<T> {
         let n: usize = shape.iter().product();
         Tensor::from_vec(
-            (0..n).map(|_| T::from_f64(rng.uniform_range(lo, hi))).collect(),
+            (0..n)
+                .map(|_| T::from_f64(rng.uniform_range(lo, hi)))
+                .collect(),
             shape,
         )
     }
@@ -346,7 +377,9 @@ impl<T: Num> Tensor<T> {
     pub fn randn(shape: &[usize], mean: f64, std: f64, rng: &mut Rng64) -> Tensor<T> {
         let n: usize = shape.iter().product();
         Tensor::from_vec(
-            (0..n).map(|_| T::from_f64(rng.normal_with(mean, std))).collect(),
+            (0..n)
+                .map(|_| T::from_f64(rng.normal_with(mean, std)))
+                .collect(),
             shape,
         )
     }
@@ -511,8 +544,8 @@ mod tests {
         let t = a.transpose();
         assert_eq!(t.shape(), &[3, 2]);
         assert_eq!(t.get(&[2, 1]), a.get(&[1, 2]));
-        let p = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4])
-            .permute(&[2, 0, 1]);
+        let p =
+            Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).permute(&[2, 0, 1]);
         assert_eq!(p.shape(), &[4, 2, 3]);
         assert_eq!(p.get(&[3, 1, 2]), 23.0);
     }

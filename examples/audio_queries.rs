@@ -43,7 +43,9 @@ fn main() {
             .col_i64("id", (0..n as i64).collect())
             .build("Sounds"),
     );
-    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(8, 3))));
+    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(
+        8, 3,
+    ))));
 
     banner("filtering by what the clip sounds like");
     for query in ["chirp", "noise", "clicks", "low tone"] {

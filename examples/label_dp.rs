@@ -111,6 +111,10 @@ fn main() {
         println!("{eps:>9} {:>12.3}", test_error(&model, &test_set));
     }
     let clean = train(&train_set, 64, None, 999);
-    println!("{:>9} {:>12.3}  (no noise)", "inf", test_error(&clean, &test_set));
+    println!(
+        "{:>9} {:>12.3}  (no noise)",
+        "inf",
+        test_error(&clean, &test_set)
+    );
     println!("\nsmaller eps = stronger privacy = noisier counts = higher error.");
 }

@@ -43,7 +43,9 @@ fn train_llp(bags: &[tdp_data::income::Bag], epochs: usize, seed: u64) -> Classi
     }
     drop(query);
     drop(tdp); // release the registry's Arc so the TVF can be unwrapped
-    Arc::try_unwrap(tvf).ok().expect("sole owner after session drop")
+    Arc::try_unwrap(tvf)
+        .ok()
+        .expect("sole owner after session drop")
 }
 
 fn test_error(tvf: &ClassifyIncomesTvf, data: &tdp_data::income::IncomeDataset) -> f64 {
@@ -62,7 +64,11 @@ fn main() {
     banner("Dataset: census-like income records");
     let full = generate_income(4096, 0.1, &mut rng);
     let (train, test) = full.split(2048);
-    println!("{} train / {} test records, {NUM_FEATURES} features", train.len(), test.len());
+    println!(
+        "{} train / {} test records, {NUM_FEATURES} features",
+        train.len(),
+        test.len()
+    );
 
     banner("Fully supervised reference (non-LLP)");
     let mut sup_rng = Rng64::new(77);

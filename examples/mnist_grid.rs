@@ -37,7 +37,10 @@ fn main() {
 
     banner("Training data");
     let train = generate_grids(256, &mut rng);
-    println!("{} grids of 3x3 digit tiles, labels = (digit, size) counts", train.len());
+    println!(
+        "{} grids of 3x3 digit tiles, labels = (digit, size) counts",
+        train.len()
+    );
 
     banner("Listing 5: the training loop (MSE on grouped counts)");
     // Mini-batches of grids stabilise the count supervision (single-grid
@@ -45,7 +48,10 @@ fn main() {
     // exp2_reuse bench shows this recipe reaching ~99% parser accuracy at
     // larger budgets.
     let mut opt = Adam::new(query.parameters(), 0.005);
-    let iterations: usize = std::env::var("TDP_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(220);
+    let iterations: usize = std::env::var("TDP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(220);
     let batch = 8;
     for i in 0..iterations {
         opt.zero_grad();
@@ -55,7 +61,10 @@ fn main() {
             tdp.register_tensor("MNIST_Grid", sample.image.reshape(&[1, 1, 84, 84]));
             let predicted = query.run_counts().expect("diff run");
             let l = predicted.mse_loss(&sample.counts);
-            acc = Some(match acc { Some(a) => a.add(&l), None => l });
+            acc = Some(match acc {
+                Some(a) => a.add(&l),
+                None => l,
+            });
         }
         let loss = acc.expect("non-empty batch").div_scalar(batch as f32);
         loss.backward();
@@ -93,10 +102,7 @@ fn main() {
 
     banner("Component reuse (§5.5 Exp. 2): the digit parser standalone");
     let eval = tdp_data::digits::generate_digits(200, &mut test_rng);
-    let logits = tdp_core::nn::module::predict(
-        &tvf.digit_parser,
-        &eval.images,
-    );
+    let logits = tdp_core::nn::module::predict(&tvf.digit_parser, &eval.images);
     let acc = tdp_core::nn::module::accuracy(&logits, &eval.digits);
     println!(
         "digit parser accuracy on 200 standalone digits: {:.1}% \

@@ -37,11 +37,15 @@ fn main() {
     tdp.register_udf(Arc::new(ImageTextSimilarityUdf::new(model)));
 
     banner("Query 1 (filter + count): receipts above similarity 0.8");
-    let q1 = "SELECT COUNT(*) FROM Attachments WHERE image_text_similarity('receipt', images) > 0.80";
+    let q1 =
+        "SELECT COUNT(*) FROM Attachments WHERE image_text_similarity('receipt', images) > 0.80";
     let (r1, t1) = timed(|| tdp.query(q1).unwrap().run().unwrap());
     println!("{}", r1.pretty(3));
-    println!("(ground truth: {} receipts) — {:.2}s",
-        ds.classes.iter().filter(|c| c.is_receipt()).count(), t1);
+    println!(
+        "(ground truth: {} receipts) — {:.2}s",
+        ds.classes.iter().filter(|c| c.is_receipt()).count(),
+        t1
+    );
 
     banner("Query 2 (filter): dog photos");
     let q2 = "SELECT images FROM Attachments WHERE image_text_similarity('dog', images) > 0.80";
@@ -49,7 +53,10 @@ fn main() {
     println!(
         "returned {} image rows (ground truth {}) — {:.2}s",
         r2.rows(),
-        ds.classes.iter().filter(|c| format!("{c:?}") == "PhotoDog").count(),
+        ds.classes
+            .iter()
+            .filter(|c| format!("{c:?}") == "PhotoDog")
+            .count(),
         t2
     );
 

@@ -25,7 +25,13 @@ fn main() {
 
     banner("Dataset: documents with rendered Iris-style tables");
     let (ds, gen_secs) = timed(|| generate_documents(n_docs, g, &mut rng));
-    println!("{} documents of {}x{} px in {:.2}s", ds.len(), g.height, g.width, gen_secs);
+    println!(
+        "{} documents of {}x{} px in {:.2}s",
+        ds.len(),
+        g.height,
+        g.width,
+        gen_secs
+    );
 
     banner("TDP: register raw images + metadata, extract lazily in-query");
     let tdp = Tdp::new();

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release -p tdp-examples --bin quickstart`
 
-use tdp_core::{Device, QueryConfig, Tdp};
 use tdp_core::storage::TableBuilder;
+use tdp_core::{Device, QueryConfig, Tdp};
 use tdp_examples::{banner, timed};
 
 fn main() {
@@ -17,12 +17,17 @@ fn main() {
     banner("Listing 1: ingesting data");
     // A little 'numbers' table: digit observations in two size classes.
     let digits = vec![3.0, 3.0, 7.0, 7.0, 7.0, 1.0, 3.0, 1.0];
-    let sizes = vec!["small", "large", "small", "small", "large", "large", "small", "large"];
+    let sizes = vec![
+        "small", "large", "small", "small", "large", "large", "small", "large",
+    ];
     let table = TableBuilder::new()
         .col_f32("Digits", digits)
         .col_str("Sizes", &sizes)
         .build("numbers");
-    println!("registering 'numbers' ({} rows) into the session catalog", table.rows());
+    println!(
+        "registering 'numbers' ({} rows) into the session catalog",
+        table.rows()
+    );
     tdp.register_table(table);
     let stats = tdp.catalog().get("numbers").unwrap().stats();
     println!("stored as encoded tensor columns: {} bytes", stats.bytes);

@@ -57,14 +57,20 @@ fn boot() -> Tdp {
     tdp.register_udf(Arc::new(ImageTextSimilarityUdf::new(ClipSim::pretrained(
         24, 36, 6, 7,
     ))));
-    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(6, 7))));
+    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(
+        6, 7,
+    ))));
     tdp
 }
 
 fn list_tables(tdp: &Tdp) {
     for name in tdp.catalog().names() {
         let t = tdp.catalog().get(&name).expect("listed");
-        println!("  {name}  ({} rows, {} columns)", t.rows(), t.columns().len());
+        println!(
+            "  {name}  ({} rows, {} columns)",
+            t.rows(),
+            t.columns().len()
+        );
     }
 }
 
@@ -108,7 +114,9 @@ fn run_sql(tdp: &Tdp, sql: &str) {
 fn main() {
     let tdp = boot();
     println!("tdp-rs SQL shell — .help for commands, .quit to exit");
-    println!("demo tables: demo, attachments (images + CLIP-sim UDF), sounds (audio + AudioSim UDF)\n");
+    println!(
+        "demo tables: demo, attachments (images + CLIP-sim UDF), sounds (audio + AudioSim UDF)\n"
+    );
 
     let stdin = io::stdin();
     let interactive = atty_stdin();
@@ -175,5 +183,7 @@ fn main() {
 /// Crude interactivity probe without a libc dependency: scripted runs set
 /// TERM=dumb or pipe stdin, where prompts only add noise.
 fn atty_stdin() -> bool {
-    std::env::var("TDP_REPL_PROMPT").map(|v| v != "0").unwrap_or(true)
+    std::env::var("TDP_REPL_PROMPT")
+        .map(|v| v != "0")
+        .unwrap_or(true)
 }

@@ -19,12 +19,12 @@
 use std::sync::Arc;
 
 use tdp_core::autodiff::Var;
-use tdp_core::exec::{ArgValue, DiffColumn, ExecContext, ExecError, ScalarUdf};
 use tdp_core::encoding::EncodedTensor;
+use tdp_core::exec::{ArgValue, DiffColumn, ExecContext, ExecError, ScalarUdf};
 use tdp_core::nn::{Adam, Optimizer};
+use tdp_core::storage::TableBuilder;
 use tdp_core::tensor::{F32Tensor, Rng64, Tensor};
 use tdp_core::{QueryConfig, Tdp};
-use tdp_core::storage::TableBuilder;
 use tdp_examples::banner;
 
 /// `threshold(x)`: emits the trainable cutoff θ, broadcast to x's rows.
@@ -69,14 +69,22 @@ fn main() {
 
     let tdp = Tdp::new();
     let theta = Var::param(Tensor::from_vec(vec![0.1f32], &[1]));
-    tdp.register_udf(Arc::new(ThresholdUdf { theta: theta.clone() }));
+    tdp.register_udf(Arc::new(ThresholdUdf {
+        theta: theta.clone(),
+    }));
 
     let sql = "SELECT COUNT(*) FROM readings WHERE v > threshold(v)";
     let query = tdp
-        .query_with(sql, QueryConfig::default().trainable(true).temperature(0.05))
+        .query_with(
+            sql,
+            QueryConfig::default().trainable(true).temperature(0.05),
+        )
         .expect("compile");
     println!("trainable query: {sql}");
-    println!("parameters discovered through the plan: {}", query.num_parameters());
+    println!(
+        "parameters discovered through the plan: {}",
+        query.num_parameters()
+    );
 
     banner("training from count supervision (Listing 5 loop)");
     let mut opt = Adam::new(query.parameters(), 0.02);

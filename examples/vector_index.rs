@@ -32,11 +32,16 @@ fn main() {
         }
         Tensor::from_vec(feats, &[n, 9])
     });
-    println!("{n} images -> [{n}, 9] CLIP-sim embeddings in {:.1} ms", embed_secs * 1e3);
+    println!(
+        "{n} images -> [{n}, 9] CLIP-sim embeddings in {:.1} ms",
+        embed_secs * 1e3
+    );
 
     let tdp = Tdp::new();
     tdp.register_table(
-        TableBuilder::new().col_tensor("emb", embeds.clone()).build("Attachments"),
+        TableBuilder::new()
+            .col_tensor("emb", embeds.clone())
+            .build("Attachments"),
     );
 
     banner("building indexes");
@@ -61,11 +66,16 @@ fn main() {
         )
         .expect("ivf index")
     });
-    println!("IVF-Flat index (24 cells, k-means): {:.2} ms", ivf_secs * 1e3);
+    println!(
+        "IVF-Flat index (24 cells, k-means): {:.2} ms",
+        ivf_secs * 1e3
+    );
 
     banner(&format!("top-{K} search: exact vs approximate"));
-    let (exact_again, exact_secs) =
-        timed(|| tdp.vector_topk("Attachments", "emb", &probe, K, 24).unwrap());
+    let (exact_again, exact_secs) = timed(|| {
+        tdp.vector_topk("Attachments", "emb", &probe, K, 24)
+            .unwrap()
+    });
     println!(
         "{:>8} {:>12} {:>10}   first hits",
         "nprobe", "latency us", "recall"
@@ -78,8 +88,10 @@ fn main() {
         &exact_again.iter().map(|h| h.id).take(4).collect::<Vec<_>>()
     );
     for nprobe in [1usize, 2, 4, 8, 16] {
-        let (hits, secs) =
-            timed(|| tdp.vector_topk("Attachments", "emb", &probe, K, nprobe).unwrap());
+        let (hits, secs) = timed(|| {
+            tdp.vector_topk("Attachments", "emb", &probe, K, nprobe)
+                .unwrap()
+        });
         println!(
             "{:>8} {:>12.1} {:>10.3}   {:?}",
             nprobe,

@@ -1,8 +1,8 @@
 //! End-to-end SQL coverage across the whole stack: parser → optimizer →
 //! exact executor → storage, through the public session API only.
 
-use tdp_core::{Device, Tdp};
 use tdp_core::storage::TableBuilder;
+use tdp_core::{Device, Tdp};
 use tdp_integration::orders_table;
 
 fn session() -> Tdp {
@@ -33,11 +33,19 @@ fn run_f32(tdp: &Tdp, sql: &str, col: &str) -> Vec<f32> {
 fn filters_projections_expressions() {
     let tdp = session();
     assert_eq!(
-        run_f32(&tdp, "SELECT price * qty AS total FROM orders WHERE item = 'a' ORDER BY total", "total"),
+        run_f32(
+            &tdp,
+            "SELECT price * qty AS total FROM orders WHERE item = 'a' ORDER BY total",
+            "total"
+        ),
         vec![20.0, 60.0, 150.0]
     );
     assert_eq!(
-        run_f32(&tdp, "SELECT price FROM orders WHERE price BETWEEN 2 AND 4 ORDER BY price DESC", "price"),
+        run_f32(
+            &tdp,
+            "SELECT price FROM orders WHERE price BETWEEN 2 AND 4 ORDER BY price DESC",
+            "price"
+        ),
         vec![4.0, 3.0, 2.5, 2.0]
     );
 }
@@ -46,13 +54,18 @@ fn filters_projections_expressions() {
 fn aggregation_pipeline() {
     let tdp = session();
     let out = tdp
-        .query("SELECT item, COUNT(*), SUM(qty), AVG(price), MIN(price), MAX(price) \
-                FROM orders GROUP BY item ORDER BY item")
+        .query(
+            "SELECT item, COUNT(*), SUM(qty), AVG(price), MIN(price), MAX(price) \
+                FROM orders GROUP BY item ORDER BY item",
+        )
         .unwrap()
         .run()
         .unwrap();
     assert_eq!(out.rows(), 3);
-    assert_eq!(out.column("item").unwrap().data.decode_strings(), vec!["a", "b", "c"]);
+    assert_eq!(
+        out.column("item").unwrap().data.decode_strings(),
+        vec!["a", "b", "c"]
+    );
     assert_eq!(
         out.column("SUM(qty)").unwrap().data.decode_f32().to_vec(),
         vec![110.0, 60.0, 40.0]
@@ -67,8 +80,10 @@ fn aggregation_pipeline() {
 fn having_and_arithmetic_over_aggregates() {
     let tdp = session();
     let out = tdp
-        .query("SELECT item, SUM(qty) / COUNT(*) AS mean_qty FROM orders \
-                GROUP BY item HAVING COUNT(*) > 1 ORDER BY item")
+        .query(
+            "SELECT item, SUM(qty) / COUNT(*) AS mean_qty FROM orders \
+                GROUP BY item HAVING COUNT(*) > 1 ORDER BY item",
+        )
         .unwrap()
         .run()
         .unwrap();
@@ -83,8 +98,10 @@ fn having_and_arithmetic_over_aggregates() {
 fn joins_through_the_session() {
     let tdp = session();
     let out = tdp
-        .query("SELECT item, SUM(weight * qty) AS load FROM orders JOIN items \
-                ON orders.item = items.item GROUP BY item ORDER BY item")
+        .query(
+            "SELECT item, SUM(weight * qty) AS load FROM orders JOIN items \
+                ON orders.item = items.item GROUP BY item ORDER BY item",
+        )
         .unwrap()
         .run()
         .unwrap();
@@ -116,11 +133,19 @@ fn nested_subqueries() {
 fn order_by_limit_topk() {
     let tdp = session();
     assert_eq!(
-        run_f32(&tdp, "SELECT price FROM orders ORDER BY price DESC LIMIT 2", "price"),
+        run_f32(
+            &tdp,
+            "SELECT price FROM orders ORDER BY price DESC LIMIT 2",
+            "price"
+        ),
         vec![5.0, 4.0]
     );
     assert_eq!(
-        run_f32(&tdp, "SELECT qty FROM orders ORDER BY item ASC, qty DESC LIMIT 3", "qty"),
+        run_f32(
+            &tdp,
+            "SELECT qty FROM orders ORDER BY item ASC, qty DESC LIMIT 3",
+            "qty"
+        ),
         vec![60.0, 30.0, 20.0]
     );
 }
@@ -131,7 +156,10 @@ fn results_identical_across_devices() {
     let sql = "SELECT item, SUM(price * qty) AS v FROM orders GROUP BY item ORDER BY item";
     let cpu = tdp.query(sql).unwrap().run().unwrap();
     let accel = tdp
-        .query_with(sql, tdp_core::QueryConfig::default().device(Device::accel()))
+        .query_with(
+            sql,
+            tdp_core::QueryConfig::default().device(Device::accel()),
+        )
         .unwrap()
         .run()
         .unwrap();
@@ -146,7 +174,11 @@ fn results_identical_across_devices() {
 fn dictionary_range_predicates() {
     let tdp = session();
     assert_eq!(
-        run_f32(&tdp, "SELECT qty FROM orders WHERE item >= 'b' ORDER BY qty", "qty"),
+        run_f32(
+            &tdp,
+            "SELECT qty FROM orders WHERE item >= 'b' ORDER BY qty",
+            "qty"
+        ),
         vec![10.0, 40.0, 50.0]
     );
 }
@@ -154,9 +186,17 @@ fn dictionary_range_predicates() {
 #[test]
 fn errors_are_informative() {
     let tdp = session();
-    let e = tdp.query("SELECT nope FROM orders").unwrap().run().unwrap_err();
+    // Unknown columns over a known table fail at compile time now that
+    // lowering slot-resolves against the catalog schema.
+    let e = tdp.query("SELECT nope FROM orders").unwrap_err();
     assert!(e.to_string().contains("nope"));
-    let e2 = tdp.query("SELECT * FROM ghosts").unwrap().run().unwrap_err();
+    // Unknown tables still fail at run time (the table may be registered
+    // after compilation, as in the paper's training loop).
+    let e2 = tdp
+        .query("SELECT * FROM ghosts")
+        .unwrap()
+        .run()
+        .unwrap_err();
     assert!(e2.to_string().contains("ghosts"));
     assert!(tdp.query("SELECT FROM WHERE").is_err());
 }

@@ -203,13 +203,22 @@ fn vector_index_recall_against_exact() {
     )
     .unwrap();
     let full_probe = tdp.vector_topk("vecs", "emb", &q, 10, 16).unwrap();
-    assert!(recall_at_k(&exact, &full_probe) > 0.99, "full probe must be exact");
+    assert!(
+        recall_at_k(&exact, &full_probe) > 0.99,
+        "full probe must be exact"
+    );
     // On unclustered data recall grows with probe depth; a single probe
     // may legitimately miss most of the true top-k.
     let one = recall_at_k(&exact, &tdp.vector_topk("vecs", "emb", &q, 10, 1).unwrap());
     let eight = recall_at_k(&exact, &tdp.vector_topk("vecs", "emb", &q, 10, 8).unwrap());
-    assert!(eight >= one, "recall must not shrink with nprobe: {one} vs {eight}");
-    assert!(eight > 0.5, "8/16 probes should recover most of the top-k: {eight}");
+    assert!(
+        eight >= one,
+        "recall must not shrink with nprobe: {one} vs {eight}"
+    );
+    assert!(
+        eight > 0.5,
+        "8/16 probes should recover most of the top-k: {eight}"
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -230,7 +239,9 @@ fn sql_filters_and_searches_audio_clips() {
             .col_i64("id", (0..30).collect())
             .build("Sounds"),
     );
-    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(6, 7))));
+    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(
+        6, 7,
+    ))));
 
     // Filter clips by natural-language criterion (the audio Listing 7).
     let out = tdp
@@ -238,7 +249,11 @@ fn sql_filters_and_searches_audio_clips() {
         .unwrap()
         .run()
         .unwrap();
-    let expected = ds.classes.iter().filter(|c| **c == AudioClass::Chirp).count() as i64;
+    let expected = ds
+        .classes
+        .iter()
+        .filter(|c| **c == AudioClass::Chirp)
+        .count() as i64;
     assert_eq!(
         out.column("COUNT(*)").unwrap().data.decode_i64().at(0),
         expected
@@ -261,7 +276,11 @@ fn sql_filters_and_searches_audio_clips() {
     // Vector search over audio embeddings through the session index.
     let model = AudioSim::pretrained(6, 7);
     let embeds = model.embed_batch(&ds.clips);
-    tdp.register_table(TableBuilder::new().col_tensor("emb", embeds.clone()).build("AEmb"));
+    tdp.register_table(
+        TableBuilder::new()
+            .col_tensor("emb", embeds.clone())
+            .build("AEmb"),
+    );
     tdp.create_vector_index("AEmb", "emb", Metric::Cosine, IndexKind::Flat, 0)
         .unwrap();
     let probe = embeds.row(2); // a chirp
@@ -285,7 +304,9 @@ fn sql_filters_video_clips_by_motion() {
             .col_i64("id", (0..24).collect())
             .build("Videos"),
     );
-    tdp.register_udf(Arc::new(VideoTextSimilarityUdf::new(VideoSim::pretrained(6, 5))));
+    tdp.register_udf(Arc::new(VideoTextSimilarityUdf::new(VideoSim::pretrained(
+        6, 5,
+    ))));
 
     // "find clips where something moves" — the video-analytics query shape.
     let out = tdp
@@ -334,14 +355,22 @@ fn query_results_render_to_ppm_and_wav() {
             .col_tensor("clip", ds.clips.clone())
             .build("Sounds"),
     );
-    let result = tdp.query("SELECT clip FROM Sounds LIMIT 2").unwrap().run().unwrap();
+    let result = tdp
+        .query("SELECT clip FROM Sounds LIMIT 2")
+        .unwrap()
+        .run()
+        .unwrap();
     let wav = render::column_row_to_wav(&result, "clip", 0, SAMPLE_RATE as u32).unwrap();
     assert_eq!(&wav[..4], b"RIFF");
     assert_eq!(wav.len(), 44 + 2 * ds.clips.shape()[1]);
 
     // Image rendering over a generated attachment.
     let att = generate_attachments(2, 8, 12, &mut rng);
-    tdp.register_table(TableBuilder::new().col_tensor("img", att.images).build("Imgs"));
+    tdp.register_table(
+        TableBuilder::new()
+            .col_tensor("img", att.images)
+            .build("Imgs"),
+    );
     let imgs = tdp.query("SELECT img FROM Imgs").unwrap().run().unwrap();
     let ppm = render::column_row_to_ppm(&imgs, "img", 1).unwrap();
     assert!(ppm.starts_with(b"P6\n12 8\n255\n"));
@@ -361,7 +390,10 @@ impl ScalarUdf for ThresholdUdf {
     }
     fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
         let n = args[0].as_column()?.rows();
-        Ok(EncodedTensor::F32(Tensor::full(&[n], self.theta.value().at(0))))
+        Ok(EncodedTensor::F32(Tensor::full(
+            &[n],
+            self.theta.value().at(0),
+        )))
     }
     fn invoke_diff(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<DiffColumn, ExecError> {
         let n = match &args[0] {
@@ -381,14 +413,20 @@ fn where_threshold_learns_from_counts() {
     let mut rng = Rng64::new(11);
     let tdp = Tdp::new();
     let theta = Var::param(Tensor::from_vec(vec![0.0f32], &[1]));
-    tdp.register_udf(Arc::new(ThresholdUdf { theta: theta.clone() }));
+    tdp.register_udf(Arc::new(ThresholdUdf {
+        theta: theta.clone(),
+    }));
     let q = tdp
         .query_with(
             "SELECT COUNT(*) FROM readings WHERE v > threshold(v)",
             QueryConfig::default().trainable(true).temperature(0.05),
         )
         .unwrap();
-    assert_eq!(q.num_parameters(), 1, "threshold parameter must be discovered");
+    assert_eq!(
+        q.num_parameters(),
+        1,
+        "threshold parameter must be discovered"
+    );
 
     let true_cut = 0.4f32;
     let mut opt = Adam::new(q.parameters(), 0.05);
@@ -425,11 +463,7 @@ impl ScalarUdf for FixedScoreUdf {
     fn invoke(&self, _args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
         Ok(EncodedTensor::F32(self.scores.value()))
     }
-    fn invoke_diff(
-        &self,
-        _args: &[ArgValue],
-        _ctx: &ExecContext,
-    ) -> Result<DiffColumn, ExecError> {
+    fn invoke_diff(&self, _args: &[ArgValue], _ctx: &ExecContext) -> Result<DiffColumn, ExecError> {
         Ok(DiffColumn::plain(self.scores.clone()))
     }
     fn parameters(&self) -> Vec<Var> {
@@ -441,7 +475,9 @@ impl ScalarUdf for FixedScoreUdf {
 fn trainable_topk_query_produces_soft_weights() {
     let tdp = Tdp::new();
     let scores = Var::param(Tensor::from_vec(vec![0.1f32, 0.9, 0.5, 0.2], &[4]));
-    tdp.register_udf(Arc::new(FixedScoreUdf { scores: scores.clone() }));
+    tdp.register_udf(Arc::new(FixedScoreUdf {
+        scores: scores.clone(),
+    }));
     tdp.register_table(
         TableBuilder::new()
             .col_f32("x", vec![1.0, 2.0, 3.0, 4.0])

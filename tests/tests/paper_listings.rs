@@ -59,14 +59,13 @@ fn listing4_parse_mnist_grid_tvf() {
         grids.samples[0].image.reshape(&[1, 1, 84, 84]),
     );
     let q = tdp
-        .query("SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size")
+        .query(
+            "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) GROUP BY Digit, Size",
+        )
         .expect("compile");
     let out = q.run().expect("run");
     // Exact mode groups observed (argmax) classes; total count is 9 tiles.
-    assert_eq!(
-        out.column("COUNT(*)").unwrap().data.decode_i64().sum(),
-        9
-    );
+    assert_eq!(out.column("COUNT(*)").unwrap().data.decode_i64().sum(), 9);
 }
 
 /// Listing 5 + 6: the trainable query inside a gradient-descent loop.
@@ -144,7 +143,12 @@ fn listing8_sql_over_ocr_documents() {
     );
     let out = tdp.query(&sql).unwrap().run().unwrap();
     assert_eq!(out.rows(), 1);
-    let avg_sepal = out.column("AVG(SepalLength)").unwrap().data.decode_f32().at(0);
+    let avg_sepal = out
+        .column("AVG(SepalLength)")
+        .unwrap()
+        .data
+        .decode_f32()
+        .at(0);
     let truth = ds.tables[1].narrow(1, 0, 1).mean() as f32;
     assert!(
         (avg_sepal - truth).abs() < 0.05,

@@ -7,7 +7,7 @@ use tdp_core::autodiff::Var;
 use tdp_core::encoding::{PeTensor, RleColumn, StringDict};
 use tdp_core::exec::soft;
 use tdp_core::storage::TableBuilder;
-use tdp_core::tensor::{Tensor};
+use tdp_core::tensor::Tensor;
 use tdp_core::Tdp;
 
 proptest! {
@@ -401,6 +401,89 @@ proptest! {
                 (got.at(i) - expect).abs() < 1e-3,
                 "row {i}: got {} expect {expect}", got.at(i)
             );
+        }
+    }
+
+    /// Lowered physical plans preserve exact-path semantics: for randomly
+    /// generated filter → project pipelines, the slot-resolved execution
+    /// matches a plain-Rust reference row for row.
+    #[test]
+    fn lowered_filter_project_matches_reference(
+        values in proptest::collection::vec(-50.0f32..50.0, 1..60),
+        threshold in -50.0f32..50.0,
+        scale in -4.0f32..4.0,
+        shift in -10.0f32..10.0
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("v", values.clone()).build("t"));
+        let sql = format!("SELECT v * {scale} + {shift} AS y FROM t WHERE v > {threshold}");
+        let q = tdp.query(&sql).unwrap();
+        // The compiled plan resolved the column to a slot.
+        prop_assert!(q.explain().contains("v@0"), "{}", q.explain());
+        let got = q.run().unwrap().column("y").unwrap().data.decode_f32().to_vec();
+        let expect: Vec<f32> = values
+            .iter()
+            .filter(|&&v| v > threshold)
+            .map(|&v| v * scale + shift)
+            .collect();
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+        }
+    }
+
+    /// Lowered physical plans preserve exact-path semantics for randomly
+    /// generated filter → group → order → limit pipelines, and repeated
+    /// compilation through the plan cache is fingerprint-stable.
+    #[test]
+    fn lowered_groupby_pipeline_matches_reference(
+        values in proptest::collection::vec(-20.0f32..20.0, 1..50),
+        keys in proptest::collection::vec(0i64..5, 50),
+        threshold in -20.0f32..20.0,
+        limit in 1u64..8
+    ) {
+        let n = values.len();
+        let keys = &keys[..n];
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("v", values.clone())
+                .col_i64("k", keys.to_vec())
+                .build("t"),
+        );
+        let sql = format!(
+            "SELECT k, COUNT(*), SUM(v) FROM t WHERE v > {threshold} \
+             GROUP BY k ORDER BY k LIMIT {limit}"
+        );
+        let q1 = tdp.query(&sql).unwrap();
+        let q2 = tdp.query(&sql).unwrap();
+        prop_assert_eq!(q1.fingerprint(), q2.fingerprint(), "cache must be stable");
+        let out = q1.run().unwrap();
+
+        // Plain-Rust reference of the same pipeline.
+        let mut groups: std::collections::BTreeMap<i64, (i64, f64)> =
+            std::collections::BTreeMap::new();
+        for (v, k) in values.iter().zip(keys) {
+            if *v > threshold {
+                let e = groups.entry(*k).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += *v as f64;
+            }
+        }
+        let expect: Vec<(i64, i64, f64)> = groups
+            .into_iter()
+            .map(|(k, (c, s))| (k, c, s))
+            .take(limit as usize)
+            .collect();
+
+        let got_keys = out.column("k").unwrap().data.decode_i64();
+        let got_counts = out.column("COUNT(*)").unwrap().data.decode_i64();
+        let got_sums = out.column("SUM(v)").unwrap().data.decode_f32();
+        prop_assert_eq!(out.rows(), expect.len());
+        for (i, (k, c, s)) in expect.iter().enumerate() {
+            prop_assert_eq!(got_keys.at(i), *k);
+            prop_assert_eq!(got_counts.at(i), *c);
+            prop_assert!((got_sums.at(i) as f64 - s).abs() < 0.05);
         }
     }
 

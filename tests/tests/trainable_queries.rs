@@ -5,11 +5,13 @@
 use std::sync::Arc;
 
 use tdp_core::autodiff::Var;
-use tdp_core::exec::{ArgValue, Batch, ColumnData, DiffColumn, ExecContext, ExecError, ScalarUdf, TableFunction};
 use tdp_core::encoding::EncodedTensor;
+use tdp_core::exec::{
+    ArgValue, Batch, ColumnData, DiffColumn, ExecContext, ExecError, ScalarUdf, TableFunction,
+};
 use tdp_core::nn::{Adam, Optimizer};
 use tdp_core::storage::TableBuilder;
-use tdp_core::tensor::{Rng64, Tensor};
+use tdp_core::tensor::Tensor;
 use tdp_core::{QueryConfig, Tdp};
 
 /// TVF emitting a PE column driven by a trainable logits parameter.
@@ -54,7 +56,10 @@ fn fixture(n: usize, classes: usize) -> (Tdp, Var) {
             .build("rows"),
     );
     let logits = Var::param(Tensor::<f32>::zeros(&[n, classes]));
-    tdp.register_tvf(Arc::new(LogitClassifier { logits: logits.clone(), classes }));
+    tdp.register_tvf(Arc::new(LogitClassifier {
+        logits: logits.clone(),
+        classes,
+    }));
     (tdp, logits)
 }
 
@@ -78,11 +83,19 @@ fn soft_equals_exact_for_confident_models() {
     // (argmax-decoded) counts — the inference swap is then error-free.
     let (tdp, logits) = fixture(6, 2);
     let sharp: Vec<f32> = (0..6)
-        .flat_map(|i| if i % 3 == 0 { [30.0, -30.0] } else { [-30.0, 30.0] })
+        .flat_map(|i| {
+            if i % 3 == 0 {
+                [30.0, -30.0]
+            } else {
+                [-30.0, 30.0]
+            }
+        })
         .collect();
     logits.set_value(Tensor::from_vec(sharp, &[6, 2]));
     let sql = "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label";
-    let q = tdp.query_with(sql, QueryConfig::default().trainable(true)).unwrap();
+    let q = tdp
+        .query_with(sql, QueryConfig::default().trainable(true))
+        .unwrap();
     let soft = q.run_counts().unwrap().value();
     let exact = q.run().unwrap();
     let exact_counts = exact.column("COUNT(*)").unwrap().data.decode_f32();
@@ -145,7 +158,9 @@ fn weighted_soft_filter_flows_gradients() {
                 ArgValue::DiffColumn(d) => d.var.clone(),
                 other => return Err(ExecError::TypeMismatch(format!("{other:?}"))),
             };
-            Ok(DiffColumn::plain(x.mul(&self.w.broadcast_to(&[x.shape()[0]]))))
+            Ok(DiffColumn::plain(
+                x.mul(&self.w.broadcast_to(&[x.shape()[0]])),
+            ))
         }
         fn parameters(&self) -> Vec<Var> {
             vec![self.w.clone()]
@@ -179,7 +194,10 @@ fn weighted_soft_filter_flows_gradients() {
         opt.step();
         last = loss.value().item();
     }
-    assert!(last < 0.05, "trainable filter should fit the target count: {last}");
+    assert!(
+        last < 0.05,
+        "trainable filter should fit the target count: {last}"
+    );
     // Exact execution of the trained query returns an integer count near 2.
     let exact = q.run().unwrap();
     let c = exact.column("COUNT(*)").unwrap().data.decode_i64().at(0);
@@ -206,7 +224,9 @@ fn group_order_is_lexicographic_in_both_modes() {
     }
     logits.set_value(Tensor::from_vec(l, &[4, 3]));
     let sql = "SELECT Label, COUNT(*) FROM classify(rows) GROUP BY Label";
-    let q = tdp.query_with(sql, QueryConfig::default().trainable(true)).unwrap();
+    let q = tdp
+        .query_with(sql, QueryConfig::default().trainable(true))
+        .unwrap();
     // Soft mode: dense table over all classes 0,1,2.
     let soft_batch = q.run_diff().unwrap();
     let labels = soft_batch.column("Label").unwrap().to_exact().decode_f32();
