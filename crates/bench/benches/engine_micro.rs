@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tdp_core::storage::TableBuilder;
 use tdp_core::tensor::{Rng64, Tensor};
-use tdp_core::{QueryConfig, Tdp};
+use tdp_core::{ParamValues, QueryConfig, Tdp};
 
 fn session(n: usize) -> Tdp {
     let mut rng = Rng64::new(9);
@@ -103,6 +103,46 @@ fn bench_compiled_vs_uncompiled_repeated(c: &mut Criterion) {
     let compiled = tdp.query(sql).expect("compile");
     group.bench_function("compile_once_run_many", |b| {
         b.iter(|| compiled.run().expect("run"))
+    });
+    group.finish();
+}
+
+fn bench_prepared_rebind_vs_requery(c: &mut Criterion) {
+    // The prepared-statement story, per training-loop iteration: issuing
+    // the same query shape with a fresh literal each time. `requery` pays
+    // parse + literal extraction + a plan-cache probe per iteration (the
+    // plan itself is shared — literals normalize to parameter slots);
+    // `bind_and_run` pays only an arity check and a values vector. Small
+    // table so per-iteration overhead (not kernels) dominates.
+    let tdp = session(1_000);
+    let sql = "SELECT label, SUM(v) AS s FROM t WHERE v > ? GROUP BY label";
+    let prepared = tdp.prepare(sql).expect("prepare");
+    let mut group = c.benchmark_group("prepared_rebind_1k_rows");
+    group.sample_size(50);
+    let mut i = 0u64;
+    group.bench_function("requery_fresh_literal", |b| {
+        b.iter(|| {
+            i += 1;
+            let t = (i % 100) as f64 * 0.01;
+            tdp.query(&format!(
+                "SELECT label, SUM(v) AS s FROM t WHERE v > {t} GROUP BY label"
+            ))
+            .expect("compile")
+            .run()
+            .expect("run")
+        })
+    });
+    let mut j = 0u64;
+    group.bench_function("bind_and_run", |b| {
+        b.iter(|| {
+            j += 1;
+            let t = (j % 100) as f64 * 0.01;
+            prepared
+                .bind(ParamValues::new().number(t))
+                .expect("bind")
+                .run()
+                .expect("run")
+        })
     });
     group.finish();
 }
@@ -209,6 +249,7 @@ criterion_group!(
     bench_soft_vs_exact_groupby,
     bench_compilation,
     bench_compiled_vs_uncompiled_repeated,
+    bench_prepared_rebind_vs_requery,
     bench_encodings,
     bench_compressed_encodings,
     bench_topk_vs_full_sort

@@ -1,9 +1,19 @@
-//! Compiled queries: the "query as a PyTorch model" object.
+//! Prepared statements and bound queries: the "query as a PyTorch model"
+//! object, split into its compile-time and run-time halves.
+//!
+//! [`crate::Tdp::prepare`] parses, auto-parameterises, optimises and
+//! lowers SQL **once** into a [`Prepared`] statement — the shareable,
+//! value-free compilation. [`Prepared::bind`] attaches parameter values
+//! (a [`ParamValues`] built with the typed [`ParamValue`] constructors)
+//! and yields a [`BoundQuery`], which executes through the exact,
+//! profiled or differentiable executors. Training loops prepare once and
+//! re-bind per iteration; `Tdp::query` keeps working by desugaring to a
+//! zero-parameter prepare + bind.
 
 use std::sync::Arc;
 
 use tdp_autodiff::Var;
-use tdp_exec::{Batch, ColumnData, ExecContext, PhysicalPlan};
+use tdp_exec::{Batch, ColumnData, ExecContext, ParamValue, ParamValues, PhysicalPlan};
 use tdp_sql::ast::Expr;
 use tdp_sql::plan::LogicalPlan;
 use tdp_storage::Table;
@@ -51,42 +61,75 @@ impl QueryConfig {
     }
 }
 
-/// A compiled query. Like a compiled PyTorch model it can be executed
-/// repeatedly (inputs are re-resolved from the catalog on every run, so the
-/// Listing-5 pattern of re-registering the input tensor each iteration
-/// works), moved across devices at compile time, inspected via
-/// [`CompiledQuery::explain`], and — when trainable — differentiated
-/// end-to-end through [`CompiledQuery::run_diff`].
-///
-/// Compilation happens once, at [`Tdp::query`] time: the optimised logical
-/// plan is lowered into a slot-resolved [`PhysicalPlan`] shared by the
-/// exact and differentiable executors. Repeated `run()` calls dispatch
-/// kernels directly — no plan walking, no per-run name resolution.
-pub struct CompiledQuery<'s> {
+/// A prepared statement: SQL compiled into a slot-resolved
+/// [`PhysicalPlan`] with `$n` parameter slots for its placeholders *and*
+/// for every literal the session auto-parameterised. Binding is cheap —
+/// two `Arc` clones and a values vector — so the prepare-once /
+/// bind-per-iteration loop pays kernel dispatch only.
+pub struct Prepared<'s> {
     session: &'s Tdp,
     plan: Arc<LogicalPlan>,
     physical: Arc<PhysicalPlan>,
     fingerprint: u64,
     config: QueryConfig,
+    /// Slots the caller must supply: `?` / `$n` placeholders in the text.
+    explicit_params: usize,
+    /// Literals extracted at prepare time, bound automatically after the
+    /// explicit slots.
+    implicit: Vec<ParamValue>,
 }
 
-impl<'s> CompiledQuery<'s> {
-    /// `fingerprint` is computed once at lowering time and threaded
-    /// through — plan-cache hits must not re-render the plan to hash it.
+impl<'s> Prepared<'s> {
     pub(crate) fn new(
         session: &'s Tdp,
         plan: Arc<LogicalPlan>,
         physical: Arc<PhysicalPlan>,
         fingerprint: u64,
         config: QueryConfig,
+        explicit_params: usize,
+        implicit: Vec<ParamValue>,
     ) -> Self {
-        CompiledQuery {
+        Prepared {
             session,
             plan,
             physical,
             fingerprint,
             config,
+            explicit_params,
+            implicit,
         }
+    }
+
+    /// Number of values [`Prepared::bind`] expects (explicit placeholders
+    /// only; auto-extracted literals are bound behind the scenes).
+    pub fn param_count(&self) -> usize {
+        self.explicit_params
+    }
+
+    /// Attach parameter values, producing an executable [`BoundQuery`].
+    /// The binding must cover exactly the statement's explicit
+    /// placeholders; type errors surface at execution time, when slots
+    /// meet operators.
+    pub fn bind(&self, params: ParamValues) -> Result<BoundQuery<'s>, TdpError> {
+        if params.len() != self.explicit_params {
+            return Err(TdpError::Session(format!(
+                "statement expects {} parameter(s), {} bound",
+                self.explicit_params,
+                params.len()
+            )));
+        }
+        let mut all = params;
+        for v in &self.implicit {
+            all.push(v.clone());
+        }
+        Ok(BoundQuery {
+            session: self.session,
+            plan: Arc::clone(&self.plan),
+            physical: Arc::clone(&self.physical),
+            fingerprint: self.fingerprint,
+            config: self.config,
+            params: all,
+        })
     }
 
     /// The optimised logical plan.
@@ -99,26 +142,159 @@ impl<'s> CompiledQuery<'s> {
         &self.physical
     }
 
-    /// Stable fingerprint of the physical plan; identical SQL compiled
-    /// against an unchanged catalog yields the same value (the plan-cache
-    /// identity).
+    /// Stable fingerprint of the physical plan. Literal-invariant: SQL
+    /// texts differing only in constants prepare to the same value.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
 
-    /// EXPLAIN-style rendering: the optimised logical tree followed by the
-    /// physical tree with resolved slots.
+    pub fn config(&self) -> QueryConfig {
+        self.config
+    }
+
+    /// EXPLAIN-style rendering with `$n` parameter slots and a trailing
+    /// `params:` line (see [`render_explain`]).
     pub fn explain(&self) -> String {
-        format!(
-            "== logical ==\n{}== physical (fingerprint {:016x}) ==\n{}",
-            self.plan.explain(),
-            self.fingerprint,
-            self.physical.explain()
-        )
+        let total = self.explicit_params + self.implicit.len();
+        let trailer = if total == 0 {
+            "params: none".to_string()
+        } else {
+            format!(
+                "params: {total} [{}] ({} explicit, {} auto-extracted)",
+                param_slots(&self.physical).join(", "),
+                self.explicit_params,
+                self.implicit.len()
+            )
+        };
+        render_explain(&self.plan, &self.physical, self.fingerprint, &trailer)
+    }
+
+    /// Trainable parameters of the functions this statement references —
+    /// available before binding so optimizers can be constructed once.
+    pub fn parameters(&self) -> Vec<Var> {
+        collect_plan_parameters(self.session, &self.plan)
+    }
+
+    /// Total trainable scalars across [`Prepared::parameters`].
+    pub fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+}
+
+impl std::fmt::Debug for Prepared<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("param_count", &self.explicit_params)
+            .field("auto_params", &self.implicit.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The physical plan's parameter slots rendered `$n`-style.
+fn param_slots(physical: &PhysicalPlan) -> Vec<String> {
+    physical
+        .param_indices()
+        .into_iter()
+        .map(|i| format!("${}", i + 1))
+        .collect()
+}
+
+/// Shared EXPLAIN rendering: logical tree, physical tree (with `$n`
+/// slots), then a `params:` trailer listing the inferred slot count and
+/// positions.
+fn render_explain(
+    plan: &LogicalPlan,
+    physical: &PhysicalPlan,
+    fingerprint: u64,
+    params_trailer: &str,
+) -> String {
+    format!(
+        "== logical ==\n{}== physical (fingerprint {:016x}) ==\n{}{params_trailer}\n",
+        plan.explain(),
+        fingerprint,
+        physical.explain()
+    )
+}
+
+/// A compiled query with its parameter values attached. Like a compiled
+/// PyTorch model it can be executed repeatedly (inputs are re-resolved
+/// from the catalog on every run, so the Listing-5 pattern of
+/// re-registering the input tensor each iteration works), moved across
+/// devices at compile time, inspected via [`BoundQuery::explain`], and —
+/// when trainable — differentiated end-to-end through
+/// [`BoundQuery::run_diff`].
+///
+/// [`CompiledQuery`] is the historical name for the zero-parameter case
+/// produced by [`Tdp::query`]; both are the same type.
+pub struct BoundQuery<'s> {
+    session: &'s Tdp,
+    plan: Arc<LogicalPlan>,
+    physical: Arc<PhysicalPlan>,
+    fingerprint: u64,
+    config: QueryConfig,
+    params: ParamValues,
+}
+
+/// What [`Tdp::query`] returns: a [`BoundQuery`] whose binding came from
+/// a zero-placeholder prepare.
+pub type CompiledQuery<'s> = BoundQuery<'s>;
+
+impl<'s> BoundQuery<'s> {
+    /// The optimised logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// The lowered physical plan (slots resolved, functions bound).
+    pub fn physical_plan(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// Stable fingerprint of the physical plan; literal-invariant, so two
+    /// queries differing only in constants (or bindings) share it — the
+    /// plan-cache identity.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// EXPLAIN-style rendering: the optimised logical tree, the physical
+    /// tree with resolved slots and `$n` parameters, and the `params:`
+    /// trailer.
+    pub fn explain(&self) -> String {
+        let trailer = if self.params.is_empty() {
+            "params: none".to_string()
+        } else {
+            format!(
+                "params: {} [{}] (bound)",
+                self.params.len(),
+                param_slots(&self.physical).join(", ")
+            )
+        };
+        render_explain(&self.plan, &self.physical, self.fingerprint, &trailer)
     }
 
     pub fn config(&self) -> QueryConfig {
         self.config
+    }
+
+    /// The values this query will run with (explicit then implicit).
+    pub fn params(&self) -> &ParamValues {
+        &self.params
+    }
+
+    fn exec_context<'a>(&self, udfs: &'a tdp_exec::UdfRegistry, trainable: bool) -> ExecContext<'a>
+    where
+        's: 'a,
+    {
+        ExecContext {
+            catalog: self.session.catalog(),
+            udfs,
+            device: self.config.device,
+            trainable,
+            temperature: self.config.temperature,
+            params: self.params.clone(),
+        }
     }
 
     /// Execute with exact operators, producing a result table. Works for
@@ -126,13 +302,7 @@ impl<'s> CompiledQuery<'s> {
     /// soft operators for exact ones.
     pub fn run(&self) -> Result<Table, TdpError> {
         let udfs = self.session.udfs_snapshot();
-        let ctx = ExecContext {
-            catalog: self.session.catalog(),
-            udfs: &udfs,
-            device: self.config.device,
-            trainable: false,
-            temperature: self.config.temperature,
-        };
+        let ctx = self.exec_context(&udfs, false);
         let batch = tdp_exec::execute(&self.physical, &ctx)?;
         Ok(batch.to_table("result"))
     }
@@ -142,13 +312,7 @@ impl<'s> CompiledQuery<'s> {
     /// the engine. Returns the result table plus the profile.
     pub fn run_profiled(&self) -> Result<(Table, tdp_exec::QueryProfile), TdpError> {
         let udfs = self.session.udfs_snapshot();
-        let ctx = ExecContext {
-            catalog: self.session.catalog(),
-            udfs: &udfs,
-            device: self.config.device,
-            trainable: false,
-            temperature: self.config.temperature,
-        };
+        let ctx = self.exec_context(&udfs, false);
         let (batch, profile) = tdp_exec::execute_profiled(&self.physical, &ctx)?;
         Ok((batch.to_table("result"), profile))
     }
@@ -163,13 +327,7 @@ impl<'s> CompiledQuery<'s> {
             ));
         }
         let udfs = self.session.udfs_snapshot();
-        let ctx = ExecContext {
-            catalog: self.session.catalog(),
-            udfs: &udfs,
-            device: self.config.device,
-            trainable: true,
-            temperature: self.config.temperature,
-        };
+        let ctx = self.exec_context(&udfs, true);
         Ok(tdp_exec::execute_diff(&self.physical, &ctx)?)
     }
 
@@ -195,37 +353,43 @@ impl<'s> CompiledQuery<'s> {
     /// the argument to an optimizer (paper Listing 5:
     /// `Adam(compiled_query.parameters(), lr=0.01)`).
     pub fn parameters(&self) -> Vec<Var> {
-        let mut names = Vec::new();
-        collect_function_names(&self.plan, &mut names);
-        let udfs = self.session.udfs_snapshot();
-        let mut params: Vec<Var> = Vec::new();
-        for name in names {
-            if let Ok(tvf) = udfs.table_fn(&name) {
-                params.extend(tvf.parameters());
-            }
-            if let Ok(udf) = udfs.scalar(&name) {
-                params.extend(udf.parameters());
-            }
-        }
-        // Deduplicate by node identity (a function may appear twice).
-        let mut seen = std::collections::HashSet::new();
-        params.retain(|p| seen.insert(p.id()));
-        params
+        collect_plan_parameters(self.session, &self.plan)
     }
 
-    /// Total trainable scalars across [`CompiledQuery::parameters`].
+    /// Total trainable scalars across [`BoundQuery::parameters`].
     pub fn num_parameters(&self) -> usize {
         self.parameters().iter().map(|p| p.numel()).sum()
     }
 }
 
-impl std::fmt::Debug for CompiledQuery<'_> {
+impl std::fmt::Debug for BoundQuery<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompiledQuery")
+        f.debug_struct("BoundQuery")
             .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
             .field("config", &self.config)
+            .field("params", &self.params.len())
             .finish_non_exhaustive()
     }
+}
+
+/// Trainable parameters of every UDF/TVF a plan references, deduplicated
+/// by autodiff node identity.
+fn collect_plan_parameters(session: &Tdp, plan: &LogicalPlan) -> Vec<Var> {
+    let mut names = Vec::new();
+    collect_function_names(plan, &mut names);
+    let udfs = session.udfs_snapshot();
+    let mut params: Vec<Var> = Vec::new();
+    for name in names {
+        if let Ok(tvf) = udfs.table_fn(&name) {
+            params.extend(tvf.parameters());
+        }
+        if let Ok(udf) = udfs.scalar(&name) {
+            params.extend(udf.parameters());
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    params.retain(|p| seen.insert(p.id()));
+    params
 }
 
 fn collect_function_names(plan: &LogicalPlan, out: &mut Vec<String>) {
@@ -382,6 +546,14 @@ mod tests {
         assert_eq!(params.len(), 1);
         assert_eq!(params[0].id(), logits.id());
         assert_eq!(q.num_parameters(), 6);
+        // The prepared statement exposes the same parameter surface.
+        let prepared = tdp
+            .prepare_with(
+                "SELECT Label, COUNT(*) FROM tiny(rows) GROUP BY Label",
+                QueryConfig::default().trainable(true),
+            )
+            .unwrap();
+        assert_eq!(prepared.num_parameters(), 6);
     }
 
     #[test]
@@ -426,6 +598,33 @@ mod tests {
         let text = q.explain();
         assert!(text.contains("TvfScan: tiny"));
         assert!(text.contains("Aggregate"));
+        assert!(text.contains("params:"), "{text}");
+    }
+
+    #[test]
+    fn prepared_bind_checks_arity() {
+        let (tdp, _) = session_with_tvf();
+        let p = tdp
+            .prepare("SELECT COUNT(*) FROM rows WHERE x > ?")
+            .unwrap();
+        assert_eq!(p.param_count(), 1);
+        assert!(matches!(
+            p.bind(ParamValues::new()),
+            Err(TdpError::Session(_))
+        ));
+        assert!(matches!(
+            p.bind(ParamValues::new().number(1.0).number(2.0)),
+            Err(TdpError::Session(_))
+        ));
+        let out = p
+            .bind(ParamValues::new().number(0.5))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            out.column("COUNT(*)").unwrap().data.decode_i64().to_vec(),
+            vec![2]
+        );
     }
 
     #[test]

@@ -48,9 +48,10 @@ pub mod render;
 pub mod session;
 pub mod vector;
 
-pub use compiled::{CompiledQuery, QueryConfig};
+pub use compiled::{BoundQuery, CompiledQuery, Prepared, QueryConfig};
 pub use error::TdpError;
-pub use session::Tdp;
+pub use session::{PlanCacheStats, Tdp};
+pub use tdp_exec::{ParamValue, ParamValues};
 pub use vector::IndexKind;
 
 /// Compilation flags mirroring the paper's `tdp.constants`.

@@ -4,26 +4,27 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tdp_exec::{PhysicalPlan, ScalarUdf, TableFunction, UdfRegistry};
+use tdp_exec::{ParamValue, ParamValues, PhysicalPlan, ScalarUdf, TableFunction, UdfRegistry};
 use tdp_sql::plan::{LogicalPlan, PlannerContext};
 use tdp_sql::{optimizer, parse};
 use tdp_storage::{Catalog, Table, TableBuilder};
 use tdp_tensor::{Device, F32Tensor};
 
-use crate::compiled::{CompiledQuery, QueryConfig};
+use crate::compiled::{CompiledQuery, Prepared, QueryConfig};
 use crate::error::TdpError;
 
-/// Upper bound on cached plans. Sessions formatting literals into SQL
-/// (REPLs, training loops) would otherwise grow the cache without bound;
-/// on overflow the cache is cleared wholesale — recompiling is cheap and
-/// an LRU would complicate the common all-hits path for nothing.
+/// Upper bound on cached plans. Eviction is per-entry LRU: on overflow the
+/// least-recently-used plan is dropped, so a hot working set survives a
+/// long tail of one-off statements.
 const PLAN_CACHE_CAP: usize = 256;
 
 /// A cached compilation: the optimised logical plan, its lowering, and
-/// the state it was compiled against (for invalidation). Keyed by SQL
-/// text alone: `lower()` depends only on the catalog and function
-/// registry, so device/trainable/temperature knobs live on the
-/// [`CompiledQuery`], not in the cache key.
+/// the state it was compiled against (for invalidation). Keyed by the
+/// *normalized* statement text — the parsed query with every literal
+/// auto-parameterised into a `$n` slot — so SQL texts differing only in
+/// constants share one entry. `lower()` depends only on the catalog and
+/// function registry; device/trainable/temperature knobs live on the
+/// [`crate::compiled::BoundQuery`], not in the cache key.
 struct CachedPlan {
     logical: Arc<LogicalPlan>,
     physical: Arc<PhysicalPlan>,
@@ -35,6 +36,17 @@ struct CachedPlan {
     /// `(table, column names)` for every base-table scan — the schemas
     /// the slot assignments depend on.
     scans: Vec<(String, Vec<String>)>,
+    /// Monotonic recency stamp for LRU eviction.
+    last_used: u64,
+}
+
+/// Plan-cache counters (see [`Tdp::plan_cache_stats`]). Hits and misses
+/// accumulate over the session lifetime; `entries` is the current size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
 }
 
 /// An AI-centric database session.
@@ -47,12 +59,20 @@ pub struct Tdp {
     udfs: RefCell<UdfRegistry>,
     default_device: RefCell<Device>,
     vector_indexes: RefCell<crate::vector::VectorIndexes>,
-    /// Compiled-plan cache keyed by SQL text: repeated `query()` calls
-    /// skip parse → optimize → lower entirely.
+    /// Compiled-plan cache keyed by normalized (literal-parameterised)
+    /// statement text: repeated `query()`/`prepare()` calls skip
+    /// plan-build → optimize → lower, even when the literals change.
+    /// (Every call still parses and normalizes its text — that is how the
+    /// key and the extracted literal values are obtained; `prepare` once
+    /// and re-`bind` to skip the frontend entirely.)
     plan_cache: RefCell<HashMap<String, CachedPlan>>,
     /// Bumped on every UDF/TVF registration; registrations can change
     /// plan *shape* (TVF-ness of a name), so they invalidate cached plans.
     udf_epoch: Cell<u64>,
+    /// Monotonic clock for LRU stamps.
+    cache_tick: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 impl Default for Tdp {
@@ -70,6 +90,9 @@ impl Tdp {
             vector_indexes: RefCell::new(Default::default()),
             plan_cache: RefCell::new(HashMap::new()),
             udf_epoch: Cell::new(0),
+            cache_tick: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         }
     }
 
@@ -215,7 +238,9 @@ impl Tdp {
     // ------------------------------------------------------------------
 
     /// Compile SQL with the default configuration (exact operators,
-    /// session default device).
+    /// session default device). Desugars to a zero-parameter
+    /// [`Tdp::prepare`] + bind: statements with `?`/`$n` placeholders
+    /// must go through [`Tdp::prepare`] so values can be supplied.
     pub fn query(&self, sql: &str) -> Result<CompiledQuery<'_>, TdpError> {
         self.query_with(sql, QueryConfig::default().device(self.default_device()))
     }
@@ -223,39 +248,63 @@ impl Tdp {
     /// Compile SQL with an explicit configuration. With
     /// [`QueryConfig::trainable`], the physical plan uses the soft
     /// differentiable operators (paper §4).
-    ///
-    /// Compilation results are cached per SQL text (plans are config-
-    /// independent; the config rides on the returned [`CompiledQuery`]): a
-    /// repeated call returns the cached logical + physical plans
-    /// (fingerprint-identical) without re-running parse → optimize →
-    /// lower. Cache entries are invalidated when a referenced table's
-    /// schema changes or when the function registry changes.
     pub fn query_with(
         &self,
         sql: &str,
         config: QueryConfig,
     ) -> Result<CompiledQuery<'_>, TdpError> {
+        self.prepare_with(sql, config)?.bind(ParamValues::new())
+    }
+
+    /// Prepare SQL with the default configuration — parse,
+    /// auto-parameterise literals, optimise and lower, once. The returned
+    /// [`Prepared`] is bound with values per execution
+    /// (`prepared.bind(params)?.run()`), the training-loop shape the paper
+    /// compiles queries for.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>, TdpError> {
+        self.prepare_with(sql, QueryConfig::default().device(self.default_device()))
+    }
+
+    /// Prepare SQL with an explicit configuration.
+    ///
+    /// Compilation results are cached by *normalized* statement text:
+    /// every literal is lifted into a parameter slot before hashing, so
+    /// texts differing only in constants — the REPL / training-loop
+    /// pattern — hit the same compiled [`PhysicalPlan`]. Cache entries are
+    /// invalidated when a referenced table's schema changes or when the
+    /// function registry changes, and evicted per-entry LRU at capacity.
+    pub fn prepare_with(&self, sql: &str, config: QueryConfig) -> Result<Prepared<'_>, TdpError> {
+        let ast = parse(sql)?;
+        let explicit = tdp_sql::param::explicit_param_count(&ast);
+        let (ast, literals) = tdp_sql::param::parameterize_literals(ast, explicit);
+        let implicit: Vec<ParamValue> = literals.iter().map(ParamValue::from).collect();
+        let key = ast.to_string();
+
         let catalog_version = self.catalog.version();
         let udf_epoch = self.udf_epoch.get();
 
-        if let Some(entry) = self.plan_cache.borrow_mut().get_mut(sql) {
+        if let Some(entry) = self.plan_cache.borrow_mut().get_mut(&key) {
             let valid = entry.udf_epoch == udf_epoch
                 && (entry.catalog_version == catalog_version || self.scans_unchanged(&entry.scans));
             if valid {
                 // Schemas re-validated above; fast-forward the version so
                 // the next hit takes the cheap equality path.
                 entry.catalog_version = catalog_version;
-                return Ok(CompiledQuery::new(
+                entry.last_used = self.tick();
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return Ok(Prepared::new(
                     self,
                     Arc::clone(&entry.logical),
                     Arc::clone(&entry.physical),
                     entry.fingerprint,
                     config,
+                    explicit,
+                    implicit,
                 ));
             }
         }
+        self.cache_misses.set(self.cache_misses.get() + 1);
 
-        let ast = parse(sql)?;
         let udfs = self.udfs.borrow();
         let plan = tdp_sql::plan::build_plan(
             &ast,
@@ -274,11 +323,18 @@ impl Tdp {
         let scans = physical.scans();
         if scans.iter().all(|(_, s)| s.is_some()) {
             let mut cache = self.plan_cache.borrow_mut();
-            if cache.len() >= PLAN_CACHE_CAP && !cache.contains_key(sql) {
-                cache.clear();
+            if cache.len() >= PLAN_CACHE_CAP && !cache.contains_key(&key) {
+                // Per-entry LRU: drop only the stalest plan.
+                if let Some(oldest) = cache
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    cache.remove(&oldest);
+                }
             }
             cache.insert(
-                sql.to_owned(),
+                key,
                 CachedPlan {
                     logical: Arc::clone(&logical),
                     physical: Arc::clone(&physical),
@@ -289,16 +345,25 @@ impl Tdp {
                         .into_iter()
                         .map(|(t, s)| (t, s.expect("checked above")))
                         .collect(),
+                    last_used: self.tick(),
                 },
             );
         }
-        Ok(CompiledQuery::new(
+        Ok(Prepared::new(
             self,
             logical,
             physical,
             fingerprint,
             config,
+            explicit,
+            implicit,
         ))
+    }
+
+    fn tick(&self) -> u64 {
+        let t = self.cache_tick.get() + 1;
+        self.cache_tick.set(t);
+        t
     }
 
     /// Whether every `(table, schema)` a cached plan was compiled against
@@ -321,7 +386,16 @@ impl Tdp {
         self.plan_cache.borrow().len()
     }
 
-    /// Drop every cached compiled plan.
+    /// Cumulative hit/miss counters plus current entry count.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.cache_hits.get(),
+            misses: self.cache_misses.get(),
+            entries: self.plan_cache.borrow().len(),
+        }
+    }
+
+    /// Drop every cached compiled plan (counters keep accumulating).
     pub fn clear_plan_cache(&self) {
         self.plan_cache.borrow_mut().clear();
     }
@@ -476,7 +550,7 @@ mod tests {
         // The cached physical plan is literally shared, not re-lowered.
         assert!(std::ptr::eq(q1.physical_plan(), q2.physical_plan()));
         // Plans are config-independent: a different config reuses the
-        // same cache entry (the config rides on the CompiledQuery).
+        // same cache entry (the config rides on the BoundQuery).
         let q3 = tdp
             .query_with(sql, QueryConfig::default().temperature(0.5))
             .unwrap();
@@ -484,6 +558,119 @@ mod tests {
         assert_eq!(q3.fingerprint(), q1.fingerprint());
         assert!(std::ptr::eq(q1.physical_plan(), q3.physical_plan()));
         assert_eq!(q3.config().temperature, 0.5);
+    }
+
+    #[test]
+    fn plan_cache_is_literal_invariant() {
+        // The tentpole acceptance: texts differing only in literal values
+        // share one entry, and the hit counter proves the reuse.
+        let tdp = Tdp::new();
+        tdp.register_table(
+            TableBuilder::new()
+                .col_f32("x", vec![1.0, 2.0, 3.0])
+                .col_str("tag", &["a", "b", "a"])
+                .build("t"),
+        );
+        let a = tdp
+            .query("SELECT COUNT(*) FROM t WHERE x > 1.5 AND tag = 'a'")
+            .unwrap();
+        let stats0 = tdp.plan_cache_stats();
+        assert_eq!((stats0.hits, stats0.misses, stats0.entries), (0, 1, 1));
+        let b = tdp
+            .query("SELECT COUNT(*) FROM t WHERE x > 0.5 AND tag = 'b'")
+            .unwrap();
+        let stats1 = tdp.plan_cache_stats();
+        assert_eq!(
+            (stats1.hits, stats1.misses, stats1.entries),
+            (1, 1, 1),
+            "second literal variant must hit the shared entry"
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(std::ptr::eq(a.physical_plan(), b.physical_plan()));
+        // …and each variant still computes with its own constants.
+        assert_eq!(
+            a.run()
+                .unwrap()
+                .column("COUNT(*)")
+                .unwrap()
+                .data
+                .decode_i64()
+                .to_vec(),
+            vec![1],
+            "x > 1.5 AND tag = 'a' keeps only x=3"
+        );
+        assert_eq!(
+            b.run()
+                .unwrap()
+                .column("COUNT(*)")
+                .unwrap()
+                .data
+                .decode_i64()
+                .to_vec(),
+            vec![1],
+            "x > 0.5 AND tag = 'b' keeps only x=2"
+        );
+        // Coinciding literal values must not split the entry: slots are
+        // per occurrence, not per distinct value.
+        let c = tdp
+            .query("SELECT COUNT(*) FROM t WHERE x > 1.5 AND tag = 'a' AND x < 1.5")
+            .unwrap();
+        let d = tdp
+            .query("SELECT COUNT(*) FROM t WHERE x > 0.5 AND tag = 'b' AND x < 2.5")
+            .unwrap();
+        assert_eq!(c.fingerprint(), d.fingerprint());
+        assert!(std::ptr::eq(c.physical_plan(), d.physical_plan()));
+        assert_eq!(
+            d.run()
+                .unwrap()
+                .column("COUNT(*)")
+                .unwrap()
+                .data
+                .decode_i64()
+                .to_vec(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn auto_parameterised_select_items_keep_their_names() {
+        // Extraction must not leak `$n` into result column names: a
+        // result set stays self-describing even though the values moved
+        // into the binding.
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0, 2.0]).build("t"));
+        let out = tdp.query("SELECT 5, x * 2 FROM t").unwrap().run().unwrap();
+        assert_eq!(
+            out.column("5").unwrap().data.decode_f32().to_vec(),
+            vec![5.0, 5.0]
+        );
+        assert_eq!(
+            out.column("(x * 2)").unwrap().data.decode_f32().to_vec(),
+            vec![2.0, 4.0]
+        );
+        let out7 = tdp.query("SELECT 7, x * 2 FROM t").unwrap().run().unwrap();
+        assert!(
+            out7.column("7").is_some(),
+            "each text names its own constant column"
+        );
+    }
+
+    #[test]
+    fn auto_parameterisation_keeps_constant_folding_alive() {
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0, 5.0]).build("t"));
+        // Literal arithmetic folds before extraction: one slot, not two…
+        let q = tdp.query("SELECT x FROM t WHERE x > 1 + 2").unwrap();
+        let text = q.explain();
+        assert!(text.contains("(x@0 > $1)"), "{text}");
+        assert!(!text.contains("$2"), "folded to a single slot: {text}");
+        // …and equivalent spellings share the cache entry.
+        let q2 = tdp.query("SELECT x FROM t WHERE x > 3").unwrap();
+        assert!(std::ptr::eq(q.physical_plan(), q2.physical_plan()));
+        // Trivially-true predicates still vanish entirely.
+        let t = tdp.query("SELECT x FROM t WHERE 1 < 2").unwrap();
+        assert!(!t.explain().contains("Filter"), "{}", t.explain());
+        assert_eq!(t.run().unwrap().rows(), 2);
     }
 
     #[test]
@@ -546,15 +733,38 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_is_bounded() {
+    fn plan_cache_is_bounded_with_lru_eviction() {
         let tdp = Tdp::new();
         tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0]).build("t"));
+        // Literal variants all share ONE entry now…
         for i in 0..(PLAN_CACHE_CAP + 10) {
             tdp.query(&format!("SELECT x FROM t WHERE x > {i}"))
                 .unwrap();
         }
-        assert!(tdp.plan_cache_len() <= PLAN_CACHE_CAP);
-        // Still functional after the wholesale eviction.
+        assert_eq!(tdp.plan_cache_len(), 1, "literal variants share an entry");
+        // …so overflow needs structurally distinct statements.
+        for i in 0..(PLAN_CACHE_CAP + 9) {
+            tdp.query(&format!("SELECT x FROM t LIMIT {i}")).unwrap();
+        }
+        assert_eq!(tdp.plan_cache_len(), PLAN_CACHE_CAP, "bounded");
+        // The filter entry was the least recently used -> evicted; the
+        // most recent LIMIT entries survive.
+        let before = tdp.plan_cache_stats();
+        tdp.query(&format!("SELECT x FROM t LIMIT {}", PLAN_CACHE_CAP + 8))
+            .unwrap();
+        assert_eq!(
+            tdp.plan_cache_stats().hits,
+            before.hits + 1,
+            "a recent entry must survive LRU eviction"
+        );
+        let before = tdp.plan_cache_stats();
+        tdp.query("SELECT x FROM t WHERE x > 42").unwrap();
+        assert_eq!(
+            tdp.plan_cache_stats().misses,
+            before.misses + 1,
+            "the stalest entry must have been evicted"
+        );
+        // Still functional after evictions.
         assert_eq!(
             tdp.query("SELECT COUNT(*) FROM t")
                 .unwrap()
@@ -680,6 +890,18 @@ mod tests {
         assert_eq!(tdp.plan_cache_len(), 1);
         tdp.clear_plan_cache();
         assert_eq!(tdp.plan_cache_len(), 0);
+        assert_eq!(tdp.plan_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn query_on_parameterised_sql_requires_prepare() {
+        let tdp = Tdp::new();
+        tdp.register_tensor("t", Tensor::<f32>::zeros(&[3]));
+        let err = tdp.query("SELECT COUNT(*) FROM t WHERE value > ?");
+        assert!(
+            matches!(err, Err(TdpError::Session(ref m)) if m.contains("parameter")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -430,6 +430,14 @@ pub fn eval_diff(
             crate::expr::Value::Bool(b) => Ok(DiffVal::Num(if b { 1.0 } else { 0.0 })),
             crate::expr::Value::Column(c) => Ok(DiffVal::Exact(c)),
         },
+        // Parameters are constants of the differentiable domain: gradients
+        // never flow into a binding.
+        CompiledExpr::Param { idx } => match crate::expr::eval_param(*idx, batch.rows(), ctx)? {
+            crate::expr::Value::Num(v) => Ok(DiffVal::Num(v)),
+            crate::expr::Value::Str(s) => Ok(DiffVal::Str(s)),
+            crate::expr::Value::Bool(b) => Ok(DiffVal::Num(if b { 1.0 } else { 0.0 })),
+            crate::expr::Value::Column(c) => Ok(DiffVal::Exact(c)),
+        },
     }
 }
 

@@ -17,6 +17,10 @@ pub enum ExecError {
     NotDifferentiable(String),
     /// A UDF/TVF reported a failure.
     Udf(String),
+    /// A statement-parameter problem: unbound slot, arity mismatch, or a
+    /// binding the engine cannot evaluate (e.g. NULL in this NULL-free
+    /// dialect).
+    Param(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for ExecError {
                 write!(f, "not differentiable (compile without TRAINABLE?): {m}")
             }
             ExecError::Udf(m) => write!(f, "UDF error: {m}"),
+            ExecError::Param(m) => write!(f, "parameter error: {m}"),
         }
     }
 }

@@ -174,6 +174,39 @@ pub fn eval_expr(
             })))
         }
         CompiledExpr::ScalarSubquery(plan) => eval_scalar_subquery(plan, ctx),
+        CompiledExpr::Param { idx } => eval_param(*idx, batch.rows(), ctx),
+    }
+}
+
+/// Resolve a parameter slot against the context binding. `rows` is the
+/// row count of the batch the value will combine with: tensor bindings do
+/// not broadcast, so their leading dimension must match.
+pub(crate) fn eval_param(idx: usize, rows: usize, ctx: &ExecContext) -> Result<Value, ExecError> {
+    use crate::params::ParamValue;
+    match ctx.params.get(idx) {
+        Some(ParamValue::Number(n)) => Ok(Value::Num(*n)),
+        Some(ParamValue::String(s)) => Ok(Value::Str(s.clone())),
+        Some(ParamValue::Bool(b)) => Ok(Value::Bool(*b)),
+        Some(ParamValue::Tensor(t)) => {
+            if t.shape().first() != Some(&rows) {
+                return Err(ExecError::Param(format!(
+                    "parameter ${} is a tensor of shape {:?}, but the batch has {rows} row(s) \
+                     (tensor bindings do not broadcast)",
+                    idx + 1,
+                    t.shape()
+                )));
+            }
+            Ok(Value::Column(EncodedTensor::F32(t.clone())))
+        }
+        Some(ParamValue::Null) => Err(ExecError::Param(format!(
+            "parameter ${} is bound to NULL, which this NULL-free dialect cannot evaluate",
+            idx + 1
+        ))),
+        None => Err(ExecError::Param(format!(
+            "parameter ${} is not bound ({} value(s) provided)",
+            idx + 1,
+            ctx.params.len()
+        ))),
     }
 }
 

@@ -61,6 +61,7 @@ pub mod diff;
 pub mod error;
 pub mod exact;
 pub mod expr;
+pub mod params;
 pub mod physical;
 pub mod profile;
 pub mod soft;
@@ -70,6 +71,7 @@ pub use batch::{Batch, ColumnData, DiffColumn};
 pub use diff::execute_diff;
 pub use error::ExecError;
 pub use exact::execute;
+pub use params::{ParamValue, ParamValues};
 pub use physical::{lower, CompiledExpr, PhysicalPlan};
 pub use profile::{execute_profiled, OpTrace, QueryProfile};
 pub use udf::{ArgValue, ExecContext, ScalarUdf, TableFunction, UdfRegistry};

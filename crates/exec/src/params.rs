@@ -1,0 +1,147 @@
+//! Parameter bindings for prepared statements.
+//!
+//! A compiled [`crate::PhysicalPlan`] may contain
+//! [`crate::CompiledExpr::Param`] slots — from explicit `?`/`$n`
+//! placeholders or from literals auto-parameterised for plan-cache
+//! sharing. The executors resolve each slot against the
+//! [`ParamValues`] carried on the [`crate::ExecContext`]; the plan itself
+//! stays value-free, which is what lets one compiled plan serve many
+//! bindings.
+
+use tdp_sql::ast::Literal;
+use tdp_tensor::F32Tensor;
+
+/// One bound parameter value.
+#[derive(Debug, Clone)]
+pub enum ParamValue {
+    Number(f64),
+    String(String),
+    Bool(bool),
+    /// Representable so callers can bind it, but this dialect is NULL-free:
+    /// evaluating a NULL parameter reports a targeted runtime error.
+    Null,
+    /// A whole tensor column (rows must match the batch the expression
+    /// evaluates against — scalars broadcast, tensors do not).
+    Tensor(F32Tensor),
+}
+
+impl From<&Literal> for ParamValue {
+    fn from(lit: &Literal) -> ParamValue {
+        match lit {
+            Literal::Number(n) => ParamValue::Number(*n),
+            Literal::String(s) => ParamValue::String(s.clone()),
+            Literal::Bool(b) => ParamValue::Bool(*b),
+            Literal::Null => ParamValue::Null,
+        }
+    }
+}
+
+/// An ordered parameter binding: slot `i` (rendered `$(i+1)` in EXPLAIN
+/// output) resolves to `values[i]`. Built fluently:
+///
+/// ```
+/// use tdp_exec::ParamValues;
+/// let params = ParamValues::new().number(0.5).string("receipt").bool(true);
+/// assert_eq!(params.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamValues {
+    values: Vec<ParamValue>,
+}
+
+impl ParamValues {
+    pub fn new() -> ParamValues {
+        ParamValues::default()
+    }
+
+    /// Bind the next slot to a number.
+    pub fn number(mut self, v: f64) -> ParamValues {
+        self.values.push(ParamValue::Number(v));
+        self
+    }
+
+    /// Bind the next slot to a string.
+    pub fn string(mut self, s: impl Into<String>) -> ParamValues {
+        self.values.push(ParamValue::String(s.into()));
+        self
+    }
+
+    /// Bind the next slot to a boolean.
+    pub fn bool(mut self, b: bool) -> ParamValues {
+        self.values.push(ParamValue::Bool(b));
+        self
+    }
+
+    /// Bind the next slot to NULL (rejected at evaluation time — see
+    /// [`ParamValue::Null`]).
+    pub fn null(mut self) -> ParamValues {
+        self.values.push(ParamValue::Null);
+        self
+    }
+
+    /// Bind the next slot to a tensor column.
+    pub fn tensor(mut self, t: F32Tensor) -> ParamValues {
+        self.values.push(ParamValue::Tensor(t));
+        self
+    }
+
+    /// Append an already-constructed value.
+    pub fn push(&mut self, v: ParamValue) {
+        self.values.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&ParamValue> {
+        self.values.get(idx)
+    }
+
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+}
+
+impl From<Vec<ParamValue>> for ParamValues {
+    fn from(values: Vec<ParamValue>) -> ParamValues {
+        ParamValues { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_tensor::Tensor;
+
+    #[test]
+    fn builder_orders_slots() {
+        let p = ParamValues::new()
+            .number(1.0)
+            .string("x")
+            .bool(false)
+            .null()
+            .tensor(Tensor::<f32>::zeros(&[2]));
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p.get(0), Some(ParamValue::Number(n)) if *n == 1.0));
+        assert!(matches!(p.get(1), Some(ParamValue::String(s)) if s == "x"));
+        assert!(matches!(p.get(2), Some(ParamValue::Bool(false))));
+        assert!(matches!(p.get(3), Some(ParamValue::Null)));
+        assert!(matches!(p.get(4), Some(ParamValue::Tensor(_))));
+        assert!(p.get(5).is_none());
+    }
+
+    #[test]
+    fn from_literals() {
+        use tdp_sql::ast::Literal;
+        assert!(matches!(
+            ParamValue::from(&Literal::Number(2.5)),
+            ParamValue::Number(n) if n == 2.5
+        ));
+        assert!(matches!(ParamValue::from(&Literal::Null), ParamValue::Null));
+    }
+}

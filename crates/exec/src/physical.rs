@@ -183,6 +183,12 @@ pub enum CompiledExpr {
     /// Uncorrelated scalar subquery, lowered into its own physical plan at
     /// compile time.
     ScalarSubquery(Arc<PhysicalPlan>),
+    /// Statement parameter slot (`$1`-style). Plans carry no value for it;
+    /// the executors resolve it against [`crate::ExecContext::params`],
+    /// which is what makes a compiled plan reusable across bindings.
+    Param {
+        idx: usize,
+    },
 }
 
 impl CompiledExpr {
@@ -223,7 +229,53 @@ impl CompiledExpr {
             CompiledExpr::Column(_)
             | CompiledExpr::Num(_)
             | CompiledExpr::Str(_)
-            | CompiledExpr::Bool(_) => {}
+            | CompiledExpr::Bool(_)
+            | CompiledExpr::Param { .. } => {}
+        }
+    }
+
+    /// Collect every parameter slot referenced by this expression,
+    /// including slots inside lowered scalar subqueries.
+    pub fn collect_params(&self, out: &mut Vec<usize>) {
+        if let CompiledExpr::Param { idx } = self {
+            out.push(*idx);
+        }
+        match self {
+            CompiledExpr::ScalarSubquery(p) => p.collect_params_into(out),
+            CompiledExpr::Binary { left, right, .. } => {
+                left.collect_params(out);
+                right.collect_params(out);
+            }
+            CompiledExpr::Unary { expr, .. } => expr.collect_params(out),
+            CompiledExpr::Udf { args, .. } | CompiledExpr::Builtin { args, .. } => {
+                args.iter().for_each(|a| a.collect_params(out));
+            }
+            CompiledExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.collect_params(out);
+                }
+                for (w, t) in branches {
+                    w.collect_params(out);
+                    t.collect_params(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_params(out);
+                }
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.collect_params(out);
+                list.iter().for_each(|i| i.collect_params(out));
+            }
+            CompiledExpr::Like { expr, .. } => expr.collect_params(out),
+            CompiledExpr::Column(_)
+            | CompiledExpr::Num(_)
+            | CompiledExpr::Str(_)
+            | CompiledExpr::Bool(_)
+            | CompiledExpr::Param { .. } => {}
         }
     }
 }
@@ -318,6 +370,7 @@ impl std::fmt::Display for CompiledExpr {
             CompiledExpr::ScalarSubquery(p) => {
                 write!(f, "(<subquery fp:{:016x}>)", p.fingerprint())
             }
+            CompiledExpr::Param { idx } => write!(f, "${}", idx + 1),
         }
     }
 }
@@ -582,6 +635,24 @@ impl PhysicalPlan {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         h
+    }
+
+    /// Sorted, deduplicated parameter slots referenced anywhere in the
+    /// plan (including scalar subqueries) — what EXPLAIN reports and what
+    /// a binding must cover.
+    pub fn param_indices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_params_into(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_params_into(&self, out: &mut Vec<usize>) {
+        self.visit_exprs(&mut |e| e.collect_params(out));
+        for child in self.inputs() {
+            child.collect_params_into(out);
+        }
     }
 
     /// Every base-table scan in the tree with the schema it was compiled
@@ -1077,6 +1148,7 @@ pub fn lower_expr(
         Expr::Literal(Literal::Null) => Err(ExecError::Unsupported(
             "NULL literals are not supported".into(),
         )),
+        Expr::Param { idx } => Ok(CompiledExpr::Param { idx: *idx }),
         Expr::Binary { op, left, right } => Ok(CompiledExpr::Binary {
             op: *op,
             left: Box::new(lower_expr(left, schema, catalog, udfs)?),
@@ -1346,6 +1418,25 @@ mod tests {
         assert_eq!(a, b);
         let other = lowered(&c, "SELECT item FROM orders").fingerprint();
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn params_lower_to_slots_and_are_collected() {
+        let c = setup();
+        let p = lowered(
+            &c,
+            "SELECT price FROM orders WHERE price > ? AND qty < (SELECT MAX(qty) FROM orders WHERE qty < ?)",
+        );
+        let text = p.explain();
+        assert!(text.contains("$1"), "{text}");
+        assert_eq!(p.param_indices(), vec![0, 1], "subquery slot included");
+        // The fingerprint is literal-free but parameter-sensitive.
+        let q = lowered(&c, "SELECT price FROM orders WHERE price > ?");
+        assert_ne!(p.fingerprint(), q.fingerprint());
+        assert_eq!(
+            q.fingerprint(),
+            lowered(&c, "SELECT price FROM orders WHERE price > ?").fingerprint()
+        );
     }
 
     #[test]

@@ -197,6 +197,9 @@ pub struct ExecContext<'a> {
     pub trainable: bool,
     /// Temperature of relaxed predicates: `σ((score - θ) / temperature)`.
     pub temperature: f32,
+    /// Bound statement parameters: `CompiledExpr::Param { idx }` resolves
+    /// to slot `idx` here. Empty for parameter-free plans.
+    pub params: crate::params::ParamValues,
 }
 
 impl<'a> ExecContext<'a> {
@@ -207,6 +210,7 @@ impl<'a> ExecContext<'a> {
             device: Device::Cpu,
             trainable: false,
             temperature: 0.1,
+            params: crate::params::ParamValues::new(),
         }
     }
 
@@ -217,6 +221,11 @@ impl<'a> ExecContext<'a> {
 
     pub fn with_trainable(mut self, trainable: bool) -> ExecContext<'a> {
         self.trainable = trainable;
+        self
+    }
+
+    pub fn with_params(mut self, params: crate::params::ParamValues) -> ExecContext<'a> {
+        self.params = params;
         self
     }
 }

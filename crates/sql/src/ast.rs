@@ -180,6 +180,12 @@ pub enum Expr {
     /// Must evaluate to exactly one row and one column; it sees the
     /// session catalog, not the enclosing query's columns.
     ScalarSubquery(Box<Query>),
+    /// Statement parameter (`?` or `$n` in the source, or a literal
+    /// auto-parameterised for plan-cache sharing). `idx` is 0-based; the
+    /// value arrives at execution time through the parameter binding.
+    Param {
+        idx: usize,
+    },
     /// `*` in a select list.
     Star,
 }
@@ -465,6 +471,7 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Param { idx } => write!(f, "${}", idx + 1),
             Expr::Star => write!(f, "*"),
         }
     }

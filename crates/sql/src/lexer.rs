@@ -12,6 +12,9 @@ pub enum Token {
     Number(f64),
     Str(String),
     Symbol(Sym),
+    /// Statement parameter: `?` (positional, `None`) or `$n` (1-based
+    /// explicit index, `Some(n)`, always ≥ 1).
+    Param(Option<usize>),
 }
 
 /// Punctuation and operators.
@@ -129,6 +132,31 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             '%' => {
                 tokens.push(Token::Symbol(Sym::Percent));
                 i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Param(None));
+                i += 1;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(SqlError::new("expected parameter number after '$'"));
+                }
+                let text: String = chars[start..j].iter().collect();
+                let n = text
+                    .parse::<usize>()
+                    .map_err(|_| SqlError::new(format!("bad parameter index '${text}'")))?;
+                if n == 0 {
+                    return Err(SqlError::new(
+                        "parameter indices are 1-based; '$0' is invalid",
+                    ));
+                }
+                tokens.push(Token::Param(Some(n)));
+                i = j;
             }
             '=' => {
                 tokens.push(Token::Symbol(Sym::Eq));
@@ -297,6 +325,15 @@ mod tests {
     fn errors() {
         assert!(tokenize("'open").is_err());
         assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn parameters_tokenize() {
+        let t = tokenize("x > ? AND y < $2").unwrap();
+        assert!(t.contains(&Token::Param(None)));
+        assert!(t.contains(&Token::Param(Some(2))));
+        assert!(tokenize("$").is_err(), "bare '$' is invalid");
+        assert!(tokenize("$0").is_err(), "parameter indices are 1-based");
     }
 
     #[test]

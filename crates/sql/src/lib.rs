@@ -26,12 +26,14 @@
 pub mod ast;
 pub mod lexer;
 pub mod optimizer;
+pub mod param;
 pub mod parser;
 pub mod plan;
 
 pub use ast::{
     AggFunc, BinOp, Expr, JoinKind, Literal, OrderItem, Query, SelectItem, TableRef, UnOp,
 };
+pub use param::{explicit_param_count, parameterize_literals};
 pub use parser::parse;
 pub use plan::{build_plan, LogicalPlan, PlannerContext};
 

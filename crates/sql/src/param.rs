@@ -1,0 +1,458 @@
+//! Statement parameters: counting explicit `?`/`$n` placeholders and
+//! auto-parameterising literals for literal-invariant plan caching.
+//!
+//! Two SQL texts that differ only in constants ought to share one compiled
+//! plan — the training-loop / REPL pattern of formatting a threshold into
+//! the query text every iteration. [`parameterize_literals`] rewrites a
+//! parsed [`Query`] so every inline number/string literal becomes an
+//! [`Expr::Param`] slot appended *after* the statement's explicit
+//! parameters, returning the extracted constants in slot order. The
+//! rewritten AST renders to a normalized text (`… WHERE x > $1 …`) that
+//! is identical for all literal choices and therefore usable as a cache
+//! key; the extracted literals become implicit parameters bound
+//! automatically at run time. Slots are assigned per *occurrence* (left
+//! to right), never deduplicated by value, so the normalized key cannot
+//! depend on which literals happen to coincide.
+//!
+//! Each root expression is constant-folded **before** extraction:
+//! `x > 1 + 2` and `x > 3` normalize to the same shape, and fully
+//! constant predicates collapse to a boolean before any slot is created.
+//!
+//! Three literal kinds stay inline:
+//! * NULL — this dialect is NULL-free and the lowering rejects NULL with
+//!   a targeted error that must keep firing at compile time;
+//! * booleans — `TRUE`/`FALSE` (including folded-away predicates like
+//!   `WHERE 1 < 2`) must stay visible to the optimizer so trivially-true
+//!   filters are still removed, and a two-valued type cannot blow up the
+//!   cache;
+//! * LIKE patterns — structural, evaluated against dictionaries at most
+//!   once per batch.
+
+use crate::ast::{Expr, Literal, OrderItem, Query, SelectItem, TableRef, WindowFunc};
+use crate::optimizer::fold_expr;
+
+/// Number of explicit parameters a statement declares: one past the
+/// highest `$n` (or `?`-assigned) index, 0 when the statement has none.
+/// Unused lower indices still count — `$3` alone declares three slots.
+pub fn explicit_param_count(query: &Query) -> usize {
+    let mut max: Option<usize> = None;
+    visit_query_exprs(query, &mut |e| {
+        if let Expr::Param { idx } = e {
+            max = Some(max.map_or(*idx, |m: usize| m.max(*idx)));
+        }
+    });
+    max.map_or(0, |m| m + 1)
+}
+
+/// Visit every expression node (recursively, including scalar subqueries
+/// and nested SELECTs) of a query.
+pub fn visit_query_exprs(query: &Query, f: &mut impl FnMut(&Expr)) {
+    for item in &query.select {
+        visit_expr(&item.expr, f);
+    }
+    if let Some(from) = &query.from {
+        visit_table_ref_exprs(from, f);
+    }
+    if let Some(w) = &query.where_clause {
+        visit_expr(w, f);
+    }
+    for g in &query.group_by {
+        visit_expr(g, f);
+    }
+    if let Some(h) = &query.having {
+        visit_expr(h, f);
+    }
+    for o in &query.order_by {
+        visit_expr(&o.expr, f);
+    }
+    if let Some(u) = &query.union_all {
+        visit_query_exprs(u, f);
+    }
+}
+
+fn visit_table_ref_exprs(t: &TableRef, f: &mut impl FnMut(&Expr)) {
+    match t {
+        TableRef::Named { .. } => {}
+        TableRef::Tvf { input, .. } => visit_table_ref_exprs(input, f),
+        TableRef::Subquery { query, .. } => visit_query_exprs(query, f),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            visit_table_ref_exprs(left, f);
+            visit_table_ref_exprs(right, f);
+            if let Some(on) = on {
+                visit_expr(on, f);
+            }
+        }
+    }
+}
+
+fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Binary { left, right, .. } => {
+            visit_expr(left, f);
+            visit_expr(right, f);
+        }
+        Expr::Unary { expr, .. } => visit_expr(expr, f),
+        Expr::Func { args, .. } => args.iter().for_each(|a| visit_expr(a, f)),
+        Expr::Aggregate { arg: Some(a), .. } => visit_expr(a, f),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                visit_expr(o, f);
+            }
+            for (w, t) in branches {
+                visit_expr(w, f);
+                visit_expr(t, f);
+            }
+            if let Some(el) = else_expr {
+                visit_expr(el, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            visit_expr(expr, f);
+            list.iter().for_each(|i| visit_expr(i, f));
+        }
+        Expr::Like { expr, .. } => visit_expr(expr, f),
+        Expr::Window {
+            func,
+            partition_by,
+            order_by,
+        } => {
+            if let WindowFunc::Agg { arg: Some(a), .. } = func {
+                visit_expr(a, f);
+            }
+            partition_by.iter().for_each(|p| visit_expr(p, f));
+            order_by.iter().for_each(|o| visit_expr(&o.expr, f));
+        }
+        Expr::ScalarSubquery(q) => visit_query_exprs(q, f),
+        Expr::Column { .. }
+        | Expr::Literal(_)
+        | Expr::Aggregate { arg: None, .. }
+        | Expr::Param { .. }
+        | Expr::Star => {}
+    }
+}
+
+/// Replace every inline number/string literal with a parameter slot,
+/// assigning slots from `first_idx` upward in occurrence order. Each root
+/// expression is constant-folded first. Returns the rewritten query and
+/// the extracted literals in slot order: slot `first_idx + i` must be
+/// bound to `extracted[i]` at run time.
+pub fn parameterize_literals(query: Query, first_idx: usize) -> (Query, Vec<Literal>) {
+    let mut p = Parameterizer {
+        first_idx,
+        extracted: Vec::new(),
+    };
+    let q = p.rewrite_query(query, true);
+    (q, p.extracted)
+}
+
+struct Parameterizer {
+    first_idx: usize,
+    extracted: Vec<Literal>,
+}
+
+impl Parameterizer {
+    fn slot_for(&mut self, lit: Literal) -> Expr {
+        self.extracted.push(lit);
+        Expr::Param {
+            idx: self.first_idx + self.extracted.len() - 1,
+        }
+    }
+
+    /// Fold a root expression, then extract its literals. Folding first
+    /// keeps the PR-1 optimizations alive (`x > 1 + 2` normalizes like
+    /// `x > 3`; `1 < 2` collapses to `TRUE`, which stays inline and lets
+    /// the optimizer drop the filter).
+    fn rewrite_root(&mut self, e: Expr) -> Expr {
+        self.rewrite_expr(fold_expr(e))
+    }
+
+    /// `preserve_names` is set wherever the select list's output names
+    /// are observable — the top-level result set and derived tables
+    /// (whose names flow out through `SELECT *`). Scalar subqueries are
+    /// consumed positionally (1×1), so their items skip the aliasing and
+    /// keep full literal-invariant sharing.
+    fn rewrite_query(&mut self, q: Query, preserve_names: bool) -> Query {
+        Query {
+            distinct: q.distinct,
+            select: q
+                .select
+                .into_iter()
+                .map(|i| {
+                    // Result columns are named after the select item, and
+                    // `$n` must not leak into those names (`SELECT 5` and
+                    // `SELECT 7` would both return a column called `$1`).
+                    // An unaliased item that loses literals to extraction
+                    // keeps its pre-rewrite text as an explicit alias; the
+                    // alias carries the literal into the normalized text,
+                    // so such statements simply don't share a cache entry.
+                    let folded = fold_expr(i.expr);
+                    let before = self.extracted.len();
+                    let expr = self.rewrite_expr(folded.clone());
+                    let alias = i.alias.or_else(|| {
+                        (preserve_names && self.extracted.len() > before)
+                            .then(|| folded.display_name())
+                    });
+                    SelectItem { expr, alias }
+                })
+                .collect(),
+            from: q.from.map(|f| self.rewrite_table_ref(f)),
+            where_clause: q.where_clause.map(|w| self.rewrite_root(w)),
+            group_by: q
+                .group_by
+                .into_iter()
+                .map(|g| self.rewrite_root(g))
+                .collect(),
+            having: q.having.map(|h| self.rewrite_root(h)),
+            order_by: q
+                .order_by
+                .into_iter()
+                .map(|o| OrderItem {
+                    expr: self.rewrite_root(o.expr),
+                    desc: o.desc,
+                })
+                .collect(),
+            limit: q.limit,
+            union_all: q
+                .union_all
+                .map(|u| Box::new(self.rewrite_query(*u, preserve_names))),
+        }
+    }
+
+    fn rewrite_table_ref(&mut self, t: TableRef) -> TableRef {
+        match t {
+            TableRef::Named { .. } => t,
+            TableRef::Tvf { name, input, alias } => TableRef::Tvf {
+                name,
+                input: Box::new(self.rewrite_table_ref(*input)),
+                alias,
+            },
+            // Derived-table names are observable (`SELECT *` re-exports
+            // them), so name preservation applies inside.
+            TableRef::Subquery { query, alias } => TableRef::Subquery {
+                query: Box::new(self.rewrite_query(*query, true)),
+                alias,
+            },
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => TableRef::Join {
+                left: Box::new(self.rewrite_table_ref(*left)),
+                right: Box::new(self.rewrite_table_ref(*right)),
+                kind,
+                // ON clauses stay literal-free in the supported dialect
+                // (conjunctions of column equalities); leave them alone.
+                on,
+            },
+        }
+    }
+
+    fn rewrite_expr(&mut self, e: Expr) -> Expr {
+        match e {
+            Expr::Literal(Literal::Null) | Expr::Literal(Literal::Bool(_)) => e,
+            Expr::Literal(lit) => self.slot_for(lit),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(self.rewrite_expr(*left)),
+                right: Box::new(self.rewrite_expr(*right)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(self.rewrite_expr(*expr)),
+            },
+            Expr::Func { name, args } => Expr::Func {
+                name,
+                args: args.into_iter().map(|a| self.rewrite_expr(a)).collect(),
+            },
+            Expr::Aggregate { func, arg } => Expr::Aggregate {
+                func,
+                arg: arg.map(|a| Box::new(self.rewrite_expr(*a))),
+            },
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => Expr::Case {
+                operand: operand.map(|o| Box::new(self.rewrite_expr(*o))),
+                branches: branches
+                    .into_iter()
+                    .map(|(w, t)| (self.rewrite_expr(w), self.rewrite_expr(t)))
+                    .collect(),
+                else_expr: else_expr.map(|el| Box::new(self.rewrite_expr(*el))),
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.rewrite_expr(*expr)),
+                list: list.into_iter().map(|i| self.rewrite_expr(i)).collect(),
+                negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.rewrite_expr(*expr)),
+                // LIKE patterns are structural: the dictionary fast path
+                // evaluates them against the dict once, so they stay inline.
+                pattern,
+                negated,
+            },
+            Expr::Window {
+                func,
+                partition_by,
+                order_by,
+            } => Expr::Window {
+                func: match func {
+                    WindowFunc::Agg { func, arg } => WindowFunc::Agg {
+                        func,
+                        arg: arg.map(|a| Box::new(self.rewrite_expr(*a))),
+                    },
+                    other => other,
+                },
+                partition_by: partition_by
+                    .into_iter()
+                    .map(|p| self.rewrite_expr(p))
+                    .collect(),
+                order_by: order_by
+                    .into_iter()
+                    .map(|o| OrderItem {
+                        expr: self.rewrite_expr(o.expr),
+                        desc: o.desc,
+                    })
+                    .collect(),
+            },
+            // Scalar-subquery output names are never observed (the 1×1
+            // result is consumed positionally): skip name preservation so
+            // `(SELECT AVG(y) + 5 FROM u)` keeps sharing across literals.
+            Expr::ScalarSubquery(q) => {
+                Expr::ScalarSubquery(Box::new(self.rewrite_query(*q, false)))
+            }
+            Expr::Column { .. } | Expr::Param { .. } | Expr::Star => e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn normalize(sql: &str) -> (String, Vec<Literal>) {
+        let q = parse(sql).unwrap();
+        let explicit = explicit_param_count(&q);
+        let (q, lits) = parameterize_literals(q, explicit);
+        (format!("{q}"), lits)
+    }
+
+    #[test]
+    fn literal_texts_normalize_identically() {
+        let (a, la) = normalize("SELECT x FROM t WHERE x > 1.5 AND tag = 'a'");
+        let (b, lb) = normalize("SELECT x FROM t WHERE x > 99 AND tag = 'zz'");
+        assert_eq!(a, b, "texts differing only in literals share a shape");
+        assert_eq!(la, vec![Literal::Number(1.5), Literal::String("a".into())]);
+        assert_eq!(
+            lb,
+            vec![Literal::Number(99.0), Literal::String("zz".into())]
+        );
+    }
+
+    #[test]
+    fn explicit_params_keep_their_slots() {
+        let q = parse("SELECT x FROM t WHERE x > ? AND y < 3").unwrap();
+        assert_eq!(explicit_param_count(&q), 1);
+        let (q, lits) = parameterize_literals(q, 1);
+        assert_eq!(
+            format!("{q}"),
+            "SELECT x FROM t WHERE ((x > $1) AND (y < $2))"
+        );
+        assert_eq!(lits, vec![Literal::Number(3.0)]);
+    }
+
+    #[test]
+    fn slots_are_per_occurrence_never_value_deduplicated() {
+        // Coinciding literal values must not change the normalized shape —
+        // otherwise the cache key would depend on the values themselves.
+        let (a, la) = normalize("SELECT x FROM t WHERE x > 1 AND y < 1");
+        let (b, lb) = normalize("SELECT x FROM t WHERE x > 1 AND y < 2");
+        assert_eq!(a, b, "coinciding values must normalize like distinct ones");
+        assert_eq!(la, vec![Literal::Number(1.0), Literal::Number(1.0)]);
+        assert_eq!(lb, vec![Literal::Number(1.0), Literal::Number(2.0)]);
+    }
+
+    #[test]
+    fn roots_fold_before_extraction() {
+        // Arithmetic over literals folds, so equivalent spellings share a
+        // normalized shape and a single slot.
+        let (a, la) = normalize("SELECT x FROM t WHERE x > 1 + 2");
+        let (b, lb) = normalize("SELECT x FROM t WHERE x > 3");
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert_eq!(la, vec![Literal::Number(3.0)]);
+        // Fully constant predicates collapse to an inline boolean — no
+        // slot — so the optimizer can still drop the filter.
+        let (text, lits) = normalize("SELECT x FROM t WHERE 1 < 2");
+        assert!(text.contains("WHERE TRUE"), "{text}");
+        assert!(lits.is_empty(), "{lits:?}");
+    }
+
+    #[test]
+    fn select_items_keep_display_names_through_extraction() {
+        // Unaliased select items must not surface `$n` as a column name:
+        // extraction adds the pre-rewrite text as an alias. Explicit
+        // aliases are untouched.
+        let (text, lits) = normalize("SELECT 5, price * 2, qty * 3 AS d FROM t");
+        assert!(text.contains("$1 AS 5"), "{text}");
+        assert!(text.contains("(price * $2) AS (price * 2)"), "{text}");
+        assert!(text.contains("(qty * $3) AS d"), "{text}");
+        assert_eq!(lits.len(), 3);
+        // Literal-free items stay unaliased.
+        let (text, _) = normalize("SELECT price FROM t WHERE qty > 4");
+        assert!(text.contains("SELECT price FROM"), "{text}");
+    }
+
+    #[test]
+    fn nulls_bools_and_patterns_stay_inline() {
+        let (text, lits) = normalize("SELECT x FROM t WHERE name LIKE 'a%' AND x <> 2");
+        assert!(text.contains("LIKE 'a%'"), "{text}");
+        assert_eq!(lits, vec![Literal::Number(2.0)]);
+        let q = parse("SELECT CASE WHEN x > 0 THEN NULL ELSE 1 END FROM t").unwrap();
+        let (q, lits) = parameterize_literals(q, 0);
+        assert!(format!("{q}").contains("NULL"), "{q}");
+        assert_eq!(lits, vec![Literal::Number(0.0), Literal::Number(1.0)]);
+        let (text, lits) = normalize("SELECT x FROM t WHERE flag = TRUE");
+        assert!(text.contains("TRUE"), "{text}");
+        assert!(lits.is_empty());
+    }
+
+    #[test]
+    fn subqueries_and_unions_are_rewritten() {
+        let (a, la) = normalize(
+            "SELECT x FROM t WHERE x > (SELECT AVG(y) + 5 FROM u) \
+             UNION ALL SELECT z FROM v WHERE z = 7",
+        );
+        let (b, lb) = normalize(
+            "SELECT x FROM t WHERE x > (SELECT AVG(y) + 50 FROM u) \
+             UNION ALL SELECT z FROM v WHERE z = 70",
+        );
+        assert_eq!(a, b);
+        assert_eq!(la, vec![Literal::Number(5.0), Literal::Number(7.0)]);
+        assert_eq!(lb, vec![Literal::Number(50.0), Literal::Number(70.0)]);
+    }
+
+    #[test]
+    fn unused_explicit_indices_still_count() {
+        let q = parse("SELECT x FROM t WHERE x > $3").unwrap();
+        assert_eq!(explicit_param_count(&q), 3);
+    }
+}

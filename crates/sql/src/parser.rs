@@ -7,7 +7,12 @@ use crate::SqlError;
 /// Parse SQL text into a [`Query`].
 pub fn parse(input: &str) -> Result<Query, SqlError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        positional_params: 0,
+        saw_numbered_param: false,
+    };
     let q = p.parse_query()?;
     if !p.at_end() {
         return Err(SqlError::new(format!(
@@ -21,6 +26,12 @@ pub fn parse(input: &str) -> Result<Query, SqlError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far — each gets the next 0-based
+    /// index, statement-wide (subqueries share the numbering).
+    positional_params: usize,
+    /// Whether any explicit `$n` placeholder was seen; mixing the two
+    /// styles in one statement is rejected as ambiguous.
+    saw_numbered_param: bool,
 }
 
 impl Parser {
@@ -452,6 +463,25 @@ impl Parser {
     fn parse_atom(&mut self) -> Result<Expr, SqlError> {
         match self.advance() {
             Some(Token::Number(n)) => Ok(Expr::num(n)),
+            Some(Token::Param(None)) => {
+                if self.saw_numbered_param {
+                    return Err(SqlError::new(
+                        "cannot mix '?' and '$n' parameter styles in one statement",
+                    ));
+                }
+                let idx = self.positional_params;
+                self.positional_params += 1;
+                Ok(Expr::Param { idx })
+            }
+            Some(Token::Param(Some(n))) => {
+                if self.positional_params > 0 {
+                    return Err(SqlError::new(
+                        "cannot mix '?' and '$n' parameter styles in one statement",
+                    ));
+                }
+                self.saw_numbered_param = true;
+                Ok(Expr::Param { idx: n - 1 })
+            }
             Some(Token::Str(s)) => Ok(Expr::Literal(Literal::String(s))),
             Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Literal::Bool(true))),
             Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Literal::Bool(false))),
@@ -897,6 +927,31 @@ mod tests {
         ));
         assert!(parse("SELECT COUNT(DISTINCT *) FROM t").is_err());
         assert!(parse("SELECT VARIANCE(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_positional_and_numbered_params() {
+        let q = parse("SELECT a FROM t WHERE x > ? AND y < ?").unwrap();
+        assert_eq!(
+            format!("{}", q.where_clause.unwrap()),
+            "((x > $1) AND (y < $2))",
+            "each '?' takes the next index"
+        );
+        let q2 = parse("SELECT a FROM t WHERE x > $2 AND y < $1").unwrap();
+        assert_eq!(
+            format!("{}", q2.where_clause.unwrap()),
+            "((x > $2) AND (y < $1))"
+        );
+        // Subqueries share the statement-wide numbering.
+        let q3 = parse("SELECT a FROM t WHERE x > ? AND y > (SELECT MAX(v) + ? FROM u)").unwrap();
+        let text = format!("{}", q3.where_clause.unwrap());
+        assert!(text.contains("$1") && text.contains("$2"), "{text}");
+        // Mixing styles is rejected, both orders.
+        assert!(parse("SELECT a FROM t WHERE x > ? AND y < $1").is_err());
+        assert!(parse("SELECT a FROM t WHERE x > $1 AND y < ?").is_err());
+        // Params display/reparse as a fixpoint.
+        let printed = format!("{}", parse("SELECT a FROM t WHERE x IN (?, ?)").unwrap());
+        assert_eq!(format!("{}", parse(&printed).unwrap()), printed);
     }
 
     #[test]

@@ -403,7 +403,8 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
         if item.expr.contains_aggregate() {
             continue;
         }
-        if matches!(item.expr, Expr::Literal(_)) {
+        // Constants (inline or auto-parameterised) need no grouping key.
+        if matches!(item.expr, Expr::Literal(_) | Expr::Param { .. }) {
             continue;
         }
         let is_key = query.group_by.contains(&item.expr);

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p tdp-examples --bin quickstart`
 
 use tdp_core::storage::TableBuilder;
-use tdp_core::{Device, QueryConfig, Tdp};
+use tdp_core::{Device, ParamValues, QueryConfig, Tdp};
 use tdp_examples::{banner, timed};
 
 fn main() {
@@ -71,5 +71,32 @@ fn main() {
         .run()
         .unwrap();
     println!("{}", bright.pretty(5));
+
+    banner("Prepared statements: compile once, bind per run");
+    // The hot-loop shape: one compile, many cheap bindings. The `?` is a
+    // parameter slot in the compiled plan; no re-parse, no re-lower.
+    let prepared = tdp
+        .prepare("SELECT COUNT(*) FROM gallery WHERE brightness > ?")
+        .expect("prepare");
+    println!("{}", prepared.explain());
+    for threshold in [0.2, 0.4, 0.6, 0.8] {
+        let out = prepared
+            .bind(ParamValues::new().number(threshold))
+            .expect("bind")
+            .run()
+            .expect("run");
+        println!(
+            "brightness > {threshold}: {} image(s)",
+            out.column("COUNT(*)").unwrap().data.decode_i64().at(0)
+        );
+    }
+    let stats = tdp.plan_cache_stats();
+    println!(
+        "plan cache: {} entr{}, {} hit(s), {} miss(es)",
+        stats.entries,
+        if stats.entries == 1 { "y" } else { "ies" },
+        stats.hits,
+        stats.misses
+    );
     println!("done.");
 }

@@ -24,7 +24,7 @@ use tdp_core::exec::{ArgValue, DiffColumn, ExecContext, ExecError, ScalarUdf};
 use tdp_core::nn::{Adam, Optimizer};
 use tdp_core::storage::TableBuilder;
 use tdp_core::tensor::{F32Tensor, Rng64, Tensor};
-use tdp_core::{QueryConfig, Tdp};
+use tdp_core::{ParamValues, QueryConfig, Tdp};
 use tdp_examples::banner;
 
 /// `threshold(x)`: emits the trainable cutoff θ, broadcast to x's rows.
@@ -73,21 +73,23 @@ fn main() {
         theta: theta.clone(),
     }));
 
+    // Prepare once, outside the loop: parse → optimize → lower happens a
+    // single time, and each iteration pays only a bind + kernel dispatch.
     let sql = "SELECT COUNT(*) FROM readings WHERE v > threshold(v)";
-    let query = tdp
-        .query_with(
+    let prepared = tdp
+        .prepare_with(
             sql,
             QueryConfig::default().trainable(true).temperature(0.05),
         )
-        .expect("compile");
+        .expect("prepare");
     println!("trainable query: {sql}");
     println!(
         "parameters discovered through the plan: {}",
-        query.num_parameters()
+        prepared.num_parameters()
     );
 
     banner("training from count supervision (Listing 5 loop)");
-    let mut opt = Adam::new(query.parameters(), 0.02);
+    let mut opt = Adam::new(prepared.parameters(), 0.02);
     for step in 0..=400 {
         // Fresh batch each step, re-registered under the same name.
         let vals: Vec<f32> = (0..n).map(|_| rng.uniform() as f32).collect();
@@ -95,6 +97,7 @@ fn main() {
         tdp.register_table(TableBuilder::new().col_f32("v", vals).build("readings"));
 
         opt.zero_grad();
+        let query = prepared.bind(ParamValues::new()).expect("bind");
         let soft_count = query.run_counts().expect("diff run");
         let loss = soft_count.mse_loss(&F32Tensor::from_vec(vec![target], &[1]));
         loss.backward();
@@ -116,7 +119,15 @@ fn main() {
     let vals: Vec<f32> = (0..n).map(|_| rng.uniform() as f32).collect();
     let true_count = vals.iter().filter(|&&v| v > true_cutoff).count();
     tdp.register_table(TableBuilder::new().col_f32("v", vals).build("readings"));
-    let exact = tdp.query(sql).expect("compile").run().expect("run");
+    // The learned cutoff is now just a value: bind it into a plain
+    // parameterised gate — no UDF needed at inference time.
+    let exact = tdp
+        .prepare("SELECT COUNT(*) FROM readings WHERE v > ?")
+        .expect("prepare")
+        .bind(ParamValues::new().number(learned as f64))
+        .expect("bind")
+        .run()
+        .expect("run");
     let got = exact.column("COUNT(*)").unwrap().data.decode_i64().at(0);
     println!("held-out batch: exact filtered count {got} vs ground truth {true_count}");
     assert!(
