@@ -1,0 +1,13 @@
+use tdp_sql::{parse, parameterize_literals, explicit_param_count};
+
+#[test]
+fn group_by_expr_with_literal() {
+    let q = parse("SELECT x + 1, COUNT(*) FROM t GROUP BY x + 1").unwrap();
+    let n = explicit_param_count(&q);
+    let (q, lits) = parameterize_literals(q, n);
+    println!("normalized: {q}");
+    println!("lits: {lits:?}");
+    let item = &q.select[0].expr;
+    let key = &q.group_by[0];
+    assert!(q.group_by.contains(item), "select item {item} vs group key {key}");
+}

@@ -1,0 +1,14 @@
+use tdp_core::Tdp;
+use tdp_storage::TableBuilder;
+
+#[test]
+fn group_by_expr_with_literal_e2e() {
+    let tdp = Tdp::new();
+    tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0, 2.0, 1.0]).build("t"));
+    let r = tdp.query("SELECT x + 1, COUNT(*) FROM t GROUP BY x + 1");
+    match &r {
+        Ok(q) => { q.run().unwrap(); println!("OK"); }
+        Err(e) => println!("ERR: {e}"),
+    }
+    assert!(r.is_ok(), "{r:?}");
+}
