@@ -178,7 +178,7 @@ fn bench_topk_vs_full_sort(c: &mut Criterion) {
     group.bench_function("fused_topk", |b| b.iter(|| fused.run().expect("run")));
     // Hand-built unfused plan for the comparison.
     let unfused_plan = LogicalPlan::Limit {
-        n: 10,
+        n: tdp_core::sql::ast::LimitCount::Const(10),
         input: Box::new(LogicalPlan::Sort {
             keys: vec![OrderItem {
                 expr: tdp_core::sql::ast::Expr::col("v"),
@@ -243,6 +243,46 @@ fn bench_compressed_encodings(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // The morsel-scheduler scaling story: the same compiled query at
+    // 1/2/4/8 worker threads over a scan large enough to split into many
+    // morsels. `filter_heavy` is a fused filter→project pipeline
+    // (order-preserving concat sink); `aggregate_heavy` is a grouped
+    // aggregation (parallel partial aggregation + combine sink). Results
+    // are identical at every thread count; only wall-clock changes.
+    let n = 2_000_000;
+    let mut rng = Rng64::new(17);
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+            .col_i64("k", (0..n).map(|_| rng.below(64) as i64).collect())
+            .build("big"),
+    );
+    let mut group = c.benchmark_group("parallel_scaling_2m");
+    group.sample_size(10);
+    for (name, sql) in [
+        (
+            "filter_heavy",
+            "SELECT v * 2 + 1 AS s FROM big WHERE v > 0.0 AND v < 1.5",
+        ),
+        (
+            "aggregate_heavy",
+            "SELECT k, COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM big GROUP BY k",
+        ),
+    ] {
+        let q = tdp.query(sql).expect("compile");
+        for threads in [1usize, 2, 4, 8] {
+            tdp.set_threads(threads);
+            group.bench_function(format!("{name}/threads_{threads}"), |b| {
+                b.iter(|| q.run().expect("run"))
+            });
+        }
+    }
+    tdp.set_threads(1);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -252,6 +292,7 @@ criterion_group!(
     bench_prepared_rebind_vs_requery,
     bench_encodings,
     bench_compressed_encodings,
-    bench_topk_vs_full_sort
+    bench_topk_vs_full_sort,
+    bench_parallel_scaling
 );
 criterion_main!(benches);

@@ -201,8 +201,9 @@ fn param_slots(physical: &PhysicalPlan) -> Vec<String> {
 }
 
 /// Shared EXPLAIN rendering: logical tree, physical tree (with `$n`
-/// slots), then a `params:` trailer listing the inferred slot count and
-/// positions.
+/// slots), the pipeline breakdown the morsel scheduler will run (fused
+/// chains, sinks and barriers), then a `params:` trailer listing the
+/// inferred slot count and positions.
 fn render_explain(
     plan: &LogicalPlan,
     physical: &PhysicalPlan,
@@ -210,10 +211,11 @@ fn render_explain(
     params_trailer: &str,
 ) -> String {
     format!(
-        "== logical ==\n{}== physical (fingerprint {:016x}) ==\n{}{params_trailer}\n",
+        "== logical ==\n{}== physical (fingerprint {:016x}) ==\n{}== pipelines ==\n{}{params_trailer}\n",
         plan.explain(),
         fingerprint,
-        physical.explain()
+        physical.explain(),
+        tdp_exec::pipeline::explain(physical)
     )
 }
 
@@ -294,6 +296,10 @@ impl<'s> BoundQuery<'s> {
             trainable,
             temperature: self.config.temperature,
             params: self.params.clone(),
+            // The differentiable path is single-threaded (the autodiff
+            // tape is Rc-based); exact runs use the session's pool.
+            threads: if trainable { 1 } else { self.session.threads() },
+            morsel_rows: self.session.morsel_rows(),
         }
     }
 

@@ -18,6 +18,30 @@ use crate::error::TdpError;
 /// long tail of one-off statements.
 const PLAN_CACHE_CAP: usize = 256;
 
+/// Default worker count: `TDP_THREADS` when set to a positive integer,
+/// else the machine's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("TDP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Default morsel size: `TDP_MORSEL_ROWS` when set, else the scheduler's
+/// built-in default.
+fn default_morsel_rows() -> usize {
+    std::env::var("TDP_MORSEL_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(tdp_exec::DEFAULT_MORSEL_ROWS)
+}
+
 /// A cached compilation: the optimised logical plan, its lowering, and
 /// the state it was compiled against (for invalidation). Keyed by the
 /// *normalized* statement text — the parsed query with every literal
@@ -40,20 +64,30 @@ struct CachedPlan {
     last_used: u64,
 }
 
-/// Plan-cache counters (see [`Tdp::plan_cache_stats`]). Hits and misses
-/// accumulate over the session lifetime; `entries` is the current size.
+/// Plan-cache counters (see [`Tdp::plan_cache_stats`]). Hits, misses and
+/// evictions accumulate over the session lifetime; `entries` is the
+/// current size. Together they distinguish cold misses (misses with few
+/// evictions) from LRU churn (misses tracking evictions), which hit/miss
+/// alone cannot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped by LRU capacity eviction (invalidations and
+    /// explicit clears are not evictions).
+    pub evictions: u64,
     pub entries: usize,
 }
 
 /// An AI-centric database session.
 ///
-/// Sessions are single-threaded (function parameters live on the autodiff
-/// tape, which is `Rc`-based, exactly like a PyTorch process); parallelism
-/// comes from the device the kernels run on.
+/// Sessions are single-threaded at the API surface (function parameters
+/// live on the autodiff tape, which is `Rc`-based, exactly like a PyTorch
+/// process), but exact query execution is morsel-parallel: scans are
+/// partitioned into ~64k-row morsels and fused operator pipelines run
+/// across a worker pool sized by [`Tdp::set_threads`] (default: the
+/// `TDP_THREADS` environment variable, else the machine's available
+/// parallelism). Thread count never changes results.
 pub struct Tdp {
     catalog: Catalog,
     udfs: RefCell<UdfRegistry>,
@@ -73,6 +107,11 @@ pub struct Tdp {
     cache_tick: Cell<u64>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
+    cache_evictions: Cell<u64>,
+    /// Morsel-scheduler worker count for exact execution.
+    threads: Cell<usize>,
+    /// Rows per morsel (tunable mostly for tests/benchmarks).
+    morsel_rows: Cell<usize>,
 }
 
 impl Default for Tdp {
@@ -93,7 +132,38 @@ impl Tdp {
             cache_tick: Cell::new(0),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
+            cache_evictions: Cell::new(0),
+            threads: Cell::new(default_threads()),
+            morsel_rows: Cell::new(default_morsel_rows()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Morsel-scheduler configuration
+    // ------------------------------------------------------------------
+
+    /// Set the worker-thread count for exact query execution (clamped to
+    /// ≥ 1). Results are identical at every thread count — parallelism
+    /// only changes who processes each morsel.
+    pub fn set_threads(&self, n: usize) {
+        self.threads.set(n.max(1));
+    }
+
+    /// Current morsel-scheduler worker count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Set the rows-per-morsel partition size (clamped to ≥ 1). Changing
+    /// it may shift the last bit of parallel float aggregates (morsel
+    /// boundaries move); at a fixed size, results are thread-invariant.
+    pub fn set_morsel_rows(&self, n: usize) {
+        self.morsel_rows.set(n.max(1));
+    }
+
+    /// Current rows-per-morsel partition size.
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows.get()
     }
 
     pub(crate) fn vector_indexes_mut<R>(
@@ -331,6 +401,7 @@ impl Tdp {
                     .map(|(k, _)| k.clone())
                 {
                     cache.remove(&oldest);
+                    self.cache_evictions.set(self.cache_evictions.get() + 1);
                 }
             }
             cache.insert(
@@ -386,11 +457,12 @@ impl Tdp {
         self.plan_cache.borrow().len()
     }
 
-    /// Cumulative hit/miss counters plus current entry count.
+    /// Cumulative hit/miss/eviction counters plus current entry count.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.cache_hits.get(),
             misses: self.cache_misses.get(),
+            evictions: self.cache_evictions.get(),
             entries: self.plan_cache.borrow().len(),
         }
     }
@@ -576,6 +648,7 @@ mod tests {
             .unwrap();
         let stats0 = tdp.plan_cache_stats();
         assert_eq!((stats0.hits, stats0.misses, stats0.entries), (0, 1, 1));
+        assert_eq!(stats0.evictions, 0);
         let b = tdp
             .query("SELECT COUNT(*) FROM t WHERE x > 0.5 AND tag = 'b'")
             .unwrap();

@@ -257,6 +257,163 @@ impl EncodedTensor {
         }
     }
 
+    /// Rows `start..end` (bounds clamped), preserving the encoding. The
+    /// morsel-partitioning primitive: plain, dictionary and PE layouts
+    /// slice their buffers in one memcpy (dictionary slices share the
+    /// parent's dictionary, so codes stay globally comparable across
+    /// morsels); compressed layouts re-encode the decoded range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> EncodedTensor {
+        let rows = self.rows();
+        let end = end.min(rows);
+        let start = start.min(end);
+        match self {
+            EncodedTensor::F32(t) => EncodedTensor::F32(t.slice_rows(start, end)),
+            EncodedTensor::I64(t) => EncodedTensor::I64(t.slice_rows(start, end)),
+            EncodedTensor::Bool(t) => EncodedTensor::Bool(t.slice_rows(start, end)),
+            EncodedTensor::Dict { codes, dict } => EncodedTensor::Dict {
+                codes: codes.slice_rows(start, end),
+                dict: Arc::clone(dict),
+            },
+            EncodedTensor::Pe(p) => EncodedTensor::Pe(PeTensor::new(
+                p.probs().slice_rows(start, end),
+                p.class_values().clone(),
+            )),
+            EncodedTensor::Rle(r) => {
+                EncodedTensor::Rle(RleColumn::encode(&r.decode().slice_rows(start, end)))
+            }
+            EncodedTensor::BitPacked(b) => {
+                EncodedTensor::compress_i64(&b.decode().slice_rows(start, end))
+            }
+            EncodedTensor::Delta(d) => {
+                EncodedTensor::compress_i64(&d.decode().slice_rows(start, end))
+            }
+        }
+    }
+
+    /// Concatenate column pieces row-wise, preserving the encoding where
+    /// the pieces agree — the merge half of morsel execution. Plain
+    /// layouts concatenate buffers; dictionary pieces sharing one
+    /// dictionary (the common case: morsels sliced from one parent
+    /// column) concatenate codes; PE pieces with identical class values
+    /// concatenate probability rows; integer-compressed pieces re-encode.
+    /// Heterogeneous pieces fall back to a decoded common representation.
+    ///
+    /// Panics on an empty `parts` slice — callers always have ≥1 morsel.
+    pub fn concat(parts: &[&EncodedTensor]) -> EncodedTensor {
+        use tdp_tensor::index::concat_rows;
+        assert!(!parts.is_empty(), "concat of zero column pieces");
+        if parts.len() == 1 {
+            return parts[0].clone();
+        }
+        if parts.iter().all(|p| matches!(p, EncodedTensor::F32(_))) {
+            let ts: Vec<&F32Tensor> = parts
+                .iter()
+                .map(|p| match p {
+                    EncodedTensor::F32(t) => t,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return EncodedTensor::F32(concat_rows(&ts));
+        }
+        if parts.iter().all(|p| matches!(p, EncodedTensor::Bool(_))) {
+            let ts: Vec<&BoolTensor> = parts
+                .iter()
+                .map(|p| match p {
+                    EncodedTensor::Bool(t) => t,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return EncodedTensor::Bool(concat_rows(&ts));
+        }
+        // Same-dictionary string pieces: concatenate codes, keep the dict.
+        if let EncodedTensor::Dict { dict: first, .. } = parts[0] {
+            let same_dict = parts
+                .iter()
+                .all(|p| matches!(p, EncodedTensor::Dict { dict, .. } if Arc::ptr_eq(dict, first)));
+            if same_dict {
+                let codes: Vec<&I64Tensor> = parts
+                    .iter()
+                    .map(|p| match p {
+                        EncodedTensor::Dict { codes, .. } => codes,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                return EncodedTensor::Dict {
+                    codes: concat_rows(&codes),
+                    dict: Arc::clone(first),
+                };
+            }
+        }
+        if parts
+            .iter()
+            .any(|p| matches!(p, EncodedTensor::Dict { .. }))
+        {
+            // Distinct dictionaries — or strings mixed with non-strings:
+            // re-encode the decoded strings (the order-preserving
+            // dictionary keeps code order = string order).
+            let mut strings = Vec::new();
+            for p in parts {
+                strings.extend(p.decode_strings());
+            }
+            return EncodedTensor::from_strings(&strings);
+        }
+        if let EncodedTensor::Pe(first) = parts[0] {
+            let cv = first.class_values().to_vec();
+            let same_classes = parts
+                .iter()
+                .all(|p| matches!(p, EncodedTensor::Pe(q) if q.class_values().to_vec() == cv));
+            if same_classes {
+                let probs: Vec<F32Tensor> = parts
+                    .iter()
+                    .map(|p| match p {
+                        EncodedTensor::Pe(q) => q.probs().clone(),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let refs: Vec<&F32Tensor> = probs.iter().collect();
+                return EncodedTensor::Pe(PeTensor::new(
+                    concat_rows(&refs),
+                    first.class_values().clone(),
+                ));
+            }
+        }
+        // Integer family (plain i64 / RLE / bit-packed / delta, mixed or
+        // not): concatenate decoded values and pick the best layout once.
+        let int_like = |p: &EncodedTensor| {
+            matches!(
+                p,
+                EncodedTensor::I64(_)
+                    | EncodedTensor::Rle(_)
+                    | EncodedTensor::BitPacked(_)
+                    | EncodedTensor::Delta(_)
+            )
+        };
+        if parts.iter().all(|p| matches!(p, EncodedTensor::I64(_))) {
+            // All-plain fast path: keep the plain layout (no surprise
+            // re-compression of an uncompressed column).
+            let ts: Vec<&I64Tensor> = parts
+                .iter()
+                .map(|p| match p {
+                    EncodedTensor::I64(t) => t,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return EncodedTensor::I64(concat_rows(&ts));
+        }
+        if parts.iter().all(|p| int_like(p)) {
+            let decoded: Vec<I64Tensor> = parts.iter().map(|p| p.decode_i64()).collect();
+            let refs: Vec<&I64Tensor> = decoded.iter().collect();
+            return EncodedTensor::compress_i64(&concat_rows(&refs));
+        }
+        // Heterogeneous pieces: decode to exact string values (i64 has no
+        // lossless f32 embedding — values above 2^24 would round).
+        let mut strings = Vec::new();
+        for p in parts {
+            strings.extend(p.decode_strings());
+        }
+        EncodedTensor::from_strings(&strings)
+    }
+
     /// Reorder / gather rows by index, preserving the encoding.
     pub fn select_rows(&self, idx: &I64Tensor) -> EncodedTensor {
         match self {
@@ -344,6 +501,51 @@ mod tests {
         let fr = rle.filter_rows(&mask);
         assert_eq!(fr.kind(), EncodingKind::RunLength);
         assert_eq!(fr.decode_i64().to_vec(), vec![7, 8]);
+    }
+
+    #[test]
+    fn slice_rows_preserves_encoding_and_values() {
+        let s = EncodedTensor::from_strings(&["a", "b", "c", "d"]);
+        let sl = s.slice_rows(1, 3);
+        assert_eq!(sl.decode_strings(), vec!["b", "c"]);
+        match (&s, &sl) {
+            (EncodedTensor::Dict { dict: d0, .. }, EncodedTensor::Dict { dict: d1, .. }) => {
+                assert!(Arc::ptr_eq(d0, d1), "slices share the parent dictionary");
+            }
+            other => panic!("expected dict slices, got {other:?}"),
+        }
+        let f = EncodedTensor::F32(Tensor::from_vec(vec![0.0f32; 8], &[4, 2]));
+        assert_eq!(f.slice_rows(1, 3).decode_f32().shape(), &[2, 2]);
+        assert_eq!(f.slice_rows(3, 99).rows(), 1, "end clamps");
+        assert_eq!(f.slice_rows(9, 99).rows(), 0, "empty past the end");
+        let rle = EncodedTensor::Rle(RleColumn::encode(&Tensor::from_vec(
+            vec![7i64, 7, 8, 8],
+            &[4],
+        )));
+        assert_eq!(rle.slice_rows(1, 4).decode_i64().to_vec(), vec![7, 8, 8]);
+    }
+
+    #[test]
+    fn concat_preserves_encodings_and_exact_values() {
+        // Same-dict pieces concatenate codes and share the dictionary.
+        let s = EncodedTensor::from_strings(&["x", "y", "x", "z"]);
+        let (a, b) = (s.slice_rows(0, 2), s.slice_rows(2, 4));
+        let joined = EncodedTensor::concat(&[&a, &b]);
+        assert_eq!(joined.kind(), EncodingKind::Dictionary);
+        assert_eq!(joined.decode_strings(), vec!["x", "y", "x", "z"]);
+        // Plain i64 pieces stay plain.
+        let i = EncodedTensor::from_i64_slice(&[1, 2]);
+        let j = EncodedTensor::from_i64_slice(&[3]);
+        assert_eq!(
+            EncodedTensor::concat(&[&i, &j]).kind(),
+            EncodingKind::PlainI64
+        );
+        // Heterogeneous pieces decode to exact strings: i64 above 2^24
+        // must not round through f32.
+        let big = EncodedTensor::from_i64_slice(&[16_777_217]);
+        let f = EncodedTensor::from_f32_slice(&[0.5]);
+        let mixed = EncodedTensor::concat(&[&big, &f]);
+        assert_eq!(mixed.decode_strings(), vec!["16777217", "0.5"]);
     }
 
     #[test]

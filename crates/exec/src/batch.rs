@@ -197,6 +197,46 @@ impl Batch {
         out
     }
 
+    /// Rows `start..end` of every column as a new batch — the morsel
+    /// slice. A contiguous range copy per column (dictionary slices share
+    /// the parent dictionary, so codes stay comparable across morsels);
+    /// no index tensor, no gather. Soft weights are dropped, as in
+    /// [`Batch::head`].
+    pub fn slice_rows(&self, start: usize, end: usize) -> Batch {
+        let mut out = Batch::new();
+        for (name, col) in &self.columns {
+            out.push(
+                name.clone(),
+                ColumnData::Exact(col.to_exact().slice_rows(start, end)),
+            );
+        }
+        out
+    }
+
+    /// Concatenate batches row-wise, preserving column encodings where
+    /// the pieces agree (see [`EncodedTensor::concat`]) — the
+    /// order-preserving merge of morsel outputs. Column names and order
+    /// come from the first batch; every batch must have the same arity.
+    pub fn concat(parts: &[Batch]) -> Batch {
+        assert!(!parts.is_empty(), "concat of zero batches");
+        if parts.len() == 1 {
+            return parts[0].clone();
+        }
+        let mut out = Batch::new();
+        let exact: Vec<Vec<EncodedTensor>> = parts
+            .iter()
+            .map(|b| b.columns().iter().map(|(_, c)| c.to_exact()).collect())
+            .collect();
+        for (i, (name, _)) in parts[0].columns().iter().enumerate() {
+            let pieces: Vec<&EncodedTensor> = exact.iter().map(|cols| &cols[i]).collect();
+            out.push(
+                name.clone(),
+                ColumnData::Exact(EncodedTensor::concat(&pieces)),
+            );
+        }
+        out
+    }
+
     /// Whether any column is differentiable.
     pub fn has_diff(&self) -> bool {
         self.columns.iter().any(|(_, c)| c.is_diff())

@@ -26,15 +26,104 @@ use crate::error::ExecError;
 use crate::exact;
 use crate::expr::eval_expr;
 use crate::physical::{CompiledExpr, PhysAggregate, PhysKey, PhysProjectItem, PhysicalPlan};
+use crate::pipeline::{MorselOp, PipeNode};
 use crate::soft;
 use crate::udf::{ArgValue, ExecContext};
 
 /// Execute a physical plan differentiably.
+///
+/// Consumes the *same* pipeline decomposition as the scheduled exact
+/// executor ([`crate::pipeline::decompose`]) — the plan is decomposed
+/// once into fused chains and barriers — but walks it single-threaded:
+/// soft kernels ride the `Rc`-based autodiff tape, which cannot cross
+/// threads.
 pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    exec_diff_node(&crate::pipeline::decompose(plan), ctx)
+}
+
+/// Apply a fused chain with the differentiable operator kernels.
+fn apply_ops_diff(
+    mut batch: Batch,
+    ops: &[MorselOp<'_>],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    for op in ops {
+        batch = match op {
+            MorselOp::Filter(pred) => filter_diff(&batch, pred, ctx)?,
+            MorselOp::Project(items) => project_diff(&batch, items, ctx)?,
+        };
+    }
+    Ok(batch)
+}
+
+fn exec_diff_node(node: &PipeNode<'_>, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    match node {
+        PipeNode::Scan { table, schema } => exact::scan_table(table, *schema, ctx),
+        PipeNode::Stream(pipe) => {
+            let inp = exec_diff_node(&pipe.input, ctx)?;
+            apply_ops_diff(inp, &pipe.ops, ctx)
+        }
+        PipeNode::Aggregate {
+            keys,
+            aggregates,
+            pipe,
+        } => {
+            let inp = apply_ops_diff(exec_diff_node(&pipe.input, ctx)?, &pipe.ops, ctx)?;
+            aggregate_diff(&inp, keys, aggregates, ctx)
+        }
+        PipeNode::Limit { n, pipe } => {
+            // `ORDER BY score DESC LIMIT k` over a differentiable score
+            // relaxes to NeuralSort top-k weights: every row survives,
+            // carrying a soft membership weight that downstream soft
+            // aggregates consume (the §4 operator-relaxation story applied
+            // to top-k, as in the paper's multimodal search queries).
+            if pipe.ops.is_empty() {
+                if let PipeNode::Barrier {
+                    plan: PhysicalPlan::Sort { keys, .. },
+                    inputs,
+                } = &*pipe.input
+                {
+                    let inp = exec_diff_node(&inputs[0], ctx)?;
+                    let k = crate::expr::resolve_limit(n, ctx)?;
+                    if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
+                        let scores = eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
+                        let w = soft::soft_topk_weights(&scores, k, keys[0].desc, ctx.temperature);
+                        let mut out = inp;
+                        out.weights = Some(match out.weights.take() {
+                            Some(prev) => prev.mul(&w),
+                            None => w,
+                        });
+                        return Ok(out);
+                    }
+                    if inp.has_diff() {
+                        return Err(ExecError::NotDifferentiable(
+                            "ORDER BY over differentiable columns".into(),
+                        ));
+                    }
+                    let sorted = exact::sort_batch(&inp, keys, ctx)?;
+                    return Ok(sorted.head(k));
+                }
+            }
+            let inp = apply_ops_diff(exec_diff_node(&pipe.input, ctx)?, &pipe.ops, ctx)?;
+            if inp.has_diff() {
+                return Err(ExecError::NotDifferentiable(
+                    "LIMIT over differentiable columns".into(),
+                ));
+            }
+            Ok(inp.head(crate::expr::resolve_limit(n, ctx)?))
+        }
+        PipeNode::Barrier { plan, inputs } => exec_diff_barrier(plan, inputs, ctx),
+    }
+}
+
+fn exec_diff_barrier(
+    plan: &PhysicalPlan,
+    inputs: &[PipeNode<'_>],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
     match plan {
-        PhysicalPlan::Scan { table, schema } => exact::scan_table(table, schema.as_deref(), ctx),
-        PhysicalPlan::TvfScan { name, input } => {
-            let inp = execute_diff(input, ctx)?;
+        PhysicalPlan::TvfScan { name, .. } => {
+            let inp = exec_diff_node(&inputs[0], ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut out = tvf.invoke_table_diff(&inp, ctx)?;
             // Input weights survive a row-preserving TVF.
@@ -43,8 +132,8 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
             }
             Ok(out)
         }
-        PhysicalPlan::TvfProject { name, args, input } => {
-            let inp = execute_diff(input, ctx)?;
+        PhysicalPlan::TvfProject { name, args, .. } => {
+            let inp = exec_diff_node(&inputs[0], ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
@@ -52,30 +141,9 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
             }
             tvf.invoke_cols(&arg_values, ctx)
         }
-        PhysicalPlan::Filter { predicate, input } => {
-            let inp = execute_diff(input, ctx)?;
-            filter_diff(&inp, predicate, ctx)
-        }
-        PhysicalPlan::Project { items, input } => {
-            let inp = execute_diff(input, ctx)?;
-            project_diff(&inp, items, ctx)
-        }
-        PhysicalPlan::Aggregate {
-            keys,
-            aggregates,
-            input,
-        } => {
-            let inp = execute_diff(input, ctx)?;
-            aggregate_diff(&inp, keys, aggregates, ctx)
-        }
-        PhysicalPlan::Join {
-            left,
-            right,
-            kind,
-            on,
-        } => {
-            let l = execute_diff(left, ctx)?;
-            let r = execute_diff(right, ctx)?;
+        PhysicalPlan::Join { kind, on, .. } => {
+            let l = exec_diff_node(&inputs[0], ctx)?;
+            let r = exec_diff_node(&inputs[1], ctx)?;
             if l.has_diff() || r.has_diff() {
                 return Err(ExecError::NotDifferentiable(
                     "JOIN over differentiable columns".into(),
@@ -83,8 +151,8 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
             }
             exact::join_batches(&l, &r, *kind, on)
         }
-        PhysicalPlan::Sort { keys, input } => {
-            let inp = execute_diff(input, ctx)?;
+        PhysicalPlan::Sort { keys, .. } => {
+            let inp = exec_diff_node(&inputs[0], ctx)?;
             if inp.has_diff() {
                 return Err(ExecError::NotDifferentiable(
                     "ORDER BY over differentiable columns".into(),
@@ -92,57 +160,14 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
             }
             exact::sort_batch(&inp, keys, ctx)
         }
-        PhysicalPlan::Limit { n, input } => {
-            // `ORDER BY score DESC LIMIT k` over a differentiable score
-            // relaxes to NeuralSort top-k weights: every row survives,
-            // carrying a soft membership weight that downstream soft
-            // aggregates consume (the §4 operator-relaxation story applied
-            // to top-k, as in the paper's multimodal search queries).
-            if let PhysicalPlan::Sort {
-                keys,
-                input: sort_input,
-            } = &**input
-            {
-                let inp = execute_diff(sort_input, ctx)?;
-                if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
-                    let scores = eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
-                    let w = soft::soft_topk_weights(
-                        &scores,
-                        *n as usize,
-                        keys[0].desc,
-                        ctx.temperature,
-                    );
-                    let mut out = inp;
-                    out.weights = Some(match out.weights.take() {
-                        Some(prev) => prev.mul(&w),
-                        None => w,
-                    });
-                    return Ok(out);
-                }
-                if inp.has_diff() {
-                    return Err(ExecError::NotDifferentiable(
-                        "ORDER BY over differentiable columns".into(),
-                    ));
-                }
-                let sorted = exact::sort_batch(&inp, keys, ctx)?;
-                return Ok(sorted.head(*n as usize));
-            }
-            let inp = execute_diff(input, ctx)?;
-            if inp.has_diff() {
-                return Err(ExecError::NotDifferentiable(
-                    "LIMIT over differentiable columns".into(),
-                ));
-            }
-            Ok(inp.head(*n as usize))
-        }
-        PhysicalPlan::TopK { keys, n, input } => {
+        PhysicalPlan::TopK { keys, n, .. } => {
             // The fused form of ORDER BY + LIMIT: same soft relaxation as
             // the unfused pattern when the (single) key is on the tape.
-            let inp = execute_diff(input, ctx)?;
+            let inp = exec_diff_node(&inputs[0], ctx)?;
+            let k = crate::expr::resolve_limit(n, ctx)?;
             if keys.len() == 1 && on_tape(&keys[0].expr, &inp, ctx) {
                 let scores = eval_diff(&keys[0].expr, &inp, ctx)?.into_var(inp.rows())?;
-                let w =
-                    soft::soft_topk_weights(&scores, *n as usize, keys[0].desc, ctx.temperature);
+                let w = soft::soft_topk_weights(&scores, k, keys[0].desc, ctx.temperature);
                 let mut out = inp;
                 out.weights = Some(match out.weights.take() {
                     Some(prev) => prev.mul(&w),
@@ -155,10 +180,10 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
                     "ORDER BY over differentiable columns".into(),
                 ));
             }
-            exact::topk_batch(&inp, keys, *n as usize, ctx)
+            exact::topk_batch(&inp, keys, k, ctx)
         }
-        PhysicalPlan::Window { windows, input } => {
-            let inp = execute_diff(input, ctx)?;
+        PhysicalPlan::Window { windows, .. } => {
+            let inp = exec_diff_node(&inputs[0], ctx)?;
             if inp.has_diff() {
                 return Err(ExecError::NotDifferentiable(
                     "window functions over differentiable columns".into(),
@@ -166,8 +191,8 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
             }
             exact::window_batch(&inp, windows, ctx)
         }
-        PhysicalPlan::Distinct { input } => {
-            let inp = execute_diff(input, ctx)?;
+        PhysicalPlan::Distinct { .. } => {
+            let inp = exec_diff_node(&inputs[0], ctx)?;
             if inp.has_diff() {
                 return Err(ExecError::NotDifferentiable(
                     "DISTINCT over differentiable columns".into(),
@@ -175,15 +200,22 @@ pub fn execute_diff(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, Exe
             }
             exact::distinct_batch(&inp)
         }
-        PhysicalPlan::UnionAll { left, right } => {
-            let l = execute_diff(left, ctx)?;
-            let r = execute_diff(right, ctx)?;
+        PhysicalPlan::UnionAll { .. } => {
+            let l = exec_diff_node(&inputs[0], ctx)?;
+            let r = exec_diff_node(&inputs[1], ctx)?;
             if l.has_diff() || r.has_diff() {
                 return Err(ExecError::NotDifferentiable(
                     "UNION ALL over differentiable columns".into(),
                 ));
             }
             exact::union_all_batches(&l, &r)
+        }
+        PhysicalPlan::Scan { .. }
+        | PhysicalPlan::Filter { .. }
+        | PhysicalPlan::Project { .. }
+        | PhysicalPlan::Aggregate { .. }
+        | PhysicalPlan::Limit { .. } => {
+            unreachable!("streamable operator reached the barrier executor")
         }
     }
 }

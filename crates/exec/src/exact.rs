@@ -1,8 +1,16 @@
-//! Exact (inference-time) execution of compiled physical plans.
+//! Exact (inference-time) operator kernels over slot-indexed batches.
 //!
 //! All name resolution, schema propagation and function lookup happened at
 //! lowering time ([`crate::physical::lower`]); this module is pure kernel
-//! dispatch over slot-indexed batches.
+//! dispatch over slot-indexed batches. Since the morsel refactor this is
+//! the **single-morsel kernel library**: [`execute`] routes through the
+//! pipeline scheduler ([`crate::pipeline`]), which invokes the kernels
+//! here per morsel (filters, projections, partial aggregation) or per
+//! barrier (sorts, joins, windows). [`execute_seq`] is the historical
+//! whole-batch operator-at-a-time walk, kept for scalar subqueries —
+//! which must evaluate identically no matter how the outer query is
+//! scheduled — and as the fallback for chains that cannot leave the
+//! session thread.
 
 use tdp_encoding::EncodedTensor;
 use tdp_sql::ast::{AggFunc, JoinKind};
@@ -11,24 +19,36 @@ use tdp_tensor::{F32Tensor, I64Tensor, Tensor};
 
 use crate::batch::{Batch, ColumnData};
 use crate::error::ExecError;
-use crate::expr::{eval_expr, Value};
+use crate::expr::{eval_expr, resolve_limit, Value};
 use crate::physical::{
     JoinOn, PhysAggregate, PhysKey, PhysOrderKey, PhysProjectItem, PhysWindow, PhysWindowFunc,
     PhysicalPlan,
 };
 use crate::udf::ExecContext;
 
-/// Execute a physical plan exactly, producing a batch.
+/// Execute a physical plan exactly, producing a batch. Routes through
+/// the morsel scheduler: the plan is decomposed into fused pipelines
+/// broken at barriers and run across `ctx.threads` workers. Results are
+/// identical at every thread count.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    crate::pipeline::execute(plan, ctx)
+}
+
+/// Whole-batch, single-threaded operator-at-a-time execution — one
+/// materialised [`Batch`] per operator. Scalar subqueries always take
+/// this path (their result must not depend on the outer query's
+/// scheduling), and the scheduler falls back to it for operator chains
+/// that cannot leave the session thread.
+pub(crate) fn execute_seq(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match plan {
         PhysicalPlan::Scan { table, schema } => scan_table(table, schema.as_deref(), ctx),
         PhysicalPlan::TvfScan { name, input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             tvf.invoke_table(&inp, ctx)
         }
         PhysicalPlan::TvfProject { name, args, input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
@@ -37,12 +57,12 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecErro
             tvf.invoke_cols(&arg_values, ctx)
         }
         PhysicalPlan::Filter { predicate, input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             let mask = eval_expr(predicate, &inp, ctx)?.into_mask(inp.rows())?;
             Ok(filter_batch(&inp, &mask))
         }
         PhysicalPlan::Project { items, input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             project_batch(&inp, items, ctx)
         }
         PhysicalPlan::Aggregate {
@@ -50,7 +70,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecErro
             aggregates,
             input,
         } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             aggregate_batch(&inp, keys, aggregates, ctx)
         }
         PhysicalPlan::Join {
@@ -59,34 +79,34 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecErro
             kind,
             on,
         } => {
-            let l = execute(left, ctx)?;
-            let r = execute(right, ctx)?;
+            let l = execute_seq(left, ctx)?;
+            let r = execute_seq(right, ctx)?;
             join_batches(&l, &r, *kind, on)
         }
         PhysicalPlan::Sort { keys, input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             sort_batch(&inp, keys, ctx)
         }
         // LIMIT is a contiguous prefix slice — no index tensor, no gather.
         PhysicalPlan::Limit { n, input } => {
-            let inp = execute(input, ctx)?;
-            Ok(inp.head(*n as usize))
+            let inp = execute_seq(input, ctx)?;
+            Ok(inp.head(resolve_limit(n, ctx)?))
         }
         PhysicalPlan::TopK { keys, n, input } => {
-            let inp = execute(input, ctx)?;
-            topk_batch(&inp, keys, *n as usize, ctx)
+            let inp = execute_seq(input, ctx)?;
+            topk_batch(&inp, keys, resolve_limit(n, ctx)?, ctx)
         }
         PhysicalPlan::Window { windows, input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             window_batch(&inp, windows, ctx)
         }
         PhysicalPlan::Distinct { input } => {
-            let inp = execute(input, ctx)?;
+            let inp = execute_seq(input, ctx)?;
             distinct_batch(&inp)
         }
         PhysicalPlan::UnionAll { left, right } => {
-            let l = execute(left, ctx)?;
-            let r = execute(right, ctx)?;
+            let l = execute_seq(left, ctx)?;
+            let r = execute_seq(right, ctx)?;
             union_all_batches(&l, &r)
         }
     }
@@ -153,8 +173,7 @@ pub fn union_all_batches(left: &Batch, right: &Batch) -> Result<Batch, ExecError
             right.columns().len()
         )));
     }
-    let mut parts = vec![left.clone(), right.clone()];
-    Ok(concat_batches(&mut parts))
+    Ok(Batch::concat(&[left.clone(), right.clone()]))
 }
 
 /// Apply a row mask to every column of a batch.
@@ -212,7 +231,7 @@ fn f32_order_key(v: f32) -> i64 {
 }
 
 /// Integer grouping codes for a key column, chosen by encoding.
-fn key_codes(col: &EncodedTensor) -> Result<I64Tensor, ExecError> {
+pub(crate) fn key_codes(col: &EncodedTensor) -> Result<I64Tensor, ExecError> {
     Ok(match col {
         EncodedTensor::I64(t) => t.clone(),
         EncodedTensor::Bool(t) => t.to_i64_mask(),
@@ -521,8 +540,7 @@ pub fn join_batches(
         let un = left_unmatched.len();
         let ui = Tensor::from_vec(left_unmatched, &[un]);
         let left_pad = select_batch(left, &ui);
-        let mut rows: Vec<Batch> = vec![out, pad_right(&left_pad, right, un)];
-        return Ok(concat_batches(&mut rows));
+        return Ok(Batch::concat(&[out, pad_right(&left_pad, right, un)]));
     }
     Ok(out)
 }
@@ -548,41 +566,6 @@ fn pad_right(left_pad: &Batch, right: &Batch, n: usize) -> Batch {
             name.clone()
         };
         out.push(out_name, ColumnData::Exact(padded));
-    }
-    out
-}
-
-fn concat_batches(parts: &mut Vec<Batch>) -> Batch {
-    let first = parts.remove(0);
-    let mut out = Batch::new();
-    for (i, (name, col)) in first.columns().iter().enumerate() {
-        let mut pieces: Vec<EncodedTensor> = vec![col.to_exact()];
-        for p in parts.iter() {
-            pieces.push(p.columns()[i].1.to_exact());
-        }
-        // Concatenate by decoding to a common representation when the
-        // encodings differ; same-encoding fast path for plain tensors.
-        let combined = match pieces.iter().all(|p| matches!(p, EncodedTensor::F32(_))) {
-            true => {
-                let tensors: Vec<F32Tensor> = pieces
-                    .iter()
-                    .map(|p| match p {
-                        EncodedTensor::F32(t) => t.clone(),
-                        _ => unreachable!(),
-                    })
-                    .collect();
-                let refs: Vec<&F32Tensor> = tensors.iter().collect();
-                EncodedTensor::F32(tdp_tensor::index::concat_rows(&refs))
-            }
-            false => {
-                let mut strings = Vec::new();
-                for p in &pieces {
-                    strings.extend(p.decode_strings());
-                }
-                EncodedTensor::from_strings(&strings)
-            }
-        };
-        out.push(name.clone(), ColumnData::Exact(combined));
     }
     out
 }

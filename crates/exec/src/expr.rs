@@ -210,6 +210,37 @@ pub(crate) fn eval_param(idx: usize, rows: usize, ctx: &ExecContext) -> Result<V
     }
 }
 
+/// Resolve a LIMIT count against the context binding: structural
+/// constants pass through; `LIMIT ?` slots must be bound to a
+/// non-negative integer number, anything else is a clean
+/// [`ExecError::Param`].
+pub(crate) fn resolve_limit(
+    n: &tdp_sql::ast::LimitCount,
+    ctx: &ExecContext,
+) -> Result<usize, ExecError> {
+    use crate::params::ParamValue;
+    use tdp_sql::ast::LimitCount;
+    match n {
+        LimitCount::Const(v) => Ok(*v as usize),
+        LimitCount::Param { idx } => match ctx.params.get(*idx) {
+            Some(ParamValue::Number(v)) if *v >= 0.0 && v.fract() == 0.0 => Ok(*v as usize),
+            Some(ParamValue::Number(v)) => Err(ExecError::Param(format!(
+                "LIMIT parameter ${} must be a non-negative integer, got {v}",
+                idx + 1
+            ))),
+            Some(other) => Err(ExecError::Param(format!(
+                "LIMIT parameter ${} must be an integer number, got {other:?}",
+                idx + 1
+            ))),
+            None => Err(ExecError::Param(format!(
+                "LIMIT parameter ${} is not bound ({} value(s) provided)",
+                idx + 1,
+                ctx.params.len()
+            ))),
+        },
+    }
+}
+
 /// Evaluate arguments and invoke a session scalar UDF by name.
 fn invoke_udf(
     name: &str,
@@ -226,12 +257,14 @@ fn invoke_udf(
 }
 
 /// Execute a lowered scalar-subquery plan against the session catalog; it
-/// must return exactly one row and one column.
+/// must return exactly one row and one column. Subqueries always run on
+/// the sequential whole-batch path so their value never depends on the
+/// outer query's morsel scheduling.
 pub(crate) fn eval_scalar_subquery(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
 ) -> Result<Value, ExecError> {
-    let batch = crate::exact::execute(plan, ctx)?;
+    let batch = crate::exact::execute_seq(plan, ctx)?;
     if batch.rows() != 1 || batch.columns().len() != 1 {
         return Err(ExecError::TypeMismatch(format!(
             "scalar subquery must return 1 row x 1 column, got {} x {}",

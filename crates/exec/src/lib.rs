@@ -1,23 +1,26 @@
 //! # tdp-exec
 //!
 //! The physical executor: relational operators lowered onto tensor kernels
-//! (the TQP lowering the paper builds on).
+//! (the TQP lowering the paper builds on), scheduled morsel-at-a-time
+//! across a worker pool.
 //!
-//! ## Architecture: logical → physical → kernels
+//! ## Architecture: logical → physical → pipelines → kernels
 //!
-//! Execution is a three-stage pipeline, compiled **once** and run many
-//! times — the "query compiled like a PyTorch model" contract:
+//! Execution is compiled **once** and run many times — the "query
+//! compiled like a PyTorch model" contract:
 //!
 //! ```text
 //!   SQL ── parse ──► ast::Query
 //!       ── plan  ──► LogicalPlan          (tdp-sql: relational algebra)
 //!       ── optimize► LogicalPlan          (rule fixpoint: folding, pushdown, fusion)
 //!       ── lower ──► PhysicalPlan         (physical::lower — THE compile step)
+//!       ── decompose► PipeNode            (pipeline::decompose — fused chains + barriers)
 //!                      │
 //!          ┌───────────┴────────────┐
 //!          ▼                        ▼
-//!   exact::execute           diff::execute_diff
-//!   (hard kernels)           (soft/differentiable kernels)
+//!   pipeline::execute        diff::execute_diff
+//!   (morsel scheduler,       (single-threaded,
+//!    hard kernels)            soft kernels)
 //! ```
 //!
 //! [`physical::lower`] walks the logical tree a single time, propagating
@@ -25,44 +28,67 @@
 //! reference to a **slot index** ([`physical::CompiledExpr`]). It also
 //! resolves functions (session UDF vs. built-in kernel), lowers scalar
 //! subqueries into nested physical plans, and type-checks what can be
-//! checked statically (unknown columns/functions, UNION arity,
-//! non-COUNT `*` aggregates). Both executors then consume the *same*
-//! [`physical::PhysicalPlan`]; they diverge only in kernel choice:
+//! checked statically.
 //!
-//! * **Exact** ([`exact`]) — filters are boolean masks, GROUP BY is
-//!   sort-based over composite integer keys, joins are hash joins, ORDER BY
-//!   is argsort, aggregation is segmented reduction. Probability-encoded
-//!   inputs are decoded by argmax first, eliminating approximation error
-//!   (paper §4, inference-time operator swap).
-//! * **Soft/differentiable** ([`soft`], [`diff`]) — the trainable-query
-//!   path: GROUP BY + COUNT over PE columns becomes an (iterated
-//!   Khatri-Rao) product followed by a column sum — only additions and
-//!   multiplications, hence end-to-end differentiable; predicates become
-//!   sigmoid-weighted row weights threaded through downstream aggregates.
+//! ## Morsel-driven execution
+//!
+//! [`pipeline::decompose`] breaks the physical plan at **barriers**
+//! (aggregate, sort, join build, window, DISTINCT, LIMIT) and fuses the
+//! barrier-free filter→project chains between them into per-morsel
+//! programs. The scheduler ([`morsel`]) partitions each pipeline's input
+//! into ~64k-row morsels ([`pipeline::DEFAULT_MORSEL_ROWS`]) and runs
+//! the fused chain across a worker pool ([`ExecContext::threads`]),
+//! claiming morsels work-stealing-style from a shared counter:
+//!
+//! * filter/project pipelines reassemble with an **order-preserving,
+//!   encoding-preserving concat** ([`Batch::concat`]);
+//! * aggregation folds every morsel into per-group **partial states**
+//!   (counts, f32 sums, f64 power sums, min/max) merged by a combine
+//!   step that walks morsels in index order;
+//! * LIMIT pipelines **early-exit**: once the contiguous output prefix
+//!   covers the requested rows, unclaimed morsels are never processed.
+//!
+//! Determinism is the contract: morsel boundaries depend only on
+//! [`ExecContext::morsel_rows`], so every thread count (including 1)
+//! produces identical batches. Chains that cannot leave the session
+//! thread — session UDFs (whose parameters ride the `Rc`-based autodiff
+//! tape), scalar subqueries, tensor-valued bindings — fall back to the
+//! equally-deterministic whole-batch path.
+//!
+//! The kernels themselves live in [`exact`]: filters are boolean masks,
+//! GROUP BY is sort-based over composite integer keys, joins are hash
+//! joins, ORDER BY is argsort, aggregation is segmented reduction.
+//! Probability-encoded inputs are decoded by argmax first (paper §4,
+//! inference-time operator swap). The trainable path ([`soft`], [`diff`])
+//! consumes the *same* pipeline decomposition single-threaded: GROUP BY +
+//! COUNT over PE columns becomes an (iterated Khatri-Rao) product
+//! followed by a column sum; predicates become sigmoid-weighted row
+//! weights threaded through downstream aggregates.
 //!
 //! Batches ([`Batch`]) carry an O(1) name→slot map, but the hot path never
 //! consults it: compiled expressions address columns by slot. Name lookup
 //! remains only where schemas are dynamic — downstream of table-valued
 //! functions, whose output relation is whatever the TVF builds.
 //!
-//! What should hang off this layer next: morsel-driven parallel operators
-//! (a physical plan is device- and thread-agnostic, so a scheduler can
-//! partition batches across cores), cross-query kernel reuse keyed by
-//! [`physical::PhysicalPlan::fingerprint`], and device placement decisions
-//! made per physical node instead of per session.
-//!
 //! UDFs and table-valued functions ([`udf`]) execute *inside* the tensor
 //! runtime: they receive encoded tensors and return encoded tensors (or
 //! differentiable columns in trainable mode), so there is no context-switch
 //! cost between SQL operators and ML transforms.
+//!
+//! What should hang off this layer next: NUMA-/device-aware morsel
+//! placement (a pipeline already knows its scan), cross-query kernel
+//! reuse keyed by [`physical::PhysicalPlan::fingerprint`], and parallel
+//! barrier operators (partitioned hash join build, merge sort).
 
 pub mod batch;
 pub mod diff;
 pub mod error;
 pub mod exact;
 pub mod expr;
+pub mod morsel;
 pub mod params;
 pub mod physical;
+pub mod pipeline;
 pub mod profile;
 pub mod soft;
 pub mod udf;
@@ -73,5 +99,6 @@ pub use error::ExecError;
 pub use exact::execute;
 pub use params::{ParamValue, ParamValues};
 pub use physical::{lower, CompiledExpr, PhysicalPlan};
+pub use pipeline::{decompose, MorselOp, PipeNode, DEFAULT_MORSEL_ROWS};
 pub use profile::{execute_profiled, OpTrace, QueryProfile};
 pub use udf::{ArgValue, ExecContext, ScalarUdf, TableFunction, UdfRegistry};

@@ -1,0 +1,954 @@
+//! The morsel scheduler: partitions a batch into fixed-size row ranges
+//! and runs fused operator chains over them across a worker pool.
+//!
+//! Determinism is the contract: morsel boundaries depend only on
+//! [`crate::ExecContext::morsel_rows`], results are reassembled in morsel
+//! order, and the partial-aggregation combine folds morsels in index
+//! order — so every thread count (including 1) produces bitwise-identical
+//! batches. Parallelism only changes *who* processes each morsel.
+//!
+//! Work distribution is work-stealing-lite: workers claim the next
+//! morsel index from a shared atomic counter, so a slow morsel never
+//! stalls the queue behind it. The LIMIT sink additionally publishes a
+//! stop bound once the contiguous output prefix holds enough rows;
+//! morsels past the bound are never claimed (early exit).
+//!
+//! Not every chain can leave the session thread: session UDFs hold
+//! `Rc`-based autodiff parameters, scalar subqueries execute nested plans
+//! and tensor-valued bindings are row-aligned with the whole batch. Such
+//! chains — detected per execution against the live registry and binding
+//! — fall back to whole-batch sequential execution, which is equally
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tdp_encoding::EncodedTensor;
+use tdp_sql::ast::AggFunc;
+use tdp_storage::Catalog;
+use tdp_tensor::{F32Tensor, I64Tensor, Tensor};
+
+use crate::batch::{Batch, ColumnData};
+use crate::error::ExecError;
+use crate::exact;
+use crate::expr::{eval_expr, Value};
+use crate::params::ParamValue;
+use crate::physical::{CompiledExpr, PhysAggregate, PhysKey};
+use crate::pipeline::MorselOp;
+use crate::udf::{ExecContext, UdfRegistry};
+
+// ----------------------------------------------------------------------
+// Parallel-safety analysis
+// ----------------------------------------------------------------------
+
+/// Whether an expression may evaluate off the session thread. Session
+/// UDFs (and built-ins currently shadowed by one) hold non-`Send`
+/// parameters; scalar subqueries execute nested plans against the
+/// session; tensor bindings are row-aligned with the *whole* input, not
+/// a morsel of it.
+fn expr_parallel_safe(e: &CompiledExpr, ctx: &ExecContext) -> bool {
+    match e {
+        CompiledExpr::Udf { .. } | CompiledExpr::ScalarSubquery(_) => false,
+        CompiledExpr::Builtin { name, args, .. } => {
+            !ctx.udfs.is_scalar(name) && args.iter().all(|a| expr_parallel_safe(a, ctx))
+        }
+        CompiledExpr::Param { idx } => !matches!(ctx.params.get(*idx), Some(ParamValue::Tensor(_))),
+        CompiledExpr::Binary { left, right, .. } => {
+            expr_parallel_safe(left, ctx) && expr_parallel_safe(right, ctx)
+        }
+        CompiledExpr::Unary { expr, .. } => expr_parallel_safe(expr, ctx),
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand
+                .as_deref()
+                .is_none_or(|o| expr_parallel_safe(o, ctx))
+                && branches
+                    .iter()
+                    .all(|(w, t)| expr_parallel_safe(w, ctx) && expr_parallel_safe(t, ctx))
+                && else_expr
+                    .as_deref()
+                    .is_none_or(|e| expr_parallel_safe(e, ctx))
+        }
+        CompiledExpr::InList { expr, list, .. } => {
+            expr_parallel_safe(expr, ctx) && list.iter().all(|i| expr_parallel_safe(i, ctx))
+        }
+        CompiledExpr::Like { expr, .. } => expr_parallel_safe(expr, ctx),
+        CompiledExpr::Column(_)
+        | CompiledExpr::Num(_)
+        | CompiledExpr::Str(_)
+        | CompiledExpr::Bool(_) => true,
+    }
+}
+
+fn op_parallel_safe(op: &MorselOp<'_>, ctx: &ExecContext) -> bool {
+    match op {
+        MorselOp::Filter(pred) => expr_parallel_safe(pred, ctx),
+        MorselOp::Project(items) => items.iter().all(|i| expr_parallel_safe(&i.expr, ctx)),
+    }
+}
+
+fn chain_parallel_safe(ops: &[MorselOp<'_>], ctx: &ExecContext) -> bool {
+    ops.iter().all(|op| op_parallel_safe(op, ctx))
+}
+
+// ----------------------------------------------------------------------
+// Fused-chain execution
+// ----------------------------------------------------------------------
+
+/// Apply a fused operator chain to one (morsel) batch.
+fn apply_ops(
+    mut batch: Batch,
+    ops: &[MorselOp<'_>],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    for op in ops {
+        batch = match op {
+            MorselOp::Filter(pred) => {
+                let mask = eval_expr(pred, &batch, ctx)?.into_mask(batch.rows())?;
+                exact::filter_batch(&batch, &mask)
+            }
+            MorselOp::Project(items) => exact::project_batch(&batch, items, ctx)?,
+        };
+    }
+    Ok(batch)
+}
+
+/// Owned, `Send` view of a batch's columns (exact encodings only).
+type MorselCols = Vec<(String, EncodedTensor)>;
+
+fn to_cols(batch: &Batch) -> MorselCols {
+    batch
+        .columns()
+        .iter()
+        .map(|(n, c)| (n.clone(), c.to_exact()))
+        .collect()
+}
+
+/// Owned view of a partition *source*: integer-compressed layouts
+/// (RLE / bit-packed / delta) are decoded to plain i64 once, up front —
+/// their `slice_rows` otherwise decodes the whole column per morsel,
+/// turning partitioning into O(rows × morsels). Plain, dictionary and PE
+/// layouts slice in a single memcpy and stay as they are.
+fn to_partition_cols(batch: &Batch) -> MorselCols {
+    batch
+        .columns()
+        .iter()
+        .map(|(n, c)| {
+            let col = match c.to_exact() {
+                e @ (EncodedTensor::Rle(_)
+                | EncodedTensor::BitPacked(_)
+                | EncodedTensor::Delta(_)) => EncodedTensor::I64(e.decode_i64()),
+                other => other,
+            };
+            (n.clone(), col)
+        })
+        .collect()
+}
+
+fn from_cols(cols: MorselCols) -> Batch {
+    let mut out = Batch::new();
+    for (name, col) in cols {
+        out.push(name, ColumnData::Exact(col));
+    }
+    out
+}
+
+fn slice_cols(cols: &[(String, EncodedTensor)], start: usize, end: usize) -> Batch {
+    let mut out = Batch::new();
+    for (name, col) in cols {
+        out.push(name.clone(), ColumnData::Exact(col.slice_rows(start, end)));
+    }
+    out
+}
+
+/// The `Send` subset of an [`ExecContext`] a worker needs. The session
+/// context itself cannot cross threads (the UDF registry holds
+/// `Rc`-based autodiff parameters), but parallel-safe chains reference
+/// neither the registry nor the catalog — only the binding and the
+/// device knobs, which are plain data.
+struct WorkerCfg {
+    device: tdp_tensor::Device,
+    temperature: f32,
+    params: crate::params::ParamValues,
+    morsel_rows: usize,
+}
+
+impl WorkerCfg {
+    fn of(ctx: &ExecContext) -> WorkerCfg {
+        WorkerCfg {
+            device: ctx.device,
+            temperature: ctx.temperature,
+            params: ctx.params.clone(),
+            morsel_rows: ctx.morsel_rows,
+        }
+    }
+}
+
+/// Build a worker-side context over thread-local empty registries.
+fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) -> ExecContext<'a> {
+    ExecContext {
+        catalog,
+        udfs,
+        device: cfg.device,
+        trainable: false,
+        temperature: cfg.temperature,
+        params: cfg.params.clone(),
+        threads: 1,
+        morsel_rows: cfg.morsel_rows,
+    }
+}
+
+/// Run `work` on `workers` threads (or inline when 1), each with its own
+/// worker context.
+fn run_workers(workers: usize, cfg: &WorkerCfg, work: &(impl Fn(&ExecContext) + Sync)) {
+    if workers <= 1 {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        work(&worker_ctx(&catalog, &udfs, cfg));
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || {
+                let catalog = Catalog::new();
+                let udfs = UdfRegistry::new();
+                work(&worker_ctx(&catalog, &udfs, cfg));
+            });
+        }
+    });
+}
+
+/// Number of morsels a batch splits into.
+fn num_morsels(rows: usize, morsel_rows: usize) -> usize {
+    rows.div_ceil(morsel_rows.max(1))
+}
+
+/// How many morsels this pipeline will actually schedule: 1 when the
+/// input fits one morsel or the chain (or aggregate sink) must stay on
+/// the session thread, the partition count otherwise. The single source
+/// of truth for the fallback decision — the profiler reports it too.
+pub(crate) fn planned_morsels(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    sink: Option<(&[PhysKey], &[PhysAggregate])>,
+    ctx: &ExecContext,
+) -> usize {
+    let morsels = num_morsels(input.rows(), ctx.morsel_rows);
+    let safe = !input.has_diff()
+        && chain_parallel_safe(ops, ctx)
+        && sink.is_none_or(|(keys, aggs)| aggregate_parallel_safe(keys, aggs, ctx));
+    if safe {
+        morsels
+    } else {
+        1
+    }
+}
+
+/// Run a fused chain over a materialised input, morsel-parallel where
+/// safe, with an optional LIMIT sink (early exit + truncation).
+pub(crate) fn run_ops(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    limit: Option<usize>,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let rows = input.rows();
+    let morsels = planned_morsels(input, ops, None, ctx);
+    // Single-morsel inputs, unsafe chains and differentiable inputs take
+    // the whole-batch path — identical at every thread count.
+    if morsels <= 1 {
+        let out = apply_ops(input.clone(), ops, ctx)?;
+        return Ok(match limit {
+            Some(n) => out.head(n),
+            None => out,
+        });
+    }
+
+    let cols = to_partition_cols(input);
+    let results = process_morsels(&cols, rows, morsels, ops, limit, ctx)?;
+
+    // Order-preserving reassembly; with a LIMIT sink, take the shortest
+    // morsel prefix that covers `n` rows and truncate.
+    let mut parts: Vec<Batch> = Vec::new();
+    let mut have = 0usize;
+    for r in results {
+        let part = from_cols(r.expect("prefix morsels are always processed"));
+        have += part.rows();
+        parts.push(part);
+        if let Some(n) = limit {
+            if have >= n {
+                break;
+            }
+        }
+    }
+    let out = Batch::concat(&parts);
+    Ok(match limit {
+        Some(n) => out.head(n),
+        None => out,
+    })
+}
+
+/// Claim-and-process loop shared by the worker pool. Returns per-morsel
+/// outputs in morsel order; entries past a LIMIT stop bound may be
+/// `None`.
+fn process_morsels(
+    cols: &[(String, EncodedTensor)],
+    rows: usize,
+    morsels: usize,
+    ops: &[MorselOp<'_>],
+    limit: Option<usize>,
+    ctx: &ExecContext,
+) -> Result<Vec<Option<MorselCols>>, ExecError> {
+    struct Shared {
+        /// Per-morsel output (None = not yet / never processed).
+        results: Vec<Option<Result<MorselCols, ExecError>>>,
+        /// Longest contiguous prefix of completed morsels and its rows.
+        prefix_idx: usize,
+        prefix_rows: usize,
+    }
+
+    let next = AtomicUsize::new(0);
+    // Morsels with index >= stop bound are never claimed (LIMIT early exit).
+    let stop = AtomicUsize::new(usize::MAX);
+    let shared = Mutex::new(Shared {
+        results: (0..morsels).map(|_| None).collect(),
+        prefix_idx: 0,
+        prefix_rows: 0,
+    });
+    let morsel_rows = ctx.morsel_rows;
+
+    let work = |wctx: &ExecContext| {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= morsels || i >= stop.load(Ordering::Acquire) {
+                break;
+            }
+            let start = i * morsel_rows;
+            let end = (start + morsel_rows).min(rows);
+            let out = apply_ops(slice_cols(cols, start, end), ops, wctx).map(|b| to_cols(&b));
+            let mut s = shared.lock().expect("morsel state poisoned");
+            s.results[i] = Some(out);
+            // Advance the contiguous prefix; once it covers the limit,
+            // publish the stop bound so later morsels are skipped.
+            while s.prefix_idx < morsels {
+                let Some(done) = &s.results[s.prefix_idx] else {
+                    break;
+                };
+                if let Ok(c) = done {
+                    s.prefix_rows += c.first().map_or(0, |(_, t)| t.rows());
+                }
+                s.prefix_idx += 1;
+            }
+            if let Some(n) = limit {
+                if s.prefix_rows >= n {
+                    stop.store(s.prefix_idx, Ordering::Release);
+                }
+            }
+        }
+    };
+
+    let workers = ctx.threads.min(morsels).max(1);
+    run_workers(workers, &WorkerCfg::of(ctx), &work);
+
+    let state = shared.into_inner().expect("morsel state poisoned");
+    let mut out = Vec::with_capacity(morsels);
+    for r in state.results {
+        match r {
+            // First error in morsel order wins — deterministic reporting.
+            Some(Err(e)) => return Err(e),
+            Some(Ok(c)) => out.push(Some(c)),
+            None => out.push(None),
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Parallel partial aggregation
+// ----------------------------------------------------------------------
+
+/// Cross-morsel group identity for one key column. Dictionary columns
+/// merge on decoded strings (the order-preserving dictionary makes
+/// string order = code order, so the combine's sorted output matches the
+/// sequential kernel's); everything else merges on its grouping code.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum MergeKey {
+    Int(i64),
+    Str(String),
+}
+
+/// Per-aggregate partial state over one morsel's groups.
+enum AccColumn {
+    /// COUNT(*) / COUNT(expr): rows (or trues) per group.
+    Count(Vec<i64>),
+    /// SUM partials (f32, matching the sequential segment-sum kernel).
+    Sum(Vec<f32>),
+    /// AVG: sum partials; the divisor is the merged group size.
+    Avg(Vec<f32>),
+    Min(Vec<f32>),
+    Max(Vec<f32>),
+    /// VARIANCE / STDDEV: f64 power sums, as in the sequential kernel.
+    Moments {
+        sum: Vec<f64>,
+        sumsq: Vec<f64>,
+    },
+}
+
+/// Partial aggregation state of one morsel.
+struct PartialAgg {
+    /// Representative key rows (first in-morsel occurrence), encoding
+    /// preserved; one `[groups]` column per GROUP BY key.
+    key_reps: Vec<EncodedTensor>,
+    /// Cross-morsel merge identity, `[num_keys][groups]`.
+    merge_keys: Vec<Vec<MergeKey>>,
+    /// Group sizes.
+    counts: Vec<i64>,
+    accs: Vec<AccColumn>,
+    groups: usize,
+}
+
+/// Whether the aggregate sink can fold morsels in parallel.
+fn aggregate_parallel_safe(
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    ctx: &ExecContext,
+) -> bool {
+    keys.iter().all(|k| expr_parallel_safe(&k.expr, ctx))
+        && aggregates.iter().all(|a| {
+            // COUNT(DISTINCT …) needs a cross-morsel value set; it stays
+            // on the sequential path.
+            a.func != AggFunc::CountDistinct
+                && a.arg.as_ref().is_none_or(|e| expr_parallel_safe(e, ctx))
+        })
+}
+
+/// Run a fused chain + grouped aggregation, morsel-parallel where safe:
+/// each morsel folds into per-group partial states, merged by a combine
+/// step that walks morsels in index order (deterministic at any thread
+/// count).
+pub(crate) fn run_aggregate(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let rows = input.rows();
+    let morsels = planned_morsels(input, ops, Some((keys, aggregates)), ctx);
+    if morsels <= 1 {
+        let inp = apply_ops(input.clone(), ops, ctx)?;
+        return exact::aggregate_batch(&inp, keys, aggregates, ctx);
+    }
+
+    type PartialSlot = Option<Result<Option<PartialAgg>, ExecError>>;
+    let cols = to_partition_cols(input);
+    let morsel_rows = ctx.morsel_rows;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<PartialSlot>> = Mutex::new((0..morsels).map(|_| None).collect());
+
+    let work = |wctx: &ExecContext| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= morsels {
+            break;
+        }
+        let start = i * morsel_rows;
+        let end = (start + morsel_rows).min(rows);
+        let out = apply_ops(slice_cols(&cols, start, end), ops, wctx)
+            .and_then(|b| partial_aggregate(&b, keys, aggregates, wctx));
+        slots.lock().expect("agg state poisoned")[i] = Some(out);
+    };
+
+    let workers = ctx.threads.min(morsels).max(1);
+    run_workers(workers, &WorkerCfg::of(ctx), &work);
+
+    let mut partials = Vec::with_capacity(morsels);
+    for slot in slots.into_inner().expect("agg state poisoned") {
+        match slot.expect("aggregate morsels are never skipped") {
+            Err(e) => return Err(e),
+            Ok(Some(p)) => partials.push(p),
+            Ok(None) => {} // empty morsel after filtering
+        }
+    }
+    merge_partials(partials, keys, aggregates, input, ops, ctx)
+}
+
+/// Fold one morsel into per-group partial states. Returns `None` for an
+/// empty morsel (every row filtered out) — it contributes no groups.
+fn partial_aggregate(
+    batch: &Batch,
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    ctx: &ExecContext,
+) -> Result<Option<PartialAgg>, ExecError> {
+    use tdp_tensor::sort::group_ids;
+    let n = batch.rows();
+    if n == 0 {
+        return Ok(None);
+    }
+
+    let mut key_cols: Vec<EncodedTensor> = Vec::with_capacity(keys.len());
+    for k in keys {
+        match eval_expr(&k.expr, batch, ctx)? {
+            Value::Column(c) => key_cols.push(c),
+            other => {
+                return Err(ExecError::TypeMismatch(format!(
+                    "GROUP BY expression must be a column, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    let (ids, groups, rep_rows) = if key_cols.is_empty() {
+        (
+            Tensor::from_vec(vec![0i64; n], &[n]),
+            1usize,
+            Tensor::from_vec(vec![0i64], &[1]),
+        )
+    } else {
+        let codes: Vec<I64Tensor> = key_cols
+            .iter()
+            .map(exact::key_codes)
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&I64Tensor> = codes.iter().collect();
+        let (ids, distinct) = group_ids(&refs);
+        let groups = distinct.shape()[0];
+        let mut rep = vec![-1i64; groups];
+        for (row, &g) in ids.data().iter().enumerate() {
+            if rep[g as usize] < 0 {
+                rep[g as usize] = row as i64;
+            }
+        }
+        (ids, groups, Tensor::from_vec(rep, &[groups]))
+    };
+
+    let key_reps: Vec<EncodedTensor> = key_cols.iter().map(|c| c.select_rows(&rep_rows)).collect();
+    let merge_keys: Vec<Vec<MergeKey>> = key_cols
+        .iter()
+        .map(|c| {
+            Ok(match c {
+                EncodedTensor::Dict { codes, dict } => rep_rows
+                    .data()
+                    .iter()
+                    .map(|&r| MergeKey::Str(dict.decode_one(codes.at(r as usize)).to_owned()))
+                    .collect(),
+                other => {
+                    let codes = exact::key_codes(other)?;
+                    rep_rows
+                        .data()
+                        .iter()
+                        .map(|&r| MergeKey::Int(codes.at(r as usize)))
+                        .collect()
+                }
+            })
+        })
+        .collect::<Result<_, ExecError>>()?;
+
+    let counts: Vec<i64> = {
+        let ones = F32Tensor::ones(&[n]);
+        ones.segment_sum(&ids, groups)
+            .data()
+            .iter()
+            .map(|&c| c as i64)
+            .collect()
+    };
+
+    let mut accs = Vec::with_capacity(aggregates.len());
+    for agg in aggregates {
+        let acc = match (agg.func, &agg.arg) {
+            (AggFunc::Count, None) => AccColumn::Count(counts.clone()),
+            (AggFunc::Count, Some(e)) => match eval_expr(e, batch, ctx)? {
+                Value::Column(EncodedTensor::Bool(m)) => AccColumn::Count(
+                    m.to_f32_mask()
+                        .segment_sum(&ids, groups)
+                        .data()
+                        .iter()
+                        .map(|&v| v as i64)
+                        .collect(),
+                ),
+                _ => AccColumn::Count(counts.clone()),
+            },
+            (AggFunc::Sum, Some(e)) => {
+                let vals = eval_expr(e, batch, ctx)?.into_f32_column(n)?;
+                AccColumn::Sum(vals.segment_sum(&ids, groups).to_vec())
+            }
+            (AggFunc::Avg, Some(e)) => {
+                let vals = eval_expr(e, batch, ctx)?.into_f32_column(n)?;
+                AccColumn::Avg(vals.segment_sum(&ids, groups).to_vec())
+            }
+            (AggFunc::Min, Some(e)) | (AggFunc::Max, Some(e)) => {
+                let vals = eval_expr(e, batch, ctx)?.into_f32_column(n)?;
+                let is_min = agg.func == AggFunc::Min;
+                let init = if is_min {
+                    f32::INFINITY
+                } else {
+                    f32::NEG_INFINITY
+                };
+                let mut acc = vec![init; groups];
+                for (row, &g) in ids.data().iter().enumerate() {
+                    let v = vals.at(row);
+                    let slot = &mut acc[g as usize];
+                    if (is_min && v < *slot) || (!is_min && v > *slot) {
+                        *slot = v;
+                    }
+                }
+                if is_min {
+                    AccColumn::Min(acc)
+                } else {
+                    AccColumn::Max(acc)
+                }
+            }
+            (AggFunc::Variance, Some(e)) | (AggFunc::Stddev, Some(e)) => {
+                let vals = eval_expr(e, batch, ctx)?.into_f32_column(n)?;
+                let mut sum = vec![0.0f64; groups];
+                let mut sumsq = vec![0.0f64; groups];
+                for (row, &g) in ids.data().iter().enumerate() {
+                    let v = vals.at(row) as f64;
+                    sum[g as usize] += v;
+                    sumsq[g as usize] += v * v;
+                }
+                AccColumn::Moments { sum, sumsq }
+            }
+            (AggFunc::CountDistinct, _) => {
+                unreachable!("COUNT(DISTINCT) is filtered by aggregate_parallel_safe")
+            }
+            (f, None) => {
+                return Err(ExecError::Unsupported(format!(
+                    "{}(*) is not meaningful",
+                    f.name()
+                )))
+            }
+        };
+        accs.push(acc);
+    }
+
+    Ok(Some(PartialAgg {
+        key_reps,
+        merge_keys,
+        counts,
+        accs,
+        groups,
+    }))
+}
+
+/// Merged accumulator of one output group.
+struct MergedGroup {
+    /// `(partial index, group index)` of the first-seen representative.
+    rep: (usize, usize),
+    count: i64,
+    accs: Vec<AccVal>,
+}
+
+#[derive(Clone, Copy)]
+enum AccVal {
+    Count(i64),
+    Sum(f32),
+    Avg(f32),
+    Min(f32),
+    Max(f32),
+    Moments { sum: f64, sumsq: f64 },
+}
+
+/// Combine morsel partials into the final grouped batch. Walks partials
+/// in morsel order (first occurrence picks the representative key rows,
+/// matching the sequential kernel's first-occurrence rule) and emits
+/// groups in merge-key order, which equals the sequential kernel's
+/// code-sorted group order.
+fn merge_partials(
+    partials: Vec<PartialAgg>,
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    if partials.is_empty() {
+        // Every morsel filtered to nothing: the sequential kernel's
+        // zero-row behaviour (e.g. a global COUNT of 0) is authoritative.
+        let empty = apply_ops(input.slice_rows(0, 0), ops, ctx)?;
+        return exact::aggregate_batch(&empty, keys, aggregates, ctx);
+    }
+
+    let mut merged: BTreeMap<Vec<MergeKey>, MergedGroup> = BTreeMap::new();
+    for (pi, p) in partials.iter().enumerate() {
+        for g in 0..p.groups {
+            let key: Vec<MergeKey> = p.merge_keys.iter().map(|col| col[g].clone()).collect();
+            let entry = merged.entry(key).or_insert_with(|| MergedGroup {
+                rep: (pi, g),
+                count: 0,
+                accs: p
+                    .accs
+                    .iter()
+                    .map(|a| match a {
+                        AccColumn::Count(_) => AccVal::Count(0),
+                        AccColumn::Sum(_) => AccVal::Sum(0.0),
+                        AccColumn::Avg(_) => AccVal::Avg(0.0),
+                        AccColumn::Min(_) => AccVal::Min(f32::INFINITY),
+                        AccColumn::Max(_) => AccVal::Max(f32::NEG_INFINITY),
+                        AccColumn::Moments { .. } => AccVal::Moments {
+                            sum: 0.0,
+                            sumsq: 0.0,
+                        },
+                    })
+                    .collect(),
+            });
+            entry.count += p.counts[g];
+            for (acc, col) in entry.accs.iter_mut().zip(&p.accs) {
+                match (acc, col) {
+                    (AccVal::Count(t), AccColumn::Count(v)) => *t += v[g],
+                    (AccVal::Sum(t), AccColumn::Sum(v)) => *t += v[g],
+                    (AccVal::Avg(t), AccColumn::Avg(v)) => *t += v[g],
+                    (AccVal::Min(t), AccColumn::Min(v)) => *t = t.min(v[g]),
+                    (AccVal::Max(t), AccColumn::Max(v)) => *t = t.max(v[g]),
+                    (AccVal::Moments { sum, sumsq }, AccColumn::Moments { sum: s, sumsq: q }) => {
+                        *sum += s[g];
+                        *sumsq += q[g];
+                    }
+                    _ => unreachable!("partial accumulator kinds are per-aggregate"),
+                }
+            }
+        }
+    }
+
+    let groups: Vec<(&Vec<MergeKey>, &MergedGroup)> = merged.iter().collect();
+    let num_groups = groups.len();
+
+    let mut out = Batch::new();
+    // Key columns: gather first-seen representatives out of the
+    // concatenated per-morsel representative columns (encoding-preserving
+    // concat + one gather per key).
+    let mut offsets = Vec::with_capacity(partials.len());
+    let mut total = 0usize;
+    for p in &partials {
+        offsets.push(total);
+        total += p.groups;
+    }
+    for (ki, key) in keys.iter().enumerate() {
+        let parts: Vec<&EncodedTensor> = partials.iter().map(|p| &p.key_reps[ki]).collect();
+        let combined = EncodedTensor::concat(&parts);
+        let idx: Vec<i64> = groups
+            .iter()
+            .map(|(_, m)| (offsets[m.rep.0] + m.rep.1) as i64)
+            .collect();
+        out.push(
+            key.name.clone(),
+            ColumnData::Exact(combined.select_rows(&Tensor::from_vec(idx, &[num_groups]))),
+        );
+    }
+
+    for (ai, agg) in aggregates.iter().enumerate() {
+        let col = match agg.func {
+            AggFunc::Count => EncodedTensor::I64(Tensor::from_vec(
+                groups
+                    .iter()
+                    .map(|(_, m)| match m.accs[ai] {
+                        AccVal::Count(v) => v,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+                &[num_groups],
+            )),
+            AggFunc::Sum => f32_out(&groups, |m| match m.accs[ai] {
+                AccVal::Sum(v) => v,
+                _ => unreachable!(),
+            }),
+            AggFunc::Avg => f32_out(&groups, |m| match m.accs[ai] {
+                AccVal::Avg(v) => v / m.count as f32,
+                _ => unreachable!(),
+            }),
+            AggFunc::Min => f32_out(&groups, |m| match m.accs[ai] {
+                AccVal::Min(v) => v,
+                _ => unreachable!(),
+            }),
+            AggFunc::Max => f32_out(&groups, |m| match m.accs[ai] {
+                AccVal::Max(v) => v,
+                _ => unreachable!(),
+            }),
+            AggFunc::Variance | AggFunc::Stddev => {
+                let is_stddev = agg.func == AggFunc::Stddev;
+                f32_out(&groups, |m| match m.accs[ai] {
+                    AccVal::Moments { sum, sumsq } => {
+                        let c = m.count as f64;
+                        if c <= 1.0 {
+                            return 0.0;
+                        }
+                        let var = ((sumsq - sum * sum / c) / (c - 1.0)).max(0.0);
+                        if is_stddev {
+                            var.sqrt() as f32
+                        } else {
+                            var as f32
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+            }
+            AggFunc::CountDistinct => unreachable!("filtered by aggregate_parallel_safe"),
+        };
+        out.push(agg.output.clone(), ColumnData::Exact(col));
+    }
+    Ok(out)
+}
+
+fn f32_out(
+    groups: &[(&Vec<MergeKey>, &MergedGroup)],
+    f: impl Fn(&MergedGroup) -> f32,
+) -> EncodedTensor {
+    EncodedTensor::F32(Tensor::from_vec(
+        groups.iter().map(|(_, m)| f(m)).collect(),
+        &[groups.len()],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::lower;
+    use tdp_sql::plan::{build_plan, PlannerContext};
+    use tdp_sql::{optimizer, parse};
+    use tdp_storage::TableBuilder;
+
+    fn setup(n: usize) -> Catalog {
+        let catalog = Catalog::new();
+        let tags: Vec<String> = (0..n).map(|i| format!("t{}", i % 7)).collect();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("v", (0..n).map(|i| (i as f32 * 0.37).sin()).collect())
+                .col_i64("k", (0..n).map(|i| (i % 13) as i64).collect())
+                .col_str("tag", &tags)
+                .build("t"),
+        );
+        catalog
+    }
+
+    fn run_with(catalog: &Catalog, sql: &str, threads: usize, morsel_rows: usize) -> Batch {
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(catalog, &udfs).with_scheduler(threads, morsel_rows);
+        let plan = optimizer::optimize(
+            build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap(),
+        );
+        let phys = lower(&plan, catalog, &udfs).unwrap();
+        crate::pipeline::execute(&phys, &ctx).unwrap()
+    }
+
+    fn assert_batches_equal(a: &Batch, b: &Batch, sql: &str) {
+        assert_eq!(a.rows(), b.rows(), "{sql}");
+        assert_eq!(a.names(), b.names(), "{sql}");
+        for (name, col) in a.columns() {
+            assert_eq!(
+                col.to_exact().decode_strings(),
+                b.column(name).unwrap().to_exact().decode_strings(),
+                "{sql} / {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn morselized_chains_match_whole_batch_execution() {
+        let c = setup(500);
+        for sql in [
+            "SELECT v FROM t WHERE v > 0.0",
+            "SELECT v * 2 AS d, k FROM t WHERE k < 9",
+            "SELECT tag, v FROM t WHERE tag = 't3'",
+            "SELECT v FROM t WHERE v > 0.2 LIMIT 37",
+            "SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY k",
+            "SELECT tag, AVG(v), VARIANCE(v) FROM t WHERE v > -0.5 GROUP BY tag",
+            "SELECT COUNT(*), SUM(v) FROM t WHERE v > 0.1",
+        ] {
+            let whole = run_with(&c, sql, 1, usize::MAX >> 1);
+            for (threads, morsel) in [(1, 64), (3, 64), (2, 7), (5, 499)] {
+                let m = run_with(&c, sql, threads, morsel);
+                // Aggregated floats may differ in the last bit between the
+                // whole-batch and morselized paths, but across thread
+                // counts with a fixed morsel size they must be identical;
+                // compare against the single-thread morselized run.
+                let base = run_with(&c, sql, 1, morsel);
+                assert_batches_equal(&m, &base, sql);
+                // Row-wise pipelines are exactly equal to the whole batch.
+                if !sql.contains("SUM") && !sql.contains("AVG") && !sql.contains("VARIANCE") {
+                    assert_batches_equal(&m, &whole, sql);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_aggregates_match_sequential_values() {
+        // Integer-exact aggregates are identical under any morselization.
+        let c = setup(1000);
+        let whole = run_with(
+            &c,
+            "SELECT k, COUNT(*) FROM t GROUP BY k",
+            1,
+            usize::MAX >> 1,
+        );
+        let m = run_with(&c, "SELECT k, COUNT(*) FROM t GROUP BY k", 4, 33);
+        assert_batches_equal(&whole, &m, "count");
+        // Float sums agree to tolerance.
+        let ws = run_with(&c, "SELECT SUM(v) FROM t", 1, usize::MAX >> 1);
+        let ms = run_with(&c, "SELECT SUM(v) FROM t", 4, 100);
+        let a = ws.column("SUM(v)").unwrap().to_exact().decode_f32().at(0);
+        let b = ms.column("SUM(v)").unwrap().to_exact().decode_f32().at(0);
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn limit_early_exit_is_a_clean_prefix() {
+        let c = setup(200);
+        for limit in [0, 1, 6, 7, 8, 63, 64, 65, 199, 200, 500] {
+            let sql = format!("SELECT k FROM t LIMIT {limit}");
+            let out = run_with(&c, &sql, 3, 8);
+            let expect: Vec<i64> = (0..200i64.min(limit)).map(|i| i % 13).collect();
+            assert_eq!(
+                out.column("k").unwrap().to_exact().decode_i64().to_vec(),
+                expect,
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_chains_fall_back_to_sequential() {
+        use crate::udf::{ArgValue, ScalarUdf};
+        use std::sync::Arc;
+        struct PlusOne;
+        impl ScalarUdf for PlusOne {
+            fn name(&self) -> &str {
+                "plus_one"
+            }
+            fn invoke(
+                &self,
+                args: &[ArgValue],
+                _ctx: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
+                Ok(EncodedTensor::F32(
+                    args[0].as_column()?.decode_f32().add_scalar(1.0),
+                ))
+            }
+        }
+        let c = setup(100);
+        let mut udfs = UdfRegistry::new();
+        udfs.register_scalar(Arc::new(PlusOne));
+        let ctx = ExecContext::new(&c, &udfs).with_scheduler(4, 10);
+        let plan = optimizer::optimize(
+            build_plan(
+                &parse("SELECT plus_one(v) AS w FROM t WHERE plus_one(v) > 1.0").unwrap(),
+                &PlannerContext::default(),
+            )
+            .unwrap(),
+        );
+        let phys = lower(&plan, &c, &udfs).unwrap();
+        let out = crate::pipeline::execute(&phys, &ctx).unwrap();
+        assert!(out.rows() > 0);
+        assert!(out
+            .column("w")
+            .unwrap()
+            .to_exact()
+            .decode_f32()
+            .to_vec()
+            .iter()
+            .all(|&w| w > 1.0));
+    }
+}

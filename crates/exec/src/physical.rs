@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use tdp_sql::ast::{
-    AggFunc, BinOp, Expr, JoinKind, Literal, OrderItem, SelectItem, UnOp, WindowFunc,
+    AggFunc, BinOp, Expr, JoinKind, LimitCount, Literal, OrderItem, SelectItem, UnOp, WindowFunc,
 };
 use tdp_sql::plan::{AggregateExpr, LogicalPlan, WindowExpr};
 use tdp_storage::Catalog;
@@ -490,12 +490,12 @@ pub enum PhysicalPlan {
         input: Box<PhysicalPlan>,
     },
     Limit {
-        n: u64,
+        n: LimitCount,
         input: Box<PhysicalPlan>,
     },
     TopK {
         keys: Vec<PhysOrderKey>,
-        n: u64,
+        n: LimitCount,
         input: Box<PhysicalPlan>,
     },
     Window {
@@ -650,6 +650,18 @@ impl PhysicalPlan {
 
     fn collect_params_into(&self, out: &mut Vec<usize>) {
         self.visit_exprs(&mut |e| e.collect_params(out));
+        // LIMIT slots are node-level, not expression-level.
+        if let PhysicalPlan::Limit {
+            n: LimitCount::Param { idx },
+            ..
+        }
+        | PhysicalPlan::TopK {
+            n: LimitCount::Param { idx },
+            ..
+        } = self
+        {
+            out.push(*idx);
+        }
         for child in self.inputs() {
             child.collect_params_into(out);
         }

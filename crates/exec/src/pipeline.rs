@@ -1,0 +1,414 @@
+//! Pipeline decomposition of physical plans — the morsel-driven execution
+//! model (Leis et al., adapted to tensor-kernel operators).
+//!
+//! A [`PhysicalPlan`] is a tree of operators; most of them are
+//! **streamable**: filters and projections transform each row
+//! independently, so a scheduler can partition their input into morsels
+//! (~64k-row horizontal slices) and run the *fused* filter→project chain
+//! over every morsel concurrently. Other operators are **barriers**: an
+//! aggregate, sort, join build, window or DISTINCT needs (a digest of)
+//! all its input rows before it can emit anything.
+//!
+//! [`decompose`] walks the plan once and produces a [`PipeNode`] tree:
+//!
+//! * barrier-free `Filter`/`Project` runs fuse into one [`Pipeline`]
+//!   (a chain of [`MorselOp`]s applied per morsel, source → sink);
+//! * `Aggregate` terminates its pipeline with a **parallel partial
+//!   aggregation** sink — every morsel folds into per-group partial
+//!   states, merged by a deterministic combine step;
+//! * `Limit` terminates its pipeline with an **early-exit** sink that
+//!   stops claiming morsels once the contiguous output prefix holds
+//!   enough rows;
+//! * everything else becomes a [`PipeNode::Barrier`] executed
+//!   whole-batch on its materialised children.
+//!
+//! The decomposition is shared: [`execute`] (the scheduled exact path)
+//! and [`crate::diff::execute_diff`] (single-threaded, soft kernels)
+//! both consume the same `PipeNode` tree, so results are bitwise
+//! identical across thread counts — morsel boundaries depend only on
+//! [`crate::ExecContext::morsel_rows`], never on the worker count.
+
+use tdp_sql::ast::LimitCount;
+
+use crate::batch::Batch;
+use crate::error::ExecError;
+use crate::exact;
+use crate::expr::{eval_expr, resolve_limit};
+use crate::morsel;
+use crate::physical::{PhysAggregate, PhysKey, PhysProjectItem, PhysicalPlan};
+use crate::udf::ExecContext;
+
+/// Default rows per morsel: large enough that per-morsel dispatch cost is
+/// noise, small enough that a scan splits across a worker pool.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// One fused per-morsel operator. Borrowed from the compiled plan — the
+/// decomposition adds no allocation beyond the chain vectors.
+#[derive(Clone, Copy, Debug)]
+pub enum MorselOp<'p> {
+    Filter(&'p crate::physical::CompiledExpr),
+    Project(&'p [PhysProjectItem]),
+}
+
+/// A fused, barrier-free operator chain over a morsel source.
+#[derive(Debug)]
+pub struct Pipeline<'p> {
+    /// Ops in source→sink order (applied left to right per morsel).
+    pub ops: Vec<MorselOp<'p>>,
+    /// Where the rows come from: a scan, or a materialised barrier.
+    pub input: Box<PipeNode<'p>>,
+}
+
+/// A node of the pipeline decomposition.
+#[derive(Debug)]
+pub enum PipeNode<'p> {
+    /// Leaf: a base-table scan (the canonical morsel source).
+    Scan {
+        table: &'p str,
+        schema: Option<&'p [String]>,
+    },
+    /// A pipeline whose sink is an order-preserving concat of morsel
+    /// outputs.
+    Stream(Pipeline<'p>),
+    /// A pipeline terminated by LIMIT: morsel processing early-exits once
+    /// the contiguous output prefix reaches `n` rows.
+    Limit { n: LimitCount, pipe: Pipeline<'p> },
+    /// A pipeline terminated by grouped aggregation: morsels fold into
+    /// per-group partial states, merged by a combine step.
+    Aggregate {
+        keys: &'p [PhysKey],
+        aggregates: &'p [PhysAggregate],
+        pipe: Pipeline<'p>,
+    },
+    /// A whole-batch barrier operator (sort, join, window, TVF, …),
+    /// executed single-threaded on its materialised children.
+    Barrier {
+        plan: &'p PhysicalPlan,
+        inputs: Vec<PipeNode<'p>>,
+    },
+}
+
+/// Decompose a physical plan into pipelines broken at barriers, fusing
+/// barrier-free filter→project chains. Performed once per execution (it
+/// only borrows the plan); both the scheduled exact executor and the
+/// differentiable executor consume the result.
+pub fn decompose(plan: &PhysicalPlan) -> PipeNode<'_> {
+    match plan {
+        PhysicalPlan::Scan { table, schema } => PipeNode::Scan {
+            table,
+            schema: schema.as_deref(),
+        },
+        PhysicalPlan::Filter { predicate, input } => {
+            extend_chain(decompose(input), MorselOp::Filter(predicate))
+        }
+        PhysicalPlan::Project { items, input } => {
+            extend_chain(decompose(input), MorselOp::Project(items))
+        }
+        PhysicalPlan::Limit { n, input } => PipeNode::Limit {
+            n: *n,
+            pipe: into_pipeline(decompose(input)),
+        },
+        PhysicalPlan::Aggregate {
+            keys,
+            aggregates,
+            input,
+        } => PipeNode::Aggregate {
+            keys,
+            aggregates,
+            pipe: into_pipeline(decompose(input)),
+        },
+        other => PipeNode::Barrier {
+            plan: other,
+            inputs: other.inputs().into_iter().map(decompose).collect(),
+        },
+    }
+}
+
+/// Append one morsel op to a node, fusing into an existing chain.
+fn extend_chain<'p>(node: PipeNode<'p>, op: MorselOp<'p>) -> PipeNode<'p> {
+    match node {
+        PipeNode::Stream(mut pipe) => {
+            pipe.ops.push(op);
+            PipeNode::Stream(pipe)
+        }
+        other => PipeNode::Stream(Pipeline {
+            ops: vec![op],
+            input: Box::new(other),
+        }),
+    }
+}
+
+/// View a node as the pipeline feeding a sink (LIMIT / aggregate),
+/// absorbing an existing fused chain.
+fn into_pipeline(node: PipeNode<'_>) -> Pipeline<'_> {
+    match node {
+        PipeNode::Stream(pipe) => pipe,
+        other => Pipeline {
+            ops: Vec::new(),
+            input: Box::new(other),
+        },
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rendering (EXPLAIN's pipeline section)
+// ----------------------------------------------------------------------
+
+/// Render the pipeline breakdown of a plan: fused chains, their sinks,
+/// and the barriers between them.
+pub fn explain(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    explain_node(&decompose(plan), &mut out, 0);
+    out
+}
+
+fn chain_label(ops: &[MorselOp<'_>]) -> String {
+    let rendered: Vec<&str> = ops
+        .iter()
+        .map(|op| match op {
+            MorselOp::Filter(_) => "Filter",
+            MorselOp::Project(_) => "Project",
+        })
+        .collect();
+    format!("[{}]", rendered.join(" -> "))
+}
+
+fn explain_node(node: &PipeNode<'_>, out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match node {
+        PipeNode::Scan { table, .. } => {
+            out.push_str(&format!("source Scan: {table}\n"));
+        }
+        PipeNode::Stream(pipe) => {
+            out.push_str(&format!("pipeline {} -> collect\n", chain_label(&pipe.ops)));
+            explain_node(&pipe.input, out, depth + 1);
+        }
+        PipeNode::Limit { n, pipe } => {
+            out.push_str(&format!(
+                "pipeline {} -> limit {n} (early exit)\n",
+                chain_label(&pipe.ops)
+            ));
+            explain_node(&pipe.input, out, depth + 1);
+        }
+        PipeNode::Aggregate {
+            keys,
+            aggregates,
+            pipe,
+        } => {
+            out.push_str(&format!(
+                "pipeline {} -> partial aggregate ({} keys, {} aggs) + combine\n",
+                chain_label(&pipe.ops),
+                keys.len(),
+                aggregates.len()
+            ));
+            explain_node(&pipe.input, out, depth + 1);
+        }
+        PipeNode::Barrier { plan, inputs } => {
+            let label = plan.explain();
+            let first = label.lines().next().unwrap_or("?").trim();
+            out.push_str(&format!("barrier {first}\n"));
+            for input in inputs {
+                explain_node(input, out, depth + 1);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scheduled execution
+// ----------------------------------------------------------------------
+
+/// Execute a physical plan through the morsel scheduler. This is the
+/// exact execution path: [`crate::exact::execute`] delegates here. With
+/// `ctx.threads == 1` every morsel runs on the calling thread; higher
+/// thread counts only change *who* processes each morsel, never the
+/// result.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    exec_node(&decompose(plan), ctx)
+}
+
+pub(crate) fn exec_node(node: &PipeNode<'_>, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    match node {
+        PipeNode::Scan { table, schema } => exact::scan_table(table, *schema, ctx),
+        PipeNode::Stream(pipe) => {
+            let input = exec_node(&pipe.input, ctx)?;
+            morsel::run_ops(&input, &pipe.ops, None, ctx)
+        }
+        PipeNode::Limit { n, pipe } => {
+            let limit = resolve_limit(n, ctx)?;
+            let input = exec_node(&pipe.input, ctx)?;
+            morsel::run_ops(&input, &pipe.ops, Some(limit), ctx)
+        }
+        PipeNode::Aggregate {
+            keys,
+            aggregates,
+            pipe,
+        } => {
+            let input = exec_node(&pipe.input, ctx)?;
+            morsel::run_aggregate(&input, &pipe.ops, keys, aggregates, ctx)
+        }
+        PipeNode::Barrier { plan, inputs } => exec_barrier(plan, inputs, ctx),
+    }
+}
+
+/// Execute a barrier operator over its materialised children. The match
+/// mirrors the operator arms of the historical operator-at-a-time
+/// executor; streamable operators never reach here.
+fn exec_barrier(
+    plan: &PhysicalPlan,
+    inputs: &[PipeNode<'_>],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    match plan {
+        PhysicalPlan::TvfScan { name, .. } => {
+            let inp = exec_node(&inputs[0], ctx)?;
+            let tvf = ctx.udfs.table_fn(name)?.clone();
+            tvf.invoke_table(&inp, ctx)
+        }
+        PhysicalPlan::TvfProject { name, args, .. } => {
+            let inp = exec_node(&inputs[0], ctx)?;
+            let tvf = ctx.udfs.table_fn(name)?.clone();
+            let mut arg_values = Vec::with_capacity(args.len());
+            for a in args {
+                arg_values.push(eval_expr(a, &inp, ctx)?.into_arg());
+            }
+            tvf.invoke_cols(&arg_values, ctx)
+        }
+        PhysicalPlan::Join { kind, on, .. } => {
+            let l = exec_node(&inputs[0], ctx)?;
+            let r = exec_node(&inputs[1], ctx)?;
+            exact::join_batches(&l, &r, *kind, on)
+        }
+        PhysicalPlan::Sort { keys, .. } => {
+            let inp = exec_node(&inputs[0], ctx)?;
+            exact::sort_batch(&inp, keys, ctx)
+        }
+        PhysicalPlan::TopK { keys, n, .. } => {
+            let inp = exec_node(&inputs[0], ctx)?;
+            exact::topk_batch(&inp, keys, resolve_limit(n, ctx)?, ctx)
+        }
+        PhysicalPlan::Window { windows, .. } => {
+            let inp = exec_node(&inputs[0], ctx)?;
+            exact::window_batch(&inp, windows, ctx)
+        }
+        PhysicalPlan::Distinct { .. } => {
+            let inp = exec_node(&inputs[0], ctx)?;
+            exact::distinct_batch(&inp)
+        }
+        PhysicalPlan::UnionAll { .. } => {
+            let l = exec_node(&inputs[0], ctx)?;
+            let r = exec_node(&inputs[1], ctx)?;
+            exact::union_all_batches(&l, &r)
+        }
+        // Streamable operators are fused into pipelines by `decompose`.
+        PhysicalPlan::Scan { .. }
+        | PhysicalPlan::Filter { .. }
+        | PhysicalPlan::Project { .. }
+        | PhysicalPlan::Aggregate { .. }
+        | PhysicalPlan::Limit { .. } => {
+            unreachable!("streamable operator reached the barrier executor")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::lower;
+    use crate::udf::UdfRegistry;
+    use tdp_sql::plan::{build_plan, PlannerContext};
+    use tdp_sql::{optimizer, parse};
+    use tdp_storage::{Catalog, TableBuilder};
+
+    fn setup() -> Catalog {
+        let catalog = Catalog::new();
+        catalog.register(
+            TableBuilder::new()
+                .col_f32("v", (0..100).map(|i| i as f32).collect())
+                .col_i64("k", (0..100).map(|i| i % 5).collect())
+                .build("t"),
+        );
+        catalog
+    }
+
+    fn compile(catalog: &Catalog, sql: &str) -> PhysicalPlan {
+        let udfs = UdfRegistry::new();
+        let plan = optimizer::optimize(
+            build_plan(&parse(sql).unwrap(), &PlannerContext::default()).unwrap(),
+        );
+        lower(&plan, catalog, &udfs).unwrap()
+    }
+
+    #[test]
+    fn filter_project_chains_fuse() {
+        let c = setup();
+        let plan = compile(&c, "SELECT v * 2 AS d FROM t WHERE v > 10");
+        let node = decompose(&plan);
+        match node {
+            PipeNode::Stream(pipe) => {
+                assert_eq!(pipe.ops.len(), 2, "filter and project fuse into one chain");
+                assert!(matches!(pipe.ops[0], MorselOp::Filter(_)));
+                assert!(matches!(pipe.ops[1], MorselOp::Project(_)));
+                assert!(matches!(*pipe.input, PipeNode::Scan { .. }));
+            }
+            other => panic!("expected fused stream, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_breaks_the_pipeline() {
+        let c = setup();
+        let plan = compile(&c, "SELECT k, COUNT(*) FROM t WHERE v > 10 GROUP BY k");
+        match decompose(&plan) {
+            PipeNode::Aggregate { pipe, .. } => {
+                assert_eq!(pipe.ops.len(), 1, "the filter fuses below the aggregate");
+                assert!(matches!(*pipe.input, PipeNode::Scan { .. }));
+            }
+            other => panic!("expected aggregate sink, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_is_a_barrier() {
+        let c = setup();
+        let plan = compile(&c, "SELECT v FROM t WHERE v > 10 ORDER BY v");
+        // Sort sits on top; the filter chain streams below it.
+        match decompose(&plan) {
+            PipeNode::Barrier { plan, inputs } => {
+                assert!(matches!(plan, PhysicalPlan::Sort { .. }));
+                assert!(matches!(inputs[0], PipeNode::Stream(_)));
+            }
+            other => panic!("expected sort barrier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_renders_chains_and_barriers() {
+        let c = setup();
+        let text = explain(&compile(
+            &c,
+            "SELECT k, COUNT(*) FROM t WHERE v > 10 GROUP BY k ORDER BY k",
+        ));
+        assert!(text.contains("barrier Sort"), "{text}");
+        assert!(text.contains("partial aggregate"), "{text}");
+        assert!(text.contains("[Filter]"), "{text}");
+        assert!(text.contains("source Scan: t"), "{text}");
+    }
+
+    #[test]
+    fn limit_sink_carries_early_exit() {
+        let c = setup();
+        let plan = compile(&c, "SELECT v FROM t WHERE v > 3 LIMIT 7");
+        match decompose(&plan) {
+            PipeNode::Limit { n, pipe } => {
+                assert_eq!(n, LimitCount::Const(7));
+                assert!(!pipe.ops.is_empty());
+            }
+            other => panic!("expected limit sink, got {other:?}"),
+        }
+        let text = explain(&plan);
+        assert!(text.contains("limit 7 (early exit)"), "{text}");
+    }
+}

@@ -5,14 +5,25 @@
 //! profiled execution mode that drives the same exact operator kernels as
 //! [`crate::exact::execute`] — over the same compiled [`PhysicalPlan`] —
 //! while recording wall-clock time and output cardinality per plan node.
+//!
+//! Streamable operators (filter, project, aggregate) run through the
+//! morsel scheduler, so a node's wall-clock aggregates the work of all
+//! of its morsels across the worker pool; the report carries the thread
+//! count and the total number of morsels scheduled. Because profiling
+//! materialises a batch per operator, a profiled aggregate may partition
+//! its input at a different boundary than the fused pipeline of a plain
+//! `run()` — float aggregates can differ in the last bit between the two
+//! modes (never between thread counts).
 
 use std::time::Instant;
 
 use crate::batch::Batch;
 use crate::error::ExecError;
 use crate::exact;
-use crate::expr::eval_expr;
+use crate::expr::{eval_expr, resolve_limit};
+use crate::morsel;
 use crate::physical::PhysicalPlan;
+use crate::pipeline::MorselOp;
 use crate::udf::ExecContext;
 
 /// One profiled plan node.
@@ -34,6 +45,10 @@ pub struct OpTrace {
 #[derive(Debug, Clone, Default)]
 pub struct QueryProfile {
     pub ops: Vec<OpTrace>,
+    /// Worker threads the morsel scheduler ran with.
+    pub threads: usize,
+    /// Total morsels scheduled across all streamable operators.
+    pub morsels: usize,
 }
 
 impl QueryProfile {
@@ -50,10 +65,13 @@ impl QueryProfile {
             .max_by(|a, b| a.self_seconds.total_cmp(&b.self_seconds))
     }
 
-    /// Fixed-width table rendering, one row per operator.
+    /// Fixed-width table rendering, one row per operator, headed by the
+    /// scheduler configuration.
     pub fn pretty(&self) -> String {
-        let mut out = String::from(
-            "operator                                          rows    self ms   total ms\n",
+        let mut out = format!(
+            "threads={} morsels={}\n\
+             operator                                          rows    self ms   total ms\n",
+            self.threads, self.morsels
         );
         for op in &self.ops {
             let indent = "  ".repeat(op.depth);
@@ -74,7 +92,10 @@ pub fn execute_profiled(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
 ) -> Result<(Batch, QueryProfile), ExecError> {
-    let mut profile = QueryProfile::default();
+    let mut profile = QueryProfile {
+        threads: ctx.threads,
+        ..QueryProfile::default()
+    };
     let batch = run_node(plan, ctx, 0, &mut profile)?;
     Ok((batch, profile))
 }
@@ -133,12 +154,15 @@ fn run_node(
         }
         PhysicalPlan::Filter { predicate, input } => {
             let inp = run_child(input, profile)?;
-            let mask = eval_expr(predicate, &inp, ctx)?.into_mask(inp.rows())?;
-            exact::filter_batch(&inp, &mask)
+            let ops = [MorselOp::Filter(predicate)];
+            profile.morsels += morsel::planned_morsels(&inp, &ops, None, ctx);
+            morsel::run_ops(&inp, &ops, None, ctx)?
         }
         PhysicalPlan::Project { items, input } => {
             let inp = run_child(input, profile)?;
-            exact::project_batch(&inp, items, ctx)?
+            let ops = [MorselOp::Project(items)];
+            profile.morsels += morsel::planned_morsels(&inp, &ops, None, ctx);
+            morsel::run_ops(&inp, &ops, None, ctx)?
         }
         PhysicalPlan::Aggregate {
             keys,
@@ -146,7 +170,8 @@ fn run_node(
             input,
         } => {
             let inp = run_child(input, profile)?;
-            exact::aggregate_batch(&inp, keys, aggregates, ctx)?
+            profile.morsels += morsel::planned_morsels(&inp, &[], Some((keys, aggregates)), ctx);
+            morsel::run_aggregate(&inp, &[], keys, aggregates, ctx)?
         }
         PhysicalPlan::Join {
             left,
@@ -164,11 +189,11 @@ fn run_node(
         }
         PhysicalPlan::Limit { n, input } => {
             let inp = run_child(input, profile)?;
-            inp.head(*n as usize)
+            inp.head(resolve_limit(n, ctx)?)
         }
         PhysicalPlan::TopK { keys, n, input } => {
             let inp = run_child(input, profile)?;
-            exact::topk_batch(&inp, keys, *n as usize, ctx)?
+            exact::topk_batch(&inp, keys, resolve_limit(n, ctx)?, ctx)?
         }
         PhysicalPlan::Window { windows, input } => {
             let inp = run_child(input, profile)?;
@@ -295,7 +320,8 @@ mod tests {
         let c = setup();
         let (_, prof) = profiled(&c, "SELECT DISTINCT tag FROM t");
         let text = prof.pretty();
-        assert_eq!(text.lines().count(), 1 + prof.ops.len());
+        assert_eq!(text.lines().count(), 2 + prof.ops.len());
+        assert!(text.starts_with("threads="), "{text}");
         assert!(text.contains("Distinct"));
         assert!(text.contains("Scan: t"));
     }

@@ -200,6 +200,13 @@ pub struct ExecContext<'a> {
     /// Bound statement parameters: `CompiledExpr::Param { idx }` resolves
     /// to slot `idx` here. Empty for parameter-free plans.
     pub params: crate::params::ParamValues,
+    /// Worker threads available to the morsel scheduler (1 = run every
+    /// morsel on the calling thread). Parallelism never changes results:
+    /// morsel boundaries depend only on `morsel_rows`, so any thread
+    /// count produces identical batches.
+    pub threads: usize,
+    /// Rows per morsel for the scheduler's input partitioning.
+    pub morsel_rows: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -211,7 +218,17 @@ impl<'a> ExecContext<'a> {
             trainable: false,
             temperature: 0.1,
             params: crate::params::ParamValues::new(),
+            threads: 1,
+            morsel_rows: crate::pipeline::DEFAULT_MORSEL_ROWS,
         }
+    }
+
+    /// Configure the morsel scheduler (threads are clamped to ≥ 1, the
+    /// morsel size to ≥ 1 row).
+    pub fn with_scheduler(mut self, threads: usize, morsel_rows: usize) -> ExecContext<'a> {
+        self.threads = threads.max(1);
+        self.morsel_rows = morsel_rows.max(1);
+        self
     }
 
     pub fn with_device(mut self, device: Device) -> ExecContext<'a> {

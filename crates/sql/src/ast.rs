@@ -591,6 +591,24 @@ impl fmt::Display for OrderItem {
     }
 }
 
+/// A LIMIT row count: a structural constant baked into the plan, or a
+/// typed integer parameter slot (`LIMIT ?` / `LIMIT $n`) resolved from
+/// the statement binding at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitCount {
+    Const(u64),
+    Param { idx: usize },
+}
+
+impl fmt::Display for LimitCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitCount::Const(n) => write!(f, "{n}"),
+            LimitCount::Param { idx } => write!(f, "${}", idx + 1),
+        }
+    }
+}
+
 /// A full SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -602,7 +620,7 @@ pub struct Query {
     pub group_by: Vec<Expr>,
     pub having: Option<Expr>,
     pub order_by: Vec<OrderItem>,
-    pub limit: Option<u64>,
+    pub limit: Option<LimitCount>,
     /// `… UNION ALL <query>` — bag union with the next query in the chain.
     /// Dialect note: ORDER BY / LIMIT bind to their nearest SELECT, not to
     /// the union as a whole.

@@ -514,7 +514,11 @@ mod tests {
     fn limit_sort_fuses_into_topk() {
         let p = optimized("SELECT a FROM t ORDER BY a DESC LIMIT 3");
         match p {
-            LogicalPlan::TopK { keys, n: 3, input } => {
+            LogicalPlan::TopK {
+                keys,
+                n: crate::ast::LimitCount::Const(3),
+                input,
+            } => {
                 assert!(keys[0].desc);
                 assert!(matches!(*input, LogicalPlan::Project { .. }));
             }

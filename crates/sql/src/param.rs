@@ -28,24 +28,128 @@
 //! * LIKE patterns — structural, evaluated against dictionaries at most
 //!   once per batch.
 
-use crate::ast::{Expr, Literal, OrderItem, Query, SelectItem, TableRef, WindowFunc};
+use crate::ast::{Expr, LimitCount, Literal, OrderItem, Query, SelectItem, TableRef, WindowFunc};
 use crate::optimizer::fold_expr;
 
 /// Number of explicit parameters a statement declares: one past the
 /// highest `$n` (or `?`-assigned) index, 0 when the statement has none.
 /// Unused lower indices still count — `$3` alone declares three slots.
+/// `LIMIT ?` slots count like expression slots.
 pub fn explicit_param_count(query: &Query) -> usize {
     let mut max: Option<usize> = None;
+    let mut bump = |idx: usize| max = Some(max.map_or(idx, |m: usize| m.max(idx)));
     visit_query_exprs(query, &mut |e| {
         if let Expr::Param { idx } = e {
-            max = Some(max.map_or(*idx, |m: usize| m.max(*idx)));
+            bump(*idx);
         }
     });
+    let mut limit_slots = Vec::new();
+    collect_limit_params(query, &mut limit_slots);
+    limit_slots.into_iter().for_each(bump);
     max.map_or(0, |m| m + 1)
+}
+
+/// Collect every `LIMIT ?` / `LIMIT $n` slot declared by `query` or any
+/// nested query (derived tables, scalar subqueries, UNION ALL branches).
+pub fn collect_limit_params(query: &Query, out: &mut Vec<usize>) {
+    if let Some(LimitCount::Param { idx }) = query.limit {
+        out.push(idx);
+    }
+    if let Some(from) = &query.from {
+        collect_table_ref_limit_params(from, out);
+    }
+    // Scalar subqueries nest whole queries inside expressions.
+    for root in query_root_exprs(query) {
+        collect_expr_limit_params(root, out);
+    }
+    if let Some(u) = &query.union_all {
+        collect_limit_params(u, out);
+    }
+}
+
+/// This query's own expression roots (no recursion into subqueries).
+fn query_root_exprs(query: &Query) -> Vec<&Expr> {
+    let mut roots: Vec<&Expr> = query.select.iter().map(|i| &i.expr).collect();
+    roots.extend(&query.where_clause);
+    roots.extend(&query.group_by);
+    roots.extend(&query.having);
+    roots.extend(query.order_by.iter().map(|o| &o.expr));
+    roots
+}
+
+fn collect_table_ref_limit_params(t: &TableRef, out: &mut Vec<usize>) {
+    match t {
+        TableRef::Named { .. } => {}
+        TableRef::Tvf { input, .. } => collect_table_ref_limit_params(input, out),
+        TableRef::Subquery { query, .. } => collect_limit_params(query, out),
+        TableRef::Join { left, right, .. } => {
+            collect_table_ref_limit_params(left, out);
+            collect_table_ref_limit_params(right, out);
+        }
+    }
+}
+
+fn collect_expr_limit_params(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::ScalarSubquery(q) => collect_limit_params(q, out),
+        Expr::Binary { left, right, .. } => {
+            collect_expr_limit_params(left, out);
+            collect_expr_limit_params(right, out);
+        }
+        Expr::Unary { expr, .. } => collect_expr_limit_params(expr, out),
+        Expr::Func { args, .. } => args.iter().for_each(|a| collect_expr_limit_params(a, out)),
+        Expr::Aggregate { arg: Some(a), .. } => collect_expr_limit_params(a, out),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_expr_limit_params(o, out);
+            }
+            for (w, t) in branches {
+                collect_expr_limit_params(w, out);
+                collect_expr_limit_params(t, out);
+            }
+            if let Some(el) = else_expr {
+                collect_expr_limit_params(el, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_expr_limit_params(expr, out);
+            list.iter().for_each(|i| collect_expr_limit_params(i, out));
+        }
+        Expr::Like { expr, .. } => collect_expr_limit_params(expr, out),
+        Expr::Window {
+            func,
+            partition_by,
+            order_by,
+        } => {
+            if let WindowFunc::Agg { arg: Some(a), .. } = func {
+                collect_expr_limit_params(a, out);
+            }
+            partition_by
+                .iter()
+                .for_each(|p| collect_expr_limit_params(p, out));
+            order_by
+                .iter()
+                .for_each(|o| collect_expr_limit_params(&o.expr, out));
+        }
+        Expr::Column { .. }
+        | Expr::Literal(_)
+        | Expr::Aggregate { arg: None, .. }
+        | Expr::Param { .. }
+        | Expr::Star => {}
+    }
 }
 
 /// Visit every expression node (recursively, including scalar subqueries
 /// and nested SELECTs) of a query.
+///
+/// NOTE: [`collect_limit_params`] below walks the same shape to find
+/// `LIMIT ?` slots (which are node-level, not expressions). A new `Expr`
+/// or `TableRef` variant that nests a `Query` must be added to **both**
+/// walks, or `explicit_param_count` will undercount LIMIT slots.
 pub fn visit_query_exprs(query: &Query, f: &mut impl FnMut(&Expr)) {
     for item in &query.select {
         visit_expr(&item.expr, f);
@@ -173,12 +277,111 @@ impl Parameterizer {
         self.rewrite_expr(fold_expr(e))
     }
 
+    /// Fold a root, then extract its literals while substituting any
+    /// subexpression equal to a GROUP BY key with the key's already
+    /// rewritten form — HAVING residues and ORDER BY keys must keep
+    /// matching the key (same parameter slots) after extraction, or the
+    /// planner can no longer resolve them against the aggregate output.
+    fn rewrite_keyed(&mut self, e: Expr, folded_keys: &[Expr], rewritten_keys: &[Expr]) -> Expr {
+        let folded = fold_expr(e);
+        self.substitute_or_rewrite(folded, folded_keys, rewritten_keys)
+    }
+
+    fn substitute_or_rewrite(
+        &mut self,
+        e: Expr,
+        folded_keys: &[Expr],
+        rewritten_keys: &[Expr],
+    ) -> Expr {
+        if let Some(pos) = folded_keys.iter().position(|k| *k == e) {
+            return rewritten_keys[pos].clone();
+        }
+        match e {
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(self.substitute_or_rewrite(*left, folded_keys, rewritten_keys)),
+                right: Box::new(self.substitute_or_rewrite(*right, folded_keys, rewritten_keys)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(self.substitute_or_rewrite(*expr, folded_keys, rewritten_keys)),
+            },
+            Expr::Func { name, args } => Expr::Func {
+                name,
+                args: args
+                    .into_iter()
+                    .map(|a| self.substitute_or_rewrite(a, folded_keys, rewritten_keys))
+                    .collect(),
+            },
+            Expr::Aggregate { func, arg } => Expr::Aggregate {
+                func,
+                arg: arg
+                    .map(|a| Box::new(self.substitute_or_rewrite(*a, folded_keys, rewritten_keys))),
+            },
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => Expr::Case {
+                operand: operand
+                    .map(|o| Box::new(self.substitute_or_rewrite(*o, folded_keys, rewritten_keys))),
+                branches: branches
+                    .into_iter()
+                    .map(|(w, t)| {
+                        (
+                            self.substitute_or_rewrite(w, folded_keys, rewritten_keys),
+                            self.substitute_or_rewrite(t, folded_keys, rewritten_keys),
+                        )
+                    })
+                    .collect(),
+                else_expr: else_expr.map(|el| {
+                    Box::new(self.substitute_or_rewrite(*el, folded_keys, rewritten_keys))
+                }),
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.substitute_or_rewrite(*expr, folded_keys, rewritten_keys)),
+                list: list
+                    .into_iter()
+                    .map(|i| self.substitute_or_rewrite(i, folded_keys, rewritten_keys))
+                    .collect(),
+                negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.substitute_or_rewrite(*expr, folded_keys, rewritten_keys)),
+                pattern,
+                negated,
+            },
+            // Everything else — literals, columns, params, windows,
+            // scalar subqueries (their own scope) — takes the plain
+            // extraction path.
+            other => self.rewrite_expr(other),
+        }
+    }
+
     /// `preserve_names` is set wherever the select list's output names
     /// are observable — the top-level result set and derived tables
     /// (whose names flow out through `SELECT *`). Scalar subqueries are
     /// consumed positionally (1×1), so their items skip the aliasing and
     /// keep full literal-invariant sharing.
     fn rewrite_query(&mut self, q: Query, preserve_names: bool) -> Query {
+        // GROUP BY keys rewrite first: a select item that textually
+        // matches a key must keep matching after extraction (the planner
+        // requires non-aggregate select items to appear in GROUP BY), so
+        // matching items reuse the key's rewritten expression — and
+        // therefore its parameter slots — instead of extracting fresh ones.
+        let folded_keys: Vec<Expr> = q.group_by.into_iter().map(fold_expr).collect();
+        let rewritten_keys: Vec<Expr> = folded_keys
+            .iter()
+            .map(|g| self.rewrite_expr(g.clone()))
+            .collect();
         Query {
             distinct: q.distinct,
             select: q
@@ -193,6 +396,13 @@ impl Parameterizer {
                     // alias carries the literal into the normalized text,
                     // so such statements simply don't share a cache entry.
                     let folded = fold_expr(i.expr);
+                    if let Some(pos) = folded_keys.iter().position(|k| *k == folded) {
+                        let expr = rewritten_keys[pos].clone();
+                        let alias = i.alias.or_else(|| {
+                            (preserve_names && expr != folded).then(|| folded.display_name())
+                        });
+                        return SelectItem { expr, alias };
+                    }
                     let before = self.extracted.len();
                     let expr = self.rewrite_expr(folded.clone());
                     let alias = i.alias.or_else(|| {
@@ -204,20 +414,18 @@ impl Parameterizer {
                 .collect(),
             from: q.from.map(|f| self.rewrite_table_ref(f)),
             where_clause: q.where_clause.map(|w| self.rewrite_root(w)),
-            group_by: q
-                .group_by
-                .into_iter()
-                .map(|g| self.rewrite_root(g))
-                .collect(),
-            having: q.having.map(|h| self.rewrite_root(h)),
+            having: q
+                .having
+                .map(|h| self.rewrite_keyed(h, &folded_keys, &rewritten_keys)),
             order_by: q
                 .order_by
                 .into_iter()
                 .map(|o| OrderItem {
-                    expr: self.rewrite_root(o.expr),
+                    expr: self.rewrite_keyed(o.expr, &folded_keys, &rewritten_keys),
                     desc: o.desc,
                 })
                 .collect(),
+            group_by: rewritten_keys,
             limit: q.limit,
             union_all: q
                 .union_all

@@ -143,10 +143,34 @@ impl Parser {
 
         let limit = if self.eat_keyword("LIMIT") {
             match self.advance() {
-                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => {
+                    Some(LimitCount::Const(n as u64))
+                }
+                // `LIMIT ?` / `LIMIT $n`: a typed integer parameter slot,
+                // following the same positional/numbered bookkeeping as
+                // expression placeholders.
+                Some(Token::Param(None)) => {
+                    if self.saw_numbered_param {
+                        return Err(SqlError::new(
+                            "cannot mix '?' and '$n' parameter styles in one statement",
+                        ));
+                    }
+                    let idx = self.positional_params;
+                    self.positional_params += 1;
+                    Some(LimitCount::Param { idx })
+                }
+                Some(Token::Param(Some(n))) => {
+                    if self.positional_params > 0 {
+                        return Err(SqlError::new(
+                            "cannot mix '?' and '$n' parameter styles in one statement",
+                        ));
+                    }
+                    self.saw_numbered_param = true;
+                    Some(LimitCount::Param { idx: n - 1 })
+                }
                 other => {
                     return Err(SqlError::new(format!(
-                        "LIMIT expects a non-negative integer, found {other:?}"
+                        "LIMIT expects a non-negative integer or a parameter, found {other:?}"
                     )))
                 }
             }
@@ -725,7 +749,7 @@ mod tests {
         .unwrap();
         assert_eq!(q.select[1].alias.as_deref(), Some("score"));
         assert!(q.order_by[0].desc);
-        assert_eq!(q.limit, Some(2));
+        assert_eq!(q.limit, Some(LimitCount::Const(2)));
     }
 
     #[test]

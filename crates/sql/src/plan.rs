@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use crate::ast::{AggFunc, Expr, JoinKind, OrderItem, Query, SelectItem, TableRef, WindowFunc};
+use crate::ast::{
+    AggFunc, Expr, JoinKind, LimitCount, OrderItem, Query, SelectItem, TableRef, WindowFunc,
+};
 use crate::SqlError;
 
 /// One aggregate computed by an [`LogicalPlan::Aggregate`] node.
@@ -73,8 +75,11 @@ pub enum LogicalPlan {
         keys: Vec<OrderItem>,
         input: Box<LogicalPlan>,
     },
-    /// Row-count cap.
-    Limit { n: u64, input: Box<LogicalPlan> },
+    /// Row-count cap: a structural constant or a `LIMIT ?` parameter slot.
+    Limit {
+        n: LimitCount,
+        input: Box<LogicalPlan>,
+    },
     /// Window-function evaluation: appends one column per window
     /// expression, preserving row order and the input columns.
     Window {
@@ -86,7 +91,7 @@ pub enum LogicalPlan {
     /// sort (ties broken by input position).
     TopK {
         keys: Vec<OrderItem>,
-        n: u64,
+        n: LimitCount,
         input: Box<LogicalPlan>,
     },
     /// Row deduplication (`SELECT DISTINCT`).
@@ -286,23 +291,34 @@ pub fn build_plan(query: &Query, ctx: &PlannerContext<'_>) -> Result<LogicalPlan
     }
 
     if !query.order_by.is_empty() {
+        // Above an aggregation, a sort key equal to a GROUP BY expression
+        // must reference the key's output column — its input columns are
+        // gone post-grouping.
+        let order_by: Vec<OrderItem> = query
+            .order_by
+            .iter()
+            .map(|o| OrderItem {
+                expr: reference_group_keys(&o.expr, &query.group_by),
+                desc: o.desc,
+            })
+            .collect();
         // ORDER BY may reference columns the projection drops (SQL scoping:
         // sort keys resolve against the FROM scope as well as aliases). If
         // any key is missing from the projection's output, sort *below* it.
         plan = match plan {
             LogicalPlan::Project { items, input }
-                if sort_needs_input_columns(&query.order_by, &items) =>
+                if sort_needs_input_columns(&order_by, &items) =>
             {
                 LogicalPlan::Project {
                     items,
                     input: Box::new(LogicalPlan::Sort {
-                        keys: query.order_by.clone(),
+                        keys: order_by,
                         input,
                     }),
                 }
             }
             other => LogicalPlan::Sort {
-                keys: query.order_by.clone(),
+                keys: order_by,
                 input: Box::new(other),
             },
         };
@@ -396,10 +412,10 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
     let rewritten_having = query
         .having
         .as_ref()
-        .map(|h| extract_aggregates(h, &mut aggregates));
+        .map(|h| reference_group_keys(&extract_aggregates(h, &mut aggregates), &query.group_by));
 
     // Non-aggregate select expressions must be grouping keys.
-    for (item, rewritten) in query.select.iter().zip(&rewritten_select) {
+    for (item, rewritten) in query.select.iter().zip(&mut rewritten_select) {
         if item.expr.contains_aggregate() {
             continue;
         }
@@ -413,6 +429,13 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
                 "select item '{}' must appear in GROUP BY or inside an aggregate",
                 rewritten.expr
             )));
+        }
+        // Expression keys (`GROUP BY x + 1`) are computed by the
+        // Aggregate node and exposed under their display name; the
+        // projection above it must reference that output column, not
+        // re-evaluate the expression (its inputs are gone post-grouping).
+        if !matches!(item.expr, Expr::Column { .. }) {
+            rewritten.expr = Expr::col(&item.expr.display_name());
         }
     }
 
@@ -440,6 +463,78 @@ fn plan_aggregate(query: &Query, input: LogicalPlan) -> Result<LogicalPlan, SqlE
             items: rewritten_select,
             input: Box::new(plan),
         })
+    }
+}
+
+/// Replace every subexpression equal to a GROUP BY key with a column
+/// reference to the key's aggregate output (named by its display text),
+/// so expressions evaluated *above* the Aggregate node — sort keys,
+/// HAVING residue — resolve against its schema instead of re-evaluating
+/// an expression whose input columns are gone post-grouping. Plain
+/// column keys need no rewrite (the key output keeps the column name);
+/// aggregate arguments, windows and subqueries keep their own scopes.
+fn reference_group_keys(expr: &Expr, keys: &[Expr]) -> Expr {
+    if keys.is_empty() {
+        return expr.clone();
+    }
+    if !matches!(
+        expr,
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Param { .. }
+    ) && keys.contains(expr)
+    {
+        return Expr::col(&expr.display_name());
+    }
+    match expr {
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(reference_group_keys(left, keys)),
+            right: Box::new(reference_group_keys(right, keys)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(reference_group_keys(expr, keys)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| reference_group_keys(a, keys)).collect(),
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| Box::new(reference_group_keys(o, keys))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (reference_group_keys(w, keys), reference_group_keys(t, keys)))
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(reference_group_keys(e, keys))),
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(reference_group_keys(expr, keys)),
+            list: list.iter().map(|i| reference_group_keys(i, keys)).collect(),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(reference_group_keys(expr, keys)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        // Aggregate arguments evaluate against the pre-grouping input;
+        // windows and subqueries carry their own scopes.
+        other => other.clone(),
     }
 }
 
@@ -647,7 +742,10 @@ mod tests {
     fn order_limit_nest_on_top() {
         let p = plan("SELECT a FROM t ORDER BY a DESC LIMIT 3");
         match p {
-            LogicalPlan::Limit { n: 3, input } => match *input {
+            LogicalPlan::Limit {
+                n: LimitCount::Const(3),
+                input,
+            } => match *input {
                 LogicalPlan::Sort { ref keys, .. } => assert!(keys[0].desc),
                 other => panic!("expected sort under limit, got {other:?}"),
             },

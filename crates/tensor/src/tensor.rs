@@ -311,6 +311,22 @@ impl<T: Element> Tensor<T> {
         Tensor::from_vec(self.data[..n * stride].to_vec(), &shape).with_device(self.device)
     }
 
+    /// Rows `start..end` as a contiguous range slice (bounds clamped to
+    /// the row count). Like [`Tensor::head_rows`], a single memcpy of the
+    /// underlying buffer — no index materialisation or gather — which is
+    /// what makes morsel partitioning cheap.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor<T> {
+        assert!(self.ndim() >= 1, "slice_rows() on a scalar");
+        let rows = self.rows();
+        let end = end.min(rows);
+        let start = start.min(end);
+        let stride: usize = self.shape.dims()[1..].iter().product();
+        let mut shape = self.shape.dims().to_vec();
+        shape[0] = end - start;
+        Tensor::from_vec(self.data[start * stride..end * stride].to_vec(), &shape)
+            .with_device(self.device)
+    }
+
     /// Row `i` of a tensor with ndim >= 1, as a tensor of one lower rank.
     pub fn row(&self, i: usize) -> Tensor<T> {
         assert!(self.ndim() >= 1, "row() on a scalar");

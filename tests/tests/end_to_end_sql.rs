@@ -200,3 +200,52 @@ fn errors_are_informative() {
     assert!(e2.to_string().contains("ghosts"));
     assert!(tdp.query("SELECT FROM WHERE").is_err());
 }
+
+#[test]
+fn group_by_expression_keys_work_end_to_end() {
+    // Regression: a select item / sort key / HAVING residue equal to a
+    // GROUP BY *expression* must reference the aggregate's key output
+    // instead of re-evaluating the expression (its input columns are gone
+    // post-grouping) — and literal auto-parameterisation must give the
+    // select item and the key the same parameter slots.
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("x", vec![1.0, 2.0, 1.0, 3.0])
+            .build("t"),
+    );
+    let out = tdp
+        .query("SELECT x + 1, COUNT(*) FROM t GROUP BY x + 1")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.rows(), 3);
+    assert_eq!(
+        out.column("(x + 1)").unwrap().data.decode_f32().to_vec(),
+        vec![2.0, 3.0, 4.0],
+        "output column keeps the pre-extraction name"
+    );
+    // Sorted descending by the expression key, groups filtered by HAVING
+    // over the key expression.
+    let sorted = tdp
+        .query(
+            "SELECT x + 1, COUNT(*) FROM t GROUP BY x + 1 \
+             HAVING x + 1 < 4 ORDER BY x + 1 DESC",
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        sorted.column("(x + 1)").unwrap().data.decode_f32().to_vec(),
+        vec![3.0, 2.0]
+    );
+    assert_eq!(
+        sorted
+            .column("COUNT(*)")
+            .unwrap()
+            .data
+            .decode_i64()
+            .to_vec(),
+        vec![1, 2]
+    );
+}

@@ -1,0 +1,303 @@
+//! Morsel-driven parallel execution: determinism across thread counts,
+//! LIMIT early-exit correctness at morsel boundaries, the parameterised
+//! `LIMIT ?` path, and the scheduler's session configuration surface.
+
+use proptest::prelude::*;
+use tdp_core::exec::ExecError;
+use tdp_core::storage::{Table, TableBuilder};
+use tdp_core::{ParamValues, Tdp, TdpError};
+
+fn table(n: usize, seed: u64) -> Table {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let vs: Vec<f32> = (0..n)
+        .map(|_| (next() % 2000) as f32 / 100.0 - 10.0)
+        .collect();
+    let ks: Vec<i64> = (0..n).map(|_| (next() % 11) as i64).collect();
+    let tags: Vec<String> = (0..n).map(|_| format!("g{}", next() % 5)).collect();
+    TableBuilder::new()
+        .col_f32("v", vs)
+        .col_i64("k", ks)
+        .col_str("tag", &tags)
+        .build("t")
+}
+
+fn run_at(tdp: &Tdp, sql: &str, threads: usize) -> Table {
+    tdp.set_threads(threads);
+    tdp.query(sql).expect("compile").run().expect("run")
+}
+
+fn assert_tables_identical(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row count");
+    let names_a: Vec<&str> = a.columns().iter().map(|c| c.name.as_str()).collect();
+    let names_b: Vec<&str> = b.columns().iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names_a, names_b, "{what}: column order");
+    for col in a.columns() {
+        let other = b.column(&col.name).expect("column present");
+        // Bitwise comparison: decode to bit patterns so NaN == NaN and
+        // -0.0 != 0.0 differences would be caught.
+        let bits_a: Vec<u32> = col
+            .data
+            .decode_f32()
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let bits_b: Vec<u32> = other
+            .data
+            .decode_f32()
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(bits_a, bits_b, "{what}: column {}", col.name);
+        assert_eq!(
+            col.data.decode_strings(),
+            other.data.decode_strings(),
+            "{what}: column {} (string view)",
+            col.name
+        );
+    }
+}
+
+/// SQL pipeline shapes stressed by the determinism property: fused
+/// chains, every parallel aggregate, LIMIT early exit, and barriers
+/// (sort, distinct, window) downstream of parallel pipelines.
+const PIPELINES: &[&str] = &[
+    "SELECT v FROM t WHERE v > 0.0",
+    "SELECT v * 2 + k AS s, tag FROM t WHERE v < 5.0 AND k > 1",
+    "SELECT tag FROM t WHERE tag <> 'g2'",
+    "SELECT v FROM t WHERE v > -5.0 LIMIT 41",
+    "SELECT k, COUNT(*) FROM t GROUP BY k",
+    "SELECT tag, SUM(v), AVG(v), MIN(v), MAX(v) FROM t WHERE v > -8.0 GROUP BY tag",
+    "SELECT k, tag, COUNT(*), VARIANCE(v) FROM t GROUP BY k, tag",
+    "SELECT COUNT(*), SUM(v), STDDEV(v) FROM t WHERE k < 7",
+    "SELECT k, COUNT(v > 0.0) FROM t GROUP BY k",
+    "SELECT v FROM t WHERE v > 0.5 ORDER BY v DESC LIMIT 13",
+    "SELECT DISTINCT tag FROM t WHERE v > 0.0",
+    "SELECT tag, COUNT(*) FROM t GROUP BY tag HAVING COUNT(*) > 2",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `run()` returns identical batches — values *and* column order —
+    /// at every thread count, on random tables across random pipeline
+    /// shapes, with morsels small enough that every query splits.
+    #[test]
+    fn run_is_identical_across_thread_counts(
+        seed in 1u64..1_000_000,
+        rows in 1usize..400,
+        morsel in 1usize..64,
+        which in 0usize..PIPELINES.len(),
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(table(rows, seed));
+        tdp.set_morsel_rows(morsel);
+        let sql = PIPELINES[which];
+        let one = run_at(&tdp, sql, 1);
+        for threads in [2usize, 7] {
+            let out = run_at(&tdp, sql, threads);
+            assert_tables_identical(&one, &out, &format!("{sql} @ {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn limit_early_exit_never_drops_or_duplicates_rows() {
+    // A LIMIT that lands on, before, and after morsel boundaries must
+    // return exactly the input prefix — no dropped rows, no duplicates —
+    // while skipping morsels past the satisfied prefix.
+    let n = 100;
+    let tdp = Tdp::new();
+    let ids: Vec<i64> = (0..n as i64).collect();
+    tdp.register_table(TableBuilder::new().col_i64("id", ids).build("seq"));
+    tdp.set_morsel_rows(8);
+    for threads in [1usize, 3, 8] {
+        tdp.set_threads(threads);
+        for limit in [0usize, 1, 7, 8, 9, 16, 17, 50, 99, 100, 250] {
+            let out = tdp
+                .query(&format!("SELECT id FROM seq LIMIT {limit}"))
+                .unwrap()
+                .run()
+                .unwrap();
+            let expect: Vec<i64> = (0..limit.min(n) as i64).collect();
+            assert_eq!(
+                out.column("id").unwrap().data.decode_i64().to_vec(),
+                expect,
+                "LIMIT {limit} @ {threads} threads"
+            );
+        }
+        // Early exit composed with a filter: the prefix is of the
+        // *filtered* stream, still in input order.
+        let out = tdp
+            .query("SELECT id FROM seq WHERE id % 2 = 0 LIMIT 10")
+            .unwrap()
+            .run()
+            .unwrap();
+        let expect: Vec<i64> = (0..10).map(|i| i * 2).collect();
+        assert_eq!(out.column("id").unwrap().data.decode_i64().to_vec(), expect);
+    }
+}
+
+#[test]
+fn parameterised_limit_binds_and_reuses_the_plan() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(50, 3));
+    tdp.set_morsel_rows(7);
+    let p = tdp.prepare("SELECT v FROM t LIMIT ?").unwrap();
+    assert_eq!(p.param_count(), 1);
+    for k in [0u32, 3, 49, 50, 99] {
+        let out = p
+            .bind(ParamValues::new().number(k as f64))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(out.rows(), (k as usize).min(50), "LIMIT {k}");
+    }
+    // The slot renders in EXPLAIN and the plan is shared across binds.
+    assert!(p.explain().contains("Limit: $1"), "{}", p.explain());
+    // ORDER BY … LIMIT ? fuses into a parameterised TopK.
+    let topk = tdp
+        .prepare("SELECT v FROM t ORDER BY v DESC LIMIT ?")
+        .unwrap();
+    assert!(topk.explain().contains("TopK"), "{}", topk.explain());
+    let out = topk
+        .bind(ParamValues::new().number(5.0))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.rows(), 5);
+    let vs = out.column("v").unwrap().data.decode_f32().to_vec();
+    assert!(vs.windows(2).all(|w| w[0] >= w[1]), "{vs:?}");
+}
+
+#[test]
+fn parameterised_limit_rejects_bad_bindings() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(10, 4));
+    let p = tdp.prepare("SELECT v FROM t LIMIT ?").unwrap();
+    for (params, what) in [
+        (ParamValues::new().number(-1.0), "negative"),
+        (ParamValues::new().number(2.5), "non-integer"),
+        (ParamValues::new().string("nope"), "string"),
+        (ParamValues::new().bool(true), "boolean"),
+        (ParamValues::new().null(), "NULL"),
+    ] {
+        let err = p.bind(params).unwrap().run().unwrap_err();
+        assert!(
+            matches!(err, TdpError::Exec(ExecError::Param(_))),
+            "{what} binding must be a clean parameter error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn scheduler_configuration_surface() {
+    let tdp = Tdp::new();
+    assert!(
+        tdp.threads() >= 1,
+        "default comes from TDP_THREADS or the machine"
+    );
+    tdp.set_threads(0);
+    assert_eq!(tdp.threads(), 1, "clamped");
+    tdp.set_threads(6);
+    assert_eq!(tdp.threads(), 6);
+    tdp.set_morsel_rows(0);
+    assert_eq!(tdp.morsel_rows(), 1, "clamped");
+    tdp.set_morsel_rows(1024);
+    assert_eq!(tdp.morsel_rows(), 1024);
+}
+
+#[test]
+fn plan_cache_stats_report_evictions() {
+    let tdp = Tdp::new();
+    tdp.register_table(TableBuilder::new().col_f32("x", vec![1.0]).build("t"));
+    let s0 = tdp.plan_cache_stats();
+    assert_eq!((s0.evictions, s0.entries), (0, 0));
+    // Overflow the cache with structurally distinct statements (literal
+    // variants share one entry, LIMIT counts are structural).
+    for i in 0..300 {
+        tdp.query(&format!("SELECT x FROM t LIMIT {i}")).unwrap();
+    }
+    let s = tdp.plan_cache_stats();
+    assert_eq!(s.entries, 256, "bounded at capacity");
+    assert_eq!(
+        s.evictions as usize,
+        300 - 256,
+        "each overflow insert evicts exactly one entry"
+    );
+    assert_eq!(s.misses, 300);
+    // Explicit clears are not evictions.
+    tdp.clear_plan_cache();
+    let s2 = tdp.plan_cache_stats();
+    assert_eq!(s2.entries, 0);
+    assert_eq!(s2.evictions, s.evictions);
+}
+
+#[test]
+fn profiled_run_reports_scheduler_counters() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(100, 9));
+    tdp.set_morsel_rows(16);
+    tdp.set_threads(3);
+    let (out, prof) = tdp
+        .query("SELECT k, COUNT(*) FROM t WHERE v > 0.0 GROUP BY k")
+        .unwrap()
+        .run_profiled()
+        .unwrap();
+    assert!(out.rows() > 0);
+    assert_eq!(prof.threads, 3);
+    assert!(
+        prof.morsels >= 7,
+        "filter (7) + aggregate morsels: {}",
+        prof.morsels
+    );
+    assert!(prof.pretty().starts_with("threads=3"), "{}", prof.pretty());
+}
+
+#[test]
+fn explain_renders_the_pipeline_breakdown() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(10, 2));
+    let q = tdp
+        .query("SELECT k, COUNT(*) FROM t WHERE v > 0.0 GROUP BY k ORDER BY k")
+        .unwrap();
+    let text = q.explain();
+    assert!(text.contains("== pipelines =="), "{text}");
+    assert!(text.contains("barrier Sort"), "{text}");
+    assert!(text.contains("partial aggregate"), "{text}");
+    assert!(text.contains("[Filter]"), "{text}");
+}
+
+#[test]
+fn trainable_queries_still_run_single_threaded() {
+    // The diff path consumes the same pipeline decomposition but must
+    // ignore the session thread pool (the tape is Rc-based).
+    let tdp = Tdp::new();
+    tdp.register_table(table(60, 5));
+    tdp.set_threads(8);
+    tdp.set_morsel_rows(4);
+    let q = tdp
+        .query_with(
+            "SELECT COUNT(*) FROM t WHERE v > 0.0",
+            tdp_core::QueryConfig::default().trainable(true),
+        )
+        .unwrap();
+    let exact = q.run().unwrap();
+    let soft = q.run_diff().unwrap();
+    let hard_count = exact.column("COUNT(*)").unwrap().data.decode_f32().at(0);
+    let soft_count = match soft.column("COUNT(*)").unwrap() {
+        tdp_core::exec::ColumnData::Diff(d) => d.var.value().at(0),
+        tdp_core::exec::ColumnData::Exact(e) => e.decode_f32().at(0),
+    };
+    assert!(
+        (hard_count - soft_count).abs() < 1e-3,
+        "{hard_count} vs {soft_count}"
+    );
+}
