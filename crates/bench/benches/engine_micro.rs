@@ -283,6 +283,71 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_udf_scaling(c: &mut Criterion) {
+    // The declared-signature payoff: a `parallel_safe` scalar UDF chain
+    // runs through the morsel worker pool instead of the sequential
+    // whole-batch fallback. Same compiled query at 1/2/4/8 threads; the
+    // UDF does real per-row work (decode + multiply + re-encode), so the
+    // chain is compute-bound and should scale. `session_bound` is the
+    // ablation: the identical implementation registered without
+    // `Send + Sync` proof pins the chain to one thread.
+    use std::sync::Arc;
+    use tdp_core::encoding::EncodedTensor;
+    use tdp_core::exec::{ArgValue, ExecContext, ExecError};
+    use tdp_core::{ArgType, FunctionSpec, ScalarUdf, Volatility};
+
+    struct Smooth;
+    impl ScalarUdf for Smooth {
+        fn name(&self) -> &str {
+            "smooth"
+        }
+        fn spec(&self) -> FunctionSpec {
+            FunctionSpec::scalar(self.name(), vec![ArgType::Column])
+                .volatility(Volatility::Immutable)
+                .parallel_safe(true)
+        }
+        fn invoke(
+            &self,
+            args: &[ArgValue],
+            _ctx: &ExecContext,
+        ) -> Result<EncodedTensor, ExecError> {
+            let col = args[0].as_column()?.decode_f32();
+            Ok(EncodedTensor::F32(col.map(|v| (v * 0.5).tanh())))
+        }
+    }
+
+    let n = 1_000_000;
+    let mut rng = Rng64::new(23);
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+            .build("big"),
+    );
+    let sql = "SELECT smooth(v) AS s FROM big WHERE smooth(v) > 0.0";
+    let mut group = c.benchmark_group("parallel_udf_1m");
+    group.sample_size(10);
+
+    tdp.register_udf_parallel(Arc::new(Smooth));
+    let q = tdp.query(sql).expect("compile");
+    for threads in [1usize, 2, 4, 8] {
+        tdp.set_threads(threads);
+        group.bench_function(format!("parallel_safe/threads_{threads}"), |b| {
+            b.iter(|| q.run().expect("run"))
+        });
+    }
+
+    // Ablation: same UDF, session-bound registration -> sequential path.
+    tdp.register_udf(Arc::new(Smooth));
+    let seq = tdp.query(sql).expect("compile");
+    tdp.set_threads(8);
+    group.bench_function("session_bound/threads_8", |b| {
+        b.iter(|| seq.run().expect("run"))
+    });
+    tdp.set_threads(1);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -293,6 +358,7 @@ criterion_group!(
     bench_encodings,
     bench_compressed_encodings,
     bench_topk_vs_full_sort,
-    bench_parallel_scaling
+    bench_parallel_scaling,
+    bench_parallel_udf_scaling
 );
 criterion_main!(benches);

@@ -77,9 +77,14 @@ pub struct Prepared<'s> {
     /// Literals extracted at prepare time, bound automatically after the
     /// explicit slots.
     implicit: Vec<ParamValue>,
+    /// Binding-dependent argument-type obligations of declared-signature
+    /// calls, precomputed at compile time so [`Prepared::bind`] checks
+    /// O(constraints) instead of re-walking the plan.
+    param_constraints: Vec<tdp_exec::ParamConstraint>,
 }
 
 impl<'s> Prepared<'s> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         session: &'s Tdp,
         plan: Arc<LogicalPlan>,
@@ -88,6 +93,7 @@ impl<'s> Prepared<'s> {
         config: QueryConfig,
         explicit_params: usize,
         implicit: Vec<ParamValue>,
+        param_constraints: Vec<tdp_exec::ParamConstraint>,
     ) -> Self {
         Prepared {
             session,
@@ -97,6 +103,7 @@ impl<'s> Prepared<'s> {
             config,
             explicit_params,
             implicit,
+            param_constraints,
         }
     }
 
@@ -108,8 +115,9 @@ impl<'s> Prepared<'s> {
 
     /// Attach parameter values, producing an executable [`BoundQuery`].
     /// The binding must cover exactly the statement's explicit
-    /// placeholders; type errors surface at execution time, when slots
-    /// meet operators.
+    /// placeholders. Calls to functions with declared signatures are
+    /// re-checked against the bound value types here, so a wrongly-typed
+    /// binding fails at bind time instead of mid-execution.
     pub fn bind(&self, params: ParamValues) -> Result<BoundQuery<'s>, TdpError> {
         if params.len() != self.explicit_params {
             return Err(TdpError::Session(format!(
@@ -122,6 +130,11 @@ impl<'s> Prepared<'s> {
         for v in &self.implicit {
             all.push(v.clone());
         }
+        // Every slot now has a value; checking the precomputed
+        // constraints is O(declared param args), not a plan walk.
+        tdp_exec::validate_param_constraints(&self.param_constraints, &|idx| {
+            crate::session::param_static_kind(all.get(idx))
+        })?;
         Ok(BoundQuery {
             session: self.session,
             plan: Arc::clone(&self.plan),
@@ -153,7 +166,10 @@ impl<'s> Prepared<'s> {
     }
 
     /// EXPLAIN-style rendering with `$n` parameter slots and a trailing
-    /// `params:` line (see [`render_explain`]).
+    /// `params:` line. Pipelines that will take
+    /// the sequential fallback are annotated with the reason (explicit
+    /// placeholders are treated as scalar until bound — a tensor binding
+    /// shows up in [`BoundQuery::explain`]).
     pub fn explain(&self) -> String {
         let total = self.explicit_params + self.implicit.len();
         let trailer = if total == 0 {
@@ -166,7 +182,16 @@ impl<'s> Prepared<'s> {
                 self.implicit.len()
             )
         };
-        render_explain(&self.plan, &self.physical, self.fingerprint, &trailer)
+        let udfs = self.session.udfs_snapshot();
+        let mut params = ParamValues::new();
+        for _ in 0..self.explicit_params {
+            params.push(ParamValue::Null);
+        }
+        for v in &self.implicit {
+            params.push(v.clone());
+        }
+        let ctx = ExecContext::new(self.session.catalog(), &udfs).with_params(params);
+        render_explain(&self.plan, &self.physical, self.fingerprint, &trailer, &ctx)
     }
 
     /// Trainable parameters of the functions this statement references —
@@ -201,21 +226,24 @@ fn param_slots(physical: &PhysicalPlan) -> Vec<String> {
 }
 
 /// Shared EXPLAIN rendering: logical tree, physical tree (with `$n`
-/// slots), the pipeline breakdown the morsel scheduler will run (fused
-/// chains, sinks and barriers), then a `params:` trailer listing the
-/// inferred slot count and positions.
+/// slots and declared TVF schemas), the pipeline breakdown the morsel
+/// scheduler will run (fused chains, sinks, barriers, and a
+/// `[sequential: reason]` annotation on pipelines that fall back to the
+/// whole-batch path), then a `params:` trailer listing the inferred slot
+/// count and positions.
 fn render_explain(
     plan: &LogicalPlan,
     physical: &PhysicalPlan,
     fingerprint: u64,
     params_trailer: &str,
+    ctx: &ExecContext,
 ) -> String {
     format!(
         "== logical ==\n{}== physical (fingerprint {:016x}) ==\n{}== pipelines ==\n{}{params_trailer}\n",
         plan.explain(),
         fingerprint,
         physical.explain(),
-        tdp_exec::pipeline::explain(physical)
+        tdp_exec::pipeline::explain_ctx(physical, ctx)
     )
 }
 
@@ -261,8 +289,9 @@ impl<'s> BoundQuery<'s> {
     }
 
     /// EXPLAIN-style rendering: the optimised logical tree, the physical
-    /// tree with resolved slots and `$n` parameters, and the `params:`
-    /// trailer.
+    /// tree with resolved slots and `$n` parameters, the pipeline
+    /// breakdown with sequential-fallback reasons resolved against this
+    /// binding, and the `params:` trailer.
     pub fn explain(&self) -> String {
         let trailer = if self.params.is_empty() {
             "params: none".to_string()
@@ -273,7 +302,9 @@ impl<'s> BoundQuery<'s> {
                 param_slots(&self.physical).join(", ")
             )
         };
-        render_explain(&self.plan, &self.physical, self.fingerprint, &trailer)
+        let udfs = self.session.udfs_snapshot();
+        let ctx = self.exec_context(&udfs, false);
+        render_explain(&self.plan, &self.physical, self.fingerprint, &trailer, &ctx)
     }
 
     pub fn config(&self) -> QueryConfig {

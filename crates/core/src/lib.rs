@@ -51,7 +51,10 @@ pub mod vector;
 pub use compiled::{BoundQuery, CompiledQuery, Prepared, QueryConfig};
 pub use error::TdpError;
 pub use session::{PlanCacheStats, Tdp};
-pub use tdp_exec::{ParamValue, ParamValues};
+pub use tdp_exec::{
+    ArgType, FunctionSpec, OutputSchema, ParamValue, ParamValues, ScalarUdf, TableFunction,
+    Volatility,
+};
 pub use vector::IndexKind;
 
 /// Compilation flags mirroring the paper's `tdp.constants`.

@@ -4,7 +4,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tdp_exec::{ParamValue, ParamValues, PhysicalPlan, ScalarUdf, TableFunction, UdfRegistry};
+use tdp_exec::{
+    ParamConstraint, ParamValue, ParamValues, PhysicalPlan, ScalarUdf, TableFunction, UdfRegistry,
+};
 use tdp_sql::plan::{LogicalPlan, PlannerContext};
 use tdp_sql::{optimizer, parse};
 use tdp_storage::{Catalog, Table, TableBuilder};
@@ -17,6 +19,19 @@ use crate::error::TdpError;
 /// least-recently-used plan is dropped, so a hot working set survives a
 /// long tail of one-off statements.
 const PLAN_CACHE_CAP: usize = 256;
+
+/// Static type of a bound (or to-be-bound) parameter value, for
+/// declared-signature checking.
+pub(crate) fn param_static_kind(v: Option<&ParamValue>) -> tdp_exec::StaticKind {
+    use tdp_exec::StaticKind;
+    match v {
+        Some(ParamValue::Number(_)) => StaticKind::Number,
+        Some(ParamValue::String(_)) => StaticKind::Str,
+        Some(ParamValue::Bool(_)) => StaticKind::Bool,
+        Some(ParamValue::Tensor(_)) => StaticKind::Column,
+        Some(ParamValue::Null) | None => StaticKind::Unknown,
+    }
+}
 
 /// Default worker count: `TDP_THREADS` when set to a positive integer,
 /// else the machine's available parallelism.
@@ -60,6 +75,12 @@ struct CachedPlan {
     /// `(table, column names)` for every base-table scan — the schemas
     /// the slot assignments depend on.
     scans: Vec<(String, Vec<String>)>,
+    /// Binding-dependent argument-type obligations of declared-signature
+    /// calls. The plan itself was fully validated when this entry was
+    /// built; hits (whose literal *values* may differ in type) and
+    /// re-binds only need to recheck these slots — O(constraints), not
+    /// O(plan).
+    param_constraints: Vec<ParamConstraint>,
     /// Monotonic recency stamp for LRU eviction.
     last_used: u64,
 }
@@ -287,9 +308,21 @@ impl Tdp {
     // Function registration (paper §3, the `tdp_udf` annotation)
     // ------------------------------------------------------------------
 
-    /// Register a scalar UDF.
+    /// Register a scalar UDF. Functions registered here stay
+    /// session-thread-bound — the right home for trainable UDFs whose
+    /// parameters ride the `Rc`-based autodiff tape. Stateless functions
+    /// should prefer [`Tdp::register_udf_parallel`].
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
         self.udfs.borrow_mut().register_scalar(udf);
+        self.udf_epoch.set(self.udf_epoch.get() + 1);
+    }
+
+    /// Register a `Send + Sync` scalar UDF. Combined with a
+    /// [`tdp_exec::FunctionSpec`] declaring `parallel_safe`, queries
+    /// applying it execute through the morsel scheduler's worker pool
+    /// instead of falling back to the sequential whole-batch path.
+    pub fn register_udf_parallel(&self, udf: Arc<dyn ScalarUdf + Send + Sync>) {
+        self.udfs.borrow_mut().register_scalar_parallel(udf);
         self.udf_epoch.set(self.udf_epoch.get() + 1);
     }
 
@@ -345,6 +378,10 @@ impl Tdp {
     /// function registry changes, and evicted per-entry LRU at capacity.
     pub fn prepare_with(&self, sql: &str, config: QueryConfig) -> Result<Prepared<'_>, TdpError> {
         let ast = parse(sql)?;
+        // Immutable UDF calls over literal arguments fold into literals
+        // *before* auto-parameterisation, so the folded constant shares
+        // plan-cache entries like any other literal.
+        let ast = tdp_exec::fold_immutable_udfs(ast, &self.udfs.borrow());
         let explicit = tdp_sql::param::explicit_param_count(&ast);
         let (ast, literals) = tdp_sql::param::parameterize_literals(ast, explicit);
         let implicit: Vec<ParamValue> = literals.iter().map(ParamValue::from).collect();
@@ -362,6 +399,18 @@ impl Tdp {
                 entry.catalog_version = catalog_version;
                 entry.last_used = self.tick();
                 self.cache_hits.set(self.cache_hits.get() + 1);
+                // The cache key is literal-invariant, so a cached plan can
+                // be served for a text whose literals have *different
+                // types*. The plan structure was fully validated when the
+                // entry was built; only the binding-dependent slot
+                // constraints need rechecking against this text's values.
+                tdp_exec::validate_param_constraints(&entry.param_constraints, &|idx| {
+                    if idx < explicit {
+                        tdp_exec::StaticKind::Unknown
+                    } else {
+                        param_static_kind(implicit.get(idx - explicit))
+                    }
+                })?;
                 return Ok(Prepared::new(
                     self,
                     Arc::clone(&entry.logical),
@@ -370,6 +419,7 @@ impl Tdp {
                     config,
                     explicit,
                     implicit,
+                    entry.param_constraints.clone(),
                 ));
             }
         }
@@ -384,9 +434,11 @@ impl Tdp {
         )?;
         let plan = optimizer::optimize(plan);
         let physical = Arc::new(tdp_exec::lower(&plan, &self.catalog, &udfs)?);
+        let param_constraints = tdp_exec::param_arg_constraints(&physical, &udfs);
         drop(udfs);
         let logical = Arc::new(plan);
         let fingerprint = physical.fingerprint();
+        self.validate_signatures(&physical, explicit, &implicit)?;
 
         // Cache only plans whose scans all resolved a schema: a plan
         // compiled against a missing table must not pin that state.
@@ -416,6 +468,7 @@ impl Tdp {
                         .into_iter()
                         .map(|(t, s)| (t, s.expect("checked above")))
                         .collect(),
+                    param_constraints: param_constraints.clone(),
                     last_used: self.tick(),
                 },
             );
@@ -428,6 +481,7 @@ impl Tdp {
             config,
             explicit,
             implicit,
+            param_constraints,
         ))
     }
 
@@ -435,6 +489,28 @@ impl Tdp {
         let t = self.cache_tick.get() + 1;
         self.cache_tick.set(t);
         t
+    }
+
+    /// Check every UDF/TVF call of a lowered plan against its declared
+    /// signature, resolving the auto-extracted literal slots to their
+    /// types. The full plan walk runs once per compilation (cache miss);
+    /// hits and [`Prepared::bind`] recheck only the precomputed
+    /// binding-dependent slot constraints.
+    fn validate_signatures(
+        &self,
+        physical: &PhysicalPlan,
+        explicit: usize,
+        implicit: &[ParamValue],
+    ) -> Result<(), TdpError> {
+        let udfs = self.udfs.borrow();
+        let kind = |idx: usize| -> tdp_exec::StaticKind {
+            if idx < explicit {
+                return tdp_exec::StaticKind::Unknown;
+            }
+            param_static_kind(implicit.get(idx - explicit))
+        };
+        tdp_exec::validate_function_args(physical, &udfs, &kind)?;
+        Ok(())
     }
 
     /// Whether every `(table, schema)` a cached plan was compiled against

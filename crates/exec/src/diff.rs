@@ -122,24 +122,29 @@ fn exec_diff_barrier(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     match plan {
-        PhysicalPlan::TvfScan { name, .. } => {
+        PhysicalPlan::TvfScan { name, schema, .. } => {
             let inp = exec_diff_node(&inputs[0], ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut out = tvf.invoke_table_diff(&inp, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
             // Input weights survive a row-preserving TVF.
             if out.weights.is_none() {
                 out.weights = inp.weights;
             }
             Ok(out)
         }
-        PhysicalPlan::TvfProject { name, args, .. } => {
+        PhysicalPlan::TvfProject {
+            name, args, schema, ..
+        } => {
             let inp = exec_diff_node(&inputs[0], ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
                 arg_values.push(eval_diff(a, &inp, ctx)?.into_arg());
             }
-            tvf.invoke_cols(&arg_values, ctx)
+            let out = tvf.invoke_cols(&arg_values, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            Ok(out)
         }
         PhysicalPlan::Join { kind, on, .. } => {
             let l = exec_diff_node(&inputs[0], ctx)?;

@@ -21,6 +21,11 @@ pub enum ExecError {
     /// binding the engine cannot evaluate (e.g. NULL in this NULL-free
     /// dialect).
     Param(String),
+    /// A call violates a function's declared signature: wrong arity,
+    /// wrong argument type, a TVF used in a position it does not
+    /// support, or a TVF whose output drifted from its declared schema.
+    /// Declared-signature violations surface at prepare time.
+    Signature(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -36,6 +41,7 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::Udf(m) => write!(f, "UDF error: {m}"),
             ExecError::Param(m) => write!(f, "parameter error: {m}"),
+            ExecError::Signature(m) => write!(f, "function signature error: {m}"),
         }
     }
 }

@@ -6,7 +6,7 @@
 //! the **single-morsel kernel library**: [`execute`] routes through the
 //! pipeline scheduler ([`crate::pipeline`]), which invokes the kernels
 //! here per morsel (filters, projections, partial aggregation) or per
-//! barrier (sorts, joins, windows). [`execute_seq`] is the historical
+//! barrier (sorts, joins, windows). `execute_seq` is the historical
 //! whole-batch operator-at-a-time walk, kept for scalar subqueries —
 //! which must evaluate identically no matter how the outer query is
 //! scheduled — and as the fallback for chains that cannot leave the
@@ -42,19 +42,32 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecErro
 pub(crate) fn execute_seq(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match plan {
         PhysicalPlan::Scan { table, schema } => scan_table(table, schema.as_deref(), ctx),
-        PhysicalPlan::TvfScan { name, input } => {
+        PhysicalPlan::TvfScan {
+            name,
+            schema,
+            input,
+        } => {
             let inp = execute_seq(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
-            tvf.invoke_table(&inp, ctx)
+            let out = tvf.invoke_table(&inp, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            Ok(out)
         }
-        PhysicalPlan::TvfProject { name, args, input } => {
+        PhysicalPlan::TvfProject {
+            name,
+            args,
+            schema,
+            input,
+        } => {
             let inp = execute_seq(input, ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
                 arg_values.push(eval_expr(a, &inp, ctx)?.into_arg());
             }
-            tvf.invoke_cols(&arg_values, ctx)
+            let out = tvf.invoke_cols(&arg_values, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            Ok(out)
         }
         PhysicalPlan::Filter { predicate, input } => {
             let inp = execute_seq(input, ctx)?;

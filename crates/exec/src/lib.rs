@@ -68,12 +68,20 @@
 //! Batches ([`Batch`]) carry an O(1) name→slot map, but the hot path never
 //! consults it: compiled expressions address columns by slot. Name lookup
 //! remains only where schemas are dynamic — downstream of table-valued
-//! functions, whose output relation is whatever the TVF builds.
+//! functions that do *not* declare an output schema; a TVF whose
+//! [`FunctionSpec`] declares one slot-resolves like a base table (and the
+//! executor checks the actual output against the declaration).
 //!
 //! UDFs and table-valued functions ([`udf`]) execute *inside* the tensor
 //! runtime: they receive encoded tensors and return encoded tensors (or
 //! differentiable columns in trainable mode), so there is no context-switch
-//! cost between SQL operators and ML transforms.
+//! cost between SQL operators and ML transforms. Each declares a
+//! [`FunctionSpec`] — argument types (validated at prepare time),
+//! volatility (Immutable calls over literals constant-fold), a
+//! `parallel_safe` capability (chains containing such UDFs morselize
+//! across the worker pool) and, for TVFs, the output schema and allowed
+//! positions. Legacy `name()`-only implementations keep the historical
+//! fully-dynamic behaviour via defaulted methods.
 //!
 //! What should hang off this layer next: NUMA-/device-aware morsel
 //! placement (a pipeline already knows its scan), cross-query kernel
@@ -98,7 +106,13 @@ pub use diff::execute_diff;
 pub use error::ExecError;
 pub use exact::execute;
 pub use params::{ParamValue, ParamValues};
-pub use physical::{lower, CompiledExpr, PhysicalPlan};
+pub use physical::{
+    lower, param_arg_constraints, validate_function_args, validate_param_constraints, CompiledExpr,
+    ParamConstraint, PhysicalPlan, StaticKind,
+};
 pub use pipeline::{decompose, MorselOp, PipeNode, DEFAULT_MORSEL_ROWS};
 pub use profile::{execute_profiled, OpTrace, QueryProfile};
-pub use udf::{ArgValue, ExecContext, ScalarUdf, TableFunction, UdfRegistry};
+pub use udf::{
+    fold_immutable_udfs, ArgType, ArgValue, ExecContext, FunctionSpec, OutputSchema, ScalarUdf,
+    TableFunction, UdfRegistry, Volatility,
+};

@@ -42,57 +42,80 @@ use crate::udf::{ExecContext, UdfRegistry};
 // Parallel-safety analysis
 // ----------------------------------------------------------------------
 
-/// Whether an expression may evaluate off the session thread. Session
-/// UDFs (and built-ins currently shadowed by one) hold non-`Send`
-/// parameters; scalar subqueries execute nested plans against the
-/// session; tensor bindings are row-aligned with the *whole* input, not
-/// a morsel of it.
-fn expr_parallel_safe(e: &CompiledExpr, ctx: &ExecContext) -> bool {
+/// Why a chain must stay on the session thread. `None` = parallel-safe.
+/// Session UDFs without a `parallel_safe` declaration (and built-ins
+/// currently shadowed by one) may hold non-`Send` parameters; scalar
+/// subqueries execute nested plans against the session; tensor bindings
+/// are row-aligned with the *whole* input, not a morsel of it.
+/// UDFs registered through
+/// [`crate::udf::UdfRegistry::register_scalar_parallel`] with a
+/// `parallel_safe` spec cross threads freely.
+fn expr_fallback(e: &CompiledExpr, ctx: &ExecContext) -> Option<String> {
     match e {
-        CompiledExpr::Udf { .. } | CompiledExpr::ScalarSubquery(_) => false,
+        CompiledExpr::Udf { name, args } => {
+            if !ctx.udfs.is_parallel_safe_scalar(name) {
+                return Some(format!("udf-not-parallel-safe({name})"));
+            }
+            args.iter().find_map(|a| expr_fallback(a, ctx))
+        }
+        CompiledExpr::ScalarSubquery(_) => Some("scalar-subquery".into()),
         CompiledExpr::Builtin { name, args, .. } => {
-            !ctx.udfs.is_scalar(name) && args.iter().all(|a| expr_parallel_safe(a, ctx))
+            // A session UDF registered after compilation shadows the
+            // built-in at evaluation time; the shadow decides.
+            if ctx.udfs.is_scalar(name) && !ctx.udfs.is_parallel_safe_scalar(name) {
+                return Some(format!("udf-not-parallel-safe({name})"));
+            }
+            args.iter().find_map(|a| expr_fallback(a, ctx))
         }
-        CompiledExpr::Param { idx } => !matches!(ctx.params.get(*idx), Some(ParamValue::Tensor(_))),
+        CompiledExpr::Param { idx } => matches!(ctx.params.get(*idx), Some(ParamValue::Tensor(_)))
+            .then(|| format!("tensor-param(${})", idx + 1)),
         CompiledExpr::Binary { left, right, .. } => {
-            expr_parallel_safe(left, ctx) && expr_parallel_safe(right, ctx)
+            expr_fallback(left, ctx).or_else(|| expr_fallback(right, ctx))
         }
-        CompiledExpr::Unary { expr, .. } => expr_parallel_safe(expr, ctx),
+        CompiledExpr::Unary { expr, .. } => expr_fallback(expr, ctx),
         CompiledExpr::Case {
             operand,
             branches,
             else_expr,
-        } => {
-            operand
-                .as_deref()
-                .is_none_or(|o| expr_parallel_safe(o, ctx))
-                && branches
+        } => operand
+            .as_deref()
+            .and_then(|o| expr_fallback(o, ctx))
+            .or_else(|| {
+                branches
                     .iter()
-                    .all(|(w, t)| expr_parallel_safe(w, ctx) && expr_parallel_safe(t, ctx))
-                && else_expr
-                    .as_deref()
-                    .is_none_or(|e| expr_parallel_safe(e, ctx))
-        }
+                    .find_map(|(w, t)| expr_fallback(w, ctx).or_else(|| expr_fallback(t, ctx)))
+            })
+            .or_else(|| else_expr.as_deref().and_then(|e| expr_fallback(e, ctx))),
         CompiledExpr::InList { expr, list, .. } => {
-            expr_parallel_safe(expr, ctx) && list.iter().all(|i| expr_parallel_safe(i, ctx))
+            expr_fallback(expr, ctx).or_else(|| list.iter().find_map(|i| expr_fallback(i, ctx)))
         }
-        CompiledExpr::Like { expr, .. } => expr_parallel_safe(expr, ctx),
+        CompiledExpr::Like { expr, .. } => expr_fallback(expr, ctx),
         CompiledExpr::Column(_)
         | CompiledExpr::Num(_)
         | CompiledExpr::Str(_)
-        | CompiledExpr::Bool(_) => true,
+        | CompiledExpr::Bool(_) => None,
     }
 }
 
-fn op_parallel_safe(op: &MorselOp<'_>, ctx: &ExecContext) -> bool {
+fn op_fallback(op: &MorselOp<'_>, ctx: &ExecContext) -> Option<String> {
     match op {
-        MorselOp::Filter(pred) => expr_parallel_safe(pred, ctx),
-        MorselOp::Project(items) => items.iter().all(|i| expr_parallel_safe(&i.expr, ctx)),
+        MorselOp::Filter(pred) => expr_fallback(pred, ctx),
+        MorselOp::Project(items) => items.iter().find_map(|i| expr_fallback(&i.expr, ctx)),
     }
 }
 
-fn chain_parallel_safe(ops: &[MorselOp<'_>], ctx: &ExecContext) -> bool {
-    ops.iter().all(|op| op_parallel_safe(op, ctx))
+/// First reason a fused chain (and optional aggregate sink) cannot leave
+/// the session thread — the single source of truth for the sequential
+/// fallback, reported by EXPLAIN and profiled runs so fallbacks are
+/// observable instead of silent. `None` = the chain is parallel-safe.
+pub(crate) fn chain_fallback_reason(
+    ops: &[MorselOp<'_>],
+    sink: Option<(&[PhysKey], &[PhysAggregate])>,
+    ctx: &ExecContext,
+) -> Option<String> {
+    ops.iter()
+        .find_map(|op| op_fallback(op, ctx))
+        .or_else(|| sink.and_then(|(keys, aggs)| aggregate_fallback(keys, aggs, ctx)))
 }
 
 // ----------------------------------------------------------------------
@@ -166,15 +189,19 @@ fn slice_cols(cols: &[(String, EncodedTensor)], start: usize, end: usize) -> Bat
 }
 
 /// The `Send` subset of an [`ExecContext`] a worker needs. The session
-/// context itself cannot cross threads (the UDF registry holds
+/// context itself cannot cross threads (the UDF registry may hold
 /// `Rc`-based autodiff parameters), but parallel-safe chains reference
-/// neither the registry nor the catalog — only the binding and the
-/// device knobs, which are plain data.
+/// only the binding, the device knobs, and the `Send + Sync` slice of
+/// the function registry (UDFs registered through
+/// [`UdfRegistry::register_scalar_parallel`]).
 struct WorkerCfg {
     device: tdp_tensor::Device,
     temperature: f32,
     params: crate::params::ParamValues,
     morsel_rows: usize,
+    /// Thread-safe scalar UDFs, rebuilt into a per-worker registry so
+    /// `CompiledExpr::Udf` resolution works identically off-thread.
+    shared_udfs: crate::udf::SharedScalars,
 }
 
 impl WorkerCfg {
@@ -184,11 +211,13 @@ impl WorkerCfg {
             temperature: ctx.temperature,
             params: ctx.params.clone(),
             morsel_rows: ctx.morsel_rows,
+            shared_udfs: ctx.udfs.shared_snapshot(),
         }
     }
 }
 
-/// Build a worker-side context over thread-local empty registries.
+/// Build a worker-side context over a thread-local registry holding the
+/// shared (parallel-safe) functions and an empty catalog.
 fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) -> ExecContext<'a> {
     ExecContext {
         catalog,
@@ -207,7 +236,7 @@ fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) 
 fn run_workers(workers: usize, cfg: &WorkerCfg, work: &(impl Fn(&ExecContext) + Sync)) {
     if workers <= 1 {
         let catalog = Catalog::new();
-        let udfs = UdfRegistry::new();
+        let udfs = UdfRegistry::from_shared(cfg.shared_udfs.clone());
         work(&worker_ctx(&catalog, &udfs, cfg));
         return;
     }
@@ -215,7 +244,7 @@ fn run_workers(workers: usize, cfg: &WorkerCfg, work: &(impl Fn(&ExecContext) + 
         for _ in 0..workers {
             scope.spawn(move || {
                 let catalog = Catalog::new();
-                let udfs = UdfRegistry::new();
+                let udfs = UdfRegistry::from_shared(cfg.shared_udfs.clone());
                 work(&worker_ctx(&catalog, &udfs, cfg));
             });
         }
@@ -225,6 +254,40 @@ fn run_workers(workers: usize, cfg: &WorkerCfg, work: &(impl Fn(&ExecContext) + 
 /// Number of morsels a batch splits into.
 fn num_morsels(rows: usize, morsel_rows: usize) -> usize {
     rows.div_ceil(morsel_rows.max(1))
+}
+
+/// Why this execution falls back to the whole-batch sequential path
+/// (`None` = it is morsel-parallel). Unlike [`chain_fallback_reason`]
+/// this sees the materialised input, so it also covers differentiable
+/// batches flowing out of trainable TVFs.
+pub(crate) fn run_fallback_reason(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    sink: Option<(&[PhysKey], &[PhysAggregate])>,
+    ctx: &ExecContext,
+) -> Option<String> {
+    if input.has_diff() {
+        return Some("differentiable-input".into());
+    }
+    chain_fallback_reason(ops, sink, ctx)
+}
+
+/// Morsel count and fallback reason from one analysis pass (the reason
+/// implies the count, so callers needing both — the profiler — pay for
+/// the registry/param walk once).
+pub(crate) fn planned_and_reason(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    sink: Option<(&[PhysKey], &[PhysAggregate])>,
+    ctx: &ExecContext,
+) -> (usize, Option<String>) {
+    let reason = run_fallback_reason(input, ops, sink, ctx);
+    let morsels = if reason.is_none() {
+        num_morsels(input.rows(), ctx.morsel_rows)
+    } else {
+        1
+    };
+    (morsels, reason)
 }
 
 /// How many morsels this pipeline will actually schedule: 1 when the
@@ -237,15 +300,7 @@ pub(crate) fn planned_morsels(
     sink: Option<(&[PhysKey], &[PhysAggregate])>,
     ctx: &ExecContext,
 ) -> usize {
-    let morsels = num_morsels(input.rows(), ctx.morsel_rows);
-    let safe = !input.has_diff()
-        && chain_parallel_safe(ops, ctx)
-        && sink.is_none_or(|(keys, aggs)| aggregate_parallel_safe(keys, aggs, ctx));
-    if safe {
-        morsels
-    } else {
-        1
-    }
+    planned_and_reason(input, ops, sink, ctx).0
 }
 
 /// Run a fused chain over a materialised input, morsel-parallel where
@@ -411,18 +466,23 @@ struct PartialAgg {
     groups: usize,
 }
 
-/// Whether the aggregate sink can fold morsels in parallel.
-fn aggregate_parallel_safe(
+/// First reason the aggregate sink cannot fold morsels in parallel.
+fn aggregate_fallback(
     keys: &[PhysKey],
     aggregates: &[PhysAggregate],
     ctx: &ExecContext,
-) -> bool {
-    keys.iter().all(|k| expr_parallel_safe(&k.expr, ctx))
-        && aggregates.iter().all(|a| {
-            // COUNT(DISTINCT …) needs a cross-morsel value set; it stays
-            // on the sequential path.
-            a.func != AggFunc::CountDistinct
-                && a.arg.as_ref().is_none_or(|e| expr_parallel_safe(e, ctx))
+) -> Option<String> {
+    keys.iter()
+        .find_map(|k| expr_fallback(&k.expr, ctx))
+        .or_else(|| {
+            aggregates.iter().find_map(|a| {
+                // COUNT(DISTINCT …) needs a cross-morsel value set; it
+                // stays on the sequential path.
+                if a.func == AggFunc::CountDistinct {
+                    return Some("count-distinct".into());
+                }
+                a.arg.as_ref().and_then(|e| expr_fallback(e, ctx))
+            })
         })
 }
 
@@ -613,7 +673,7 @@ fn partial_aggregate(
                 AccColumn::Moments { sum, sumsq }
             }
             (AggFunc::CountDistinct, _) => {
-                unreachable!("COUNT(DISTINCT) is filtered by aggregate_parallel_safe")
+                unreachable!("COUNT(DISTINCT) is filtered by aggregate_fallback")
             }
             (f, None) => {
                 return Err(ExecError::Unsupported(format!(
@@ -785,7 +845,7 @@ fn merge_partials(
                     _ => unreachable!(),
                 })
             }
-            AggFunc::CountDistinct => unreachable!("filtered by aggregate_parallel_safe"),
+            AggFunc::CountDistinct => unreachable!("filtered by aggregate_fallback"),
         };
         out.push(agg.output.clone(), ColumnData::Exact(col));
     }

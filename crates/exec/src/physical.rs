@@ -27,7 +27,7 @@ use tdp_sql::plan::{AggregateExpr, LogicalPlan, WindowExpr};
 use tdp_storage::Catalog;
 
 use crate::error::ExecError;
-use crate::udf::UdfRegistry;
+use crate::udf::{ArgType, UdfRegistry};
 
 // ----------------------------------------------------------------------
 // Schemas
@@ -192,18 +192,22 @@ pub enum CompiledExpr {
 }
 
 impl CompiledExpr {
-    /// Call `f` on every lowered scalar-subquery plan reachable from this
-    /// expression (including subqueries nested inside subquery arguments).
-    pub fn visit_subplans(&self, f: &mut impl FnMut(&PhysicalPlan)) {
+    /// Visit this expression and every sub-expression, pre-order. Scalar
+    /// subqueries are visited as single nodes — their nested plans are
+    /// not entered; match on [`CompiledExpr::ScalarSubquery`] in the
+    /// callback to descend explicitly. The one traversal behind
+    /// [`CompiledExpr::visit_subplans`], [`CompiledExpr::collect_params`]
+    /// and signature validation.
+    pub fn for_each(&self, f: &mut impl FnMut(&CompiledExpr)) {
+        f(self);
         match self {
-            CompiledExpr::ScalarSubquery(p) => f(p),
             CompiledExpr::Binary { left, right, .. } => {
-                left.visit_subplans(f);
-                right.visit_subplans(f);
+                left.for_each(f);
+                right.for_each(f);
             }
-            CompiledExpr::Unary { expr, .. } => expr.visit_subplans(f),
+            CompiledExpr::Unary { expr, .. } | CompiledExpr::Like { expr, .. } => expr.for_each(f),
             CompiledExpr::Udf { args, .. } | CompiledExpr::Builtin { args, .. } => {
-                args.iter().for_each(|a| a.visit_subplans(f));
+                args.iter().for_each(|a| a.for_each(f));
             }
             CompiledExpr::Case {
                 operand,
@@ -211,72 +215,47 @@ impl CompiledExpr {
                 else_expr,
             } => {
                 if let Some(o) = operand {
-                    o.visit_subplans(f);
+                    o.for_each(f);
                 }
                 for (w, t) in branches {
-                    w.visit_subplans(f);
-                    t.visit_subplans(f);
+                    w.for_each(f);
+                    t.for_each(f);
                 }
                 if let Some(e) = else_expr {
-                    e.visit_subplans(f);
+                    e.for_each(f);
                 }
             }
             CompiledExpr::InList { expr, list, .. } => {
-                expr.visit_subplans(f);
-                list.iter().for_each(|i| i.visit_subplans(f));
+                expr.for_each(f);
+                list.iter().for_each(|i| i.for_each(f));
             }
-            CompiledExpr::Like { expr, .. } => expr.visit_subplans(f),
             CompiledExpr::Column(_)
             | CompiledExpr::Num(_)
             | CompiledExpr::Str(_)
             | CompiledExpr::Bool(_)
-            | CompiledExpr::Param { .. } => {}
+            | CompiledExpr::Param { .. }
+            | CompiledExpr::ScalarSubquery(_) => {}
         }
+    }
+
+    /// Call `f` on every lowered scalar-subquery plan reachable from this
+    /// expression (including subqueries nested inside subquery arguments).
+    pub fn visit_subplans(&self, f: &mut impl FnMut(&PhysicalPlan)) {
+        self.for_each(&mut |e| {
+            if let CompiledExpr::ScalarSubquery(p) = e {
+                f(p);
+            }
+        });
     }
 
     /// Collect every parameter slot referenced by this expression,
     /// including slots inside lowered scalar subqueries.
     pub fn collect_params(&self, out: &mut Vec<usize>) {
-        if let CompiledExpr::Param { idx } = self {
-            out.push(*idx);
-        }
-        match self {
+        self.for_each(&mut |e| match e {
+            CompiledExpr::Param { idx } => out.push(*idx),
             CompiledExpr::ScalarSubquery(p) => p.collect_params_into(out),
-            CompiledExpr::Binary { left, right, .. } => {
-                left.collect_params(out);
-                right.collect_params(out);
-            }
-            CompiledExpr::Unary { expr, .. } => expr.collect_params(out),
-            CompiledExpr::Udf { args, .. } | CompiledExpr::Builtin { args, .. } => {
-                args.iter().for_each(|a| a.collect_params(out));
-            }
-            CompiledExpr::Case {
-                operand,
-                branches,
-                else_expr,
-            } => {
-                if let Some(o) = operand {
-                    o.collect_params(out);
-                }
-                for (w, t) in branches {
-                    w.collect_params(out);
-                    t.collect_params(out);
-                }
-                if let Some(e) = else_expr {
-                    e.collect_params(out);
-                }
-            }
-            CompiledExpr::InList { expr, list, .. } => {
-                expr.collect_params(out);
-                list.iter().for_each(|i| i.collect_params(out));
-            }
-            CompiledExpr::Like { expr, .. } => expr.collect_params(out),
-            CompiledExpr::Column(_)
-            | CompiledExpr::Num(_)
-            | CompiledExpr::Str(_)
-            | CompiledExpr::Bool(_)
-            | CompiledExpr::Param { .. } => {}
-        }
+            _ => {}
+        });
     }
 }
 
@@ -459,11 +438,20 @@ pub enum PhysicalPlan {
     },
     TvfScan {
         name: String,
+        /// Output columns the TVF declared at compile time
+        /// ([`crate::udf::OutputSchema`]); `None` keeps the dynamic
+        /// by-name behaviour. When present, downstream expressions are
+        /// slot-resolved through it and the executor checks the actual
+        /// output against it.
+        schema: Option<Vec<String>>,
         input: Box<PhysicalPlan>,
     },
     TvfProject {
         name: String,
         args: Vec<CompiledExpr>,
+        /// Declared output columns (same contract as the `schema` field
+        /// of [`PhysicalPlan::TvfScan`]).
+        schema: Option<Vec<String>>,
         input: Box<PhysicalPlan>,
     },
     Filter {
@@ -556,10 +544,18 @@ impl PhysicalPlan {
                 }
                 None => out.push_str(&format!("Scan: {table} [schema unresolved]\n")),
             },
-            PhysicalPlan::TvfScan { name, .. } => out.push_str(&format!("TvfScan: {name}\n")),
-            PhysicalPlan::TvfProject { name, args, .. } => {
+            PhysicalPlan::TvfScan { name, schema, .. } => {
+                out.push_str(&format!("TvfScan: {name}{}\n", render_tvf_schema(schema)))
+            }
+            PhysicalPlan::TvfProject {
+                name, args, schema, ..
+            } => {
                 let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-                out.push_str(&format!("TvfProject: {name}({})\n", rendered.join(", ")));
+                out.push_str(&format!(
+                    "TvfProject: {name}({}){}\n",
+                    rendered.join(", "),
+                    render_tvf_schema(schema)
+                ));
             }
             PhysicalPlan::Filter { predicate, .. } => {
                 out.push_str(&format!("Filter: {predicate}\n"))
@@ -730,6 +726,21 @@ impl PhysicalPlan {
     }
 }
 
+/// ` -> [col@0, col@1]` for a declared TVF schema, empty when dynamic.
+fn render_tvf_schema(schema: &Option<Vec<String>>) -> String {
+    match schema {
+        Some(names) => {
+            let cols: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| format!("{n}@{i}"))
+                .collect();
+            format!(" -> [{}]", cols.join(", "))
+        }
+        None => String::new(),
+    }
+}
+
 impl std::fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.explain())
@@ -780,35 +791,61 @@ fn lower_node(
             )),
         },
         LogicalPlan::TvfScan { name, input } => {
-            if !udfs.is_table_fn(name) {
-                return Err(ExecError::UnknownFunction(name.clone()));
+            let spec = udfs
+                .table_fn_spec(name)
+                .ok_or_else(|| ExecError::UnknownFunction(name.clone()))?;
+            if !spec.from_position {
+                return Err(ExecError::Signature(format!(
+                    "table function '{name}' cannot be used in FROM position; it is declared \
+                     for projection position (SELECT {name}(...) FROM ...)"
+                )));
             }
-            let (inp, _) = lower_node(input, catalog, udfs)?;
-            // TVF output relations are dynamic; downstream refs go by name.
+            let (inp, in_schema) = lower_node(input, catalog, udfs)?;
+            // A declared output relation lets downstream refs slot-resolve;
+            // dynamic TVFs keep the by-name fallback.
+            let out_schema = spec.output_schema(in_schema.as_ref().map(|s| s.names()));
             Ok((
                 PhysicalPlan::TvfScan {
                     name: name.clone(),
+                    schema: out_schema.clone(),
                     input: Box::new(inp),
                 },
-                None,
+                out_schema.map(Schema::new),
             ))
         }
         LogicalPlan::TvfProject { name, args, input } => {
-            if !udfs.is_table_fn(name) {
-                return Err(ExecError::UnknownFunction(name.clone()));
+            let spec = udfs
+                .table_fn_spec(name)
+                .ok_or_else(|| ExecError::UnknownFunction(name.clone()))?;
+            if !spec.projection_position {
+                return Err(ExecError::Signature(format!(
+                    "table function '{name}' cannot be used in projection position; it is \
+                     declared for FROM position (FROM {name}(...))"
+                )));
             }
-            let (inp, schema) = lower_node(input, catalog, udfs)?;
+            if let Some(declared) = &spec.args {
+                if args.len() != declared.len() {
+                    return Err(ExecError::Signature(format!(
+                        "table function '{name}' expects {} argument(s), got {}",
+                        declared.len(),
+                        args.len()
+                    )));
+                }
+            }
+            let (inp, in_schema) = lower_node(input, catalog, udfs)?;
             let args = args
                 .iter()
-                .map(|a| lower_expr(a, schema.as_ref(), catalog, udfs))
+                .map(|a| lower_expr(a, in_schema.as_ref(), catalog, udfs))
                 .collect::<Result<_, _>>()?;
+            let out_schema = spec.output_schema(in_schema.as_ref().map(|s| s.names()));
             Ok((
                 PhysicalPlan::TvfProject {
                     name: name.clone(),
                     args,
+                    schema: out_schema.clone(),
                     input: Box::new(inp),
                 },
-                None,
+                out_schema.map(Schema::new),
             ))
         }
         LogicalPlan::Filter { predicate, input } => {
@@ -1178,6 +1215,18 @@ pub fn lower_expr(
             // Session UDFs take precedence over built-ins, matching the
             // pre-compilation resolution order.
             if udfs.is_scalar(name) {
+                // Declared arity is checked here, at compile time; argument
+                // *types* are checked by `validate_function_args` once the
+                // (auto-extracted) parameter values are known.
+                if let Some(declared) = udfs.scalar_spec(name).and_then(|s| s.args.as_ref()) {
+                    if args.len() != declared.len() {
+                        return Err(ExecError::Signature(format!(
+                            "function '{name}' expects {} argument(s), got {}",
+                            declared.len(),
+                            args.len()
+                        )));
+                    }
+                }
                 return Ok(CompiledExpr::Udf {
                     name: name.clone(),
                     args,
@@ -1271,6 +1320,242 @@ pub fn lower_expr(
         )),
         Expr::Star => Err(ExecError::Unsupported("'*' outside of COUNT(*)".into())),
     }
+}
+
+// ----------------------------------------------------------------------
+// Prepare-time argument-type validation
+// ----------------------------------------------------------------------
+
+/// What a compiled expression is statically known to evaluate to, for
+/// checking against a declared [`ArgType`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticKind {
+    Column,
+    Number,
+    Str,
+    Bool,
+    /// Not statically determinable (composite expression, unbound slot).
+    Unknown,
+}
+
+fn static_kind(e: &CompiledExpr, param_kind: &dyn Fn(usize) -> StaticKind) -> StaticKind {
+    match e {
+        CompiledExpr::Num(_) => StaticKind::Number,
+        CompiledExpr::Str(_) => StaticKind::Str,
+        CompiledExpr::Bool(_) => StaticKind::Bool,
+        CompiledExpr::Param { idx } => param_kind(*idx),
+        // Column refs and UDF calls always evaluate to columns; string
+        // predicates evaluate to boolean mask columns.
+        CompiledExpr::Column(_)
+        | CompiledExpr::Udf { .. }
+        | CompiledExpr::InList { .. }
+        | CompiledExpr::Like { .. } => StaticKind::Column,
+        // Arithmetic, CASE, built-ins and subqueries may produce scalars
+        // or columns depending on their operands — unchecked.
+        CompiledExpr::Binary { .. }
+        | CompiledExpr::Unary { .. }
+        | CompiledExpr::Builtin { .. }
+        | CompiledExpr::Case { .. }
+        | CompiledExpr::ScalarSubquery(_) => StaticKind::Unknown,
+    }
+}
+
+fn kind_compatible(declared: ArgType, actual: StaticKind) -> bool {
+    matches!(
+        (declared, actual),
+        (ArgType::Any, _)
+            | (_, StaticKind::Unknown)
+            | (ArgType::Column, StaticKind::Column)
+            | (ArgType::Number, StaticKind::Number)
+            | (ArgType::Str, StaticKind::Str)
+            | (ArgType::Bool, StaticKind::Bool)
+    )
+}
+
+/// Check every UDF/TVF call in a lowered plan against its declared
+/// argument types. `param_kind` resolves a parameter slot to the type of
+/// its bound value (auto-extracted literals are known at prepare time;
+/// return [`StaticKind::Unknown`] for slots not yet bound). Violations
+/// are [`ExecError::Signature`] — this is the compile-time gate that
+/// replaces the historical run-time `TypeMismatch`.
+pub fn validate_function_args(
+    plan: &PhysicalPlan,
+    udfs: &UdfRegistry,
+    param_kind: &dyn Fn(usize) -> StaticKind,
+) -> Result<(), ExecError> {
+    if let PhysicalPlan::TvfProject { name, args, .. } = plan {
+        if let Some(declared) = udfs.table_fn_spec(name).and_then(|s| s.args.as_deref()) {
+            check_call(name, declared, args, param_kind)?;
+        }
+    }
+    let mut err = None;
+    plan.visit_exprs(&mut |e| {
+        if err.is_none() {
+            err = validate_expr(e, udfs, param_kind).err();
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    for child in plan.inputs() {
+        validate_function_args(child, udfs, param_kind)?;
+    }
+    Ok(())
+}
+
+fn validate_expr(
+    e: &CompiledExpr,
+    udfs: &UdfRegistry,
+    param_kind: &dyn Fn(usize) -> StaticKind,
+) -> Result<(), ExecError> {
+    let mut err = None;
+    e.for_each(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        match node {
+            CompiledExpr::Udf { name, args } => {
+                if let Some(declared) = udfs.scalar_spec(name).and_then(|s| s.args.as_deref()) {
+                    err = check_call(name, declared, args, param_kind).err();
+                }
+            }
+            // Subquery slots share the statement's parameter space, so
+            // the same resolver applies inside the nested plan.
+            CompiledExpr::ScalarSubquery(p) => {
+                err = validate_function_args(p, udfs, param_kind).err();
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn kind_describe(k: StaticKind) -> &'static str {
+    match k {
+        StaticKind::Column => "column",
+        StaticKind::Number => "number",
+        StaticKind::Str => "string",
+        StaticKind::Bool => "boolean",
+        StaticKind::Unknown => "unknown",
+    }
+}
+
+fn check_call(
+    name: &str,
+    declared: &[ArgType],
+    args: &[CompiledExpr],
+    param_kind: &dyn Fn(usize) -> StaticKind,
+) -> Result<(), ExecError> {
+    if args.len() != declared.len() {
+        return Err(ExecError::Signature(format!(
+            "function '{name}' expects {} argument(s), got {}",
+            declared.len(),
+            args.len()
+        )));
+    }
+    for (i, (want, arg)) in declared.iter().zip(args).enumerate() {
+        let got = static_kind(arg, param_kind);
+        if !kind_compatible(*want, got) {
+            return Err(ExecError::Signature(format!(
+                "argument {} of '{name}' must be a {}, got {} ({arg})",
+                i + 1,
+                want.describe(),
+                kind_describe(got),
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// One binding-dependent type obligation of a compiled plan: parameter
+/// slot `slot` feeds argument `arg_index` of `function`, which declares
+/// `declared`. Everything else a declared signature constrains is
+/// plan-structural — checked once when the plan is compiled — so a plan
+/// cache (or a re-bind) only needs to recheck these against the current
+/// values instead of re-walking the whole plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamConstraint {
+    pub slot: usize,
+    pub declared: ArgType,
+    pub function: String,
+    /// 0-based argument position (rendered 1-based in errors).
+    pub arg_index: usize,
+}
+
+/// Collect every [`ParamConstraint`] of a plan: arguments of
+/// declared-signature UDF/TVF calls that are bare parameter slots
+/// (including inside scalar subqueries, which share the statement's
+/// parameter space).
+pub fn param_arg_constraints(plan: &PhysicalPlan, udfs: &UdfRegistry) -> Vec<ParamConstraint> {
+    let mut out = Vec::new();
+    collect_constraints(plan, udfs, &mut out);
+    out
+}
+
+fn collect_constraints(plan: &PhysicalPlan, udfs: &UdfRegistry, out: &mut Vec<ParamConstraint>) {
+    if let PhysicalPlan::TvfProject { name, args, .. } = plan {
+        if let Some(declared) = udfs.table_fn_spec(name).and_then(|s| s.args.as_deref()) {
+            push_param_constraints(name, declared, args, out);
+        }
+    }
+    plan.visit_exprs(&mut |root| {
+        root.for_each(&mut |e| match e {
+            CompiledExpr::Udf { name, args } => {
+                if let Some(declared) = udfs.scalar_spec(name).and_then(|s| s.args.as_deref()) {
+                    push_param_constraints(name, declared, args, out);
+                }
+            }
+            CompiledExpr::ScalarSubquery(p) => collect_constraints(p, udfs, out),
+            _ => {}
+        });
+    });
+    for child in plan.inputs() {
+        collect_constraints(child, udfs, out);
+    }
+}
+
+fn push_param_constraints(
+    name: &str,
+    declared: &[ArgType],
+    args: &[CompiledExpr],
+    out: &mut Vec<ParamConstraint>,
+) {
+    for (i, (want, arg)) in declared.iter().zip(args).enumerate() {
+        if let CompiledExpr::Param { idx } = arg {
+            out.push(ParamConstraint {
+                slot: *idx,
+                declared: *want,
+                function: name.to_owned(),
+                arg_index: i,
+            });
+        }
+    }
+}
+
+/// Check precomputed [`ParamConstraint`]s against a binding — the
+/// O(constraints) fast path used on plan-cache hits and re-binds, in
+/// place of the full plan walk of [`validate_function_args`].
+pub fn validate_param_constraints(
+    constraints: &[ParamConstraint],
+    param_kind: &dyn Fn(usize) -> StaticKind,
+) -> Result<(), ExecError> {
+    for c in constraints {
+        let got = param_kind(c.slot);
+        if !kind_compatible(c.declared, got) {
+            return Err(ExecError::Signature(format!(
+                "argument {} of '{}' must be a {}, got {} (${})",
+                c.arg_index + 1,
+                c.function,
+                c.declared.describe(),
+                kind_describe(got),
+                c.slot + 1,
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Built-in scalar math functions (resolved after session UDFs).

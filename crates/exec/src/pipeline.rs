@@ -155,11 +155,35 @@ fn into_pipeline(node: PipeNode<'_>) -> Pipeline<'_> {
 // ----------------------------------------------------------------------
 
 /// Render the pipeline breakdown of a plan: fused chains, their sinks,
-/// and the barriers between them.
+/// and the barriers between them. Without a context the rendering is
+/// purely structural; see [`explain_ctx`] for fallback annotations.
 pub fn explain(plan: &PhysicalPlan) -> String {
     let mut out = String::new();
-    explain_node(&decompose(plan), &mut out, 0);
+    explain_node(&decompose(plan), None, &mut out, 0);
     out
+}
+
+/// Like [`explain`], but resolved against a session context: pipelines
+/// that will take the sequential whole-batch path are annotated with the
+/// *reason* (`[sequential: udf-not-parallel-safe(f)]`,
+/// `scalar-subquery`, `tensor-param($n)`, `count-distinct`), so
+/// fallbacks are observable before running anything.
+pub fn explain_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> String {
+    let mut out = String::new();
+    explain_node(&decompose(plan), Some(ctx), &mut out, 0);
+    out
+}
+
+/// ` [sequential: reason]` annotation for a pipeline, empty when the
+/// chain is parallel-safe or no context is available.
+fn fallback_note(
+    ops: &[MorselOp<'_>],
+    sink: Option<(&[PhysKey], &[PhysAggregate])>,
+    ctx: Option<&ExecContext>,
+) -> String {
+    ctx.and_then(|c| morsel::chain_fallback_reason(ops, sink, c))
+        .map(|reason| format!(" [sequential: {reason}]"))
+        .unwrap_or_default()
 }
 
 fn chain_label(ops: &[MorselOp<'_>]) -> String {
@@ -173,7 +197,7 @@ fn chain_label(ops: &[MorselOp<'_>]) -> String {
     format!("[{}]", rendered.join(" -> "))
 }
 
-fn explain_node(node: &PipeNode<'_>, out: &mut String, depth: usize) {
+fn explain_node(node: &PipeNode<'_>, ctx: Option<&ExecContext>, out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
     }
@@ -182,15 +206,20 @@ fn explain_node(node: &PipeNode<'_>, out: &mut String, depth: usize) {
             out.push_str(&format!("source Scan: {table}\n"));
         }
         PipeNode::Stream(pipe) => {
-            out.push_str(&format!("pipeline {} -> collect\n", chain_label(&pipe.ops)));
-            explain_node(&pipe.input, out, depth + 1);
+            out.push_str(&format!(
+                "pipeline {} -> collect{}\n",
+                chain_label(&pipe.ops),
+                fallback_note(&pipe.ops, None, ctx)
+            ));
+            explain_node(&pipe.input, ctx, out, depth + 1);
         }
         PipeNode::Limit { n, pipe } => {
             out.push_str(&format!(
-                "pipeline {} -> limit {n} (early exit)\n",
-                chain_label(&pipe.ops)
+                "pipeline {} -> limit {n} (early exit){}\n",
+                chain_label(&pipe.ops),
+                fallback_note(&pipe.ops, None, ctx)
             ));
-            explain_node(&pipe.input, out, depth + 1);
+            explain_node(&pipe.input, ctx, out, depth + 1);
         }
         PipeNode::Aggregate {
             keys,
@@ -198,19 +227,20 @@ fn explain_node(node: &PipeNode<'_>, out: &mut String, depth: usize) {
             pipe,
         } => {
             out.push_str(&format!(
-                "pipeline {} -> partial aggregate ({} keys, {} aggs) + combine\n",
+                "pipeline {} -> partial aggregate ({} keys, {} aggs) + combine{}\n",
                 chain_label(&pipe.ops),
                 keys.len(),
-                aggregates.len()
+                aggregates.len(),
+                fallback_note(&pipe.ops, Some((keys, aggregates)), ctx)
             ));
-            explain_node(&pipe.input, out, depth + 1);
+            explain_node(&pipe.input, ctx, out, depth + 1);
         }
         PipeNode::Barrier { plan, inputs } => {
             let label = plan.explain();
             let first = label.lines().next().unwrap_or("?").trim();
             out.push_str(&format!("barrier {first}\n"));
             for input in inputs {
-                explain_node(input, out, depth + 1);
+                explain_node(input, ctx, out, depth + 1);
             }
         }
     }
@@ -262,19 +292,25 @@ fn exec_barrier(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     match plan {
-        PhysicalPlan::TvfScan { name, .. } => {
+        PhysicalPlan::TvfScan { name, schema, .. } => {
             let inp = exec_node(&inputs[0], ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
-            tvf.invoke_table(&inp, ctx)
+            let out = tvf.invoke_table(&inp, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            Ok(out)
         }
-        PhysicalPlan::TvfProject { name, args, .. } => {
+        PhysicalPlan::TvfProject {
+            name, args, schema, ..
+        } => {
             let inp = exec_node(&inputs[0], ctx)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
                 arg_values.push(eval_expr(a, &inp, ctx)?.into_arg());
             }
-            tvf.invoke_cols(&arg_values, ctx)
+            let out = tvf.invoke_cols(&arg_values, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            Ok(out)
         }
         PhysicalPlan::Join { kind, on, .. } => {
             let l = exec_node(&inputs[0], ctx)?;

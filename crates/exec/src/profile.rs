@@ -39,6 +39,12 @@ pub struct OpTrace {
     pub total_seconds: f64,
     /// Wall-clock seconds excluding children (the node's own kernels).
     pub self_seconds: f64,
+    /// Why a streamable operator ran on the sequential whole-batch path
+    /// instead of the morsel pool (`udf-not-parallel-safe(name)`,
+    /// `scalar-subquery`, `tensor-param($n)`, `count-distinct`,
+    /// `differentiable-input`); `None` when it was morsel-parallel (or
+    /// is a barrier operator, which is whole-batch by nature).
+    pub fallback: Option<String>,
 }
 
 /// Execution profile of one query run, in pre-order plan order.
@@ -65,6 +71,17 @@ impl QueryProfile {
             .max_by(|a, b| a.self_seconds.total_cmp(&b.self_seconds))
     }
 
+    /// Every sequential-fallback reason observed during the run, in plan
+    /// order — the profiled-run view of the EXPLAIN `[sequential: …]`
+    /// annotations. Empty when every streamable operator was
+    /// morsel-parallel.
+    pub fn fallback_reasons(&self) -> Vec<&str> {
+        self.ops
+            .iter()
+            .filter_map(|o| o.fallback.as_deref())
+            .collect()
+    }
+
     /// Fixed-width table rendering, one row per operator, headed by the
     /// scheduler configuration.
     pub fn pretty(&self) -> String {
@@ -76,8 +93,12 @@ impl QueryProfile {
         for op in &self.ops {
             let indent = "  ".repeat(op.depth);
             let label = format!("{indent}{}", op.label);
+            let note = match &op.fallback {
+                Some(reason) => format!("  [sequential: {reason}]"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{label:<48} {rows:>7} {self_ms:>10.3} {total_ms:>10.3}\n",
+                "{label:<48} {rows:>7} {self_ms:>10.3} {total_ms:>10.3}{note}\n",
                 rows = op.rows_out,
                 self_ms = op.self_seconds * 1e3,
                 total_ms = op.total_seconds * 1e3,
@@ -124,6 +145,7 @@ fn run_node(
         rows_out: 0,
         total_seconds: 0.0,
         self_seconds: 0.0,
+        fallback: None,
     });
 
     let start = Instant::now();
@@ -138,30 +160,47 @@ fn run_node(
 
     let batch = match plan {
         PhysicalPlan::Scan { table, schema } => exact::scan_table(table, schema.as_deref(), ctx)?,
-        PhysicalPlan::TvfScan { name, input } => {
+        PhysicalPlan::TvfScan {
+            name,
+            schema,
+            input,
+        } => {
             let inp = run_child(input, profile)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
-            tvf.invoke_table(&inp, ctx)?
+            let out = tvf.invoke_table(&inp, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            out
         }
-        PhysicalPlan::TvfProject { name, args, input } => {
+        PhysicalPlan::TvfProject {
+            name,
+            args,
+            schema,
+            input,
+        } => {
             let inp = run_child(input, profile)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
                 arg_values.push(eval_expr(a, &inp, ctx)?.into_arg());
             }
-            tvf.invoke_cols(&arg_values, ctx)?
+            let out = tvf.invoke_cols(&arg_values, ctx)?;
+            crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
+            out
         }
         PhysicalPlan::Filter { predicate, input } => {
             let inp = run_child(input, profile)?;
             let ops = [MorselOp::Filter(predicate)];
-            profile.morsels += morsel::planned_morsels(&inp, &ops, None, ctx);
+            let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
+            profile.morsels += planned;
+            profile.ops[slot].fallback = reason;
             morsel::run_ops(&inp, &ops, None, ctx)?
         }
         PhysicalPlan::Project { items, input } => {
             let inp = run_child(input, profile)?;
             let ops = [MorselOp::Project(items)];
-            profile.morsels += morsel::planned_morsels(&inp, &ops, None, ctx);
+            let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
+            profile.morsels += planned;
+            profile.ops[slot].fallback = reason;
             morsel::run_ops(&inp, &ops, None, ctx)?
         }
         PhysicalPlan::Aggregate {
@@ -170,7 +209,10 @@ fn run_node(
             input,
         } => {
             let inp = run_child(input, profile)?;
-            profile.morsels += morsel::planned_morsels(&inp, &[], Some((keys, aggregates)), ctx);
+            let (planned, reason) =
+                morsel::planned_and_reason(&inp, &[], Some((keys, aggregates)), ctx);
+            profile.morsels += planned;
+            profile.ops[slot].fallback = reason;
             morsel::run_aggregate(&inp, &[], keys, aggregates, ctx)?
         }
         PhysicalPlan::Join {

@@ -18,6 +18,270 @@ use tdp_tensor::Device;
 use crate::batch::{Batch, DiffColumn};
 use crate::error::ExecError;
 
+// ----------------------------------------------------------------------
+// Declared function signatures
+// ----------------------------------------------------------------------
+
+/// Declared type of one function argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgType {
+    /// An evaluated column (any encoding, including tensor columns).
+    Column,
+    /// A scalar number literal / parameter.
+    Number,
+    /// A string literal / parameter.
+    Str,
+    /// A boolean literal / parameter.
+    Bool,
+    /// No constraint.
+    Any,
+}
+
+impl ArgType {
+    pub fn describe(self) -> &'static str {
+        match self {
+            ArgType::Column => "column",
+            ArgType::Number => "number",
+            ArgType::Str => "string",
+            ArgType::Bool => "boolean",
+            ArgType::Any => "any",
+        }
+    }
+}
+
+/// How a function's output relates to its inputs — what the optimizer may
+/// assume when it sees a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Volatility {
+    /// Same arguments always produce the same result: calls over literal
+    /// arguments are constant-folded at prepare time (before literal
+    /// auto-parameterisation, so the folded value shares cache entries).
+    Immutable,
+    /// Stable within one execution but not across registrations (e.g. a
+    /// model whose weights an optimizer updates between queries).
+    Stable,
+    /// Never foldable.
+    Volatile,
+}
+
+/// A table-valued function's declared output relation.
+#[derive(Debug, Clone)]
+pub enum OutputSchema {
+    /// Unknown until the function runs — today's legacy behaviour:
+    /// downstream references resolve by name, per batch.
+    Dynamic,
+    /// Fixed output column names, known at compile time: downstream
+    /// expressions slot-resolve through the TVF and EXPLAIN renders the
+    /// schema. The engine checks the actual output against the
+    /// declaration at run time, so a drifting implementation fails
+    /// loudly instead of silently feeding wrong slots.
+    Declared(Vec<String>),
+    /// Derived from the input schema at compile time (e.g. a
+    /// column-preserving transform). Receives the input's column names;
+    /// returning `None` degrades to [`OutputSchema::Dynamic`].
+    Derive(fn(&[String]) -> Option<Vec<String>>),
+}
+
+impl PartialEq for OutputSchema {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (OutputSchema::Dynamic, OutputSchema::Dynamic) => true,
+            (OutputSchema::Declared(a), OutputSchema::Declared(b)) => a == b,
+            (OutputSchema::Derive(a), OutputSchema::Derive(b)) => std::ptr::fn_addr_eq(*a, *b),
+            _ => false,
+        }
+    }
+}
+
+/// The declared signature of a [`ScalarUdf`] or [`TableFunction`]: what
+/// the compiler is allowed to know about a function without running it.
+///
+/// Every function exposes one through the defaulted `spec()` trait
+/// method; the default ([`FunctionSpec::dynamic`]) declares nothing and
+/// preserves the historical fully-dynamic behaviour (arity and types
+/// checked at run time, output schema unknown, session-thread-bound).
+/// Declaring more lets every layer do more at compile time:
+///
+/// * `args` — `prepare()` validates arity and argument types and reports
+///   a [`crate::ExecError::Signature`] before anything executes;
+/// * `volatility` — [`Volatility::Immutable`] calls over literal
+///   arguments are folded into constants at prepare time;
+/// * `parallel_safe` — chains containing the UDF run through the morsel
+///   scheduler's worker pool instead of falling back to the sequential
+///   whole-batch path (requires registration through
+///   [`UdfRegistry::register_scalar_parallel`], which demands
+///   `Send + Sync` proof from the type system);
+/// * `output` — downstream expressions slot-resolve through the TVF's
+///   declared relation instead of falling back to by-name lookup;
+/// * `from_position` / `projection_position` — misuse (`FROM tvf(...)`
+///   on a projection-only TVF and vice versa) is rejected at prepare
+///   time with an error naming the function and its allowed position.
+///
+/// # Implementing a function
+///
+/// A stateless, parallel-safe scalar UDF with a declared signature:
+///
+/// ```
+/// use std::sync::Arc;
+/// use tdp_encoding::EncodedTensor;
+/// use tdp_exec::udf::{
+///     ArgType, ArgValue, ExecContext, FunctionSpec, ScalarUdf, UdfRegistry, Volatility,
+/// };
+/// use tdp_exec::ExecError;
+///
+/// /// `scale(column, factor)` — multiply a column by a scalar.
+/// struct Scale;
+///
+/// impl ScalarUdf for Scale {
+///     fn name(&self) -> &str {
+///         "scale"
+///     }
+///     fn spec(&self) -> FunctionSpec {
+///         FunctionSpec::scalar("scale", vec![ArgType::Column, ArgType::Number])
+///             .volatility(Volatility::Immutable)
+///             .parallel_safe(true)
+///     }
+///     fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
+///         let col = args[0].as_column()?.decode_f32();
+///         let k = args[1].as_number()? as f32;
+///         Ok(EncodedTensor::F32(col.mul_scalar(k)))
+///     }
+/// }
+///
+/// let mut registry = UdfRegistry::new();
+/// // `Scale` is `Send + Sync`, so it may cross worker threads:
+/// registry.register_scalar_parallel(Arc::new(Scale));
+/// assert!(registry.is_parallel_safe_scalar("scale"));
+/// ```
+///
+/// A schema-declaring table-valued function. A *trainable* function —
+/// one holding [`Var`] parameters, which ride the `Rc`-based autodiff
+/// tape — is registered through the plain [`UdfRegistry::register_table_fn`]
+/// / [`UdfRegistry::register_scalar`] path and stays session-thread-bound
+/// (`parallel_safe` must stay `false`); a stateless TVF like this one
+/// may declare everything:
+///
+/// ```
+/// use tdp_exec::udf::{FunctionSpec, TableFunction, ExecContext};
+/// use tdp_exec::{Batch, ExecError};
+///
+/// /// `widths(rel)` — emits a declared two-column relation.
+/// struct Widths;
+///
+/// impl TableFunction for Widths {
+///     fn name(&self) -> &str {
+///         "widths"
+///     }
+///     fn spec(&self) -> FunctionSpec {
+///         FunctionSpec::dynamic("widths")
+///             .returns(vec!["Item".into(), "Width".into()])
+///             .from_only() // `FROM widths(t)`, not `SELECT widths(...)`
+///     }
+///     fn invoke_table(&self, input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
+///         # let _ = input;
+///         // ... build a batch whose columns are exactly [Item, Width] ...
+///         # unimplemented!()
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    /// Function name (matches `name()`).
+    pub name: String,
+    /// Declared argument types; `None` leaves arity and types unchecked
+    /// until run time (the legacy dynamic behaviour).
+    pub args: Option<Vec<ArgType>>,
+    pub volatility: Volatility,
+    /// Semantic promise that `invoke` is stateless and thread-safe. Only
+    /// effective together with [`UdfRegistry::register_scalar_parallel`],
+    /// which supplies the `Send + Sync` proof; `Var`-holding (trainable)
+    /// functions cannot make either claim and stay session-thread-bound.
+    pub parallel_safe: bool,
+    /// Output relation of a table-valued function (ignored for scalars).
+    pub output: OutputSchema,
+    /// Whether the TVF may appear in FROM position (`FROM tvf(rel)`).
+    pub from_position: bool,
+    /// Whether the TVF may appear in projection position
+    /// (`SELECT tvf(args) FROM …`).
+    pub projection_position: bool,
+}
+
+impl FunctionSpec {
+    /// The fully-dynamic signature every legacy implementation gets by
+    /// default: nothing declared, everything checked at run time.
+    pub fn dynamic(name: &str) -> FunctionSpec {
+        FunctionSpec {
+            name: name.to_owned(),
+            args: None,
+            volatility: Volatility::Volatile,
+            parallel_safe: false,
+            output: OutputSchema::Dynamic,
+            from_position: true,
+            projection_position: true,
+        }
+    }
+
+    /// A scalar signature with declared argument types.
+    pub fn scalar(name: &str, args: Vec<ArgType>) -> FunctionSpec {
+        FunctionSpec {
+            args: Some(args),
+            ..FunctionSpec::dynamic(name)
+        }
+    }
+
+    /// Declare argument types (arity + types checked at prepare time).
+    pub fn with_args(mut self, args: Vec<ArgType>) -> FunctionSpec {
+        self.args = Some(args);
+        self
+    }
+
+    pub fn volatility(mut self, v: Volatility) -> FunctionSpec {
+        self.volatility = v;
+        self
+    }
+
+    pub fn parallel_safe(mut self, safe: bool) -> FunctionSpec {
+        self.parallel_safe = safe;
+        self
+    }
+
+    /// Declare a fixed TVF output schema.
+    pub fn returns(mut self, columns: Vec<String>) -> FunctionSpec {
+        self.output = OutputSchema::Declared(columns);
+        self
+    }
+
+    /// Declare a TVF output schema derived from the input schema.
+    pub fn returns_derived(mut self, derive: fn(&[String]) -> Option<Vec<String>>) -> FunctionSpec {
+        self.output = OutputSchema::Derive(derive);
+        self
+    }
+
+    /// Restrict a TVF to FROM position.
+    pub fn from_only(mut self) -> FunctionSpec {
+        self.from_position = true;
+        self.projection_position = false;
+        self
+    }
+
+    /// Restrict a TVF to projection position.
+    pub fn projection_only(mut self) -> FunctionSpec {
+        self.from_position = false;
+        self.projection_position = true;
+        self
+    }
+
+    /// Resolve the declared output schema against a (possibly unknown)
+    /// input schema. `None` means dynamic — resolve by name at run time.
+    pub fn output_schema(&self, input: Option<&[String]>) -> Option<Vec<String>> {
+        match &self.output {
+            OutputSchema::Dynamic => None,
+            OutputSchema::Declared(names) => Some(names.clone()),
+            OutputSchema::Derive(f) => input.and_then(*f),
+        }
+    }
+}
+
 /// An argument handed to a UDF: an evaluated column or a SQL literal.
 #[derive(Clone, Debug)]
 pub enum ArgValue {
@@ -66,6 +330,15 @@ impl ArgValue {
 pub trait ScalarUdf {
     fn name(&self) -> &str;
 
+    /// Declared signature. The default declares nothing — arity and
+    /// types stay run-time checked, the call is volatile, and chains
+    /// containing it fall back to the sequential path. Override to opt
+    /// into compile-time validation, constant folding and parallel
+    /// scheduling (see [`FunctionSpec`]).
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::dynamic(self.name())
+    }
+
     /// Exact evaluation.
     fn invoke(&self, args: &[ArgValue], ctx: &ExecContext) -> Result<EncodedTensor, ExecError>;
 
@@ -88,6 +361,15 @@ pub trait ScalarUdf {
 /// receives evaluated argument columns ([`TableFunction::invoke_cols`]).
 pub trait TableFunction {
     fn name(&self) -> &str;
+
+    /// Declared signature (see [`FunctionSpec`]). The default declares
+    /// nothing: both positions allowed, output schema dynamic. Override
+    /// to declare the output relation (downstream references then
+    /// slot-resolve at compile time) and the allowed positions (misuse
+    /// is rejected at prepare time instead of mid-execution).
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::dynamic(self.name())
+    }
 
     /// `FROM tvf(relation)` — exact evaluation.
     fn invoke_table(&self, _input: &Batch, _ctx: &ExecContext) -> Result<Batch, ExecError> {
@@ -118,11 +400,30 @@ pub trait TableFunction {
     }
 }
 
+/// The `Send + Sync` subset of a registry's scalar functions — what the
+/// morsel scheduler may hand to worker threads.
+pub(crate) type SharedScalars = HashMap<String, Arc<dyn ScalarUdf + Send + Sync>>;
+
 /// Function namespace of a session.
+///
+/// Declared signatures are snapshotted **once, at registration**: the
+/// compiler, scheduler and validator all read the stored
+/// [`FunctionSpec`], so a `spec()` implementation that returned
+/// different values over time could not desync folding, validation and
+/// scheduling decisions (and per-expression analysis pays a map lookup,
+/// not a user-code call).
 #[derive(Default, Clone)]
 pub struct UdfRegistry {
     scalars: HashMap<String, Arc<dyn ScalarUdf>>,
+    /// Registration-time spec snapshots, keyed like `scalars`.
+    scalar_specs: HashMap<String, FunctionSpec>,
+    /// Scalars registered with `Send + Sync` proof (see
+    /// [`UdfRegistry::register_scalar_parallel`]); always mirrored in
+    /// `scalars` so name resolution is uniform.
+    shared_scalars: SharedScalars,
     tables: HashMap<String, Arc<dyn TableFunction>>,
+    /// Registration-time spec snapshots, keyed like `tables`.
+    table_specs: HashMap<String, FunctionSpec>,
 }
 
 impl UdfRegistry {
@@ -135,13 +436,34 @@ impl UdfRegistry {
     }
 
     /// Register a scalar UDF (replaces an existing one of the same name).
+    /// Functions registered through this path never leave the session
+    /// thread — the right home for trainable UDFs whose parameters ride
+    /// the `Rc`-based autodiff tape.
     pub fn register_scalar(&mut self, udf: Arc<dyn ScalarUdf>) {
-        self.scalars.insert(Self::key(udf.name()), udf);
+        let key = Self::key(udf.name());
+        // Re-registration replaces: a session-bound impl must not leave a
+        // stale thread-safe twin behind.
+        self.shared_scalars.remove(&key);
+        self.scalar_specs.insert(key.clone(), udf.spec());
+        self.scalars.insert(key, udf);
+    }
+
+    /// Register a `Send + Sync` scalar UDF, allowing the morsel scheduler
+    /// to run chains containing it across the worker pool — provided its
+    /// [`FunctionSpec::parallel_safe`] also opts in (the type bound
+    /// proves thread safety, the spec promises statelessness).
+    pub fn register_scalar_parallel(&mut self, udf: Arc<dyn ScalarUdf + Send + Sync>) {
+        let key = Self::key(udf.name());
+        self.scalar_specs.insert(key.clone(), udf.spec());
+        self.shared_scalars.insert(key.clone(), udf.clone());
+        self.scalars.insert(key, udf);
     }
 
     /// Register a table-valued function.
     pub fn register_table_fn(&mut self, tvf: Arc<dyn TableFunction>) {
-        self.tables.insert(Self::key(tvf.name()), tvf);
+        let key = Self::key(tvf.name());
+        self.table_specs.insert(key.clone(), tvf.spec());
+        self.tables.insert(key, tvf);
     }
 
     pub fn scalar(&self, name: &str) -> Result<&Arc<dyn ScalarUdf>, ExecError> {
@@ -162,6 +484,41 @@ impl UdfRegistry {
 
     pub fn is_scalar(&self, name: &str) -> bool {
         self.scalars.contains_key(&Self::key(name))
+    }
+
+    /// Whether chains calling this scalar UDF may run on worker threads:
+    /// registered with `Send + Sync` proof *and* its spec promises
+    /// statelessness.
+    pub fn is_parallel_safe_scalar(&self, name: &str) -> bool {
+        let key = Self::key(name);
+        self.shared_scalars.contains_key(&key)
+            && self.scalar_specs.get(&key).is_some_and(|s| s.parallel_safe)
+    }
+
+    /// Declared signature of a registered scalar UDF (the
+    /// registration-time snapshot).
+    pub fn scalar_spec(&self, name: &str) -> Option<&FunctionSpec> {
+        self.scalar_specs.get(&Self::key(name))
+    }
+
+    /// Declared signature of a registered table-valued function (the
+    /// registration-time snapshot).
+    pub fn table_fn_spec(&self, name: &str) -> Option<&FunctionSpec> {
+        self.table_specs.get(&Self::key(name))
+    }
+
+    /// Snapshot of the thread-safe scalar functions (for worker pools).
+    pub(crate) fn shared_snapshot(&self) -> SharedScalars {
+        self.shared_scalars.clone()
+    }
+
+    /// A worker-side registry holding only the thread-safe functions.
+    pub(crate) fn from_shared(shared: SharedScalars) -> UdfRegistry {
+        let mut reg = UdfRegistry::new();
+        for udf in shared.into_values() {
+            reg.register_scalar_parallel(udf);
+        }
+        reg
     }
 
     /// All parameters of all registered functions (the parameter surface a
@@ -247,6 +604,259 @@ impl<'a> ExecContext<'a> {
     }
 }
 
+/// Verify a TVF's actual output against its declared schema. Downstream
+/// expressions were slot-resolved through the declaration, so a drifting
+/// implementation must fail loudly here rather than silently feed wrong
+/// slots.
+pub(crate) fn check_tvf_output(
+    name: &str,
+    declared: Option<&[String]>,
+    out: &Batch,
+) -> Result<(), ExecError> {
+    let Some(expected) = declared else {
+        return Ok(());
+    };
+    let actual = out.names();
+    let matches = actual.len() == expected.len()
+        && actual
+            .iter()
+            .zip(expected)
+            .all(|(a, e)| a.eq_ignore_ascii_case(e));
+    if !matches {
+        return Err(ExecError::Signature(format!(
+            "table function '{name}' declared output columns {expected:?} but produced \
+             {actual:?}; fix the declaration or the implementation"
+        )));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Prepare-time constant folding of Immutable UDF calls
+// ----------------------------------------------------------------------
+
+/// Fold every [`Volatility::Immutable`] scalar-UDF call whose arguments
+/// are all literals into the literal it evaluates to. Runs on the parsed
+/// AST *before* literal auto-parameterisation, so the folded constant
+/// participates in plan-cache normalization like any other literal.
+///
+/// Best-effort by design: a call whose invocation errors, or whose
+/// result is not a single-row column, is left in place and evaluated at
+/// run time as before.
+pub fn fold_immutable_udfs(query: tdp_sql::ast::Query, udfs: &UdfRegistry) -> tdp_sql::ast::Query {
+    let scratch = Catalog::new();
+    let folder = ImmutableFolder {
+        udfs,
+        catalog: &scratch,
+    };
+    folder.fold_query(query)
+}
+
+struct ImmutableFolder<'a> {
+    udfs: &'a UdfRegistry,
+    catalog: &'a Catalog,
+}
+
+impl ImmutableFolder<'_> {
+    fn fold_query(&self, mut q: tdp_sql::ast::Query) -> tdp_sql::ast::Query {
+        for item in &mut q.select {
+            item.expr = self.fold_expr(std::mem::replace(&mut item.expr, tdp_sql::ast::Expr::Star));
+        }
+        q.from = q.from.map(|f| self.fold_table_ref(f));
+        q.where_clause = q.where_clause.map(|w| self.fold_expr(w));
+        q.group_by = q.group_by.into_iter().map(|g| self.fold_expr(g)).collect();
+        q.having = q.having.map(|h| self.fold_expr(h));
+        for o in &mut q.order_by {
+            o.expr = self.fold_expr(std::mem::replace(&mut o.expr, tdp_sql::ast::Expr::Star));
+        }
+        q.union_all = q.union_all.map(|u| Box::new(self.fold_query(*u)));
+        q
+    }
+
+    fn fold_table_ref(&self, t: tdp_sql::ast::TableRef) -> tdp_sql::ast::TableRef {
+        use tdp_sql::ast::TableRef;
+        match t {
+            TableRef::Named { .. } => t,
+            TableRef::Tvf { name, input, alias } => TableRef::Tvf {
+                name,
+                input: Box::new(self.fold_table_ref(*input)),
+                alias,
+            },
+            TableRef::Subquery { query, alias } => TableRef::Subquery {
+                query: Box::new(self.fold_query(*query)),
+                alias,
+            },
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => TableRef::Join {
+                left: Box::new(self.fold_table_ref(*left)),
+                right: Box::new(self.fold_table_ref(*right)),
+                kind,
+                on: on.map(|o| self.fold_expr(o)),
+            },
+        }
+    }
+
+    fn fold_expr(&self, e: tdp_sql::ast::Expr) -> tdp_sql::ast::Expr {
+        use tdp_sql::ast::{Expr, WindowFunc};
+        match e {
+            Expr::Func { name, args } => {
+                let args: Vec<Expr> = args.into_iter().map(|a| self.fold_expr(a)).collect();
+                match self.try_fold_call(&name, &args) {
+                    Some(lit) => Expr::Literal(lit),
+                    None => Expr::Func { name, args },
+                }
+            }
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(self.fold_expr(*left)),
+                right: Box::new(self.fold_expr(*right)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(self.fold_expr(*expr)),
+            },
+            Expr::Aggregate { func, arg } => Expr::Aggregate {
+                func,
+                arg: arg.map(|a| Box::new(self.fold_expr(*a))),
+            },
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => Expr::Case {
+                operand: operand.map(|o| Box::new(self.fold_expr(*o))),
+                branches: branches
+                    .into_iter()
+                    .map(|(w, t)| (self.fold_expr(w), self.fold_expr(t)))
+                    .collect(),
+                else_expr: else_expr.map(|x| Box::new(self.fold_expr(*x))),
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.fold_expr(*expr)),
+                list: list.into_iter().map(|i| self.fold_expr(i)).collect(),
+                negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.fold_expr(*expr)),
+                pattern,
+                negated,
+            },
+            Expr::Window {
+                func,
+                partition_by,
+                order_by,
+            } => Expr::Window {
+                func: match func {
+                    WindowFunc::Agg { func, arg } => WindowFunc::Agg {
+                        func,
+                        arg: arg.map(|a| Box::new(self.fold_expr(*a))),
+                    },
+                    other => other,
+                },
+                partition_by: partition_by
+                    .into_iter()
+                    .map(|p| self.fold_expr(p))
+                    .collect(),
+                order_by: order_by
+                    .into_iter()
+                    .map(|mut o| {
+                        o.expr = self.fold_expr(o.expr);
+                        o
+                    })
+                    .collect(),
+            },
+            Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(self.fold_query(*q))),
+            other @ (Expr::Column { .. } | Expr::Literal(_) | Expr::Param { .. } | Expr::Star) => {
+                other
+            }
+        }
+    }
+
+    /// Fold one call, or `None` when it must stay dynamic.
+    fn try_fold_call(
+        &self,
+        name: &str,
+        args: &[tdp_sql::ast::Expr],
+    ) -> Option<tdp_sql::ast::Literal> {
+        use tdp_sql::ast::{Expr, Literal};
+        // TVF names never fold; session scalar UDFs only, and only when
+        // declared Immutable (built-ins fold separately in the optimizer).
+        if self.udfs.is_table_fn(name) || !self.udfs.is_scalar(name) {
+            return None;
+        }
+        let spec = self.udfs.scalar_spec(name)?;
+        if spec.volatility != Volatility::Immutable {
+            return None;
+        }
+        // Never invoke through a wrong arity — `lower` reports that as a
+        // compile-time signature error instead.
+        if spec.args.as_ref().is_some_and(|d| d.len() != args.len()) {
+            return None;
+        }
+        let mut arg_values = Vec::with_capacity(args.len());
+        for a in args {
+            arg_values.push(match a {
+                Expr::Literal(Literal::Number(n)) => ArgValue::Number(*n),
+                Expr::Literal(Literal::String(s)) => ArgValue::Str(s.clone()),
+                Expr::Literal(Literal::Bool(b)) => ArgValue::Bool(*b),
+                _ => return None,
+            });
+        }
+        // Never invoke through declared-type violations either (an impl
+        // may assume its declaration): leave the call in place so the
+        // validation layer reports the proper signature error.
+        if let Some(declared) = &spec.args {
+            let ok = declared.iter().zip(&arg_values).all(|(want, got)| {
+                matches!(
+                    (want, got),
+                    (ArgType::Any, _)
+                        | (ArgType::Number, ArgValue::Number(_))
+                        | (ArgType::Str, ArgValue::Str(_))
+                        | (ArgType::Bool, ArgValue::Bool(_))
+                )
+            });
+            if !ok {
+                return None;
+            }
+        }
+        let ctx = ExecContext::new(self.catalog, self.udfs);
+        let out = self
+            .udfs
+            .scalar(name)
+            .ok()?
+            .invoke(&arg_values, &ctx)
+            .ok()?;
+        if out.rows() != 1 {
+            return None;
+        }
+        Some(match out {
+            EncodedTensor::Bool(b) => Literal::Bool(b.at(0)),
+            EncodedTensor::Dict { codes, dict } => {
+                Literal::String(dict.decode_one(codes.at(0)).to_owned())
+            }
+            // Integer layouts decode through i64 → f64 (exact to 2^53);
+            // routing them through decode_f32 would round past 2^24.
+            ints @ (EncodedTensor::I64(_)
+            | EncodedTensor::Rle(_)
+            | EncodedTensor::BitPacked(_)
+            | EncodedTensor::Delta(_)) => Literal::Number(ints.decode_i64().at(0) as f64),
+            other => Literal::Number(other.decode_f32().at(0) as f64),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +934,151 @@ mod tests {
         assert_eq!(ArgValue::Number(2.5).as_number().unwrap(), 2.5);
         assert!(ArgValue::Number(1.0).as_str().is_err());
         assert!(ArgValue::Str("s".into()).as_column().is_err());
+    }
+
+    #[test]
+    fn default_spec_is_fully_dynamic() {
+        let spec = Doubler.spec();
+        assert_eq!(spec.name, "double_it");
+        assert!(spec.args.is_none());
+        assert_eq!(spec.volatility, Volatility::Volatile);
+        assert!(!spec.parallel_safe);
+        assert!(spec.from_position && spec.projection_position);
+        assert_eq!(spec.output_schema(None), None);
+        let tvf_spec = NopTvf.spec();
+        assert_eq!(tvf_spec.output_schema(Some(&["a".into()])), None);
+    }
+
+    #[test]
+    fn spec_builder_round_trips() {
+        let spec = FunctionSpec::scalar("f", vec![ArgType::Column, ArgType::Number])
+            .volatility(Volatility::Immutable)
+            .parallel_safe(true);
+        assert_eq!(
+            spec.args.as_deref(),
+            Some(&[ArgType::Column, ArgType::Number][..])
+        );
+        assert_eq!(spec.volatility, Volatility::Immutable);
+        assert!(spec.parallel_safe);
+        let tvf = FunctionSpec::dynamic("g")
+            .returns(vec!["A".into()])
+            .from_only();
+        assert_eq!(tvf.output_schema(None), Some(vec!["A".to_string()]));
+        assert!(tvf.from_position && !tvf.projection_position);
+        let derived = FunctionSpec::dynamic("h").returns_derived(|cols| Some(cols.to_vec()));
+        assert_eq!(
+            derived.output_schema(Some(&["x".into()])),
+            Some(vec!["x".to_string()])
+        );
+        assert_eq!(derived.output_schema(None), None, "derive needs an input");
+    }
+
+    struct SharedDoubler;
+    impl ScalarUdf for SharedDoubler {
+        fn name(&self) -> &str {
+            "double_it"
+        }
+        fn spec(&self) -> FunctionSpec {
+            FunctionSpec::scalar("double_it", vec![ArgType::Column]).parallel_safe(true)
+        }
+        fn invoke(
+            &self,
+            args: &[ArgValue],
+            _ctx: &ExecContext,
+        ) -> Result<EncodedTensor, ExecError> {
+            Ok(EncodedTensor::F32(
+                args[0].as_column()?.decode_f32().mul_scalar(2.0),
+            ))
+        }
+    }
+
+    #[test]
+    fn parallel_safety_needs_shared_registration_and_spec() {
+        let mut reg = UdfRegistry::new();
+        // Plain registration: never parallel, regardless of the spec.
+        reg.register_scalar(Arc::new(SharedDoubler));
+        assert!(!reg.is_parallel_safe_scalar("double_it"));
+        // Shared registration with a parallel_safe spec: parallel.
+        reg.register_scalar_parallel(Arc::new(SharedDoubler));
+        assert!(reg.is_parallel_safe_scalar("DOUBLE_IT"));
+        // Re-registering through the session-bound path revokes it.
+        reg.register_scalar(Arc::new(Doubler));
+        assert!(!reg.is_parallel_safe_scalar("double_it"));
+        // Shared registration of a spec that does NOT claim parallel
+        // safety stays sequential (Doubler's default spec).
+        struct SendButUnsafe;
+        impl ScalarUdf for SendButUnsafe {
+            fn name(&self) -> &str {
+                "cautious"
+            }
+            fn invoke(
+                &self,
+                _args: &[ArgValue],
+                _ctx: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
+                Ok(EncodedTensor::F32(Tensor::from_vec(vec![0.0], &[1])))
+            }
+        }
+        reg.register_scalar_parallel(Arc::new(SendButUnsafe));
+        assert!(!reg.is_parallel_safe_scalar("cautious"));
+    }
+
+    #[test]
+    fn worker_registry_holds_only_shared_functions() {
+        let mut reg = UdfRegistry::new();
+        reg.register_scalar(Arc::new(Doubler));
+        reg.register_scalar_parallel(Arc::new(SharedDoubler));
+        struct Other;
+        impl ScalarUdf for Other {
+            fn name(&self) -> &str {
+                "other"
+            }
+            fn invoke(
+                &self,
+                _args: &[ArgValue],
+                _ctx: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
+                Ok(EncodedTensor::F32(Tensor::from_vec(vec![0.0], &[1])))
+            }
+        }
+        reg.register_scalar(Arc::new(Other));
+        let worker = UdfRegistry::from_shared(reg.shared_snapshot());
+        assert!(worker.is_scalar("double_it"));
+        assert!(!worker.is_scalar("other"), "session-bound stays behind");
+    }
+
+    #[test]
+    fn immutable_udf_folding_rewrites_literal_calls_only() {
+        use tdp_sql::ast::{Expr, Literal};
+        struct Inc;
+        impl ScalarUdf for Inc {
+            fn name(&self) -> &str {
+                "inc"
+            }
+            fn spec(&self) -> FunctionSpec {
+                FunctionSpec::scalar("inc", vec![ArgType::Number]).volatility(Volatility::Immutable)
+            }
+            fn invoke(
+                &self,
+                args: &[ArgValue],
+                _ctx: &ExecContext,
+            ) -> Result<EncodedTensor, ExecError> {
+                let x = args[0].as_number()? as f32;
+                Ok(EncodedTensor::F32(Tensor::from_vec(vec![x + 1.0], &[1])))
+            }
+        }
+        let mut reg = UdfRegistry::new();
+        reg.register_scalar(Arc::new(Inc));
+        let q = tdp_sql::parse("SELECT inc(41), inc(x) FROM t WHERE y > inc(inc(0))").unwrap();
+        let folded = fold_immutable_udfs(q, &reg);
+        // Literal call folds (including nested literal calls)…
+        assert!(
+            matches!(&folded.select[0].expr, Expr::Literal(Literal::Number(n)) if *n == 42.0),
+            "{:?}",
+            folded.select[0].expr
+        );
+        assert_eq!(folded.to_string().matches("inc(").count(), 1);
+        // …while the column-argument call survives untouched.
+        assert!(matches!(&folded.select[1].expr, Expr::Func { name, .. } if name == "inc"));
     }
 }

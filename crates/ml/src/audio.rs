@@ -11,7 +11,7 @@
 
 use tdp_data::audio::{render_clip, AudioClass, CLIP_LEN, SAMPLE_RATE};
 use tdp_encoding::EncodedTensor;
-use tdp_exec::{ArgValue, ExecContext, ExecError, ScalarUdf};
+use tdp_exec::{ArgType, ArgValue, ExecContext, ExecError, FunctionSpec, ScalarUdf, Volatility};
 use tdp_tensor::{F32Tensor, Rng64, Tensor};
 
 /// Dimensionality of [`audio_features`].
@@ -202,6 +202,14 @@ impl AudioTextSimilarityUdf {
 impl ScalarUdf for AudioTextSimilarityUdf {
     fn name(&self) -> &str {
         "audio_text_similarity"
+    }
+
+    /// `(query: string, clips: column)`, immutable, parallel-safe — see
+    /// [`crate::ImageTextSimilarityUdf`] for the contract.
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::scalar(self.name(), vec![ArgType::Str, ArgType::Column])
+            .volatility(Volatility::Immutable)
+            .parallel_safe(true)
     }
 
     fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {

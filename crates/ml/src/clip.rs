@@ -18,7 +18,7 @@
 
 use tdp_data::attachments::{render_attachment, AttachmentClass};
 use tdp_encoding::EncodedTensor;
-use tdp_exec::{ArgValue, ExecContext, ExecError, ScalarUdf};
+use tdp_exec::{ArgType, ArgValue, ExecContext, ExecError, FunctionSpec, ScalarUdf, Volatility};
 use tdp_tensor::{F32Tensor, Rng64, Tensor};
 
 /// Number of scalar features extracted per image.
@@ -237,6 +237,18 @@ impl ImageTextSimilarityUdf {
 impl ScalarUdf for ImageTextSimilarityUdf {
     fn name(&self) -> &str {
         "image_text_similarity"
+    }
+
+    /// Declared signature: `(query: string, images: column)`. Arity and
+    /// argument types are checked at prepare time; the model weights are
+    /// fixed after pretraining (Immutable) and the UDF holds no session
+    /// state, so — registered through
+    /// [`tdp_exec::UdfRegistry::register_scalar_parallel`] — chains
+    /// applying it run across the morsel worker pool.
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::scalar(self.name(), vec![ArgType::Str, ArgType::Column])
+            .volatility(Volatility::Immutable)
+            .parallel_safe(true)
     }
 
     fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {

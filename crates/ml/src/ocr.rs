@@ -18,7 +18,10 @@
 use tdp_data::documents::DocGeometry;
 use tdp_data::font;
 use tdp_encoding::EncodedTensor;
-use tdp_exec::{ArgValue, Batch, ColumnData, ExecContext, ExecError, TableFunction};
+use tdp_exec::{
+    ArgType, ArgValue, Batch, ColumnData, ExecContext, ExecError, FunctionSpec, TableFunction,
+    Volatility,
+};
 use tdp_tensor::{F32Tensor, Tensor};
 
 /// The OCR pipeline with its geometry priors and glyph templates.
@@ -128,6 +131,19 @@ impl ExtractTableTvf {
 impl TableFunction for ExtractTableTvf {
     fn name(&self) -> &str {
         "extract_table"
+    }
+
+    /// Declared signature: one image-column argument, projection position
+    /// only, output schema = the configured table columns. Downstream
+    /// expressions (`AVG(SepalLength)` over the extraction) slot-resolve
+    /// at compile time instead of falling back to by-name lookup, and
+    /// `FROM extract_table(...)` misuse is rejected at prepare time.
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::dynamic(self.name())
+            .with_args(vec![ArgType::Column])
+            .volatility(Volatility::Immutable)
+            .returns(self.schema.clone())
+            .projection_only()
     }
 
     /// Projection position: `SELECT extract_table(images) FROM …`.

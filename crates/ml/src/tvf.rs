@@ -11,7 +11,9 @@
 
 use tdp_autodiff::Var;
 use tdp_data::grid::GRID_PX;
-use tdp_exec::{Batch, ColumnData, DiffColumn, ExecContext, ExecError, TableFunction};
+use tdp_exec::{
+    Batch, ColumnData, DiffColumn, ExecContext, ExecError, FunctionSpec, TableFunction, Volatility,
+};
 use tdp_nn::{Linear, Module};
 use tdp_tensor::{F32Tensor, Rng64, Tensor};
 
@@ -62,6 +64,18 @@ impl ParseMnistGridTvf {
 impl TableFunction for ParseMnistGridTvf {
     fn name(&self) -> &str {
         "parse_mnist_grid"
+    }
+
+    /// Declared signature: FROM position only, output relation
+    /// `[Digit, Size]` (so downstream GROUP BY / filters slot-resolve).
+    /// The parser CNNs are trainable (`Var` parameters on the `Rc`-based
+    /// autodiff tape), so the TVF is Stable — never constant-folded —
+    /// and stays session-thread-bound.
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::dynamic(self.name())
+            .volatility(Volatility::Stable)
+            .returns(vec!["Digit".into(), "Size".into()])
+            .from_only()
     }
 
     fn invoke_table(&self, input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
@@ -119,6 +133,15 @@ impl ClassifyIncomesTvf {
 impl TableFunction for ClassifyIncomesTvf {
     fn name(&self) -> &str {
         "classify_incomes"
+    }
+
+    /// FROM position only, output relation `[Income]`; trainable, so
+    /// Stable and session-thread-bound (see [`ParseMnistGridTvf::spec`]).
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::dynamic(self.name())
+            .volatility(Volatility::Stable)
+            .returns(vec!["Income".into()])
+            .from_only()
     }
 
     fn invoke_table(&self, input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {

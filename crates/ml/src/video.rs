@@ -9,7 +9,7 @@
 
 use tdp_data::video::{render_video, VideoClass, FRAMES, FRAME_H, FRAME_W};
 use tdp_encoding::EncodedTensor;
-use tdp_exec::{ArgValue, ExecContext, ExecError, ScalarUdf};
+use tdp_exec::{ArgType, ArgValue, ExecContext, ExecError, FunctionSpec, ScalarUdf, Volatility};
 use tdp_tensor::{F32Tensor, Rng64, Tensor};
 
 /// Dimensionality of [`video_features`].
@@ -182,6 +182,14 @@ impl VideoTextSimilarityUdf {
 impl ScalarUdf for VideoTextSimilarityUdf {
     fn name(&self) -> &str {
         "video_text_similarity"
+    }
+
+    /// `(query: string, clips: column)`, immutable, parallel-safe — see
+    /// [`crate::ImageTextSimilarityUdf`] for the contract.
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::scalar(self.name(), vec![ArgType::Str, ArgType::Column])
+            .volatility(Volatility::Immutable)
+            .parallel_safe(true)
     }
 
     fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {

@@ -19,7 +19,7 @@ const MAX_PASSES: usize = 16;
 
 /// Optimise a logical plan. Semantics-preserving by construction.
 /// Rewrites run to an actual fixpoint (the pass that changes nothing is
-/// the last), capped at [`MAX_PASSES`] so deep filter/projection stacks
+/// the last), capped at `MAX_PASSES` so deep filter/projection stacks
 /// still fold fully.
 pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
     let mut cur = plan;

@@ -34,7 +34,10 @@ fn main() {
 
     banner("Pretraining CLIP-sim (prototype calibration)");
     let model = ClipSim::pretrained(h, w, 8, 7);
-    tdp.register_udf(Arc::new(ImageTextSimilarityUdf::new(model)));
+    // The UDF declares its signature — (query: string, images: column),
+    // immutable, parallel-safe — so arity/type errors surface at
+    // prepare() and similarity chains run across the morsel worker pool.
+    tdp.register_udf_parallel(Arc::new(ImageTextSimilarityUdf::new(model)));
 
     banner("Query 1 (filter + count): receipts above similarity 0.8");
     let q1 =

@@ -51,7 +51,17 @@ fn main() {
          FROM (SELECT extract_table(images) FROM Document WHERE timestamp = '{target_ts}')"
     );
     println!("{sql}");
-    let (result, query_secs) = timed(|| tdp.query(&sql).unwrap().run().unwrap());
+    // `extract_table` declares its output schema, so the aggregate's
+    // inputs slot-resolve through the TVF at compile time:
+    let compiled = tdp.query(&sql).unwrap();
+    for line in compiled
+        .explain()
+        .lines()
+        .filter(|l| l.contains("TvfProject"))
+    {
+        println!("  {}", line.trim());
+    }
+    let (result, query_secs) = timed(|| compiled.run().unwrap());
     println!("{}", result.pretty(3));
 
     banner("Baseline: bulk-extract all documents, load external DB, query");

@@ -54,10 +54,12 @@ fn boot() -> Tdp {
             .col_i64("id", (0..40).collect())
             .build("sounds"),
     );
-    tdp.register_udf(Arc::new(ImageTextSimilarityUdf::new(ClipSim::pretrained(
+    // Both similarity UDFs declare parallel-safe signatures, so chains
+    // applying them morselize across the worker pool.
+    tdp.register_udf_parallel(Arc::new(ImageTextSimilarityUdf::new(ClipSim::pretrained(
         24, 36, 6, 7,
     ))));
-    tdp.register_udf(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(
+    tdp.register_udf_parallel(Arc::new(AudioTextSimilarityUdf::new(AudioSim::pretrained(
         6, 7,
     ))));
     tdp

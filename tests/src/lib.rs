@@ -1,6 +1,9 @@
 //! Shared fixtures for the cross-crate integration tests.
 
+use tdp_core::encoding::EncodedTensor;
+use tdp_core::exec::{ArgValue, ExecContext, ExecError};
 use tdp_core::storage::{Table, TableBuilder};
+use tdp_core::{ArgType, FunctionSpec, ScalarUdf, Volatility};
 
 /// A small orders/items fixture used by several SQL integration tests.
 pub fn orders_table() -> Table {
@@ -9,4 +12,28 @@ pub fn orders_table() -> Table {
         .col_str("item", &["b", "a", "a", "c", "b", "a"])
         .col_i64("qty", vec![10, 20, 30, 40, 50, 60])
         .build("orders")
+}
+
+/// `halve(column)` — a stateless, declared-signature, parallel-safe
+/// scalar UDF (the fixture for morsel-scheduler UDF tests). Register it
+/// through [`tdp_core::Tdp::register_udf_parallel`] to let chains
+/// applying it cross worker threads.
+pub struct HalveUdf;
+
+impl ScalarUdf for HalveUdf {
+    fn name(&self) -> &str {
+        "halve"
+    }
+
+    fn spec(&self) -> FunctionSpec {
+        FunctionSpec::scalar(self.name(), vec![ArgType::Column])
+            .volatility(Volatility::Immutable)
+            .parallel_safe(true)
+    }
+
+    fn invoke(&self, args: &[ArgValue], _ctx: &ExecContext) -> Result<EncodedTensor, ExecError> {
+        Ok(EncodedTensor::F32(
+            args[0].as_column()?.decode_f32().mul_scalar(0.5),
+        ))
+    }
 }

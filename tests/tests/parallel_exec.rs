@@ -106,6 +106,33 @@ proptest! {
             assert_tables_identical(&one, &out, &format!("{sql} @ {threads} threads"));
         }
     }
+
+    /// A query applying a `parallel_safe` declared-signature UDF — which
+    /// runs through the worker pool rather than the sequential fallback —
+    /// is thread-count-invariant too: identical batches at 1, 2 and 7
+    /// threads for any table/morsel-size combination.
+    #[test]
+    fn parallel_safe_udf_is_thread_count_invariant(
+        seed in 1u64..1_000_000,
+        rows in 1usize..300,
+        morsel in 1usize..48,
+        which in 0usize..3usize,
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(table(rows, seed));
+        tdp.register_udf_parallel(std::sync::Arc::new(tdp_integration::HalveUdf));
+        tdp.set_morsel_rows(morsel);
+        let sql = [
+            "SELECT halve(v) AS h, k FROM t WHERE halve(v) > -2.0",
+            "SELECT k, SUM(halve(v)) FROM t GROUP BY k",
+            "SELECT halve(v) AS h FROM t WHERE v > 0.0 LIMIT 23",
+        ][which];
+        let one = run_at(&tdp, sql, 1);
+        for threads in [2usize, 7] {
+            let out = run_at(&tdp, sql, threads);
+            assert_tables_identical(&one, &out, &format!("{sql} @ {threads} threads"));
+        }
+    }
 }
 
 #[test]
