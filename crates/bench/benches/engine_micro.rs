@@ -283,6 +283,57 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_barriers(c: &mut Criterion) {
+    // The staged-barrier scaling story (PR 5): join-, sort- and
+    // distinct-heavy queries at 1/2/4/8 worker threads over 2M-row
+    // inputs. `join_heavy` probes a 50k-row build side through the
+    // partitioned hash join (exchange → per-partition tables → parallel
+    // probe); `sort_heavy` is a full parallel merge sort; `topk_heavy`
+    // merges per-morsel top-k runs; `distinct_heavy` dedups 50k keys
+    // shared-nothing across the exchange. Results are identical at
+    // every thread count; only wall-clock changes.
+    let n = 2_000_000;
+    let keys = 50_000usize;
+    let mut rng = Rng64::new(31);
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+            .col_i64("k", (0..n).map(|_| rng.below(keys) as i64).collect())
+            .build("big"),
+    );
+    tdp.register_table(
+        TableBuilder::new()
+            .col_i64("k", (0..keys as i64).collect())
+            .col_f32("w", (0..keys).map(|_| rng.normal() as f32).collect())
+            .build("d"),
+    );
+    let mut group = c.benchmark_group("parallel_barriers_2m");
+    group.sample_size(10);
+    for (name, sql) in [
+        (
+            "join_heavy",
+            "SELECT COUNT(*), SUM(w) FROM big JOIN d ON big.k = d.k WHERE v > -3.0",
+        ),
+        ("sort_heavy", "SELECT v FROM big ORDER BY v"),
+        (
+            "topk_heavy",
+            "SELECT v, k FROM big ORDER BY v DESC LIMIT 100",
+        ),
+        ("distinct_heavy", "SELECT DISTINCT k FROM big"),
+    ] {
+        let q = tdp.query(sql).expect("compile");
+        for threads in [1usize, 2, 4, 8] {
+            tdp.set_threads(threads);
+            group.bench_function(format!("{name}/threads_{threads}"), |b| {
+                b.iter(|| q.run().expect("run"))
+            });
+        }
+    }
+    tdp.set_threads(1);
+    group.finish();
+}
+
 fn bench_parallel_udf_scaling(c: &mut Criterion) {
     // The declared-signature payoff: a `parallel_safe` scalar UDF chain
     // runs through the morsel worker pool instead of the sequential
@@ -359,6 +410,7 @@ criterion_group!(
     bench_compressed_encodings,
     bench_topk_vs_full_sort,
     bench_parallel_scaling,
+    bench_parallel_barriers,
     bench_parallel_udf_scaling
 );
 criterion_main!(benches);

@@ -331,6 +331,7 @@ impl<'s> BoundQuery<'s> {
             // tape is Rc-based); exact runs use the session's pool.
             threads: if trainable { 1 } else { self.session.threads() },
             morsel_rows: self.session.morsel_rows(),
+            partitions: self.session.partitions(),
         }
     }
 

@@ -57,6 +57,16 @@ fn default_morsel_rows() -> usize {
         .unwrap_or(tdp_exec::DEFAULT_MORSEL_ROWS)
 }
 
+/// Default barrier-exchange partition count: `TDP_PARTITIONS` when set,
+/// else the scheduler's built-in default (16).
+fn default_partitions() -> usize {
+    std::env::var("TDP_PARTITIONS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(tdp_exec::DEFAULT_PARTITIONS)
+}
+
 /// A cached compilation: the optimised logical plan, its lowering, and
 /// the state it was compiled against (for invalidation). Keyed by the
 /// *normalized* statement text — the parsed query with every literal
@@ -133,6 +143,8 @@ pub struct Tdp {
     threads: Cell<usize>,
     /// Rows per morsel (tunable mostly for tests/benchmarks).
     morsel_rows: Cell<usize>,
+    /// Barrier-exchange partition count (partitioned join / DISTINCT).
+    partitions: Cell<usize>,
 }
 
 impl Default for Tdp {
@@ -156,6 +168,7 @@ impl Tdp {
             cache_evictions: Cell::new(0),
             threads: Cell::new(default_threads()),
             morsel_rows: Cell::new(default_morsel_rows()),
+            partitions: Cell::new(default_partitions()),
         }
     }
 
@@ -185,6 +198,20 @@ impl Tdp {
     /// Current rows-per-morsel partition size.
     pub fn morsel_rows(&self) -> usize {
         self.morsel_rows.get()
+    }
+
+    /// Set the barrier-exchange partition count (clamped to ≥ 1; default
+    /// `TDP_PARTITIONS`, else 16). Partitioned hash joins and
+    /// shared-nothing DISTINCT distribute rows across this many buckets
+    /// by key hash. A plan property independent of [`Tdp::set_threads`]:
+    /// changing it never changes results, only load balance.
+    pub fn set_partitions(&self, n: usize) {
+        self.partitions.set(n.max(1));
+    }
+
+    /// Current barrier-exchange partition count.
+    pub fn partitions(&self) -> usize {
+        self.partitions.get()
     }
 
     pub(crate) fn vector_indexes_mut<R>(

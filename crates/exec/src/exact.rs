@@ -479,7 +479,9 @@ fn resolve_join_keys<'a>(
     }
 }
 
-/// Row key used for hash joins: exact per-encoding representations.
+/// Row key used for hash joins between *mixed-encoding* key pairs:
+/// exact per-encoding string renderings (the historical textual join
+/// semantics). Same-class pairs take the cheaper [`KeyAtom`] path.
 fn join_key(col: &EncodedTensor, row: usize) -> String {
     match col {
         EncodedTensor::Dict { codes, dict } => dict.decode_one(codes.at(row)).to_owned(),
@@ -495,40 +497,203 @@ fn join_key(col: &EncodedTensor, row: usize) -> String {
     }
 }
 
-pub fn join_batches(
-    left: &Batch,
-    right: &Batch,
-    kind: JoinKind,
-    on: &JoinOn,
-) -> Result<Batch, ExecError> {
-    let (left_cols, right_cols) = resolve_join_keys(on, left, right)?;
+/// One component of a composite join / exchange key: the exact,
+/// encoding-independent identity of a row's key value. Dictionary
+/// columns compare as decoded strings (codes are not comparable across
+/// batches, and the order-preserving dictionary makes string order =
+/// code order, so atoms also sort like the grouping codes); everything
+/// else compares as its integer grouping code.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) enum KeyAtom {
+    Int(i64),
+    Str(String),
+}
 
-    // Build side: hash right rows by composite key.
-    let mut table: std::collections::HashMap<Vec<String>, Vec<i64>> =
-        std::collections::HashMap::new();
-    for row in 0..right.rows() {
-        let k: Vec<String> = right_cols.iter().map(|c| join_key(c, row)).collect();
-        table.entry(k).or_default().push(row as i64);
+/// Encoding class of a join key column: two columns produce directly
+/// comparable integer codes iff they share a class.
+fn key_class(col: &EncodedTensor) -> u8 {
+    match col {
+        EncodedTensor::Dict { .. } => 0,
+        EncodedTensor::Bool(_) => 1,
+        EncodedTensor::I64(_)
+        | EncodedTensor::Rle(_)
+        | EncodedTensor::BitPacked(_)
+        | EncodedTensor::Delta(_) => 2,
+        EncodedTensor::F32(_) => 3,
+        EncodedTensor::Pe(_) => 4,
     }
+}
 
-    // Probe side.
-    let mut left_idx: Vec<i64> = Vec::new();
-    let mut right_idx: Vec<i64> = Vec::new();
-    let mut left_unmatched: Vec<i64> = Vec::new();
-    for row in 0..left.rows() {
-        let k: Vec<String> = left_cols.iter().map(|c| join_key(c, row)).collect();
-        match table.get(&k) {
-            Some(matches) => {
-                for &m in matches {
-                    left_idx.push(row as i64);
-                    right_idx.push(m);
-                }
+/// Key atoms of one column: decoded strings for dictionary columns,
+/// grouping codes for everything else. Total order matches the
+/// sequential kernels' code order (order-preserving dictionaries).
+pub(crate) fn key_atoms(col: &EncodedTensor) -> Result<Vec<KeyAtom>, ExecError> {
+    Ok(match col {
+        EncodedTensor::Dict { codes, dict } => codes
+            .data()
+            .iter()
+            .map(|&c| KeyAtom::Str(dict.decode_one(c).to_owned()))
+            .collect(),
+        other => key_codes(other)?
+            .data()
+            .iter()
+            .map(|&v| KeyAtom::Int(v))
+            .collect(),
+    })
+}
+
+/// Textual atoms for mixed-encoding key pairs (per-row [`join_key`]
+/// renderings). Sequential-access layouts decode to plain i64 first so
+/// the per-row rendering stays O(1); PE columns decode to their class
+/// *ids* — exactly what `join_key` renders (`decode_ids`), not the
+/// class values `decode_i64` would give.
+fn string_atoms(col: &EncodedTensor) -> Vec<KeyAtom> {
+    let decoded;
+    let norm: &EncodedTensor = match col {
+        EncodedTensor::Rle(_) | EncodedTensor::BitPacked(_) | EncodedTensor::Delta(_) => {
+            decoded = EncodedTensor::I64(col.decode_i64());
+            &decoded
+        }
+        EncodedTensor::Pe(p) => {
+            decoded = EncodedTensor::I64(p.decode_ids());
+            &decoded
+        }
+        other => other,
+    };
+    (0..norm.rows())
+        .map(|r| KeyAtom::Str(join_key(norm, r)))
+        .collect()
+}
+
+/// Comparable atom vectors for one join key pair. Same-class columns
+/// compare by grouping code (dictionaries by decoded string); a
+/// cross-encoding pair (e.g. a string column against an integer) keeps
+/// the historical textual equality via [`join_key`] renderings.
+pub(crate) fn join_pair_atoms(
+    left: &EncodedTensor,
+    right: &EncodedTensor,
+) -> Result<(Vec<KeyAtom>, Vec<KeyAtom>), ExecError> {
+    if key_class(left) == key_class(right) {
+        Ok((key_atoms(left)?, key_atoms(right)?))
+    } else {
+        Ok((string_atoms(left), string_atoms(right)))
+    }
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Deterministic FNV-1a hash of row `row`'s composite key, given
+/// column-major atom vectors. Partition assignment must agree across
+/// threads, morsels and runs — std's `HashMap` hasher is seeded per
+/// instance, so the exchange cannot use it.
+pub(crate) fn row_hash(cols: &[Vec<KeyAtom>], row: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for col in cols {
+        match &col[row] {
+            KeyAtom::Int(v) => {
+                fnv1a(&mut h, &[0]);
+                fnv1a(&mut h, &v.to_le_bytes());
             }
-            None if kind == JoinKind::Left => left_unmatched.push(row as i64),
-            None => {}
+            KeyAtom::Str(s) => {
+                fnv1a(&mut h, &[1]);
+                fnv1a(&mut h, s.as_bytes());
+            }
+        }
+    }
+    h
+}
+
+/// Deterministic FNV-1a hash of row `row`'s composite grouping code
+/// (the DISTINCT exchange key — one batch, so dictionary codes are
+/// directly comparable and no decode is needed).
+pub(crate) fn code_hash(cols: &[Vec<i64>], row: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for col in cols {
+        fnv1a(&mut h, &col[row].to_le_bytes());
+    }
+    h
+}
+
+/// A build-side hash table over composite-key atoms, with a
+/// single-key fast path that avoids the per-row key allocation.
+pub(crate) enum JoinTable {
+    Single(std::collections::HashMap<KeyAtom, Vec<i64>>),
+    Multi(std::collections::HashMap<Vec<KeyAtom>, Vec<i64>>),
+}
+
+impl JoinTable {
+    /// Build a table over the given build-side rows. Match lists keep
+    /// the insertion order of `rows` — callers feed rows in ascending
+    /// order so probe output matches the sequential kernel exactly.
+    pub(crate) fn build(atoms: &[Vec<KeyAtom>], rows: impl Iterator<Item = i64>) -> JoinTable {
+        if atoms.len() == 1 {
+            let col = &atoms[0];
+            let mut t: std::collections::HashMap<KeyAtom, Vec<i64>> =
+                std::collections::HashMap::new();
+            for r in rows {
+                t.entry(col[r as usize].clone()).or_default().push(r);
+            }
+            JoinTable::Single(t)
+        } else {
+            let mut t: std::collections::HashMap<Vec<KeyAtom>, Vec<i64>> =
+                std::collections::HashMap::new();
+            for r in rows {
+                let key: Vec<KeyAtom> = atoms.iter().map(|c| c[r as usize].clone()).collect();
+                t.entry(key).or_default().push(r);
+            }
+            JoinTable::Multi(t)
         }
     }
 
+    /// Match list for probe row `row` (atoms column-major, probe side).
+    pub(crate) fn get(&self, atoms: &[Vec<KeyAtom>], row: usize) -> Option<&Vec<i64>> {
+        match self {
+            JoinTable::Single(t) => t.get(&atoms[0][row]),
+            JoinTable::Multi(t) => {
+                let key: Vec<KeyAtom> = atoms.iter().map(|c| c[row].clone()).collect();
+                t.get(&key)
+            }
+        }
+    }
+}
+
+/// Column-major key atoms of one join side: `[key][row]`.
+pub(crate) type SideAtoms = Vec<Vec<KeyAtom>>;
+
+/// Resolve the comparable key-atom vectors for every join key pair:
+/// `(left atoms, right atoms)`, column-major.
+pub(crate) fn join_atoms(
+    on: &JoinOn,
+    left: &Batch,
+    right: &Batch,
+) -> Result<(SideAtoms, SideAtoms), ExecError> {
+    let (left_cols, right_cols) = resolve_join_keys(on, left, right)?;
+    let mut latoms = Vec::with_capacity(left_cols.len());
+    let mut ratoms = Vec::with_capacity(right_cols.len());
+    for (l, r) in left_cols.iter().zip(&right_cols) {
+        let (a, b) = join_pair_atoms(l, r)?;
+        latoms.push(a);
+        ratoms.push(b);
+    }
+    Ok((latoms, ratoms))
+}
+
+/// Assemble the join output from matched index pairs plus (for LEFT
+/// joins) the unmatched left rows — shared by the sequential kernel and
+/// the partitioned parallel path, which produce identical index sets.
+pub(crate) fn join_assemble(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    left_idx: Vec<i64>,
+    right_idx: Vec<i64>,
+    left_unmatched: Vec<i64>,
+) -> Batch {
     let matched = left_idx.len();
     let li = Tensor::from_vec(left_idx, &[matched]);
     let ri = Tensor::from_vec(right_idx, &[matched]);
@@ -553,9 +718,49 @@ pub fn join_batches(
         let un = left_unmatched.len();
         let ui = Tensor::from_vec(left_unmatched, &[un]);
         let left_pad = select_batch(left, &ui);
-        return Ok(Batch::concat(&[out, pad_right(&left_pad, right, un)]));
+        return Batch::concat(&[out, pad_right(&left_pad, right, un)]);
     }
-    Ok(out)
+    out
+}
+
+/// Sequential hash join — the whole-batch oracle the partitioned
+/// parallel path ([`crate::morsel`]) must match byte for byte. Builds
+/// one table over all right rows, probes left rows in input order.
+pub fn join_batches(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    on: &JoinOn,
+) -> Result<Batch, ExecError> {
+    let (latoms, ratoms) = join_atoms(on, left, right)?;
+
+    // Build side: hash right rows by composite key, ascending.
+    let table = JoinTable::build(&ratoms, 0..right.rows() as i64);
+
+    // Probe side, in input order.
+    let mut left_idx: Vec<i64> = Vec::new();
+    let mut right_idx: Vec<i64> = Vec::new();
+    let mut left_unmatched: Vec<i64> = Vec::new();
+    for row in 0..left.rows() {
+        match table.get(&latoms, row) {
+            Some(matches) => {
+                for &m in matches {
+                    left_idx.push(row as i64);
+                    right_idx.push(m);
+                }
+            }
+            None if kind == JoinKind::Left => left_unmatched.push(row as i64),
+            None => {}
+        }
+    }
+    Ok(join_assemble(
+        left,
+        right,
+        kind,
+        left_idx,
+        right_idx,
+        left_unmatched,
+    ))
 }
 
 fn pad_right(left_pad: &Batch, right: &Batch, n: usize) -> Batch {

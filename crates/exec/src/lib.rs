@@ -83,10 +83,20 @@
 //! positions. Legacy `name()`-only implementations keep the historical
 //! fully-dynamic behaviour via defaulted methods.
 //!
+//! Barriers are staged rather than streamed: joins build per-partition
+//! hash tables after a key-hash **exchange** ([`ExecContext::partitions`]
+//! buckets, independent of the thread count) and probe morsels in
+//! parallel; ORDER BY / TopK sort per-morsel runs merged k-way under the
+//! stable `(keys…, input position)` order; DISTINCT dedups exchanged
+//! partitions shared-nothing. Every staged path is byte-identical to the
+//! sequential kernels in [`exact`], which remain the fallback (and the
+//! oracle the equivalence tests compare against).
+//!
 //! What should hang off this layer next: NUMA-/device-aware morsel
 //! placement (a pipeline already knows its scan), cross-query kernel
-//! reuse keyed by [`physical::PhysicalPlan::fingerprint`], and parallel
-//! barrier operators (partitioned hash join build, merge sort).
+//! reuse keyed by [`physical::PhysicalPlan::fingerprint`] (a join whose
+//! build input has no `Param` slots is binding-independent), and
+//! spilling exchanges for out-of-core builds.
 
 pub mod batch;
 pub mod diff;
@@ -110,7 +120,7 @@ pub use physical::{
     lower, param_arg_constraints, validate_function_args, validate_param_constraints, CompiledExpr,
     ParamConstraint, PhysicalPlan, StaticKind,
 };
-pub use pipeline::{decompose, MorselOp, PipeNode, DEFAULT_MORSEL_ROWS};
+pub use pipeline::{decompose, MorselOp, PipeNode, DEFAULT_MORSEL_ROWS, DEFAULT_PARTITIONS};
 pub use profile::{execute_profiled, OpTrace, QueryProfile};
 pub use udf::{
     fold_immutable_udfs, ArgType, ArgValue, ExecContext, FunctionSpec, OutputSchema, ScalarUdf,

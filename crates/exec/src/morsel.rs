@@ -1,11 +1,34 @@
 //! The morsel scheduler: partitions a batch into fixed-size row ranges
-//! and runs fused operator chains over them across a worker pool.
+//! and runs operator stages over them across a worker pool.
+//!
+//! Execution is **staged**: barrier-free chains stream per morsel with
+//! an order-preserving concat sink; grouped aggregation folds morsels
+//! into partial states merged in morsel order; and the barrier
+//! operators run as short stage sequences over materialised inputs —
+//! chains → exchange → barrier stages:
+//!
+//! * **partitioned hash join** (`run_join`) — an `exchange` buckets
+//!   build-side rows by composite-key hash into
+//!   [`crate::ExecContext::partitions`] partitions, workers build one
+//!   hash table per partition (shared-nothing, rows ascending), then
+//!   probe morsels run in parallel and reassemble in morsel order; the
+//!   LEFT-join unmatched pass rides the same reassembly;
+//! * **parallel merge sort** (`run_sort`) — workers sort per-morsel
+//!   runs under the stable `(keys…, input position)` total order, k-way
+//!   merged by a tournament heap; `run_topk` keeps only k rows per
+//!   run and merges O(k·m);
+//! * **shared-nothing DISTINCT** (`run_distinct`) — rows exchange by
+//!   grouping-code hash, each partition dedups independently (a key
+//!   lives in exactly one partition), survivors re-sort to input order.
 //!
 //! Determinism is the contract: morsel boundaries depend only on
-//! [`crate::ExecContext::morsel_rows`], results are reassembled in morsel
-//! order, and the partial-aggregation combine folds morsels in index
-//! order — so every thread count (including 1) produces bitwise-identical
-//! batches. Parallelism only changes *who* processes each morsel.
+//! [`crate::ExecContext::morsel_rows`], partition assignment only on the
+//! key hash and the partition count (`TDP_PARTITIONS` — deliberately
+//! *not* the thread count), and every combine walks morsels/partitions
+//! in index order — so every thread count (including 1) produces
+//! bitwise-identical batches, byte-equal to the sequential kernels in
+//! [`crate::exact`], which remain the fallback and the test oracle.
+//! Parallelism only changes *who* processes each morsel.
 //!
 //! Work distribution is work-stealing-lite: workers claim the next
 //! morsel index from a shared atomic counter, so a slow morsel never
@@ -13,19 +36,20 @@
 //! stop bound once the contiguous output prefix holds enough rows;
 //! morsels past the bound are never claimed (early exit).
 //!
-//! Not every chain can leave the session thread: session UDFs hold
+//! Not every stage can leave the session thread: session UDFs hold
 //! `Rc`-based autodiff parameters, scalar subqueries execute nested plans
 //! and tensor-valued bindings are row-aligned with the whole batch. Such
-//! chains — detected per execution against the live registry and binding
-//! — fall back to whole-batch sequential execution, which is equally
-//! deterministic.
+//! chains — and sort keys containing them, since key expressions are
+//! evaluated per morsel on workers — fall back to whole-batch sequential
+//! execution, which is equally deterministic; EXPLAIN and profiled runs
+//! report the reason (`barrier_note` / `barrier_report`).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use tdp_encoding::EncodedTensor;
-use tdp_sql::ast::AggFunc;
+use tdp_sql::ast::{AggFunc, JoinKind};
 use tdp_storage::Catalog;
 use tdp_tensor::{F32Tensor, I64Tensor, Tensor};
 
@@ -34,7 +58,7 @@ use crate::error::ExecError;
 use crate::exact;
 use crate::expr::{eval_expr, Value};
 use crate::params::ParamValue;
-use crate::physical::{CompiledExpr, PhysAggregate, PhysKey};
+use crate::physical::{CompiledExpr, JoinOn, PhysAggregate, PhysKey, PhysicalPlan};
 use crate::pipeline::MorselOp;
 use crate::udf::{ExecContext, UdfRegistry};
 
@@ -199,6 +223,7 @@ struct WorkerCfg {
     temperature: f32,
     params: crate::params::ParamValues,
     morsel_rows: usize,
+    partitions: usize,
     /// Thread-safe scalar UDFs, rebuilt into a per-worker registry so
     /// `CompiledExpr::Udf` resolution works identically off-thread.
     shared_udfs: crate::udf::SharedScalars,
@@ -211,6 +236,7 @@ impl WorkerCfg {
             temperature: ctx.temperature,
             params: ctx.params.clone(),
             morsel_rows: ctx.morsel_rows,
+            partitions: ctx.partitions,
             shared_udfs: ctx.udfs.shared_snapshot(),
         }
     }
@@ -228,6 +254,7 @@ fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) 
         params: cfg.params.clone(),
         threads: 1,
         morsel_rows: cfg.morsel_rows,
+        partitions: cfg.partitions,
     }
 }
 
@@ -420,6 +447,658 @@ fn process_morsels(
         }
     }
     Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Staged barrier execution: partition exchange + parallel barrier ops
+// ----------------------------------------------------------------------
+//
+// Barriers (join, sort, TopK, DISTINCT) need all their input before they
+// can emit anything, so they cannot stream per morsel — but their *work*
+// still splits. Each parallel barrier below runs as a short sequence of
+// **stages** over its materialised input: a morsel-claiming scan stage,
+// optionally a partition-claiming stage after an exchange, and a
+// deterministic sequential combine. The partition count
+// ([`crate::ExecContext::partitions`], `TDP_PARTITIONS`) is a plan
+// property independent of the worker count, and every combine walks
+// morsels/partitions in index order — so the staged paths return batches
+// byte-identical to the sequential kernels in [`crate::exact`], which
+// remain both the fallback and the oracle for equivalence tests.
+
+/// Run `work` on `workers` plain threads (or inline when ≤ 1). Unlike
+/// [`run_workers`] there is no per-worker evaluation context: barrier
+/// stages that only shuffle precomputed keys/indices need no registry.
+fn run_pool(workers: usize, work: &(impl Fn() + Sync)) {
+    if workers <= 1 {
+        work();
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(work);
+        }
+    });
+}
+
+/// Shared claim-loop state: a claim counter plus ordered result slots.
+/// Workers repeatedly grab the next index and store the item's output
+/// at its slot, so outputs come back in index order no matter which
+/// worker processed what — the deterministic backbone of every stage.
+struct ClaimSlots<T> {
+    count: usize,
+    next: AtomicUsize,
+    slots: Mutex<Vec<Option<T>>>,
+}
+
+impl<T: Send> ClaimSlots<T> {
+    fn new(count: usize) -> ClaimSlots<T> {
+        ClaimSlots {
+            count,
+            next: AtomicUsize::new(0),
+            slots: Mutex::new((0..count).map(|_| None).collect()),
+        }
+    }
+
+    /// One worker's claim loop: process items until none are left.
+    fn drain(&self, f: impl Fn(usize) -> T) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                break;
+            }
+            let out = f(i);
+            self.slots.lock().expect("stage state poisoned")[i] = Some(out);
+        }
+    }
+
+    /// Outputs in index order (call after every worker has finished).
+    fn take(self) -> Vec<T> {
+        self.slots
+            .into_inner()
+            .expect("stage state poisoned")
+            .into_iter()
+            .map(|s| s.expect("every claimed index is processed"))
+            .collect()
+    }
+}
+
+/// Claim-loop over `count` items on plain threads (no evaluation
+/// context): returns `f(i)` outputs in index order.
+fn claim_indexed<T: Send>(count: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let slots = ClaimSlots::new(count);
+    run_pool(workers.min(count), &|| slots.drain(&f));
+    slots.take()
+}
+
+/// Partition-exchange primitive: distribute `rows` input rows into
+/// `partitions` buckets by key hash. Workers claim morsels and bucket
+/// their rows locally; buckets are then concatenated in morsel order, so
+/// every partition lists its rows in **ascending input order** at any
+/// thread count (the hash, morsel boundaries and partition count are all
+/// plan properties — workers only decide *who* buckets each morsel).
+fn exchange(
+    rows: usize,
+    partitions: usize,
+    morsel_rows: usize,
+    workers: usize,
+    hash_of: &(impl Fn(usize) -> u64 + Sync),
+) -> Vec<Vec<i64>> {
+    let morsels = num_morsels(rows, morsel_rows);
+    let per_morsel = claim_indexed(morsels, workers, |i| {
+        let start = i * morsel_rows;
+        let end = (start + morsel_rows).min(rows);
+        let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); partitions];
+        for r in start..end {
+            buckets[(hash_of(r) % partitions as u64) as usize].push(r as i64);
+        }
+        buckets
+    });
+    let mut out: Vec<Vec<i64>> = vec![Vec::new(); partitions];
+    for buckets in per_morsel {
+        for (p, b) in buckets.into_iter().enumerate() {
+            out[p].extend(b);
+        }
+    }
+    out
+}
+
+/// `(staged?, capability fallback reason)` for a join barrier. Joins
+/// carry no key expressions (keys are resolved column refs), so the only
+/// capability reason is a differentiable input.
+fn join_decision(left: &Batch, right: &Batch, ctx: &ExecContext) -> (bool, Option<String>) {
+    let reason = (left.has_diff() || right.has_diff()).then(|| "differentiable-input".to_string());
+    let splits = num_morsels(left.rows(), ctx.morsel_rows) > 1
+        || num_morsels(right.rows(), ctx.morsel_rows) > 1;
+    (reason.is_none() && ctx.threads > 1 && splits, reason)
+}
+
+/// `(staged?, capability fallback reason)` for sort/TopK barriers. Key
+/// expressions are evaluated per morsel on worker threads, so the same
+/// analysis as fused chains applies (UDFs, subqueries, tensor params).
+fn sort_decision(
+    input: &Batch,
+    keys: &[crate::physical::PhysOrderKey],
+    ctx: &ExecContext,
+) -> (bool, Option<String>) {
+    let reason = if input.has_diff() {
+        Some("differentiable-input".to_string())
+    } else {
+        keys.iter().find_map(|k| expr_fallback(&k.expr, ctx))
+    };
+    let splits = num_morsels(input.rows(), ctx.morsel_rows) > 1;
+    (reason.is_none() && ctx.threads > 1 && splits, reason)
+}
+
+/// `(staged?, capability fallback reason)` for a DISTINCT barrier.
+fn distinct_decision(input: &Batch, ctx: &ExecContext) -> (bool, Option<String>) {
+    let reason = input.has_diff().then(|| "differentiable-input".to_string());
+    let splits = num_morsels(input.rows(), ctx.morsel_rows) > 1;
+    (
+        reason.is_none() && ctx.threads > 1 && splits && !input.columns().is_empty(),
+        reason,
+    )
+}
+
+/// Partitioned hash join: exchange the build (right) side into
+/// per-partition hash tables, then probe left morsels in parallel.
+///
+/// Stage 1 buckets build rows by composite-key hash (morsel-claiming);
+/// stage 2 builds one hash table per partition (partition-claiming),
+/// inserting rows in ascending build order; stage 3 probes left morsels
+/// and reassembles match lists in morsel order. The resulting index
+/// pairs — and the unmatched-left pass — are exactly the sequential
+/// kernel's, so [`exact::join_assemble`] finishes both paths.
+pub(crate) fn run_join(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    on: &JoinOn,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    if !join_decision(left, right, ctx).0 {
+        return exact::join_batches(left, right, kind, on);
+    }
+    let (latoms, ratoms) = exact::join_atoms(on, left, right)?;
+    let partitions = ctx.partitions.max(1);
+
+    // Stage 1: exchange build-side rows into partitions by key hash.
+    let parts = exchange(
+        right.rows(),
+        partitions,
+        ctx.morsel_rows,
+        ctx.threads,
+        &|r| exact::row_hash(&ratoms, r),
+    );
+
+    // Stage 2: shared-nothing per-partition table build (ascending rows).
+    let tables: Vec<exact::JoinTable> = claim_indexed(partitions, ctx.threads, |p| {
+        exact::JoinTable::build(&ratoms, parts[p].iter().copied())
+    });
+
+    // Stage 3: probe left morsels in parallel; morsel-order reassembly.
+    let rows = left.rows();
+    let morsel_rows = ctx.morsel_rows;
+    let probe_morsels = num_morsels(rows, morsel_rows);
+    let probes = claim_indexed(probe_morsels, ctx.threads, |i| {
+        let start = i * morsel_rows;
+        let end = (start + morsel_rows).min(rows);
+        let mut li: Vec<i64> = Vec::new();
+        let mut ri: Vec<i64> = Vec::new();
+        let mut unmatched: Vec<i64> = Vec::new();
+        for r in start..end {
+            let p = (exact::row_hash(&latoms, r) % partitions as u64) as usize;
+            match tables[p].get(&latoms, r) {
+                Some(matches) => {
+                    for &m in matches {
+                        li.push(r as i64);
+                        ri.push(m);
+                    }
+                }
+                None if kind == JoinKind::Left => unmatched.push(r as i64),
+                None => {}
+            }
+        }
+        (li, ri, unmatched)
+    });
+
+    let mut left_idx: Vec<i64> = Vec::new();
+    let mut right_idx: Vec<i64> = Vec::new();
+    let mut left_unmatched: Vec<i64> = Vec::new();
+    for (li, ri, un) in probes {
+        left_idx.extend(li);
+        right_idx.extend(ri);
+        left_unmatched.extend(un);
+    }
+    Ok(exact::join_assemble(
+        left,
+        right,
+        kind,
+        left_idx,
+        right_idx,
+        left_unmatched,
+    ))
+}
+
+/// One evaluated sort-key column of a morsel run. Numeric, boolean and
+/// compressed keys keep their integer grouping codes (8 bytes per row,
+/// exactly what `exact::sort_batch` compares); dictionary keys keep
+/// their codes *plus* the shared dictionary. Morsel slices of one
+/// column share the same `Arc`'d dictionary, so run-vs-run comparisons
+/// stay integer compares; only expression-generated per-morsel dicts
+/// pay a decode — and because dictionaries are order-preserving
+/// (sorted), code order equals string order either way, matching the
+/// sequential kernel.
+enum SortKeyCol {
+    Ints(Vec<i64>),
+    Dict {
+        codes: Vec<i64>,
+        dict: std::sync::Arc<tdp_encoding::StringDict>,
+    },
+}
+
+impl SortKeyCol {
+    fn of(col: &EncodedTensor) -> Result<SortKeyCol, ExecError> {
+        Ok(match col {
+            EncodedTensor::Dict { codes, dict } => SortKeyCol::Dict {
+                codes: codes.to_vec(),
+                dict: dict.clone(),
+            },
+            other => SortKeyCol::Ints(exact::key_codes(other)?.to_vec()),
+        })
+    }
+
+    /// Compare row `a` of this column against row `b` of `other`. A key
+    /// expression always evaluates to one encoding family, so
+    /// cross-variant comparisons are unreachable; they still order
+    /// deterministically (ints before strings) rather than panic.
+    #[inline]
+    fn cmp_rows(&self, a: usize, other: &SortKeyCol, b: usize) -> std::cmp::Ordering {
+        match (self, other) {
+            (SortKeyCol::Ints(x), SortKeyCol::Ints(y)) => x[a].cmp(&y[b]),
+            (SortKeyCol::Dict { codes: x, dict: dx }, SortKeyCol::Dict { codes: y, dict: dy }) => {
+                if std::sync::Arc::ptr_eq(dx, dy) {
+                    x[a].cmp(&y[b])
+                } else {
+                    dx.decode_one(x[a]).cmp(dy.decode_one(y[b]))
+                }
+            }
+            (SortKeyCol::Ints(_), SortKeyCol::Dict { .. }) => std::cmp::Ordering::Less,
+            (SortKeyCol::Dict { .. }, SortKeyCol::Ints(_)) => std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+/// One sorted per-morsel run: local row order plus the evaluated key
+/// columns (kept in *original* local order; `order` permutes into them).
+struct SortRun {
+    start: usize,
+    order: Vec<u32>,
+    keys: Vec<SortKeyCol>,
+}
+
+/// Build per-morsel sorted runs: workers claim morsels, evaluate the key
+/// expressions over the morsel slice, and sort local rows by
+/// `(keys…, input position)` — the stable-sort total order. With
+/// `take_k`, each run keeps only its k best rows (per-morsel top-k).
+fn sort_runs(
+    input: &Batch,
+    keys: &[crate::physical::PhysOrderKey],
+    take_k: Option<usize>,
+    ctx: &ExecContext,
+) -> Result<Vec<SortRun>, ExecError> {
+    let rows = input.rows();
+    let morsel_rows = ctx.morsel_rows;
+    let morsels = num_morsels(rows, morsel_rows);
+    let cols = to_partition_cols(input);
+
+    let make_run = |i: usize, wctx: &ExecContext| -> Result<SortRun, ExecError> {
+        let start = i * morsel_rows;
+        let end = (start + morsel_rows).min(rows);
+        let batch = slice_cols(&cols, start, end);
+        let mut key_cols = Vec::with_capacity(keys.len());
+        for k in keys {
+            match eval_expr(&k.expr, &batch, wctx)? {
+                Value::Column(c) => key_cols.push(SortKeyCol::of(&c)?),
+                other => {
+                    return Err(ExecError::TypeMismatch(format!(
+                        "ORDER BY expression must be a column, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let len = end - start;
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        let cmp = |a: &u32, b: &u32| {
+            for (col, k) in key_cols.iter().zip(keys) {
+                let (a, b) = (*a as usize, *b as usize);
+                let ord = if k.desc {
+                    col.cmp_rows(b, col, a)
+                } else {
+                    col.cmp_rows(a, col, b)
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(b) // input position breaks ties, as in the stable sort
+        };
+        if let Some(k) = take_k {
+            if k > 0 && k < len {
+                order.select_nth_unstable_by(k - 1, cmp);
+                order.truncate(k);
+            }
+        }
+        order.sort_unstable_by(cmp);
+        Ok(SortRun {
+            start,
+            order,
+            keys: key_cols,
+        })
+    };
+
+    let slots = ClaimSlots::new(morsels);
+    let workers = ctx.threads.min(morsels).max(1);
+    run_workers(workers, &WorkerCfg::of(ctx), &|wctx: &ExecContext| {
+        slots.drain(|i| make_run(i, wctx))
+    });
+
+    // First error in morsel order wins — deterministic reporting.
+    slots.take().into_iter().collect()
+}
+
+/// K-way merge of sorted runs into a global row-index order, stopping
+/// after `limit` rows when given. A binary tournament heap keyed by the
+/// same `(keys…, input position)` total order as the runs themselves,
+/// so the merge is stable and the output equals the full stable sort.
+fn merge_runs(
+    runs: &[SortRun],
+    keys: &[crate::physical::PhysOrderKey],
+    limit: Option<usize>,
+) -> Vec<i64> {
+    // `less(a, b)`: does run-cursor `a` come strictly before `b`?
+    let less = |a: &(usize, usize), b: &(usize, usize)| -> bool {
+        let (ra, rb) = (&runs[a.0], &runs[b.0]);
+        let (la, lb) = (ra.order[a.1] as usize, rb.order[b.1] as usize);
+        for (j, k) in keys.iter().enumerate() {
+            let ord = if k.desc {
+                rb.keys[j].cmp_rows(lb, &ra.keys[j], la)
+            } else {
+                ra.keys[j].cmp_rows(la, &rb.keys[j], lb)
+            };
+            match ord {
+                std::cmp::Ordering::Less => return true,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        (ra.start + la) < (rb.start + lb)
+    };
+
+    // Min-heap of (run, position-within-run) cursors.
+    let mut heap: Vec<(usize, usize)> = (0..runs.len())
+        .filter(|&m| !runs[m].order.is_empty())
+        .map(|m| (m, 0))
+        .collect();
+    let sift_down = |heap: &mut Vec<(usize, usize)>, mut i: usize| loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut best = i;
+        if l < heap.len() && less(&heap[l], &heap[best]) {
+            best = l;
+        }
+        if r < heap.len() && less(&heap[r], &heap[best]) {
+            best = r;
+        }
+        if best == i {
+            break;
+        }
+        heap.swap(i, best);
+        i = best;
+    };
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(&mut heap, i);
+    }
+
+    let total: usize = runs.iter().map(|r| r.order.len()).sum();
+    let cap = limit.map_or(total, |n| n.min(total));
+    let mut out = Vec::with_capacity(cap);
+    while out.len() < cap {
+        let (m, pos) = heap[0];
+        out.push((runs[m].start + runs[m].order[pos] as usize) as i64);
+        if pos + 1 < runs[m].order.len() {
+            heap[0] = (m, pos + 1);
+        } else {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+            if heap.is_empty() {
+                break;
+            }
+        }
+        sift_down(&mut heap, 0);
+    }
+    out
+}
+
+/// Parallel merge sort: per-morsel sorted runs, k-way merged under the
+/// stable `(keys…, input position)` order. Byte-identical to
+/// [`exact::sort_batch`], which remains the fallback and the oracle.
+pub(crate) fn run_sort(
+    input: &Batch,
+    keys: &[crate::physical::PhysOrderKey],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    if !sort_decision(input, keys, ctx).0 {
+        return exact::sort_batch(input, keys, ctx);
+    }
+    let runs = sort_runs(input, keys, None, ctx)?;
+    let idx = merge_runs(&runs, keys, None);
+    let n = idx.len();
+    Ok(exact::select_batch(input, &Tensor::from_vec(idx, &[n])))
+}
+
+/// Parallel top-k: per-morsel `top-k` runs (selection + short sort)
+/// merged O(k·m) into the global k best. Byte-identical to
+/// [`exact::topk_batch`] (= the first k rows of the full stable sort).
+pub(crate) fn run_topk(
+    input: &Batch,
+    keys: &[crate::physical::PhysOrderKey],
+    k: usize,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let k = k.min(input.rows());
+    if k == 0 || !sort_decision(input, keys, ctx).0 {
+        return exact::topk_batch(input, keys, k, ctx);
+    }
+    let runs = sort_runs(input, keys, Some(k), ctx)?;
+    let idx = merge_runs(&runs, keys, Some(k));
+    let n = idx.len();
+    Ok(exact::select_batch(input, &Tensor::from_vec(idx, &[n])))
+}
+
+/// Shared-nothing DISTINCT: exchange rows by composite grouping-code
+/// hash, dedup each partition independently (a key lives in exactly one
+/// partition, so a partition's first occurrence is the global one), then
+/// re-sort the surviving row ids into input order — byte-identical to
+/// [`exact::distinct_batch`]'s first-occurrence output.
+pub(crate) fn run_distinct(input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    if !distinct_decision(input, ctx).0 {
+        return exact::distinct_batch(input);
+    }
+    let rows = input.rows();
+    let codes: Vec<Vec<i64>> = input
+        .columns()
+        .iter()
+        .map(|(_, c)| exact::key_codes(&c.to_exact()).map(|t| t.to_vec()))
+        .collect::<Result<_, _>>()?;
+    let partitions = ctx.partitions.max(1);
+
+    let parts = exchange(rows, partitions, ctx.morsel_rows, ctx.threads, &|r| {
+        exact::code_hash(&codes, r)
+    });
+
+    // Per-partition dedup, keeping first occurrences (rows ascending).
+    let survivors = claim_indexed(partitions, ctx.threads, |p| {
+        let mut keep: Vec<i64> = Vec::new();
+        if codes.len() == 1 {
+            let col = &codes[0];
+            let mut seen: std::collections::HashSet<i64> = std::collections::HashSet::new();
+            for &r in &parts[p] {
+                if seen.insert(col[r as usize]) {
+                    keep.push(r);
+                }
+            }
+        } else {
+            let mut seen: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+            for &r in &parts[p] {
+                let key: Vec<i64> = codes.iter().map(|c| c[r as usize]).collect();
+                if seen.insert(key) {
+                    keep.push(r);
+                }
+            }
+        }
+        keep
+    });
+
+    let mut rep: Vec<i64> = survivors.into_iter().flatten().collect();
+    rep.sort_unstable(); // first-occurrence input order, as sequential
+    let n = rep.len();
+    Ok(exact::select_batch(input, &Tensor::from_vec(rep, &[n])))
+}
+
+// ----------------------------------------------------------------------
+// Barrier observability (EXPLAIN strategy notes + profiled reports)
+// ----------------------------------------------------------------------
+
+/// Compile-time-visible scheduling note for a barrier node: how the
+/// staged scheduler will run it (`partitioned ×16`, `merge-sort ×runs`)
+/// or why it must stay sequential. `None` for barriers the scheduler
+/// never stages (window, TVFs, UNION ALL) — those are whole-batch by
+/// nature. Input sizes are unknown before execution, so a barrier that
+/// turns out to fit one morsel still runs sequentially at run time (the
+/// profiled report carries the actual counts).
+pub(crate) fn barrier_note(plan: &PhysicalPlan, ctx: &ExecContext) -> Option<String> {
+    use crate::physical::PhysicalPlan as P;
+    match plan {
+        P::Join { .. } | P::Distinct { .. } if ctx.threads > 1 => {
+            Some(format!("partitioned ×{}", ctx.partitions.max(1)))
+        }
+        P::Sort { keys, .. } | P::TopK { keys, .. } if ctx.threads > 1 => {
+            match keys.iter().find_map(|k| expr_fallback(&k.expr, ctx)) {
+                Some(reason) => Some(format!("sequential: {reason}")),
+                None if matches!(plan, P::Sort { .. }) => Some("merge-sort".into()),
+                None => Some("parallel top-k".into()),
+            }
+        }
+        P::Join { .. } | P::Distinct { .. } | P::Sort { .. } | P::TopK { .. } => {
+            Some("sequential: threads=1".into())
+        }
+        _ => None,
+    }
+}
+
+/// What the profiler records about one barrier execution.
+pub(crate) struct BarrierReport {
+    /// Morsels the staged path schedules (1 when sequential).
+    pub morsels: usize,
+    /// Partitions the exchange uses (0 when the op has no exchange or
+    /// runs sequentially).
+    pub partitions: usize,
+    /// Human-readable strategy (`partitioned ×16 (31 build + 31 probe
+    /// morsels)`); `None` when the op ran sequentially.
+    pub strategy: Option<String>,
+    /// Capability reason the op stayed sequential, mirroring the chain
+    /// fallback reasons; `None` when staged or merely too small.
+    pub fallback: Option<String>,
+}
+
+impl BarrierReport {
+    fn sequential(fallback: Option<String>) -> BarrierReport {
+        BarrierReport {
+            morsels: 1,
+            partitions: 0,
+            strategy: None,
+            fallback,
+        }
+    }
+}
+
+/// The scheduling decision + counts for a barrier over its materialised
+/// inputs — computed with exactly the predicates the `run_*` entry
+/// points use, so the profile reports what actually happened.
+pub(crate) fn barrier_report(
+    plan: &PhysicalPlan,
+    inputs: &[&Batch],
+    ctx: &ExecContext,
+) -> BarrierReport {
+    use crate::physical::PhysicalPlan as P;
+    match plan {
+        P::Join { .. } => {
+            let (left, right) = (inputs[0], inputs[1]);
+            let (staged, reason) = join_decision(left, right, ctx);
+            if !staged {
+                return BarrierReport::sequential(reason);
+            }
+            let build = num_morsels(right.rows(), ctx.morsel_rows);
+            let probe = num_morsels(left.rows(), ctx.morsel_rows);
+            let partitions = ctx.partitions.max(1);
+            BarrierReport {
+                morsels: build + probe,
+                partitions,
+                strategy: Some(format!(
+                    "partitioned ×{partitions} ({build} build + {probe} probe morsels)"
+                )),
+                fallback: None,
+            }
+        }
+        P::Sort { keys, .. } | P::TopK { keys, .. } => {
+            // run_topk short-circuits k == 0 (and empty inputs) to the
+            // sequential kernel; report that, not a phantom staged run.
+            if let P::TopK { n, .. } = plan {
+                let k = crate::expr::resolve_limit(n, ctx)
+                    .map(|k| k.min(inputs[0].rows()))
+                    .unwrap_or(usize::MAX);
+                if k == 0 {
+                    return BarrierReport::sequential(None);
+                }
+            }
+            let (staged, reason) = sort_decision(inputs[0], keys, ctx);
+            if !staged {
+                return BarrierReport::sequential(reason);
+            }
+            let runs = num_morsels(inputs[0].rows(), ctx.morsel_rows);
+            let what = if matches!(plan, P::Sort { .. }) {
+                "merge-sort"
+            } else {
+                "parallel top-k"
+            };
+            BarrierReport {
+                morsels: runs,
+                partitions: 0,
+                strategy: Some(format!("{what} ×{runs} runs")),
+                fallback: None,
+            }
+        }
+        P::Distinct { .. } => {
+            let (staged, reason) = distinct_decision(inputs[0], ctx);
+            if !staged {
+                return BarrierReport::sequential(reason);
+            }
+            let morsels = num_morsels(inputs[0].rows(), ctx.morsel_rows);
+            let partitions = ctx.partitions.max(1);
+            BarrierReport {
+                morsels,
+                partitions,
+                strategy: Some(format!("partitioned ×{partitions} ({morsels} morsels)")),
+                fallback: None,
+            }
+        }
+        _ => BarrierReport {
+            morsels: 0,
+            partitions: 0,
+            strategy: None,
+            fallback: None,
+        },
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -19,14 +19,47 @@
 //! * `Limit` terminates its pipeline with an **early-exit** sink that
 //!   stops claiming morsels once the contiguous output prefix holds
 //!   enough rows;
-//! * everything else becomes a [`PipeNode::Barrier`] executed
-//!   whole-batch on its materialised children.
+//! * everything else becomes a [`PipeNode::Barrier`] executed on its
+//!   materialised children.
+//!
+//! ## Staged barrier execution
+//!
+//! A barrier's *input* must be complete before it emits anything, but
+//! its *work* still splits. Joins, ORDER BY, TopK and DISTINCT execute
+//! as short stage sequences over their materialised inputs
+//! (chains → exchange → barrier stages, see [`crate::morsel`]):
+//!
+//! * **Join** — build-side rows are exchanged into
+//!   [`crate::ExecContext::partitions`] buckets by composite-key hash,
+//!   one hash table is built per partition (shared-nothing), and probe
+//!   morsels are processed in parallel with morsel-order reassembly;
+//! * **Sort / TopK** — each morsel produces a sorted run (top-k runs
+//!   for `ORDER BY … LIMIT`), k-way merged under the stable
+//!   `(keys…, input position)` order;
+//! * **DISTINCT** — rows are exchanged by grouping-code hash and each
+//!   partition dedups independently, survivors re-sorted to input order.
+//!
+//! Windows, TVFs and UNION ALL remain whole-batch. The partition count
+//! is a plan property (`TDP_PARTITIONS`, default
+//! [`DEFAULT_PARTITIONS`]) independent of the worker count, so staged
+//! barriers keep the determinism contract below.
 //!
 //! The decomposition is shared: [`execute`] (the scheduled exact path)
 //! and [`crate::diff::execute_diff`] (single-threaded, soft kernels)
 //! both consume the same `PipeNode` tree, so results are bitwise
 //! identical across thread counts — morsel boundaries depend only on
 //! [`crate::ExecContext::morsel_rows`], never on the worker count.
+//!
+//! EXPLAIN's `== pipelines ==` section renders the decomposition with
+//! each barrier's strategy resolved against the session:
+//!
+//! ```text
+//! barrier Sort: total DESC [merge-sort]
+//!   barrier Join: Inner ON k = k [partitioned ×16]
+//!     pipeline [Filter] -> collect
+//!       source Scan: orders
+//!     source Scan: items
+//! ```
 
 use tdp_sql::ast::LimitCount;
 
@@ -41,6 +74,13 @@ use crate::udf::ExecContext;
 /// Default rows per morsel: large enough that per-morsel dispatch cost is
 /// noise, small enough that a scan splits across a worker pool.
 pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// Default partition count for barrier exchanges (join build, DISTINCT).
+/// A plan property, deliberately independent of the thread count:
+/// partition assignment depends only on the key hash and this number, so
+/// results cannot vary with the worker pool. 16 keeps every partition
+/// busy on today's typical core counts without fragmenting small builds.
+pub const DEFAULT_PARTITIONS: usize = 16;
 
 /// One fused per-morsel operator. Borrowed from the compiled plan — the
 /// decomposition adds no allocation beyond the chain vectors.
@@ -238,7 +278,11 @@ fn explain_node(node: &PipeNode<'_>, ctx: Option<&ExecContext>, out: &mut String
         PipeNode::Barrier { plan, inputs } => {
             let label = plan.explain();
             let first = label.lines().next().unwrap_or("?").trim();
-            out.push_str(&format!("barrier {first}\n"));
+            let note = ctx
+                .and_then(|c| morsel::barrier_note(plan, c))
+                .map(|n| format!(" [{n}]"))
+                .unwrap_or_default();
+            out.push_str(&format!("barrier {first}{note}\n"));
             for input in inputs {
                 explain_node(input, ctx, out, depth + 1);
             }
@@ -315,15 +359,15 @@ fn exec_barrier(
         PhysicalPlan::Join { kind, on, .. } => {
             let l = exec_node(&inputs[0], ctx)?;
             let r = exec_node(&inputs[1], ctx)?;
-            exact::join_batches(&l, &r, *kind, on)
+            morsel::run_join(&l, &r, *kind, on, ctx)
         }
         PhysicalPlan::Sort { keys, .. } => {
             let inp = exec_node(&inputs[0], ctx)?;
-            exact::sort_batch(&inp, keys, ctx)
+            morsel::run_sort(&inp, keys, ctx)
         }
         PhysicalPlan::TopK { keys, n, .. } => {
             let inp = exec_node(&inputs[0], ctx)?;
-            exact::topk_batch(&inp, keys, resolve_limit(n, ctx)?, ctx)
+            morsel::run_topk(&inp, keys, resolve_limit(n, ctx)?, ctx)
         }
         PhysicalPlan::Window { windows, .. } => {
             let inp = exec_node(&inputs[0], ctx)?;
@@ -331,7 +375,7 @@ fn exec_barrier(
         }
         PhysicalPlan::Distinct { .. } => {
             let inp = exec_node(&inputs[0], ctx)?;
-            exact::distinct_batch(&inp)
+            morsel::run_distinct(&inp, ctx)
         }
         PhysicalPlan::UnionAll { .. } => {
             let l = exec_node(&inputs[0], ctx)?;

@@ -39,12 +39,16 @@ pub struct OpTrace {
     pub total_seconds: f64,
     /// Wall-clock seconds excluding children (the node's own kernels).
     pub self_seconds: f64,
-    /// Why a streamable operator ran on the sequential whole-batch path
-    /// instead of the morsel pool (`udf-not-parallel-safe(name)`,
+    /// Why an operator ran on the sequential whole-batch path instead
+    /// of the morsel pool (`udf-not-parallel-safe(name)`,
     /// `scalar-subquery`, `tensor-param($n)`, `count-distinct`,
-    /// `differentiable-input`); `None` when it was morsel-parallel (or
-    /// is a barrier operator, which is whole-batch by nature).
+    /// `differentiable-input`); `None` when it was morsel-parallel.
+    /// Staged barriers (join, sort, TopK, DISTINCT) report here too.
     pub fallback: Option<String>,
+    /// How a staged barrier actually ran (`partitioned ×16 (31 build +
+    /// 31 probe morsels)`, `merge-sort ×8 runs`); `None` for streamable
+    /// operators and barriers that ran sequentially.
+    pub strategy: Option<String>,
 }
 
 /// Execution profile of one query run, in pre-order plan order.
@@ -53,8 +57,13 @@ pub struct QueryProfile {
     pub ops: Vec<OpTrace>,
     /// Worker threads the morsel scheduler ran with.
     pub threads: usize,
-    /// Total morsels scheduled across all streamable operators.
+    /// Total morsels scheduled across all operators (streamable chains
+    /// plus staged barrier stages — a partitioned join counts its build
+    /// and probe morsels).
     pub morsels: usize,
+    /// Total exchange partitions scheduled across staged barrier
+    /// operators (0 when no barrier was partitioned).
+    pub partitions: usize,
 }
 
 impl QueryProfile {
@@ -86,16 +95,17 @@ impl QueryProfile {
     /// scheduler configuration.
     pub fn pretty(&self) -> String {
         let mut out = format!(
-            "threads={} morsels={}\n\
+            "threads={} morsels={} partitions={}\n\
              operator                                          rows    self ms   total ms\n",
-            self.threads, self.morsels
+            self.threads, self.morsels, self.partitions
         );
         for op in &self.ops {
             let indent = "  ".repeat(op.depth);
             let label = format!("{indent}{}", op.label);
-            let note = match &op.fallback {
-                Some(reason) => format!("  [sequential: {reason}]"),
-                None => String::new(),
+            let note = match (&op.fallback, &op.strategy) {
+                (Some(reason), _) => format!("  [sequential: {reason}]"),
+                (None, Some(strategy)) => format!("  [{strategy}]"),
+                (None, None) => String::new(),
             };
             out.push_str(&format!(
                 "{label:<48} {rows:>7} {self_ms:>10.3} {total_ms:>10.3}{note}\n",
@@ -119,6 +129,22 @@ pub fn execute_profiled(
     };
     let batch = run_node(plan, ctx, 0, &mut profile)?;
     Ok((batch, profile))
+}
+
+/// Record a staged barrier's scheduling decision (strategy or fallback
+/// reason, plus morsel/partition counts) on its reserved trace slot.
+fn record_barrier(
+    plan: &PhysicalPlan,
+    inputs: &[&Batch],
+    ctx: &ExecContext,
+    slot: usize,
+    profile: &mut QueryProfile,
+) {
+    let report = morsel::barrier_report(plan, inputs, ctx);
+    profile.morsels += report.morsels;
+    profile.partitions += report.partitions;
+    profile.ops[slot].strategy = report.strategy;
+    profile.ops[slot].fallback = report.fallback;
 }
 
 /// First line of a node's EXPLAIN rendering.
@@ -146,6 +172,7 @@ fn run_node(
         total_seconds: 0.0,
         self_seconds: 0.0,
         fallback: None,
+        strategy: None,
     });
 
     let start = Instant::now();
@@ -223,11 +250,13 @@ fn run_node(
         } => {
             let l = run_child(left, profile)?;
             let r = run_child(right, profile)?;
-            exact::join_batches(&l, &r, *kind, on)?
+            record_barrier(plan, &[&l, &r], ctx, slot, profile);
+            morsel::run_join(&l, &r, *kind, on, ctx)?
         }
         PhysicalPlan::Sort { keys, input } => {
             let inp = run_child(input, profile)?;
-            exact::sort_batch(&inp, keys, ctx)?
+            record_barrier(plan, &[&inp], ctx, slot, profile);
+            morsel::run_sort(&inp, keys, ctx)?
         }
         PhysicalPlan::Limit { n, input } => {
             let inp = run_child(input, profile)?;
@@ -235,7 +264,8 @@ fn run_node(
         }
         PhysicalPlan::TopK { keys, n, input } => {
             let inp = run_child(input, profile)?;
-            exact::topk_batch(&inp, keys, resolve_limit(n, ctx)?, ctx)?
+            record_barrier(plan, &[&inp], ctx, slot, profile);
+            morsel::run_topk(&inp, keys, resolve_limit(n, ctx)?, ctx)?
         }
         PhysicalPlan::Window { windows, input } => {
             let inp = run_child(input, profile)?;
@@ -243,7 +273,8 @@ fn run_node(
         }
         PhysicalPlan::Distinct { input } => {
             let inp = run_child(input, profile)?;
-            exact::distinct_batch(&inp)?
+            record_barrier(plan, &[&inp], ctx, slot, profile);
+            morsel::run_distinct(&inp, ctx)?
         }
         PhysicalPlan::UnionAll { left, right } => {
             let l = run_child(left, profile)?;

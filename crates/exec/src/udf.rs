@@ -564,6 +564,10 @@ pub struct ExecContext<'a> {
     pub threads: usize,
     /// Rows per morsel for the scheduler's input partitioning.
     pub morsel_rows: usize,
+    /// Partition count for barrier exchanges (partitioned hash join,
+    /// shared-nothing DISTINCT). A plan property independent of
+    /// `threads`: results never depend on it, only load balance does.
+    pub partitions: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -577,6 +581,7 @@ impl<'a> ExecContext<'a> {
             params: crate::params::ParamValues::new(),
             threads: 1,
             morsel_rows: crate::pipeline::DEFAULT_MORSEL_ROWS,
+            partitions: crate::pipeline::DEFAULT_PARTITIONS,
         }
     }
 
@@ -585,6 +590,12 @@ impl<'a> ExecContext<'a> {
     pub fn with_scheduler(mut self, threads: usize, morsel_rows: usize) -> ExecContext<'a> {
         self.threads = threads.max(1);
         self.morsel_rows = morsel_rows.max(1);
+        self
+    }
+
+    /// Set the barrier-exchange partition count (clamped to ≥ 1).
+    pub fn with_partitions(mut self, partitions: usize) -> ExecContext<'a> {
+        self.partitions = partitions.max(1);
         self
     }
 

@@ -1,6 +1,9 @@
 //! Morsel-driven parallel execution: determinism across thread counts,
-//! LIMIT early-exit correctness at morsel boundaries, the parameterised
-//! `LIMIT ?` path, and the scheduler's session configuration surface.
+//! staged barrier operators (partitioned hash join, parallel merge
+//! sort, parallel top-k, shared-nothing DISTINCT) against the
+//! sequential oracle, LIMIT early-exit correctness at morsel
+//! boundaries, the parameterised `LIMIT ?` path, and the scheduler's
+//! session configuration surface.
 
 use proptest::prelude::*;
 use tdp_core::exec::ExecError;
@@ -25,6 +28,24 @@ fn table(n: usize, seed: u64) -> Table {
         .col_i64("k", ks)
         .col_str("tag", &tags)
         .build("t")
+}
+
+/// Join dimension table: integer keys 0..=6 (0, 1, 2 duplicated, so
+/// probes multi-match) plus 20/21, which never occur in `t` — LEFT JOIN
+/// probes hit the unmatched pass. `name` mirrors the same pattern over
+/// `t.tag`'s string domain (dictionary keys decode through different
+/// dicts on each side). 12 rows, so small morsels split the build.
+fn dim(seed: u64) -> Table {
+    let ks: Vec<i64> = vec![0, 1, 2, 3, 4, 5, 6, 0, 1, 2, 20, 21];
+    let names: Vec<String> = ks.iter().map(|k| format!("g{k}")).collect();
+    let ws: Vec<f32> = (0..ks.len())
+        .map(|i| ((seed as usize * 7 + i * 13) % 97) as f32 / 10.0)
+        .collect();
+    TableBuilder::new()
+        .col_i64("k", ks)
+        .col_str("name", &names)
+        .col_f32("w", ws)
+        .build("d")
 }
 
 fn run_at(tdp: &Tdp, sql: &str, threads: usize) -> Table {
@@ -66,8 +87,11 @@ fn assert_tables_identical(a: &Table, b: &Table, what: &str) {
 }
 
 /// SQL pipeline shapes stressed by the determinism property: fused
-/// chains, every parallel aggregate, LIMIT early exit, and barriers
-/// (sort, distinct, window) downstream of parallel pipelines.
+/// chains, every parallel aggregate, LIMIT early exit, and the staged
+/// barriers — partitioned hash join (inner and LEFT with its unmatched
+/// pass), parallel merge sort over duplicate keys (tie-break
+/// stability), parallel top-k, and shared-nothing DISTINCT — both
+/// standalone and stacked downstream of parallel pipelines.
 const PIPELINES: &[&str] = &[
     "SELECT v FROM t WHERE v > 0.0",
     "SELECT v * 2 + k AS s, tag FROM t WHERE v < 5.0 AND k > 1",
@@ -81,6 +105,24 @@ const PIPELINES: &[&str] = &[
     "SELECT v FROM t WHERE v > 0.5 ORDER BY v DESC LIMIT 13",
     "SELECT DISTINCT tag FROM t WHERE v > 0.0",
     "SELECT tag, COUNT(*) FROM t GROUP BY tag HAVING COUNT(*) > 2",
+    // Staged barriers: partitioned joins (multi-match keys 0..=2,
+    // unmatched keys 7..=10 on the LEFT pass; `tag = name` joins
+    // dictionary columns through *different* dictionaries)…
+    "SELECT t.v, d.w FROM t JOIN d ON t.k = d.k",
+    "SELECT t.tag, d.w FROM t LEFT JOIN d ON t.k = d.k",
+    "SELECT t.v, d.w FROM t JOIN d ON t.k = d.k WHERE t.v > 0.0",
+    "SELECT t.v, d.name FROM t JOIN d ON t.tag = d.name",
+    // …parallel merge sort over duplicate keys (k has 11 distinct
+    // values, v duplicates too: input position must break ties)…
+    "SELECT v, k FROM t ORDER BY k, v DESC",
+    "SELECT tag, v FROM t ORDER BY tag, k",
+    // …parallel top-k with massive key duplication…
+    "SELECT v, k FROM t ORDER BY k LIMIT 17",
+    // …shared-nothing DISTINCT, alone and under a sort barrier…
+    "SELECT DISTINCT k, tag FROM t",
+    "SELECT DISTINCT tag FROM t ORDER BY tag",
+    // …and a full barrier stack: join, then sort.
+    "SELECT t.v, d.w FROM t JOIN d ON t.k = d.k ORDER BY d.w, t.v",
 ];
 
 proptest! {
@@ -94,12 +136,17 @@ proptest! {
         seed in 1u64..1_000_000,
         rows in 1usize..400,
         morsel in 1usize..64,
+        partitions in 1usize..24,
         which in 0usize..PIPELINES.len(),
     ) {
         let tdp = Tdp::new();
         tdp.register_table(table(rows, seed));
+        tdp.register_table(dim(seed));
         tdp.set_morsel_rows(morsel);
+        tdp.set_partitions(partitions);
         let sql = PIPELINES[which];
+        // threads=1 takes the sequential kernels (the oracle); higher
+        // thread counts take the staged barrier paths.
         let one = run_at(&tdp, sql, 1);
         for threads in [2usize, 7] {
             let out = run_at(&tdp, sql, threads);
@@ -225,6 +272,150 @@ fn parameterised_limit_rejects_bad_bindings() {
 }
 
 #[test]
+fn staged_barriers_match_sequential_oracle_at_tiny_morsels() {
+    // The TDP_MORSEL_ROWS=7 regression: 7-row morsels land mid-key-run
+    // (t's keys repeat every ~11 rows, d's build side splits into two
+    // morsels), so exchange buckets, sorted runs and probe morsels all
+    // cut across partition boundaries. Staged barrier output must stay
+    // byte-identical to the sequential kernels (threads=1 falls back to
+    // them) at every thread *and* partition count.
+    let tdp = Tdp::new();
+    tdp.register_table(table(100, 11));
+    tdp.register_table(dim(5));
+    tdp.set_morsel_rows(7);
+    for sql in [
+        "SELECT t.v, t.tag, d.w FROM t JOIN d ON t.k = d.k",
+        "SELECT t.v, d.w FROM t LEFT JOIN d ON t.k = d.k",
+        "SELECT t.v, d.w FROM t JOIN d ON t.tag = d.name",
+        "SELECT v, k, tag FROM t ORDER BY k, tag",
+        "SELECT v, k FROM t ORDER BY k DESC LIMIT 23",
+        "SELECT DISTINCT k, tag FROM t",
+        "SELECT DISTINCT t.k, d.w FROM t JOIN d ON t.k = d.k ORDER BY d.w DESC",
+    ] {
+        let oracle = run_at(&tdp, sql, 1);
+        for threads in [2usize, 7] {
+            for partitions in [1usize, 3, 16] {
+                tdp.set_partitions(partitions);
+                let out = run_at(&tdp, sql, threads);
+                assert_tables_identical(
+                    &oracle,
+                    &out,
+                    &format!("{sql} @ {threads} threads / {partitions} partitions"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_and_profile_report_barrier_strategy() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(200, 3));
+    tdp.register_table(dim(4));
+    tdp.set_threads(3);
+    tdp.set_morsel_rows(16);
+    tdp.set_partitions(8);
+
+    // EXPLAIN resolves each barrier's strategy against the session.
+    let q = tdp
+        .query("SELECT t.v, d.w FROM t JOIN d ON t.k = d.k ORDER BY t.v DESC")
+        .unwrap();
+    let text = q.explain();
+    assert!(text.contains("barrier Join"), "{text}");
+    assert!(text.contains("[partitioned ×8]"), "{text}");
+    assert!(text.contains("[merge-sort]"), "{text}");
+
+    // Profiled runs report what actually happened: strategy with morsel
+    // counts on the barrier traces, partitions in the totals.
+    let (_, prof) = q.run_profiled().unwrap();
+    let join_op = prof
+        .ops
+        .iter()
+        .find(|o| o.label.starts_with("Join"))
+        .expect("join trace");
+    let strat = join_op.strategy.as_deref().expect("join strategy recorded");
+    assert!(strat.contains("partitioned ×8"), "{strat}");
+    assert!(strat.contains("probe morsels"), "{strat}");
+    let sort_op = prof
+        .ops
+        .iter()
+        .find(|o| o.label.starts_with("Sort"))
+        .expect("sort trace");
+    assert!(
+        sort_op.strategy.as_deref().unwrap().contains("merge-sort"),
+        "{:?}",
+        sort_op.strategy
+    );
+    assert_eq!(prof.partitions, 8, "join exchange partitions in totals");
+    assert!(
+        prof.pretty().contains("partitioned ×8"),
+        "{}",
+        prof.pretty()
+    );
+
+    // TopK renders its own strategy.
+    let topk = tdp
+        .query("SELECT v FROM t ORDER BY v DESC LIMIT 5")
+        .unwrap();
+    assert!(
+        topk.explain().contains("[parallel top-k]"),
+        "{}",
+        topk.explain()
+    );
+    // …but a LIMIT 0 top-k short-circuits to the sequential kernel, and
+    // the profile must say so (no phantom staged strategy).
+    let (_, prof0) = tdp
+        .query("SELECT v FROM t ORDER BY v DESC LIMIT 0")
+        .unwrap()
+        .run_profiled()
+        .unwrap();
+    let topk_op = prof0
+        .ops
+        .iter()
+        .find(|o| o.label.starts_with("TopK"))
+        .expect("topk trace");
+    assert!(topk_op.strategy.is_none(), "{:?}", topk_op.strategy);
+
+    // DISTINCT partitions too.
+    let distinct = tdp.query("SELECT DISTINCT tag FROM t").unwrap();
+    assert!(
+        distinct.explain().contains("[partitioned ×8]"),
+        "{}",
+        distinct.explain()
+    );
+
+    // Single-threaded sessions render the sequential decision…
+    tdp.set_threads(1);
+    assert!(
+        q.explain().contains("[sequential: threads=1]"),
+        "{}",
+        q.explain()
+    );
+    tdp.set_threads(3);
+
+    // …and a sort key the workers cannot evaluate (session-bound UDF)
+    // reports the same capability reason chains do, in EXPLAIN and in
+    // the profiled run.
+    tdp.register_udf(std::sync::Arc::new(tdp_integration::HalveUdf));
+    let udf_sort = tdp.query("SELECT v FROM t ORDER BY halve(v)").unwrap();
+    assert!(
+        udf_sort
+            .explain()
+            .contains("[sequential: udf-not-parallel-safe(halve)]"),
+        "{}",
+        udf_sort.explain()
+    );
+    let (_, prof2) = udf_sort.run_profiled().unwrap();
+    assert!(
+        prof2
+            .fallback_reasons()
+            .contains(&"udf-not-parallel-safe(halve)"),
+        "{:?}",
+        prof2.fallback_reasons()
+    );
+}
+
+#[test]
 fn scheduler_configuration_surface() {
     let tdp = Tdp::new();
     assert!(
@@ -239,6 +430,14 @@ fn scheduler_configuration_surface() {
     assert_eq!(tdp.morsel_rows(), 1, "clamped");
     tdp.set_morsel_rows(1024);
     assert_eq!(tdp.morsel_rows(), 1024);
+    assert!(
+        tdp.partitions() >= 1,
+        "default comes from TDP_PARTITIONS or the built-in 16"
+    );
+    tdp.set_partitions(0);
+    assert_eq!(tdp.partitions(), 1, "clamped");
+    tdp.set_partitions(5);
+    assert_eq!(tdp.partitions(), 5);
 }
 
 #[test]
