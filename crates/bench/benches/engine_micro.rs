@@ -399,6 +399,66 @@ fn bench_parallel_udf_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_chain_kernels(c: &mut Criterion) {
+    // The chain-kernel story (PR 6): interpreter vs compiled
+    // selection-vector execution for the fused filter→project chains,
+    // at 1/2/4/8 worker threads over a 2M-row scan. `filter_heavy`
+    // leads with a selective conjunct so the expensive sqrt conjunct
+    // runs only on survivors (the interpreter evaluates every conjunct
+    // over every row); `conjuncts_dense` stacks non-selective
+    // conjuncts — the kernel's dense path evaluates those full-width
+    // too, so this cell measures pure overhead; `project_heavy` is
+    // computation-bound (the kernel's win is monomorphised loops under
+    // the selection); the selectivity variants sweep survivor counts.
+    // Results are bit-identical in every cell — only wall-clock
+    // changes.
+    let n = 2_000_000;
+    let mut rng = Rng64::new(41);
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+            .col_i64("k", (0..n).map(|_| rng.below(64) as i64).collect())
+            .col_f32("w", (0..n).map(|_| rng.normal() as f32).collect())
+            .build("big"),
+    );
+    let mut group = c.benchmark_group("chain_kernels_2m");
+    group.sample_size(10);
+    for (name, sql) in [
+        (
+            "filter_heavy",
+            "SELECT v, k, w FROM big WHERE v > 1.0 AND sqrt(w * w + 4.0) + v < 3.5 AND k < 48",
+        ),
+        (
+            "conjuncts_dense",
+            "SELECT v, k, w FROM big WHERE v > -1.0 AND w < 1.0 AND k < 48",
+        ),
+        (
+            "project_heavy",
+            "SELECT v * 2.0 + w AS a, v - w * 0.5 AS b, k + 1 AS c FROM big WHERE v > -3.0",
+        ),
+        (
+            "selective_1pct",
+            "SELECT v, w FROM big WHERE v > 2.3 AND w > 0.0",
+        ),
+        ("selective_50pct", "SELECT v, w FROM big WHERE v > 0.0"),
+    ] {
+        let q = tdp.query(sql).expect("compile");
+        for threads in [1usize, 2, 4, 8] {
+            tdp.set_threads(threads);
+            for (mode, kernels) in [("interpreted", false), ("compiled", true)] {
+                tdp.set_chain_kernels(kernels);
+                group.bench_function(format!("{name}/{mode}/threads_{threads}"), |b| {
+                    b.iter(|| q.run().expect("run"))
+                });
+            }
+        }
+    }
+    tdp.set_threads(1);
+    tdp.set_chain_kernels(true);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -411,6 +471,7 @@ criterion_group!(
     bench_topk_vs_full_sort,
     bench_parallel_scaling,
     bench_parallel_barriers,
-    bench_parallel_udf_scaling
+    bench_parallel_udf_scaling,
+    bench_chain_kernels
 );
 criterion_main!(benches);

@@ -190,7 +190,9 @@ impl<'s> Prepared<'s> {
         for v in &self.implicit {
             params.push(v.clone());
         }
-        let ctx = ExecContext::new(self.session.catalog(), &udfs).with_params(params);
+        let ctx = ExecContext::new(self.session.catalog(), &udfs)
+            .with_params(params)
+            .with_chain_kernels(self.session.chain_kernels_handle());
         render_explain(&self.plan, &self.physical, self.fingerprint, &trailer, &ctx)
     }
 
@@ -332,6 +334,13 @@ impl<'s> BoundQuery<'s> {
             threads: if trainable { 1 } else { self.session.threads() },
             morsel_rows: self.session.morsel_rows(),
             partitions: self.session.partitions(),
+            // Chain kernels only serve the exact path; the differentiable
+            // interpreter has its own soft kernels.
+            chain_kernels: if trainable {
+                None
+            } else {
+                self.session.chain_kernels_handle()
+            },
         }
     }
 

@@ -52,8 +52,8 @@ pub use compiled::{BoundQuery, CompiledQuery, Prepared, QueryConfig};
 pub use error::TdpError;
 pub use session::{PlanCacheStats, Tdp};
 pub use tdp_exec::{
-    ArgType, FunctionSpec, OutputSchema, ParamValue, ParamValues, ScalarUdf, TableFunction,
-    Volatility,
+    ArgType, ChainKernelStats, FunctionSpec, OutputSchema, ParamValue, ParamValues, ScalarUdf,
+    TableFunction, Volatility,
 };
 pub use vector::IndexKind;
 

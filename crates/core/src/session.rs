@@ -67,6 +67,20 @@ fn default_partitions() -> usize {
         .unwrap_or(tdp_exec::DEFAULT_PARTITIONS)
 }
 
+/// Default chain-kernel switch: on unless `TDP_CHAIN_KERNELS` is set to
+/// `0`, `false` or `off`. Either way the interpreter remains the oracle;
+/// the switch exists so CI can run the whole suite through both paths.
+fn default_chain_kernels() -> bool {
+    std::env::var("TDP_CHAIN_KERNELS")
+        .map(|v| {
+            !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "0" | "false" | "off"
+            )
+        })
+        .unwrap_or(true)
+}
+
 /// A cached compilation: the optimised logical plan, its lowering, and
 /// the state it was compiled against (for invalidation). Keyed by the
 /// *normalized* statement text — the parsed query with every literal
@@ -145,6 +159,14 @@ pub struct Tdp {
     morsel_rows: Cell<usize>,
     /// Barrier-exchange partition count (partitioned join / DISTINCT).
     partitions: Cell<usize>,
+    /// Session-shared compiled chain-kernel cache (see
+    /// [`tdp_exec::KernelCache`]). Lives for the session so repeated
+    /// binds of the same prepared chain reuse one compiled program;
+    /// invalidated by epoch bump on catalog/registry change.
+    chain_kernels: Arc<tdp_exec::KernelCache>,
+    /// Whether executions consult the chain-kernel compiler at all
+    /// (default: `TDP_CHAIN_KERNELS`, else on).
+    chain_kernels_on: Cell<bool>,
 }
 
 impl Default for Tdp {
@@ -169,6 +191,8 @@ impl Tdp {
             threads: Cell::new(default_threads()),
             morsel_rows: Cell::new(default_morsel_rows()),
             partitions: Cell::new(default_partitions()),
+            chain_kernels: Arc::new(tdp_exec::KernelCache::new()),
+            chain_kernels_on: Cell::new(default_chain_kernels()),
         }
     }
 
@@ -214,6 +238,37 @@ impl Tdp {
         self.partitions.get()
     }
 
+    /// Enable or disable compiled chain kernels (default: the
+    /// `TDP_CHAIN_KERNELS` environment variable, else on). Disabling
+    /// routes every fused filter→project chain through the interpreter;
+    /// results are identical either way — the compiler is a pure
+    /// performance substitution with the interpreter as its oracle.
+    pub fn set_chain_kernels(&self, on: bool) {
+        self.chain_kernels_on.set(on);
+    }
+
+    /// Whether compiled chain kernels are consulted for execution.
+    pub fn chain_kernels_enabled(&self) -> bool {
+        self.chain_kernels_on.get()
+    }
+
+    /// Cumulative chain-kernel cache counters (hits, misses, evictions,
+    /// interpreter fallbacks) plus the current compiled-entry count —
+    /// the kernel-cache mirror of [`Tdp::plan_cache_stats`].
+    pub fn chain_kernel_stats(&self) -> tdp_exec::ChainKernelStats {
+        self.chain_kernels.stats()
+    }
+
+    /// The session kernel cache, or `None` when chain kernels are
+    /// disabled — threaded into each execution's `ExecContext`.
+    pub(crate) fn chain_kernels_handle(&self) -> Option<Arc<tdp_exec::KernelCache>> {
+        if self.chain_kernels_on.get() {
+            Some(Arc::clone(&self.chain_kernels))
+        } else {
+            None
+        }
+    }
+
     pub(crate) fn vector_indexes_mut<R>(
         &self,
         f: impl FnOnce(&mut crate::vector::VectorIndexes) -> R,
@@ -250,11 +305,13 @@ impl Tdp {
     pub fn register_table(&self, table: Table) {
         let device = self.default_device();
         self.catalog.register(table.to_device(device));
+        self.chain_kernels.bump_epoch();
     }
 
     /// Register a table on an explicit device.
     pub fn register_table_on(&self, table: Table, device: Device) {
         self.catalog.register(table.to_device(device));
+        self.chain_kernels.bump_epoch();
     }
 
     /// Register a bare tensor as a one-column table named after itself —
@@ -342,6 +399,7 @@ impl Tdp {
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
         self.udfs.borrow_mut().register_scalar(udf);
         self.udf_epoch.set(self.udf_epoch.get() + 1);
+        self.chain_kernels.bump_epoch();
     }
 
     /// Register a `Send + Sync` scalar UDF. Combined with a
@@ -351,12 +409,14 @@ impl Tdp {
     pub fn register_udf_parallel(&self, udf: Arc<dyn ScalarUdf + Send + Sync>) {
         self.udfs.borrow_mut().register_scalar_parallel(udf);
         self.udf_epoch.set(self.udf_epoch.get() + 1);
+        self.chain_kernels.bump_epoch();
     }
 
     /// Register a table-valued function.
     pub fn register_tvf(&self, tvf: Arc<dyn TableFunction>) {
         self.udfs.borrow_mut().register_table_fn(tvf);
         self.udf_epoch.set(self.udf_epoch.get() + 1);
+        self.chain_kernels.bump_epoch();
     }
 
     pub(crate) fn udfs_snapshot(&self) -> UdfRegistry {

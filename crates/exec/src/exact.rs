@@ -69,10 +69,33 @@ pub(crate) fn execute_seq(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batc
             crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
             Ok(out)
         }
-        PhysicalPlan::Filter { predicate, input } => {
-            let inp = execute_seq(input, ctx)?;
-            let mask = eval_expr(predicate, &inp, ctx)?.into_mask(inp.rows())?;
-            Ok(filter_batch(&inp, &mask))
+        PhysicalPlan::Filter { .. } => {
+            // Collapse a run of stacked filters into one selection-vector
+            // kernel pass: predicates refine a single selection
+            // (innermost first) and every column is gathered once at the
+            // end, instead of a full-batch materialisation per predicate.
+            let mut preds: Vec<&crate::physical::CompiledExpr> = Vec::new();
+            let mut node = plan;
+            while let PhysicalPlan::Filter { predicate, input } = node {
+                preds.push(predicate);
+                node = input;
+            }
+            preds.reverse();
+            let inp = execute_seq(node, ctx)?;
+            let ops: Vec<crate::pipeline::MorselOp<'_>> = preds
+                .iter()
+                .map(|p| crate::pipeline::MorselOp::Filter(p))
+                .collect();
+            if let Some(out) = crate::kernel::prepare(&ops, ctx).and_then(|k| k.run(&inp)) {
+                return Ok(out);
+            }
+            // Interpreter fallback: the historical mask-per-predicate walk.
+            let mut cur = inp;
+            for p in &preds {
+                let mask = eval_expr(p, &cur, ctx)?.into_mask(cur.rows())?;
+                cur = filter_batch(&cur, &mask);
+            }
+            Ok(cur)
         }
         PhysicalPlan::Project { items, input } => {
             let inp = execute_seq(input, ctx)?;

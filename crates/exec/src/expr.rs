@@ -281,7 +281,9 @@ pub(crate) fn eval_scalar_subquery(
 }
 
 /// SQL `LIKE` with `%` (any run) and `_` (any one char); case-sensitive.
-fn like_match(pattern: &str, s: &str) -> bool {
+/// Shared with the compiled chain kernels ([`crate::kernel`]) so both
+/// paths match byte-for-byte.
+pub(crate) fn like_match(pattern: &str, s: &str) -> bool {
     fn rec(p: &[char], s: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),

@@ -1,0 +1,1549 @@
+//! Compiled vectorized chain kernels: selection-vector execution for the
+//! fused filter→project chains that form the hot inner loop of every
+//! morsel on every worker thread.
+//!
+//! ## Selection-vector model
+//!
+//! The interpreter ([`crate::expr::eval_expr`] + [`crate::exact::filter_batch`])
+//! materializes a fully gathered batch after *each* filter op: every
+//! predicate allocates a boolean mask, then every column is gathered.
+//! A chain kernel instead evaluates predicates into a **selection
+//! vector** (`SelVec`) — a boolean mask while the selection is dense,
+//! demoted to a sorted index list once few enough rows survive
+//! (`DENSE_DIVISOR`). Consecutive filters refine the same selection
+//! (sparse selections evaluate later predicates on surviving rows
+//! only; dense ones evaluate full-width and intersect branchlessly,
+//! which beats index gathers until selectivity bites), and the single
+//! gather happens once at chain exit or is pushed into the projection
+//! loop. Top-level `AND` conjuncts inside one predicate refine the
+//! selection the same way. Index compaction is branch-free
+//! (`compact`): on the random masks real predicates produce,
+//! mispredicted branches would otherwise dominate the refinement loop.
+//!
+//! Expression loops are monomorphised over the concrete column
+//! encodings at the leaves — i64 values, f32 values, dictionary codes —
+//! so the autovectorizer sees tight `Vec<f32>`/`Vec<bool>` loops instead
+//! of enum dispatch per value. The arithmetic replicates the
+//! interpreter's kernel dispatch *exactly* (same f32 widening, same
+//! operand order, same CASE blend expression), which is what keeps the
+//! interpreter the byte-identity oracle at every thread count.
+//!
+//! ## Fallback taxonomy
+//!
+//! Compilation is conservative: anything the kernel cannot reproduce
+//! bit-for-bit falls back to the interpreter with a named reason
+//! (surfaced through EXPLAIN and [`crate::profile::OpTrace::strategy`]):
+//!
+//! * **compile-time** (cached negatively): `udf(name)` — session UDFs,
+//!   including built-ins shadowed by a later registration;
+//!   `scalar-subquery`; `empty-in-list`; `builtin-arity(name)`.
+//! * **bind-time** (per execution): `tensor-param($n)` /
+//!   `null-param($n)` / `unbound-param($n)` — parameter slots whose
+//!   bound value has no scalar kernel form.
+//! * **run-time** (per morsel, silent): batches carrying differentiable
+//!   columns, payload (rank > 1) columns used in computed expressions,
+//!   evaluation type errors (the interpreter re-runs the morsel and
+//!   raises the identical error), and multi-filter runs over
+//!   re-compressing integer layouts (bit-packed / delta columns pick a
+//!   fresh smallest encoding per gather, so a collapsed single gather
+//!   could not reproduce the interpreter's intermediate choices).
+//!
+//! ## Cache keying
+//!
+//! Compiled programs are cached in a bounded, session-shared
+//! [`KernelCache`] keyed by the chain's **literal-invariant
+//! fingerprint**: an FNV-1a hash over the op shapes and the
+//! [`CompiledExpr`] renderings, in which literals lifted to `$n` slots
+//! by auto-parameterisation hash identically across bindings. Entries
+//! are stamped with the cache **epoch**, bumped on catalog changes and
+//! UDF (re-)registration — a stale entry is a miss, so a UDF registered
+//! after compilation correctly shadows a built-in on the next run.
+//! Fallback verdicts are cached negatively so unsupported chains pay
+//! the compile probe once. Eviction is LRU with a fixed cap
+//! ([`KERNEL_CACHE_CAP`]); [`ChainKernelStats`] exposes
+//! hits/misses/evictions/fallbacks.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tdp_encoding::{EncodedTensor, StringDict};
+use tdp_sql::ast::{BinOp, UnOp};
+use tdp_tensor::{BoolTensor, Tensor};
+
+use crate::batch::{Batch, ColumnData};
+use crate::expr::like_match;
+use crate::params::{ParamValue, ParamValues};
+use crate::physical::{ColumnRef, CompiledExpr, ScalarFn};
+use crate::pipeline::MorselOp;
+use crate::udf::ExecContext;
+
+/// LRU capacity of the session kernel cache (entries, not bytes).
+pub const KERNEL_CACHE_CAP: usize = 256;
+
+// ----------------------------------------------------------------------
+// Compiled form
+// ----------------------------------------------------------------------
+
+/// A vetted, owned mirror of [`CompiledExpr`] containing only node kinds
+/// the kernel evaluator reproduces bit-for-bit. Construction *is* the
+/// support check: anything else fails [`compile`] with a named reason.
+#[derive(Clone, Debug)]
+enum KExpr {
+    Col(ColumnRef),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Binary {
+        op: BinOp,
+        left: Box<KExpr>,
+        right: Box<KExpr>,
+    },
+    Neg(Box<KExpr>),
+    Not(Box<KExpr>),
+    Builtin {
+        func: ScalarFn,
+        args: Vec<KExpr>,
+    },
+    Case {
+        operand: Option<Box<KExpr>>,
+        branches: Vec<(KExpr, KExpr)>,
+        else_expr: Option<Box<KExpr>>,
+    },
+    InList {
+        expr: Box<KExpr>,
+        list: Vec<KExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<KExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// Present only in the cached (literal-invariant) program; replaced
+    /// by a literal at instantiation, or the instantiation falls back.
+    Param(usize),
+}
+
+/// One chain segment: a predicate refining the selection, or a
+/// projection materializing a new column set (which resets it).
+#[derive(Clone, Debug)]
+enum Seg {
+    Filter(KExpr),
+    Project(Vec<(String, KExpr)>),
+}
+
+/// A compiled, literal-invariant chain program — the cache value.
+/// Binding-specific literals still appear as [`KExpr::Param`] slots.
+#[derive(Debug)]
+pub(crate) struct ChainProgram {
+    segs: Vec<Seg>,
+    /// Longest run of consecutive filter segments (no projection
+    /// between them) — gates the re-compressing-layout fallback.
+    max_filter_run: usize,
+}
+
+/// A program bound to one parameter set, ready to run on morsels from
+/// any worker thread.
+pub(crate) struct ChainInstance {
+    segs: Vec<Seg>,
+    max_filter_run: usize,
+    cache: Arc<KernelCache>,
+    /// Run-time fallbacks are counted once per execution, not per morsel.
+    fallback_noted: AtomicBool,
+}
+
+/// Why (or that) a chain runs compiled — the EXPLAIN / profile verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ChainStrategy {
+    /// Kernel-compiled; payload is the number of fused ops.
+    Compiled(usize),
+    /// Interpreted, with the named reason.
+    Interpreted(String),
+}
+
+// ----------------------------------------------------------------------
+// Compilation
+// ----------------------------------------------------------------------
+
+fn compile_expr(e: &CompiledExpr, ctx: &ExecContext) -> Result<KExpr, String> {
+    Ok(match e {
+        CompiledExpr::Column(c) => KExpr::Col(c.clone()),
+        CompiledExpr::Num(n) => KExpr::Num(*n),
+        CompiledExpr::Str(s) => KExpr::Str(s.clone()),
+        CompiledExpr::Bool(b) => KExpr::Bool(*b),
+        CompiledExpr::Binary { op, left, right } => KExpr::Binary {
+            op: *op,
+            left: Box::new(compile_expr(left, ctx)?),
+            right: Box::new(compile_expr(right, ctx)?),
+        },
+        CompiledExpr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => KExpr::Neg(Box::new(compile_expr(expr, ctx)?)),
+        CompiledExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => KExpr::Not(Box::new(compile_expr(expr, ctx)?)),
+        CompiledExpr::Udf { name, .. } => return Err(format!("udf({name})")),
+        CompiledExpr::Builtin { name, func, args } => {
+            // A session UDF registered after compilation shadows the
+            // built-in; registration bumps the cache epoch, so checking
+            // here is stable for the cached program's lifetime.
+            if ctx.udfs.is_scalar(name) {
+                return Err(format!("udf({name})"));
+            }
+            if args.len() != func.arity() {
+                return Err(format!("builtin-arity({name})"));
+            }
+            KExpr::Builtin {
+                func: *func,
+                args: args
+                    .iter()
+                    .map(|a| compile_expr(a, ctx))
+                    .collect::<Result<_, _>>()?,
+            }
+        }
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => KExpr::Case {
+            operand: operand
+                .as_deref()
+                .map(|o| compile_expr(o, ctx).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((compile_expr(w, ctx)?, compile_expr(t, ctx)?)))
+                .collect::<Result<_, String>>()?,
+            else_expr: else_expr
+                .as_deref()
+                .map(|e| compile_expr(e, ctx).map(Box::new))
+                .transpose()?,
+        },
+        CompiledExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            if list.is_empty() {
+                return Err("empty-in-list".into());
+            }
+            KExpr::InList {
+                expr: Box::new(compile_expr(expr, ctx)?),
+                list: list
+                    .iter()
+                    .map(|i| compile_expr(i, ctx))
+                    .collect::<Result<_, _>>()?,
+                negated: *negated,
+            }
+        }
+        CompiledExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => KExpr::Like {
+            expr: Box::new(compile_expr(expr, ctx)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        CompiledExpr::ScalarSubquery(_) => return Err("scalar-subquery".into()),
+        CompiledExpr::Param { idx } => KExpr::Param(*idx),
+    })
+}
+
+/// Compile a fused chain into a literal-invariant program, or name the
+/// first reason it must stay interpreted.
+pub(crate) fn compile(ops: &[MorselOp<'_>], ctx: &ExecContext) -> Result<ChainProgram, String> {
+    let mut segs = Vec::with_capacity(ops.len());
+    let (mut run, mut max_filter_run) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            MorselOp::Filter(pred) => {
+                segs.push(Seg::Filter(compile_expr(pred, ctx)?));
+                run += 1;
+                max_filter_run = max_filter_run.max(run);
+            }
+            MorselOp::Project(items) => {
+                segs.push(Seg::Project(
+                    items
+                        .iter()
+                        .map(|it| Ok((it.name.clone(), compile_expr(&it.expr, ctx)?)))
+                        .collect::<Result<_, String>>()?,
+                ));
+                run = 0;
+            }
+        }
+    }
+    Ok(ChainProgram {
+        segs,
+        max_filter_run,
+    })
+}
+
+fn subst_params(e: &KExpr, params: &ParamValues) -> Result<KExpr, String> {
+    Ok(match e {
+        KExpr::Param(idx) => match params.get(*idx) {
+            Some(ParamValue::Number(n)) => KExpr::Num(*n),
+            Some(ParamValue::String(s)) => KExpr::Str(s.clone()),
+            Some(ParamValue::Bool(b)) => KExpr::Bool(*b),
+            Some(ParamValue::Tensor(_)) => return Err(format!("tensor-param(${})", idx + 1)),
+            Some(ParamValue::Null) => return Err(format!("null-param(${})", idx + 1)),
+            None => return Err(format!("unbound-param(${})", idx + 1)),
+        },
+        KExpr::Col(_) | KExpr::Num(_) | KExpr::Str(_) | KExpr::Bool(_) => e.clone(),
+        KExpr::Binary { op, left, right } => KExpr::Binary {
+            op: *op,
+            left: Box::new(subst_params(left, params)?),
+            right: Box::new(subst_params(right, params)?),
+        },
+        KExpr::Neg(x) => KExpr::Neg(Box::new(subst_params(x, params)?)),
+        KExpr::Not(x) => KExpr::Not(Box::new(subst_params(x, params)?)),
+        KExpr::Builtin { func, args } => KExpr::Builtin {
+            func: *func,
+            args: args
+                .iter()
+                .map(|a| subst_params(a, params))
+                .collect::<Result<_, _>>()?,
+        },
+        KExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => KExpr::Case {
+            operand: operand
+                .as_deref()
+                .map(|o| subst_params(o, params).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((subst_params(w, params)?, subst_params(t, params)?)))
+                .collect::<Result<_, String>>()?,
+            else_expr: else_expr
+                .as_deref()
+                .map(|x| subst_params(x, params).map(Box::new))
+                .transpose()?,
+        },
+        KExpr::InList {
+            expr,
+            list,
+            negated,
+        } => KExpr::InList {
+            expr: Box::new(subst_params(expr, params)?),
+            list: list
+                .iter()
+                .map(|i| subst_params(i, params))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        KExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => KExpr::Like {
+            expr: Box::new(subst_params(expr, params)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+    })
+}
+
+impl ChainProgram {
+    /// Bind one parameter set, producing a thread-shareable instance.
+    fn instantiate(
+        &self,
+        params: &ParamValues,
+        cache: Arc<KernelCache>,
+    ) -> Result<ChainInstance, String> {
+        let segs = self
+            .segs
+            .iter()
+            .map(|seg| {
+                Ok(match seg {
+                    Seg::Filter(p) => Seg::Filter(subst_params(p, params)?),
+                    Seg::Project(items) => Seg::Project(
+                        items
+                            .iter()
+                            .map(|(n, e)| Ok((n.clone(), subst_params(e, params)?)))
+                            .collect::<Result<_, String>>()?,
+                    ),
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(ChainInstance {
+            segs,
+            max_filter_run: self.max_filter_run,
+            cache,
+            fallback_noted: AtomicBool::new(false),
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fingerprint
+// ----------------------------------------------------------------------
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Literal-invariant fingerprint of a fused chain: FNV-1a over the op
+/// tags and the [`CompiledExpr`] renderings (auto-parameterised
+/// literals render as `$n`, so bindings share one entry).
+pub(crate) fn chain_fingerprint(ops: &[MorselOp<'_>]) -> u64 {
+    let mut h = Fnv::new();
+    for op in ops {
+        match op {
+            MorselOp::Filter(pred) => {
+                h.eat(b"F\x1f");
+                h.eat(pred.to_string().as_bytes());
+            }
+            MorselOp::Project(items) => {
+                h.eat(b"P\x1f");
+                for it in *items {
+                    h.eat(it.name.as_bytes());
+                    h.eat(b"\x1f");
+                    h.eat(it.expr.to_string().as_bytes());
+                    h.eat(b"\x1e");
+                }
+            }
+        }
+        h.eat(b"\x1d");
+    }
+    h.0
+}
+
+// ----------------------------------------------------------------------
+// Cache
+// ----------------------------------------------------------------------
+
+/// Cached verdict for one fingerprint: a compiled program, or the named
+/// reason compilation refused (negative caching). The reason string is
+/// carried for diagnostics (EXPLAIN re-derives it without the cache, so
+/// execution never reads it back).
+#[derive(Clone)]
+enum Compiled {
+    Ok(Arc<ChainProgram>),
+    Fallback(#[allow(dead_code)] String),
+}
+
+struct CacheEntry {
+    compiled: Compiled,
+    epoch: u64,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<u64, CacheEntry>,
+    tick: u64,
+}
+
+/// Session-shared, bounded cache of compiled chain programs, keyed by
+/// `chain_fingerprint`. Epoch-stamped entries invalidate on catalog
+/// changes and UDF registration; eviction is LRU at
+/// [`KERNEL_CACHE_CAP`] entries. See the module docs for the model.
+pub struct KernelCache {
+    inner: Mutex<CacheInner>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// Counters for [`KernelCache`], mirroring the plan-cache stats shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainKernelStats {
+    /// Lookups served by a current-epoch entry.
+    pub hits: u64,
+    /// Lookups that (re-)compiled — cold, evicted, or stale-epoch.
+    pub misses: u64,
+    /// Entries displaced by the LRU cap.
+    pub evictions: u64,
+    /// Executions that ran interpreted while kernels were enabled
+    /// (compile refusals, bind-time refusals, run-time bail-outs).
+    pub fallbacks: u64,
+    /// Entries currently resident (compiled + negative).
+    pub entries: usize,
+}
+
+impl Default for KernelCache {
+    fn default() -> KernelCache {
+        KernelCache::new()
+    }
+}
+
+impl KernelCache {
+    pub fn new() -> KernelCache {
+        KernelCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Invalidate every cached program: catalog content or function
+    /// resolution changed, so compiled assumptions no longer hold.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> ChainKernelStats {
+        let entries = self
+            .inner
+            .lock()
+            .expect("kernel cache poisoned")
+            .entries
+            .len();
+        ChainKernelStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    fn note_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get_or_compile(&self, ops: &[MorselOp<'_>], ctx: &ExecContext) -> Compiled {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let fp = chain_fingerprint(ops);
+        let mut inner = self.inner.lock().expect("kernel cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.get_mut(&fp) {
+            if e.epoch == epoch {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return e.compiled.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = match compile(ops, ctx) {
+            Ok(p) => Compiled::Ok(Arc::new(p)),
+            Err(reason) => Compiled::Fallback(reason),
+        };
+        if inner.entries.len() >= KERNEL_CACHE_CAP && !inner.entries.contains_key(&fp) {
+            if let Some(&lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.entries.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            fp,
+            CacheEntry {
+                compiled: compiled.clone(),
+                epoch,
+                last_used: tick,
+            },
+        );
+        compiled
+    }
+}
+
+/// Look up (or compile) the kernel for a fused chain and bind it to the
+/// context's parameters. `None` means the interpreter runs this chain —
+/// kernels disabled, an empty chain, or a named fallback (counted).
+pub(crate) fn prepare(ops: &[MorselOp<'_>], ctx: &ExecContext) -> Option<Arc<ChainInstance>> {
+    let cache = ctx.chain_kernels.as_ref()?;
+    if ops.is_empty() {
+        return None;
+    }
+    match cache.get_or_compile(ops, ctx) {
+        Compiled::Ok(prog) => match prog.instantiate(&ctx.params, Arc::clone(cache)) {
+            Ok(inst) => Some(Arc::new(inst)),
+            Err(_) => {
+                cache.note_fallback();
+                None
+            }
+        },
+        Compiled::Fallback(_) => {
+            cache.note_fallback();
+            None
+        }
+    }
+}
+
+/// Classify how a chain would execute under this context — the pure
+/// (counter-free) verdict used by EXPLAIN and `run_profiled`. `None`
+/// for an empty chain (nothing to compile). Sequential-path reasons
+/// ([`crate::morsel::chain_fallback_reason`]) take precedence so a UDF
+/// chain reports `udf-not-parallel-safe(f)` rather than the generic
+/// compile refusal.
+pub(crate) fn chain_strategy(ops: &[MorselOp<'_>], ctx: &ExecContext) -> Option<ChainStrategy> {
+    if ops.is_empty() {
+        return None;
+    }
+    if ctx.chain_kernels.is_none() {
+        return Some(ChainStrategy::Interpreted("chain-kernels-disabled".into()));
+    }
+    if let Some(reason) = crate::morsel::chain_fallback_reason(ops, None, ctx) {
+        return Some(ChainStrategy::Interpreted(reason));
+    }
+    Some(match compile(ops, ctx) {
+        Ok(_) => ChainStrategy::Compiled(ops.len()),
+        Err(reason) => ChainStrategy::Interpreted(reason),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Execution
+// ----------------------------------------------------------------------
+
+/// Internal bail-out: the kernel cannot reproduce the interpreter for
+/// this batch — the caller re-runs the morsel interpreted.
+struct Bail;
+
+type KResult<T> = Result<T, Bail>;
+
+/// A packed evaluation value: the monomorphised mirror of
+/// [`crate::expr::Value`]. Vectors are in selection space (one element
+/// per *surviving* row). Full-width f32 and dictionary-code leaves
+/// *borrow* the column data (the interpreter's `decode_f32` on an
+/// `F32` column is an Arc bump, so copying here would be pure
+/// overhead); everything computed is owned.
+#[derive(Clone, Debug)]
+enum PVal<'c> {
+    F32(Cow<'c, [f32]>),
+    Bool(Vec<bool>),
+    /// Dictionary codes plus their dictionary — kept packed so string
+    /// comparisons run on codes, as the interpreter does.
+    Codes(Cow<'c, [i64]>, Arc<StringDict>),
+    Num(f64),
+    Str(String),
+    BoolS(bool),
+}
+
+fn f32_vec(v: PVal<'_>, n: usize) -> KResult<Vec<f32>> {
+    Ok(match v {
+        PVal::F32(v) => v.into_owned(),
+        // Same widenings as `Value::into_f32_column` / `decode_f32`.
+        PVal::Bool(m) => m.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+        PVal::Codes(c, _) => c.iter().map(|&c| c as f32).collect(),
+        PVal::Num(x) => vec![x as f32; n],
+        PVal::BoolS(b) => vec![if b { 1.0 } else { 0.0 }; n],
+        PVal::Str(_) => return Err(Bail), // interpreter: type error
+    })
+}
+
+fn mask_vec(v: PVal<'_>, n: usize) -> KResult<Vec<bool>> {
+    match v {
+        PVal::Bool(m) => Ok(m),
+        PVal::BoolS(b) => Ok(vec![b; n]),
+        _ => Err(Bail), // interpreter: "not a boolean mask"
+    }
+}
+
+fn resolve<'c>(cols: &'c [(String, EncodedTensor)], r: &ColumnRef) -> KResult<&'c EncodedTensor> {
+    match r {
+        ColumnRef::Slot { slot, .. } => cols.get(*slot).map(|(_, c)| c).ok_or(Bail),
+        // Case-insensitive first occurrence — the `Batch` index contract.
+        ColumnRef::Name(name) => cols
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, c)| c)
+            .ok_or(Bail),
+    }
+}
+
+/// Gather a column leaf into selection space, monomorphised per
+/// encoding. `sel == None` means all rows — plain f32 and dictionary
+/// leaves then *borrow* the column storage instead of copying it.
+fn leaf_pval<'c>(col: &'c EncodedTensor, sel: Option<&[u32]>) -> KResult<PVal<'c>> {
+    fn gather<T: Copy>(data: &[T], sel: Option<&[u32]>) -> Vec<T> {
+        match sel {
+            Some(s) => s.iter().map(|&i| data[i as usize]).collect(),
+            None => data.to_vec(),
+        }
+    }
+    fn view<'d, T: Copy>(data: &'d [T], sel: Option<&[u32]>) -> Cow<'d, [T]> {
+        match sel {
+            Some(s) => Cow::Owned(s.iter().map(|&i| data[i as usize]).collect()),
+            None => Cow::Borrowed(data),
+        }
+    }
+    Ok(match col {
+        EncodedTensor::F32(t) => {
+            if t.ndim() != 1 {
+                // Payload columns only pass through projections whole;
+                // arithmetic on them takes the interpreter's
+                // broadcasting path.
+                return Err(Bail);
+            }
+            PVal::F32(view(t.data(), sel))
+        }
+        EncodedTensor::I64(t) => PVal::F32(Cow::Owned(
+            gather(t.data(), sel)
+                .into_iter()
+                .map(|v| v as f32)
+                .collect(),
+        )),
+        EncodedTensor::Bool(t) => PVal::Bool(gather(t.data(), sel)),
+        EncodedTensor::Dict { codes, dict } => {
+            PVal::Codes(view(codes.data(), sel), Arc::clone(dict))
+        }
+        EncodedTensor::Rle(r) => {
+            let d = r.decode();
+            PVal::F32(Cow::Owned(
+                gather(d.data(), sel)
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect(),
+            ))
+        }
+        EncodedTensor::BitPacked(b) => {
+            let d = b.decode();
+            PVal::F32(Cow::Owned(
+                gather(d.data(), sel)
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect(),
+            ))
+        }
+        EncodedTensor::Delta(d) => {
+            let d = d.decode();
+            PVal::F32(Cow::Owned(
+                gather(d.data(), sel)
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect(),
+            ))
+        }
+        EncodedTensor::Pe(p) => {
+            let d = p.decode_values();
+            PVal::F32(Cow::Owned(gather(d.data(), sel)))
+        }
+    })
+}
+
+/// Mirror of `compare_dict`, on packed codes.
+fn compare_codes(
+    op: BinOp,
+    codes: &[i64],
+    dict: &StringDict,
+    s: &str,
+    flipped: bool,
+) -> KResult<Vec<bool>> {
+    let op = if flipped {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    } else {
+        op
+    };
+    Ok(match op {
+        BinOp::Eq => match dict.code_of(s) {
+            Some(c) => codes.iter().map(|&x| x == c).collect(),
+            None => vec![false; codes.len()],
+        },
+        BinOp::NotEq => match dict.code_of(s) {
+            Some(c) => codes.iter().map(|&x| x != c).collect(),
+            None => vec![true; codes.len()],
+        },
+        BinOp::Lt => {
+            let b = dict.lower_bound(s);
+            codes.iter().map(|&x| x < b).collect()
+        }
+        BinOp::GtEq => {
+            let b = dict.lower_bound(s);
+            codes.iter().map(|&x| x >= b).collect()
+        }
+        BinOp::LtEq => match dict.code_of(s) {
+            Some(c) => codes.iter().map(|&x| x <= c).collect(),
+            None => {
+                let b = dict.lower_bound(s);
+                codes.iter().map(|&x| x < b).collect()
+            }
+        },
+        BinOp::Gt => match dict.code_of(s) {
+            Some(c) => codes.iter().map(|&x| x > c).collect(),
+            None => {
+                let b = dict.lower_bound(s);
+                codes.iter().map(|&x| x >= b).collect()
+            }
+        },
+        _ => return Err(Bail), // interpreter: type error
+    })
+}
+
+/// Mirror of `eval_binary`: same dispatch order, same f32 kernels.
+fn kbinary<'c>(op: BinOp, l: PVal<'c>, r: PVal<'c>, n: usize) -> KResult<PVal<'c>> {
+    use BinOp::*;
+
+    if op.is_logical() {
+        let lm = mask_vec(l, n)?;
+        let rm = mask_vec(r, n)?;
+        let out = match op {
+            And => lm.iter().zip(&rm).map(|(&a, &b)| a && b).collect(),
+            Or => lm.iter().zip(&rm).map(|(&a, &b)| a || b).collect(),
+            _ => unreachable!(),
+        };
+        return Ok(PVal::Bool(out));
+    }
+
+    match (&l, &r) {
+        (PVal::Codes(c, d), PVal::Str(s)) => {
+            return compare_codes(op, c, d, s, false).map(PVal::Bool)
+        }
+        (PVal::Str(s), PVal::Codes(c, d)) => {
+            return compare_codes(op, c, d, s, true).map(PVal::Bool)
+        }
+        _ => {}
+    }
+
+    if let (PVal::Num(a), PVal::Num(b)) = (&l, &r) {
+        let (a, b) = (*a, *b);
+        return Ok(match op {
+            Add => PVal::Num(a + b),
+            Sub => PVal::Num(a - b),
+            Mul => PVal::Num(a * b),
+            Div => PVal::Num(a / b),
+            Mod => PVal::Num(a % b),
+            Eq => PVal::BoolS(a == b),
+            NotEq => PVal::BoolS(a != b),
+            Lt => PVal::BoolS(a < b),
+            LtEq => PVal::BoolS(a <= b),
+            Gt => PVal::BoolS(a > b),
+            GtEq => PVal::BoolS(a >= b),
+            And | Or => unreachable!(),
+        });
+    }
+    if let (PVal::Str(a), PVal::Str(b)) = (&l, &r) {
+        return Ok(PVal::BoolS(match op {
+            Eq => a == b,
+            NotEq => a != b,
+            Lt => a < b,
+            LtEq => a <= b,
+            Gt => a > b,
+            GtEq => a >= b,
+            _ => return Err(Bail), // interpreter: type error
+        }));
+    }
+
+    let lc = f32_vec(l, n)?;
+    let rc = f32_vec(r, n)?;
+    macro_rules! zip_f32 {
+        ($f:expr) => {
+            PVal::F32(Cow::Owned(
+                lc.iter().zip(&rc).map(|(&a, &b)| $f(a, b)).collect(),
+            ))
+        };
+    }
+    macro_rules! zip_bool {
+        ($f:expr) => {
+            PVal::Bool(lc.iter().zip(&rc).map(|(&a, &b)| $f(a, b)).collect())
+        };
+    }
+    Ok(match op {
+        Add => zip_f32!(|a: f32, b: f32| a + b),
+        Sub => zip_f32!(|a: f32, b: f32| a - b),
+        Mul => zip_f32!(|a: f32, b: f32| a * b),
+        Div => zip_f32!(|a: f32, b: f32| a / b),
+        Mod => zip_f32!(|a: f32, b: f32| a % b),
+        Eq => zip_bool!(|a, b| a == b),
+        NotEq => zip_bool!(|a, b| a != b),
+        Lt => zip_bool!(|a, b| a < b),
+        LtEq => zip_bool!(|a, b| a <= b),
+        Gt => zip_bool!(|a, b| a > b),
+        GtEq => zip_bool!(|a, b| a >= b),
+        And | Or => unreachable!(),
+    })
+}
+
+/// Evaluate one expression in selection space. `n` is the selection
+/// length (`sel.len()` or the full row count).
+fn eval<'c>(
+    e: &KExpr,
+    cols: &'c [(String, EncodedTensor)],
+    rows: usize,
+    sel: Option<&[u32]>,
+) -> KResult<PVal<'c>> {
+    let n = sel.map_or(rows, <[u32]>::len);
+    Ok(match e {
+        KExpr::Col(r) => leaf_pval(resolve(cols, r)?, sel)?,
+        KExpr::Num(v) => PVal::Num(*v),
+        KExpr::Str(s) => PVal::Str(s.clone()),
+        KExpr::Bool(b) => PVal::BoolS(*b),
+        KExpr::Binary { op, left, right } => {
+            let l = eval(left, cols, rows, sel)?;
+            let r = eval(right, cols, rows, sel)?;
+            kbinary(*op, l, r, n)?
+        }
+        KExpr::Neg(x) => match eval(x, cols, rows, sel)? {
+            PVal::Num(v) => PVal::Num(-v),
+            // `decode_f32().neg()` over each encoding's f32 widening.
+            PVal::F32(v) => PVal::F32(Cow::Owned(v.iter().map(|&x| -x).collect())),
+            PVal::Bool(m) => PVal::F32(Cow::Owned(
+                m.into_iter()
+                    .map(|b| -(if b { 1.0f32 } else { 0.0 }))
+                    .collect(),
+            )),
+            PVal::Codes(c, _) => PVal::F32(Cow::Owned(c.iter().map(|&x| -(x as f32)).collect())),
+            PVal::Str(_) | PVal::BoolS(_) => return Err(Bail), // interpreter: type error
+        },
+        KExpr::Not(x) => match eval(x, cols, rows, sel)? {
+            PVal::BoolS(b) => PVal::BoolS(!b),
+            PVal::Bool(m) => PVal::Bool(m.into_iter().map(|b| !b).collect()),
+            _ => return Err(Bail), // interpreter: type error
+        },
+        KExpr::Builtin { func, args } => {
+            let vals: Vec<PVal> = args
+                .iter()
+                .map(|a| eval(a, cols, rows, sel))
+                .collect::<KResult<_>>()?;
+            let all_scalar = vals.iter().all(|v| matches!(v, PVal::Num(_)));
+            match func {
+                ScalarFn::Unary(f) => {
+                    if all_scalar {
+                        let PVal::Num(x) = vals[0] else {
+                            unreachable!()
+                        };
+                        PVal::Num(f(x as f32) as f64)
+                    } else {
+                        let c = f32_vec(vals.into_iter().next().unwrap(), n)?;
+                        PVal::F32(Cow::Owned(c.into_iter().map(f).collect()))
+                    }
+                }
+                ScalarFn::Binary(f) => {
+                    if all_scalar {
+                        let (PVal::Num(a), PVal::Num(b)) = (&vals[0], &vals[1]) else {
+                            unreachable!()
+                        };
+                        PVal::Num(f(*a as f32, *b as f32) as f64)
+                    } else {
+                        let mut it = vals.into_iter();
+                        let a = f32_vec(it.next().unwrap(), n)?;
+                        let b = f32_vec(it.next().unwrap(), n)?;
+                        PVal::F32(Cow::Owned(
+                            a.iter().zip(&b).map(|(&x, &y)| f(x, y)).collect(),
+                        ))
+                    }
+                }
+            }
+        }
+        KExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let operand_val = operand
+                .as_deref()
+                .map(|o| eval(o, cols, rows, sel))
+                .transpose()?;
+            let mut out = match else_expr {
+                Some(e) => f32_vec(eval(e, cols, rows, sel)?, n)?,
+                None => vec![0.0f32; n],
+            };
+            // Backwards so the first matching WHEN wins, with the
+            // interpreter's literal mask blend (NaN-propagating).
+            for (when, then) in branches.iter().rev() {
+                let cond = match &operand_val {
+                    Some(ov) => {
+                        let rhs = eval(when, cols, rows, sel)?;
+                        mask_vec(kbinary(BinOp::Eq, ov.clone(), rhs, n)?, n)?
+                    }
+                    None => mask_vec(eval(when, cols, rows, sel)?, n)?,
+                };
+                let then_col = f32_vec(eval(then, cols, rows, sel)?, n)?;
+                for i in 0..n {
+                    let cf = if cond[i] { 1.0f32 } else { 0.0 };
+                    out[i] = cf * then_col[i] + ((-cf) + 1.0) * out[i];
+                }
+            }
+            PVal::F32(Cow::Owned(out))
+        }
+        KExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, cols, rows, sel)?;
+            let mut acc: Option<Vec<bool>> = None;
+            for item in list {
+                let rhs = eval(item, cols, rows, sel)?;
+                let eq = mask_vec(kbinary(BinOp::Eq, v.clone(), rhs, n)?, n)?;
+                acc = Some(match acc {
+                    Some(m) => m.iter().zip(&eq).map(|(&a, &b)| a || b).collect(),
+                    None => eq,
+                });
+            }
+            let m = acc.expect("compile rejects empty IN lists");
+            PVal::Bool(if *negated {
+                m.into_iter().map(|b| !b).collect()
+            } else {
+                m
+            })
+        }
+        KExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => match eval(expr, cols, rows, sel)? {
+            PVal::Codes(codes, dict) => {
+                // Pattern per dictionary entry, broadcast through codes.
+                let verdicts: Vec<bool> = dict
+                    .values()
+                    .iter()
+                    .map(|v| like_match(pattern, v))
+                    .collect();
+                PVal::Bool(
+                    codes
+                        .iter()
+                        .map(|&c| verdicts[c as usize] != *negated)
+                        .collect(),
+                )
+            }
+            PVal::Str(s) => PVal::Bool(vec![like_match(pattern, &s) != *negated; n]),
+            _ => return Err(Bail), // interpreter: type error
+        },
+        KExpr::Param(_) => return Err(Bail), // substituted at instantiation
+    })
+}
+
+/// Survivor-density divisor: a selection keeping more than
+/// `rows / DENSE_DIVISOR` rows is *dense* and stays a boolean mask —
+/// the next conjunct is evaluated over all rows (contiguous loops,
+/// branchless mask intersection) because per-element index gathers
+/// only pay off once few rows survive. Every kernel op is elementwise,
+/// so surviving rows compute identical values either way — this is a
+/// cost choice, not a semantic one.
+const DENSE_DIVISOR: usize = 2;
+
+/// Branch-free index compaction: keep `i` where its flag is set. The
+/// unconditional write + conditional cursor advance avoids the
+/// per-element branch a `filter` would cost — on random masks (the
+/// common case for real predicates) mispredicted branches dominate the
+/// compaction loop otherwise.
+fn compact(it: impl Iterator<Item = (u32, bool)>, cap: usize) -> Vec<u32> {
+    let mut out = vec![0u32; cap + 1];
+    let mut j = 0usize;
+    for (i, keep) in it {
+        out[j] = i;
+        j += keep as usize;
+    }
+    out.truncate(j);
+    out
+}
+
+/// Hybrid selection vector. Dense selections are boolean masks
+/// (intersected branchlessly, gathered directly); sparse ones are
+/// sorted index vectors so later predicates and projections touch only
+/// survivors. [`filter_sel`] demotes a mask to indices the first time
+/// its survivor count drops below `rows / DENSE_DIVISOR`.
+enum SelVec {
+    /// Mask over all `rows` rows, plus its survivor count.
+    Mask(Vec<bool>, usize),
+    /// Sorted surviving row indices.
+    Idx(Vec<u32>),
+}
+
+impl SelVec {
+    fn len(&self) -> usize {
+        match self {
+            SelVec::Mask(_, n) => *n,
+            SelVec::Idx(s) => s.len(),
+        }
+    }
+
+    fn is_sparse(&self, rows: usize) -> bool {
+        self.len() * DENSE_DIVISOR <= rows
+    }
+
+    /// Counts survivors but keeps the mask representation: conversion
+    /// to indices is deferred to the first consumer that profits from
+    /// it (a later sparse conjunct, or a computed projection) — a
+    /// single-filter chain gathers straight through the mask.
+    fn from_mask(m: Vec<bool>) -> SelVec {
+        let n = m.iter().map(|&b| b as usize).sum();
+        SelVec::Mask(m, n)
+    }
+
+    fn into_idx(self) -> Vec<u32> {
+        match self {
+            SelVec::Idx(s) => s,
+            SelVec::Mask(m, _) => compact((0u32..).zip(m.iter().copied()), m.len()),
+        }
+    }
+
+    /// The boolean gather mask `filter_rows` consumes.
+    fn gather_mask(&self, rows: usize) -> BoolTensor {
+        match self {
+            SelVec::Mask(m, _) => Tensor::from_vec(m.clone(), &[rows]),
+            SelVec::Idx(s) => sel_mask(s, rows),
+        }
+    }
+
+    /// Consuming variant for the chain-exit gather: a dense mask moves
+    /// into the tensor instead of being copied.
+    fn into_gather_mask(self, rows: usize) -> BoolTensor {
+        match self {
+            SelVec::Mask(m, _) => Tensor::from_vec(m, &[rows]),
+            SelVec::Idx(s) => sel_mask(&s, rows),
+        }
+    }
+}
+
+/// Refine a selection through one predicate. Top-level ANDs evaluate
+/// the right conjunct only on rows surviving the left; dense
+/// selections evaluate full-width and intersect masks (see
+/// [`DENSE_DIVISOR`]), sparse ones evaluate in selection space.
+fn filter_sel(
+    pred: &KExpr,
+    cols: &[(String, EncodedTensor)],
+    rows: usize,
+    sel: Option<SelVec>,
+) -> KResult<SelVec> {
+    if let KExpr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = pred
+    {
+        let s = filter_sel(left, cols, rows, sel)?;
+        return filter_sel(right, cols, rows, Some(s));
+    }
+    // Sparse: gather leaves under the selection, evaluate survivors only.
+    if let Some(sv) = &sel {
+        if sv.is_sparse(rows) {
+            let s = sel.unwrap().into_idx();
+            let v = eval(pred, cols, rows, Some(&s))?;
+            return Ok(SelVec::Idx(match v {
+                PVal::Bool(m) => compact(s.iter().copied().zip(m.iter().copied()), s.len()),
+                PVal::BoolS(true) => s,
+                PVal::BoolS(false) => Vec::new(),
+                _ => return Err(Bail), // interpreter: "not a boolean mask"
+            }));
+        }
+    }
+    // Dense or unfiltered: full-width evaluation, branchless intersect.
+    let v = eval(pred, cols, rows, None)?;
+    Ok(match (v, sel) {
+        (PVal::Bool(m), None) => SelVec::from_mask(m),
+        (PVal::Bool(m2), Some(SelVec::Mask(mut m, _))) => {
+            m.iter_mut().zip(&m2).for_each(|(a, &b)| *a &= b);
+            SelVec::from_mask(m)
+        }
+        (PVal::Bool(m2), Some(SelVec::Idx(s))) => {
+            SelVec::Idx(compact(s.iter().map(|&i| (i, m2[i as usize])), s.len()))
+        }
+        (PVal::BoolS(true), None) => SelVec::Mask(vec![true; rows], rows),
+        (PVal::BoolS(true), Some(sv)) => sv,
+        (PVal::BoolS(false), _) => SelVec::Idx(Vec::new()),
+        _ => return Err(Bail), // interpreter: "not a boolean mask"
+    })
+}
+
+/// Selection vector → boolean gather mask over `rows` rows.
+fn sel_mask(sel: &[u32], rows: usize) -> BoolTensor {
+    let mut m = vec![false; rows];
+    for &i in sel {
+        m[i as usize] = true;
+    }
+    Tensor::from_vec(m, &[rows])
+}
+
+impl ChainInstance {
+    /// Run the compiled chain over one morsel. `None` means a run-time
+    /// bail-out: the caller must re-run the morsel on the interpreter
+    /// (which reproduces the exact result — or the exact error).
+    pub(crate) fn run(&self, batch: &Batch) -> Option<Batch> {
+        match self.try_run(batch) {
+            Ok(out) => Some(out),
+            Err(Bail) => {
+                // One count per execution, however many morsels bail.
+                if !self.fallback_noted.swap(true, Ordering::Relaxed) {
+                    self.cache.note_fallback();
+                }
+                None
+            }
+        }
+    }
+
+    fn try_run(&self, batch: &Batch) -> KResult<Batch> {
+        if batch.has_diff() {
+            return Err(Bail);
+        }
+        let rows = batch.rows();
+        if rows > u32::MAX as usize {
+            return Err(Bail);
+        }
+        // Tensor clones are Arc bumps — this materializes nothing.
+        let mut cols: Vec<(String, EncodedTensor)> = batch
+            .columns()
+            .iter()
+            .map(|(n, c)| match c {
+                ColumnData::Exact(e) => (n.clone(), e.clone()),
+                ColumnData::Diff(_) => unreachable!("has_diff checked above"),
+            })
+            .collect();
+        // Collapsing consecutive gathers is only encoding-faithful when
+        // `filter_rows` composes; bit-packed/delta columns re-pick the
+        // smallest layout per gather, so their intermediate encodings
+        // depend on gather order. (The parallel path never sees them —
+        // the exchange decodes to plain i64 — so this only bails the
+        // single-morsel path.)
+        if self.max_filter_run >= 2
+            && cols
+                .iter()
+                .any(|(_, c)| matches!(c, EncodedTensor::BitPacked(_) | EncodedTensor::Delta(_)))
+        {
+            return Err(Bail);
+        }
+
+        let mut cur_rows = rows;
+        let mut sel: Option<SelVec> = None; // None = unfiltered
+        for seg in &self.segs {
+            match seg {
+                Seg::Filter(pred) => {
+                    sel = Some(filter_sel(pred, &cols, cur_rows, sel)?);
+                }
+                Seg::Project(items) => {
+                    cols = materialize(items, &cols, cur_rows, sel.as_ref())?;
+                    cur_rows = sel.as_ref().map_or(cur_rows, SelVec::len);
+                    sel = None;
+                }
+            }
+        }
+        // The single gather the selection vector deferred.
+        if let Some(sv) = sel {
+            let mask = sv.into_gather_mask(cur_rows);
+            for (_, c) in &mut cols {
+                *c = c.filter_rows(&mask);
+            }
+        }
+        let mut out = Batch::new();
+        for (name, c) in cols {
+            out.push(name, ColumnData::Exact(c));
+        }
+        Ok(out)
+    }
+}
+
+/// Materialize one projection under the current selection, mirroring
+/// `exact::project_batch` over the gathered batch: passthrough columns
+/// gather encoding-preserving, scalars broadcast, computed expressions
+/// pack into plain columns.
+fn materialize(
+    items: &[(String, KExpr)],
+    cols: &[(String, EncodedTensor)],
+    rows: usize,
+    sel: Option<&SelVec>,
+) -> KResult<Vec<(String, EncodedTensor)>> {
+    let n = sel.map_or(rows, SelVec::len);
+    // Passthrough columns gather through the boolean mask; computed
+    // expressions evaluate in index space. Build each view only if an
+    // item needs it (a dense mask→index conversion is a real pass).
+    let mask = items
+        .iter()
+        .any(|(_, e)| matches!(e, KExpr::Col(_)))
+        .then(|| sel.map(|sv| sv.gather_mask(rows)))
+        .flatten();
+    let idx: Option<Cow<'_, [u32]>> = if items.iter().any(|(_, e)| {
+        !matches!(
+            e,
+            KExpr::Col(_) | KExpr::Num(_) | KExpr::Bool(_) | KExpr::Str(_)
+        )
+    }) {
+        sel.map(|sv| match sv {
+            SelVec::Idx(s) => Cow::Borrowed(s.as_slice()),
+            SelVec::Mask(m, _) => Cow::Owned(compact((0u32..).zip(m.iter().copied()), m.len())),
+        })
+    } else {
+        None
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (name, expr) in items {
+        let col = match expr {
+            KExpr::Col(r) => {
+                let c = resolve(cols, r)?;
+                match &mask {
+                    Some(m) => c.filter_rows(m),
+                    None => c.clone(),
+                }
+            }
+            KExpr::Num(v) => EncodedTensor::F32(Tensor::full(&[n], *v as f32)),
+            KExpr::Bool(b) => EncodedTensor::Bool(Tensor::full(&[n], *b)),
+            KExpr::Str(s) => EncodedTensor::from_strings(&vec![s.clone(); n]),
+            computed => match eval(computed, cols, rows, idx.as_deref())? {
+                PVal::F32(v) => EncodedTensor::F32(Tensor::from_vec(v.into_owned(), &[n])),
+                PVal::Bool(v) => EncodedTensor::Bool(Tensor::from_vec(v, &[n])),
+                PVal::Codes(c, dict) => EncodedTensor::Dict {
+                    codes: Tensor::from_vec(c.into_owned(), &[n]),
+                    dict,
+                },
+                PVal::Num(v) => EncodedTensor::F32(Tensor::full(&[n], v as f32)),
+                PVal::BoolS(b) => EncodedTensor::Bool(Tensor::full(&[n], b)),
+                PVal::Str(s) => EncodedTensor::from_strings(&vec![s; n]),
+            },
+        };
+        out.push((name.clone(), col));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysProjectItem;
+    use crate::udf::UdfRegistry;
+    use tdp_storage::Catalog;
+
+    fn col(slot: usize, name: &str) -> CompiledExpr {
+        CompiledExpr::Column(ColumnRef::Slot {
+            slot,
+            name: name.into(),
+        })
+    }
+
+    fn gt(left: CompiledExpr, right: CompiledExpr) -> CompiledExpr {
+        CompiledExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_shape_sensitive_and_binding_stable() {
+        let p1 = gt(col(0, "v"), CompiledExpr::Param { idx: 0 });
+        let p2 = gt(col(0, "v"), CompiledExpr::Param { idx: 0 });
+        let fp1 = chain_fingerprint(&[MorselOp::Filter(&p1)]);
+        assert_eq!(
+            fp1,
+            chain_fingerprint(&[MorselOp::Filter(&p2)]),
+            "identical chains share a fingerprint across plan instances"
+        );
+        let other = gt(col(1, "k"), CompiledExpr::Param { idx: 0 });
+        assert_ne!(fp1, chain_fingerprint(&[MorselOp::Filter(&other)]));
+        // A projection of the same expression is a different chain.
+        let items = [PhysProjectItem {
+            name: "x".into(),
+            expr: p1.clone(),
+        }];
+        assert_ne!(fp1, chain_fingerprint(&[MorselOp::Project(&items)]));
+    }
+
+    #[test]
+    fn cache_hits_misses_and_epoch_invalidation() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let cache = Arc::new(KernelCache::new());
+        let ctx = ExecContext::new(&catalog, &udfs)
+            .with_params(ParamValues::new().number(1.5))
+            .with_chain_kernels(Some(Arc::clone(&cache)));
+        let pred = gt(col(0, "v"), CompiledExpr::Param { idx: 0 });
+        let ops = [MorselOp::Filter(&pred)];
+
+        assert!(prepare(&ops, &ctx).is_some());
+        assert!(prepare(&ops, &ctx).is_some());
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries), (1, 1, 1));
+
+        // Epoch bump (catalog / registry change) makes the entry stale.
+        cache.bump_epoch();
+        assert!(prepare(&ops, &ctx).is_some());
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn cache_evicts_lru_at_capacity() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let cache = Arc::new(KernelCache::new());
+        let ctx = ExecContext::new(&catalog, &udfs).with_chain_kernels(Some(Arc::clone(&cache)));
+        // Distinct literals fingerprint distinctly (only *parameterised*
+        // literals are binding-invariant).
+        let preds: Vec<CompiledExpr> = (0..=KERNEL_CACHE_CAP)
+            .map(|i| gt(col(0, "v"), CompiledExpr::Num(i as f64)))
+            .collect();
+        for p in &preds {
+            assert!(prepare(&[MorselOp::Filter(p)], &ctx).is_some());
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, KERNEL_CACHE_CAP);
+        assert_eq!(s.evictions, 1);
+        // The evicted entry is the least recently used: the first chain.
+        assert!(prepare(&[MorselOp::Filter(&preds[0])], &ctx).is_some());
+        assert_eq!(cache.stats().misses as usize, KERNEL_CACHE_CAP + 2);
+    }
+
+    #[test]
+    fn compile_names_its_refusals() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(&catalog, &udfs);
+
+        let udf_pred = CompiledExpr::Udf {
+            name: "f".into(),
+            args: vec![col(0, "v")],
+        };
+        assert_eq!(
+            compile(&[MorselOp::Filter(&udf_pred)], &ctx).unwrap_err(),
+            "udf(f)"
+        );
+
+        let empty_in = CompiledExpr::InList {
+            expr: Box::new(col(0, "v")),
+            list: vec![],
+            negated: false,
+        };
+        assert_eq!(
+            compile(&[MorselOp::Filter(&empty_in)], &ctx).unwrap_err(),
+            "empty-in-list"
+        );
+
+        let bad_arity = CompiledExpr::Builtin {
+            name: "sqrt".into(),
+            func: ScalarFn::Unary(f32::sqrt),
+            args: vec![col(0, "v"), col(0, "v")],
+        };
+        assert_eq!(
+            compile(&[MorselOp::Filter(&bad_arity)], &ctx).unwrap_err(),
+            "builtin-arity(sqrt)"
+        );
+    }
+
+    #[test]
+    fn instantiation_refuses_non_scalar_bindings() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let ctx = ExecContext::new(&catalog, &udfs);
+        let pred = gt(col(0, "v"), CompiledExpr::Param { idx: 0 });
+        let prog = compile(&[MorselOp::Filter(&pred)], &ctx).unwrap();
+        let cache = Arc::new(KernelCache::new());
+
+        let check = |params: ParamValues, want: &str| {
+            assert_eq!(
+                prog.instantiate(&params, Arc::clone(&cache)).err().unwrap(),
+                want
+            );
+        };
+        check(ParamValues::new(), "unbound-param($1)");
+        check(ParamValues::new().null(), "null-param($1)");
+        check(
+            ParamValues::new().tensor(Tensor::<f32>::zeros(&[1])),
+            "tensor-param($1)",
+        );
+        assert!(prog
+            .instantiate(&ParamValues::new().number(2.0), cache)
+            .is_ok());
+    }
+
+    #[test]
+    fn selection_vector_run_gathers_once_and_counts_runtime_bails() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let cache = Arc::new(KernelCache::new());
+        let ctx = ExecContext::new(&catalog, &udfs).with_chain_kernels(Some(Arc::clone(&cache)));
+        let p1 = gt(col(0, "v"), CompiledExpr::Num(1.0));
+        let p2 = gt(col(1, "k"), CompiledExpr::Num(0.0));
+        let ops = [MorselOp::Filter(&p1), MorselOp::Filter(&p2)];
+        let inst = prepare(&ops, &ctx).expect("compiles");
+
+        let mut batch = Batch::new();
+        batch.push(
+            "v",
+            ColumnData::Exact(EncodedTensor::F32(Tensor::from_vec(
+                vec![0.5, 1.5, 2.5, 3.5],
+                &[4],
+            ))),
+        );
+        batch.push(
+            "k",
+            ColumnData::Exact(EncodedTensor::I64(Tensor::from_vec(vec![1, 0, 1, 1], &[4]))),
+        );
+        let out = inst.run(&batch).expect("no bail");
+        assert_eq!(out.rows(), 2);
+        assert_eq!(
+            out.column("v").unwrap().to_exact().decode_f32().to_vec(),
+            vec![2.5, 3.5]
+        );
+        assert_eq!(cache.stats().fallbacks, 0);
+
+        // Consecutive filters over a re-compressing layout bail (the
+        // interpreter's per-filter gathers would re-pick encodings), and
+        // the bail is counted once per instance however often it recurs.
+        let packed = tdp_encoding::BitPackedColumn::encode(&Tensor::from_vec(vec![1i64; 4], &[4]));
+        let mut bp = Batch::new();
+        bp.push(
+            "v",
+            ColumnData::Exact(EncodedTensor::F32(Tensor::from_vec(
+                vec![0.5, 1.5, 2.5, 3.5],
+                &[4],
+            ))),
+        );
+        bp.push("k", ColumnData::Exact(EncodedTensor::BitPacked(packed)));
+        assert!(inst.run(&bp).is_none());
+        assert!(inst.run(&bp).is_none());
+        assert_eq!(cache.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn negative_cache_remembers_refusals() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let cache = Arc::new(KernelCache::new());
+        let ctx = ExecContext::new(&catalog, &udfs).with_chain_kernels(Some(Arc::clone(&cache)));
+        let pred = CompiledExpr::Udf {
+            name: "f".into(),
+            args: vec![col(0, "v")],
+        };
+        let ops = [MorselOp::Filter(&pred)];
+        assert!(prepare(&ops, &ctx).is_none());
+        assert!(prepare(&ops, &ctx).is_none());
+        let s = cache.stats();
+        // One compile probe; the second refusal is a cache hit — but both
+        // executions count as fallbacks.
+        assert_eq!((s.misses, s.hits, s.fallbacks), (1, 1, 2));
+    }
+
+    #[test]
+    fn strategy_is_pure_and_prioritises_scheduler_reasons() {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let cache = Arc::new(KernelCache::new());
+        let ctx = ExecContext::new(&catalog, &udfs).with_chain_kernels(Some(Arc::clone(&cache)));
+        let pred = gt(col(0, "v"), CompiledExpr::Num(1.0));
+        let ops = [MorselOp::Filter(&pred)];
+        assert_eq!(chain_strategy(&ops, &ctx), Some(ChainStrategy::Compiled(1)));
+        assert_eq!(cache.stats(), ChainKernelStats::default());
+
+        let off = ExecContext::new(&catalog, &udfs);
+        assert_eq!(
+            chain_strategy(&ops, &off),
+            Some(ChainStrategy::Interpreted("chain-kernels-disabled".into()))
+        );
+        assert_eq!(chain_strategy(&[], &ctx), None);
+    }
+}

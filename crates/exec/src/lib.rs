@@ -92,17 +92,28 @@
 //! sequential kernels in [`exact`], which remain the fallback (and the
 //! oracle the equivalence tests compare against).
 //!
+//! Fused filter→project chains additionally compile to **chain
+//! kernels** ([`kernel`]): selection-vector programs monomorphised over
+//! the concrete column encodings, cached session-wide under the chain's
+//! literal-invariant fingerprint with epoch invalidation. The
+//! interpreter stays on as the byte-identity oracle — any chain the
+//! compiler cannot reproduce exactly (UDFs, subqueries, tensor params)
+//! runs interpreted with a named reason visible in EXPLAIN and
+//! profiles.
+//!
 //! What should hang off this layer next: NUMA-/device-aware morsel
 //! placement (a pipeline already knows its scan), cross-query kernel
-//! reuse keyed by [`physical::PhysicalPlan::fingerprint`] (a join whose
-//! build input has no `Param` slots is binding-independent), and
-//! spilling exchanges for out-of-core builds.
+//! reuse for *barrier* operators keyed by
+//! [`physical::PhysicalPlan::fingerprint`] (a join whose build input
+//! has no `Param` slots is binding-independent), and spilling exchanges
+//! for out-of-core builds.
 
 pub mod batch;
 pub mod diff;
 pub mod error;
 pub mod exact;
 pub mod expr;
+pub mod kernel;
 pub mod morsel;
 pub mod params;
 pub mod physical;
@@ -115,6 +126,7 @@ pub use batch::{Batch, ColumnData, DiffColumn};
 pub use diff::execute_diff;
 pub use error::ExecError;
 pub use exact::execute;
+pub use kernel::{ChainKernelStats, KernelCache};
 pub use params::{ParamValue, ParamValues};
 pub use physical::{
     lower, param_arg_constraints, validate_function_args, validate_param_constraints, CompiledExpr,

@@ -57,6 +57,7 @@ use crate::batch::{Batch, ColumnData};
 use crate::error::ExecError;
 use crate::exact;
 use crate::expr::{eval_expr, Value};
+use crate::kernel;
 use crate::params::ParamValue;
 use crate::physical::{CompiledExpr, JoinOn, PhysAggregate, PhysKey, PhysicalPlan};
 use crate::pipeline::MorselOp;
@@ -164,6 +165,23 @@ fn apply_ops(
     Ok(batch)
 }
 
+/// [`apply_ops`] with an optional compiled chain kernel: the kernel
+/// runs the morsel when it can; any bail-out re-runs the interpreter,
+/// which reproduces the identical result (or the identical error).
+fn apply_ops_k(
+    batch: Batch,
+    ops: &[MorselOp<'_>],
+    kern: Option<&kernel::ChainInstance>,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    if let Some(k) = kern {
+        if let Some(out) = k.run(&batch) {
+            return Ok(out);
+        }
+    }
+    apply_ops(batch, ops, ctx)
+}
+
 /// Owned, `Send` view of a batch's columns (exact encodings only).
 type MorselCols = Vec<(String, EncodedTensor)>;
 
@@ -255,6 +273,9 @@ fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) 
         threads: 1,
         morsel_rows: cfg.morsel_rows,
         partitions: cfg.partitions,
+        // Workers receive an already-instantiated kernel by reference;
+        // they never consult the session cache themselves.
+        chain_kernels: None,
     }
 }
 
@@ -317,19 +338,6 @@ pub(crate) fn planned_and_reason(
     (morsels, reason)
 }
 
-/// How many morsels this pipeline will actually schedule: 1 when the
-/// input fits one morsel or the chain (or aggregate sink) must stay on
-/// the session thread, the partition count otherwise. The single source
-/// of truth for the fallback decision — the profiler reports it too.
-pub(crate) fn planned_morsels(
-    input: &Batch,
-    ops: &[MorselOp<'_>],
-    sink: Option<(&[PhysKey], &[PhysAggregate])>,
-    ctx: &ExecContext,
-) -> usize {
-    planned_and_reason(input, ops, sink, ctx).0
-}
-
 /// Run a fused chain over a materialised input, morsel-parallel where
 /// safe, with an optional LIMIT sink (early exit + truncation).
 pub(crate) fn run_ops(
@@ -339,11 +347,21 @@ pub(crate) fn run_ops(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let rows = input.rows();
-    let morsels = planned_morsels(input, ops, None, ctx);
+    let (morsels, seq_reason) = planned_and_reason(input, ops, None, ctx);
+    // Chains pinned to the session thread keep the plain interpreter;
+    // otherwise compile (or fetch) the chain kernel once per run.
+    let kern = if seq_reason.is_none() {
+        kernel::prepare(ops, ctx)
+    } else {
+        None
+    };
     // Single-morsel inputs, unsafe chains and differentiable inputs take
     // the whole-batch path — identical at every thread count.
     if morsels <= 1 {
-        let out = apply_ops(input.clone(), ops, ctx)?;
+        let out = match kern.as_deref().and_then(|k| k.run(input)) {
+            Some(b) => b,
+            None => apply_ops(input.clone(), ops, ctx)?,
+        };
         return Ok(match limit {
             Some(n) => out.head(n),
             None => out,
@@ -351,7 +369,7 @@ pub(crate) fn run_ops(
     }
 
     let cols = to_partition_cols(input);
-    let results = process_morsels(&cols, rows, morsels, ops, limit, ctx)?;
+    let results = process_morsels(&cols, rows, morsels, ops, limit, kern.as_deref(), ctx)?;
 
     // Order-preserving reassembly; with a LIMIT sink, take the shortest
     // morsel prefix that covers `n` rows and truncate.
@@ -383,6 +401,7 @@ fn process_morsels(
     morsels: usize,
     ops: &[MorselOp<'_>],
     limit: Option<usize>,
+    kern: Option<&kernel::ChainInstance>,
     ctx: &ExecContext,
 ) -> Result<Vec<Option<MorselCols>>, ExecError> {
     struct Shared {
@@ -411,7 +430,8 @@ fn process_morsels(
             }
             let start = i * morsel_rows;
             let end = (start + morsel_rows).min(rows);
-            let out = apply_ops(slice_cols(cols, start, end), ops, wctx).map(|b| to_cols(&b));
+            let out =
+                apply_ops_k(slice_cols(cols, start, end), ops, kern, wctx).map(|b| to_cols(&b));
             let mut s = shared.lock().expect("morsel state poisoned");
             s.results[i] = Some(out);
             // Advance the contiguous prefix; once it covers the limit,
@@ -1177,9 +1197,17 @@ pub(crate) fn run_aggregate(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let rows = input.rows();
-    let morsels = planned_morsels(input, ops, Some((keys, aggregates)), ctx);
+    let (morsels, seq_reason) = planned_and_reason(input, ops, Some((keys, aggregates)), ctx);
+    let kern = if seq_reason.is_none() {
+        kernel::prepare(ops, ctx)
+    } else {
+        None
+    };
     if morsels <= 1 {
-        let inp = apply_ops(input.clone(), ops, ctx)?;
+        let inp = match kern.as_deref().and_then(|k| k.run(input)) {
+            Some(b) => b,
+            None => apply_ops(input.clone(), ops, ctx)?,
+        };
         return exact::aggregate_batch(&inp, keys, aggregates, ctx);
     }
 
@@ -1196,7 +1224,7 @@ pub(crate) fn run_aggregate(
         }
         let start = i * morsel_rows;
         let end = (start + morsel_rows).min(rows);
-        let out = apply_ops(slice_cols(&cols, start, end), ops, wctx)
+        let out = apply_ops_k(slice_cols(&cols, start, end), ops, kern.as_deref(), wctx)
             .and_then(|b| partial_aggregate(&b, keys, aggregates, wctx));
         slots.lock().expect("agg state poisoned")[i] = Some(out);
     };

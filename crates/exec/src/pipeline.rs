@@ -226,6 +226,30 @@ fn fallback_note(
         .unwrap_or_default()
 }
 
+/// Chain-kernel strategy annotation (` [compiled ×N ops]` or
+/// ` [interpreted: reason]`) for a non-empty chain. Suppressed when the
+/// pipeline already carries a sequential note — that *is* its strategy
+/// — or when no context is available.
+fn kernel_note(
+    ops: &[MorselOp<'_>],
+    sink: Option<(&[PhysKey], &[PhysAggregate])>,
+    ctx: Option<&ExecContext>,
+) -> String {
+    let Some(c) = ctx else {
+        return String::new();
+    };
+    if morsel::chain_fallback_reason(ops, sink, c).is_some() {
+        return String::new();
+    }
+    match crate::kernel::chain_strategy(ops, c) {
+        Some(crate::kernel::ChainStrategy::Compiled(n)) => format!(" [compiled ×{n} ops]"),
+        Some(crate::kernel::ChainStrategy::Interpreted(reason)) => {
+            format!(" [interpreted: {reason}]")
+        }
+        None => String::new(),
+    }
+}
+
 fn chain_label(ops: &[MorselOp<'_>]) -> String {
     let rendered: Vec<&str> = ops
         .iter()
@@ -247,17 +271,19 @@ fn explain_node(node: &PipeNode<'_>, ctx: Option<&ExecContext>, out: &mut String
         }
         PipeNode::Stream(pipe) => {
             out.push_str(&format!(
-                "pipeline {} -> collect{}\n",
+                "pipeline {} -> collect{}{}\n",
                 chain_label(&pipe.ops),
-                fallback_note(&pipe.ops, None, ctx)
+                fallback_note(&pipe.ops, None, ctx),
+                kernel_note(&pipe.ops, None, ctx)
             ));
             explain_node(&pipe.input, ctx, out, depth + 1);
         }
         PipeNode::Limit { n, pipe } => {
             out.push_str(&format!(
-                "pipeline {} -> limit {n} (early exit){}\n",
+                "pipeline {} -> limit {n} (early exit){}{}\n",
                 chain_label(&pipe.ops),
-                fallback_note(&pipe.ops, None, ctx)
+                fallback_note(&pipe.ops, None, ctx),
+                kernel_note(&pipe.ops, None, ctx)
             ));
             explain_node(&pipe.input, ctx, out, depth + 1);
         }
@@ -267,11 +293,12 @@ fn explain_node(node: &PipeNode<'_>, ctx: Option<&ExecContext>, out: &mut String
             pipe,
         } => {
             out.push_str(&format!(
-                "pipeline {} -> partial aggregate ({} keys, {} aggs) + combine{}\n",
+                "pipeline {} -> partial aggregate ({} keys, {} aggs) + combine{}{}\n",
                 chain_label(&pipe.ops),
                 keys.len(),
                 aggregates.len(),
-                fallback_note(&pipe.ops, Some((keys, aggregates)), ctx)
+                fallback_note(&pipe.ops, Some((keys, aggregates)), ctx),
+                kernel_note(&pipe.ops, Some((keys, aggregates)), ctx)
             ));
             explain_node(&pipe.input, ctx, out, depth + 1);
         }

@@ -147,6 +147,26 @@ fn record_barrier(
     profile.ops[slot].fallback = report.fallback;
 }
 
+/// Chain-kernel verdict for a streamable operator's trace:
+/// `"compiled"` when the chain runs a compiled kernel, otherwise
+/// `"interpreted: <reason>"`. Sequential-path chains report their
+/// pinning reason (already carried by `fallback`) as the interpretation
+/// reason, matching the ISSUE's `interpreted: udf-not-parallel-safe(f)`
+/// shape; but `pretty()` keeps rendering those as `[sequential: …]`.
+fn chain_strategy_note(
+    ops: &[MorselOp<'_>],
+    seq_reason: &Option<String>,
+    ctx: &ExecContext,
+) -> Option<String> {
+    if let Some(reason) = seq_reason {
+        return Some(format!("interpreted: {reason}"));
+    }
+    match crate::kernel::chain_strategy(ops, ctx)? {
+        crate::kernel::ChainStrategy::Compiled(_) => Some("compiled".into()),
+        crate::kernel::ChainStrategy::Interpreted(reason) => Some(format!("interpreted: {reason}")),
+    }
+}
+
 /// First line of a node's EXPLAIN rendering.
 fn node_label(plan: &PhysicalPlan) -> String {
     plan.explain()
@@ -219,6 +239,7 @@ fn run_node(
             let ops = [MorselOp::Filter(predicate)];
             let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
             profile.morsels += planned;
+            profile.ops[slot].strategy = chain_strategy_note(&ops, &reason, ctx);
             profile.ops[slot].fallback = reason;
             morsel::run_ops(&inp, &ops, None, ctx)?
         }
@@ -227,6 +248,7 @@ fn run_node(
             let ops = [MorselOp::Project(items)];
             let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
             profile.morsels += planned;
+            profile.ops[slot].strategy = chain_strategy_note(&ops, &reason, ctx);
             profile.ops[slot].fallback = reason;
             morsel::run_ops(&inp, &ops, None, ctx)?
         }

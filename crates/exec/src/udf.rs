@@ -568,6 +568,10 @@ pub struct ExecContext<'a> {
     /// shared-nothing DISTINCT). A plan property independent of
     /// `threads`: results never depend on it, only load balance does.
     pub partitions: usize,
+    /// Session kernel cache for compiled filter→project chains
+    /// ([`crate::kernel`]). `None` disables chain kernels — every chain
+    /// runs on the interpreter.
+    pub chain_kernels: Option<std::sync::Arc<crate::kernel::KernelCache>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -582,6 +586,7 @@ impl<'a> ExecContext<'a> {
             threads: 1,
             morsel_rows: crate::pipeline::DEFAULT_MORSEL_ROWS,
             partitions: crate::pipeline::DEFAULT_PARTITIONS,
+            chain_kernels: None,
         }
     }
 
@@ -611,6 +616,15 @@ impl<'a> ExecContext<'a> {
 
     pub fn with_params(mut self, params: crate::params::ParamValues) -> ExecContext<'a> {
         self.params = params;
+        self
+    }
+
+    /// Attach (or detach) the session's chain-kernel cache.
+    pub fn with_chain_kernels(
+        mut self,
+        cache: Option<std::sync::Arc<crate::kernel::KernelCache>>,
+    ) -> ExecContext<'a> {
+        self.chain_kernels = cache;
         self
     }
 }

@@ -1,0 +1,279 @@
+//! Compiled chain kernels: the interpreter is the byte-identity oracle
+//! at every thread count and morsel size, with kernels on or off; the
+//! session cache invalidates on catalog changes and UDF registration;
+//! EXPLAIN and profiled runs name each chain's strategy.
+
+use proptest::prelude::*;
+use tdp_core::storage::{Table, TableBuilder};
+use tdp_core::{ParamValues, Tdp};
+
+/// Deterministic mixed-encoding table: f32 values, small-domain i64
+/// keys (dictionary-friendly), and a dictionary-encoded tag column.
+fn table(vs: &[f32]) -> Table {
+    let n = vs.len();
+    let ks: Vec<i64> = (0..n).map(|i| (i % 13) as i64 - 3).collect();
+    let tags: Vec<String> = (0..n).map(|i| format!("g{}", i % 5)).collect();
+    TableBuilder::new()
+        .col_f32("v", vs.to_vec())
+        .col_i64("k", ks)
+        .col_str("tag", &tags)
+        .build("t")
+}
+
+fn assert_tables_identical(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row count");
+    for col in a.columns() {
+        let other = b.column(&col.name).expect("column present");
+        let bits = |t: &tdp_core::storage::Column| -> Vec<u32> {
+            t.data
+                .decode_f32()
+                .to_vec()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(bits(col), bits(other), "{what}: column {}", col.name);
+        assert_eq!(
+            col.data.decode_strings(),
+            other.data.decode_strings(),
+            "{what}: column {} (string view)",
+            col.name
+        );
+    }
+}
+
+/// Chain shapes the kernel compiles: multi-conjunct filters, computed
+/// projections, dictionary comparisons and LIKE, CASE (searched and
+/// with operand), IN lists, built-ins, negation, and literal columns.
+const CHAINS: &[&str] = &[
+    "SELECT v FROM t WHERE v > 0.0 AND k < 7",
+    "SELECT v * 2 - k AS s, tag FROM t WHERE v < 5.0",
+    "SELECT tag FROM t WHERE tag LIKE 'g_' AND v > -5.0",
+    "SELECT tag, v FROM t WHERE tag >= 'g2' AND tag <> 'g4'",
+    "SELECT CASE WHEN v > 0.0 THEN v ELSE -v END AS a, k FROM t WHERE k IN (0, 2, 5)",
+    "SELECT CASE k WHEN 1 THEN v WHEN 2 THEN -v ELSE 0.5 END AS c FROM t WHERE v <> 0.25",
+    "SELECT sqrt(v * v) AS r, 1.5 AS one FROM t WHERE NOT (v > 0.0)",
+    "SELECT v + k AS s FROM t WHERE v > -2.0 AND v < 2.0 AND k <> 3",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Compiled chains are byte-identical to the interpreter across
+    /// thread counts, morsel sizes, and arbitrary f32 data (including
+    /// values that fail every predicate).
+    #[test]
+    fn compiled_chains_match_interpreter(
+        vs in proptest::collection::vec(-10.0f32..10.0, 0..200),
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(table(&vs));
+        for sql in CHAINS {
+            // Oracle: interpreter, single thread, whole-batch morsels.
+            tdp.set_chain_kernels(false);
+            tdp.set_threads(1);
+            tdp.set_morsel_rows(tdp_core::exec::DEFAULT_MORSEL_ROWS);
+            let oracle = tdp.query(sql).unwrap().run().unwrap();
+            for threads in [1usize, 2, 7] {
+                tdp.set_threads(threads);
+                for morsel in [7usize, tdp_core::exec::DEFAULT_MORSEL_ROWS] {
+                    tdp.set_morsel_rows(morsel);
+                    for kernels in [false, true] {
+                        tdp.set_chain_kernels(kernels);
+                        let out = tdp.query(sql).unwrap().run().unwrap();
+                        assert_tables_identical(
+                            &oracle,
+                            &out,
+                            &format!("{sql} @ {threads}t/{morsel}m kernels={kernels}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parameterised_chains_share_one_kernel_across_bindings() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(
+        &(0..100).map(|i| i as f32 / 10.0 - 5.0).collect::<Vec<_>>(),
+    ));
+    let before = tdp.chain_kernel_stats();
+    let prepared = tdp.prepare("SELECT v FROM t WHERE v > $1").unwrap();
+    for (i, threshold) in [-2.0, 0.0, 3.5].iter().enumerate() {
+        let out = prepared
+            .bind(ParamValues::new().number(*threshold))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.rows() > 0, "threshold {threshold}");
+        let s = tdp.chain_kernel_stats();
+        assert_eq!(s.misses, before.misses + 1, "one compile for all bindings");
+        assert_eq!(s.hits, before.hits + i as u64, "later bindings hit");
+    }
+    // Literal variants of the same statement normalise to the same
+    // fingerprint too (auto-parameterisation renders literals as $n).
+    tdp.query("SELECT v FROM t WHERE v > 1.0")
+        .unwrap()
+        .run()
+        .unwrap();
+    tdp.query("SELECT v FROM t WHERE v > 4.5")
+        .unwrap()
+        .run()
+        .unwrap();
+    let s = tdp.chain_kernel_stats();
+    assert_eq!(s.misses, before.misses + 1, "still one compiled program");
+}
+
+#[test]
+fn null_param_falls_back_and_reproduces_the_interpreter_error() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(&[1.0, 2.0, 3.0]));
+    let prepared = tdp.prepare("SELECT v FROM t WHERE v > $1").unwrap();
+    let with_kernels = prepared.bind(ParamValues::new().null()).unwrap().run();
+    tdp.set_chain_kernels(false);
+    let interpreted = prepared.bind(ParamValues::new().null()).unwrap().run();
+    match (with_kernels, interpreted) {
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => {
+            assert_eq!(
+                a.map(|t| t.rows()).ok(),
+                b.map(|t| t.rows()).ok(),
+                "both paths must agree"
+            );
+        }
+    }
+    tdp.set_chain_kernels(true);
+    let s = tdp.chain_kernel_stats();
+    assert!(s.fallbacks >= 1, "bind-time refusal counted: {s:?}");
+}
+
+#[test]
+fn cache_invalidates_on_catalog_and_udf_registration() {
+    let tdp = Tdp::new();
+    let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    tdp.register_table(table(&data));
+    let sql = "SELECT sqrt(v) AS r FROM t WHERE v > 10.0";
+    tdp.query(sql).unwrap().run().unwrap();
+    let s0 = tdp.chain_kernel_stats();
+    tdp.query(sql).unwrap().run().unwrap();
+    let s1 = tdp.chain_kernel_stats();
+    assert_eq!(s1.hits, s0.hits + 1, "warm rerun hits the kernel cache");
+
+    // Re-registering a table bumps the epoch: stale entries recompile.
+    tdp.register_table(table(&data));
+    tdp.query(sql).unwrap().run().unwrap();
+    let s2 = tdp.chain_kernel_stats();
+    assert_eq!(s2.misses, s1.misses + 1, "catalog change invalidates");
+
+    // A UDF shadowing the built-in must take over even though a kernel
+    // for the built-in chain was cached: registration bumps the epoch
+    // and the recompile refuses the now-shadowed call.
+    tdp.register_udf(std::sync::Arc::new(ShiftUdf));
+    let out = tdp.query(sql).unwrap().run().unwrap();
+    let r = out.column("r").unwrap().data.decode_f32();
+    assert!(
+        (r.at(0) - (11.0 + 100.0)).abs() < 1e-3,
+        "shadowing UDF executed, got {}",
+        r.at(0)
+    );
+}
+
+/// `sqrt(x) := x + 100` — deliberately disagrees with the built-in so
+/// any stale compiled kernel is unmissable.
+struct ShiftUdf;
+impl tdp_core::ScalarUdf for ShiftUdf {
+    fn name(&self) -> &str {
+        "sqrt"
+    }
+    fn invoke(
+        &self,
+        args: &[tdp_core::exec::udf::ArgValue],
+        _ctx: &tdp_core::exec::ExecContext,
+    ) -> Result<tdp_core::encoding::EncodedTensor, tdp_core::exec::ExecError> {
+        Ok(tdp_core::encoding::EncodedTensor::F32(
+            args[0].as_column()?.decode_f32().add_scalar(100.0),
+        ))
+    }
+}
+
+#[test]
+fn explain_and_profile_report_chain_strategy() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(
+        &(0..200).map(|i| i as f32 / 7.0 - 10.0).collect::<Vec<_>>(),
+    ));
+    tdp.set_threads(3);
+    tdp.set_morsel_rows(16);
+
+    // A fused filter→project chain compiles: EXPLAIN counts its ops.
+    let q = tdp.query("SELECT v * 2 AS d FROM t WHERE v > 0.0").unwrap();
+    assert!(q.explain().contains("[compiled ×2 ops]"), "{}", q.explain());
+    let (_, prof) = q.run_profiled().unwrap();
+    let filter = prof
+        .ops
+        .iter()
+        .find(|o| o.label.starts_with("Filter"))
+        .expect("filter trace");
+    assert_eq!(filter.strategy.as_deref(), Some("compiled"));
+
+    // Disabled kernels are a named interpreter verdict, not silence.
+    tdp.set_chain_kernels(false);
+    assert!(
+        q.explain()
+            .contains("[interpreted: chain-kernels-disabled]"),
+        "{}",
+        q.explain()
+    );
+    tdp.set_chain_kernels(true);
+
+    // A session-bound UDF pins the chain to the session thread; the
+    // profile folds that reason into the chain strategy.
+    tdp.register_udf(std::sync::Arc::new(tdp_integration::HalveUdf));
+    let uq = tdp
+        .query("SELECT halve(v) AS h FROM t WHERE v > 0.0")
+        .unwrap();
+    let (_, uprof) = uq.run_profiled().unwrap();
+    let proj = uprof
+        .ops
+        .iter()
+        .find(|o| o.strategy.is_some())
+        .expect("a chain trace");
+    assert_eq!(
+        proj.strategy.as_deref(),
+        Some("interpreted: udf-not-parallel-safe(halve)"),
+        "{:?}",
+        uprof.ops
+    );
+}
+
+#[test]
+fn chain_kernel_session_surface() {
+    let tdp = Tdp::new();
+    // Default is on unless TDP_CHAIN_KERNELS disabled it for this run.
+    let default_on = std::env::var("TDP_CHAIN_KERNELS")
+        .map(|v| !matches!(v.trim(), "0" | "false" | "off"))
+        .unwrap_or(true);
+    assert_eq!(tdp.chain_kernels_enabled(), default_on);
+    tdp.set_chain_kernels(false);
+    assert!(!tdp.chain_kernels_enabled());
+
+    // Disabled sessions never touch the kernel cache.
+    tdp.register_table(table(&[1.0, 2.0, 3.0, 4.0]));
+    tdp.query("SELECT v FROM t WHERE v > 2.0")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(tdp.chain_kernel_stats(), Default::default());
+
+    tdp.set_chain_kernels(true);
+    let out = tdp
+        .query("SELECT v FROM t WHERE v > 2.0")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.rows(), 2);
+    let s = tdp.chain_kernel_stats();
+    assert_eq!((s.misses, s.entries), (1, 1), "{s:?}");
+}
