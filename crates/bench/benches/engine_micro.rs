@@ -459,6 +459,99 @@ fn bench_chain_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    // The engine/session split story (PR 7): T threads each open a fresh
+    // session over one shared engine and run a small statement workload.
+    // `shared_plan_cache` is the new architecture — the first session
+    // compiles, every later session (on any thread) hits the engine-wide
+    // cache. `private_plan_cache` is the ablation: one engine per thread
+    // with its cache cleared each round, so every session recompiles its
+    // own plans — the pre-split cost model. Execution work is identical;
+    // the delta is compilation amortization across sessions.
+    use std::sync::Arc;
+    use tdp_core::TdpEngine;
+
+    const STATEMENTS: &[&str] = &[
+        "SELECT label, SUM(v * 2 + 1) AS s FROM t WHERE k > 10 GROUP BY label \
+         HAVING COUNT(*) > 5 ORDER BY s DESC LIMIT 3",
+        "SELECT k, COUNT(*), AVG(v) FROM t WHERE v > 0.25 GROUP BY k ORDER BY k LIMIT 5",
+        "SELECT v FROM t WHERE label = 'alpha' ORDER BY v DESC LIMIT 10",
+        "SELECT label, MIN(v), MAX(v) FROM t GROUP BY label ORDER BY label",
+        "SELECT COUNT(*) FROM t WHERE v > 0.0 AND k < 25",
+        "SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY s LIMIT 3",
+    ];
+
+    fn make_engine(rows: usize, seed: u64) -> Arc<TdpEngine> {
+        let mut rng = Rng64::new(seed);
+        let engine = TdpEngine::new();
+        let cats = ["alpha", "beta", "gamma", "delta"];
+        let labels: Vec<&str> = (0..rows).map(|_| cats[rng.below(cats.len())]).collect();
+        engine.register_table(
+            TableBuilder::new()
+                .col_f32("v", (0..rows).map(|_| rng.normal() as f32).collect())
+                .col_i64("k", (0..rows).map(|_| rng.below(50) as i64).collect())
+                .col_str("label", &labels)
+                .build("t"),
+        );
+        engine
+    }
+
+    fn run_workload(engine: &Arc<TdpEngine>) {
+        let session = engine.session();
+        session.set_threads(1);
+        for sql in STATEMENTS {
+            session.query(sql).expect("compile").run().expect("run");
+        }
+    }
+
+    let rows = 10_000;
+    let mut group = c.benchmark_group("concurrent_sessions");
+    group.sample_size(10);
+
+    let shared = make_engine(rows, 9);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("shared_plan_cache/threads_{threads}"), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let engine = Arc::clone(&shared);
+                        std::thread::spawn(move || run_workload(&engine))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("worker");
+                }
+            })
+        });
+    }
+
+    for threads in [1usize, 2, 4, 8] {
+        let engines: Vec<Arc<TdpEngine>> = (0..threads)
+            .map(|i| make_engine(rows, 9 + i as u64))
+            .collect();
+        group.bench_function(format!("private_plan_cache/threads_{threads}"), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = engines
+                    .iter()
+                    .map(|engine| {
+                        let engine = Arc::clone(engine);
+                        std::thread::spawn(move || {
+                            // A private cache never sees another session's
+                            // compilations; clearing models a cold session.
+                            engine.clear_plan_cache();
+                            run_workload(&engine)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("worker");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -472,6 +565,7 @@ criterion_group!(
     bench_parallel_scaling,
     bench_parallel_barriers,
     bench_parallel_udf_scaling,
-    bench_chain_kernels
+    bench_chain_kernels,
+    bench_concurrent_sessions
 );
 criterion_main!(benches);

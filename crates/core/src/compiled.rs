@@ -1,14 +1,14 @@
 //! Prepared statements and bound queries: the "query as a PyTorch model"
 //! object, split into its compile-time and run-time halves.
 //!
-//! [`crate::Tdp::prepare`] parses, auto-parameterises, optimises and
+//! [`crate::Session::prepare`] parses, auto-parameterises, optimises and
 //! lowers SQL **once** into a [`Prepared`] statement — the shareable,
 //! value-free compilation. [`Prepared::bind`] attaches parameter values
 //! (a [`ParamValues`] built with the typed [`ParamValue`] constructors)
 //! and yields a [`BoundQuery`], which executes through the exact,
 //! profiled or differentiable executors. Training loops prepare once and
-//! re-bind per iteration; `Tdp::query` keeps working by desugaring to a
-//! zero-parameter prepare + bind.
+//! re-bind per iteration; `Session::query` keeps working by desugaring
+//! to a zero-parameter prepare + bind.
 
 use std::sync::Arc;
 
@@ -20,7 +20,7 @@ use tdp_storage::Table;
 use tdp_tensor::{Device, F32Tensor};
 
 use crate::error::TdpError;
-use crate::session::Tdp;
+use crate::session::Session;
 
 /// Per-query compilation configuration (the paper's `extra_config`).
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +67,7 @@ impl QueryConfig {
 /// two `Arc` clones and a values vector — so the prepare-once /
 /// bind-per-iteration loop pays kernel dispatch only.
 pub struct Prepared<'s> {
-    session: &'s Tdp,
+    session: &'s Session,
     plan: Arc<LogicalPlan>,
     physical: Arc<PhysicalPlan>,
     fingerprint: u64,
@@ -86,7 +86,7 @@ pub struct Prepared<'s> {
 impl<'s> Prepared<'s> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        session: &'s Tdp,
+        session: &'s Session,
         plan: Arc<LogicalPlan>,
         physical: Arc<PhysicalPlan>,
         fingerprint: u64,
@@ -258,9 +258,9 @@ fn render_explain(
 /// [`BoundQuery::run_diff`].
 ///
 /// [`CompiledQuery`] is the historical name for the zero-parameter case
-/// produced by [`Tdp::query`]; both are the same type.
+/// produced by [`Session::query`]; both are the same type.
 pub struct BoundQuery<'s> {
-    session: &'s Tdp,
+    session: &'s Session,
     plan: Arc<LogicalPlan>,
     physical: Arc<PhysicalPlan>,
     fingerprint: u64,
@@ -268,8 +268,8 @@ pub struct BoundQuery<'s> {
     params: ParamValues,
 }
 
-/// What [`Tdp::query`] returns: a [`BoundQuery`] whose binding came from
-/// a zero-placeholder prepare.
+/// What [`Session::query`] returns: a [`BoundQuery`] whose binding came
+/// from a zero-placeholder prepare.
 pub type CompiledQuery<'s> = BoundQuery<'s>;
 
 impl<'s> BoundQuery<'s> {
@@ -348,6 +348,7 @@ impl<'s> BoundQuery<'s> {
     /// trainable queries too — this is the paper's inference-time swap of
     /// soft operators for exact ones.
     pub fn run(&self) -> Result<Table, TdpError> {
+        self.session.engine().note_query_served();
         let udfs = self.session.udfs_snapshot();
         let ctx = self.exec_context(&udfs, false);
         let batch = tdp_exec::execute(&self.physical, &ctx)?;
@@ -358,6 +359,7 @@ impl<'s> BoundQuery<'s> {
     /// paper's "profile the compiled query" story (§2) without leaving
     /// the engine. Returns the result table plus the profile.
     pub fn run_profiled(&self) -> Result<(Table, tdp_exec::QueryProfile), TdpError> {
+        self.session.engine().note_query_served();
         let udfs = self.session.udfs_snapshot();
         let ctx = self.exec_context(&udfs, false);
         let (batch, profile) = tdp_exec::execute_profiled(&self.physical, &ctx)?;
@@ -373,6 +375,7 @@ impl<'s> BoundQuery<'s> {
                 "query was not compiled with TRAINABLE; use run() or recompile".into(),
             ));
         }
+        self.session.engine().note_query_served();
         let udfs = self.session.udfs_snapshot();
         let ctx = self.exec_context(&udfs, true);
         Ok(tdp_exec::execute_diff(&self.physical, &ctx)?)
@@ -421,7 +424,7 @@ impl std::fmt::Debug for BoundQuery<'_> {
 
 /// Trainable parameters of every UDF/TVF a plan references, deduplicated
 /// by autodiff node identity.
-fn collect_plan_parameters(session: &Tdp, plan: &LogicalPlan) -> Vec<Var> {
+fn collect_plan_parameters(session: &Session, plan: &LogicalPlan) -> Vec<Var> {
     let mut names = Vec::new();
     collect_function_names(plan, &mut names);
     let udfs = session.udfs_snapshot();
@@ -528,6 +531,7 @@ pub fn column_f32(table: &Table, name: &str) -> Result<F32Tensor, TdpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Tdp;
     use std::sync::Arc;
     use tdp_exec::{DiffColumn, ExecError, TableFunction};
     use tdp_storage::TableBuilder;

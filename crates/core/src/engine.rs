@@ -1,0 +1,527 @@
+//! The multi-session engine core: everything shareable between sessions.
+//!
+//! [`TdpEngine`] is the `Send + Sync` heart of the system — one engine
+//! per process, any number of concurrent [`Session`] handles on top:
+//!
+//! ```text
+//!   TdpEngine (Arc, Send + Sync)          Session (one per user, !Send)
+//!   ├─ Catalog            RwLock          ├─ local UdfRegistry   (Rc-based
+//!   ├─ shared plan cache  Mutex           │   trainable Vars live here)
+//!   ├─ SharedUdfRegistry  RwLock          ├─ bound params / device
+//!   ├─ KernelCache        (internally     ├─ threads / morsels / partitions
+//!   ├─ vector indexes      locked)        └─ session-local plan overlay
+//!   └─ EngineStats        atomics
+//! ```
+//!
+//! The split follows one rule: state whose *meaning* is identical for
+//! every user lives on the engine behind a lock; state that can differ
+//! per user (autodiff tapes, parameter bindings, scheduler knobs,
+//! session-local function registrations) rides the cheap session handle.
+//! [`crate::Tdp`] remains the embedded single-user facade — an engine
+//! plus one session — so existing code compiles unchanged.
+//!
+//! ## The cross-session plan cache
+//!
+//! Compiled plans are cached on the engine keyed by *normalized*
+//! statement text (literals auto-parameterised), so two different users
+//! preparing `SELECT v FROM t WHERE v > 1` and `… > 2` share one
+//! compilation. An entry records its name-resolution dependencies
+//! ([`tdp_exec::PhysicalPlan::function_names`]); a session that has
+//! locally registered any of those names cannot use the shared entry
+//! (its resolution may differ) and compiles into a session-local overlay
+//! instead. Validity is checked exactly like the PR 2 session cache:
+//! engine-wide UDF epoch plus per-scan schema validation against the
+//! live catalog.
+//!
+//! ## Lock poisoning
+//!
+//! Engine locks recover from poisoning (`unwrap_or_else(|e|
+//! e.into_inner())`) rather than propagate it: every critical section
+//! swaps complete values (an `Arc`'d plan, a registry entry), so a
+//! panicked worker cannot leave torn state behind — and must not wedge
+//! every other session sharing the engine. The catalog and kernel cache
+//! follow the same policy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use tdp_exec::{KernelCache, ParamConstraint, PhysicalPlan, ScalarUdf, SharedUdfRegistry};
+use tdp_sql::plan::LogicalPlan;
+use tdp_storage::{Catalog, Table};
+
+use crate::session::{PlanCacheStats, Session};
+use crate::vector::VectorIndexes;
+
+/// Upper bound on plans cached by the engine (and, separately, by each
+/// session's local overlay). Eviction is per-entry LRU.
+pub(crate) const PLAN_CACHE_CAP: usize = 256;
+
+/// Engine-wide observability counters (see [`TdpEngine::stats`]).
+///
+/// `queries_served` counts executions through any session of this engine
+/// (exact, profiled and differentiable runs alike). `queries_queued` /
+/// `queries_rejected` are admission-control outcomes reported by a
+/// serving frontend such as `tdp-server` — embedded single-session use
+/// leaves them at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Sessions currently open.
+    pub sessions_open: u64,
+    /// Sessions ever opened.
+    pub sessions_total: u64,
+    /// Queries executed to completion or error (not admission-rejected).
+    pub queries_served: u64,
+    /// Queries that waited in an admission queue before executing.
+    pub queries_queued: u64,
+    /// Queries rejected by admission control (`server busy`).
+    pub queries_rejected: u64,
+    /// The engine's cross-session plan cache counters. Hits and misses
+    /// accumulate over all sessions; `entries` counts engine-cache
+    /// entries only (session-local overlays are not included).
+    pub plan_cache: PlanCacheStats,
+}
+
+impl EngineStats {
+    /// Fraction of plan-cache lookups served from cache (0.0 when no
+    /// lookups have happened yet).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache.hits + self.plan_cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A compiled plan shared across sessions, plus everything needed to
+/// decide whether a later prepare (possibly from a different session)
+/// may reuse it.
+pub(crate) struct SharedPlan {
+    pub(crate) logical: Arc<LogicalPlan>,
+    pub(crate) physical: Arc<PhysicalPlan>,
+    pub(crate) fingerprint: u64,
+    /// Catalog version the scans were validated against (fast-forwarded
+    /// on every revalidating hit).
+    pub(crate) catalog_version: u64,
+    /// Engine UDF epoch the plan was compiled under.
+    pub(crate) udf_epoch: u64,
+    /// `(table, column names)` for every base-table scan.
+    pub(crate) scans: Vec<(String, Vec<String>)>,
+    /// Lowercased function names the plan's compilation resolved — the
+    /// entry is unusable for a session that registered any of them
+    /// locally.
+    pub(crate) functions: Vec<String>,
+    pub(crate) param_constraints: Vec<ParamConstraint>,
+    /// Monotonic recency stamp for LRU eviction.
+    pub(crate) last_used: u64,
+}
+
+/// What a successful engine-cache lookup hands back to the session.
+pub(crate) struct PlanHit {
+    pub(crate) logical: Arc<LogicalPlan>,
+    pub(crate) physical: Arc<PhysicalPlan>,
+    pub(crate) fingerprint: u64,
+    pub(crate) param_constraints: Vec<ParamConstraint>,
+}
+
+/// The shared, thread-safe engine: catalog, cross-session plan cache,
+/// engine-registered (thread-safe) UDFs, compiled chain-kernel cache,
+/// vector indexes and observability counters. See the module docs for
+/// the engine/session ownership picture.
+pub struct TdpEngine {
+    catalog: Catalog,
+    /// Thread-safe scalar UDFs visible to every session
+    /// ([`TdpEngine::register_udf_shared`]).
+    shared_udfs: RwLock<SharedUdfRegistry>,
+    /// Bumped on every engine-level function registration; cached plans
+    /// compiled under an older epoch are invalid (registration can change
+    /// name resolution and therefore plan shape).
+    udf_epoch: AtomicU64,
+    /// Cross-session compiled-plan cache keyed by normalized text.
+    plan_cache: Mutex<HashMap<String, SharedPlan>>,
+    cache_tick: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    /// Compiled chain-kernel cache shared by sessions whose function
+    /// resolution matches the engine's (sessions diverge to a private
+    /// cache on their first local registration — see
+    /// [`Session::register_udf`]).
+    chain_kernels: Arc<KernelCache>,
+    vector_indexes: RwLock<VectorIndexes>,
+    sessions_open: AtomicU64,
+    sessions_total: AtomicU64,
+    queries_served: AtomicU64,
+    queries_queued: AtomicU64,
+    queries_rejected: AtomicU64,
+}
+
+impl TdpEngine {
+    /// Create a fresh engine. Returned as `Arc` because sessions hold a
+    /// shared handle: `let engine = TdpEngine::new(); let s = engine.session();`
+    pub fn new() -> Arc<TdpEngine> {
+        Arc::new(TdpEngine {
+            catalog: Catalog::new(),
+            shared_udfs: RwLock::new(SharedUdfRegistry::new()),
+            udf_epoch: AtomicU64::new(0),
+            plan_cache: Mutex::new(HashMap::new()),
+            cache_tick: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            chain_kernels: Arc::new(KernelCache::new()),
+            vector_indexes: RwLock::new(VectorIndexes::default()),
+            sessions_open: AtomicU64::new(0),
+            sessions_total: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+            queries_queued: AtomicU64::new(0),
+            queries_rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Open a new session on this engine. Sessions are cheap (a handful
+    /// of cells plus an `Arc` bump), single-threaded at the API surface,
+    /// and deregister themselves from [`EngineStats::sessions_open`] on
+    /// drop.
+    pub fn session(self: &Arc<Self>) -> Session {
+        self.sessions_open.fetch_add(1, Ordering::Relaxed);
+        self.sessions_total.fetch_add(1, Ordering::Relaxed);
+        Session::new(Arc::clone(self))
+    }
+
+    /// The shared table namespace.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register (or replace) a table, making it visible to every
+    /// session. Compiled chain kernels are epoch-invalidated; cached
+    /// plans revalidate per-scan against the new schema.
+    pub fn register_table(&self, table: Table) {
+        self.catalog.register(table);
+        self.chain_kernels.bump_epoch();
+    }
+
+    /// Drop a table engine-wide; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let existed = self.catalog.drop_table(name);
+        if existed {
+            self.chain_kernels.bump_epoch();
+        }
+        existed
+    }
+
+    /// Register a thread-safe scalar UDF visible to **every** session of
+    /// this engine (the engine-level home of
+    /// [`Session::register_udf_parallel`]). Bumps the engine UDF epoch,
+    /// invalidating cached plans and chain kernels, exactly like a
+    /// session registration used to.
+    pub fn register_udf_shared(&self, udf: Arc<dyn ScalarUdf + Send + Sync>) {
+        self.shared_udfs
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .register_scalar(udf);
+        self.udf_epoch.fetch_add(1, Ordering::Relaxed);
+        self.chain_kernels.bump_epoch();
+    }
+
+    /// Snapshot of the engine-level function registry.
+    pub fn shared_udfs(&self) -> SharedUdfRegistry {
+        self.shared_udfs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Current engine UDF-registration epoch.
+    pub fn udf_epoch(&self) -> u64 {
+        self.udf_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The engine-shared compiled chain-kernel cache.
+    pub fn chain_kernels(&self) -> &Arc<KernelCache> {
+        &self.chain_kernels
+    }
+
+    /// Engine-wide observability counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sessions_open: self.sessions_open.load(Ordering::Relaxed),
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            queries_queued: self.queries_queued.load(Ordering::Relaxed),
+            queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
+            plan_cache: self.plan_cache_stats(),
+        }
+    }
+
+    /// Cross-session plan-cache counters. Hits/misses/evictions
+    /// accumulate over every session (including hits on session-local
+    /// overlay entries); `entries` counts engine-cache entries only.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions: self.cache_evictions.load(Ordering::Relaxed),
+            entries: self
+                .plan_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+        }
+    }
+
+    /// Drop every engine-cached compiled plan (counters keep
+    /// accumulating; session overlays are cleared by
+    /// [`Session::clear_plan_cache`]).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Record an admission-queue wait (frontend observability hook).
+    pub fn note_query_queued(&self) {
+        self.queries_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an admission rejection (frontend observability hook).
+    pub fn note_query_rejected(&self) {
+        self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_query_served(&self) {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_session_closed(&self) {
+        self.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_plan_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_plan_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Session overlays report their LRU evictions here so the
+    /// engine-wide counters cover both tiers.
+    pub(crate) fn note_plan_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn tick(&self) -> u64 {
+        self.cache_tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether every `(table, schema)` a cached plan was compiled against
+    /// still matches the live catalog.
+    pub(crate) fn scans_unchanged(&self, scans: &[(String, Vec<String>)]) -> bool {
+        scans.iter().all(|(table, expected)| {
+            self.catalog.get(table).is_some_and(|t| {
+                let live = t.columns();
+                live.len() == expected.len()
+                    && live
+                        .iter()
+                        .zip(expected)
+                        .all(|(c, e)| c.name.eq_ignore_ascii_case(e))
+            })
+        })
+    }
+
+    /// Look up a shared plan for `key`, valid for a session whose local
+    /// registry is `local_udfs`. Counts a hit and refreshes recency on
+    /// success; a miss is counted by the caller once overlay and engine
+    /// lookups have both failed.
+    pub(crate) fn cached_plan(
+        &self,
+        key: &str,
+        engine_epoch: u64,
+        catalog_version: u64,
+        local_udfs: &tdp_exec::UdfRegistry,
+    ) -> Option<PlanHit> {
+        let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = cache.get(key)?;
+        // The entry must have been compiled under the current engine
+        // registration epoch, against schemas that still hold, by a
+        // resolution this session agrees with (none of the plan's
+        // function names registered locally).
+        let resolution_matches = entry.udf_epoch == engine_epoch
+            && !entry
+                .functions
+                .iter()
+                .any(|n| local_udfs.is_scalar(n) || local_udfs.is_table_fn(n));
+        if !resolution_matches {
+            return None;
+        }
+        if entry.catalog_version != catalog_version {
+            // Dropping the lock for the schema walk would allow the entry
+            // to be evicted mid-check; the walk is cheap (name
+            // comparisons), so hold it.
+            if !self.scans_unchanged(&entry.scans) {
+                return None;
+            }
+        }
+        let tick = self.cache_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = cache.get_mut(key).expect("present above");
+        entry.catalog_version = catalog_version;
+        entry.last_used = tick;
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(PlanHit {
+            logical: Arc::clone(&entry.logical),
+            physical: Arc::clone(&entry.physical),
+            fingerprint: entry.fingerprint,
+            param_constraints: entry.param_constraints.clone(),
+        })
+    }
+
+    /// Insert a freshly compiled shared plan, evicting the stalest entry
+    /// at capacity. Two sessions racing to compile the same statement
+    /// both insert; the second replaces the first with an identical plan.
+    pub(crate) fn store_plan(&self, key: String, plan: SharedPlan) {
+        let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() >= PLAN_CACHE_CAP && !cache.contains_key(&key) {
+            if let Some(oldest) = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                cache.remove(&oldest);
+                self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        cache.insert(key, plan);
+    }
+
+    pub(crate) fn with_vector_indexes<R>(&self, f: impl FnOnce(&VectorIndexes) -> R) -> R {
+        f(&self
+            .vector_indexes
+            .read()
+            .unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub(crate) fn vector_indexes_mut<R>(&self, f: impl FnOnce(&mut VectorIndexes) -> R) -> R {
+        f(&mut self
+            .vector_indexes
+            .write()
+            .unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl std::fmt::Debug for TdpEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TdpEngine")
+            .field("tables", &self.catalog.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdp_storage::TableBuilder;
+
+    /// The compile-time contract of the split: the engine (with
+    /// everything it owns — catalog, plan cache, shared registry, kernel
+    /// cache, vector indexes) crosses threads freely.
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TdpEngine>();
+        assert_send_sync::<EngineStats>();
+        assert_send_sync::<SharedPlan>();
+    }
+
+    #[test]
+    fn sessions_register_and_deregister() {
+        let engine = TdpEngine::new();
+        assert_eq!(engine.stats().sessions_open, 0);
+        let a = engine.session();
+        let b = engine.session();
+        assert_eq!(engine.stats().sessions_open, 2);
+        assert_eq!(engine.stats().sessions_total, 2);
+        drop(a);
+        assert_eq!(engine.stats().sessions_open, 1);
+        drop(b);
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_open, 0);
+        assert_eq!(stats.sessions_total, 2, "total never decreases");
+    }
+
+    #[test]
+    fn engine_catalog_is_shared_between_sessions() {
+        let engine = TdpEngine::new();
+        let a = engine.session();
+        let b = engine.session();
+        a.register_table(TableBuilder::new().col_f32("x", vec![1.0, 2.0]).build("t"));
+        assert_eq!(
+            b.query("SELECT COUNT(*) FROM t")
+                .unwrap()
+                .run()
+                .unwrap()
+                .rows(),
+            1,
+            "session B sees session A's table"
+        );
+        assert!(b.drop_table("t"));
+        assert!(a.catalog().get("t").is_none());
+    }
+
+    #[test]
+    fn concurrent_sessions_from_many_threads() {
+        let engine = TdpEngine::new();
+        engine.register_table(
+            TableBuilder::new()
+                .col_f32("v", (0..100).map(|i| i as f32).collect())
+                .build("nums"),
+        );
+        // Warm the cache before spawning: concurrent first-compilations
+        // legitimately race (both threads can miss before either
+        // stores), which would make the hit count nondeterministic.
+        engine
+            .session()
+            .prepare("SELECT COUNT(*) FROM nums WHERE v >= ?")
+            .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let session = engine.session();
+                let threshold = (i * 10) as f64;
+                let p = session
+                    .prepare("SELECT COUNT(*) FROM nums WHERE v >= ?")
+                    .unwrap();
+                let out = p
+                    .bind(tdp_exec::ParamValues::new().number(threshold))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                out.column("COUNT(*)").unwrap().data.decode_i64().to_vec()[0]
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), 100 - (i as i64) * 10);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_open, 0);
+        assert_eq!(stats.queries_served, 8);
+        assert_eq!(
+            stats.plan_cache.hits, 8,
+            "the normalized statement is shared across sessions: {stats:?}"
+        );
+        assert_eq!(stats.plan_cache.misses, 1);
+        assert!(stats.plan_cache_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_lookups() {
+        let engine = TdpEngine::new();
+        assert_eq!(engine.stats().plan_cache_hit_rate(), 0.0);
+    }
+}

@@ -5,9 +5,18 @@
 //! out to one (CIDR 2023, "The Tensor Data Platform: Towards an AI-centric
 //! Database System").
 //!
-//! A [`Tdp`] session owns a catalog of tensor-columnar tables and a
-//! registry of UDFs / table-valued functions, and compiles SQL into
-//! [`CompiledQuery`] objects that behave like PyTorch models:
+//! The system is split into a shared, thread-safe [`TdpEngine`] (catalog,
+//! cross-session plan cache, engine-registered functions, compiled chain
+//! kernels, vector indexes) and cheap per-user [`Session`] handles (bound
+//! parameters, `Rc`-based trainable state, device and scheduler knobs,
+//! session-local functions). [`Tdp`] is the embedded single-user facade —
+//! one engine plus one session, `Deref`ing to [`Session`] — so the
+//! original API keeps working unchanged; multi-user frontends (such as
+//! the `tdp-server` crate) open one session per connection over a shared
+//! engine.
+//!
+//! A session compiles SQL into [`CompiledQuery`] objects that behave
+//! like PyTorch models:
 //!
 //! * they run on a chosen [`Device`] (CPU or the simulated accelerator),
 //! * they can be re-run after re-registering inputs (the training-loop
@@ -19,12 +28,13 @@
 //! * they can be profiled per-operator ([`CompiledQuery::run_profiled`]).
 //!
 //! Sessions also manage vector indexes over embedding columns
-//! ([`Tdp::create_vector_index`] / [`Tdp::vector_topk`] — flat or
+//! ([`Session::create_vector_index`] / [`Session::vector_topk`] — flat or
 //! IVF-Flat), persist tables in the TDPF columnar format
-//! ([`Tdp::save_table`] / [`Tdp::register_file`], or whole-catalog
-//! snapshots via [`Tdp::save_catalog`] / [`Tdp::open_catalog`]), and
-//! render result rows to media formats ([`render`]: PPM images and WAV
-//! audio — paper Example 2.3's output story).
+//! ([`Session::save_table`] / [`Session::register_file`], or
+//! whole-catalog snapshots via [`Session::save_catalog`] /
+//! [`Session::open_catalog`]), and render result rows to media formats
+//! ([`render`]: PPM images and WAV audio — paper Example 2.3's output
+//! story).
 //!
 //! ```
 //! use tdp_core::Tdp;
@@ -43,17 +53,19 @@
 //! ```
 
 pub mod compiled;
+pub mod engine;
 pub mod error;
 pub mod render;
 pub mod session;
 pub mod vector;
 
 pub use compiled::{BoundQuery, CompiledQuery, Prepared, QueryConfig};
+pub use engine::{EngineStats, TdpEngine};
 pub use error::TdpError;
-pub use session::{PlanCacheStats, Tdp};
+pub use session::{PlanCacheStats, Session, Tdp};
 pub use tdp_exec::{
     ArgType, ChainKernelStats, FunctionSpec, OutputSchema, ParamValue, ParamValues, ScalarUdf,
-    TableFunction, Volatility,
+    SharedUdfRegistry, TableFunction, Volatility,
 };
 pub use vector::IndexKind;
 

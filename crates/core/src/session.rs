@@ -1,11 +1,22 @@
-//! TDP sessions: catalog + function registry + query compiler.
+//! Sessions and the single-user facade: per-user state + query compiler.
+//!
+//! [`Session`] is the per-user handle onto a shared [`TdpEngine`]: it
+//! carries everything that can legitimately differ between two users of
+//! one engine (default device, scheduler knobs, session-local function
+//! registrations whose trainable parameters ride the `Rc`-based autodiff
+//! tape) and delegates everything shared (catalog, cross-session plan
+//! cache, engine-registered functions, chain kernels, vector indexes) to
+//! the engine. [`Tdp`] — an engine plus one session, `Deref`ing to the
+//! session — keeps the embedded single-user API of the earlier PRs
+//! intact.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use tdp_exec::{
-    ParamConstraint, ParamValue, ParamValues, PhysicalPlan, ScalarUdf, TableFunction, UdfRegistry,
+    KernelCache, ParamConstraint, ParamValue, ParamValues, PhysicalPlan, ScalarUdf, TableFunction,
+    UdfRegistry,
 };
 use tdp_sql::plan::{LogicalPlan, PlannerContext};
 use tdp_sql::{optimizer, parse};
@@ -13,12 +24,8 @@ use tdp_storage::{Catalog, Table, TableBuilder};
 use tdp_tensor::{Device, F32Tensor};
 
 use crate::compiled::{CompiledQuery, Prepared, QueryConfig};
+use crate::engine::{SharedPlan, TdpEngine, PLAN_CACHE_CAP};
 use crate::error::TdpError;
-
-/// Upper bound on cached plans. Eviction is per-entry LRU: on overflow the
-/// least-recently-used plan is dropped, so a hot working set survives a
-/// long tail of one-off statements.
-const PLAN_CACHE_CAP: usize = 256;
 
 /// Static type of a bound (or to-be-bound) parameter value, for
 /// declared-signature checking.
@@ -81,36 +88,29 @@ fn default_chain_kernels() -> bool {
         .unwrap_or(true)
 }
 
-/// A cached compilation: the optimised logical plan, its lowering, and
-/// the state it was compiled against (for invalidation). Keyed by the
-/// *normalized* statement text — the parsed query with every literal
-/// auto-parameterised into a `$n` slot — so SQL texts differing only in
-/// constants share one entry. `lower()` depends only on the catalog and
-/// function registry; device/trainable/temperature knobs live on the
-/// [`crate::compiled::BoundQuery`], not in the cache key.
-struct CachedPlan {
+/// A compilation cached in the session-local overlay: a plan whose name
+/// resolution involved at least one *session-local* function, so it can
+/// never be shared through the engine cache. Shape and invalidation
+/// mirror [`crate::engine`]'s `SharedPlan`, plus the session registration
+/// epoch.
+struct LocalPlan {
     logical: Arc<LogicalPlan>,
     physical: Arc<PhysicalPlan>,
-    /// Computed once here; cache hits hand it out without re-rendering
-    /// the plan tree.
     fingerprint: u64,
     catalog_version: u64,
-    udf_epoch: u64,
-    /// `(table, column names)` for every base-table scan — the schemas
-    /// the slot assignments depend on.
+    /// Engine UDF epoch at compile time (engine registrations can change
+    /// resolution for this plan too).
+    engine_epoch: u64,
+    /// Session-local registration epoch at compile time.
+    local_epoch: u64,
     scans: Vec<(String, Vec<String>)>,
-    /// Binding-dependent argument-type obligations of declared-signature
-    /// calls. The plan itself was fully validated when this entry was
-    /// built; hits (whose literal *values* may differ in type) and
-    /// re-binds only need to recheck these slots — O(constraints), not
-    /// O(plan).
     param_constraints: Vec<ParamConstraint>,
-    /// Monotonic recency stamp for LRU eviction.
     last_used: u64,
 }
 
-/// Plan-cache counters (see [`Tdp::plan_cache_stats`]). Hits, misses and
-/// evictions accumulate over the session lifetime; `entries` is the
+/// Plan-cache counters (see [`Session::plan_cache_stats`]). Hits, misses
+/// and evictions accumulate engine-wide — over every session, whichever
+/// tier (shared or session overlay) served the lookup; `entries` is the
 /// current size. Together they distinguish cold misses (misses with few
 /// evictions) from LRU churn (misses tracking evictions), which hit/miss
 /// alone cannot.
@@ -124,76 +124,102 @@ pub struct PlanCacheStats {
     pub entries: usize,
 }
 
-/// An AI-centric database session.
+/// One user's handle onto a shared [`TdpEngine`] — the per-user half of
+/// the engine/session split (see [`crate::engine`] for the ownership
+/// picture).
 ///
-/// Sessions are single-threaded at the API surface (function parameters
-/// live on the autodiff tape, which is `Rc`-based, exactly like a PyTorch
-/// process), but exact query execution is morsel-parallel: scans are
-/// partitioned into ~64k-row morsels and fused operator pipelines run
-/// across a worker pool sized by [`Tdp::set_threads`] (default: the
-/// `TDP_THREADS` environment variable, else the machine's available
-/// parallelism). Thread count never changes results.
-pub struct Tdp {
-    catalog: Catalog,
+/// Sessions are single-threaded at the API surface (session-local
+/// function parameters live on the autodiff tape, which is `Rc`-based,
+/// exactly like a PyTorch process) and deliberately `!Send`; concurrency
+/// comes from opening one session per thread on the same engine
+/// ([`TdpEngine::session`]). Exact query execution is still
+/// morsel-parallel *within* a session: scans are partitioned into
+/// ~64k-row morsels and fused operator pipelines run across a worker
+/// pool sized by [`Session::set_threads`] (default: the `TDP_THREADS`
+/// environment variable, else the machine's available parallelism).
+/// Thread count never changes results.
+///
+/// ## What lives where
+///
+/// Per session: bound parameter state on [`Prepared`] handles, the
+/// default [`Device`], scheduler knobs (threads / morsel rows /
+/// partitions / chain-kernel switch), functions registered with
+/// [`Session::register_udf`] / [`Session::register_tvf`]. Per engine:
+/// the catalog, the cross-session plan cache, functions registered with
+/// [`Session::register_udf_parallel`], compiled chain kernels, vector
+/// indexes.
+///
+/// ## Plan caching across sessions
+///
+/// [`Session::prepare`] consults the session's private overlay first
+/// (plans involving session-local functions), then the engine's shared
+/// cache. Plans compiled purely from builtins and engine-registered
+/// functions land in the shared cache, so *another* session preparing
+/// the same normalized statement hits without compiling; plans touching
+/// session-local functions stay private. A shared entry records the
+/// function names it resolved, and a session that has locally registered
+/// any of them bypasses the entry — local registrations win without
+/// poisoning other sessions.
+pub struct Session {
+    engine: Arc<TdpEngine>,
+    /// Session-local functions only (locally registered scalar UDFs and
+    /// TVFs). Engine-registered functions are merged in per compilation
+    /// ([`Session::udfs_snapshot`]); on a name collision the local
+    /// registration wins.
     udfs: RefCell<UdfRegistry>,
-    default_device: RefCell<Device>,
-    vector_indexes: RefCell<crate::vector::VectorIndexes>,
-    /// Compiled-plan cache keyed by normalized (literal-parameterised)
-    /// statement text: repeated `query()`/`prepare()` calls skip
-    /// plan-build → optimize → lower, even when the literals change.
-    /// (Every call still parses and normalizes its text — that is how the
-    /// key and the extracted literal values are obtained; `prepare` once
-    /// and re-`bind` to skip the frontend entirely.)
-    plan_cache: RefCell<HashMap<String, CachedPlan>>,
-    /// Bumped on every UDF/TVF registration; registrations can change
-    /// plan *shape* (TVF-ness of a name), so they invalidate cached plans.
-    udf_epoch: Cell<u64>,
-    /// Monotonic clock for LRU stamps.
-    cache_tick: Cell<u64>,
-    cache_hits: Cell<u64>,
-    cache_misses: Cell<u64>,
-    cache_evictions: Cell<u64>,
+    /// Bumped on every *session-local* registration; cached plans note it
+    /// (registrations can change plan shape — e.g. the TVF-ness of a
+    /// name).
+    local_epoch: Cell<u64>,
+    default_device: Cell<Device>,
+    /// Session-local plan-cache overlay keyed like the engine cache
+    /// (normalized statement text); holds only plans whose resolution
+    /// involved session-local functions.
+    plan_cache: RefCell<HashMap<String, LocalPlan>>,
     /// Morsel-scheduler worker count for exact execution.
     threads: Cell<usize>,
     /// Rows per morsel (tunable mostly for tests/benchmarks).
     morsel_rows: Cell<usize>,
     /// Barrier-exchange partition count (partitioned join / DISTINCT).
     partitions: Cell<usize>,
-    /// Session-shared compiled chain-kernel cache (see
-    /// [`tdp_exec::KernelCache`]). Lives for the session so repeated
-    /// binds of the same prepared chain reuse one compiled program;
-    /// invalidated by epoch bump on catalog/registry change.
-    chain_kernels: Arc<tdp_exec::KernelCache>,
+    /// `None` while the session's function resolution matches the
+    /// engine's — the common case, sharing the engine's compiled
+    /// chain-kernel cache. The first session-local registration diverges
+    /// resolution, and the session switches to a private cache: compiled
+    /// chains render UDF and builtin calls identically, so fingerprints
+    /// collide across sessions that resolve the same name differently,
+    /// and a shared cache could serve a compiled builtin to a session
+    /// whose local UDF shadows it.
+    private_kernels: RefCell<Option<Arc<KernelCache>>>,
+    /// Last `(catalog version, engine UDF epoch)` the private kernel
+    /// cache was synchronized against — engine-side changes invalidate it
+    /// lazily on the next execution.
+    kernel_sync: Cell<(u64, u64)>,
     /// Whether executions consult the chain-kernel compiler at all
     /// (default: `TDP_CHAIN_KERNELS`, else on).
     chain_kernels_on: Cell<bool>,
 }
 
-impl Default for Tdp {
-    fn default() -> Self {
-        Tdp::new()
-    }
-}
-
-impl Tdp {
-    pub fn new() -> Tdp {
-        Tdp {
-            catalog: Catalog::new(),
+impl Session {
+    pub(crate) fn new(engine: Arc<TdpEngine>) -> Session {
+        Session {
+            engine,
             udfs: RefCell::new(UdfRegistry::new()),
-            default_device: RefCell::new(Device::Cpu),
-            vector_indexes: RefCell::new(Default::default()),
+            local_epoch: Cell::new(0),
+            default_device: Cell::new(Device::Cpu),
             plan_cache: RefCell::new(HashMap::new()),
-            udf_epoch: Cell::new(0),
-            cache_tick: Cell::new(0),
-            cache_hits: Cell::new(0),
-            cache_misses: Cell::new(0),
-            cache_evictions: Cell::new(0),
             threads: Cell::new(default_threads()),
             morsel_rows: Cell::new(default_morsel_rows()),
             partitions: Cell::new(default_partitions()),
-            chain_kernels: Arc::new(tdp_exec::KernelCache::new()),
+            private_kernels: RefCell::new(None),
+            kernel_sync: Cell::new((0, 0)),
             chain_kernels_on: Cell::new(default_chain_kernels()),
         }
+    }
+
+    /// The shared engine this session runs on.
+    pub fn engine(&self) -> &Arc<TdpEngine> {
+        &self.engine
     }
 
     // ------------------------------------------------------------------
@@ -227,8 +253,9 @@ impl Tdp {
     /// Set the barrier-exchange partition count (clamped to ≥ 1; default
     /// `TDP_PARTITIONS`, else 16). Partitioned hash joins and
     /// shared-nothing DISTINCT distribute rows across this many buckets
-    /// by key hash. A plan property independent of [`Tdp::set_threads`]:
-    /// changing it never changes results, only load balance.
+    /// by key hash. A plan property independent of
+    /// [`Session::set_threads`]: changing it never changes results, only
+    /// load balance.
     pub fn set_partitions(&self, n: usize) {
         self.partitions.set(n.max(1));
     }
@@ -254,18 +281,52 @@ impl Tdp {
 
     /// Cumulative chain-kernel cache counters (hits, misses, evictions,
     /// interpreter fallbacks) plus the current compiled-entry count —
-    /// the kernel-cache mirror of [`Tdp::plan_cache_stats`].
+    /// the kernel-cache mirror of [`Session::plan_cache_stats`]. Reports
+    /// the cache this session actually uses: the engine-shared cache
+    /// until the session's first local function registration, its
+    /// private cache after.
     pub fn chain_kernel_stats(&self) -> tdp_exec::ChainKernelStats {
-        self.chain_kernels.stats()
+        match &*self.private_kernels.borrow() {
+            Some(cache) => cache.stats(),
+            None => self.engine.chain_kernels().stats(),
+        }
     }
 
-    /// The session kernel cache, or `None` when chain kernels are
-    /// disabled — threaded into each execution's `ExecContext`.
-    pub(crate) fn chain_kernels_handle(&self) -> Option<Arc<tdp_exec::KernelCache>> {
-        if self.chain_kernels_on.get() {
-            Some(Arc::clone(&self.chain_kernels))
-        } else {
-            None
+    /// The kernel cache this session executes against, or `None` when
+    /// chain kernels are disabled — threaded into each execution's
+    /// `ExecContext`. A private cache is first synchronized against
+    /// engine-side changes (catalog version / engine UDF epoch) it
+    /// cannot observe directly.
+    pub(crate) fn chain_kernels_handle(&self) -> Option<Arc<KernelCache>> {
+        if !self.chain_kernels_on.get() {
+            return None;
+        }
+        match &*self.private_kernels.borrow() {
+            None => Some(Arc::clone(self.engine.chain_kernels())),
+            Some(cache) => {
+                let now = (self.engine.catalog().version(), self.engine.udf_epoch());
+                if self.kernel_sync.get() != now {
+                    cache.bump_epoch();
+                    self.kernel_sync.set(now);
+                }
+                Some(Arc::clone(cache))
+            }
+        }
+    }
+
+    /// Invalidate compiled chains after a session-local registration.
+    /// The engine cache cannot be bumped (other sessions' kernels remain
+    /// valid), so the session leaves it: first divergence switches to a
+    /// fresh private cache, later registrations epoch-bump it.
+    fn diverge_kernels(&self) {
+        let mut private = self.private_kernels.borrow_mut();
+        match &*private {
+            Some(cache) => cache.bump_epoch(),
+            None => {
+                self.kernel_sync
+                    .set((self.engine.catalog().version(), self.engine.udf_epoch()));
+                *private = Some(Arc::new(KernelCache::new()));
+            }
         }
     }
 
@@ -273,28 +334,29 @@ impl Tdp {
         &self,
         f: impl FnOnce(&mut crate::vector::VectorIndexes) -> R,
     ) -> R {
-        f(&mut self.vector_indexes.borrow_mut())
+        self.engine.vector_indexes_mut(f)
     }
 
     pub(crate) fn with_vector_indexes<R>(
         &self,
         f: impl FnOnce(&crate::vector::VectorIndexes) -> R,
     ) -> R {
-        f(&self.vector_indexes.borrow())
+        self.engine.with_vector_indexes(f)
     }
 
     /// Device used by queries that do not override it.
     pub fn set_default_device(&self, device: Device) {
-        *self.default_device.borrow_mut() = device;
+        self.default_device.set(device);
     }
 
     pub fn default_device(&self) -> Device {
-        *self.default_device.borrow()
+        self.default_device.get()
     }
 
-    /// The session catalog (mostly for inspection/tests).
+    /// The engine catalog (mostly for inspection/tests). Shared: tables
+    /// registered here are visible to every session of the engine.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.engine.catalog()
     }
 
     // ------------------------------------------------------------------
@@ -304,14 +366,12 @@ impl Tdp {
     /// Register a table, placing it on the session's default device.
     pub fn register_table(&self, table: Table) {
         let device = self.default_device();
-        self.catalog.register(table.to_device(device));
-        self.chain_kernels.bump_epoch();
+        self.engine.register_table(table.to_device(device));
     }
 
     /// Register a table on an explicit device.
     pub fn register_table_on(&self, table: Table, device: Device) {
-        self.catalog.register(table.to_device(device));
-        self.chain_kernels.bump_epoch();
+        self.engine.register_table(table.to_device(device));
     }
 
     /// Register a bare tensor as a one-column table named after itself —
@@ -345,7 +405,7 @@ impl Tdp {
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), TdpError> {
         let table = self
-            .catalog
+            .catalog()
             .get(name)
             .ok_or_else(|| TdpError::Session(format!("unknown table '{name}'")))?;
         tdp_storage::save_table(&table, path).map_err(|e| TdpError::Session(e.to_string()))
@@ -357,7 +417,7 @@ impl Tdp {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)
             .map_err(|e| TdpError::Session(format!("cannot create {}: {e}", dir.display())))?;
-        let mut names = self.catalog.names();
+        let mut names = self.catalog().names();
         names.sort();
         for name in &names {
             self.save_table(name, dir.join(format!("{name}.tdpf")))?;
@@ -366,7 +426,7 @@ impl Tdp {
     }
 
     /// Register every `.tdpf` file found in `dir`. Returns the table
-    /// names registered (the inverse of [`Tdp::save_catalog`]).
+    /// names registered (the inverse of [`Session::save_catalog`]).
     pub fn open_catalog(&self, dir: impl AsRef<std::path::Path>) -> Result<Vec<String>, TdpError> {
         let dir = dir.as_ref();
         let entries = std::fs::read_dir(dir)
@@ -383,44 +443,47 @@ impl Tdp {
         Ok(names)
     }
 
-    /// Drop a table; returns whether it existed.
+    /// Drop a table engine-wide; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.catalog.drop_table(name)
+        self.engine.drop_table(name)
     }
 
     // ------------------------------------------------------------------
     // Function registration (paper §3, the `tdp_udf` annotation)
     // ------------------------------------------------------------------
 
-    /// Register a scalar UDF. Functions registered here stay
-    /// session-thread-bound — the right home for trainable UDFs whose
-    /// parameters ride the `Rc`-based autodiff tape. Stateless functions
-    /// should prefer [`Tdp::register_udf_parallel`].
+    /// Register a scalar UDF, visible to **this session only**. Functions
+    /// registered here stay session-thread-bound — the right home for
+    /// trainable UDFs whose parameters ride the `Rc`-based autodiff tape.
+    /// On a name collision with an engine-registered function, the local
+    /// registration wins for this session. Stateless functions should
+    /// prefer [`Session::register_udf_parallel`].
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
         self.udfs.borrow_mut().register_scalar(udf);
-        self.udf_epoch.set(self.udf_epoch.get() + 1);
-        self.chain_kernels.bump_epoch();
+        self.local_epoch.set(self.local_epoch.get() + 1);
+        self.diverge_kernels();
     }
 
-    /// Register a `Send + Sync` scalar UDF. Combined with a
-    /// [`tdp_exec::FunctionSpec`] declaring `parallel_safe`, queries
-    /// applying it execute through the morsel scheduler's worker pool
-    /// instead of falling back to the sequential whole-batch path.
+    /// Register a `Send + Sync` scalar UDF on the **engine**, visible to
+    /// every session. Combined with a [`tdp_exec::FunctionSpec`]
+    /// declaring `parallel_safe`, queries applying it execute through the
+    /// morsel scheduler's worker pool instead of falling back to the
+    /// sequential whole-batch path.
     pub fn register_udf_parallel(&self, udf: Arc<dyn ScalarUdf + Send + Sync>) {
-        self.udfs.borrow_mut().register_scalar_parallel(udf);
-        self.udf_epoch.set(self.udf_epoch.get() + 1);
-        self.chain_kernels.bump_epoch();
+        self.engine.register_udf_shared(udf);
     }
 
-    /// Register a table-valued function.
+    /// Register a table-valued function, visible to **this session only**.
     pub fn register_tvf(&self, tvf: Arc<dyn TableFunction>) {
         self.udfs.borrow_mut().register_table_fn(tvf);
-        self.udf_epoch.set(self.udf_epoch.get() + 1);
-        self.chain_kernels.bump_epoch();
+        self.local_epoch.set(self.local_epoch.get() + 1);
+        self.diverge_kernels();
     }
 
+    /// The session's complete function view: engine-registered functions
+    /// merged with session-local ones (local wins on collision).
     pub(crate) fn udfs_snapshot(&self) -> UdfRegistry {
-        self.udfs.borrow().clone()
+        UdfRegistry::merged(&self.engine.shared_udfs(), &self.udfs.borrow())
     }
 
     // ------------------------------------------------------------------
@@ -429,8 +492,8 @@ impl Tdp {
 
     /// Compile SQL with the default configuration (exact operators,
     /// session default device). Desugars to a zero-parameter
-    /// [`Tdp::prepare`] + bind: statements with `?`/`$n` placeholders
-    /// must go through [`Tdp::prepare`] so values can be supplied.
+    /// [`Session::prepare`] + bind: statements with `?`/`$n` placeholders
+    /// must go through [`Session::prepare`] so values can be supplied.
     pub fn query(&self, sql: &str) -> Result<CompiledQuery<'_>, TdpError> {
         self.query_with(sql, QueryConfig::default().device(self.default_device()))
     }
@@ -460,32 +523,45 @@ impl Tdp {
     /// Compilation results are cached by *normalized* statement text:
     /// every literal is lifted into a parameter slot before hashing, so
     /// texts differing only in constants — the REPL / training-loop
-    /// pattern — hit the same compiled [`PhysicalPlan`]. Cache entries are
-    /// invalidated when a referenced table's schema changes or when the
-    /// function registry changes, and evicted per-entry LRU at capacity.
+    /// pattern — hit the same compiled [`PhysicalPlan`]. The session
+    /// overlay is consulted first, then the engine's cross-session cache
+    /// (see the [`Session`] docs for the two-tier rules). Cache entries
+    /// are invalidated when a referenced table's schema changes or when
+    /// the relevant function registry changes, and evicted per-entry LRU
+    /// at capacity.
     pub fn prepare_with(&self, sql: &str, config: QueryConfig) -> Result<Prepared<'_>, TdpError> {
         let ast = parse(sql)?;
+        let merged = self.udfs_snapshot();
         // Immutable UDF calls over literal arguments fold into literals
         // *before* auto-parameterisation, so the folded constant shares
-        // plan-cache entries like any other literal.
-        let ast = tdp_exec::fold_immutable_udfs(ast, &self.udfs.borrow());
+        // plan-cache entries like any other literal. (Folding consults
+        // the merged registry, so sessions with different local functions
+        // normalize to different keys — the text itself carries the
+        // divergence.)
+        let ast = tdp_exec::fold_immutable_udfs(ast, &merged);
         let explicit = tdp_sql::param::explicit_param_count(&ast);
         let (ast, literals) = tdp_sql::param::parameterize_literals(ast, explicit);
         let implicit: Vec<ParamValue> = literals.iter().map(ParamValue::from).collect();
         let key = ast.to_string();
 
-        let catalog_version = self.catalog.version();
-        let udf_epoch = self.udf_epoch.get();
+        let catalog_version = self.engine.catalog().version();
+        let engine_epoch = self.engine.udf_epoch();
+        let local_epoch = self.local_epoch.get();
 
+        // Tier 1: the session overlay (plans involving local functions).
+        // Checked first because its entries *override* engine entries for
+        // this session by construction.
         if let Some(entry) = self.plan_cache.borrow_mut().get_mut(&key) {
-            let valid = entry.udf_epoch == udf_epoch
-                && (entry.catalog_version == catalog_version || self.scans_unchanged(&entry.scans));
+            let valid = entry.engine_epoch == engine_epoch
+                && entry.local_epoch == local_epoch
+                && (entry.catalog_version == catalog_version
+                    || self.engine.scans_unchanged(&entry.scans));
             if valid {
                 // Schemas re-validated above; fast-forward the version so
                 // the next hit takes the cheap equality path.
                 entry.catalog_version = catalog_version;
-                entry.last_used = self.tick();
-                self.cache_hits.set(self.cache_hits.get() + 1);
+                entry.last_used = self.engine.tick();
+                self.engine.note_plan_cache_hit();
                 // The cache key is literal-invariant, so a cached plan can
                 // be served for a text whose literals have *different
                 // types*. The plan structure was fully validated when the
@@ -510,55 +586,92 @@ impl Tdp {
                 ));
             }
         }
-        self.cache_misses.set(self.cache_misses.get() + 1);
 
-        let udfs = self.udfs.borrow();
+        // Tier 2: the engine's cross-session cache (plans this session's
+        // local registrations do not interfere with).
+        if let Some(hit) =
+            self.engine
+                .cached_plan(&key, engine_epoch, catalog_version, &self.udfs.borrow())
+        {
+            tdp_exec::validate_param_constraints(&hit.param_constraints, &|idx| {
+                if idx < explicit {
+                    tdp_exec::StaticKind::Unknown
+                } else {
+                    param_static_kind(implicit.get(idx - explicit))
+                }
+            })?;
+            return Ok(Prepared::new(
+                self,
+                hit.logical,
+                hit.physical,
+                hit.fingerprint,
+                config,
+                explicit,
+                implicit,
+                hit.param_constraints,
+            ));
+        }
+        self.engine.note_plan_cache_miss();
+
         let plan = tdp_sql::plan::build_plan(
             &ast,
             &PlannerContext {
-                is_tvf: &|n| udfs.is_table_fn(n),
+                is_tvf: &|n| merged.is_table_fn(n),
             },
         )?;
         let plan = optimizer::optimize(plan);
-        let physical = Arc::new(tdp_exec::lower(&plan, &self.catalog, &udfs)?);
-        let param_constraints = tdp_exec::param_arg_constraints(&physical, &udfs);
-        drop(udfs);
+        let physical = Arc::new(tdp_exec::lower(&plan, self.engine.catalog(), &merged)?);
+        let param_constraints = tdp_exec::param_arg_constraints(&physical, &merged);
         let logical = Arc::new(plan);
         let fingerprint = physical.fingerprint();
-        self.validate_signatures(&physical, explicit, &implicit)?;
+        self.validate_signatures(&physical, &merged, explicit, &implicit)?;
 
         // Cache only plans whose scans all resolved a schema: a plan
         // compiled against a missing table must not pin that state.
         let scans = physical.scans();
         if scans.iter().all(|(_, s)| s.is_some()) {
-            let mut cache = self.plan_cache.borrow_mut();
-            if cache.len() >= PLAN_CACHE_CAP && !cache.contains_key(&key) {
-                // Per-entry LRU: drop only the stalest plan.
-                if let Some(oldest) = cache
+            let scans: Vec<(String, Vec<String>)> = scans
+                .into_iter()
+                .map(|(t, s)| (t, s.expect("checked above")))
+                .collect();
+            let functions = physical.function_names();
+            let locally_resolved = {
+                let local = self.udfs.borrow();
+                functions
                     .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                {
-                    cache.remove(&oldest);
-                    self.cache_evictions.set(self.cache_evictions.get() + 1);
-                }
+                    .any(|n| local.is_scalar(n) || local.is_table_fn(n))
+            };
+            if locally_resolved {
+                self.store_local(
+                    key,
+                    LocalPlan {
+                        logical: Arc::clone(&logical),
+                        physical: Arc::clone(&physical),
+                        fingerprint,
+                        catalog_version,
+                        engine_epoch,
+                        local_epoch,
+                        scans,
+                        param_constraints: param_constraints.clone(),
+                        last_used: self.engine.tick(),
+                    },
+                );
+            } else {
+                self.engine.store_plan(
+                    key,
+                    SharedPlan {
+                        logical: Arc::clone(&logical),
+                        physical: Arc::clone(&physical),
+                        fingerprint,
+                        catalog_version,
+                        udf_epoch: engine_epoch,
+                        scans,
+                        functions,
+                        param_constraints: param_constraints.clone(),
+                        last_used: self.engine.tick(),
+                    },
+                );
             }
-            cache.insert(
-                key,
-                CachedPlan {
-                    logical: Arc::clone(&logical),
-                    physical: Arc::clone(&physical),
-                    fingerprint,
-                    catalog_version,
-                    udf_epoch,
-                    scans: scans
-                        .into_iter()
-                        .map(|(t, s)| (t, s.expect("checked above")))
-                        .collect(),
-                    param_constraints: param_constraints.clone(),
-                    last_used: self.tick(),
-                },
-            );
         }
         Ok(Prepared::new(
             self,
@@ -572,10 +685,22 @@ impl Tdp {
         ))
     }
 
-    fn tick(&self) -> u64 {
-        let t = self.cache_tick.get() + 1;
-        self.cache_tick.set(t);
-        t
+    /// Insert into the session overlay, evicting its stalest entry at
+    /// capacity (the overlay has its own [`PLAN_CACHE_CAP`] budget,
+    /// separate from the engine cache's).
+    fn store_local(&self, key: String, plan: LocalPlan) {
+        let mut cache = self.plan_cache.borrow_mut();
+        if cache.len() >= PLAN_CACHE_CAP && !cache.contains_key(&key) {
+            if let Some(oldest) = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                cache.remove(&oldest);
+                self.engine.note_plan_cache_eviction();
+            }
+        }
+        cache.insert(key, plan);
     }
 
     /// Check every UDF/TVF call of a lowered plan against its declared
@@ -586,53 +711,122 @@ impl Tdp {
     fn validate_signatures(
         &self,
         physical: &PhysicalPlan,
+        udfs: &UdfRegistry,
         explicit: usize,
         implicit: &[ParamValue],
     ) -> Result<(), TdpError> {
-        let udfs = self.udfs.borrow();
         let kind = |idx: usize| -> tdp_exec::StaticKind {
             if idx < explicit {
                 return tdp_exec::StaticKind::Unknown;
             }
             param_static_kind(implicit.get(idx - explicit))
         };
-        tdp_exec::validate_function_args(physical, &udfs, &kind)?;
+        tdp_exec::validate_function_args(physical, udfs, &kind)?;
         Ok(())
     }
 
-    /// Whether every `(table, schema)` a cached plan was compiled against
-    /// still matches the live catalog.
-    fn scans_unchanged(&self, scans: &[(String, Vec<String>)]) -> bool {
-        scans.iter().all(|(table, expected)| {
-            self.catalog.get(table).is_some_and(|t| {
-                let live = t.columns();
-                live.len() == expected.len()
-                    && live
-                        .iter()
-                        .zip(expected)
-                        .all(|(c, e)| c.name.eq_ignore_ascii_case(e))
-            })
-        })
-    }
-
-    /// Number of cached compiled plans (diagnostics / tests).
+    /// Number of cached compiled plans visible to this session: engine
+    /// entries plus this session's overlay (diagnostics / tests).
     pub fn plan_cache_len(&self) -> usize {
-        self.plan_cache.borrow().len()
+        self.engine.plan_cache_stats().entries + self.plan_cache.borrow().len()
     }
 
-    /// Cumulative hit/miss/eviction counters plus current entry count.
+    /// Cumulative engine-wide hit/miss/eviction counters plus the entry
+    /// count visible to this session (engine cache + session overlay).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        PlanCacheStats {
-            hits: self.cache_hits.get(),
-            misses: self.cache_misses.get(),
-            evictions: self.cache_evictions.get(),
-            entries: self.plan_cache.borrow().len(),
+        let mut stats = self.engine.plan_cache_stats();
+        stats.entries += self.plan_cache.borrow().len();
+        stats
+    }
+
+    /// Drop every cached compiled plan — the engine cache *and* this
+    /// session's overlay (counters keep accumulating).
+    pub fn clear_plan_cache(&self) {
+        self.engine.clear_plan_cache();
+        self.plan_cache.borrow_mut().clear();
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.engine.note_session_closed();
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("default_device", &self.default_device.get())
+            .field("threads", &self.threads.get())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An AI-centric database, embedded: one [`TdpEngine`] plus one
+/// [`Session`], presented as a single handle. `Tdp` dereferences to its
+/// session, so the whole session API (`query`, `prepare`,
+/// `register_table`, …) is available directly — existing single-user
+/// code keeps compiling unchanged on top of the engine/session split.
+///
+/// For multi-user embedding (one session per thread over shared tables
+/// and caches), create the engine explicitly:
+///
+/// ```
+/// use tdp_core::TdpEngine;
+///
+/// let engine = TdpEngine::new();
+/// let session_a = engine.session(); // e.g. one per thread
+/// let session_b = engine.session();
+/// # drop((session_a, session_b));
+/// ```
+pub struct Tdp {
+    session: Session,
+}
+
+impl Default for Tdp {
+    fn default() -> Self {
+        Tdp::new()
+    }
+}
+
+impl Tdp {
+    /// A fresh engine with one session on it.
+    pub fn new() -> Tdp {
+        Tdp {
+            session: TdpEngine::new().session(),
         }
     }
 
-    /// Drop every cached compiled plan (counters keep accumulating).
-    pub fn clear_plan_cache(&self) {
-        self.plan_cache.borrow_mut().clear();
+    /// The underlying shared engine — open more sessions from other
+    /// threads with [`TdpEngine::session`].
+    pub fn engine(&self) -> &Arc<TdpEngine> {
+        self.session.engine()
+    }
+
+    /// The facade's own session, explicitly.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Unwrap into the underlying session.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+}
+
+impl std::ops::Deref for Tdp {
+    type Target = Session;
+
+    fn deref(&self) -> &Session {
+        &self.session
+    }
+}
+
+impl std::fmt::Debug for Tdp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tdp")
+            .field("session", &self.session)
+            .finish()
     }
 }
 
@@ -1155,5 +1349,41 @@ mod tests {
         // Data values unaffected by placement.
         let out = tdp.query("SELECT COUNT(*) FROM t").unwrap().run().unwrap();
         assert_eq!(out.rows(), 1);
+    }
+
+    #[test]
+    fn local_udf_plans_stay_in_the_session_overlay() {
+        use tdp_encoding::EncodedTensor;
+        struct Twice;
+        impl ScalarUdf for Twice {
+            fn name(&self) -> &str {
+                "twice"
+            }
+            fn invoke(
+                &self,
+                args: &[tdp_exec::ArgValue],
+                _ctx: &tdp_exec::ExecContext,
+            ) -> Result<EncodedTensor, tdp_exec::ExecError> {
+                Ok(EncodedTensor::F32(
+                    args[0].as_column()?.decode_f32().mul_scalar(2.0),
+                ))
+            }
+        }
+        let tdp = Tdp::new();
+        tdp.register_table(TableBuilder::new().col_f32("x", vec![3.0]).build("t"));
+        tdp.register_udf(Arc::new(Twice));
+        tdp.query("SELECT twice(x) FROM t").unwrap().run().unwrap();
+        assert_eq!(
+            tdp.engine().plan_cache_stats().entries,
+            0,
+            "a plan resolving a session-local UDF must not enter the shared cache"
+        );
+        assert_eq!(tdp.plan_cache_len(), 1, "…but is cached in the overlay");
+        let before = tdp.plan_cache_stats();
+        tdp.query("SELECT twice(x) FROM t").unwrap();
+        assert_eq!(tdp.plan_cache_stats().hits, before.hits + 1);
+        // A plan with no local resolution still shares engine-wide.
+        tdp.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(tdp.engine().plan_cache_stats().entries, 1);
     }
 }

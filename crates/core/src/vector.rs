@@ -3,10 +3,12 @@
 //! The paper's §5.1 runs top-k image search as plain SQL (`ORDER BY score
 //! DESC LIMIT 2`) and notes that approximate indexing à la Milvus is being
 //! integrated to accelerate exactly that query shape. This module is that
-//! integration: a session-level registry of vector indexes over embedding
-//! columns, with a flat (exact) and an IVF-Flat (approximate) build, and a
+//! integration: a registry of vector indexes over embedding columns, with
+//! a flat (exact) and an IVF-Flat (approximate) build, and a
 //! `vector_topk` fast path the examples/benches use instead of the full
-//! ORDER-BY scan.
+//! ORDER-BY scan. Like the catalog the registry lives on the engine —
+//! indexes are built from shared tables, so every session of an engine
+//! sees them.
 
 use std::collections::HashMap;
 
@@ -14,7 +16,7 @@ use tdp_index::{FlatIndex, Hit, IvfFlatIndex, IvfParams, Metric};
 use tdp_tensor::{F32Tensor, Rng64};
 
 use crate::error::TdpError;
-use crate::session::Tdp;
+use crate::session::Session;
 
 /// Which physical index to build.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +42,7 @@ impl BuiltIndex {
     }
 }
 
-/// Session-level registry keyed by `table.column`.
+/// Engine-level registry keyed by `table.column`.
 #[derive(Default)]
 pub(crate) struct VectorIndexes {
     map: HashMap<String, BuiltIndex>,
@@ -50,7 +52,7 @@ fn key(table: &str, column: &str) -> String {
     format!("{table}.{column}")
 }
 
-impl Tdp {
+impl Session {
     /// Build (or rebuild) a vector index over an embedding column.
     ///
     /// The column must hold one vector per row (a 2-d tensor). Index
@@ -126,6 +128,7 @@ impl Tdp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Tdp;
     use tdp_storage::TableBuilder;
     use tdp_tensor::Tensor;
 

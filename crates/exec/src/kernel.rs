@@ -510,7 +510,7 @@ impl KernelCache {
         let entries = self
             .inner
             .lock()
-            .expect("kernel cache poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .entries
             .len();
         ChainKernelStats {
@@ -529,7 +529,7 @@ impl KernelCache {
     fn get_or_compile(&self, ops: &[MorselOp<'_>], ctx: &ExecContext) -> Compiled {
         let epoch = self.epoch.load(Ordering::Relaxed);
         let fp = chain_fingerprint(ops);
-        let mut inner = self.inner.lock().expect("kernel cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(e) = inner.entries.get_mut(&fp) {

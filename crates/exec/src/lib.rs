@@ -136,5 +136,5 @@ pub use pipeline::{decompose, MorselOp, PipeNode, DEFAULT_MORSEL_ROWS, DEFAULT_P
 pub use profile::{execute_profiled, OpTrace, QueryProfile};
 pub use udf::{
     fold_immutable_udfs, ArgType, ArgValue, ExecContext, FunctionSpec, OutputSchema, ScalarUdf,
-    TableFunction, UdfRegistry, Volatility,
+    SharedUdfRegistry, TableFunction, UdfRegistry, Volatility,
 };

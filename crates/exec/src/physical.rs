@@ -686,6 +686,38 @@ impl PhysicalPlan {
         }
     }
 
+    /// Lowercased, sorted, deduplicated names of every function call
+    /// anywhere in the plan — UDFs, TVFs and built-ins alike, including
+    /// calls inside lowered scalar subqueries. These are the plan's
+    /// name-resolution dependencies: a cache sharing compiled plans
+    /// across sessions must reject a hit for any session whose local
+    /// registrations could resolve one of these names differently.
+    pub fn function_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_function_names(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_function_names(&self, out: &mut Vec<String>) {
+        if let PhysicalPlan::TvfScan { name, .. } | PhysicalPlan::TvfProject { name, .. } = self {
+            out.push(name.to_ascii_lowercase());
+        }
+        self.visit_exprs(&mut |expr| {
+            expr.for_each(&mut |e| match e {
+                CompiledExpr::Udf { name, .. } | CompiledExpr::Builtin { name, .. } => {
+                    out.push(name.to_ascii_lowercase());
+                }
+                CompiledExpr::ScalarSubquery(p) => p.collect_function_names(out),
+                _ => {}
+            });
+        });
+        for child in self.inputs() {
+            child.collect_function_names(out);
+        }
+    }
+
     /// Call `f` on every expression held directly by this node (children
     /// are not visited — pair with a tree walk for whole-plan traversal).
     fn visit_exprs(&self, f: &mut impl FnMut(&CompiledExpr)) {

@@ -404,6 +404,62 @@ pub trait TableFunction {
 /// morsel scheduler may hand to worker threads.
 pub(crate) type SharedScalars = HashMap<String, Arc<dyn ScalarUdf + Send + Sync>>;
 
+/// Engine-level registry of `Send + Sync` scalar functions, shared by
+/// every session of a multi-session engine.
+///
+/// Unlike [`UdfRegistry`] — whose `Arc<dyn ScalarUdf>` entries may wrap
+/// `Rc`-based trainable state and therefore pin the registry to one
+/// thread — this container only admits thread-safe functions, so the
+/// whole registry is `Send + Sync` and can live behind an engine lock.
+/// Sessions see it through [`UdfRegistry::merged`], which overlays their
+/// session-local registrations on top (local wins on a name collision).
+#[derive(Default, Clone)]
+pub struct SharedUdfRegistry {
+    scalars: SharedScalars,
+    /// Registration-time spec snapshots, keyed like `scalars`.
+    specs: HashMap<String, FunctionSpec>,
+}
+
+impl SharedUdfRegistry {
+    pub fn new() -> SharedUdfRegistry {
+        SharedUdfRegistry::default()
+    }
+
+    /// Register (or replace) a thread-safe scalar UDF.
+    pub fn register_scalar(&mut self, udf: Arc<dyn ScalarUdf + Send + Sync>) {
+        let key = UdfRegistry::key(udf.name());
+        self.specs.insert(key.clone(), udf.spec());
+        self.scalars.insert(key, udf);
+    }
+
+    /// Whether a scalar of this name is registered (case-insensitive).
+    pub fn contains(&self, name: &str) -> bool {
+        self.scalars.contains_key(&UdfRegistry::key(name))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.scalars.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.scalars.is_empty()
+    }
+
+    /// Registered function names (lowercased), sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.scalars.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl std::fmt::Debug for SharedUdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedUdfRegistry({:?})", self.names())
+    }
+}
+
 /// Function namespace of a session.
 ///
 /// Declared signatures are snapshotted **once, at registration**: the
@@ -517,6 +573,43 @@ impl UdfRegistry {
         let mut reg = UdfRegistry::new();
         for udf in shared.into_values() {
             reg.register_scalar_parallel(udf);
+        }
+        reg
+    }
+
+    /// Build a session's view of the function namespace: the engine's
+    /// shared registry overlaid with the session-local registrations.
+    /// Local registrations win on a name collision — a session that
+    /// registers its own `f` shadows an engine-shared `f`, mirroring how
+    /// session UDFs shadow built-ins. Shared entries keep their
+    /// thread-safety proof (they stay eligible for worker pools); a local
+    /// override of a shared name drops it, since the local impl made no
+    /// such promise.
+    pub fn merged(shared: &SharedUdfRegistry, local: &UdfRegistry) -> UdfRegistry {
+        let mut reg = UdfRegistry {
+            scalars: HashMap::with_capacity(shared.scalars.len() + local.scalars.len()),
+            scalar_specs: shared.specs.clone(),
+            shared_scalars: shared.scalars.clone(),
+            tables: local.tables.clone(),
+            table_specs: local.table_specs.clone(),
+        };
+        for (key, udf) in &shared.scalars {
+            reg.scalars
+                .insert(key.clone(), Arc::clone(udf) as Arc<dyn ScalarUdf>);
+        }
+        for (key, udf) in &local.scalars {
+            if !local.shared_scalars.contains_key(key) {
+                // Session-bound impl: its thread-safe twin (if any) is
+                // shadowed along with the name.
+                reg.shared_scalars.remove(key);
+            }
+            reg.scalars.insert(key.clone(), Arc::clone(udf));
+        }
+        for (key, udf) in &local.shared_scalars {
+            reg.shared_scalars.insert(key.clone(), Arc::clone(udf));
+        }
+        for (key, spec) in &local.scalar_specs {
+            reg.scalar_specs.insert(key.clone(), spec.clone());
         }
         reg
     }

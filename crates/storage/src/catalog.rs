@@ -9,6 +9,12 @@ use crate::table::{Table, TableStats};
 /// Thread-safe table namespace. Registration replaces silently (matching
 /// the paper's training loop, which re-registers the input tensor under the
 /// same name every iteration — Listing 5, line 6).
+///
+/// Lock poisoning is recovered, not propagated: the map holds complete
+/// `Arc<Table>` values that are swapped in single `insert`/`remove`
+/// calls, so a thread that panicked while holding the lock cannot have
+/// left a half-written entry behind. Recovering keeps one crashed worker
+/// from wedging every other session sharing the engine.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
@@ -32,7 +38,7 @@ impl Catalog {
         let arc = Arc::new(table);
         self.tables
             .write()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(Self::key(arc.name()), Arc::clone(&arc));
         self.version.fetch_add(1, Ordering::Relaxed);
         arc
@@ -47,7 +53,7 @@ impl Catalog {
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {
         self.tables
             .read()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&Self::key(name))
             .cloned()
     }
@@ -57,7 +63,7 @@ impl Catalog {
         let existed = self
             .tables
             .write()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(&Self::key(name))
             .is_some();
         if existed {
@@ -71,7 +77,7 @@ impl Catalog {
         let mut names: Vec<String> = self
             .tables
             .read()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(|t| t.name().to_owned())
             .collect();
@@ -81,7 +87,7 @@ impl Catalog {
 
     /// Number of registered tables.
     pub fn len(&self) -> usize {
-        self.tables.read().expect("catalog lock poisoned").len()
+        self.tables.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -90,7 +96,7 @@ impl Catalog {
 
     /// Aggregate statistics over all tables.
     pub fn stats(&self) -> TableStats {
-        let guard = self.tables.read().expect("catalog lock poisoned");
+        let guard = self.tables.read().unwrap_or_else(|e| e.into_inner());
         let mut total = TableStats {
             rows: 0,
             columns: 0,

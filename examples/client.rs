@@ -1,0 +1,74 @@
+//! A line-protocol client for the TDP server example.
+//!
+//! Connects to a running server (see the `server` example), forwards
+//! each stdin line as one request, and prints the framed response
+//! (every reply ends with a lone `.`, which the client strips). Works
+//! interactively or scripted:
+//!
+//! ```text
+//! $ cargo run --release -p tdp_examples --example client <<'EOF'
+//! PREPARE top SELECT item, SUM(qty) AS total FROM demo WHERE price >= ? GROUP BY item
+//! BIND top 2.5
+//! BIND top 4
+//! STATS
+//! QUIT
+//! EOF
+//! ```
+//!
+//! Set `TDP_ADDR` to point at a non-default server address.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let addr = std::env::var("TDP_ADDR").unwrap_or_else(|_| "127.0.0.1:5433".to_string());
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e} (start the `server` example first)");
+            std::process::exit(1);
+        }
+    };
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    eprintln!("connected to {addr} — one request per line, QUIT to leave");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if writeln!(writer, "{request}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            eprintln!("server closed the connection");
+            break;
+        }
+        // Read one framed response: lines up to the `.` terminator.
+        let mut done = false;
+        loop {
+            let mut reply = String::new();
+            match reader.read_line(&mut reply) {
+                Ok(0) | Err(_) => {
+                    done = true;
+                    break;
+                }
+                Ok(_) => {
+                    if reply.trim_end() == "." {
+                        break;
+                    }
+                    print!("{reply}");
+                }
+            }
+        }
+        if done || request.eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+    }
+}

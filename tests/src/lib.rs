@@ -16,7 +16,7 @@ pub fn orders_table() -> Table {
 
 /// `halve(column)` — a stateless, declared-signature, parallel-safe
 /// scalar UDF (the fixture for morsel-scheduler UDF tests). Register it
-/// through [`tdp_core::Tdp::register_udf_parallel`] to let chains
+/// through [`tdp_core::Session::register_udf_parallel`] to let chains
 /// applying it cross worker threads.
 pub struct HalveUdf;
 

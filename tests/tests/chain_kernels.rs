@@ -99,6 +99,9 @@ fn parameterised_chains_share_one_kernel_across_bindings() {
     tdp.register_table(table(
         &(0..100).map(|i| i as f32 / 10.0 - 5.0).collect::<Vec<_>>(),
     ));
+    // Force kernels on regardless of TDP_CHAIN_KERNELS: the test counts
+    // kernel-cache traffic, which only exists on the compiled path.
+    tdp.set_chain_kernels(true);
     let before = tdp.chain_kernel_stats();
     let prepared = tdp.prepare("SELECT v FROM t WHERE v > $1").unwrap();
     for (i, threshold) in [-2.0, 0.0, 3.5].iter().enumerate() {
@@ -130,6 +133,9 @@ fn parameterised_chains_share_one_kernel_across_bindings() {
 fn null_param_falls_back_and_reproduces_the_interpreter_error() {
     let tdp = Tdp::new();
     tdp.register_table(table(&[1.0, 2.0, 3.0]));
+    // Force kernels on regardless of TDP_CHAIN_KERNELS: the bind-time
+    // refusal this test counts only happens on the compiled path.
+    tdp.set_chain_kernels(true);
     let prepared = tdp.prepare("SELECT v FROM t WHERE v > $1").unwrap();
     let with_kernels = prepared.bind(ParamValues::new().null()).unwrap().run();
     tdp.set_chain_kernels(false);
@@ -154,6 +160,9 @@ fn cache_invalidates_on_catalog_and_udf_registration() {
     let tdp = Tdp::new();
     let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
     tdp.register_table(table(&data));
+    // Force kernels on regardless of TDP_CHAIN_KERNELS: invalidation is
+    // only observable through kernel-cache hit/miss counters.
+    tdp.set_chain_kernels(true);
     let sql = "SELECT sqrt(v) AS r FROM t WHERE v > 10.0";
     tdp.query(sql).unwrap().run().unwrap();
     let s0 = tdp.chain_kernel_stats();
@@ -206,6 +215,9 @@ fn explain_and_profile_report_chain_strategy() {
     ));
     tdp.set_threads(3);
     tdp.set_morsel_rows(16);
+    // Force kernels on regardless of TDP_CHAIN_KERNELS: the strategies
+    // this test asserts only render on the compiled path.
+    tdp.set_chain_kernels(true);
 
     // A fused filter→project chain compiles: EXPLAIN counts its ops.
     let q = tdp.query("SELECT v * 2 AS d FROM t WHERE v > 0.0").unwrap();
