@@ -552,6 +552,62 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_access_paths(c: &mut Criterion) {
+    // The PR 8 access-path story over 2M rows. Pruning side: `v` is
+    // block-ordered (insertion order ~ value order, the natural shape of
+    // log/timestamp data), so a narrow range predicate can rule out
+    // whole 4096-row chunks; the same compiled query runs with zone maps
+    // on and off. ANN side: `ORDER BY distance(emb, ?) LIMIT 10` over
+    // 20k 32-d embeddings through the AnnTopK operator — flat (exact)
+    // vs IVF (nlist=64, nprobe=8) vs the unfused scan+sort oracle.
+    let n = 2_000_000;
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|i| i as f32).collect())
+            .col_i64("k", (0..n).map(|i| (i % 97) as i64).collect())
+            .build("big"),
+    );
+    let mut group = c.benchmark_group("access_paths_2m");
+    group.sample_size(10);
+    let q = tdp
+        .query("SELECT v, k FROM big WHERE v >= 1000000 AND v < 1010000")
+        .expect("compile");
+    for (name, zone_maps) in [("range_filter_pruned", true), ("range_filter_full", false)] {
+        tdp.set_zone_maps(zone_maps);
+        group.bench_function(name, |b| b.iter(|| q.run().expect("run")));
+    }
+    tdp.set_zone_maps(true);
+
+    let nv = 20_000;
+    let d = 32;
+    let mut rng = Rng64::new(23);
+    let emb = Tensor::randn(&[nv, d], 0.0, 1.0, &mut rng);
+    tdp.register_table(
+        TableBuilder::new()
+            .col_i64("id", (0..nv as i64).collect())
+            .col_tensor("emb", emb)
+            .build("vecs"),
+    );
+    let probe = Tensor::randn(&[d], 0.0, 1.0, &mut rng);
+    let run_ann = |sql: &str| {
+        let prepared = tdp.prepare(sql).expect("prepare");
+        let params = ParamValues::new().tensor(probe.clone());
+        prepared.bind(params).expect("bind").run().expect("run")
+    };
+    let topk_sql = "SELECT id FROM vecs ORDER BY distance(emb, ?) LIMIT 10";
+    group.bench_function("ann_flat_exact", |b| b.iter(|| run_ann(topk_sql)));
+    tdp.execute("CREATE INDEX bench_ivf ON vecs (emb) USING ivf(64, 8) METRIC l2")
+        .expect("create index");
+    group.bench_function("ann_ivf_64_8", |b| b.iter(|| run_ann(topk_sql)));
+    tdp.execute("DROP INDEX bench_ivf").expect("drop index");
+    // No LIMIT → Sort, never AnnTopK: the full scan+sort cost.
+    group.bench_function("ann_sort_oracle", |b| {
+        b.iter(|| run_ann("SELECT id FROM vecs ORDER BY distance(emb, ?)"))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -566,6 +622,7 @@ criterion_group!(
     bench_parallel_barriers,
     bench_parallel_udf_scaling,
     bench_chain_kernels,
-    bench_concurrent_sessions
+    bench_concurrent_sessions,
+    bench_access_paths
 );
 criterion_main!(benches);

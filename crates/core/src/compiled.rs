@@ -341,6 +341,11 @@ impl<'s> BoundQuery<'s> {
             } else {
                 self.session.chain_kernels_handle()
             },
+            zone_maps: self.session.zone_maps_enabled(),
+            // Plain runs accumulate straight into the engine-wide
+            // counters; run_profiled swaps in a private cell so the
+            // profile reports this run alone.
+            access: Arc::clone(self.session.engine().access_counters()),
         }
     }
 
@@ -361,8 +366,18 @@ impl<'s> BoundQuery<'s> {
     pub fn run_profiled(&self) -> Result<(Table, tdp_exec::QueryProfile), TdpError> {
         self.session.engine().note_query_served();
         let udfs = self.session.udfs_snapshot();
-        let ctx = self.exec_context(&udfs, false);
-        let (batch, profile) = tdp_exec::execute_profiled(&self.physical, &ctx)?;
+        let mut ctx = self.exec_context(&udfs, false);
+        // A private counter cell isolates this run's access-path numbers
+        // from concurrent sessions; absorbed into the engine-wide totals
+        // afterwards so access_path_stats() still covers profiled runs.
+        let access = Arc::new(tdp_exec::AccessPathCounters::default());
+        ctx.access = Arc::clone(&access);
+        let result = tdp_exec::execute_profiled(&self.physical, &ctx);
+        self.session
+            .engine()
+            .access_counters()
+            .absorb(access.snapshot());
+        let (batch, profile) = result?;
         Ok((batch.to_table("result"), profile))
     }
 

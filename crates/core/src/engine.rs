@@ -6,10 +6,13 @@
 //! ```text
 //!   TdpEngine (Arc, Send + Sync)          Session (one per user, !Send)
 //!   ├─ Catalog            RwLock          ├─ local UdfRegistry   (Rc-based
-//!   ├─ shared plan cache  Mutex           │   trainable Vars live here)
-//!   ├─ SharedUdfRegistry  RwLock          ├─ bound params / device
-//!   ├─ KernelCache        (internally     ├─ threads / morsels / partitions
-//!   ├─ vector indexes      locked)        └─ session-local plan overlay
+//!   │   (tables, zone maps,               │   trainable Vars live here)
+//!   │    vector indexes)                  ├─ bound params / device
+//!   ├─ shared plan cache  Mutex           ├─ threads / morsels / partitions
+//!   ├─ SharedUdfRegistry  RwLock          ├─ zone-map toggle
+//!   ├─ KernelCache        (internally     └─ session-local plan overlay
+//!   ├─ access-path         locked)
+//!   │   counters          atomics
 //!   └─ EngineStats        atomics
 //! ```
 //!
@@ -46,12 +49,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use tdp_exec::{KernelCache, ParamConstraint, PhysicalPlan, ScalarUdf, SharedUdfRegistry};
+use tdp_exec::{
+    AccessPathCounters, AccessPathStats, KernelCache, ParamConstraint, PhysicalPlan, ScalarUdf,
+    SharedUdfRegistry,
+};
 use tdp_sql::plan::LogicalPlan;
 use tdp_storage::{Catalog, Table};
 
 use crate::session::{PlanCacheStats, Session};
-use crate::vector::VectorIndexes;
 
 /// Upper bound on plans cached by the engine (and, separately, by each
 /// session's local overlay). Eviction is per-entry LRU.
@@ -126,10 +131,11 @@ pub(crate) struct PlanHit {
     pub(crate) param_constraints: Vec<ParamConstraint>,
 }
 
-/// The shared, thread-safe engine: catalog, cross-session plan cache,
-/// engine-registered (thread-safe) UDFs, compiled chain-kernel cache,
-/// vector indexes and observability counters. See the module docs for
-/// the engine/session ownership picture.
+/// The shared, thread-safe engine: catalog (tables, zone maps and
+/// vector indexes), cross-session plan cache, engine-registered
+/// (thread-safe) UDFs, compiled chain-kernel cache, access-path and
+/// observability counters. See the module docs for the engine/session
+/// ownership picture.
 pub struct TdpEngine {
     catalog: Catalog,
     /// Thread-safe scalar UDFs visible to every session
@@ -150,7 +156,10 @@ pub struct TdpEngine {
     /// cache on their first local registration — see
     /// [`Session::register_udf`]).
     chain_kernels: Arc<KernelCache>,
-    vector_indexes: RwLock<VectorIndexes>,
+    /// Engine-wide access-path counters: morsels pruned/scanned by zone
+    /// maps and ANN operator executions, accumulated over every plain
+    /// `run()` of every session (profiled runs absorb into it too).
+    access: Arc<AccessPathCounters>,
     sessions_open: AtomicU64,
     sessions_total: AtomicU64,
     queries_served: AtomicU64,
@@ -172,7 +181,7 @@ impl TdpEngine {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             chain_kernels: Arc::new(KernelCache::new()),
-            vector_indexes: RwLock::new(VectorIndexes::default()),
+            access: Arc::new(AccessPathCounters::default()),
             sessions_open: AtomicU64::new(0),
             sessions_total: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
@@ -398,18 +407,18 @@ impl TdpEngine {
         cache.insert(key, plan);
     }
 
-    pub(crate) fn with_vector_indexes<R>(&self, f: impl FnOnce(&VectorIndexes) -> R) -> R {
-        f(&self
-            .vector_indexes
-            .read()
-            .unwrap_or_else(|e| e.into_inner()))
+    /// Snapshot of the engine-wide access-path counters: how many
+    /// morsels zone-map pruning skipped vs. actually scanned (for
+    /// pruning-eligible scans), and how many ANN top-k operator
+    /// executions ran. Monotonic over the engine's lifetime.
+    pub fn access_path_stats(&self) -> AccessPathStats {
+        self.access.snapshot()
     }
 
-    pub(crate) fn vector_indexes_mut<R>(&self, f: impl FnOnce(&mut VectorIndexes) -> R) -> R {
-        f(&mut self
-            .vector_indexes
-            .write()
-            .unwrap_or_else(|e| e.into_inner()))
+    /// The shared counter cell itself — handed to [`ExecContext`]s so
+    /// executions accumulate in place.
+    pub(crate) fn access_counters(&self) -> &Arc<AccessPathCounters> {
+        &self.access
     }
 }
 

@@ -62,10 +62,10 @@ pub mod vector;
 pub use compiled::{BoundQuery, CompiledQuery, Prepared, QueryConfig};
 pub use engine::{EngineStats, TdpEngine};
 pub use error::TdpError;
-pub use session::{PlanCacheStats, Session, Tdp};
+pub use session::{PlanCacheStats, Session, StatementOutcome, Tdp};
 pub use tdp_exec::{
-    ArgType, ChainKernelStats, FunctionSpec, OutputSchema, ParamValue, ParamValues, ScalarUdf,
-    SharedUdfRegistry, TableFunction, Volatility,
+    AccessPathStats, ArgType, ChainKernelStats, FunctionSpec, OutputSchema, ParamValue,
+    ParamValues, ScalarUdf, SharedUdfRegistry, TableFunction, Volatility,
 };
 pub use vector::IndexKind;
 

@@ -88,6 +88,20 @@ fn default_chain_kernels() -> bool {
         .unwrap_or(true)
 }
 
+/// Default zone-map pruning switch: on unless `TDP_ZONE_MAPS` is set to
+/// `0`, `false` or `off`. Pruning only ever skips morsels the filter
+/// would reject wholesale, so CI runs the whole suite at both settings.
+fn default_zone_maps() -> bool {
+    std::env::var("TDP_ZONE_MAPS")
+        .map(|v| {
+            !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "0" | "false" | "off"
+            )
+        })
+        .unwrap_or(true)
+}
+
 /// A compilation cached in the session-local overlay: a plan whose name
 /// resolution involved at least one *session-local* function, so it can
 /// never be shared through the engine cache. Shape and invalidation
@@ -160,6 +174,16 @@ pub struct PlanCacheStats {
 /// function names it resolved, and a session that has locally registered
 /// any of them bypasses the entry — local registrations win without
 /// poisoning other sessions.
+/// Result of [`Session::execute`]: rows for queries, an acknowledgement
+/// line for DDL.
+#[derive(Debug)]
+pub enum StatementOutcome {
+    /// A SELECT's result table.
+    Rows(Table),
+    /// DDL acknowledgement (e.g. `CREATE INDEX idx`).
+    Ack(String),
+}
+
 pub struct Session {
     engine: Arc<TdpEngine>,
     /// Session-local functions only (locally registered scalar UDFs and
@@ -198,6 +222,9 @@ pub struct Session {
     /// Whether executions consult the chain-kernel compiler at all
     /// (default: `TDP_CHAIN_KERNELS`, else on).
     chain_kernels_on: Cell<bool>,
+    /// Whether executions consult zone maps for chunk pruning
+    /// (default: `TDP_ZONE_MAPS`, else on).
+    zone_maps_on: Cell<bool>,
 }
 
 impl Session {
@@ -214,6 +241,7 @@ impl Session {
             private_kernels: RefCell::new(None),
             kernel_sync: Cell::new((0, 0)),
             chain_kernels_on: Cell::new(default_chain_kernels()),
+            zone_maps_on: Cell::new(default_zone_maps()),
         }
     }
 
@@ -330,18 +358,18 @@ impl Session {
         }
     }
 
-    pub(crate) fn vector_indexes_mut<R>(
-        &self,
-        f: impl FnOnce(&mut crate::vector::VectorIndexes) -> R,
-    ) -> R {
-        self.engine.vector_indexes_mut(f)
+    /// Enable or disable zone-map chunk pruning (default: the
+    /// `TDP_ZONE_MAPS` environment variable, else on). Pruning is a pure
+    /// performance substitution: a skipped morsel is one the compiled
+    /// filter provably rejects wholesale, so results are byte-identical
+    /// either way — which the test suite exercises at both settings.
+    pub fn set_zone_maps(&self, on: bool) {
+        self.zone_maps_on.set(on);
     }
 
-    pub(crate) fn with_vector_indexes<R>(
-        &self,
-        f: impl FnOnce(&crate::vector::VectorIndexes) -> R,
-    ) -> R {
-        self.engine.with_vector_indexes(f)
+    /// Whether zone-map chunk pruning is consulted during execution.
+    pub fn zone_maps_enabled(&self) -> bool {
+        self.zone_maps_on.get()
     }
 
     /// Device used by queries that do not override it.
@@ -507,6 +535,59 @@ impl Session {
         config: QueryConfig,
     ) -> Result<CompiledQuery<'_>, TdpError> {
         self.prepare_with(sql, config)?.bind(ParamValues::new())
+    }
+
+    /// Execute a top-level statement. SELECT queries compile and run
+    /// like [`Session::query`]; the vector-index DDL forms apply to the
+    /// catalog eagerly and return an acknowledgement:
+    ///
+    /// ```sql
+    /// CREATE INDEX idx ON vecs (emb) USING ivf(64, 8) METRIC l2
+    /// DROP INDEX idx
+    /// ```
+    ///
+    /// The default method is `flat` (exact) and the default metric `l2`
+    /// — matching the `distance()` builtin the ANN top-k planner
+    /// recognizes. Index builds are deterministic (fixed seed).
+    pub fn execute(&self, sql: &str) -> Result<StatementOutcome, TdpError> {
+        match tdp_sql::parse_statement(sql)? {
+            tdp_sql::Statement::Query(_) => self.query(sql)?.run().map(StatementOutcome::Rows),
+            tdp_sql::Statement::CreateIndex {
+                name,
+                table,
+                column,
+                method,
+                metric,
+            } => {
+                let metric = match metric.as_deref() {
+                    None | Some("l2") => tdp_index::Metric::L2,
+                    Some("ip") | Some("inner_product") => tdp_index::Metric::InnerProduct,
+                    Some("cosine") => tdp_index::Metric::Cosine,
+                    Some(other) => {
+                        return Err(TdpError::Session(format!(
+                            "unknown metric '{other}'; expected l2, ip or cosine"
+                        )))
+                    }
+                };
+                let kind = match method {
+                    tdp_sql::IndexMethod::Flat => crate::vector::IndexKind::Flat,
+                    tdp_sql::IndexMethod::Ivf { nlist, nprobe } => {
+                        crate::vector::IndexKind::IvfFlat(tdp_index::IvfParams::new(nlist), nprobe)
+                    }
+                };
+                self.create_named_vector_index(&name, &table, &column, metric, kind, 0x5eed)?;
+                Ok(StatementOutcome::Ack(format!("CREATE INDEX {name}")))
+            }
+            tdp_sql::Statement::DropIndex { name } => {
+                if self.catalog().drop_vector_index(&name) {
+                    self.clear_plan_cache();
+                    self.engine.clear_plan_cache();
+                    Ok(StatementOutcome::Ack(format!("DROP INDEX {name}")))
+                } else {
+                    Err(TdpError::Session(format!("no index named '{name}'")))
+                }
+            }
+        }
     }
 
     /// Prepare SQL with the default configuration — parse,

@@ -3,16 +3,19 @@
 //! The paper's §5.1 runs top-k image search as plain SQL (`ORDER BY score
 //! DESC LIMIT 2`) and notes that approximate indexing à la Milvus is being
 //! integrated to accelerate exactly that query shape. This module is that
-//! integration: a registry of vector indexes over embedding columns, with
-//! a flat (exact) and an IVF-Flat (approximate) build, and a
-//! `vector_topk` fast path the examples/benches use instead of the full
-//! ORDER-BY scan. Like the catalog the registry lives on the engine —
-//! indexes are built from shared tables, so every session of an engine
-//! sees them.
-
-use std::collections::HashMap;
+//! integration's management surface: building flat (exact) and IVF-Flat
+//! (approximate) indexes over embedding columns, plus a direct
+//! `vector_topk` fast path the examples/benches use.
+//!
+//! Since PR 8 the indexes themselves live in the **catalog**
+//! ([`tdp_storage::Catalog::register_vector_index`]), next to the tables
+//! they cover — so every session of an engine sees them, table writes
+//! invalidate them, and the physical planner's ANN lowering
+//! (`ORDER BY distance(col, ?) LIMIT k` → `AnnTopK`) finds them by
+//! `table.column` lookup at execution time.
 
 use tdp_index::{FlatIndex, Hit, IvfFlatIndex, IvfParams, Metric};
+use tdp_storage::{VectorIndex, VectorIndexEntry};
 use tdp_tensor::{F32Tensor, Rng64};
 
 use crate::error::TdpError;
@@ -24,41 +27,21 @@ pub enum IndexKind {
     /// Brute-force scan (exact; no training step).
     Flat,
     /// Inverted-file with flat storage; approximate, trained by k-means.
-    IvfFlat(IvfParams),
-}
-
-/// One registered index.
-enum BuiltIndex {
-    Flat(FlatIndex),
-    Ivf(IvfFlatIndex),
-}
-
-impl BuiltIndex {
-    fn search(&self, query: &F32Tensor, k: usize, nprobe: usize) -> Vec<Hit> {
-        match self {
-            BuiltIndex::Flat(ix) => ix.search(query, k),
-            BuiltIndex::Ivf(ix) => ix.search(query, k, nprobe),
-        }
-    }
-}
-
-/// Engine-level registry keyed by `table.column`.
-#[derive(Default)]
-pub(crate) struct VectorIndexes {
-    map: HashMap<String, BuiltIndex>,
-}
-
-fn key(table: &str, column: &str) -> String {
-    format!("{table}.{column}")
+    /// `nprobe` is the probe width registered for query time.
+    IvfFlat(IvfParams, usize),
 }
 
 impl Session {
-    /// Build (or rebuild) a vector index over an embedding column.
+    /// Build (or rebuild) a vector index over an embedding column and
+    /// register it in the catalog under `name`.
     ///
     /// The column must hold one vector per row (a 2-d tensor). Index
-    /// construction is deterministic for a given `seed`.
-    pub fn create_vector_index(
+    /// construction is deterministic for a given `seed`. Any write to
+    /// the table invalidates the index; queries planned against a stale
+    /// entry fall back to the exact flat path.
+    pub fn create_named_vector_index(
         &self,
+        name: &str,
         table: &str,
         column: &str,
         metric: Metric,
@@ -79,26 +62,65 @@ impl Session {
                 &data.shape()[1..]
             )));
         }
-        let built = match kind {
-            IndexKind::Flat => BuiltIndex::Flat(FlatIndex::build(data, metric)),
-            IndexKind::IvfFlat(params) => {
+        let rows = t.rows();
+        let index = match kind {
+            IndexKind::Flat => VectorIndex::Flat(FlatIndex::build(data, metric)),
+            IndexKind::IvfFlat(params, nprobe) => {
+                let nlist = params.nlist;
                 let mut rng = Rng64::new(seed);
-                BuiltIndex::Ivf(IvfFlatIndex::train(data, metric, params, &mut rng))
+                VectorIndex::Ivf {
+                    index: IvfFlatIndex::train(data, metric, params, &mut rng),
+                    nlist,
+                    nprobe: nprobe.max(1),
+                }
             }
         };
-        self.vector_indexes_mut(|m| {
-            m.map.insert(key(table, column), built);
+        self.catalog().register_vector_index(VectorIndexEntry {
+            name: name.to_owned(),
+            table: table.to_owned(),
+            column: column.to_owned(),
+            metric,
+            rows,
+            index,
         });
+        // Index availability changes access-path choice; cached physical
+        // plans may now lower differently.
+        self.clear_plan_cache();
+        self.engine().clear_plan_cache();
         Ok(())
     }
 
-    /// Drop an index; returns whether it existed.
-    pub fn drop_vector_index(&self, table: &str, column: &str) -> bool {
-        self.vector_indexes_mut(|m| m.map.remove(&key(table, column)).is_some())
+    /// [`Self::create_named_vector_index`] with the conventional
+    /// `<table>_<column>_idx` name.
+    pub fn create_vector_index(
+        &self,
+        table: &str,
+        column: &str,
+        metric: Metric,
+        kind: IndexKind,
+        seed: u64,
+    ) -> Result<(), TdpError> {
+        let name = format!("{table}_{column}_idx");
+        self.create_named_vector_index(&name, table, column, metric, kind, seed)
     }
 
-    /// Top-k search against a previously created index. `nprobe` is
-    /// ignored by flat indexes.
+    /// Drop the index covering `table.column`; returns whether it existed.
+    pub fn drop_vector_index(&self, table: &str, column: &str) -> bool {
+        let Some(entry) = self.catalog().vector_index(table, column) else {
+            return false;
+        };
+        let dropped = self.catalog().drop_vector_index(&entry.name);
+        if dropped {
+            self.clear_plan_cache();
+            self.engine().clear_plan_cache();
+        }
+        dropped
+    }
+
+    /// Top-k search against a previously created index. `nprobe`
+    /// overrides the registered probe width for IVF indexes (useful for
+    /// sweeping the recall/latency trade-off) and is ignored by flat
+    /// ones.
     pub fn vector_topk(
         &self,
         table: &str,
@@ -107,21 +129,20 @@ impl Session {
         k: usize,
         nprobe: usize,
     ) -> Result<Vec<Hit>, TdpError> {
-        self.with_vector_indexes(|m| {
-            m.map
-                .get(&key(table, column))
-                .map(|ix| ix.search(query, k, nprobe))
-                .ok_or_else(|| {
-                    TdpError::Session(format!(
-                        "no vector index on {table}.{column}; call create_vector_index first"
-                    ))
-                })
+        let entry = self.catalog().vector_index(table, column).ok_or_else(|| {
+            TdpError::Session(format!(
+                "no vector index on {table}.{column}; call create_vector_index first"
+            ))
+        })?;
+        Ok(match &entry.index {
+            VectorIndex::Flat(f) => f.search(query, k),
+            VectorIndex::Ivf { index, .. } => index.search(query, k, nprobe),
         })
     }
 
     /// Whether an index exists for `table.column`.
     pub fn has_vector_index(&self, table: &str, column: &str) -> bool {
-        self.with_vector_indexes(|m| m.map.contains_key(&key(table, column)))
+        self.catalog().vector_index(table, column).is_some()
     }
 }
 
@@ -167,7 +188,7 @@ mod tests {
             "vecs",
             "emb",
             Metric::L2,
-            IndexKind::IvfFlat(IvfParams::new(8)),
+            IndexKind::IvfFlat(IvfParams::new(8), 8),
             42,
         )
         .unwrap();
@@ -213,5 +234,19 @@ mod tests {
         assert!(tdp.drop_vector_index("vecs", "emb"));
         assert!(!tdp.drop_vector_index("vecs", "emb"));
         assert!(!tdp.has_vector_index("vecs", "emb"));
+    }
+
+    #[test]
+    fn table_write_invalidates_index() {
+        let tdp = Tdp::new();
+        tdp.register_table(embeddings_table());
+        tdp.create_vector_index("vecs", "emb", Metric::L2, IndexKind::Flat, 0)
+            .unwrap();
+        assert!(tdp.has_vector_index("vecs", "emb"));
+        tdp.register_table(embeddings_table());
+        assert!(
+            !tdp.has_vector_index("vecs", "emb"),
+            "re-registration invalidates"
+        );
     }
 }

@@ -58,7 +58,7 @@ fn apply_ops_diff(
 
 fn exec_diff_node(node: &PipeNode<'_>, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match node {
-        PipeNode::Scan { table, schema } => exact::scan_table(table, *schema, ctx),
+        PipeNode::Scan { table, schema, .. } => exact::scan_table(table, *schema, ctx),
         PipeNode::Stream(pipe) => {
             let inp = exec_diff_node(&pipe.input, ctx)?;
             apply_ops_diff(inp, &pipe.ops, ctx)
@@ -215,6 +215,17 @@ fn exec_diff_barrier(
             }
             exact::union_all_batches(&l, &r)
         }
+        // ANN top-k is a leaf over exact base-table data: nothing on the
+        // tape can flow through it, so it executes exactly.
+        PhysicalPlan::AnnTopK {
+            table,
+            schema,
+            column,
+            query,
+            metric,
+            n,
+            path,
+        } => exact::ann_topk(table, schema, column, query, *metric, n, path, ctx),
         PhysicalPlan::Scan { .. }
         | PhysicalPlan::Filter { .. }
         | PhysicalPlan::Project { .. }

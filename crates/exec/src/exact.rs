@@ -41,7 +41,16 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecErro
 /// that cannot leave the session thread.
 pub(crate) fn execute_seq(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match plan {
-        PhysicalPlan::Scan { table, schema } => scan_table(table, schema.as_deref(), ctx),
+        PhysicalPlan::Scan { table, schema, .. } => scan_table(table, schema.as_deref(), ctx),
+        PhysicalPlan::AnnTopK {
+            table,
+            schema,
+            column,
+            query,
+            metric,
+            n,
+            path,
+        } => ann_topk(table, schema, column, query, *metric, n, path, ctx),
         PhysicalPlan::TvfScan {
             name,
             schema,
@@ -173,6 +182,90 @@ pub(crate) fn scan_table(
         }
     }
     Ok(Batch::from_table(&t.to_device(ctx.device)))
+}
+
+/// Execute an [`PhysicalPlan::AnnTopK`] leaf: top-k rows of a base table
+/// by vector score against a query vector, in the exact order the
+/// scan+sort plan would produce (score desc, ties by row id asc — the
+/// same order [`tdp_index::top_k`] emits).
+///
+/// The IVF path consults the catalog's index registry at execution time
+/// and silently degrades to the exact flat scan when the registered
+/// entry is stale (metric mismatch or the table's row count changed
+/// since build) — correctness never depends on index freshness.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ann_topk(
+    table: &str,
+    schema: &[String],
+    column: &crate::physical::ColumnRef,
+    query: &crate::physical::CompiledExpr,
+    metric: tdp_index::Metric,
+    n: &tdp_sql::ast::LimitCount,
+    path: &crate::access::AnnPath,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let t = ctx
+        .catalog
+        .get(table)
+        .ok_or_else(|| ExecError::UnknownTable(table.to_owned()))?;
+    let live = t.columns();
+    let fresh = live.len() == schema.len()
+        && live
+            .iter()
+            .zip(schema)
+            .all(|(c, e)| c.name.eq_ignore_ascii_case(e));
+    if !fresh {
+        return Err(ExecError::TypeMismatch(format!(
+            "schema of table '{table}' changed since the query was compiled; recompile"
+        )));
+    }
+    let k = resolve_limit(n, ctx)?;
+    let fn_name = crate::physical::metric_fn_name(metric);
+    let q = crate::expr::vector_query(fn_name, query, ctx)?;
+
+    let decode_data = || -> Result<F32Tensor, ExecError> {
+        let col = t
+            .column(column.name())
+            .ok_or_else(|| ExecError::UnknownColumn(column.name().to_owned()))?;
+        let data = col.data.decode_f32();
+        if data.ndim() != 2 {
+            return Err(ExecError::TypeMismatch(format!(
+                "{fn_name}() needs a [n, d] embedding column; '{}' rows have shape {:?}",
+                column.name(),
+                &data.shape()[1..]
+            )));
+        }
+        if data.shape()[1] != q.numel() {
+            return Err(ExecError::TypeMismatch(format!(
+                "{fn_name}() dimensionality mismatch: column '{}' is d={}, query is d={}",
+                column.name(),
+                data.shape()[1],
+                q.numel()
+            )));
+        }
+        Ok(data)
+    };
+
+    let hits = match path {
+        crate::access::AnnPath::Flat => {
+            tdp_index::FlatIndex::build(decode_data()?, metric).search(&q, k)
+        }
+        crate::access::AnnPath::Ivf { .. } => {
+            match ctx.catalog.vector_index(table, column.name()) {
+                Some(entry) if entry.metric == metric && entry.rows == t.rows() => {
+                    entry.search(&q, k)
+                }
+                // Stale or vanished index: exact flat fallback.
+                _ => tdp_index::FlatIndex::build(decode_data()?, metric).search(&q, k),
+            }
+        }
+    };
+    ctx.access.note_ann_query();
+
+    let ids: Vec<i64> = hits.iter().map(|h| h.id as i64).collect();
+    let len = ids.len();
+    let sel = t.select_rows(&I64Tensor::from_vec(ids, &[len]));
+    Ok(Batch::from_table(&sel.to_device(ctx.device)))
 }
 
 /// Deduplicate rows, keeping first occurrences in input order

@@ -8,6 +8,7 @@
 //! dictionary codes (the encoding-aware strategy selection of paper §2).
 
 use tdp_encoding::EncodedTensor;
+use tdp_index::Metric;
 use tdp_sql::ast::{BinOp, UnOp};
 use tdp_tensor::{BoolTensor, F32Tensor, Tensor};
 
@@ -101,6 +102,12 @@ pub fn eval_expr(
             // for already-held queries.
             if ctx.udfs.is_scalar(name) {
                 return invoke_udf(name, args, batch, ctx);
+            }
+            // Vector similarity takes a whole [n, d] column plus a
+            // row-constant query — its arguments do not follow the
+            // scalar broadcast rules, so it dispatches before them.
+            if let ScalarFn::Vector(metric) = func {
+                return eval_vector_builtin(name, *metric, args, batch, ctx);
             }
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -373,6 +380,105 @@ fn eval_builtin(name: &str, func: ScalarFn, args: &[Value], n: usize) -> Result<
                 a.shape(),
             ))))
         }
+        // Intercepted in the Builtin arm of `eval_expr`.
+        ScalarFn::Vector(_) => Err(ExecError::TypeMismatch(format!(
+            "{name} is a vector builtin and cannot broadcast as a scalar kernel"
+        ))),
+    }
+}
+
+/// Evaluate a vector-similarity builtin: score every row of an `[n, d]`
+/// embedding column against one query vector. The score kernel is
+/// [`Metric::scores`] — the same kernel the vector indexes run, so a
+/// sequential scan computing this expression agrees bit-for-bit with the
+/// flat index path. `distance` returns positive squared L2 distance
+/// (ascending-better); `inner_product`/`cosine_sim` return
+/// descending-better scores.
+fn eval_vector_builtin(
+    name: &str,
+    metric: Metric,
+    args: &[CompiledExpr],
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<Value, ExecError> {
+    let [col_expr, query_expr] = args else {
+        return Err(ExecError::TypeMismatch(format!(
+            "{name} expects 2 arguments, got {}",
+            args.len()
+        )));
+    };
+    let data = match eval_expr(col_expr, batch, ctx)? {
+        Value::Column(c) => c.decode_f32(),
+        other => {
+            return Err(ExecError::TypeMismatch(format!(
+                "argument 1 of {name} must be an embedding column, got {other:?}"
+            )))
+        }
+    };
+    if data.ndim() != 2 {
+        return Err(ExecError::TypeMismatch(format!(
+            "argument 1 of {name} must be an [n, d] embedding column, got shape {:?}",
+            data.shape()
+        )));
+    }
+    let query = vector_query(name, query_expr, ctx)?;
+    if query.numel() != data.shape()[1] {
+        return Err(ExecError::TypeMismatch(format!(
+            "{name} query has {} element(s), but the embedding column is {}-dimensional",
+            query.numel(),
+            data.shape()[1]
+        )));
+    }
+    let scores = metric.scores(&data, &query);
+    // `Metric::L2.scores` is *negated* squared distance (higher-better,
+    // matching the indexes). The SQL function reports the positive
+    // distance; negation is exact, so ORDER BY distance ASC selects the
+    // same rows as top-k by score.
+    let out = if matches!(metric, Metric::L2) {
+        scores.neg()
+    } else {
+        scores
+    };
+    Ok(Value::Column(EncodedTensor::F32(out)))
+}
+
+/// Resolve the query-vector argument of a vector builtin to a 1-d f32
+/// tensor. A `$n` tensor binding is taken whole — deliberately bypassing
+/// [`eval_param`]'s leading-dimension check, since a query vector's
+/// length is the embedding dimension, not the batch's row count. Numbers
+/// become single-element vectors (1-d embeddings).
+pub(crate) fn vector_query(
+    name: &str,
+    expr: &CompiledExpr,
+    ctx: &ExecContext,
+) -> Result<F32Tensor, ExecError> {
+    use crate::params::ParamValue;
+    match expr {
+        CompiledExpr::Param { idx } => match ctx.params.get(*idx) {
+            Some(ParamValue::Tensor(t)) => match t.ndim() {
+                1 => Ok(t.clone()),
+                2 if t.shape()[0] == 1 => Ok(Tensor::from_vec(t.data().to_vec(), &[t.shape()[1]])),
+                _ => Err(ExecError::Param(format!(
+                    "parameter ${} must be a [d] query vector for {name}, got shape {:?}",
+                    idx + 1,
+                    t.shape()
+                ))),
+            },
+            Some(ParamValue::Number(v)) => Ok(Tensor::from_vec(vec![*v as f32], &[1])),
+            Some(other) => Err(ExecError::Param(format!(
+                "parameter ${} must be a tensor query vector for {name}, got {other:?}",
+                idx + 1
+            ))),
+            None => Err(ExecError::Param(format!(
+                "parameter ${} is not bound ({} value(s) provided)",
+                idx + 1,
+                ctx.params.len()
+            ))),
+        },
+        CompiledExpr::Num(v) => Ok(Tensor::from_vec(vec![*v as f32], &[1])),
+        other => Err(ExecError::TypeMismatch(format!(
+            "argument 2 of {name} must be a parameter or literal query vector, got {other}"
+        ))),
     }
 }
 

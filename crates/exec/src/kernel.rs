@@ -197,6 +197,11 @@ fn compile_expr(e: &CompiledExpr, ctx: &ExecContext) -> Result<KExpr, String> {
             if args.len() != func.arity() {
                 return Err(format!("builtin-arity({name})"));
             }
+            // Vector-similarity builtins consume a whole [n, d] embedding
+            // column; selection-vector programs are strictly scalar-per-row.
+            if matches!(func, crate::physical::ScalarFn::Vector(_)) {
+                return Err(format!("vector-builtin({name})"));
+            }
             KExpr::Builtin {
                 func: *func,
                 args: args
@@ -949,6 +954,8 @@ fn eval<'c>(
                         ))
                     }
                 }
+                // Rejected at compile time (`vector-builtin` reason).
+                ScalarFn::Vector(_) => return Err(Bail),
             }
         }
         KExpr::Case {

@@ -108,6 +108,7 @@
 //! has no `Param` slots is binding-independent), and spilling exchanges
 //! for out-of-core builds.
 
+pub mod access;
 pub mod batch;
 pub mod diff;
 pub mod error;
@@ -122,6 +123,7 @@ pub mod profile;
 pub mod soft;
 pub mod udf;
 
+pub use access::{AccessPathCounters, AccessPathStats, AnnPath, ChunkPruner};
 pub use batch::{Batch, ColumnData, DiffColumn};
 pub use diff::execute_diff;
 pub use error::ExecError;

@@ -276,6 +276,10 @@ fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) 
         // Workers receive an already-instantiated kernel by reference;
         // they never consult the session cache themselves.
         chain_kernels: None,
+        // Pruning decisions are made by the scheduler before morsels are
+        // claimed; workers never consult zone maps or record counters.
+        zone_maps: false,
+        access: std::sync::Arc::new(crate::access::AccessPathCounters::default()),
     }
 }
 
@@ -339,11 +343,16 @@ pub(crate) fn planned_and_reason(
 }
 
 /// Run a fused chain over a materialised input, morsel-parallel where
-/// safe, with an optional LIMIT sink (early exit + truncation).
+/// safe, with an optional LIMIT sink (early exit + truncation) and an
+/// optional zone-map skip mask (`skip[i]` = morsel `i` provably produces
+/// no rows under the chain's leading filter, so it runs over an empty
+/// slice). Pruning never changes results — only which rows the chain
+/// kernels actually touch.
 pub(crate) fn run_ops(
     input: &Batch,
     ops: &[MorselOp<'_>],
     limit: Option<usize>,
+    skip: Option<&[bool]>,
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let rows = input.rows();
@@ -356,11 +365,14 @@ pub(crate) fn run_ops(
         None
     };
     // Single-morsel inputs, unsafe chains and differentiable inputs take
-    // the whole-batch path — identical at every thread count.
+    // the whole-batch path — identical at every thread count. A skip mask
+    // covering exactly this one morsel still applies: pruning depends on
+    // zone maps and the predicate, not on how the chain is scheduled.
     if morsels <= 1 {
-        let out = match kern.as_deref().and_then(|k| k.run(input)) {
+        let whole = single_morsel_input(input, rows, skip, ctx);
+        let out = match kern.as_deref().and_then(|k| k.run(&whole)) {
             Some(b) => b,
-            None => apply_ops(input.clone(), ops, ctx)?,
+            None => apply_ops(whole, ops, ctx)?,
         };
         return Ok(match limit {
             Some(n) => out.head(n),
@@ -369,7 +381,8 @@ pub(crate) fn run_ops(
     }
 
     let cols = to_partition_cols(input);
-    let results = process_morsels(&cols, rows, morsels, ops, limit, kern.as_deref(), ctx)?;
+    let skip = skip.filter(|s| s.len() == morsels);
+    let results = process_morsels(&cols, rows, morsels, ops, limit, skip, kern.as_deref(), ctx)?;
 
     // Order-preserving reassembly; with a LIMIT sink, take the shortest
     // morsel prefix that covers `n` rows and truncate.
@@ -392,15 +405,39 @@ pub(crate) fn run_ops(
     })
 }
 
+/// Whole-batch input for the single-morsel path, with zone-map pruning
+/// applied when the skip mask describes exactly this input (one entry at
+/// the session's morsel size). A pruned batch becomes the 0-row head —
+/// the chain still runs, so schema and encodings match the unpruned run.
+fn single_morsel_input(
+    input: &Batch,
+    rows: usize,
+    skip: Option<&[bool]>,
+    ctx: &ExecContext,
+) -> Batch {
+    let Some(skip) = skip.filter(|s| s.len() == 1 && num_morsels(rows, ctx.morsel_rows) == 1)
+    else {
+        return input.clone();
+    };
+    ctx.access.note_morsels(skip[0] as u64, !skip[0] as u64);
+    if skip[0] {
+        input.head(0)
+    } else {
+        input.clone()
+    }
+}
+
 /// Claim-and-process loop shared by the worker pool. Returns per-morsel
 /// outputs in morsel order; entries past a LIMIT stop bound may be
 /// `None`.
+#[allow(clippy::too_many_arguments)]
 fn process_morsels(
     cols: &[(String, EncodedTensor)],
     rows: usize,
     morsels: usize,
     ops: &[MorselOp<'_>],
     limit: Option<usize>,
+    skip: Option<&[bool]>,
     kern: Option<&kernel::ChainInstance>,
     ctx: &ExecContext,
 ) -> Result<Vec<Option<MorselCols>>, ExecError> {
@@ -421,6 +458,8 @@ fn process_morsels(
         prefix_rows: 0,
     });
     let morsel_rows = ctx.morsel_rows;
+    let pruned = AtomicUsize::new(0);
+    let scanned = AtomicUsize::new(0);
 
     let work = |wctx: &ExecContext| {
         loop {
@@ -429,7 +468,18 @@ fn process_morsels(
                 break;
             }
             let start = i * morsel_rows;
-            let end = (start + morsel_rows).min(rows);
+            // A zone-map-pruned morsel provably yields no rows: run the
+            // chain over an empty slice so the output schema, encodings
+            // and reassembly stay identical to the unpruned run.
+            let end = if skip.is_some_and(|s| s[i]) {
+                pruned.fetch_add(1, Ordering::Relaxed);
+                start
+            } else {
+                if skip.is_some() {
+                    scanned.fetch_add(1, Ordering::Relaxed);
+                }
+                (start + morsel_rows).min(rows)
+            };
             let out =
                 apply_ops_k(slice_cols(cols, start, end), ops, kern, wctx).map(|b| to_cols(&b));
             let mut s = shared.lock().expect("morsel state poisoned");
@@ -455,6 +505,12 @@ fn process_morsels(
 
     let workers = ctx.threads.min(morsels).max(1);
     run_workers(workers, &WorkerCfg::of(ctx), &work);
+    if skip.is_some() {
+        ctx.access.note_morsels(
+            pruned.load(Ordering::Relaxed) as u64,
+            scanned.load(Ordering::Relaxed) as u64,
+        );
+    }
 
     let state = shared.into_inner().expect("morsel state poisoned");
     let mut out = Vec::with_capacity(morsels);
@@ -1194,6 +1250,7 @@ pub(crate) fn run_aggregate(
     ops: &[MorselOp<'_>],
     keys: &[PhysKey],
     aggregates: &[PhysAggregate],
+    skip: Option<&[bool]>,
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let rows = input.rows();
@@ -1204,9 +1261,10 @@ pub(crate) fn run_aggregate(
         None
     };
     if morsels <= 1 {
-        let inp = match kern.as_deref().and_then(|k| k.run(input)) {
+        let whole = single_morsel_input(input, rows, skip, ctx);
+        let inp = match kern.as_deref().and_then(|k| k.run(&whole)) {
             Some(b) => b,
-            None => apply_ops(input.clone(), ops, ctx)?,
+            None => apply_ops(whole, ops, ctx)?,
         };
         return exact::aggregate_batch(&inp, keys, aggregates, ctx);
     }
@@ -1214,7 +1272,10 @@ pub(crate) fn run_aggregate(
     type PartialSlot = Option<Result<Option<PartialAgg>, ExecError>>;
     let cols = to_partition_cols(input);
     let morsel_rows = ctx.morsel_rows;
+    let skip = skip.filter(|s| s.len() == morsels);
     let next = AtomicUsize::new(0);
+    let pruned = AtomicUsize::new(0);
+    let scanned = AtomicUsize::new(0);
     let slots: Mutex<Vec<PartialSlot>> = Mutex::new((0..morsels).map(|_| None).collect());
 
     let work = |wctx: &ExecContext| loop {
@@ -1223,7 +1284,17 @@ pub(crate) fn run_aggregate(
             break;
         }
         let start = i * morsel_rows;
-        let end = (start + morsel_rows).min(rows);
+        // Pruned morsels contribute no groups; the empty partial keeps
+        // the combine walk identical to the unpruned run.
+        let end = if skip.is_some_and(|s| s[i]) {
+            pruned.fetch_add(1, Ordering::Relaxed);
+            start
+        } else {
+            if skip.is_some() {
+                scanned.fetch_add(1, Ordering::Relaxed);
+            }
+            (start + morsel_rows).min(rows)
+        };
         let out = apply_ops_k(slice_cols(&cols, start, end), ops, kern.as_deref(), wctx)
             .and_then(|b| partial_aggregate(&b, keys, aggregates, wctx));
         slots.lock().expect("agg state poisoned")[i] = Some(out);
@@ -1231,6 +1302,12 @@ pub(crate) fn run_aggregate(
 
     let workers = ctx.threads.min(morsels).max(1);
     run_workers(workers, &WorkerCfg::of(ctx), &work);
+    if skip.is_some() {
+        ctx.access.note_morsels(
+            pruned.load(Ordering::Relaxed) as u64,
+            scanned.load(Ordering::Relaxed) as u64,
+        );
+    }
 
     let mut partials = Vec::with_capacity(morsels);
     for slot in slots.into_inner().expect("agg state poisoned") {

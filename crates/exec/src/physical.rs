@@ -20,12 +20,14 @@
 
 use std::sync::Arc;
 
+use tdp_index::Metric;
 use tdp_sql::ast::{
     AggFunc, BinOp, Expr, JoinKind, LimitCount, Literal, OrderItem, SelectItem, UnOp, WindowFunc,
 };
 use tdp_sql::plan::{AggregateExpr, LogicalPlan, WindowExpr};
 use tdp_storage::Catalog;
 
+use crate::access::{AnnPath, ChunkPruner};
 use crate::error::ExecError;
 use crate::udf::{ArgType, UdfRegistry};
 
@@ -113,6 +115,13 @@ impl std::fmt::Display for ColumnRef {
 pub enum ScalarFn {
     Unary(fn(f32) -> f32),
     Binary(fn(f32, f32) -> f32),
+    /// Vector-similarity kernel: `f(embedding_col, query)` scores every
+    /// row of an `[n, d]` embedding column against one query vector
+    /// (`distance`, `inner_product`, `cosine_sim`). The score math is
+    /// [`Metric::scores`] — the same kernel the vector indexes use, so a
+    /// sequential scan computing this expression is bit-identical to the
+    /// flat index path.
+    Vector(Metric),
 }
 
 impl PartialEq for ScalarFn {
@@ -120,6 +129,7 @@ impl PartialEq for ScalarFn {
         match (self, other) {
             (ScalarFn::Unary(a), ScalarFn::Unary(b)) => std::ptr::fn_addr_eq(*a, *b),
             (ScalarFn::Binary(a), ScalarFn::Binary(b)) => std::ptr::fn_addr_eq(*a, *b),
+            (ScalarFn::Vector(a), ScalarFn::Vector(b)) => a == b,
             _ => false,
         }
     }
@@ -129,7 +139,7 @@ impl ScalarFn {
     pub fn arity(self) -> usize {
         match self {
             ScalarFn::Unary(_) => 1,
-            ScalarFn::Binary(_) => 2,
+            ScalarFn::Binary(_) | ScalarFn::Vector(_) => 2,
         }
     }
 }
@@ -425,6 +435,20 @@ pub enum JoinOn {
     Deferred(Vec<(String, String)>),
 }
 
+/// How a base-table scan reads its morsels, decided once at lower time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanAccess {
+    /// No leading filter above this scan: every morsel is read.
+    Full,
+    /// Eligible conjuncts of the leading filter compiled into a
+    /// [`ChunkPruner`]; the morsel scheduler consults per-chunk zone maps
+    /// and skips whole morsels before any chain kernel runs.
+    Pruned(ChunkPruner),
+    /// A leading filter exists but no conjunct was eligible for pruning;
+    /// the named reason surfaces in EXPLAIN as `[full scan: <reason>]`.
+    Unpruned(&'static str),
+}
+
 /// The slot-resolved operator tree both executors run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
@@ -435,6 +459,8 @@ pub enum PhysicalPlan {
         /// every run so stale slots fail loudly instead of silently
         /// reading the wrong column.
         schema: Option<Vec<String>>,
+        /// Zone-map access path chosen when a filter sits directly above.
+        access: ScanAccess,
     },
     TvfScan {
         name: String,
@@ -497,13 +523,30 @@ pub enum PhysicalPlan {
         left: Box<PhysicalPlan>,
         right: Box<PhysicalPlan>,
     },
+    /// Index-accelerated vector top-k: `ORDER BY distance(col, $q) LIMIT k`
+    /// (and the similarity variants) recognized over a bare base-table
+    /// scan. A leaf — it reads the table directly through
+    /// [`crate::access::AnnPath`], either exact (flat) or via a registered
+    /// IVF index with a declared recall trade-off.
+    AnnTopK {
+        table: String,
+        /// Compile-time schema of the base table (recognition requires it).
+        schema: Vec<String>,
+        /// The embedding column, slot-resolved.
+        column: ColumnRef,
+        /// Row-constant query vector: a `$n` parameter slot or a literal.
+        query: CompiledExpr,
+        metric: Metric,
+        n: LimitCount,
+        path: AnnPath,
+    },
 }
 
 impl PhysicalPlan {
     /// Children of this node (0, 1 or 2).
     pub fn inputs(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::Scan { .. } => vec![],
+            PhysicalPlan::Scan { .. } | PhysicalPlan::AnnTopK { .. } => vec![],
             PhysicalPlan::TvfScan { input, .. }
             | PhysicalPlan::TvfProject { input, .. }
             | PhysicalPlan::Filter { input, .. }
@@ -533,17 +576,32 @@ impl PhysicalPlan {
             out.push_str("  ");
         }
         match self {
-            PhysicalPlan::Scan { table, schema } => match schema {
-                Some(names) => {
-                    let cols: Vec<String> = names
-                        .iter()
-                        .enumerate()
-                        .map(|(i, n)| format!("{n}@{i}"))
-                        .collect();
-                    out.push_str(&format!("Scan: {table} [{}]\n", cols.join(", ")));
+            PhysicalPlan::Scan {
+                table,
+                schema,
+                access,
+            } => {
+                let note = match access {
+                    ScanAccess::Full => String::new(),
+                    ScanAccess::Pruned(p) => format!(
+                        " [zone-maps: {} predicate{}]",
+                        p.len(),
+                        if p.len() == 1 { "" } else { "s" }
+                    ),
+                    ScanAccess::Unpruned(reason) => format!(" [full scan: {reason}]"),
+                };
+                match schema {
+                    Some(names) => {
+                        let cols: Vec<String> = names
+                            .iter()
+                            .enumerate()
+                            .map(|(i, n)| format!("{n}@{i}"))
+                            .collect();
+                        out.push_str(&format!("Scan: {table} [{}]{note}\n", cols.join(", ")));
+                    }
+                    None => out.push_str(&format!("Scan: {table} [schema unresolved]{note}\n")),
                 }
-                None => out.push_str(&format!("Scan: {table} [schema unresolved]\n")),
-            },
+            }
             PhysicalPlan::TvfScan { name, schema, .. } => {
                 out.push_str(&format!("TvfScan: {name}{}\n", render_tvf_schema(schema)))
             }
@@ -604,9 +662,13 @@ impl PhysicalPlan {
                 out.push_str(&format!("Sort: {}\n", rendered.join(", ")));
             }
             PhysicalPlan::Limit { n, .. } => out.push_str(&format!("Limit: {n}\n")),
-            PhysicalPlan::TopK { keys, n, .. } => {
+            PhysicalPlan::TopK { keys, n, input } => {
                 let rendered: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
-                out.push_str(&format!("TopK: {} LIMIT {n}\n", rendered.join(", ")));
+                let note = match ann_fallback_reason(keys, input) {
+                    Some(reason) => format!(" [full scan: {reason}]"),
+                    None => String::new(),
+                };
+                out.push_str(&format!("TopK: {} LIMIT {n}{note}\n", rendered.join(", ")));
             }
             PhysicalPlan::Window { windows, .. } => {
                 let rendered: Vec<String> = windows.iter().map(|w| w.output.clone()).collect();
@@ -614,6 +676,20 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Distinct { .. } => out.push_str("Distinct\n"),
             PhysicalPlan::UnionAll { .. } => out.push_str("UnionAll\n"),
+            PhysicalPlan::AnnTopK {
+                table,
+                column,
+                query,
+                metric,
+                n,
+                path,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "AnnTopK: {table} ORDER BY {}({column}, {query}) LIMIT {n} [{path}]\n",
+                    metric_fn_name(*metric)
+                ));
+            }
         }
         for child in self.inputs() {
             child.explain_into(out, depth + 1);
@@ -654,6 +730,10 @@ impl PhysicalPlan {
         | PhysicalPlan::TopK {
             n: LimitCount::Param { idx },
             ..
+        }
+        | PhysicalPlan::AnnTopK {
+            n: LimitCount::Param { idx },
+            ..
         } = self
         {
             out.push(*idx);
@@ -673,8 +753,14 @@ impl PhysicalPlan {
     }
 
     fn collect_scans(&self, out: &mut Vec<(String, Option<Vec<String>>)>) {
-        if let PhysicalPlan::Scan { table, schema } = self {
-            out.push((table.clone(), schema.clone()));
+        match self {
+            PhysicalPlan::Scan { table, schema, .. } => out.push((table.clone(), schema.clone())),
+            // AnnTopK reads its base table directly; its compiled schema
+            // pins cache validity exactly like a Scan's.
+            PhysicalPlan::AnnTopK { table, schema, .. } => {
+                out.push((table.clone(), Some(schema.clone())));
+            }
+            _ => {}
         }
         // Scalar subqueries carry whole nested plans inside expressions;
         // their scans pin cache validity just like top-level ones.
@@ -739,6 +825,7 @@ impl PhysicalPlan {
             PhysicalPlan::Sort { keys, .. } | PhysicalPlan::TopK { keys, .. } => {
                 keys.iter().for_each(|k| f(&k.expr));
             }
+            PhysicalPlan::AnnTopK { query, .. } => f(query),
             PhysicalPlan::Window { windows, .. } => {
                 for w in windows {
                     if let PhysWindowFunc::Agg { arg: Some(a), .. } = &w.func {
@@ -808,6 +895,7 @@ fn lower_node(
                     PhysicalPlan::Scan {
                         table: table.clone(),
                         schema: Some(names.clone()),
+                        access: ScanAccess::Full,
                     },
                     Some(Schema::new(names)),
                 ))
@@ -818,6 +906,7 @@ fn lower_node(
                 PhysicalPlan::Scan {
                     table: table.clone(),
                     schema: None,
+                    access: ScanAccess::Full,
                 },
                 None,
             )),
@@ -881,8 +970,26 @@ fn lower_node(
             ))
         }
         LogicalPlan::Filter { predicate, input } => {
-            let (inp, schema) = lower_node(input, catalog, udfs)?;
+            let (mut inp, schema) = lower_node(input, catalog, udfs)?;
             let predicate = lower_expr(predicate, schema.as_ref(), catalog, udfs)?;
+            // A filter directly over a base-table scan is the zone-map
+            // access-path decision point: compile the eligible conjuncts
+            // into a pruner (or record why none were eligible).
+            if let PhysicalPlan::Scan {
+                schema: scan_schema,
+                access: access @ ScanAccess::Full,
+                ..
+            } = &mut inp
+            {
+                *access = if scan_schema.is_none() {
+                    ScanAccess::Unpruned("schema-unresolved")
+                } else {
+                    match ChunkPruner::compile(&predicate) {
+                        Ok(pruner) => ScanAccess::Pruned(pruner),
+                        Err(reason) => ScanAccess::Unpruned(reason),
+                    }
+                };
+            }
             Ok((
                 PhysicalPlan::Filter {
                     predicate,
@@ -1025,6 +1132,9 @@ fn lower_node(
         LogicalPlan::TopK { keys, n, input } => {
             let (inp, schema) = lower_node(input, catalog, udfs)?;
             let keys = lower_order_keys(keys, schema.as_ref(), catalog, udfs)?;
+            if let Some(ann) = try_lower_ann_topk(&keys, *n, &inp, catalog) {
+                return Ok((ann, schema));
+            }
             Ok((
                 PhysicalPlan::TopK {
                     keys,
@@ -1604,8 +1714,185 @@ pub(crate) fn builtin_scalar(name: &str) -> Option<ScalarFn> {
         "log10" => ScalarFn::Unary(f32::log10),
         "sign" => ScalarFn::Unary(sql_sign),
         "power" | "pow" => ScalarFn::Binary(f32::powf),
+        // Vector similarity over an embedding column. `distance` is
+        // ascending-better (squared L2); the other two descending-better.
+        "distance" => ScalarFn::Vector(Metric::L2),
+        "inner_product" => ScalarFn::Vector(Metric::InnerProduct),
+        "cosine_sim" => ScalarFn::Vector(Metric::Cosine),
         _ => return None,
     })
+}
+
+/// The SQL surface name of a vector-similarity metric — what
+/// [`builtin_scalar`] resolves and EXPLAIN renders.
+pub(crate) fn metric_fn_name(metric: Metric) -> &'static str {
+    match metric {
+        Metric::L2 => "distance",
+        Metric::InnerProduct => "inner_product",
+        Metric::Cosine => "cosine_sim",
+    }
+}
+
+/// Recognize `ORDER BY <vector-fn>(col, q) LIMIT k` over a bare base-table
+/// scan and lower it to [`PhysicalPlan::AnnTopK`]. The path is chosen here
+/// at compile time: a registered index on `(table, column)` with a matching
+/// metric selects IVF; otherwise flat exact. Returns `None` when any
+/// eligibility condition fails (the plain TopK barrier remains).
+fn try_lower_ann_topk(
+    keys: &[PhysOrderKey],
+    n: LimitCount,
+    inp: &PhysicalPlan,
+    catalog: &Catalog,
+) -> Option<PhysicalPlan> {
+    if keys.len() != 1 {
+        return None;
+    }
+    let key = &keys[0];
+    let CompiledExpr::Builtin {
+        func: ScalarFn::Vector(metric),
+        args,
+        ..
+    } = &key.expr
+    else {
+        return None;
+    };
+    let [CompiledExpr::Column(column @ ColumnRef::Slot { .. }), query] = args.as_slice() else {
+        return None;
+    };
+    if !matches!(query, CompiledExpr::Param { .. } | CompiledExpr::Num(_)) {
+        return None;
+    }
+    // `distance` selects nearest rows when ascending; the similarity
+    // scores select best rows when descending. Any other direction is a
+    // bottom-k query the index cannot serve.
+    if key.desc != vector_fn_descends(*metric) {
+        return None;
+    }
+    // The sort key may sit directly over the base scan, or over a pure
+    // projection of it (the planner places Sort above Project whenever
+    // the key's columns survive projection). Projection is per-row and
+    // pure, so it commutes with top-k row selection: lower the latter
+    // shape as Project(AnnTopK) with the key column mapped back through
+    // the projected item — which must be a bare base column.
+    let (table, schema, column, reproject) = match inp {
+        PhysicalPlan::Scan {
+            table,
+            schema: Some(schema),
+            ..
+        } => (table, schema, column.clone(), None),
+        PhysicalPlan::Project { items, input } => {
+            let PhysicalPlan::Scan {
+                table,
+                schema: Some(schema),
+                ..
+            } = input.as_ref()
+            else {
+                return None;
+            };
+            let ColumnRef::Slot { slot, .. } = column else {
+                return None;
+            };
+            let CompiledExpr::Column(inner @ ColumnRef::Slot { .. }) = &items.get(*slot)?.expr
+            else {
+                return None;
+            };
+            (table, schema, inner.clone(), Some(items.clone()))
+        }
+        _ => return None,
+    };
+    let path = match catalog.vector_index(table, column.name()) {
+        Some(entry) if entry.metric == *metric => match &entry.index {
+            tdp_storage::VectorIndex::Flat(_) => AnnPath::Flat,
+            tdp_storage::VectorIndex::Ivf { nlist, nprobe, .. } => AnnPath::Ivf {
+                nlist: *nlist,
+                nprobe: *nprobe,
+            },
+        },
+        _ => AnnPath::Flat,
+    };
+    let ann = PhysicalPlan::AnnTopK {
+        table: table.clone(),
+        schema: schema.clone(),
+        column,
+        query: query.clone(),
+        metric: *metric,
+        n,
+        path,
+    };
+    Some(match reproject {
+        None => ann,
+        Some(items) => PhysicalPlan::Project {
+            items,
+            input: Box::new(ann),
+        },
+    })
+}
+
+/// Whether best-first order for this metric's SQL function is DESC.
+fn vector_fn_descends(metric: Metric) -> bool {
+    !matches!(metric, Metric::L2)
+}
+
+/// Why a TopK whose keys involve a vector-similarity function did *not*
+/// lower to [`PhysicalPlan::AnnTopK`] — the named-reason taxonomy EXPLAIN
+/// renders on the TopK line. `None` when no vector function is involved
+/// (an ordinary TopK) or the node would have been eligible.
+fn ann_fallback_reason(keys: &[PhysOrderKey], input: &PhysicalPlan) -> Option<&'static str> {
+    let mut has_vector = false;
+    for k in keys {
+        k.expr.for_each(&mut |e| {
+            if let CompiledExpr::Builtin {
+                func: ScalarFn::Vector(_),
+                ..
+            } = e
+            {
+                has_vector = true;
+            }
+        });
+    }
+    if !has_vector {
+        return None;
+    }
+    if keys.len() != 1 {
+        return Some("multiple-sort-keys");
+    }
+    let CompiledExpr::Builtin {
+        func: ScalarFn::Vector(metric),
+        args,
+        ..
+    } = &keys[0].expr
+    else {
+        return Some("distance-not-topmost");
+    };
+    let key_slot = match args.as_slice() {
+        [CompiledExpr::Column(ColumnRef::Slot { slot, .. }), q] => {
+            if !matches!(q, CompiledExpr::Param { .. } | CompiledExpr::Num(_)) {
+                return Some("query-not-param-or-literal");
+            }
+            *slot
+        }
+        _ => return Some("column-arg-unresolved"),
+    };
+    if keys[0].desc != vector_fn_descends(*metric) {
+        return Some("wrong-direction");
+    }
+    match input {
+        PhysicalPlan::Scan {
+            schema: Some(_), ..
+        } => None,
+        PhysicalPlan::Scan { schema: None, .. } => Some("schema-unresolved"),
+        PhysicalPlan::Project { items, input } => match input.as_ref() {
+            PhysicalPlan::Scan {
+                schema: Some(_), ..
+            } => match items.get(key_slot).map(|i| &i.expr) {
+                Some(CompiledExpr::Column(ColumnRef::Slot { .. })) => None,
+                _ => Some("projected-key-not-base-column"),
+            },
+            PhysicalPlan::Scan { schema: None, .. } => Some("schema-unresolved"),
+            _ => Some("input-not-base-scan"),
+        },
+        _ => Some("input-not-base-scan"),
+    }
 }
 
 /// SQL SIGN: −1, 0 or 1 (unlike `f32::signum`, zero maps to zero).

@@ -68,7 +68,7 @@ use crate::error::ExecError;
 use crate::exact;
 use crate::expr::{eval_expr, resolve_limit};
 use crate::morsel;
-use crate::physical::{PhysAggregate, PhysKey, PhysProjectItem, PhysicalPlan};
+use crate::physical::{PhysAggregate, PhysKey, PhysProjectItem, PhysicalPlan, ScanAccess};
 use crate::udf::ExecContext;
 
 /// Default rows per morsel: large enough that per-morsel dispatch cost is
@@ -106,6 +106,9 @@ pub enum PipeNode<'p> {
     Scan {
         table: &'p str,
         schema: Option<&'p [String]>,
+        /// The access path decided at lower time; a pipeline fed directly
+        /// by a pruned scan consults it for a per-morsel skip mask.
+        access: &'p ScanAccess,
     },
     /// A pipeline whose sink is an order-preserving concat of morsel
     /// outputs.
@@ -134,9 +137,14 @@ pub enum PipeNode<'p> {
 /// differentiable executor consume the result.
 pub fn decompose(plan: &PhysicalPlan) -> PipeNode<'_> {
     match plan {
-        PhysicalPlan::Scan { table, schema } => PipeNode::Scan {
+        PhysicalPlan::Scan {
+            table,
+            schema,
+            access,
+        } => PipeNode::Scan {
             table,
             schema: schema.as_deref(),
+            access,
         },
         PhysicalPlan::Filter { predicate, input } => {
             extend_chain(decompose(input), MorselOp::Filter(predicate))
@@ -332,15 +340,17 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch, ExecErro
 
 pub(crate) fn exec_node(node: &PipeNode<'_>, ctx: &ExecContext) -> Result<Batch, ExecError> {
     match node {
-        PipeNode::Scan { table, schema } => exact::scan_table(table, *schema, ctx),
+        PipeNode::Scan { table, schema, .. } => exact::scan_table(table, *schema, ctx),
         PipeNode::Stream(pipe) => {
             let input = exec_node(&pipe.input, ctx)?;
-            morsel::run_ops(&input, &pipe.ops, None, ctx)
+            let skip = scan_skip_mask(&pipe.input, input.rows(), ctx);
+            morsel::run_ops(&input, &pipe.ops, None, skip.as_deref(), ctx)
         }
         PipeNode::Limit { n, pipe } => {
             let limit = resolve_limit(n, ctx)?;
             let input = exec_node(&pipe.input, ctx)?;
-            morsel::run_ops(&input, &pipe.ops, Some(limit), ctx)
+            let skip = scan_skip_mask(&pipe.input, input.rows(), ctx);
+            morsel::run_ops(&input, &pipe.ops, Some(limit), skip.as_deref(), ctx)
         }
         PipeNode::Aggregate {
             keys,
@@ -348,10 +358,37 @@ pub(crate) fn exec_node(node: &PipeNode<'_>, ctx: &ExecContext) -> Result<Batch,
             pipe,
         } => {
             let input = exec_node(&pipe.input, ctx)?;
-            morsel::run_aggregate(&input, &pipe.ops, keys, aggregates, ctx)
+            let skip = scan_skip_mask(&pipe.input, input.rows(), ctx);
+            morsel::run_aggregate(&input, &pipe.ops, keys, aggregates, skip.as_deref(), ctx)
         }
         PipeNode::Barrier { plan, inputs } => exec_barrier(plan, inputs, ctx),
     }
+}
+
+/// Zone-map skip mask for a pipeline fed directly by a pruned base-table
+/// scan: one bool per morsel, `true` = every row of that morsel is
+/// provably excluded by the compiled filter conjuncts. `None` when
+/// pruning is off (`ctx.zone_maps`), the source is not a pruned scan, or
+/// no zone map exists for the table. The mask itself handles stale stats
+/// and unresolvable bounds conservatively (nothing skipped).
+pub(crate) fn scan_skip_mask(
+    input: &PipeNode<'_>,
+    rows: usize,
+    ctx: &ExecContext,
+) -> Option<Vec<bool>> {
+    if !ctx.zone_maps {
+        return None;
+    }
+    let PipeNode::Scan {
+        table,
+        access: ScanAccess::Pruned(pruner),
+        ..
+    } = input
+    else {
+        return None;
+    };
+    let zm = ctx.catalog.zone_map(table)?;
+    Some(pruner.skip_mask(&zm, rows, ctx.morsel_rows, &ctx.params))
 }
 
 /// Execute a barrier operator over its materialised children. The match
@@ -409,6 +446,15 @@ fn exec_barrier(
             let r = exec_node(&inputs[1], ctx)?;
             exact::union_all_batches(&l, &r)
         }
+        PhysicalPlan::AnnTopK {
+            table,
+            schema,
+            column,
+            query,
+            metric,
+            n,
+            path,
+        } => exact::ann_topk(table, schema, column, query, *metric, n, path, ctx),
         // Streamable operators are fused into pipelines by `decompose`.
         PhysicalPlan::Scan { .. }
         | PhysicalPlan::Filter { .. }

@@ -64,6 +64,13 @@ pub struct QueryProfile {
     /// Total exchange partitions scheduled across staged barrier
     /// operators (0 when no barrier was partitioned).
     pub partitions: usize,
+    /// Morsels skipped outright by zone-map pruning during this run.
+    pub morsels_pruned: u64,
+    /// Morsels actually executed by pruning-eligible chains (pruned +
+    /// scanned = total morsels of those chains).
+    pub morsels_scanned: u64,
+    /// ANN top-k operator executions during this run.
+    pub ann_queries: u64,
 }
 
 impl QueryProfile {
@@ -94,8 +101,18 @@ impl QueryProfile {
     /// Fixed-width table rendering, one row per operator, headed by the
     /// scheduler configuration.
     pub fn pretty(&self) -> String {
+        let mut access = String::new();
+        if self.morsels_pruned + self.morsels_scanned > 0 {
+            access.push_str(&format!(
+                " [zone-maps: {} pruned / {} scanned]",
+                self.morsels_pruned, self.morsels_scanned
+            ));
+        }
+        if self.ann_queries > 0 {
+            access.push_str(&format!(" [ann queries: {}]", self.ann_queries));
+        }
         let mut out = format!(
-            "threads={} morsels={} partitions={}\n\
+            "threads={} morsels={} partitions={}{access}\n\
              operator                                          rows    self ms   total ms\n",
             self.threads, self.morsels, self.partitions
         );
@@ -127,8 +144,33 @@ pub fn execute_profiled(
         threads: ctx.threads,
         ..QueryProfile::default()
     };
+    let before = ctx.access.snapshot();
     let batch = run_node(plan, ctx, 0, &mut profile)?;
+    let after = ctx.access.snapshot();
+    profile.morsels_pruned = after.morsels_pruned - before.morsels_pruned;
+    profile.morsels_scanned = after.morsels_scanned - before.morsels_scanned;
+    profile.ann_queries = after.ann_queries - before.ann_queries;
     Ok((batch, profile))
+}
+
+/// Zone-map skip mask when the profiled operator's direct input plan is
+/// a pruned base-table scan; mirrors the pipeline scheduler's
+/// [`crate::pipeline::scan_skip_mask`] so profiled runs prune the same
+/// morsels as plain runs.
+fn plan_skip_mask(input: &PhysicalPlan, rows: usize, ctx: &ExecContext) -> Option<Vec<bool>> {
+    if !ctx.zone_maps {
+        return None;
+    }
+    let PhysicalPlan::Scan {
+        table,
+        access: crate::physical::ScanAccess::Pruned(pruner),
+        ..
+    } = input
+    else {
+        return None;
+    };
+    let zm = ctx.catalog.zone_map(table)?;
+    Some(pruner.skip_mask(&zm, rows, ctx.morsel_rows, &ctx.params))
 }
 
 /// Record a staged barrier's scheduling decision (strategy or fallback
@@ -206,7 +248,18 @@ fn run_node(
         };
 
     let batch = match plan {
-        PhysicalPlan::Scan { table, schema } => exact::scan_table(table, schema.as_deref(), ctx)?,
+        PhysicalPlan::Scan { table, schema, .. } => {
+            exact::scan_table(table, schema.as_deref(), ctx)?
+        }
+        PhysicalPlan::AnnTopK {
+            table,
+            schema,
+            column,
+            query,
+            metric,
+            n,
+            path,
+        } => exact::ann_topk(table, schema, column, query, *metric, n, path, ctx)?,
         PhysicalPlan::TvfScan {
             name,
             schema,
@@ -236,12 +289,13 @@ fn run_node(
         }
         PhysicalPlan::Filter { predicate, input } => {
             let inp = run_child(input, profile)?;
+            let skip = plan_skip_mask(input, inp.rows(), ctx);
             let ops = [MorselOp::Filter(predicate)];
             let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
             profile.morsels += planned;
             profile.ops[slot].strategy = chain_strategy_note(&ops, &reason, ctx);
             profile.ops[slot].fallback = reason;
-            morsel::run_ops(&inp, &ops, None, ctx)?
+            morsel::run_ops(&inp, &ops, None, skip.as_deref(), ctx)?
         }
         PhysicalPlan::Project { items, input } => {
             let inp = run_child(input, profile)?;
@@ -250,7 +304,7 @@ fn run_node(
             profile.morsels += planned;
             profile.ops[slot].strategy = chain_strategy_note(&ops, &reason, ctx);
             profile.ops[slot].fallback = reason;
-            morsel::run_ops(&inp, &ops, None, ctx)?
+            morsel::run_ops(&inp, &ops, None, None, ctx)?
         }
         PhysicalPlan::Aggregate {
             keys,
@@ -262,7 +316,7 @@ fn run_node(
                 morsel::planned_and_reason(&inp, &[], Some((keys, aggregates)), ctx);
             profile.morsels += planned;
             profile.ops[slot].fallback = reason;
-            morsel::run_aggregate(&inp, &[], keys, aggregates, ctx)?
+            morsel::run_aggregate(&inp, &[], keys, aggregates, None, ctx)?
         }
         PhysicalPlan::Join {
             left,

@@ -665,6 +665,14 @@ pub struct ExecContext<'a> {
     /// ([`crate::kernel`]). `None` disables chain kernels — every chain
     /// runs on the interpreter.
     pub chain_kernels: Option<std::sync::Arc<crate::kernel::KernelCache>>,
+    /// Whether the morsel scheduler consults zone maps to skip pruned
+    /// morsels (`TDP_ZONE_MAPS`). Pruning never changes results — a
+    /// pruned morsel is one the leading filter would empty anyway — so
+    /// this is purely a perf/diagnostics switch.
+    pub zone_maps: bool,
+    /// Access-path observability counters (morsels pruned/scanned, ANN
+    /// queries), charged by the scheduler and the `AnnTopK` operator.
+    pub access: std::sync::Arc<crate::access::AccessPathCounters>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -680,6 +688,8 @@ impl<'a> ExecContext<'a> {
             morsel_rows: crate::pipeline::DEFAULT_MORSEL_ROWS,
             partitions: crate::pipeline::DEFAULT_PARTITIONS,
             chain_kernels: None,
+            zone_maps: true,
+            access: std::sync::Arc::new(crate::access::AccessPathCounters::default()),
         }
     }
 
@@ -718,6 +728,22 @@ impl<'a> ExecContext<'a> {
         cache: Option<std::sync::Arc<crate::kernel::KernelCache>>,
     ) -> ExecContext<'a> {
         self.chain_kernels = cache;
+        self
+    }
+
+    /// Enable or disable zone-map morsel pruning.
+    pub fn with_zone_maps(mut self, on: bool) -> ExecContext<'a> {
+        self.zone_maps = on;
+        self
+    }
+
+    /// Share an access-path counter set (e.g. the engine's global one)
+    /// instead of the fresh per-context default.
+    pub fn with_access(
+        mut self,
+        access: std::sync::Arc<crate::access::AccessPathCounters>,
+    ) -> ExecContext<'a> {
+        self.access = access;
         self
     }
 }

@@ -169,6 +169,19 @@ impl IvfFlatIndex {
         }
         top_k(hits, k)
     }
+
+    /// Batch search: top-k per row of an `[m, d]` query matrix, each
+    /// probing `nprobe` cells.
+    pub fn search_batch(&self, queries: &F32Tensor, k: usize, nprobe: usize) -> Vec<Vec<Hit>> {
+        assert_eq!(queries.ndim(), 2, "queries must be [m, d]");
+        let d = queries.shape()[1];
+        (0..queries.shape()[0])
+            .map(|i| {
+                let q = Tensor::from_vec(queries.data()[i * d..(i + 1) * d].to_vec(), &[d]);
+                self.search(&q, k, nprobe)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -64,14 +64,26 @@ pub fn recall_at_k(exact: &[Hit], approx: &[Hit]) -> f64 {
 
 /// Keep the k best hits (descending score, ties broken by id for
 /// determinism). Shared by the flat and IVF search paths.
+///
+/// Uses partial selection rather than a full sort: only the k best hits
+/// are moved to the front (O(n) expected), then just that prefix is
+/// sorted. For top-k over a large candidate set this is the dominant
+/// non-kernel cost, and k is typically orders of magnitude below n.
 pub(crate) fn top_k(mut hits: Vec<Hit>, k: usize) -> Vec<Hit> {
-    hits.sort_by(|a, b| {
+    let cmp = |a: &Hit, b: &Hit| {
         b.score
             .partial_cmp(&a.score)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.id.cmp(&b.id))
-    });
-    hits.truncate(k);
+    };
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < hits.len() {
+        hits.select_nth_unstable_by(k - 1, cmp);
+        hits.truncate(k);
+    }
+    hits.sort_by(cmp);
     hits
 }
 

@@ -37,7 +37,8 @@
 //! ```
 //!
 //! * `QUERY <sql>` — compile and execute; responds `OK <n> rows` plus the
-//!   rendered result table.
+//!   rendered result table. DDL statements (`CREATE INDEX … USING ivf(…)`,
+//!   `DROP INDEX …`) run on the same verb and respond with a one-line ack.
 //! * `PREPARE <name> <sql>` — remember `<sql>` under `<name>` for this
 //!   connection. Compilation happens (and is plan-cached engine-wide) at
 //!   `BIND` time; `PREPARE` itself just validates and stores the text.
@@ -50,7 +51,9 @@
 //!   plus a per-operator execution profile.
 //! * `STATS` — engine observability: sessions, served/queued/rejected
 //!   query counts, plan-cache counters and hit rate
-//!   ([`TdpEngine::stats`]).
+//!   ([`TdpEngine::stats`]), plus access-path counters — morsels pruned
+//!   by zone maps, morsels scanned, ANN top-k queries
+//!   ([`TdpEngine::access_path_stats`]).
 //! * `QUIT` — close the connection (`OK bye`).
 //!
 //! Error responses are one line, `ERR <CODE> <message>`, with codes
@@ -83,7 +86,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use tdp_core::{Session, TdpEngine, TdpError};
+use tdp_core::{Session, StatementOutcome, TdpEngine, TdpError};
 use tdp_exec::{ParamValue, ParamValues};
 
 /// Rows of a result table rendered into a response (queries returning
@@ -434,9 +437,12 @@ fn exec_query(
     let _permit = admission
         .acquire(engine)
         .map_err(|m| ("BUSY".to_string(), m))?;
-    let query = session.query(sql).map_err(|e| sql_error(&e))?;
-    let table = query.run().map_err(|e| sql_error(&e))?;
-    Ok(render_table(&table))
+    // `execute`, not `query`: DDL statements (CREATE/DROP INDEX) are
+    // accepted on the same verb as queries.
+    match session.execute(sql).map_err(|e| sql_error(&e))? {
+        StatementOutcome::Rows(table) => Ok(render_table(&table)),
+        StatementOutcome::Ack(msg) => Ok(format!("OK {msg}")),
+    }
 }
 
 fn prepare_statement(
@@ -531,6 +537,7 @@ fn render_table(table: &tdp_storage::Table) -> String {
 
 fn render_stats(engine: &TdpEngine) -> String {
     let stats = engine.stats();
+    let access = engine.access_path_stats();
     format!(
         "OK stats\n\
          sessions_open {}\n\
@@ -542,7 +549,10 @@ fn render_stats(engine: &TdpEngine) -> String {
          plan_cache_misses {}\n\
          plan_cache_evictions {}\n\
          plan_cache_entries {}\n\
-         plan_cache_hit_rate {:.3}",
+         plan_cache_hit_rate {:.3}\n\
+         morsels_pruned {}\n\
+         morsels_scanned {}\n\
+         ann_queries {}",
         stats.sessions_open,
         stats.sessions_total,
         stats.queries_served,
@@ -553,6 +563,9 @@ fn render_stats(engine: &TdpEngine) -> String {
         stats.plan_cache.evictions,
         stats.plan_cache.entries,
         stats.plan_cache_hit_rate(),
+        access.morsels_pruned,
+        access.morsels_scanned,
+        access.ann_queries,
     )
 }
 
@@ -677,6 +690,9 @@ mod tests {
         let r = roundtrip(&stream, &mut reader, "STATS");
         assert!(r.contains("sessions_open 1"), "{r}");
         assert!(r.contains("plan_cache_hit_rate"), "{r}");
+        assert!(r.contains("morsels_pruned"), "{r}");
+        assert!(r.contains("morsels_scanned"), "{r}");
+        assert!(r.contains("ann_queries"), "{r}");
 
         let r = roundtrip(&stream, &mut reader, "QUERY SELECT nope FROM nums");
         assert!(r.starts_with("ERR "), "{r}");
@@ -685,6 +701,43 @@ mod tests {
 
         let r = roundtrip(&stream, &mut reader, "QUIT");
         assert!(r.starts_with("OK bye"), "{r}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn index_ddl_over_the_wire() {
+        let engine = test_engine();
+        engine.register_table(
+            TableBuilder::new()
+                .col_tensor(
+                    "emb",
+                    tdp_core::tensor::Tensor::from_vec(
+                        vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5, 0.9, 0.1],
+                        &[4, 2],
+                    ),
+                )
+                .build("vecs"),
+        );
+        let server = TdpServer::bind(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+
+        let r = roundtrip(
+            &stream,
+            &mut reader,
+            "QUERY CREATE INDEX vi ON vecs (emb) USING ivf(2, 2) METRIC l2",
+        );
+        assert!(r.starts_with("OK CREATE INDEX vi"), "{r}");
+        let r = roundtrip(
+            &stream,
+            &mut reader,
+            "EXPLAIN SELECT emb FROM vecs ORDER BY distance(emb, ?) LIMIT 2",
+        );
+        assert!(r.contains("AnnTopK"), "{r}");
+        assert!(r.contains("ivf nlist=2 nprobe=2"), "{r}");
+        let r = roundtrip(&stream, &mut reader, "QUERY DROP INDEX vi");
+        assert!(r.starts_with("OK DROP INDEX vi"), "{r}");
+        let r = roundtrip(&stream, &mut reader, "QUERY DROP INDEX vi");
+        assert!(r.starts_with("ERR SQL"), "{r}");
         server.shutdown();
     }
 

@@ -676,6 +676,53 @@ impl fmt::Display for Query {
     }
 }
 
+/// Index build method for `CREATE INDEX … USING <method>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMethod {
+    /// Exact brute-force scan through the raw vectors (the default).
+    Flat,
+    /// IVF-Flat: k-means partition into `nlist` cells, probe the
+    /// `nprobe` nearest at query time. Approximate — trades recall for
+    /// scan fraction.
+    Ivf { nlist: usize, nprobe: usize },
+}
+
+impl fmt::Display for IndexMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexMethod::Flat => write!(f, "flat"),
+            IndexMethod::Ivf { nlist, nprobe } => {
+                write!(f, "ivf(nlist={nlist}, nprobe={nprobe})")
+            }
+        }
+    }
+}
+
+/// A top-level SQL statement: a query, or one of the small set of DDL
+/// forms the engine accepts (vector-index management). DDL executes
+/// eagerly against the catalog; only `Query` flows through the
+/// plan/compile pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    /// `CREATE INDEX name ON table (column) [USING flat | ivf(nlist, nprobe)]
+    /// [WITH (metric = l2 | ip | cosine)]`-style index creation. The
+    /// metric keyword is parsed here; interpretation lives in the engine.
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        method: IndexMethod,
+        /// Lower-cased metric name when a `USING … (metric …)` or
+        /// trailing metric ident was supplied; `None` = engine default.
+        metric: Option<String>,
+    },
+    /// `DROP INDEX name`.
+    DropIndex {
+        name: String,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,10 +31,11 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{
-    AggFunc, BinOp, Expr, JoinKind, Literal, OrderItem, Query, SelectItem, TableRef, UnOp,
+    AggFunc, BinOp, Expr, IndexMethod, JoinKind, Literal, OrderItem, Query, SelectItem, Statement,
+    TableRef, UnOp,
 };
 pub use param::{explicit_param_count, parameterize_literals};
-pub use parser::parse;
+pub use parser::{parse, parse_statement};
 pub use plan::{build_plan, LogicalPlan, PlannerContext};
 
 /// Errors produced anywhere in the SQL frontend.

@@ -113,7 +113,11 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
             }
             LogicalPlan::Project { items, input }
         }
-        // ORDER BY + LIMIT fuses into a partial top-k selection.
+        // ORDER BY + LIMIT fuses into a partial top-k selection. The
+        // Limit(Project(Sort)) sandwich — the shape the planner emits
+        // when the sort key is not in the SELECT list — fuses too, with
+        // the projection hoisted above the TopK so sort keys (e.g. a
+        // `distance(emb, ?)` call) stay visible to access-path lowering.
         LogicalPlan::Limit { n, input } => match *input {
             LogicalPlan::Sort {
                 keys,
@@ -122,6 +126,26 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
                 keys,
                 n,
                 input: deeper,
+            },
+            LogicalPlan::Project { items, input: mid } => match *mid {
+                LogicalPlan::Sort {
+                    keys,
+                    input: deeper,
+                } => LogicalPlan::Project {
+                    items,
+                    input: Box::new(LogicalPlan::TopK {
+                        keys,
+                        n,
+                        input: deeper,
+                    }),
+                },
+                other => LogicalPlan::Limit {
+                    n,
+                    input: Box::new(LogicalPlan::Project {
+                        items,
+                        input: Box::new(other),
+                    }),
+                },
             },
             other => LogicalPlan::Limit {
                 n,
@@ -527,6 +551,15 @@ mod tests {
         // LIMIT without ORDER BY stays a plain Limit.
         let p2 = optimized("SELECT a FROM t LIMIT 3");
         assert!(matches!(p2, LogicalPlan::Limit { .. }), "{p2}");
+        // Sort key dropped by the projection: the Limit(Project(Sort))
+        // sandwich fuses with the projection hoisted above the TopK.
+        let p4 = optimized("SELECT a FROM t ORDER BY b LIMIT 3");
+        match p4 {
+            LogicalPlan::Project { input, .. } => {
+                assert!(matches!(*input, LogicalPlan::TopK { .. }), "{input}");
+            }
+            other => panic!("expected Project over TopK, got {other:?}"),
+        }
         // Filters never push through TopK (they change the selected set).
         let p3 = optimized("SELECT a FROM (SELECT a FROM t ORDER BY a LIMIT 5) WHERE a > 1");
         fn filter_above_topk(p: &LogicalPlan) -> bool {

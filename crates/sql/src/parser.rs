@@ -23,6 +23,37 @@ pub fn parse(input: &str) -> Result<Query, SqlError> {
     Ok(q)
 }
 
+/// Parse a top-level statement: a SELECT query, or one of the vector-index
+/// DDL forms (`CREATE INDEX name ON table (column) [USING flat |
+/// ivf(nlist, nprobe)] [METRIC l2|ip|cosine]`, `DROP INDEX name`).
+///
+/// CREATE/INDEX/USING/DROP are deliberately *not* reserved words — they
+/// lex as identifiers and are matched case-insensitively here, so column
+/// names like `index` keep working inside queries.
+pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        positional_params: 0,
+        saw_numbered_param: false,
+    };
+    let stmt = if p.eat_word("CREATE") {
+        p.parse_create_index()?
+    } else if p.eat_word("DROP") {
+        p.parse_drop_index()?
+    } else {
+        Statement::Query(p.parse_query()?)
+    };
+    if !p.at_end() {
+        return Err(SqlError::new(format!(
+            "trailing input after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -87,6 +118,95 @@ impl Parser {
                 self.peek()
             )))
         }
+    }
+
+    /// Case-insensitive match of a non-reserved word (lexed as `Ident`).
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(word)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.advance() {
+            Some(Token::Ident(w)) => Ok(w),
+            other => Err(SqlError::new(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_usize(&mut self, what: &str) -> Result<usize, SqlError> {
+        match self.advance() {
+            Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Ok(n as usize),
+            other => Err(SqlError::new(format!(
+                "expected integer {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// `INDEX name ON table (column) [USING …] [METRIC m]` — the leading
+    /// CREATE was already consumed.
+    fn parse_create_index(&mut self) -> Result<Statement, SqlError> {
+        if !self.eat_word("INDEX") {
+            return Err(SqlError::new(format!(
+                "expected INDEX after CREATE, found {:?}",
+                self.peek()
+            )));
+        }
+        let name = self.expect_ident("index name")?;
+        self.expect_keyword("ON")?;
+        let table = self.expect_ident("table name")?;
+        self.expect_symbol(Sym::LParen)?;
+        let column = self.expect_ident("column name")?;
+        self.expect_symbol(Sym::RParen)?;
+        let method = if self.eat_word("USING") {
+            if self.eat_word("FLAT") {
+                IndexMethod::Flat
+            } else if self.eat_word("IVF") {
+                self.expect_symbol(Sym::LParen)?;
+                let nlist = self.expect_usize("nlist")?;
+                self.expect_symbol(Sym::Comma)?;
+                let nprobe = self.expect_usize("nprobe")?;
+                self.expect_symbol(Sym::RParen)?;
+                if nlist == 0 || nprobe == 0 {
+                    return Err(SqlError::new("ivf(nlist, nprobe) arguments must be >= 1"));
+                }
+                IndexMethod::Ivf { nlist, nprobe }
+            } else {
+                return Err(SqlError::new(format!(
+                    "unknown index method {:?}; expected flat or ivf(nlist, nprobe)",
+                    self.peek()
+                )));
+            }
+        } else {
+            IndexMethod::Flat
+        };
+        let metric = if self.eat_word("METRIC") {
+            Some(self.expect_ident("metric name")?.to_ascii_lowercase())
+        } else {
+            None
+        };
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+            method,
+            metric,
+        })
+    }
+
+    /// `INDEX name` — the leading DROP was already consumed.
+    fn parse_drop_index(&mut self) -> Result<Statement, SqlError> {
+        if !self.eat_word("INDEX") {
+            return Err(SqlError::new(format!(
+                "expected INDEX after DROP, found {:?}",
+                self.peek()
+            )));
+        }
+        let name = self.expect_ident("index name")?;
+        Ok(Statement::DropIndex { name })
     }
 
     fn parse_query(&mut self) -> Result<Query, SqlError> {
@@ -1060,5 +1180,54 @@ mod tests {
                 "pretty-print must be a fixpoint"
             );
         }
+    }
+
+    #[test]
+    fn create_index_statements() {
+        let s = parse_statement("CREATE INDEX i ON t (emb)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "i".into(),
+                table: "t".into(),
+                column: "emb".into(),
+                method: IndexMethod::Flat,
+                metric: None,
+            }
+        );
+        let s =
+            parse_statement("create index i on vecs (emb) using ivf(64, 8) metric COSINE").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "i".into(),
+                table: "vecs".into(),
+                column: "emb".into(),
+                method: IndexMethod::Ivf {
+                    nlist: 64,
+                    nprobe: 8
+                },
+                metric: Some("cosine".into()),
+            }
+        );
+        assert!(parse_statement("CREATE INDEX i ON t (emb) USING hnsw").is_err());
+        assert!(parse_statement("CREATE INDEX i ON t (emb) USING ivf(0, 1)").is_err());
+        assert!(parse_statement("CREATE TABLE t (x)").is_err());
+    }
+
+    #[test]
+    fn drop_index_statement() {
+        assert_eq!(
+            parse_statement("drop index i").unwrap(),
+            Statement::DropIndex { name: "i".into() }
+        );
+        assert!(parse_statement("DROP INDEX i extra").is_err());
+    }
+
+    #[test]
+    fn statement_wraps_plain_query() {
+        // `index` stays usable as an identifier — it is not reserved.
+        let s = parse_statement("SELECT index FROM t LIMIT 1").unwrap();
+        assert!(matches!(s, Statement::Query(_)));
     }
 }

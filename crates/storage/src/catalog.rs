@@ -1,26 +1,41 @@
-//! The session catalog: a concurrent name → table registry.
+//! The session catalog: a concurrent name → table registry, with
+//! per-table zone maps and the vector-index registry riding along.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::table::{Table, TableStats};
+use crate::vindex::VectorIndexEntry;
+use crate::zonemap::TableZoneMaps;
 
 /// Thread-safe table namespace. Registration replaces silently (matching
 /// the paper's training loop, which re-registers the input tensor under the
 /// same name every iteration — Listing 5, line 6).
 ///
-/// Lock poisoning is recovered, not propagated: the map holds complete
-/// `Arc<Table>` values that are swapped in single `insert`/`remove`
+/// Registration also computes [`TableZoneMaps`] for the new table and
+/// **invalidates** any vector indexes built over the replaced table —
+/// the write-invalidation half of the access-path contract: statistics
+/// and indexes in the catalog always describe the table currently
+/// registered under that name.
+///
+/// Lock poisoning is recovered, not propagated: the maps hold complete
+/// `Arc` values that are swapped in single `insert`/`remove`
 /// calls, so a thread that panicked while holding the lock cannot have
 /// left a half-written entry behind. Recovering keeps one crashed worker
 /// from wedging every other session sharing the engine.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
-    /// Monotonic change counter, bumped on every register/drop. Plan
-    /// caches use it as a cheap "anything changed?" check before falling
-    /// back to per-table schema validation.
+    /// Zone maps per table key, always in sync with `tables`.
+    zone_maps: RwLock<HashMap<String, Arc<TableZoneMaps>>>,
+    /// Vector indexes keyed by `table.column` (lowercased). Entries are
+    /// removed whenever their table is re-registered or dropped.
+    vector_indexes: RwLock<HashMap<String, Arc<VectorIndexEntry>>>,
+    /// Monotonic change counter, bumped on every register/drop (of
+    /// tables and of vector indexes). Plan caches use it as a cheap
+    /// "anything changed?" check before falling back to per-table
+    /// schema validation.
     version: AtomicU64,
 }
 
@@ -33,15 +48,97 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
-    /// Register (or replace) a table under its own name.
+    /// Register (or replace) a table under its own name. Zone maps are
+    /// recomputed for the new contents; vector indexes over the old
+    /// contents are invalidated (a write makes them stale).
     pub fn register(&self, table: Table) -> Arc<Table> {
         let arc = Arc::new(table);
+        let key = Self::key(arc.name());
+        let zm = Arc::new(TableZoneMaps::build(&arc));
         self.tables
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(Self::key(arc.name()), Arc::clone(&arc));
+            .insert(key.clone(), Arc::clone(&arc));
+        self.zone_maps
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.clone(), zm);
+        self.invalidate_indexes_of(&key);
         self.version.fetch_add(1, Ordering::Relaxed);
         arc
+    }
+
+    /// Zone maps of a table (always present for registered tables).
+    pub fn zone_map(&self, name: &str) -> Option<Arc<TableZoneMaps>> {
+        self.zone_maps
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&Self::key(name))
+            .cloned()
+    }
+
+    /// Register (or replace) a vector index on `entry.table.column`.
+    pub fn register_vector_index(&self, entry: VectorIndexEntry) -> Arc<VectorIndexEntry> {
+        let key = format!("{}.{}", Self::key(&entry.table), Self::key(&entry.column));
+        let arc = Arc::new(entry);
+        let mut guard = self
+            .vector_indexes
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        // An index name is unique: re-using one replaces the old index
+        // even if it covered a different column.
+        guard.retain(|_, e| !e.name.eq_ignore_ascii_case(&arc.name));
+        guard.insert(key, Arc::clone(&arc));
+        drop(guard);
+        self.version.fetch_add(1, Ordering::Relaxed);
+        arc
+    }
+
+    /// Fetch the vector index on `table.column`, if one is registered.
+    pub fn vector_index(&self, table: &str, column: &str) -> Option<Arc<VectorIndexEntry>> {
+        let key = format!("{}.{}", Self::key(table), Self::key(column));
+        self.vector_indexes
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Drop a vector index by its (case-insensitive) name.
+    pub fn drop_vector_index(&self, name: &str) -> bool {
+        let mut guard = self
+            .vector_indexes
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let before = guard.len();
+        guard.retain(|_, e| !e.name.eq_ignore_ascii_case(name));
+        let dropped = guard.len() < before;
+        drop(guard);
+        if dropped {
+            self.version.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// All registered vector indexes, sorted by name.
+    pub fn vector_indexes(&self) -> Vec<Arc<VectorIndexEntry>> {
+        let mut out: Vec<_> = self
+            .vector_indexes
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Remove every vector index built over table `key` (lowercased).
+    fn invalidate_indexes_of(&self, key: &str) {
+        self.vector_indexes
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|_, e| Self::key(&e.table) != key);
     }
 
     /// Current value of the change counter (any register/drop bumps it).
@@ -58,15 +155,22 @@ impl Catalog {
             .cloned()
     }
 
-    /// Remove a table; returns whether it existed.
+    /// Remove a table (with its zone maps and vector indexes); returns
+    /// whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
+        let key = Self::key(name);
         let existed = self
             .tables
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .remove(&Self::key(name))
+            .remove(&key)
             .is_some();
         if existed {
+            self.zone_maps
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
+            self.invalidate_indexes_of(&key);
             self.version.fetch_add(1, Ordering::Relaxed);
         }
         existed
@@ -158,6 +262,45 @@ mod tests {
         let v3 = cat.version();
         assert!(!cat.drop_table("t"), "missing drop is a no-op");
         assert_eq!(cat.version(), v3);
+    }
+
+    #[test]
+    fn zone_maps_follow_registration() {
+        let cat = Catalog::new();
+        cat.register(tbl("t", 4));
+        let zm = cat.zone_map("T").expect("zone maps computed on register");
+        assert_eq!(zm.range(0, 0, 4), Some((0.0, 3.0)));
+        cat.register(tbl("t", 2));
+        let zm = cat.zone_map("t").unwrap();
+        assert_eq!(zm.range(0, 0, 4), Some((0.0, 1.0)), "recomputed on replace");
+        cat.drop_table("t");
+        assert!(cat.zone_map("t").is_none());
+    }
+
+    #[test]
+    fn vector_indexes_invalidate_on_table_writes() {
+        use crate::vindex::{VectorIndex, VectorIndexEntry};
+        use tdp_index::{FlatIndex, Metric};
+        use tdp_tensor::Tensor;
+
+        let cat = Catalog::new();
+        cat.register(tbl("docs", 2));
+        let flat = FlatIndex::build(Tensor::from_vec(vec![0.0; 4], &[2, 2]), Metric::L2);
+        cat.register_vector_index(VectorIndexEntry {
+            name: "idx_docs".into(),
+            table: "docs".into(),
+            column: "emb".into(),
+            metric: Metric::L2,
+            rows: 2,
+            index: VectorIndex::Flat(flat),
+        });
+        assert!(cat.vector_index("DOCS", "EMB").is_some(), "case-folded");
+        let v = cat.version();
+        // A write to the indexed table invalidates its indexes.
+        cat.register(tbl("docs", 3));
+        assert!(cat.vector_index("docs", "emb").is_none());
+        assert!(cat.version() > v);
+        assert!(!cat.drop_vector_index("idx_docs"), "already invalidated");
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub mod catalog;
 pub mod csv;
 pub mod format;
 pub mod table;
+pub mod vindex;
+pub mod zonemap;
 
 pub use catalog::Catalog;
 pub use format::{load_table, save_table, FormatError};
 pub use table::{Column, Table, TableBuilder, TableStats};
+pub use vindex::{VectorIndex, VectorIndexEntry};
+pub use zonemap::{ChunkStat, ColumnZoneMap, TableZoneMaps, ZONE_MAP_CHUNK_ROWS};

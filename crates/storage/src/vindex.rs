@@ -1,0 +1,57 @@
+//! Catalog-resident vector index registry.
+//!
+//! ANN indexes live *in the catalog*, next to the tables they index, so
+//! invalidation rides the existing catalog-version machinery: any write
+//! to a table (re-registration or drop) removes that table's index
+//! entries, and queries planned against a now-stale index fall back to
+//! the exact flat path at execution time.
+
+use tdp_index::{FlatIndex, Hit, IvfFlatIndex, Metric};
+use tdp_tensor::F32Tensor;
+
+/// A built index over one embedding column.
+#[derive(Debug, Clone)]
+pub enum VectorIndex {
+    /// Exact brute-force index (one kernel pass per query).
+    Flat(FlatIndex),
+    /// IVF-Flat approximate index with its declared probe width.
+    Ivf {
+        index: IvfFlatIndex,
+        nlist: usize,
+        nprobe: usize,
+    },
+}
+
+/// One registry entry: a named index on `table.column` under `metric`.
+#[derive(Debug, Clone)]
+pub struct VectorIndexEntry {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+    pub metric: Metric,
+    /// Row count of the table at build time (staleness check).
+    pub rows: usize,
+    pub index: VectorIndex,
+}
+
+impl VectorIndexEntry {
+    /// Top-k search through the built index. For IVF the registered
+    /// `nprobe` applies; flat search is exact.
+    pub fn search(&self, query: &F32Tensor, k: usize) -> Vec<Hit> {
+        match &self.index {
+            VectorIndex::Flat(f) => f.search(query, k),
+            VectorIndex::Ivf { index, nprobe, .. } => index.search(query, k, *nprobe),
+        }
+    }
+
+    /// Access-path description for EXPLAIN (`flat exact` or
+    /// `ivf nlist=.. nprobe=..`).
+    pub fn describe(&self) -> String {
+        match &self.index {
+            VectorIndex::Flat(_) => "flat exact".to_owned(),
+            VectorIndex::Ivf { nlist, nprobe, .. } => {
+                format!("ivf nlist={nlist} nprobe={nprobe}")
+            }
+        }
+    }
+}

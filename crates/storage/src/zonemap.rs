@@ -1,0 +1,228 @@
+//! Per-chunk column statistics (zone maps) for scan pruning.
+//!
+//! Every table registered in the [`crate::Catalog`] gets a
+//! [`TableZoneMaps`]: for each numeric 1-d column, min/max (and
+//! null-count) statistics over fixed-size row chunks of
+//! [`ZONE_MAP_CHUNK_ROWS`] rows. The execution layer compiles eligible
+//! filter conjuncts into chunk-pruning predicates and consults
+//! [`TableZoneMaps::range`] to skip whole morsels before any kernel runs.
+//!
+//! ## Precision contract
+//!
+//! Statistics are stored in **f32 — the precision filter kernels compare
+//! in**. Integer columns are cast with the same `as f32`
+//! round-to-nearest conversion `decode_f32` applies at evaluation time,
+//! so a pruning decision made against these bounds mirrors the kernel
+//! comparison bit-for-bit: a chunk is only skipped when *no* row in it
+//! could pass the f32 comparison the filter would actually execute.
+//! Chunks containing NaN report no statistics (unprunable), as do
+//! non-numeric and multi-dimensional payload columns.
+//!
+//! Null counts are carried per chunk for format compatibility with
+//! conventional zone maps; this NULL-free dialect always records zero.
+
+use tdp_encoding::EncodedTensor;
+
+use crate::table::Table;
+
+/// Rows per statistics chunk. A divisor of the default morsel size
+/// (65 536) so default morsels align exactly to chunk boundaries, and
+/// small enough that tiny custom morsels (`set_morsel_rows(7)`) still
+/// get usable bounds from the chunk union.
+pub const ZONE_MAP_CHUNK_ROWS: usize = 4096;
+
+/// Min/max/null statistics of one chunk of one column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkStat {
+    pub min: f32,
+    pub max: f32,
+    /// Always zero in this NULL-free dialect; kept so the stat layout
+    /// matches conventional zone maps.
+    pub null_count: usize,
+}
+
+/// Zone map of a single column: one optional stat per chunk (`None`
+/// marks an unprunable chunk, e.g. one containing NaN).
+#[derive(Debug, Clone)]
+pub struct ColumnZoneMap {
+    chunks: Vec<Option<ChunkStat>>,
+}
+
+impl ColumnZoneMap {
+    fn from_f32(values: &[f32]) -> ColumnZoneMap {
+        let chunks = values
+            .chunks(ZONE_MAP_CHUNK_ROWS)
+            .map(|chunk| {
+                let mut min = f32::INFINITY;
+                let mut max = f32::NEG_INFINITY;
+                for &v in chunk {
+                    if v.is_nan() {
+                        return None;
+                    }
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                Some(ChunkStat {
+                    min,
+                    max,
+                    null_count: 0,
+                })
+            })
+            .collect();
+        ColumnZoneMap { chunks }
+    }
+
+    /// Conservative `[min, max]` over the chunks overlapping the row
+    /// range `[start, end)`. `None` when any overlapping chunk is
+    /// unprunable (so callers must scan).
+    pub fn range(&self, start: usize, end: usize) -> Option<(f32, f32)> {
+        if start >= end {
+            return None;
+        }
+        let first = start / ZONE_MAP_CHUNK_ROWS;
+        let last = (end - 1) / ZONE_MAP_CHUNK_ROWS;
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for c in first..=last.min(self.chunks.len().saturating_sub(1)) {
+            let stat = self.chunks.get(c).copied().flatten()?;
+            min = min.min(stat.min);
+            max = max.max(stat.max);
+        }
+        if min.is_infinite() && max.is_infinite() {
+            return None;
+        }
+        Some((min, max))
+    }
+
+    /// Number of chunks covered.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// Zone maps of every column of one table, indexed by column position
+/// (the slot numbering physical plans resolve column refs to).
+#[derive(Debug, Clone)]
+pub struct TableZoneMaps {
+    rows: usize,
+    columns: Vec<Option<ColumnZoneMap>>,
+}
+
+impl TableZoneMaps {
+    /// Compute statistics for every eligible column: plain 1-d f32 and
+    /// the integer encodings (plain, run-length, bit-packed, delta).
+    /// Strings, booleans, probability columns and multi-dimensional
+    /// payloads get no stats (their filters never prune).
+    pub fn build(table: &Table) -> TableZoneMaps {
+        let columns = table
+            .columns()
+            .iter()
+            .map(|c| match &c.data {
+                EncodedTensor::F32(t) if t.ndim() == 1 => Some(ColumnZoneMap::from_f32(t.data())),
+                EncodedTensor::I64(_)
+                | EncodedTensor::Rle(_)
+                | EncodedTensor::BitPacked(_)
+                | EncodedTensor::Delta(_) => {
+                    // Same `as f32` cast decode_f32 performs at filter
+                    // time, so bounds match evaluation exactly.
+                    let vals: Vec<f32> = c
+                        .data
+                        .decode_i64()
+                        .data()
+                        .iter()
+                        .map(|&v| v as f32)
+                        .collect();
+                    Some(ColumnZoneMap::from_f32(&vals))
+                }
+                _ => None,
+            })
+            .collect();
+        TableZoneMaps {
+            rows: table.rows(),
+            columns,
+        }
+    }
+
+    /// Row count the stats were computed over (staleness check).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Per-column zone map by slot; `None` for stat-less columns.
+    pub fn column(&self, slot: usize) -> Option<&ColumnZoneMap> {
+        self.columns.get(slot).and_then(|c| c.as_ref())
+    }
+
+    /// Conservative bounds of `[start, end)` of column `slot`, `None`
+    /// when the column or any overlapping chunk lacks stats.
+    pub fn range(&self, slot: usize, start: usize, end: usize) -> Option<(f32, f32)> {
+        self.column(slot)?.range(start, end.min(self.rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use tdp_tensor::Tensor;
+
+    #[test]
+    fn f32_column_bounds_per_chunk() {
+        let n = ZONE_MAP_CHUNK_ROWS * 2 + 100;
+        let t = TableBuilder::new()
+            .col_f32("v", (0..n).map(|i| i as f32).collect())
+            .build("t");
+        let zm = TableZoneMaps::build(&t);
+        assert_eq!(zm.rows(), n);
+        // First chunk alone.
+        assert_eq!(
+            zm.range(0, 0, ZONE_MAP_CHUNK_ROWS),
+            Some((0.0, (ZONE_MAP_CHUNK_ROWS - 1) as f32))
+        );
+        // Straddling two chunks unions their bounds.
+        let r = zm.range(0, ZONE_MAP_CHUNK_ROWS - 1, ZONE_MAP_CHUNK_ROWS + 1);
+        assert_eq!(r, Some((0.0, (2 * ZONE_MAP_CHUNK_ROWS - 1) as f32)));
+        // Tail chunk is partial but still bounded.
+        let r = zm.range(0, 2 * ZONE_MAP_CHUNK_ROWS, n);
+        assert_eq!(r, Some(((2 * ZONE_MAP_CHUNK_ROWS) as f32, (n - 1) as f32)));
+    }
+
+    #[test]
+    fn i64_column_uses_filter_cast() {
+        let t = TableBuilder::new()
+            .col_i64("q", vec![5, -3, 10, 7])
+            .build("t");
+        let zm = TableZoneMaps::build(&t);
+        assert_eq!(zm.range(0, 0, 4), Some((-3.0, 10.0)));
+    }
+
+    #[test]
+    fn nan_chunk_is_unprunable() {
+        let t = TableBuilder::new()
+            .col_f32("v", vec![1.0, f32::NAN, 3.0])
+            .build("t");
+        let zm = TableZoneMaps::build(&t);
+        assert_eq!(zm.range(0, 0, 3), None);
+    }
+
+    #[test]
+    fn string_and_payload_columns_have_no_stats() {
+        let t = TableBuilder::new()
+            .col_str("s", &["a", "b"])
+            .col_tensor("emb", Tensor::<f32>::zeros(&[2, 4]))
+            .col_f32("v", vec![1.0, 2.0])
+            .build("t");
+        let zm = TableZoneMaps::build(&t);
+        assert!(zm.column(0).is_none());
+        assert!(zm.column(1).is_none());
+        assert_eq!(zm.range(2, 0, 2), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn out_of_range_rows_clamp() {
+        let t = TableBuilder::new().col_f32("v", vec![1.0, 2.0]).build("t");
+        let zm = TableZoneMaps::build(&t);
+        assert_eq!(zm.range(0, 0, 100), Some((1.0, 2.0)));
+        assert_eq!(zm.range(0, 5, 5), None, "empty range has no bounds");
+    }
+}

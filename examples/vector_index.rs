@@ -61,7 +61,7 @@ fn main() {
             "Attachments",
             "emb",
             Metric::Cosine,
-            IndexKind::IvfFlat(IvfParams::new(24)),
+            IndexKind::IvfFlat(IvfParams::new(24), 4),
             7,
         )
         .expect("ivf index")

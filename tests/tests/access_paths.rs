@@ -1,0 +1,387 @@
+//! PR 8 access paths, end to end: zone-map chunk pruning must be a pure
+//! performance substitution (byte-identical results across thread
+//! counts, morsel sizes, and `TDP_ZONE_MAPS` settings), the `AnnTopK`
+//! operator must match the scan+sort oracle exactly on the flat path and
+//! within a declared recall bound on IVF, SQL `CREATE INDEX` must round
+//! trip, stale indexes must fall back to exact, and the counters behind
+//! `STATS` / `run_profiled` must move.
+
+use proptest::prelude::*;
+use tdp_core::storage::{Table, TableBuilder};
+use tdp_core::tensor::{F32Tensor, Rng64, Tensor};
+use tdp_core::{ParamValue, ParamValues, StatementOutcome, Tdp};
+
+/// A table whose `v` column is block-ordered: chunk-sized runs of rising
+/// values, so range predicates can rule out whole 4096-row chunks. `k`
+/// cycles 0..=9 (never prunable), `tag` exercises dictionary columns.
+fn blocked_table(rows: usize) -> Table {
+    let vs: Vec<f32> = (0..rows).map(|i| i as f32).collect();
+    let ks: Vec<i64> = (0..rows).map(|i| (i % 10) as i64).collect();
+    let tags: Vec<String> = (0..rows).map(|i| format!("g{}", i % 4)).collect();
+    TableBuilder::new()
+        .col_f32("v", vs)
+        .col_i64("k", ks)
+        .col_str("tag", &tags)
+        .build("t")
+}
+
+fn assert_tables_identical(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row count");
+    let names_a: Vec<&str> = a.columns().iter().map(|c| c.name.as_str()).collect();
+    let names_b: Vec<&str> = b.columns().iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names_a, names_b, "{what}: column order");
+    for col in a.columns() {
+        let other = b.column(&col.name).expect("column present");
+        let bits_a: Vec<u32> = col
+            .data
+            .decode_f32()
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let bits_b: Vec<u32> = other
+            .data
+            .decode_f32()
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(bits_a, bits_b, "{what}: column {} bits", col.name);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Zone-map pruning: byte identity across the whole knob matrix
+// ----------------------------------------------------------------------
+
+#[test]
+fn pruning_is_invisible_across_threads_morsels_and_zone_maps() {
+    let tdp = Tdp::new();
+    tdp.register_table(blocked_table(10_000));
+    let queries = [
+        "SELECT v, k, tag FROM t WHERE v < 100",
+        "SELECT v, k FROM t WHERE v >= 4100 AND v < 4200 AND k > 2",
+        "SELECT SUM(v) AS s, COUNT(*) AS c FROM t WHERE v BETWEEN 5000 AND 5100",
+        "SELECT v FROM t WHERE v IN (3, 4096, 9999) ORDER BY v",
+        "SELECT tag, COUNT(*) AS c FROM t WHERE v > 9990 GROUP BY tag ORDER BY tag",
+        "SELECT v FROM t WHERE v < 50 LIMIT 7",
+    ];
+    // Baseline: zone maps off, 1 thread, default morsel size.
+    for sql in queries {
+        tdp.set_zone_maps(false);
+        tdp.set_threads(1);
+        let baseline = tdp.query(sql).unwrap().run().unwrap();
+        for zone_maps in [true, false] {
+            for threads in [1usize, 2, 7] {
+                for morsel_rows in [Some(7usize), None] {
+                    let t2 = Tdp::new();
+                    t2.register_table(blocked_table(10_000));
+                    t2.set_zone_maps(zone_maps);
+                    t2.set_threads(threads);
+                    if let Some(m) = morsel_rows {
+                        t2.set_morsel_rows(m);
+                    }
+                    let got = t2.query(sql).unwrap().run().unwrap();
+                    assert_tables_identical(
+                        &baseline,
+                        &got,
+                        &format!("{sql} [zm={zone_maps} t={threads} m={morsel_rows:?}]"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random range predicates over random block-sorted data: pruned and
+    /// unpruned runs agree bitwise at an awkward morsel size.
+    #[test]
+    fn random_ranges_prune_identically(
+        lo in 0i64..9_000,
+        width in 0i64..2_000,
+        threads in 1usize..8,
+    ) {
+        let sql = format!(
+            "SELECT v, k FROM t WHERE v >= {lo} AND v < {}",
+            lo + width
+        );
+        let tdp = Tdp::new();
+        tdp.register_table(blocked_table(9_500));
+        tdp.set_threads(threads);
+        tdp.set_morsel_rows(7);
+        tdp.set_zone_maps(false);
+        let unpruned = tdp.query(&sql).unwrap().run().unwrap();
+        tdp.set_zone_maps(true);
+        let pruned = tdp.query(&sql).unwrap().run().unwrap();
+        prop_assert_eq!(unpruned.rows(), pruned.rows());
+        assert_tables_identical(&unpruned, &pruned, &sql);
+    }
+}
+
+/// Chunk-boundary regression: morsels of 7 rows straddle the 4096-row
+/// zone-map chunk boundary (4096 % 7 != 0), so a skipped morsel's rows
+/// can span two chunks; a morsel survives if EITHER chunk might match.
+#[test]
+fn morsels_straddling_chunk_boundaries_prune_correctly() {
+    let tdp = Tdp::new();
+    tdp.register_table(blocked_table(8_192));
+    tdp.set_morsel_rows(7);
+    // Rows 4090..4102 straddle the chunk-0/chunk-1 boundary.
+    let sql = "SELECT v FROM t WHERE v >= 4090 AND v < 4102";
+    tdp.set_zone_maps(true);
+    let got = tdp.query(sql).unwrap().run().unwrap();
+    assert_eq!(got.rows(), 12);
+    let vals = got.column("v").unwrap().data.decode_f32().to_vec();
+    assert_eq!(vals, (4090..4102).map(|i| i as f32).collect::<Vec<_>>());
+}
+
+/// Pruning composes with the plan cache: a `$1` bound at BIND time must
+/// re-evaluate the pruner bounds per execution, not bake in the first
+/// binding's.
+#[test]
+fn param_bounds_evaluate_at_bind_time() {
+    let tdp = Tdp::new();
+    tdp.register_table(blocked_table(10_000));
+    let prepared = tdp
+        .prepare("SELECT COUNT(*) AS c FROM t WHERE v < ?")
+        .unwrap();
+    for bound in [10.0f64, 5_000.0, 9_999.0, 0.0] {
+        let mut params = ParamValues::new();
+        params.push(ParamValue::Number(bound));
+        let got = prepared.bind(params).unwrap().run().unwrap();
+        let c = got.column("c").unwrap().data.decode_i64().to_vec()[0];
+        assert_eq!(c, bound as i64, "COUNT(v < {bound})");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Access-path observability: profiler counters, engine stats, EXPLAIN
+// ----------------------------------------------------------------------
+
+#[test]
+fn profiled_runs_report_pruned_and_scanned_morsels() {
+    let tdp = Tdp::new();
+    tdp.register_table(blocked_table(10_000));
+    tdp.set_zone_maps(true);
+    // Morsels smaller than the 4096-row zone-map chunks, so morsels
+    // beyond chunk 0 are provably empty under v < 100.
+    tdp.set_morsel_rows(1024);
+    let q = tdp.query("SELECT v FROM t WHERE v < 100").unwrap();
+    let (_, profile) = q.run_profiled().unwrap();
+    assert!(
+        profile.morsels_pruned > 0,
+        "only chunk 0 can match; later chunks must prune: {profile:?}"
+    );
+    assert!(profile.morsels_scanned > 0);
+    assert!(
+        profile.pretty().contains("zone-maps:"),
+        "{}",
+        profile.pretty()
+    );
+
+    // Zone maps off: the same query consults no pruner at all.
+    tdp.set_zone_maps(false);
+    let (_, profile) = tdp
+        .query("SELECT v FROM t WHERE v < 100")
+        .unwrap()
+        .run_profiled()
+        .unwrap();
+    assert_eq!(profile.morsels_pruned, 0);
+    assert_eq!(profile.morsels_scanned, 0);
+}
+
+#[test]
+fn engine_access_path_stats_accumulate() {
+    let tdp = Tdp::new();
+    tdp.register_table(blocked_table(10_000));
+    tdp.set_zone_maps(true);
+    tdp.set_morsel_rows(1024);
+    let before = tdp.engine().access_path_stats();
+    tdp.query("SELECT v FROM t WHERE v < 10")
+        .unwrap()
+        .run()
+        .unwrap();
+    let after = tdp.engine().access_path_stats();
+    assert!(after.morsels_pruned > before.morsels_pruned);
+    assert!(after.morsels_scanned > before.morsels_scanned);
+}
+
+#[test]
+fn explain_renders_access_paths() {
+    let tdp = Tdp::new();
+    tdp.register_table(blocked_table(100));
+    // Two prunable conjuncts on the scan line.
+    let plan = tdp
+        .prepare("SELECT v FROM t WHERE v > 1 AND v < 9 AND SQRT(v) > 0")
+        .unwrap()
+        .explain();
+    assert!(plan.contains("[zone-maps: 2 predicates]"), "{plan}");
+    // Nothing a zone map can evaluate: named full-scan reason.
+    let plan = tdp
+        .prepare("SELECT v FROM t WHERE SQRT(v) < 2")
+        .unwrap()
+        .explain();
+    assert!(plan.contains("[full scan: no-eligible-conjunct]"), "{plan}");
+}
+
+// ----------------------------------------------------------------------
+// AnnTopK: flat byte-identity oracle, IVF recall bound, DDL round trip
+// ----------------------------------------------------------------------
+
+/// Clustered embeddings: `nclusters` well-separated centers with small
+/// jitter, so IVF's k-means finds real structure and recall is stable.
+fn clustered_vectors(n: usize, d: usize, nclusters: usize, seed: u64) -> F32Tensor {
+    let mut rng = Rng64::new(seed);
+    let centers = F32Tensor::randn(&[nclusters, d], 0.0, 10.0, &mut rng);
+    let jitter = F32Tensor::randn(&[n, d], 0.0, 0.1, &mut rng);
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let c = i % nclusters;
+        for j in 0..d {
+            data.push(centers.data()[c * d + j] + jitter.data()[i * d + j]);
+        }
+    }
+    Tensor::from_vec(data, &[n, d])
+}
+
+fn vecs_table(n: usize, d: usize, seed: u64) -> Table {
+    let ids: Vec<i64> = (0..n as i64).collect();
+    TableBuilder::new()
+        .col_i64("id", ids)
+        .col_tensor("emb", clustered_vectors(n, d, 8, seed))
+        .build("vecs")
+}
+
+fn query_vec(d: usize, seed: u64) -> F32Tensor {
+    let mut rng = Rng64::new(seed);
+    F32Tensor::randn(&[d], 0.0, 10.0, &mut rng)
+}
+
+fn ann_ids(table: &Table) -> Vec<i64> {
+    table.column("id").unwrap().data.decode_i64().to_vec()
+}
+
+/// Run `ORDER BY distance(emb, $1) LIMIT k` (which lowers to AnnTopK)
+/// and its sort-only oracle (which cannot), returning both id lists.
+fn ann_vs_oracle(tdp: &Tdp, q: &F32Tensor, k: usize) -> (Vec<i64>, Vec<i64>) {
+    let bind = |sql: &str| {
+        let mut params = ParamValues::new();
+        params.push(ParamValue::Tensor(q.clone()));
+        tdp.prepare(sql)
+            .unwrap()
+            .bind(params)
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let ann = bind(&format!(
+        "SELECT id FROM vecs ORDER BY distance(emb, ?) LIMIT {k}"
+    ));
+    // No LIMIT → Sort, not TopK → never AnnTopK: the exact oracle.
+    let oracle = bind("SELECT id FROM vecs ORDER BY distance(emb, ?)");
+    (ann_ids(&ann), ann_ids(&oracle)[..k].to_vec())
+}
+
+#[test]
+fn flat_ann_topk_matches_scan_sort_oracle_exactly() {
+    let tdp = Tdp::new();
+    tdp.register_table(vecs_table(300, 8, 11));
+    let plan = tdp
+        .prepare("SELECT id FROM vecs ORDER BY distance(emb, ?) LIMIT 10")
+        .unwrap()
+        .explain();
+    assert!(plan.contains("AnnTopK"), "{plan}");
+    assert!(plan.contains("[flat exact]"), "{plan}");
+    for seed in [1u64, 2, 3, 4, 5] {
+        let q = query_vec(8, seed);
+        let (ann, oracle) = ann_vs_oracle(&tdp, &q, 10);
+        assert_eq!(ann, oracle, "flat AnnTopK must be exact (seed {seed})");
+    }
+}
+
+#[test]
+fn ivf_index_meets_declared_recall_bound() {
+    let tdp = Tdp::new();
+    tdp.register_table(vecs_table(512, 8, 7));
+    match tdp
+        .execute("CREATE INDEX vi ON vecs (emb) USING ivf(8, 4) METRIC l2")
+        .unwrap()
+    {
+        StatementOutcome::Ack(msg) => assert_eq!(msg, "CREATE INDEX vi"),
+        StatementOutcome::Rows(_) => panic!("DDL must ack, not return rows"),
+    }
+    let plan = tdp
+        .prepare("SELECT id FROM vecs ORDER BY distance(emb, ?) LIMIT 10")
+        .unwrap()
+        .explain();
+    assert!(plan.contains("ivf nlist=8 nprobe=4"), "{plan}");
+
+    // Probing half the cells of well-clustered data: declared bound is
+    // recall@10 ≥ 0.8 averaged over seeds (per-seed ≥ 0.5).
+    let mut total = 0.0;
+    let seeds = [21u64, 22, 23, 24, 25];
+    for &seed in &seeds {
+        let q = query_vec(8, seed);
+        let (ann, oracle) = ann_vs_oracle(&tdp, &q, 10);
+        let hits = ann.iter().filter(|id| oracle.contains(id)).count();
+        let recall = hits as f64 / 10.0;
+        assert!(recall >= 0.5, "seed {seed}: recall {recall}");
+        total += recall;
+    }
+    assert!(
+        total / seeds.len() as f64 >= 0.8,
+        "mean recall {}",
+        total / seeds.len() as f64
+    );
+
+    let ann_count_before = tdp.engine().access_path_stats().ann_queries;
+    let q = query_vec(8, 99);
+    ann_vs_oracle(&tdp, &q, 5);
+    assert!(tdp.engine().access_path_stats().ann_queries > ann_count_before);
+}
+
+#[test]
+fn stale_index_falls_back_to_exact() {
+    let tdp = Tdp::new();
+    tdp.register_table(vecs_table(256, 8, 3));
+    tdp.execute("CREATE INDEX vi ON vecs (emb) USING ivf(4, 1) METRIC l2")
+        .unwrap();
+    assert!(tdp.has_vector_index("vecs", "emb"));
+    // A table write invalidates the catalog entry outright…
+    tdp.register_table(vecs_table(320, 8, 4));
+    assert!(!tdp.has_vector_index("vecs", "emb"));
+    // …so the query answers exactly, from the new data.
+    for seed in [31u64, 32, 33] {
+        let q = query_vec(8, seed);
+        let (ann, oracle) = ann_vs_oracle(&tdp, &q, 10);
+        assert_eq!(ann, oracle, "stale index must not serve (seed {seed})");
+    }
+}
+
+#[test]
+fn index_ddl_round_trip() {
+    let tdp = Tdp::new();
+    tdp.register_table(vecs_table(64, 4, 1));
+    tdp.execute("CREATE INDEX vi ON vecs (emb) USING FLAT METRIC cosine")
+        .unwrap();
+    assert!(tdp.has_vector_index("vecs", "emb"));
+    // Metric mismatch (index is cosine, query is L2 distance): planner
+    // reports the flat path, and execution stays exact.
+    let plan = tdp
+        .prepare("SELECT id FROM vecs ORDER BY distance(emb, ?) LIMIT 3")
+        .unwrap()
+        .explain();
+    assert!(plan.contains("[flat exact]"), "{plan}");
+    match tdp.execute("DROP INDEX vi").unwrap() {
+        StatementOutcome::Ack(msg) => assert_eq!(msg, "DROP INDEX vi"),
+        StatementOutcome::Rows(_) => panic!("DDL must ack"),
+    }
+    assert!(!tdp.has_vector_index("vecs", "emb"));
+    assert!(tdp.execute("DROP INDEX vi").is_err());
+    // Plain queries still route through execute().
+    match tdp.execute("SELECT COUNT(*) AS c FROM vecs").unwrap() {
+        StatementOutcome::Rows(t) => assert_eq!(t.rows(), 1),
+        StatementOutcome::Ack(_) => panic!("query must return rows"),
+    }
+}

@@ -99,7 +99,9 @@ fn builtin_functions_and_profiler() {
         .unwrap();
     let (table, profile) = q.run_profiled().unwrap();
     assert_eq!(f32_col(&table, "r"), vec![3.0, 4.0, 5.0]);
-    assert!(profile.ops.iter().any(|o| o.label.starts_with("Limit")));
+    // ORDER BY + LIMIT fuses into TopK (even under a projection that
+    // drops the sort key), so no standalone Limit operator remains.
+    assert!(profile.ops.iter().any(|o| o.label.starts_with("TopK")));
     assert!(profile.total_seconds() >= 0.0);
     assert_eq!(profile.ops[0].rows_out, 3);
 }
@@ -198,7 +200,7 @@ fn vector_index_recall_against_exact() {
         "vecs",
         "emb",
         Metric::Cosine,
-        IndexKind::IvfFlat(IvfParams::new(16)),
+        IndexKind::IvfFlat(IvfParams::new(16), 16),
         42,
     )
     .unwrap();
