@@ -608,6 +608,61 @@ fn bench_access_paths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_memory_budget(c: &mut Criterion) {
+    // The PR 9 memory-accounting overhead check: the same compiled
+    // memory-heavy queries (the operators that charge per-query
+    // ledgers: DISTINCT, partitioned join, sort) on an engine with no
+    // budget vs one with a roomy 1 GiB budget no query comes near.
+    // Ledger accounting itself is unconditional; the delta is the
+    // budgeted pool's compare-and-rollback on every charge, and must
+    // stay within the noise (≤ 2%).
+    use std::sync::Arc;
+    use tdp_core::TdpEngine;
+
+    let n = 2_000_000;
+    let keys = 50_000usize;
+    fn load(engine: &Arc<TdpEngine>, n: usize, keys: usize) {
+        let mut rng = Rng64::new(29);
+        engine.register_table(
+            TableBuilder::new()
+                .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+                .col_i64("k", (0..n).map(|_| rng.below(keys) as i64).collect())
+                .build("big"),
+        );
+        engine.register_table(
+            TableBuilder::new()
+                .col_i64("k", (0..keys as i64).collect())
+                .col_f32("w", (0..keys).map(|_| rng.normal() as f32).collect())
+                .build("d"),
+        );
+    }
+
+    let mut group = c.benchmark_group("memory_budget_2m");
+    group.sample_size(10);
+    for (mode, engine) in [
+        ("unlimited", TdpEngine::new()),
+        ("budget_1g", TdpEngine::with_memory_budget(1 << 30)),
+    ] {
+        load(&engine, n, keys);
+        let session = engine.session();
+        session.set_threads(4);
+        for (name, sql) in [
+            ("distinct_heavy", "SELECT DISTINCT k FROM big"),
+            (
+                "join_heavy",
+                "SELECT COUNT(*), SUM(w) FROM big JOIN d ON big.k = d.k WHERE v > -3.0",
+            ),
+            ("topk_heavy", "SELECT v FROM big ORDER BY v LIMIT 5"),
+        ] {
+            let q = session.query(sql).expect("compile");
+            group.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| q.run().expect("run"))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -623,6 +678,7 @@ criterion_group!(
     bench_parallel_udf_scaling,
     bench_chain_kernels,
     bench_concurrent_sessions,
-    bench_access_paths
+    bench_access_paths,
+    bench_memory_budget
 );
 criterion_main!(benches);

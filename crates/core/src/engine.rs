@@ -53,6 +53,7 @@ use tdp_exec::{
     AccessPathCounters, AccessPathStats, KernelCache, ParamConstraint, PhysicalPlan, ScalarUdf,
     SharedUdfRegistry,
 };
+use tdp_mem::MemoryPool;
 use tdp_sql::plan::LogicalPlan;
 use tdp_storage::{Catalog, Table};
 
@@ -85,6 +86,15 @@ pub struct EngineStats {
     /// accumulate over all sessions; `entries` counts engine-cache
     /// entries only (session-local overlays are not included).
     pub plan_cache: PlanCacheStats,
+    /// Bytes currently reserved in the engine memory pool across every
+    /// live query.
+    pub mem_used_bytes: u64,
+    /// Largest `mem_used_bytes` the pool ever reached.
+    pub mem_high_water_bytes: u64,
+    /// Configured `TDP_MEM_BUDGET` in bytes; `None` when unlimited.
+    pub mem_budget_bytes: Option<u64>,
+    /// Queries aborted because a memory charge breached the budget.
+    pub mem_budget_aborts: u64,
 }
 
 impl EngineStats {
@@ -160,6 +170,9 @@ pub struct TdpEngine {
     /// maps and ANN operator executions, accumulated over every plain
     /// `run()` of every session (profiled runs absorb into it too).
     access: Arc<AccessPathCounters>,
+    /// The engine memory pool every query's [`tdp_mem::MemoryReservation`]
+    /// ledger charges against (`TDP_MEM_BUDGET`, default unlimited).
+    memory: Arc<MemoryPool>,
     sessions_open: AtomicU64,
     sessions_total: AtomicU64,
     queries_served: AtomicU64,
@@ -171,6 +184,17 @@ impl TdpEngine {
     /// Create a fresh engine. Returned as `Arc` because sessions hold a
     /// shared handle: `let engine = TdpEngine::new(); let s = engine.session();`
     pub fn new() -> Arc<TdpEngine> {
+        TdpEngine::with_memory_pool(MemoryPool::from_env())
+    }
+
+    /// Engine with an explicit per-process memory budget in bytes —
+    /// the programmatic twin of `TDP_MEM_BUDGET` (tests can't set env
+    /// vars safely in parallel).
+    pub fn with_memory_budget(budget: u64) -> Arc<TdpEngine> {
+        TdpEngine::with_memory_pool(MemoryPool::with_budget(budget))
+    }
+
+    fn with_memory_pool(pool: MemoryPool) -> Arc<TdpEngine> {
         Arc::new(TdpEngine {
             catalog: Catalog::new(),
             shared_udfs: RwLock::new(SharedUdfRegistry::new()),
@@ -182,6 +206,7 @@ impl TdpEngine {
             cache_evictions: AtomicU64::new(0),
             chain_kernels: Arc::new(KernelCache::new()),
             access: Arc::new(AccessPathCounters::default()),
+            memory: Arc::new(pool),
             sessions_open: AtomicU64::new(0),
             sessions_total: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
@@ -211,6 +236,19 @@ impl TdpEngine {
     pub fn register_table(&self, table: Table) {
         self.catalog.register(table);
         self.chain_kernels.bump_epoch();
+    }
+
+    /// Append rows to a registered table (see [`Catalog::append`]):
+    /// zone maps extend incrementally and vector indexes stay put,
+    /// going stale until rebuilt. Compiled chain kernels are
+    /// epoch-invalidated like any other catalog write. Returns `false`
+    /// when the table is missing or the schemas disagree.
+    pub fn append_rows(&self, name: &str, rows: &Table) -> bool {
+        let appended = self.catalog.append(name, rows).is_some();
+        if appended {
+            self.chain_kernels.bump_epoch();
+        }
+        appended
     }
 
     /// Drop a table engine-wide; returns whether it existed.
@@ -263,7 +301,18 @@ impl TdpEngine {
             queries_queued: self.queries_queued.load(Ordering::Relaxed),
             queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
             plan_cache: self.plan_cache_stats(),
+            mem_used_bytes: self.memory.used(),
+            mem_high_water_bytes: self.memory.high_water(),
+            mem_budget_bytes: self.memory.budget(),
+            mem_budget_aborts: self.memory.budget_aborts(),
         }
+    }
+
+    /// The engine memory pool; queries open per-run
+    /// [`tdp_mem::MemoryReservation`] ledgers against it, and a serving
+    /// frontend reserves admission envelopes from it.
+    pub fn memory_pool(&self) -> &Arc<MemoryPool> {
+        &self.memory
     }
 
     /// Cross-session plan-cache counters. Hits/misses/evictions

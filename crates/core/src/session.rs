@@ -402,6 +402,16 @@ impl Session {
         self.engine.register_table(table.to_device(device));
     }
 
+    /// Append rows to an already-registered table instead of replacing
+    /// it: zone maps are extended incrementally over the new rows and
+    /// existing vector indexes are kept (stale — ANN queries fall back
+    /// to exact search until the index is rebuilt). Returns `false` if
+    /// the table is missing or the schemas disagree.
+    pub fn append_rows(&self, name: &str, rows: &Table) -> bool {
+        let device = self.default_device();
+        self.engine.append_rows(name, &rows.to_device(device))
+    }
+
     /// Register a bare tensor as a one-column table named after itself —
     /// the `register_tensor` of paper Listing 5, used to feed TVFs.
     pub fn register_tensor(&self, name: &str, tensor: F32Tensor) {

@@ -65,6 +65,7 @@ pub struct AccessPathCounters {
     morsels_pruned: AtomicU64,
     morsels_scanned: AtomicU64,
     ann_queries: AtomicU64,
+    ivf_stale_fallbacks: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`AccessPathCounters`].
@@ -76,6 +77,9 @@ pub struct AccessPathStats {
     pub morsels_scanned: u64,
     /// Queries served by the `AnnTopK` operator.
     pub ann_queries: u64,
+    /// ANN queries planned against an IVF index that had gone stale (a
+    /// table write invalidated it) and silently ran flat-exact instead.
+    pub ivf_stale_fallbacks: u64,
 }
 
 impl AccessPathCounters {
@@ -88,11 +92,18 @@ impl AccessPathCounters {
         self.ann_queries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An IVF plan found its index stale at execution and fell back to
+    /// the flat exact path.
+    pub fn note_ivf_stale_fallback(&self) {
+        self.ivf_stale_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> AccessPathStats {
         AccessPathStats {
             morsels_pruned: self.morsels_pruned.load(Ordering::Relaxed),
             morsels_scanned: self.morsels_scanned.load(Ordering::Relaxed),
             ann_queries: self.ann_queries.load(Ordering::Relaxed),
+            ivf_stale_fallbacks: self.ivf_stale_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -105,6 +116,8 @@ impl AccessPathCounters {
             .fetch_add(stats.morsels_scanned, Ordering::Relaxed);
         self.ann_queries
             .fetch_add(stats.ann_queries, Ordering::Relaxed);
+        self.ivf_stale_fallbacks
+            .fetch_add(stats.ivf_stale_fallbacks, Ordering::Relaxed);
     }
 }
 

@@ -26,6 +26,15 @@ pub enum ExecError {
     /// support, or a TVF whose output drifted from its declared schema.
     /// Declared-signature violations surface at prepare time.
     Signature(String),
+    /// A memory charge pushed the query past the engine's byte budget
+    /// (`TDP_MEM_BUDGET`). Aborts only the offending query; names the
+    /// operator whose allocation breached and the refused byte count.
+    MemoryBudget {
+        /// Operator whose allocation breached (e.g. `join build`).
+        operator: String,
+        /// Bytes the refused charge asked for.
+        requested: u64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -42,6 +51,14 @@ impl std::fmt::Display for ExecError {
             ExecError::Udf(m) => write!(f, "UDF error: {m}"),
             ExecError::Param(m) => write!(f, "parameter error: {m}"),
             ExecError::Signature(m) => write!(f, "function signature error: {m}"),
+            ExecError::MemoryBudget {
+                operator,
+                requested,
+            } => write!(
+                f,
+                "out of memory budget: {operator} needed {requested} more bytes \
+                 than TDP_MEM_BUDGET allows"
+            ),
         }
     }
 }
@@ -63,5 +80,13 @@ mod tests {
         assert!(ExecError::NotDifferentiable("join".into())
             .to_string()
             .contains("TRAINABLE"));
+        let oom = ExecError::MemoryBudget {
+            operator: "join build".into(),
+            requested: 4096,
+        }
+        .to_string();
+        assert!(oom.contains("out of memory budget"));
+        assert!(oom.contains("join build"));
+        assert!(oom.contains("4096"));
     }
 }

@@ -255,8 +255,12 @@ pub(crate) fn ann_topk(
                 Some(entry) if entry.metric == metric && entry.rows == t.rows() => {
                     entry.search(&q, k)
                 }
-                // Stale or vanished index: exact flat fallback.
-                _ => tdp_index::FlatIndex::build(decode_data()?, metric).search(&q, k),
+                // Stale or vanished index: exact flat fallback — counted
+                // so silently-exact ANN after a table write is observable.
+                _ => {
+                    ctx.access.note_ivf_stale_fallback();
+                    tdp_index::FlatIndex::build(decode_data()?, metric).search(&q, k)
+                }
             }
         }
     };

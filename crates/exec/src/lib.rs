@@ -115,6 +115,7 @@ pub mod error;
 pub mod exact;
 pub mod expr;
 pub mod kernel;
+pub(crate) mod memory;
 pub mod morsel;
 pub mod params;
 pub mod physical;

@@ -58,6 +58,7 @@ use crate::error::ExecError;
 use crate::exact;
 use crate::expr::{eval_expr, Value};
 use crate::kernel;
+use crate::memory;
 use crate::params::ParamValue;
 use crate::physical::{CompiledExpr, JoinOn, PhysAggregate, PhysKey, PhysicalPlan};
 use crate::pipeline::MorselOp;
@@ -245,6 +246,9 @@ struct WorkerCfg {
     /// Thread-safe scalar UDFs, rebuilt into a per-worker registry so
     /// `CompiledExpr::Udf` resolution works identically off-thread.
     shared_udfs: crate::udf::SharedScalars,
+    /// The query's memory ledger, shared so worker-side charges land on
+    /// the same reservation the session thread charges.
+    memory: std::sync::Arc<tdp_mem::MemoryReservation>,
 }
 
 impl WorkerCfg {
@@ -256,6 +260,7 @@ impl WorkerCfg {
             morsel_rows: ctx.morsel_rows,
             partitions: ctx.partitions,
             shared_udfs: ctx.udfs.shared_snapshot(),
+            memory: std::sync::Arc::clone(&ctx.memory),
         }
     }
 }
@@ -280,6 +285,7 @@ fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) 
         // claimed; workers never consult zone maps or record counters.
         zone_maps: false,
         access: std::sync::Arc::new(crate::access::AccessPathCounters::default()),
+        memory: std::sync::Arc::clone(&cfg.memory),
     }
 }
 
@@ -381,8 +387,22 @@ pub(crate) fn run_ops(
     }
 
     let cols = to_partition_cols(input);
+    // Charged until reassembly returns: the decoded partition columns
+    // plus (inside the claim loop) every morsel's materialised output.
+    let charges = memory::ScopedCharges::new(&ctx.memory);
+    charges.add("morsel materialization", memory::cols_bytes(&cols))?;
     let skip = skip.filter(|s| s.len() == morsels);
-    let results = process_morsels(&cols, rows, morsels, ops, limit, skip, kern.as_deref(), ctx)?;
+    let results = process_morsels(
+        &cols,
+        rows,
+        morsels,
+        ops,
+        limit,
+        skip,
+        kern.as_deref(),
+        &charges,
+        ctx,
+    )?;
 
     // Order-preserving reassembly; with a LIMIT sink, take the shortest
     // morsel prefix that covers `n` rows and truncate.
@@ -439,6 +459,7 @@ fn process_morsels(
     limit: Option<usize>,
     skip: Option<&[bool]>,
     kern: Option<&kernel::ChainInstance>,
+    charges: &memory::ScopedCharges,
     ctx: &ExecContext,
 ) -> Result<Vec<Option<MorselCols>>, ExecError> {
     struct Shared {
@@ -480,8 +501,13 @@ fn process_morsels(
                 }
                 (start + morsel_rows).min(rows)
             };
-            let out =
-                apply_ops_k(slice_cols(cols, start, end), ops, kern, wctx).map(|b| to_cols(&b));
+            let out = apply_ops_k(slice_cols(cols, start, end), ops, kern, wctx)
+                .map(|b| to_cols(&b))
+                .and_then(|c| {
+                    charges
+                        .add("morsel output", memory::cols_bytes(&c))
+                        .map(|()| c)
+                });
             let mut s = shared.lock().expect("morsel state poisoned");
             s.results[i] = Some(out);
             // Advance the contiguous prefix; once it covers the limit,
@@ -675,6 +701,12 @@ fn distinct_decision(input: &Batch, ctx: &ExecContext) -> (bool, Option<String>)
     )
 }
 
+/// Byte estimate of a hash-join build table over `rows` build rows: one
+/// row id per row plus hash-entry overhead for the (≤ rows) keys.
+fn join_build_bytes(rows: usize) -> u64 {
+    rows as u64 * 24
+}
+
 /// Partitioned hash join: exchange the build (right) side into
 /// per-partition hash tables, then probe left morsels in parallel.
 ///
@@ -692,12 +724,20 @@ pub(crate) fn run_join(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     if !join_decision(left, right, ctx).0 {
+        // The sequential kernel builds one hash table over the whole
+        // build side; charge the same per-row estimate the staged build
+        // uses so enforcement is thread-count-invariant.
+        let _charge = memory::charge(&ctx.memory, "join build", join_build_bytes(right.rows()))?;
         return exact::join_batches(left, right, kind, on);
     }
     let (latoms, ratoms) = exact::join_atoms(on, left, right)?;
     let partitions = ctx.partitions.max(1);
+    // Held until the joined batch is assembled: exchange buckets, the
+    // per-partition build tables and the probe index vectors.
+    let charges = memory::ScopedCharges::new(&ctx.memory);
 
     // Stage 1: exchange build-side rows into partitions by key hash.
+    charges.add("join exchange", right.rows() as u64 * 8)?;
     let parts = exchange(
         right.rows(),
         partitions,
@@ -708,8 +748,13 @@ pub(crate) fn run_join(
 
     // Stage 2: shared-nothing per-partition table build (ascending rows).
     let tables: Vec<exact::JoinTable> = claim_indexed(partitions, ctx.threads, |p| {
-        exact::JoinTable::build(&ratoms, parts[p].iter().copied())
-    });
+        charges
+            .add("join build", join_build_bytes(parts[p].len()))
+            .map(|()| exact::JoinTable::build(&ratoms, parts[p].iter().copied()))
+    })
+    .into_iter()
+    // First error in partition order wins — deterministic reporting.
+    .collect::<Result<_, _>>()?;
 
     // Stage 3: probe left morsels in parallel; morsel-order reassembly.
     let rows = left.rows();
@@ -734,13 +779,19 @@ pub(crate) fn run_join(
                 None => {}
             }
         }
-        (li, ri, unmatched)
+        charges
+            .add(
+                "join probe",
+                ((li.len() + ri.len() + unmatched.len()) * 8) as u64,
+            )
+            .map(|()| (li, ri, unmatched))
     });
 
     let mut left_idx: Vec<i64> = Vec::new();
     let mut right_idx: Vec<i64> = Vec::new();
     let mut left_unmatched: Vec<i64> = Vec::new();
-    for (li, ri, un) in probes {
+    for res in probes {
+        let (li, ri, un) = res?;
         left_idx.extend(li);
         right_idx.extend(ri);
         left_unmatched.extend(un);
@@ -804,6 +855,12 @@ impl SortKeyCol {
     }
 }
 
+/// Byte estimate of sorting `rows` rows on `nkeys` keys sequentially:
+/// the evaluated key codes plus the argsort permutation.
+fn sort_bytes(rows: usize, nkeys: usize) -> u64 {
+    (rows * (8 + 8 * nkeys)) as u64
+}
+
 /// One sorted per-morsel run: local row order plus the evaluated key
 /// columns (kept in *original* local order; `order` permutes into them).
 struct SortRun {
@@ -820,16 +877,21 @@ fn sort_runs(
     input: &Batch,
     keys: &[crate::physical::PhysOrderKey],
     take_k: Option<usize>,
+    charges: &memory::ScopedCharges,
     ctx: &ExecContext,
 ) -> Result<Vec<SortRun>, ExecError> {
     let rows = input.rows();
     let morsel_rows = ctx.morsel_rows;
     let morsels = num_morsels(rows, morsel_rows);
     let cols = to_partition_cols(input);
+    charges.add("sort materialization", memory::cols_bytes(&cols))?;
 
     let make_run = |i: usize, wctx: &ExecContext| -> Result<SortRun, ExecError> {
         let start = i * morsel_rows;
         let end = (start + morsel_rows).min(rows);
+        // A run holds the evaluated key codes (8 B/row/key) plus the
+        // local permutation (4 B/row).
+        charges.add("sort run", ((end - start) * (4 + 8 * keys.len())) as u64)?;
         let batch = slice_cols(&cols, start, end);
         let mut key_cols = Vec::with_capacity(keys.len());
         for k in keys {
@@ -964,9 +1026,14 @@ pub(crate) fn run_sort(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     if !sort_decision(input, keys, ctx).0 {
+        // The sequential argsort holds the same key codes + permutation.
+        let _charge = memory::charge(&ctx.memory, "sort", sort_bytes(input.rows(), keys.len()))?;
         return exact::sort_batch(input, keys, ctx);
     }
-    let runs = sort_runs(input, keys, None, ctx)?;
+    // Held until the sorted batch is assembled: materialised input
+    // columns plus every run's keys and permutation.
+    let charges = memory::ScopedCharges::new(&ctx.memory);
+    let runs = sort_runs(input, keys, None, &charges, ctx)?;
     let idx = merge_runs(&runs, keys, None);
     let n = idx.len();
     Ok(exact::select_batch(input, &Tensor::from_vec(idx, &[n])))
@@ -982,10 +1049,15 @@ pub(crate) fn run_topk(
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let k = k.min(input.rows());
-    if k == 0 || !sort_decision(input, keys, ctx).0 {
+    if k == 0 {
         return exact::topk_batch(input, keys, k, ctx);
     }
-    let runs = sort_runs(input, keys, Some(k), ctx)?;
+    if !sort_decision(input, keys, ctx).0 {
+        let _charge = memory::charge(&ctx.memory, "top-k", sort_bytes(input.rows(), keys.len()))?;
+        return exact::topk_batch(input, keys, k, ctx);
+    }
+    let charges = memory::ScopedCharges::new(&ctx.memory);
+    let runs = sort_runs(input, keys, Some(k), &charges, ctx)?;
     let idx = merge_runs(&runs, keys, Some(k));
     let n = idx.len();
     Ok(exact::select_batch(input, &Tensor::from_vec(idx, &[n])))
@@ -997,10 +1069,19 @@ pub(crate) fn run_topk(
 /// re-sort the surviving row ids into input order — byte-identical to
 /// [`exact::distinct_batch`]'s first-occurrence output.
 pub(crate) fn run_distinct(input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    let rows = input.rows();
+    let ncols = input.columns().len();
     if !distinct_decision(input, ctx).0 {
+        // The sequential kernel holds the same key codes and one big
+        // seen-set; charge the per-row estimate of the staged path so
+        // enforcement is thread-count-invariant.
+        let _charge = memory::charge(&ctx.memory, "distinct", (rows * (8 * ncols + 16)) as u64)?;
         return exact::distinct_batch(input);
     }
-    let rows = input.rows();
+    // Held until the surviving rows are selected out: key codes,
+    // exchange buckets and the per-partition seen-sets.
+    let charges = memory::ScopedCharges::new(&ctx.memory);
+    charges.add("distinct key codes", (rows * 8 * ncols) as u64)?;
     let codes: Vec<Vec<i64>> = input
         .columns()
         .iter()
@@ -1008,12 +1089,15 @@ pub(crate) fn run_distinct(input: &Batch, ctx: &ExecContext) -> Result<Batch, Ex
         .collect::<Result<_, _>>()?;
     let partitions = ctx.partitions.max(1);
 
+    charges.add("distinct exchange", rows as u64 * 8)?;
     let parts = exchange(rows, partitions, ctx.morsel_rows, ctx.threads, &|r| {
         exact::code_hash(&codes, r)
     });
 
     // Per-partition dedup, keeping first occurrences (rows ascending).
     let survivors = claim_indexed(partitions, ctx.threads, |p| {
+        // Worst case (all keys distinct) the seen-set holds every key.
+        charges.add("distinct set", (parts[p].len() * (8 * ncols + 16)) as u64)?;
         let mut keep: Vec<i64> = Vec::new();
         if codes.len() == 1 {
             let col = &codes[0];
@@ -1032,8 +1116,11 @@ pub(crate) fn run_distinct(input: &Batch, ctx: &ExecContext) -> Result<Batch, Ex
                 }
             }
         }
-        keep
-    });
+        Ok(keep)
+    })
+    .into_iter()
+    // First error in partition order wins — deterministic reporting.
+    .collect::<Result<Vec<Vec<i64>>, ExecError>>()?;
 
     let mut rep: Vec<i64> = survivors.into_iter().flatten().collect();
     rep.sort_unstable(); // first-occurrence input order, as sequential
@@ -1271,6 +1358,13 @@ pub(crate) fn run_aggregate(
 
     type PartialSlot = Option<Result<Option<PartialAgg>, ExecError>>;
     let cols = to_partition_cols(input);
+    // Partial states are per-group (small); the decoded input columns
+    // dominate, charged until the merged batch is built.
+    let _charge = memory::charge(
+        &ctx.memory,
+        "aggregate materialization",
+        memory::cols_bytes(&cols),
+    )?;
     let morsel_rows = ctx.morsel_rows;
     let skip = skip.filter(|s| s.len() == morsels);
     let next = AtomicUsize::new(0);

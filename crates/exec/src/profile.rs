@@ -49,6 +49,10 @@ pub struct OpTrace {
     /// 31 probe morsels)`, `merge-sort ×8 runs`); `None` for streamable
     /// operators and barriers that ran sequentially.
     pub strategy: Option<String>,
+    /// Bytes this operator charged against the query's memory ledger
+    /// (materialised columns, exchange buckets, build tables, sort runs,
+    /// DISTINCT sets); 0 for operators that charge nothing.
+    pub charged_bytes: u64,
 }
 
 /// Execution profile of one query run, in pre-order plan order.
@@ -71,6 +75,11 @@ pub struct QueryProfile {
     pub morsels_scanned: u64,
     /// ANN top-k operator executions during this run.
     pub ann_queries: u64,
+    /// ANN queries that found their IVF index stale and fell back to
+    /// the flat exact path during this run.
+    pub ivf_stale_fallbacks: u64,
+    /// Peak bytes the query's memory ledger reached during this run.
+    pub peak_memory_bytes: u64,
 }
 
 impl QueryProfile {
@@ -111,6 +120,15 @@ impl QueryProfile {
         if self.ann_queries > 0 {
             access.push_str(&format!(" [ann queries: {}]", self.ann_queries));
         }
+        if self.ivf_stale_fallbacks > 0 {
+            access.push_str(&format!(
+                " [ivf stale fallbacks: {}]",
+                self.ivf_stale_fallbacks
+            ));
+        }
+        if self.peak_memory_bytes > 0 {
+            access.push_str(&format!(" [mem peak: {} B]", self.peak_memory_bytes));
+        }
         let mut out = format!(
             "threads={} morsels={} partitions={}{access}\n\
              operator                                          rows    self ms   total ms\n",
@@ -119,11 +137,14 @@ impl QueryProfile {
         for op in &self.ops {
             let indent = "  ".repeat(op.depth);
             let label = format!("{indent}{}", op.label);
-            let note = match (&op.fallback, &op.strategy) {
+            let mut note = match (&op.fallback, &op.strategy) {
                 (Some(reason), _) => format!("  [sequential: {reason}]"),
                 (None, Some(strategy)) => format!("  [{strategy}]"),
                 (None, None) => String::new(),
             };
+            if op.charged_bytes > 0 {
+                note.push_str(&format!("  [charged: {} B]", op.charged_bytes));
+            }
             out.push_str(&format!(
                 "{label:<48} {rows:>7} {self_ms:>10.3} {total_ms:>10.3}{note}\n",
                 rows = op.rows_out,
@@ -150,6 +171,8 @@ pub fn execute_profiled(
     profile.morsels_pruned = after.morsels_pruned - before.morsels_pruned;
     profile.morsels_scanned = after.morsels_scanned - before.morsels_scanned;
     profile.ann_queries = after.ann_queries - before.ann_queries;
+    profile.ivf_stale_fallbacks = after.ivf_stale_fallbacks - before.ivf_stale_fallbacks;
+    profile.peak_memory_bytes = ctx.memory.peak();
     Ok((batch, profile))
 }
 
@@ -235,15 +258,20 @@ fn run_node(
         self_seconds: 0.0,
         fallback: None,
         strategy: None,
+        charged_bytes: 0,
     });
 
     let start = Instant::now();
+    let start_charged = ctx.memory.charged_total();
     let mut child_seconds = 0.0f64;
+    let mut child_charged = 0u64;
     let mut run_child =
         |p: &PhysicalPlan, profile: &mut QueryProfile| -> Result<Batch, ExecError> {
             let t0 = Instant::now();
+            let c0 = ctx.memory.charged_total();
             let out = run_node(p, ctx, depth + 1, profile)?;
             child_seconds += t0.elapsed().as_secs_f64();
+            child_charged += ctx.memory.charged_total() - c0;
             Ok(out)
         };
 
@@ -364,6 +392,7 @@ fn run_node(
     op.rows_out = batch.rows();
     op.total_seconds = total;
     op.self_seconds = (total - child_seconds).max(0.0);
+    op.charged_bytes = (ctx.memory.charged_total() - start_charged).saturating_sub(child_charged);
     Ok(batch)
 }
 

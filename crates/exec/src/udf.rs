@@ -673,6 +673,12 @@ pub struct ExecContext<'a> {
     /// Access-path observability counters (morsels pruned/scanned, ANN
     /// queries), charged by the scheduler and the `AnnTopK` operator.
     pub access: std::sync::Arc<crate::access::AccessPathCounters>,
+    /// This query's memory ledger ([`tdp_mem::MemoryReservation`]): the
+    /// scheduler and the barrier operators charge their materializations
+    /// here and abort with [`ExecError::MemoryBudget`] when a charge is
+    /// refused. Defaults to a detached unlimited ledger; the engine
+    /// swaps in one backed by its budgeted pool.
+    pub memory: std::sync::Arc<tdp_mem::MemoryReservation>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -690,6 +696,7 @@ impl<'a> ExecContext<'a> {
             chain_kernels: None,
             zone_maps: true,
             access: std::sync::Arc::new(crate::access::AccessPathCounters::default()),
+            memory: std::sync::Arc::new(tdp_mem::MemoryReservation::detached()),
         }
     }
 
@@ -744,6 +751,16 @@ impl<'a> ExecContext<'a> {
         access: std::sync::Arc<crate::access::AccessPathCounters>,
     ) -> ExecContext<'a> {
         self.access = access;
+        self
+    }
+
+    /// Attach a memory ledger (normally one opened against the engine's
+    /// budgeted pool) instead of the detached unlimited default.
+    pub fn with_memory(
+        mut self,
+        memory: std::sync::Arc<tdp_mem::MemoryReservation>,
+    ) -> ExecContext<'a> {
+        self.memory = memory;
         self
     }
 }

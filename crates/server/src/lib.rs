@@ -51,15 +51,18 @@
 //!   plus a per-operator execution profile.
 //! * `STATS` — engine observability: sessions, served/queued/rejected
 //!   query counts, plan-cache counters and hit rate
-//!   ([`TdpEngine::stats`]), plus access-path counters — morsels pruned
-//!   by zone maps, morsels scanned, ANN top-k queries
-//!   ([`TdpEngine::access_path_stats`]).
+//!   ([`TdpEngine::stats`]), access-path counters — morsels pruned
+//!   by zone maps, morsels scanned, ANN top-k queries, stale-IVF
+//!   fallbacks ([`TdpEngine::access_path_stats`]) — and memory-pool
+//!   gauges: bytes in use, high-water mark, configured budget and
+//!   budget-abort count.
 //! * `QUIT` — close the connection (`OK bye`).
 //!
 //! Error responses are one line, `ERR <CODE> <message>`, with codes
 //! `BUSY` (admission rejection), `PROTO` (malformed request), `SQL`
-//! (compile error), `EXEC` (runtime error), `UNKNOWN_STATEMENT` (BIND of
-//! a name never prepared on this connection).
+//! (compile error), `MEM_BUDGET` (query aborted by the engine memory
+//! budget), `EXEC` (any other runtime error), `UNKNOWN_STATEMENT` (BIND
+//! of a name never prepared on this connection).
 //!
 //! ## Admission control
 //!
@@ -71,6 +74,17 @@
 //! `ERR BUSY …` immediately rather than hanging; the engine counts
 //! queued and rejected queries in [`tdp_core::EngineStats`]. `EXPLAIN`, `PREPARE`
 //! and `STATS` do not execute and bypass admission.
+//!
+//! With [`ServerConfig::mem_per_query`] set (`TDP_MEM_PER_QUERY`), each
+//! execution slot additionally reserves that many bytes out of the
+//! engine's [`tdp_mem::MemoryPool`] as an admission envelope before the
+//! query starts: when the pool cannot cover another envelope the query
+//! queues (or gets `ERR BUSY`) exactly like slot exhaustion, so the
+//! server stops *starting* queries that would immediately abort on the
+//! memory budget. The envelope is released with the permit when the
+//! query finishes. An envelope refusal is a `BUSY` rejection, not a
+//! budget abort — `mem_budget_aborts` counts only queries that ran and
+//! breached.
 //!
 //! ## Shutdown
 //!
@@ -95,7 +109,8 @@ const RESULT_ROW_LIMIT: usize = 100;
 
 /// Serving knobs. `Default` reads the environment: `TDP_MAX_CONCURRENT`
 /// (default 4), `TDP_MAX_QUEUED` (default `2 × max_concurrent`),
-/// `TDP_QUEUE_TIMEOUT_MS` (default 1000).
+/// `TDP_QUEUE_TIMEOUT_MS` (default 1000), `TDP_MEM_PER_QUERY` (bytes,
+/// `k`/`m`/`g` suffixes allowed; default off).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Queries allowed to execute simultaneously (≥ 1).
@@ -105,6 +120,9 @@ pub struct ServerConfig {
     pub max_queued: usize,
     /// How long a queued query waits for a slot before `ERR BUSY`.
     pub queue_timeout: Duration,
+    /// Memory-envelope bytes reserved from the engine pool per
+    /// executing query; `None` disables the memory admission gate.
+    pub mem_per_query: Option<u64>,
 }
 
 fn env_usize(key: &str) -> Option<usize> {
@@ -124,6 +142,9 @@ impl Default for ServerConfig {
                     .map(|n| n as u64)
                     .unwrap_or(1000),
             ),
+            mem_per_query: std::env::var("TDP_MEM_PER_QUERY")
+                .ok()
+                .and_then(|v| tdp_mem::parse_bytes(&v)),
         }
     }
 }
@@ -143,6 +164,11 @@ impl ServerConfig {
         self.queue_timeout = d;
         self
     }
+
+    pub fn mem_per_query(mut self, bytes: u64) -> ServerConfig {
+        self.mem_per_query = Some(bytes);
+        self
+    }
 }
 
 #[derive(Debug)]
@@ -159,6 +185,9 @@ pub struct AdmissionControl {
     max_concurrent: usize,
     max_queued: usize,
     timeout: Duration,
+    /// Admission envelope carved out of the engine memory pool per
+    /// executing query; `None` disables the memory gate.
+    mem_per_query: Option<u64>,
     state: Mutex<AdmissionState>,
     available: Condvar,
 }
@@ -167,10 +196,15 @@ pub struct AdmissionControl {
 #[derive(Debug)]
 struct AdmissionPermit<'a> {
     ctl: &'a AdmissionControl,
+    /// The memory envelope held while the query executes.
+    mem: Option<tdp_mem::MemoryReservation>,
 }
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
+        // Release the memory envelope *before* notifying: a woken
+        // waiter must be able to take both the slot and the envelope.
+        self.mem.take();
         let mut st = self.ctl.state.lock().unwrap_or_else(|e| e.into_inner());
         st.executing -= 1;
         drop(st);
@@ -186,6 +220,7 @@ impl AdmissionControl {
             max_concurrent: config.max_concurrent.max(1),
             max_queued: config.max_queued,
             timeout: config.queue_timeout,
+            mem_per_query: config.mem_per_query,
             state: Mutex::new(AdmissionState {
                 executing: 0,
                 waiting: 0,
@@ -194,14 +229,26 @@ impl AdmissionControl {
         }
     }
 
-    /// Take an execution slot, waiting in the bounded queue if none is
-    /// free. `Err` is the typed `BUSY` message; the engine's
+    /// Try to take the per-query memory envelope. `Ok(None)` when the
+    /// gate is off; `Err(())` when the pool cannot cover it right now.
+    fn try_envelope(&self, engine: &TdpEngine) -> Result<Option<tdp_mem::MemoryReservation>, ()> {
+        match self.mem_per_query {
+            None => Ok(None),
+            Some(bytes) => engine.memory_pool().try_reserve(bytes).map(Some).ok_or(()),
+        }
+    }
+
+    /// Take an execution slot (and, with the memory gate on, a memory
+    /// envelope), waiting in the bounded queue if either is
+    /// unavailable. `Err` is the typed `BUSY` message; the engine's
     /// queued/rejected counters are updated here.
     fn acquire<'a>(&'a self, engine: &TdpEngine) -> Result<AdmissionPermit<'a>, String> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if st.executing < self.max_concurrent {
-            st.executing += 1;
-            return Ok(AdmissionPermit { ctl: self });
+            if let Ok(mem) = self.try_envelope(engine) {
+                st.executing += 1;
+                return Ok(AdmissionPermit { ctl: self, mem });
+            }
         }
         if st.waiting >= self.max_queued {
             engine.note_query_rejected();
@@ -215,16 +262,18 @@ impl AdmissionControl {
         let deadline = Instant::now() + self.timeout;
         loop {
             if st.executing < self.max_concurrent {
-                st.waiting -= 1;
-                st.executing += 1;
-                return Ok(AdmissionPermit { ctl: self });
+                if let Ok(mem) = self.try_envelope(engine) {
+                    st.waiting -= 1;
+                    st.executing += 1;
+                    return Ok(AdmissionPermit { ctl: self, mem });
+                }
             }
             let now = Instant::now();
             if now >= deadline {
                 st.waiting -= 1;
                 engine.note_query_rejected();
                 return Err(format!(
-                    "server busy: no execution slot within {:?} (cap {})",
+                    "server busy: no execution slot or memory envelope within {:?} (cap {})",
                     self.timeout, self.max_concurrent
                 ));
             }
@@ -420,6 +469,10 @@ fn one_line(msg: &str) -> String {
 fn sql_error(e: &TdpError) -> (String, String) {
     let code = match e {
         TdpError::Sql(_) | TdpError::Session(_) => "SQL",
+        // A budget breach gets its own code: clients can tell "this
+        // query is too big for the configured budget" from a plain
+        // runtime failure and react differently (shrink, retry later).
+        TdpError::Exec(tdp_exec::ExecError::MemoryBudget { .. }) => "MEM_BUDGET",
         TdpError::Exec(_) => "EXEC",
     };
     (code.to_string(), e.to_string())
@@ -552,7 +605,12 @@ fn render_stats(engine: &TdpEngine) -> String {
          plan_cache_hit_rate {:.3}\n\
          morsels_pruned {}\n\
          morsels_scanned {}\n\
-         ann_queries {}",
+         ann_queries {}\n\
+         ivf_stale_fallbacks {}\n\
+         mem_used_bytes {}\n\
+         mem_high_water_bytes {}\n\
+         mem_budget_bytes {}\n\
+         mem_budget_aborts {}",
         stats.sessions_open,
         stats.sessions_total,
         stats.queries_served,
@@ -566,6 +624,13 @@ fn render_stats(engine: &TdpEngine) -> String {
         access.morsels_pruned,
         access.morsels_scanned,
         access.ann_queries,
+        access.ivf_stale_fallbacks,
+        stats.mem_used_bytes,
+        stats.mem_high_water_bytes,
+        stats
+            .mem_budget_bytes
+            .map_or_else(|| "unlimited".to_string(), |b| b.to_string()),
+        stats.mem_budget_aborts,
     )
 }
 
@@ -693,6 +758,12 @@ mod tests {
         assert!(r.contains("morsels_pruned"), "{r}");
         assert!(r.contains("morsels_scanned"), "{r}");
         assert!(r.contains("ann_queries"), "{r}");
+        assert!(r.contains("ivf_stale_fallbacks"), "{r}");
+        assert!(r.contains("mem_high_water_bytes"), "{r}");
+        // The budget line renders the configured cap, or "unlimited"
+        // when the engine booted without TDP_MEM_BUDGET (CI runs both).
+        assert!(r.contains("mem_budget_bytes "), "{r}");
+        assert!(r.contains("mem_budget_aborts 0"), "{r}");
 
         let r = roundtrip(&stream, &mut reader, "QUERY SELECT nope FROM nums");
         assert!(r.starts_with("ERR "), "{r}");
@@ -814,6 +885,52 @@ mod tests {
         assert!(waiter.join().unwrap(), "queued query must get the slot");
         assert_eq!(engine.stats().queries_queued, 1);
         assert_eq!(engine.stats().queries_rejected, 0);
+    }
+
+    #[test]
+    fn memory_gate_queues_and_releases_envelopes() {
+        // Budget fits exactly one 1 KiB envelope: the second acquire
+        // must wait for the first permit to drop, not fail outright.
+        let engine = TdpEngine::with_memory_budget(1024);
+        let ctl = Arc::new(AdmissionControl::new(
+            &ServerConfig::default()
+                .max_concurrent(4)
+                .max_queued(2)
+                .queue_timeout(Duration::from_secs(5))
+                .mem_per_query(1024),
+        ));
+        let p1 = ctl.acquire(&engine).expect("first envelope fits");
+        assert_eq!(engine.memory_pool().used(), 1024);
+        let waiter = {
+            let ctl = Arc::clone(&ctl);
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || ctl.acquire(&engine).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(p1); // releases the envelope, then wakes the waiter
+        assert!(waiter.join().unwrap(), "queued query must get the envelope");
+        assert_eq!(engine.memory_pool().used(), 0, "all envelopes released");
+        assert_eq!(
+            engine.stats().mem_budget_aborts,
+            0,
+            "admission refusals are not budget aborts"
+        );
+    }
+
+    #[test]
+    fn memory_gate_rejects_when_queue_full() {
+        let engine = TdpEngine::with_memory_budget(1024);
+        let ctl = AdmissionControl::new(
+            &ServerConfig::default()
+                .max_concurrent(4)
+                .max_queued(0)
+                .queue_timeout(Duration::from_millis(20))
+                .mem_per_query(1024),
+        );
+        let _p1 = ctl.acquire(&engine).expect("first envelope fits");
+        let err = ctl.acquire(&engine).expect_err("no envelope, queue 0");
+        assert!(err.contains("server busy"), "{err}");
+        assert_eq!(engine.stats().queries_rejected, 1);
     }
 
     #[test]

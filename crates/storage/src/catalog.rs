@@ -5,7 +5,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use crate::table::{Table, TableStats};
+use tdp_encoding::EncodedTensor;
+
+use crate::table::{Column, Table, TableStats};
 use crate::vindex::VectorIndexEntry;
 use crate::zonemap::TableZoneMaps;
 
@@ -66,6 +68,55 @@ impl Catalog {
         self.invalidate_indexes_of(&key);
         self.version.fetch_add(1, Ordering::Relaxed);
         arc
+    }
+
+    /// Append rows to a registered table. Columns must match the
+    /// existing schema positionally (case-insensitive names); payloads
+    /// are concatenated row-wise and the table's zone maps are
+    /// **extended incrementally** ([`TableZoneMaps::extend`]) rather
+    /// than rebuilt, so the cost tracks the appended rows. Unlike
+    /// [`Catalog::register`], vector indexes over the table are *kept*:
+    /// they no longer cover the new rows, and the execution layer
+    /// detects the row-count mismatch at query time and falls back to
+    /// an exact scan (counted as an IVF stale fallback) until the index
+    /// is rebuilt.
+    ///
+    /// Returns the combined table, or `None` when no table is
+    /// registered under the name or the schemas disagree.
+    pub fn append(&self, name: &str, rows: &Table) -> Option<Arc<Table>> {
+        let key = Self::key(name);
+        let old = self.get(&key)?;
+        if old.columns().len() != rows.columns().len()
+            || !old
+                .columns()
+                .iter()
+                .zip(rows.columns())
+                .all(|(a, b)| a.name.eq_ignore_ascii_case(&b.name))
+        {
+            return None;
+        }
+        let columns = old
+            .columns()
+            .iter()
+            .zip(rows.columns())
+            .map(|(a, b)| Column::new(a.name.clone(), EncodedTensor::concat(&[&a.data, &b.data])))
+            .collect();
+        let combined = Arc::new(Table::new(old.name(), columns));
+        let old_zm = self.zone_map(&key);
+        let zm = Arc::new(match &old_zm {
+            Some(zm) => zm.extend(&combined),
+            None => TableZoneMaps::build(&combined),
+        });
+        self.tables
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.clone(), Arc::clone(&combined));
+        self.zone_maps
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, zm);
+        self.version.fetch_add(1, Ordering::Relaxed);
+        Some(combined)
     }
 
     /// Zone maps of a table (always present for registered tables).
@@ -301,6 +352,50 @@ mod tests {
         assert!(cat.vector_index("docs", "emb").is_none());
         assert!(cat.version() > v);
         assert!(!cat.drop_vector_index("idx_docs"), "already invalidated");
+    }
+
+    #[test]
+    fn append_concatenates_and_extends_zone_maps() {
+        let cat = Catalog::new();
+        cat.register(tbl("t", 3));
+        let v0 = cat.version();
+        let combined = cat.append("T", &tbl("t", 2)).expect("schemas match");
+        assert_eq!(combined.rows(), 5);
+        assert_eq!(cat.get("t").unwrap().rows(), 5);
+        assert!(cat.version() > v0);
+        let zm = cat.zone_map("t").unwrap();
+        assert_eq!(zm.rows(), 5, "zone maps follow the append");
+        assert_eq!(zm.range(0, 0, 5), Some((0.0, 2.0)));
+        // Missing table or mismatched schema: rejected, no change.
+        assert!(cat.append("nope", &tbl("nope", 1)).is_none());
+        let other = TableBuilder::new().col_i64("q", vec![1]).build("t");
+        assert!(cat.append("t", &other).is_none());
+        assert_eq!(cat.get("t").unwrap().rows(), 5);
+    }
+
+    #[test]
+    fn append_keeps_vector_indexes_stale() {
+        use crate::vindex::{VectorIndex, VectorIndexEntry};
+        use tdp_index::{FlatIndex, Metric};
+        use tdp_tensor::Tensor;
+
+        let cat = Catalog::new();
+        cat.register(tbl("docs", 2));
+        let flat = FlatIndex::build(Tensor::from_vec(vec![0.0; 4], &[2, 2]), Metric::L2);
+        cat.register_vector_index(VectorIndexEntry {
+            name: "idx".into(),
+            table: "docs".into(),
+            column: "v".into(),
+            metric: Metric::L2,
+            rows: 2,
+            index: VectorIndex::Flat(flat),
+        });
+        cat.append("docs", &tbl("docs", 1)).unwrap();
+        let entry = cat
+            .vector_index("docs", "v")
+            .expect("append keeps the index (stale, detected at query time)");
+        assert_eq!(entry.rows, 2, "entry still describes the pre-append rows");
+        assert_ne!(entry.rows, cat.get("docs").unwrap().rows());
     }
 
     #[test]

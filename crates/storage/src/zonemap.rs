@@ -98,6 +98,18 @@ impl ColumnZoneMap {
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
     }
+
+    /// Keep the first `complete` chunks verbatim and append chunks
+    /// computed from `tail` — the rows from
+    /// `complete * ZONE_MAP_CHUNK_ROWS` onward. The previously-partial
+    /// last chunk is recomputed from `tail` rather than patched, so the
+    /// result is identical to a from-scratch build over the full column.
+    fn extended(&self, complete: usize, tail: &[f32]) -> ColumnZoneMap {
+        let mut chunks: Vec<Option<ChunkStat>> =
+            self.chunks[..complete.min(self.chunks.len())].to_vec();
+        chunks.extend(ColumnZoneMap::from_f32(tail).chunks);
+        ColumnZoneMap { chunks }
+    }
 }
 
 /// Zone maps of every column of one table, indexed by column position
@@ -117,24 +129,72 @@ impl TableZoneMaps {
         let columns = table
             .columns()
             .iter()
-            .map(|c| match &c.data {
-                EncodedTensor::F32(t) if t.ndim() == 1 => Some(ColumnZoneMap::from_f32(t.data())),
-                EncodedTensor::I64(_)
-                | EncodedTensor::Rle(_)
-                | EncodedTensor::BitPacked(_)
-                | EncodedTensor::Delta(_) => {
-                    // Same `as f32` cast decode_f32 performs at filter
-                    // time, so bounds match evaluation exactly.
-                    let vals: Vec<f32> = c
-                        .data
-                        .decode_i64()
-                        .data()
-                        .iter()
-                        .map(|&v| v as f32)
-                        .collect();
-                    Some(ColumnZoneMap::from_f32(&vals))
+            .map(|c| Self::column_stats(&c.data))
+            .collect();
+        TableZoneMaps {
+            rows: table.rows(),
+            columns,
+        }
+    }
+
+    /// Full-column statistics for one encoded column; `None` for
+    /// stat-less kinds.
+    fn column_stats(data: &EncodedTensor) -> Option<ColumnZoneMap> {
+        match data {
+            EncodedTensor::F32(t) if t.ndim() == 1 => Some(ColumnZoneMap::from_f32(t.data())),
+            EncodedTensor::I64(_)
+            | EncodedTensor::Rle(_)
+            | EncodedTensor::BitPacked(_)
+            | EncodedTensor::Delta(_) => {
+                // Same `as f32` cast decode_f32 performs at filter
+                // time, so bounds match evaluation exactly.
+                let vals: Vec<f32> = data.decode_i64().data().iter().map(|&v| v as f32).collect();
+                Some(ColumnZoneMap::from_f32(&vals))
+            }
+            _ => None,
+        }
+    }
+
+    /// Incrementally extend these statistics to describe `table`, whose
+    /// first `self.rows()` rows are unchanged and whose remainder was
+    /// appended. Chunks fully covered by the old row count are reused
+    /// verbatim; only the previously-partial tail chunk plus the new
+    /// rows are rescanned, so append cost tracks the appended size, not
+    /// the table size. (Integer-compressed columns still pay one full
+    /// decode — there is no partial-decode API — but the stat scan
+    /// itself stays incremental.) The result is equal to
+    /// [`TableZoneMaps::build`] over the full table.
+    pub fn extend(&self, table: &Table) -> TableZoneMaps {
+        debug_assert!(table.rows() >= self.rows, "extend cannot shrink a table");
+        let complete = self.rows / ZONE_MAP_CHUNK_ROWS;
+        let tail_start = complete * ZONE_MAP_CHUNK_ROWS;
+        let columns = table
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(slot, c)| {
+                let old = self.columns.get(slot).and_then(|z| z.as_ref());
+                match (&c.data, old) {
+                    (EncodedTensor::F32(t), Some(oldz)) if t.ndim() == 1 => {
+                        Some(oldz.extended(complete, &t.data()[tail_start..]))
+                    }
+                    (
+                        EncodedTensor::I64(_)
+                        | EncodedTensor::Rle(_)
+                        | EncodedTensor::BitPacked(_)
+                        | EncodedTensor::Delta(_),
+                        Some(oldz),
+                    ) => {
+                        let vals: Vec<f32> = c.data.decode_i64().data()[tail_start..]
+                            .iter()
+                            .map(|&v| v as f32)
+                            .collect();
+                        Some(oldz.extended(complete, &vals))
+                    }
+                    // No prior stats (or the column changed shape):
+                    // fall back to a full build for this column.
+                    _ => Self::column_stats(&c.data),
                 }
-                _ => None,
             })
             .collect();
         TableZoneMaps {
@@ -216,6 +276,61 @@ mod tests {
         assert!(zm.column(0).is_none());
         assert!(zm.column(1).is_none());
         assert_eq!(zm.range(2, 0, 2), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn extend_matches_wholesale_build() {
+        // Old table ends mid-chunk, so extend must recompute the
+        // partial tail chunk and append fresh ones.
+        let old_n = ZONE_MAP_CHUNK_ROWS + 123;
+        let new_n = 3 * ZONE_MAP_CHUNK_ROWS + 7;
+        let vals: Vec<f32> = (0..new_n).map(|i| ((i * 37) % 1009) as f32).collect();
+        let ints: Vec<i64> = (0..new_n).map(|i| (i as i64 % 97) - 48).collect();
+        let old = TableBuilder::new()
+            .col_f32("v", vals[..old_n].to_vec())
+            .col_i64("q", ints[..old_n].to_vec())
+            .col_str("s", &vec!["x"; old_n])
+            .build("t");
+        let new = TableBuilder::new()
+            .col_f32("v", vals.clone())
+            .col_i64("q", ints.clone())
+            .col_str("s", &vec!["x"; new_n])
+            .build("t");
+        let extended = TableZoneMaps::build(&old).extend(&new);
+        let rebuilt = TableZoneMaps::build(&new);
+        assert_eq!(extended.rows(), rebuilt.rows());
+        for slot in 0..3 {
+            assert_eq!(
+                extended.column(slot).map(ColumnZoneMap::chunk_count),
+                rebuilt.column(slot).map(ColumnZoneMap::chunk_count),
+                "slot {slot}"
+            );
+            for start in (0..new_n).step_by(ZONE_MAP_CHUNK_ROWS / 2) {
+                let end = (start + ZONE_MAP_CHUNK_ROWS).min(new_n);
+                assert_eq!(
+                    extended.range(slot, start, end),
+                    rebuilt.range(slot, start, end),
+                    "slot {slot} rows {start}..{end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_on_chunk_boundary_reuses_all_old_chunks() {
+        let old_n = 2 * ZONE_MAP_CHUNK_ROWS;
+        let new_n = old_n + 10;
+        let vals: Vec<f32> = (0..new_n).map(|i| i as f32).collect();
+        let old = TableBuilder::new()
+            .col_f32("v", vals[..old_n].to_vec())
+            .build("t");
+        let new = TableBuilder::new().col_f32("v", vals).build("t");
+        let extended = TableZoneMaps::build(&old).extend(&new);
+        assert_eq!(extended.column(0).unwrap().chunk_count(), 3);
+        assert_eq!(
+            extended.range(0, old_n, new_n),
+            Some((old_n as f32, (new_n - 1) as f32))
+        );
     }
 
     #[test]

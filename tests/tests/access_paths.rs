@@ -360,6 +360,44 @@ fn stale_index_falls_back_to_exact() {
 }
 
 #[test]
+fn append_keeps_index_stale_and_counts_fallbacks() {
+    let tdp = Tdp::new();
+    tdp.register_table(vecs_table(256, 8, 7));
+    tdp.execute("CREATE INDEX vi ON vecs (emb) USING ivf(4, 2) METRIC l2")
+        .unwrap();
+    assert!(tdp.has_vector_index("vecs", "emb"));
+
+    // An append keeps the index entry (unlike a wholesale re-register):
+    // the executor re-validates row counts at run time, answers from the
+    // exact flat path, and counts the stale fallback.
+    let more = TableBuilder::new()
+        .col_i64("id", (256..320).collect())
+        .col_tensor("emb", clustered_vectors(64, 8, 8, 9))
+        .build("vecs");
+    assert!(tdp.append_rows("vecs", &more));
+    assert!(
+        tdp.has_vector_index("vecs", "emb"),
+        "append keeps the index for later rebuild"
+    );
+
+    let before = tdp.engine().access_path_stats().ivf_stale_fallbacks;
+    for seed in [41u64, 42, 43] {
+        let q = query_vec(8, seed);
+        let (ann, oracle) = ann_vs_oracle(&tdp, &q, 10);
+        assert_eq!(
+            ann, oracle,
+            "stale-index fallback must be exact (seed {seed})"
+        );
+    }
+    let after = tdp.engine().access_path_stats().ivf_stale_fallbacks;
+    assert_eq!(
+        after - before,
+        3,
+        "every ANN run on the stale index counted"
+    );
+}
+
+#[test]
 fn index_ddl_round_trip() {
     let tdp = Tdp::new();
     tdp.register_table(vecs_table(64, 4, 1));

@@ -1,0 +1,255 @@
+//! Memory-budget isolation: a query that breaches `TDP_MEM_BUDGET`
+//! must abort with the typed out-of-memory error while every
+//! concurrent in-budget query completes **byte-identically** to a run
+//! on an unconstrained engine — and over TCP the breach must map to
+//! `ERR MEM_BUDGET` on a connection that stays usable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdp_core::storage::TableBuilder;
+use tdp_core::{TdpEngine, TdpError};
+use tdp_server::{ServerConfig, TdpServer};
+
+/// Budget for the constrained engines: 1 MiB. The big table's decoded
+/// column alone (200k × 8 B = 1.6 MB) exceeds it, so a breaching query
+/// is refused its *first* charge and aborts holding zero bytes — the
+/// budget stays fully available to concurrent small queries.
+const BUDGET: u64 = 1 << 20;
+const BIG_ROWS: usize = 200_000;
+
+fn load_tables(engine: &TdpEngine) {
+    engine.register_table(
+        TableBuilder::new()
+            .col_i64("qty", (0..BIG_ROWS as i64).map(|i| i % 977).collect())
+            .build("big"),
+    );
+    engine.register_table(
+        TableBuilder::new()
+            .col_f32("price", vec![3.0, 1.0, 2.0, 5.0, 4.0, 2.5, 0.5, 9.0])
+            .col_str("item", &["b", "a", "a", "c", "b", "a", "c", "b"])
+            .build("orders"),
+    );
+}
+
+const BREACHING: &str = "SELECT DISTINCT qty FROM big ORDER BY qty";
+const SMALL: &[&str] = &[
+    "SELECT item, SUM(price) AS total FROM orders GROUP BY item ORDER BY item",
+    "SELECT COUNT(*) FROM orders WHERE price > 2.0",
+    "SELECT price FROM orders WHERE price >= 2.5 ORDER BY price",
+];
+
+#[test]
+fn breaching_query_aborts_typed_and_names_no_dropped_state() {
+    let engine = TdpEngine::with_memory_budget(BUDGET);
+    load_tables(&engine);
+    let session = engine.session();
+    let err = session
+        .query(BREACHING)
+        .unwrap()
+        .run()
+        .expect_err("1 MiB budget cannot hold a 200k-row DISTINCT");
+    match &err {
+        TdpError::Exec(tdp_core::exec::ExecError::MemoryBudget {
+            operator,
+            requested,
+        }) => {
+            assert!(!operator.is_empty(), "abort names the operator");
+            assert!(*requested > BUDGET, "first refused charge: {requested}");
+        }
+        other => panic!("expected MemoryBudget, got {other:?}"),
+    }
+    assert!(err.to_string().contains("out of memory budget"), "{err}");
+    // The abort released everything and was counted once.
+    assert_eq!(engine.memory_pool().used(), 0);
+    assert_eq!(engine.stats().mem_budget_aborts, 1);
+    // The same session keeps working after the abort.
+    let t = session.query(SMALL[1]).unwrap().run().unwrap();
+    assert_eq!(t.rows(), 1);
+}
+
+#[test]
+fn concurrent_small_queries_are_byte_identical_to_unconstrained_run() {
+    // Oracle: the small queries on an engine with no budget at all.
+    let oracle_engine = TdpEngine::new();
+    load_tables(&oracle_engine);
+    let oracle_session = oracle_engine.session();
+    let oracle: Vec<String> = SMALL
+        .iter()
+        .map(|q| oracle_session.query(q).unwrap().run().unwrap().pretty(100))
+        .collect();
+
+    let engine = TdpEngine::with_memory_budget(BUDGET);
+    load_tables(&engine);
+    std::thread::scope(|s| {
+        // Breaching queries hammering the pool from two threads…
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let err = engine.session().query(BREACHING).unwrap().run();
+                    assert!(
+                        matches!(
+                            err,
+                            Err(TdpError::Exec(
+                                tdp_core::exec::ExecError::MemoryBudget { .. }
+                            ))
+                        ),
+                        "breacher must abort on the budget: {err:?}"
+                    );
+                }
+            });
+        }
+        // …while in-budget queries stay byte-identical to the oracle.
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let oracle = &oracle;
+            s.spawn(move || {
+                let session = engine.session();
+                for _ in 0..5 {
+                    for (q, want) in SMALL.iter().zip(oracle) {
+                        let got = session.query(q).unwrap().run().unwrap().pretty(100);
+                        assert_eq!(&got, want, "in-budget query diverged under pressure");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(engine.memory_pool().used(), 0, "every ledger released");
+    assert_eq!(engine.stats().mem_budget_aborts, 10);
+}
+
+#[test]
+fn run_profiled_reports_peak_bytes_under_and_over_budget() {
+    let engine = TdpEngine::new();
+    load_tables(&engine);
+    let session = engine.session();
+    let (_, profile) = session
+        .query("SELECT DISTINCT qty FROM big ORDER BY qty")
+        .unwrap()
+        .run_profiled()
+        .unwrap();
+    assert!(
+        profile.peak_memory_bytes > (BIG_ROWS * 8) as u64,
+        "peak must cover the decoded column: {}",
+        profile.peak_memory_bytes
+    );
+    assert!(
+        profile.pretty().contains("mem peak"),
+        "{}",
+        profile.pretty()
+    );
+    assert!(
+        profile.ops.iter().any(|op| op.charged_bytes > 0),
+        "some operator must report charged bytes"
+    );
+    assert!(engine.stats().mem_high_water_bytes >= profile.peak_memory_bytes);
+}
+
+// ---------------------------------------------------------------------
+// The TCP half: N clients against one tightly budgeted engine.
+// ---------------------------------------------------------------------
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// Send one request line, collect the framed response up to the `.`.
+/// The `read_line != 0` assert is the no-dropped-connection check: a
+/// server that hangs up mid-response fails here, not with a lost reply.
+fn roundtrip(stream: &TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+    let mut w = stream.try_clone().unwrap();
+    writeln!(w, "{req}").unwrap();
+    w.flush().unwrap();
+    let mut out = String::new();
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).unwrap(), 0, "server hung up");
+        if line.trim_end() == "." {
+            return out;
+        }
+        out.push_str(&line);
+    }
+}
+
+#[test]
+fn tcp_clients_get_typed_mem_budget_errors_not_dropped_connections() {
+    // Unconstrained oracle server for the expected small-query bytes.
+    let oracle_engine = TdpEngine::new();
+    load_tables(&oracle_engine);
+    let oracle_server =
+        TdpServer::bind(oracle_engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let oracle: Vec<String> = {
+        let (stream, mut reader) = connect(oracle_server.local_addr());
+        SMALL
+            .iter()
+            .map(|q| roundtrip(&stream, &mut reader, &format!("QUERY {q}")))
+            .collect()
+    };
+    oracle_server.shutdown();
+
+    let engine = TdpEngine::with_memory_budget(BUDGET);
+    load_tables(&engine);
+    let server = TdpServer::bind(
+        engine,
+        "127.0.0.1:0",
+        // One query at a time: this test is about budget aborts and
+        // connection survival, not admission pressure.
+        ServerConfig::default()
+            .max_concurrent(1)
+            .max_queued(64)
+            .queue_timeout(Duration::from_secs(30)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..6)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let (stream, mut reader) = connect(addr);
+                let mut replies = Vec::new();
+                for round in 0..3 {
+                    if (client + round) % 2 == 0 {
+                        let r = roundtrip(&stream, &mut reader, &format!("QUERY {BREACHING}"));
+                        assert!(r.starts_with("ERR MEM_BUDGET "), "typed abort code: {r}");
+                        assert!(r.contains("out of memory budget"), "{r}");
+                    } else {
+                        for (idx, q) in SMALL.iter().enumerate() {
+                            let r = roundtrip(&stream, &mut reader, &format!("QUERY {q}"));
+                            replies.push((idx, r));
+                        }
+                    }
+                }
+                // The connection survived every abort on it.
+                let r = roundtrip(&stream, &mut reader, "QUERY SELECT COUNT(*) FROM orders");
+                assert!(r.starts_with("OK 1 rows"), "{r}");
+                replies
+            })
+        })
+        .collect();
+    for h in handles {
+        for (idx, got) in h.join().expect("client panicked") {
+            assert_eq!(got, oracle[idx], "small query diverged from oracle");
+        }
+    }
+
+    let (stream, mut reader) = connect(addr);
+    let stats = roundtrip(&stream, &mut reader, "STATS");
+    let aborts: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("mem_budget_aborts "))
+        .expect("STATS reports mem_budget_aborts")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(aborts >= 6, "every breaching query counted: {stats}");
+    assert!(
+        stats.contains(&format!("mem_budget_bytes {BUDGET}")),
+        "{stats}"
+    );
+    server.shutdown();
+}
