@@ -663,6 +663,82 @@ fn bench_memory_budget(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_late_materialization(c: &mut Criterion) {
+    // The PR 10 late-materialization story: a selective compiled filter
+    // hands its selection vector straight to each barrier kind instead
+    // of gathering survivors into a dense batch first. Selectivity
+    // sweep 1%/10%/50%: the payoff shrinks as survivors grow (at 50%
+    // the deferred gather saves little, so the modes should sit near
+    // parity). `gathered` runs with chain kernels off — interpreter
+    // chain, dense batch into the barrier; `selection_fed` with kernels
+    // on — the barrier consumes survivor row ids (masked aggregation,
+    // survivor probes, key-only sort runs) and gathers once at
+    // assembly. The join places its filter in a derived table, the one
+    // SQL shape that parks a chain directly under a join probe side.
+    let n = 2_000_000;
+    let keys = 50_000usize;
+    let mut rng = Rng64::new(43);
+    let tdp = Tdp::new();
+    tdp.register_table(
+        TableBuilder::new()
+            .col_f32("v", (0..n).map(|_| rng.normal() as f32).collect())
+            .col_i64("k", (0..n).map(|_| rng.below(keys) as i64).collect())
+            .build("big"),
+    );
+    tdp.register_table(
+        TableBuilder::new()
+            .col_i64("k", (0..keys as i64).collect())
+            .col_f32("w", (0..keys).map(|_| rng.normal() as f32).collect())
+            .build("d"),
+    );
+    tdp.set_threads(4);
+    let mut group = c.benchmark_group("late_materialization_2m");
+    // 20 samples (vs the usual 10): the 1-CPU container's noise bursts
+    // span whole sample windows, and the close cells (join at 10%) need
+    // the extra averaging to resolve.
+    group.sample_size(20);
+    for (sel, cutoff) in [("1pct", "2.33"), ("10pct", "1.28"), ("50pct", "0.0")] {
+        for (name, sql) in [
+            (
+                "aggregate",
+                format!(
+                    "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM big WHERE v > {cutoff}"
+                ),
+            ),
+            (
+                "join",
+                format!(
+                    "SELECT COUNT(*), SUM(d.w) FROM \
+                     (SELECT v, k FROM big WHERE v > {cutoff}) AS s JOIN d ON s.k = d.k"
+                ),
+            ),
+            (
+                "sort",
+                format!("SELECT v, k FROM big WHERE v > {cutoff} ORDER BY v DESC"),
+            ),
+            (
+                "topk",
+                format!("SELECT v, k FROM big WHERE v > {cutoff} ORDER BY v DESC LIMIT 100"),
+            ),
+            (
+                "distinct",
+                format!("SELECT DISTINCT k FROM big WHERE v > {cutoff}"),
+            ),
+        ] {
+            let q = tdp.query(&sql).expect("compile");
+            for (mode, kernels) in [("gathered", false), ("selection_fed", true)] {
+                tdp.set_chain_kernels(kernels);
+                group.bench_function(format!("{name}/{sel}/{mode}"), |b| {
+                    b.iter(|| q.run().expect("run"))
+                });
+            }
+        }
+    }
+    tdp.set_threads(1);
+    tdp.set_chain_kernels(true);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sql_operators,
@@ -679,6 +755,7 @@ criterion_group!(
     bench_chain_kernels,
     bench_concurrent_sessions,
     bench_access_paths,
-    bench_memory_budget
+    bench_memory_budget,
+    bench_late_materialization
 );
 criterion_main!(benches);

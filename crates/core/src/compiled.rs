@@ -346,6 +346,7 @@ impl<'s> BoundQuery<'s> {
             // counters; run_profiled swaps in a private cell so the
             // profile reports this run alone.
             access: Arc::clone(self.session.engine().access_counters()),
+            ivf_rebuild_after: self.session.ivf_rebuild_after(),
             // A fresh per-run ledger against the engine pool: charges
             // release when the run's guards drop, and a breach aborts
             // this query alone.

@@ -102,6 +102,17 @@ fn default_zone_maps() -> bool {
         .unwrap_or(true)
 }
 
+/// Default IVF auto-rebuild threshold: `TDP_IVF_REBUILD_AFTER=<n>`
+/// retrains a stale IVF index at the next ANN query once it has fallen
+/// back to the exact scan `n` times. Unset, unparsable, or `0` all mean
+/// off — rebuilds are strictly opt-in.
+fn default_ivf_rebuild_after() -> u64 {
+    std::env::var("TDP_IVF_REBUILD_AFTER")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
 /// A compilation cached in the session-local overlay: a plan whose name
 /// resolution involved at least one *session-local* function, so it can
 /// never be shared through the engine cache. Shape and invalidation
@@ -225,6 +236,9 @@ pub struct Session {
     /// Whether executions consult zone maps for chunk pruning
     /// (default: `TDP_ZONE_MAPS`, else on).
     zone_maps_on: Cell<bool>,
+    /// Stale-IVF auto-rebuild threshold, 0 = off
+    /// (default: `TDP_IVF_REBUILD_AFTER`).
+    ivf_rebuild_after: Cell<u64>,
 }
 
 impl Session {
@@ -242,6 +256,7 @@ impl Session {
             kernel_sync: Cell::new((0, 0)),
             chain_kernels_on: Cell::new(default_chain_kernels()),
             zone_maps_on: Cell::new(default_zone_maps()),
+            ivf_rebuild_after: Cell::new(default_ivf_rebuild_after()),
         }
     }
 
@@ -370,6 +385,23 @@ impl Session {
     /// Whether zone-map chunk pruning is consulted during execution.
     pub fn zone_maps_enabled(&self) -> bool {
         self.zone_maps_on.get()
+    }
+
+    /// Set the stale-IVF auto-rebuild threshold (default: the
+    /// `TDP_IVF_REBUILD_AFTER` environment variable, else 0 = off).
+    /// With a threshold of `n`, an IVF index that has degraded to the
+    /// exact fallback `n` times since its last build is retrained in
+    /// place — same name, nlist and nprobe — by the next ANN query that
+    /// would have fallen back again, and the tally resets. Rebuilds
+    /// never change results (the fallback is already exact); they
+    /// restore the approximate fast path after table appends.
+    pub fn set_ivf_rebuild_after(&self, n: u64) {
+        self.ivf_rebuild_after.set(n);
+    }
+
+    /// Current stale-IVF auto-rebuild threshold (0 = off).
+    pub fn ivf_rebuild_after(&self) -> u64 {
+        self.ivf_rebuild_after.get()
     }
 
     /// Device used by queries that do not override it.

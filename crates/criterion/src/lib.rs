@@ -80,6 +80,14 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        // `TDP_BENCH_FILTER=<substring>` runs only matching benchmarks
+        // (matched against `group/id`) — the real criterion takes a CLI
+        // filter argument; env is the least invasive stand-in here.
+        if let Ok(filter) = std::env::var("TDP_BENCH_FILTER") {
+            if !format!("{}/{id}", self.name).contains(&filter) {
+                return;
+            }
+        }
         let mut b = Bencher {
             mean_seconds: 0.0,
             samples: self.sample_size,

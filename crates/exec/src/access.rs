@@ -17,12 +17,18 @@
 //!   order — the operator is mirrored), or
 //! * a non-negated `IN` list of numeric literals / parameter slots
 //!   (`BETWEEN` needs no case of its own: the parser desugars it into
-//!   two comparisons).
+//!   two comparisons), or
+//! * an `OR` whose arms are each individually eligible by the two rules
+//!   above **and** all name the same column — the pruner then skips a
+//!   chunk only when every arm excludes it (the union of the arms'
+//!   surviving ranges).
 //!
-//! Everything else (string predicates, `OR`, UDF calls, column-column
-//! comparisons, `NOT IN`) is ignored; if *no* conjunct qualifies the
-//! scan stays a full scan and EXPLAIN names the reason
-//! (`full scan: no-eligible-conjunct` / `schema-unresolved`).
+//! Everything else (string predicates, UDF calls, column-column
+//! comparisons, `NOT IN`, mixed-column or partially-eligible `OR`s) is
+//! ignored; if *no* conjunct qualifies the scan stays a full scan and
+//! EXPLAIN names the reason (`full scan: no-eligible-conjunct`, or
+//! `full scan: or-arm-ineligible` when a disjunction was present but an
+//! arm disqualified it, or `schema-unresolved`).
 //!
 //! ## Pruning vs. kernels
 //!
@@ -66,6 +72,9 @@ pub struct AccessPathCounters {
     morsels_scanned: AtomicU64,
     ann_queries: AtomicU64,
     ivf_stale_fallbacks: AtomicU64,
+    ivf_rebuilds: AtomicU64,
+    barriers_selection_fed: AtomicU64,
+    barriers_gathered: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`AccessPathCounters`].
@@ -80,6 +89,16 @@ pub struct AccessPathStats {
     /// ANN queries planned against an IVF index that had gone stale (a
     /// table write invalidated it) and silently ran flat-exact instead.
     pub ivf_stale_fallbacks: u64,
+    /// Stale IVF indexes rebuilt in place under the
+    /// `TDP_IVF_REBUILD_AFTER` policy.
+    pub ivf_rebuilds: u64,
+    /// Barrier stages (aggregate/join/sort/top-k/DISTINCT) fed a
+    /// `(Batch, SelVec)` pair directly by a compiled chain, skipping the
+    /// full gather.
+    pub barriers_selection_fed: u64,
+    /// Barrier stages that had a compiled chain upstream but consumed a
+    /// gathered batch instead (the named reason lands in EXPLAIN).
+    pub barriers_gathered: u64,
 }
 
 impl AccessPathCounters {
@@ -98,12 +117,32 @@ impl AccessPathCounters {
         self.ivf_stale_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A stale IVF index was rebuilt in place by the
+    /// `TDP_IVF_REBUILD_AFTER` policy before serving the query.
+    pub fn note_ivf_rebuild(&self) {
+        self.ivf_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A barrier stage consumed a compiled chain's selection directly.
+    pub fn note_barrier_selection_fed(&self) {
+        self.barriers_selection_fed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A barrier stage below a compiled-chain candidate fell back to the
+    /// gathered batch path.
+    pub fn note_barrier_gathered(&self) {
+        self.barriers_gathered.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> AccessPathStats {
         AccessPathStats {
             morsels_pruned: self.morsels_pruned.load(Ordering::Relaxed),
             morsels_scanned: self.morsels_scanned.load(Ordering::Relaxed),
             ann_queries: self.ann_queries.load(Ordering::Relaxed),
             ivf_stale_fallbacks: self.ivf_stale_fallbacks.load(Ordering::Relaxed),
+            ivf_rebuilds: self.ivf_rebuilds.load(Ordering::Relaxed),
+            barriers_selection_fed: self.barriers_selection_fed.load(Ordering::Relaxed),
+            barriers_gathered: self.barriers_gathered.load(Ordering::Relaxed),
         }
     }
 
@@ -118,6 +157,12 @@ impl AccessPathCounters {
             .fetch_add(stats.ann_queries, Ordering::Relaxed);
         self.ivf_stale_fallbacks
             .fetch_add(stats.ivf_stale_fallbacks, Ordering::Relaxed);
+        self.ivf_rebuilds
+            .fetch_add(stats.ivf_rebuilds, Ordering::Relaxed);
+        self.barriers_selection_fed
+            .fetch_add(stats.barriers_selection_fed, Ordering::Relaxed);
+        self.barriers_gathered
+            .fetch_add(stats.barriers_gathered, Ordering::Relaxed);
     }
 }
 
@@ -163,6 +208,14 @@ pub enum PrunePredicate {
         slot: usize,
         list: Vec<PruneBound>,
     },
+    /// A disjunction whose arms are all individually prunable ranges
+    /// over the **same** column. The excluded chunk set is the
+    /// intersection of the arms' exclusions — equivalently, the pruner
+    /// keeps the union of the arms' surviving chunk ranges.
+    Or {
+        slot: usize,
+        arms: Vec<PrunePredicate>,
+    },
 }
 
 impl PrunePredicate {
@@ -190,12 +243,19 @@ impl PrunePredicate {
                 };
                 b < min || b > max
             }),
+            // A row surviving *any* arm survives the OR, so the chunk is
+            // excluded only when every arm excludes it.
+            PrunePredicate::Or { arms, .. } => {
+                arms.iter().all(|arm| arm.excludes(min, max, params))
+            }
         }
     }
 
     fn slot(&self) -> usize {
         match self {
-            PrunePredicate::Cmp { slot, .. } | PrunePredicate::In { slot, .. } => *slot,
+            PrunePredicate::Cmp { slot, .. }
+            | PrunePredicate::In { slot, .. }
+            | PrunePredicate::Or { slot, .. } => *slot,
         }
     }
 }
@@ -215,9 +275,14 @@ impl ChunkPruner {
     /// nothing qualifies — the reason lands on the EXPLAIN scan line.
     pub fn compile(predicate: &CompiledExpr) -> Result<ChunkPruner, &'static str> {
         let mut predicates = Vec::new();
-        collect_conjuncts(predicate, &mut predicates);
+        let mut or_ineligible = false;
+        collect_conjuncts(predicate, &mut predicates, &mut or_ineligible);
         if predicates.is_empty() {
-            Err("no-eligible-conjunct")
+            Err(if or_ineligible {
+                "or-arm-ineligible"
+            } else {
+                "no-eligible-conjunct"
+            })
         } else {
             Ok(ChunkPruner { predicates })
         }
@@ -265,16 +330,27 @@ impl ChunkPruner {
 }
 
 /// Recursively split on AND and harvest eligible conjuncts.
-fn collect_conjuncts(expr: &CompiledExpr, out: &mut Vec<PrunePredicate>) {
+/// `or_ineligible` records that a disjunction was seen but could not be
+/// compiled (an arm was ineligible or the arms mix columns) — it names
+/// the full-scan reason when nothing else qualifies.
+fn collect_conjuncts(expr: &CompiledExpr, out: &mut Vec<PrunePredicate>, or_ineligible: &mut bool) {
     match expr {
         CompiledExpr::Binary {
             op: BinOp::And,
             left,
             right,
         } => {
-            collect_conjuncts(left, out);
-            collect_conjuncts(right, out);
+            collect_conjuncts(left, out, or_ineligible);
+            collect_conjuncts(right, out, or_ineligible);
         }
+        CompiledExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => match compile_disjunction(left, right) {
+            Some(p) => out.push(p),
+            None => *or_ineligible = true,
+        },
         CompiledExpr::Binary { op, left, right } => {
             if let Some(p) = compile_comparison(*op, left, right) {
                 out.push(p);
@@ -285,16 +361,66 @@ fn collect_conjuncts(expr: &CompiledExpr, out: &mut Vec<PrunePredicate>) {
             list,
             negated: false,
         } => {
-            let Some(slot) = slot_of(expr) else { return };
-            let bounds: Option<Vec<PruneBound>> = list.iter().map(bound_of).collect();
-            if let Some(list) = bounds {
-                if !list.is_empty() {
-                    out.push(PrunePredicate::In { slot, list });
-                }
+            if let Some(p) = compile_in_list(expr, list) {
+                out.push(p);
             }
         }
         _ => {}
     }
+}
+
+/// Compile `left OR right` into a single same-column
+/// [`PrunePredicate::Or`]. Nested ORs flatten into one arm list; every
+/// arm must itself be an eligible comparison or `IN` list, and all arms
+/// must resolve to the same column slot.
+fn compile_disjunction(left: &CompiledExpr, right: &CompiledExpr) -> Option<PrunePredicate> {
+    let mut arms = Vec::new();
+    collect_or_arms(left, &mut arms)?;
+    collect_or_arms(right, &mut arms)?;
+    let slot = arms.first()?.slot();
+    if arms.iter().any(|arm| arm.slot() != slot) {
+        return None;
+    }
+    Some(PrunePredicate::Or { slot, arms })
+}
+
+/// Flatten an OR tree into eligible leaf predicates. `None` as soon as
+/// any leaf fails to compile — a partially-compiled OR would wrongly
+/// widen the exclusion.
+fn collect_or_arms(expr: &CompiledExpr, arms: &mut Vec<PrunePredicate>) -> Option<()> {
+    match expr {
+        CompiledExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
+            collect_or_arms(left, arms)?;
+            collect_or_arms(right, arms)
+        }
+        CompiledExpr::Binary { op, left, right } => {
+            arms.push(compile_comparison(*op, left, right)?);
+            Some(())
+        }
+        CompiledExpr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            arms.push(compile_in_list(expr, list)?);
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn compile_in_list(expr: &CompiledExpr, list: &[CompiledExpr]) -> Option<PrunePredicate> {
+    let slot = slot_of(expr)?;
+    let bounds: Option<Vec<PruneBound>> = list.iter().map(bound_of).collect();
+    let list = bounds?;
+    if list.is_empty() {
+        return None;
+    }
+    Some(PrunePredicate::In { slot, list })
 }
 
 fn compile_comparison(
@@ -418,6 +544,64 @@ mod tests {
             Err("no-eligible-conjunct"),
             "column-column comparisons cannot use zone maps"
         );
+    }
+
+    #[test]
+    fn same_column_disjunction_prunes_union_of_ranges() {
+        use tdp_storage::{TableBuilder, TableZoneMaps};
+        let t = TableBuilder::new()
+            .col_f32("v", (0..10_000).map(|i| i as f32).collect())
+            .build("t");
+        let zm = TableZoneMaps::build(&t);
+        // v < 100 OR v > 9000: the middle morsel is excluded by both
+        // arms, the outer morsels each survive one arm.
+        let pred = cmp(
+            BinOp::Or,
+            cmp(BinOp::Lt, col(0), num(100.0)),
+            cmp(BinOp::Gt, col(0), num(9_000.0)),
+        );
+        let p = ChunkPruner::compile(&pred).unwrap();
+        assert_eq!(p.len(), 1);
+        let mask = p.skip_mask(&zm, 10_000, 4096, &ParamValues::new());
+        assert_eq!(mask, vec![false, true, false]);
+        // Nested OR arms flatten; IN lists qualify as arms.
+        let pred = cmp(
+            BinOp::Or,
+            cmp(
+                BinOp::Or,
+                cmp(BinOp::Lt, col(0), num(50.0)),
+                CompiledExpr::InList {
+                    expr: Box::new(col(0)),
+                    list: vec![num(60.0)],
+                    negated: false,
+                },
+            ),
+            cmp(BinOp::Gt, col(0), num(9_500.0)),
+        );
+        let p = ChunkPruner::compile(&pred).unwrap();
+        let mask = p.skip_mask(&zm, 10_000, 4096, &ParamValues::new());
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn ineligible_or_arms_name_full_scan_reason() {
+        // Arms over different columns cannot share one zone-map range.
+        let mixed = cmp(
+            BinOp::Or,
+            cmp(BinOp::Lt, col(0), num(1.0)),
+            cmp(BinOp::Gt, col(1), num(2.0)),
+        );
+        assert_eq!(ChunkPruner::compile(&mixed), Err("or-arm-ineligible"));
+        // One ineligible arm poisons the whole disjunction.
+        let partial = cmp(
+            BinOp::Or,
+            cmp(BinOp::Lt, col(0), num(1.0)),
+            cmp(BinOp::Lt, col(0), col(1)),
+        );
+        assert_eq!(ChunkPruner::compile(&partial), Err("or-arm-ineligible"));
+        // ...but an eligible AND sibling still compiles alongside it.
+        let sibling = cmp(BinOp::And, partial, cmp(BinOp::Gt, col(0), num(3.0)));
+        assert_eq!(ChunkPruner::compile(&sibling).unwrap().len(), 1);
     }
 
     #[test]

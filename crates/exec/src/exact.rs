@@ -257,9 +257,20 @@ pub(crate) fn ann_topk(
                 }
                 // Stale or vanished index: exact flat fallback — counted
                 // so silently-exact ANN after a table write is observable.
+                // With `TDP_IVF_REBUILD_AFTER` set, enough fallbacks on
+                // one index trigger an in-place retrain instead.
                 _ => {
                     ctx.access.note_ivf_stale_fallback();
-                    tdp_index::FlatIndex::build(decode_data()?, metric).search(&q, k)
+                    let stale = ctx.catalog.note_stale_ann(table, column.name());
+                    let rebuilt = if ctx.ivf_rebuild_after > 0 && stale >= ctx.ivf_rebuild_after {
+                        rebuild_stale_ivf(table, column, metric, t.rows(), &decode_data, ctx)?
+                    } else {
+                        None
+                    };
+                    match rebuilt {
+                        Some(entry) => entry.search(&q, k),
+                        None => tdp_index::FlatIndex::build(decode_data()?, metric).search(&q, k),
+                    }
                 }
             }
         }
@@ -270,6 +281,59 @@ pub(crate) fn ann_topk(
     let len = ids.len();
     let sel = t.select_rows(&I64Tensor::from_vec(ids, &[len]));
     Ok(Batch::from_table(&sel.to_device(ctx.device)))
+}
+
+/// Retrain a stale IVF index over the table's current contents and
+/// re-register it under its old name, nlist and nprobe. Returns `None`
+/// — leaving the caller on the exact fallback — when the registered
+/// entry vanished (a full-table rewrite dropped it, so its parameters
+/// are gone), is not IVF, or covers a different metric than the query;
+/// auto-rebuild only restores an index the user explicitly built for
+/// this shape. Training is deterministic (fixed seed), mirroring the
+/// session's `create_vector_index` contract. On success the catalog's
+/// stale tally for the key resets (registration clears it) and the
+/// rebuild is counted for STATS / profiled runs.
+fn rebuild_stale_ivf(
+    table: &str,
+    column: &crate::physical::ColumnRef,
+    metric: tdp_index::Metric,
+    rows: usize,
+    decode_data: &impl Fn() -> Result<F32Tensor, ExecError>,
+    ctx: &ExecContext,
+) -> Result<Option<std::sync::Arc<tdp_storage::VectorIndexEntry>>, ExecError> {
+    let Some(old) = ctx.catalog.vector_index(table, column.name()) else {
+        return Ok(None);
+    };
+    let tdp_storage::VectorIndex::Ivf { nlist, nprobe, .. } = &old.index else {
+        return Ok(None);
+    };
+    if old.metric != metric {
+        return Ok(None);
+    }
+    let (nlist, nprobe) = (*nlist, *nprobe);
+    let mut rng = tdp_tensor::Rng64::new(0x5eed);
+    let index = tdp_index::IvfFlatIndex::train(
+        decode_data()?,
+        metric,
+        tdp_index::IvfParams::new(nlist),
+        &mut rng,
+    );
+    let entry = ctx
+        .catalog
+        .register_vector_index(tdp_storage::VectorIndexEntry {
+            name: old.name.clone(),
+            table: old.table.clone(),
+            column: old.column.clone(),
+            metric,
+            rows,
+            index: tdp_storage::VectorIndex::Ivf {
+                index,
+                nlist,
+                nprobe,
+            },
+        });
+    ctx.access.note_ivf_rebuild();
+    Ok(Some(entry))
 }
 
 /// Deduplicate rows, keeping first occurrences in input order
@@ -559,7 +623,7 @@ pub fn aggregate_batch(
 }
 
 /// Resolve compiled join keys into `(left, right)` exact key columns.
-fn resolve_join_keys<'a>(
+pub(crate) fn resolve_join_keys<'a>(
     on: &JoinOn,
     left: &'a Batch,
     right: &'a Batch,
@@ -697,6 +761,104 @@ pub(crate) fn join_pair_atoms(
         Ok((key_atoms(left)?, key_atoms(right)?))
     } else {
         Ok((string_atoms(left), string_atoms(right)))
+    }
+}
+
+/// Whether [`key_atoms_at`] can atomize this layout by indexed row
+/// reads. Plain layouts only — compressed and PE columns have no O(1)
+/// row access and go through `filter_rows` instead.
+fn random_access(col: &EncodedTensor) -> bool {
+    matches!(
+        col,
+        EncodedTensor::I64(_)
+            | EncodedTensor::Bool(_)
+            | EncodedTensor::F32(_)
+            | EncodedTensor::Dict { .. }
+    )
+}
+
+/// Key atoms of one plain-layout column restricted to the ascending row
+/// list `rows`: exactly `key_atoms(&col.filter_rows(m))` for the mask
+/// keeping those rows, computed by indexed reads instead of
+/// materializing the filtered column. Callers gate on [`random_access`].
+fn key_atoms_at(col: &EncodedTensor, rows: &[i64]) -> Result<Vec<KeyAtom>, ExecError> {
+    Ok(match col {
+        EncodedTensor::I64(t) => {
+            let d = t.data();
+            rows.iter().map(|&r| KeyAtom::Int(d[r as usize])).collect()
+        }
+        EncodedTensor::Bool(t) => {
+            let d = t.data();
+            rows.iter()
+                .map(|&r| KeyAtom::Int(i64::from(d[r as usize])))
+                .collect()
+        }
+        EncodedTensor::Dict { codes, dict } => {
+            let d = codes.data();
+            rows.iter()
+                .map(|&r| KeyAtom::Str(dict.decode_one(d[r as usize]).to_owned()))
+                .collect()
+        }
+        EncodedTensor::F32(t) => {
+            // Same shape guard `key_codes` applies to the filtered
+            // column (filtering preserves dimensionality).
+            if t.ndim() != 1 {
+                return Err(ExecError::TypeMismatch(
+                    "cannot group by a multi-dimensional payload column".into(),
+                ));
+            }
+            let d = t.data();
+            rows.iter()
+                .map(|&r| KeyAtom::Int(f32_order_key(d[r as usize])))
+                .collect()
+        }
+        _ => unreachable!("key_atoms_at requires a random-access layout"),
+    })
+}
+
+/// [`join_pair_atoms`] where either side may be restricted to an
+/// ascending survivor row list (`None` = all rows): returns exactly the
+/// atoms of the *filtered* pair. The class decision is taken on the
+/// full-width columns — `filter_rows` preserves every layout's key
+/// class (plain and PE layouts filter in place, compressed integer
+/// layouts re-compress within the integer class) — and same-class plain
+/// layouts atomize survivors by indexed reads, so a selective side
+/// never pays a full-width filtering pass over its key columns.
+pub(crate) fn join_pair_atoms_at(
+    left: &EncodedTensor,
+    lrows: Option<&[i64]>,
+    right: &EncodedTensor,
+    rrows: Option<&[i64]>,
+) -> Result<(Vec<KeyAtom>, Vec<KeyAtom>), ExecError> {
+    fn filtered<'a>(
+        col: &'a EncodedTensor,
+        rows: Option<&[i64]>,
+    ) -> std::borrow::Cow<'a, EncodedTensor> {
+        match rows {
+            None => std::borrow::Cow::Borrowed(col),
+            Some(rows) => {
+                let mut keep = vec![false; col.rows()];
+                for &r in rows {
+                    keep[r as usize] = true;
+                }
+                let n = keep.len();
+                std::borrow::Cow::Owned(col.filter_rows(&Tensor::from_vec(keep, &[n])))
+            }
+        }
+    }
+    fn side_atoms(col: &EncodedTensor, rows: Option<&[i64]>) -> Result<Vec<KeyAtom>, ExecError> {
+        match rows {
+            Some(rows) if random_access(col) => key_atoms_at(col, rows),
+            _ => key_atoms(&filtered(col, rows)),
+        }
+    }
+    if key_class(left) == key_class(right) {
+        Ok((side_atoms(left, lrows)?, side_atoms(right, rrows)?))
+    } else {
+        Ok((
+            string_atoms(&filtered(left, lrows)),
+            string_atoms(&filtered(right, rrows)),
+        ))
     }
 }
 

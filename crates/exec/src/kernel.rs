@@ -28,6 +28,28 @@
 //! operand order, same CASE blend expression), which is what keeps the
 //! interpreter the byte-identity oracle at every thread count.
 //!
+//! ## Exit modes
+//!
+//! A compiled chain leaves the kernel in one of two ways, chosen per
+//! pipeline by [`crate::pipeline`]:
+//!
+//! * **Gather exit** (`ChainInstance::run`) — the deferred selection
+//!   is collapsed into one `filter_rows` gather per column and a dense
+//!   [`Batch`] streams onward. Used when the consumer needs dense rows
+//!   (streaming sinks, LIMIT, unsupported barrier shapes).
+//! * **Selection exit** (`ChainInstance::run_selection` →
+//!   `SelOutput`) — the chain returns its output columns still at
+//!   input width plus the final `SelVec`; the consuming barrier stage
+//!   (aggregate, join, sort, top-k, DISTINCT) folds, probes or extracts
+//!   keys over survivors directly and defers the single payload gather
+//!   to its own assembly step — or never gathers at all (masked
+//!   aggregation). Only chains whose projections are pure column remaps
+//!   qualify (`ChainInstance::selection_capable`); a computed item
+//!   would materialize new storage in selection space and reset the
+//!   row space. `selection_verdict` is the pure per-chain verdict
+//!   surfaced by EXPLAIN as `[barrier: selection-fed]` versus
+//!   `[barrier: gathered: <reason>]`.
+//!
 //! ## Fallback taxonomy
 //!
 //! Compilation is conservative: anything the kernel cannot reproduce
@@ -142,6 +164,13 @@ pub(crate) struct ChainProgram {
     /// Longest run of consecutive filter segments (no projection
     /// between them) — gates the re-compressing-layout fallback.
     max_filter_run: usize,
+}
+
+impl ChainProgram {
+    /// See `ChainInstance::selection_capable`.
+    pub(crate) fn selection_capable(&self) -> Result<(), &'static str> {
+        segs_selection_capable(&self.segs)
+    }
 }
 
 /// A program bound to one parameter set, ready to run on morsels from
@@ -617,6 +646,25 @@ pub(crate) fn chain_strategy(ops: &[MorselOp<'_>], ctx: &ExecContext) -> Option<
     })
 }
 
+/// Would this chain hand its selection straight to a barrier stage? The
+/// pure (counter-free) verdict used by EXPLAIN and the run-time gathered
+/// fallback reason: `Ok(())` = selection-fed, `Err(reason)` = the barrier
+/// consumes a gathered batch. A chain must exist, compile to a kernel
+/// and keep the row space intact (no computed projections) to qualify.
+pub(crate) fn selection_verdict(ops: &[MorselOp<'_>], ctx: &ExecContext) -> Result<(), String> {
+    if ops.is_empty() {
+        return Err("no-chain".into());
+    }
+    if ctx.chain_kernels.is_none() {
+        return Err("chain-kernels-disabled".into());
+    }
+    if let Some(reason) = crate::morsel::chain_fallback_reason(ops, None, ctx) {
+        return Err(reason);
+    }
+    let prog = compile(ops, ctx)?;
+    prog.selection_capable().map_err(String::from)
+}
+
 // ----------------------------------------------------------------------
 // Execution
 // ----------------------------------------------------------------------
@@ -1067,7 +1115,12 @@ fn compact(it: impl Iterator<Item = (u32, bool)>, cap: usize) -> Vec<u32> {
 /// sorted index vectors so later predicates and projections touch only
 /// survivors. [`filter_sel`] demotes a mask to indices the first time
 /// its survivor count drops below `rows / DENSE_DIVISOR`.
-enum SelVec {
+///
+/// Since PR 10 this is also the inter-operator currency of the
+/// selection exit mode (`SelOutput`): the morsel scheduler hands a
+/// `(columns, SelVec)` pair straight to a barrier stage instead of
+/// gathering through [`SelVec::into_gather_mask`].
+pub(crate) enum SelVec {
     /// Mask over all `rows` rows, plus its survivor count.
     Mask(Vec<bool>, usize),
     /// Sorted surviving row indices.
@@ -1075,14 +1128,14 @@ enum SelVec {
 }
 
 impl SelVec {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             SelVec::Mask(_, n) => *n,
             SelVec::Idx(s) => s.len(),
         }
     }
 
-    fn is_sparse(&self, rows: usize) -> bool {
+    pub(crate) fn is_sparse(&self, rows: usize) -> bool {
         self.len() * DENSE_DIVISOR <= rows
     }
 
@@ -1090,12 +1143,12 @@ impl SelVec {
     /// to indices is deferred to the first consumer that profits from
     /// it (a later sparse conjunct, or a computed projection) — a
     /// single-filter chain gathers straight through the mask.
-    fn from_mask(m: Vec<bool>) -> SelVec {
+    pub(crate) fn from_mask(m: Vec<bool>) -> SelVec {
         let n = m.iter().map(|&b| b as usize).sum();
         SelVec::Mask(m, n)
     }
 
-    fn into_idx(self) -> Vec<u32> {
+    pub(crate) fn into_idx(self) -> Vec<u32> {
         match self {
             SelVec::Idx(s) => s,
             SelVec::Mask(m, _) => compact((0u32..).zip(m.iter().copied()), m.len()),
@@ -1103,7 +1156,7 @@ impl SelVec {
     }
 
     /// The boolean gather mask `filter_rows` consumes.
-    fn gather_mask(&self, rows: usize) -> BoolTensor {
+    pub(crate) fn gather_mask(&self, rows: usize) -> BoolTensor {
         match self {
             SelVec::Mask(m, _) => Tensor::from_vec(m.clone(), &[rows]),
             SelVec::Idx(s) => sel_mask(s, rows),
@@ -1254,6 +1307,99 @@ impl ChainInstance {
         }
         Ok(out)
     }
+
+    /// Whether this chain supports the selection exit mode: the chain
+    /// must never change the row space, i.e. every projection is a pure
+    /// column remap (`SELECT b AS x, a …`). A computed or literal item
+    /// materializes new storage in selection space, which resets the
+    /// selection — those chains keep the gather exit.
+    pub(crate) fn selection_capable(&self) -> Result<(), &'static str> {
+        segs_selection_capable(&self.segs)
+    }
+
+    /// Run the compiled chain in **selection exit mode**: instead of
+    /// gathering survivors into a dense batch, return the (remapped,
+    /// still full-width) output columns plus the final `SelVec` so the
+    /// consuming barrier stage can work on survivors directly and defer
+    /// the single gather to its own assembly step. `init` seeds the
+    /// selection (zone-map pruning). `None` = run-time bail-out; the
+    /// caller re-runs the gathered path.
+    pub(crate) fn run_selection(&self, batch: &Batch, init: Option<SelVec>) -> Option<SelOutput> {
+        match self.try_run_selection(batch, init) {
+            Ok(out) => Some(out),
+            Err(Bail) => {
+                // One count per execution, however many calls bail.
+                if !self.fallback_noted.swap(true, Ordering::Relaxed) {
+                    self.cache.note_fallback();
+                }
+                None
+            }
+        }
+    }
+
+    fn try_run_selection(&self, batch: &Batch, init: Option<SelVec>) -> KResult<SelOutput> {
+        if batch.has_diff() {
+            return Err(Bail);
+        }
+        let rows = batch.rows();
+        if rows > u32::MAX as usize {
+            return Err(Bail);
+        }
+        // Tensor clones are Arc bumps — this materializes nothing. No
+        // re-compressing-layout bail is needed on this path: nothing is
+        // ever gathered mid-chain, so encodings never re-pick a layout.
+        let mut cols: Vec<(String, EncodedTensor)> = batch
+            .columns()
+            .iter()
+            .map(|(n, c)| match c {
+                ColumnData::Exact(e) => (n.clone(), e.clone()),
+                ColumnData::Diff(_) => unreachable!("has_diff checked above"),
+            })
+            .collect();
+        let mut sel: Option<SelVec> = init;
+        for seg in &self.segs {
+            match seg {
+                Seg::Filter(pred) => {
+                    sel = Some(filter_sel(pred, &cols, rows, sel)?);
+                }
+                Seg::Project(items) => {
+                    // Selection-capable chains only remap columns here
+                    // (checked by `selection_capable`); the row space —
+                    // and with it the selection — carries through.
+                    let mut next = Vec::with_capacity(items.len());
+                    for (name, expr) in items {
+                        match expr {
+                            KExpr::Col(r) => next.push((name.clone(), resolve(&cols, r)?.clone())),
+                            _ => return Err(Bail),
+                        }
+                    }
+                    cols = next;
+                }
+            }
+        }
+        let sel = sel.unwrap_or_else(|| SelVec::Mask(vec![true; rows], rows));
+        Ok(SelOutput { cols, sel })
+    }
+}
+
+/// The selection exit mode's hand-off value: the chain's output columns
+/// still at input width (projections in a selection-capable chain are
+/// pure remaps) plus the selection over them. The consumer gathers once,
+/// at its own assembly point — or never (masked aggregation).
+pub(crate) struct SelOutput {
+    pub(crate) cols: Vec<(String, EncodedTensor)>,
+    pub(crate) sel: SelVec,
+}
+
+fn segs_selection_capable(segs: &[Seg]) -> Result<(), &'static str> {
+    for seg in segs {
+        if let Seg::Project(items) = seg {
+            if items.iter().any(|(_, e)| !matches!(e, KExpr::Col(_))) {
+                return Err("computed-projection");
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Materialize one projection under the current selection, mirroring

@@ -36,13 +36,65 @@
 //! stop bound once the contiguous output prefix holds enough rows;
 //! morsels past the bound are never claimed (early exit).
 //!
-//! Not every stage can leave the session thread: session UDFs hold
-//! `Rc`-based autodiff parameters, scalar subqueries execute nested plans
-//! and tensor-valued bindings are row-aligned with the whole batch. Such
-//! chains — and sort keys containing them, since key expressions are
-//! evaluated per morsel on workers — fall back to whole-batch sequential
-//! execution, which is equally deterministic; EXPLAIN and profiled runs
-//! report the reason (`barrier_note` / `barrier_report`).
+//! # Chain exit modes: gathered vs selection-fed barriers
+//!
+//! A compiled filter→project chain feeding a barrier has two ways to
+//! hand over its result (`BarrierInput`):
+//!
+//! * **Gathered** — the classic exit: the chain materialises survivors
+//!   into a dense [`Batch`] (one gather per column) and the barrier
+//!   consumes it like any other input. Always available; the only exit
+//!   for non-chain children.
+//! * **Selected** — late materialisation: the chain returns its input
+//!   columns *plus* a `kernel::SelVec` (dense mask or sparse index
+//!   list, whichever is smaller for the survivor density), and the
+//!   barrier operates on survivor row ids directly. The single gather
+//!   is deferred to final assembly — join output positions, sorted
+//!   order, DISTINCT representatives — so dropped rows are never
+//!   copied, and memory charges scale with survivors instead of input
+//!   width (`SelScan`).
+//!
+//! `chain_barrier_input` is the one constructor: it tries the
+//! selection exit and falls back to the gathered one, recording which
+//! barrier feeding mode happened (`barriers_selection_fed` /
+//! `barriers_gathered` in [`crate::access`]).
+//!
+//! What each barrier does with a selection:
+//!
+//! | barrier            | selection-fed behaviour                             |
+//! |--------------------|-----------------------------------------------------|
+//! | aggregate          | folds survivors straight into partial states: plain  column aggregates use branchless masked accumulation (dense) or survivor iteration (sparse); computed arguments / GROUP BY gather only *referenced* columns into mini-batches per input morsel |
+//! | join (`run_join`)  | builds/probes survivor rows only; exchange buckets survivor ids; `join_assemble` gathers once on matched output positions |
+//! | sort / top-k       | evaluates keys on survivors; payload gather happens  once, in final sorted order |
+//! | DISTINCT           | exchanges survivor grouping codes; representatives   gather at the end |
+//!
+//! Byte-identity is preserved in every mode: reorder/gather barriers
+//! (join, sort, top-k, DISTINCT) move bytes without arithmetic, and
+//! selection-fed aggregation chunks its partials by *input* morsel
+//! boundaries (`survivor_offsets`), replicating the gathered path's
+//! float-accumulation order exactly.
+//!
+//! # Fallback taxonomy
+//!
+//! Every decline is named, and lands in EXPLAIN (`barrier_note`,
+//! statically) and profiled runs (`barrier_report`, observed):
+//!
+//! * **Selection-exit declines** (chain gathers instead):
+//!   `chain-kernels-disabled`, `computed-projection` (a projection
+//!   rewrites columns, so survivors alone cannot represent the output),
+//!   `single-morsel` (nothing to parallelise), `kernel-compile` /
+//!   `kernel-bailout` (the compiled kernel was unavailable or bailed at
+//!   run time — the per-morsel interpreter re-run remains the fallback).
+//! * **Parallelism declines** (whole-batch sequential execution, the
+//!   [`crate::exact`] kernels): session UDFs holding `Rc`-based autodiff
+//!   parameters (`udf-not-parallel-safe(<name>)`), scalar subqueries
+//!   (nested plans run against the session), tensor-valued bindings
+//!   (row-aligned with the whole batch, not a morsel), `threads=1`.
+//!   Sort keys containing such expressions fall back too, since key
+//!   expressions are evaluated per morsel on workers.
+//!
+//! Both fallbacks are equally deterministic — they are the oracle the
+//! staged paths are tested against, at every thread count.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -285,6 +337,9 @@ fn worker_ctx<'a>(catalog: &'a Catalog, udfs: &'a UdfRegistry, cfg: &WorkerCfg) 
         // claimed; workers never consult zone maps or record counters.
         zone_maps: false,
         access: std::sync::Arc::new(crate::access::AccessPathCounters::default()),
+        // Index maintenance is a scheduler-thread decision; workers
+        // never touch the catalog's index registry.
+        ivf_rebuild_after: 0,
         memory: std::sync::Arc::clone(&cfg.memory),
     }
 }
@@ -552,6 +607,291 @@ fn process_morsels(
 }
 
 // ----------------------------------------------------------------------
+// Selection-fed barrier inputs (late materialization)
+// ----------------------------------------------------------------------
+
+/// Survivor-fraction bound for demoting a selection mask to an index
+/// list at a chain→barrier hand-off: demote only when at most rows/4
+/// survive. The kernel's internal rows/2 bound is tuned for
+/// intersecting *further conjuncts*; barrier consumers instead replace
+/// branchless full-width passes (masked folds, sequential filters) with
+/// per-survivor indexed reads, which only pays off when survivors are
+/// genuinely sparse.
+const HANDOFF_IDX_DIVISOR: usize = 4;
+
+/// A chain's selection-exit hand-off: the (remapped, still full-width)
+/// output columns plus the surviving-row selection, produced by
+/// [`selection_scan`] and consumed by the barrier `run_*` entry points
+/// through [`BarrierInput::Selected`]. The single payload gather the
+/// gathered path performs per morsel is deferred to the barrier's own
+/// assembly step — or skipped entirely (masked aggregation) — so memory
+/// charges scale with survivors, not morsel width.
+pub(crate) struct SelScan {
+    /// Chain output columns at full input width, integer-compressed
+    /// layouts decoded exactly as [`to_partition_cols`] does, so a late
+    /// gather yields the same bytes the staged gathered path produces.
+    batch: Batch,
+    sel: kernel::SelVec,
+    /// Full (pre-selection) input width.
+    rows: usize,
+    /// Human-readable density note (`3% dense→sparse`) for profiles.
+    density: String,
+    /// Holds the selection-vector bytes on the query's ledger for the
+    /// scan's lifetime.
+    _charge: memory::ChargeGuard,
+}
+
+impl SelScan {
+    /// Surviving row count — the logical row count every scheduling
+    /// decision uses, identical to the gathered batch's `rows()`.
+    fn survivors(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// Global surviving row ids, ascending.
+    fn ids(&self) -> Vec<i64> {
+        match &self.sel {
+            kernel::SelVec::Idx(s) => s.iter().map(|&i| i as i64).collect(),
+            kernel::SelVec::Mask(m, n) => {
+                let mut out = Vec::with_capacity(*n);
+                for (i, &keep) in m.iter().enumerate() {
+                    if keep {
+                        out.push(i as i64);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The one deferred gather: compact every column to survivors. Used
+    /// when a barrier shape (or scheduling decision) needs dense rows
+    /// after all; byte-identical to the gathered path's output.
+    fn materialize(&self) -> Batch {
+        let mask = self.sel.gather_mask(self.rows);
+        let mut out = Batch::new();
+        for (name, col) in self.batch.columns() {
+            out.push(
+                name.clone(),
+                ColumnData::Exact(col.to_exact().filter_rows(&mask)),
+            );
+        }
+        out
+    }
+}
+
+/// One barrier input: either a densely materialized batch (with the
+/// named reason selection was declined, when a compiled chain was a
+/// candidate) or a live selection over full-width chain output.
+pub(crate) enum BarrierInput {
+    Gathered(Batch, Option<String>),
+    Selected(SelScan),
+}
+
+impl BarrierInput {
+    /// Logical (post-filter) row count.
+    pub(crate) fn rows_out(&self) -> usize {
+        match self {
+            BarrierInput::Gathered(b, _) => b.rows(),
+            BarrierInput::Selected(s) => s.survivors(),
+        }
+    }
+
+    fn has_diff(&self) -> bool {
+        match self {
+            BarrierInput::Gathered(b, _) => b.has_diff(),
+            // Selection-exit chains bail on differentiable inputs.
+            BarrierInput::Selected(_) => false,
+        }
+    }
+
+    fn columns_len(&self) -> usize {
+        match self {
+            BarrierInput::Gathered(b, _) => b.columns().len(),
+            BarrierInput::Selected(s) => s.batch.columns().len(),
+        }
+    }
+
+    fn into_gathered(self) -> Batch {
+        match self {
+            BarrierInput::Gathered(b, _) => b,
+            BarrierInput::Selected(s) => s.materialize(),
+        }
+    }
+
+    /// The profile note for this input: `selection-fed (3% dense→sparse)`
+    /// or `gathered: <reason>`; `None` when no compiled chain was in play.
+    pub(crate) fn note(&self) -> Option<String> {
+        match self {
+            BarrierInput::Selected(s) => Some(format!("selection-fed ({})", s.density)),
+            BarrierInput::Gathered(_, Some(reason)) => Some(format!("gathered: {reason}")),
+            BarrierInput::Gathered(_, None) => None,
+        }
+    }
+
+    /// Selection density note (`3% dense→sparse`) when selection-fed.
+    pub(crate) fn density(&self) -> Option<&str> {
+        match self {
+            BarrierInput::Selected(s) => Some(&s.density),
+            BarrierInput::Gathered(..) => None,
+        }
+    }
+}
+
+/// Build a barrier's input from its upstream chain: selection exit when
+/// the chain supports it, otherwise the ordinary gathered morsel run
+/// with the named decline reason attached. The one place the
+/// selection-fed / gathered barrier counters tick, so plain and
+/// profiled executions account identically.
+pub(crate) fn chain_barrier_input(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    skip: Option<&[bool]>,
+    ctx: &ExecContext,
+) -> Result<BarrierInput, ExecError> {
+    let out = match selection_scan(input, ops, skip, ctx)? {
+        ScanResult::Selected(s) => BarrierInput::Selected(s),
+        ScanResult::Declined(reason) => {
+            let batch = run_ops(input, ops, None, skip, ctx)?;
+            BarrierInput::Gathered(batch, Some(reason))
+        }
+    };
+    match &out {
+        BarrierInput::Selected(_) => ctx.access.note_barrier_selection_fed(),
+        BarrierInput::Gathered(..) => ctx.access.note_barrier_gathered(),
+    }
+    Ok(out)
+}
+
+/// Outcome of a selection-exit attempt over a barrier's Stream child.
+pub(crate) enum ScanResult {
+    Selected(SelScan),
+    /// The chain must gather; the reason lands in profiles and EXPLAIN.
+    Declined(String),
+}
+
+/// Seed selection for zone-map pruning: pruned morsel row ranges start
+/// deselected, so the chain never resurrects provably-empty rows.
+fn skip_init(skip: Option<&[bool]>, rows: usize, morsel_rows: usize) -> Option<kernel::SelVec> {
+    let skip = skip?;
+    if !skip.iter().any(|&s| s) {
+        return None;
+    }
+    let mut mask = vec![true; rows];
+    for (i, &s) in skip.iter().enumerate() {
+        if s {
+            let start = i * morsel_rows;
+            let end = (start + morsel_rows).min(rows);
+            mask[start..end].fill(false);
+        }
+    }
+    Some(kernel::SelVec::from_mask(mask))
+}
+
+/// Run a barrier's upstream chain in selection exit mode. `Declined`
+/// carries the named reason (capability, bail-out, sizing); the caller
+/// then takes the gathered path, which does its own zone-map accounting
+/// — morsel counters are only recorded here on success.
+pub(crate) fn selection_scan(
+    input: &Batch,
+    ops: &[MorselOp<'_>],
+    skip: Option<&[bool]>,
+    ctx: &ExecContext,
+) -> Result<ScanResult, ExecError> {
+    if let Err(reason) = kernel::selection_verdict(ops, ctx) {
+        return Ok(ScanResult::Declined(reason));
+    }
+    let rows = input.rows();
+    let morsels = num_morsels(rows, ctx.morsel_rows);
+    if morsels <= 1 {
+        return Ok(ScanResult::Declined("single-morsel".into()));
+    }
+    let Some(kern) = kernel::prepare(ops, ctx) else {
+        return Ok(ScanResult::Declined("kernel-compile".into()));
+    };
+    let skip = skip.filter(|s| s.len() == morsels);
+    let init = skip_init(skip, rows, ctx.morsel_rows);
+    let Some(mut out) = kern.run_selection(input, init) else {
+        return Ok(ScanResult::Declined("kernel-bailout".into()));
+    };
+    // Selective chains demote the mask to a survivor index list once,
+    // here at the hand-off, so every barrier consumer (id mapping, key
+    // gathers, probe loops) walks survivors instead of full width.
+    if matches!(out.sel, kernel::SelVec::Mask(..)) && out.sel.len() * HANDOFF_IDX_DIVISOR <= rows {
+        out.sel = kernel::SelVec::Idx(out.sel.into_idx());
+    }
+    if let Some(s) = skip {
+        let pruned = s.iter().filter(|&&b| b).count() as u64;
+        ctx.access.note_morsels(pruned, morsels as u64 - pruned);
+    }
+    let survivors = out.sel.len();
+    let charge = memory::charge(&ctx.memory, "selection vector", (survivors as u64 + 1) * 8)?;
+    let pct = if rows == 0 {
+        0
+    } else {
+        (survivors * 100).div_ceil(rows)
+    };
+    let density = match &out.sel {
+        kernel::SelVec::Mask(..) => format!("{pct}% dense"),
+        kernel::SelVec::Idx(_) => format!("{pct}% dense→sparse"),
+    };
+    let mut batch = Batch::new();
+    for (name, col) in out.cols {
+        let col = match col {
+            e @ (EncodedTensor::Rle(_) | EncodedTensor::BitPacked(_) | EncodedTensor::Delta(_)) => {
+                EncodedTensor::I64(e.decode_i64())
+            }
+            other => other,
+        };
+        batch.push(name, ColumnData::Exact(col));
+    }
+    Ok(ScanResult::Selected(SelScan {
+        batch,
+        sel: out.sel,
+        rows,
+        density,
+        _charge: charge,
+    }))
+}
+
+/// Survivor-count prefix over *input* morsel boundaries: `offs[i]` is
+/// the number of survivors before morsel `i`, so survivors of morsel
+/// `i` occupy `[offs[i], offs[i+1])` in selection space. Partial
+/// aggregation chunks by these offsets, which makes its float partials
+/// byte-identical to the gathered per-morsel path.
+fn survivor_offsets(
+    sel: &kernel::SelVec,
+    rows: usize,
+    morsel_rows: usize,
+    morsels: usize,
+) -> Vec<usize> {
+    let mut offs = Vec::with_capacity(morsels + 1);
+    offs.push(0);
+    match sel {
+        kernel::SelVec::Idx(s) => {
+            let mut j = 0usize;
+            for i in 1..=morsels {
+                let bound = ((i * morsel_rows).min(rows)) as u32;
+                while j < s.len() && s[j] < bound {
+                    j += 1;
+                }
+                offs.push(j);
+            }
+        }
+        kernel::SelVec::Mask(m, _) => {
+            let mut c = 0usize;
+            for i in 0..morsels {
+                let start = i * morsel_rows;
+                let end = (start + morsel_rows).min(rows);
+                c += m[start..end].iter().filter(|&&b| b).count();
+                offs.push(c);
+            }
+        }
+    }
+    offs
+}
+
+// ----------------------------------------------------------------------
 // Staged barrier execution: partition exchange + parallel barrier ops
 // ----------------------------------------------------------------------
 //
@@ -666,11 +1006,18 @@ fn exchange(
 
 /// `(staged?, capability fallback reason)` for a join barrier. Joins
 /// carry no key expressions (keys are resolved column refs), so the only
-/// capability reason is a differentiable input.
-fn join_decision(left: &Batch, right: &Batch, ctx: &ExecContext) -> (bool, Option<String>) {
-    let reason = (left.has_diff() || right.has_diff()).then(|| "differentiable-input".to_string());
-    let splits = num_morsels(left.rows(), ctx.morsel_rows) > 1
-        || num_morsels(right.rows(), ctx.morsel_rows) > 1;
+/// capability reason is a differentiable input. Row counts are the
+/// logical (post-selection) counts, so the decision is identical whether
+/// an input arrives gathered or selection-fed.
+fn join_decision(
+    left_rows: usize,
+    right_rows: usize,
+    diff: bool,
+    ctx: &ExecContext,
+) -> (bool, Option<String>) {
+    let reason = diff.then(|| "differentiable-input".to_string());
+    let splits =
+        num_morsels(left_rows, ctx.morsel_rows) > 1 || num_morsels(right_rows, ctx.morsel_rows) > 1;
     (reason.is_none() && ctx.threads > 1 && splits, reason)
 }
 
@@ -678,25 +1025,31 @@ fn join_decision(left: &Batch, right: &Batch, ctx: &ExecContext) -> (bool, Optio
 /// expressions are evaluated per morsel on worker threads, so the same
 /// analysis as fused chains applies (UDFs, subqueries, tensor params).
 fn sort_decision(
-    input: &Batch,
+    rows: usize,
+    diff: bool,
     keys: &[crate::physical::PhysOrderKey],
     ctx: &ExecContext,
 ) -> (bool, Option<String>) {
-    let reason = if input.has_diff() {
+    let reason = if diff {
         Some("differentiable-input".to_string())
     } else {
         keys.iter().find_map(|k| expr_fallback(&k.expr, ctx))
     };
-    let splits = num_morsels(input.rows(), ctx.morsel_rows) > 1;
+    let splits = num_morsels(rows, ctx.morsel_rows) > 1;
     (reason.is_none() && ctx.threads > 1 && splits, reason)
 }
 
 /// `(staged?, capability fallback reason)` for a DISTINCT barrier.
-fn distinct_decision(input: &Batch, ctx: &ExecContext) -> (bool, Option<String>) {
-    let reason = input.has_diff().then(|| "differentiable-input".to_string());
-    let splits = num_morsels(input.rows(), ctx.morsel_rows) > 1;
+fn distinct_decision(
+    rows: usize,
+    ncols: usize,
+    diff: bool,
+    ctx: &ExecContext,
+) -> (bool, Option<String>) {
+    let reason = diff.then(|| "differentiable-input".to_string());
+    let splits = num_morsels(rows, ctx.morsel_rows) > 1;
     (
-        reason.is_none() && ctx.threads > 1 && splits && !input.columns().is_empty(),
+        reason.is_none() && ctx.threads > 1 && splits && ncols > 0,
         reason,
     )
 }
@@ -707,6 +1060,59 @@ fn join_build_bytes(rows: usize) -> u64 {
     rows as u64 * 24
 }
 
+/// One join input normalized for the staged stages: a (possibly
+/// full-width) batch plus the optional global survivor-id list. `None`
+/// ids = a dense batch whose position *is* its row id. Positions map to
+/// ascending global ids, so bucketing/probing positions in order visits
+/// exactly the rows the gathered path would, in the same order.
+struct JoinSide {
+    batch: Batch,
+    ids: Option<Vec<i64>>,
+}
+
+impl JoinSide {
+    fn of(input: BarrierInput) -> JoinSide {
+        match input {
+            BarrierInput::Gathered(batch, _) => JoinSide { batch, ids: None },
+            BarrierInput::Selected(s) => {
+                let ids = s.ids();
+                JoinSide {
+                    batch: s.batch,
+                    ids: Some(ids),
+                }
+            }
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.ids.as_ref().map_or(self.batch.rows(), Vec::len)
+    }
+}
+
+/// Position-indexed key atoms for both join sides. A selection-fed side
+/// atomizes each resolved key column at survivor positions only —
+/// plain-layout keys by indexed reads straight off the full-width
+/// column, anything else through one `filter_rows` pass — producing
+/// exactly the atoms the gathered batch's key columns would (those are
+/// `filter_rows` of the same full-width columns), so a selective chain
+/// never pays full-width key evaluation.
+fn join_side_atoms(
+    left: &JoinSide,
+    right: &JoinSide,
+    on: &JoinOn,
+) -> Result<(exact::SideAtoms, exact::SideAtoms), ExecError> {
+    let (lcols, rcols) = exact::resolve_join_keys(on, &left.batch, &right.batch)?;
+    let (lrows, rrows) = (left.ids.as_deref(), right.ids.as_deref());
+    let mut latoms = Vec::with_capacity(lcols.len());
+    let mut ratoms = Vec::with_capacity(rcols.len());
+    for (l, r) in lcols.iter().zip(&rcols) {
+        let (a, b) = exact::join_pair_atoms_at(l, lrows, r, rrows)?;
+        latoms.push(a);
+        ratoms.push(b);
+    }
+    Ok((latoms, ratoms))
+}
+
 /// Partitioned hash join: exchange the build (right) side into
 /// per-partition hash tables, then probe left morsels in parallel.
 ///
@@ -715,35 +1121,51 @@ fn join_build_bytes(rows: usize) -> u64 {
 /// inserting rows in ascending build order; stage 3 probes left morsels
 /// and reassembles match lists in morsel order. The resulting index
 /// pairs — and the unmatched-left pass — are exactly the sequential
-/// kernel's, so [`exact::join_assemble`] finishes both paths.
+/// kernel's, so [`exact::join_assemble`] finishes both paths. A
+/// selection-fed input skips its gather entirely: key columns alone are
+/// filtered to survivor width for atomization, stages hash and probe by
+/// survivor position, and the assemble step gathers matched global row
+/// ids straight out of the full-width batch.
 pub(crate) fn run_join(
-    left: &Batch,
-    right: &Batch,
+    left: BarrierInput,
+    right: BarrierInput,
     kind: JoinKind,
     on: &JoinOn,
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
-    if !join_decision(left, right, ctx).0 {
+    let diff = left.has_diff() || right.has_diff();
+    if !join_decision(left.rows_out(), right.rows_out(), diff, ctx).0 {
+        let (left, right) = (left.into_gathered(), right.into_gathered());
         // The sequential kernel builds one hash table over the whole
         // build side; charge the same per-row estimate the staged build
         // uses so enforcement is thread-count-invariant.
         let _charge = memory::charge(&ctx.memory, "join build", join_build_bytes(right.rows()))?;
-        return exact::join_batches(left, right, kind, on);
+        return exact::join_batches(&left, &right, kind, on);
     }
-    let (latoms, ratoms) = exact::join_atoms(on, left, right)?;
+    let (lside, rside) = (JoinSide::of(left), JoinSide::of(right));
+    let (latoms, ratoms) = join_side_atoms(&lside, &rside, on)?;
     let partitions = ctx.partitions.max(1);
     // Held until the joined batch is assembled: exchange buckets, the
     // per-partition build tables and the probe index vectors.
     let charges = memory::ScopedCharges::new(&ctx.memory);
 
     // Stage 1: exchange build-side rows into partitions by key hash.
-    charges.add("join exchange", right.rows() as u64 * 8)?;
-    let parts = exchange(
-        right.rows(),
+    // Survivor positions (not morsel width) are what gets bucketed, so a
+    // selective chain charges and shuffles only what survived. Atoms are
+    // position-indexed (survivor space), so every stage hashes and
+    // probes by position; global ids appear only in the emitted index
+    // lists the assembly gathers on.
+    charges.add("join exchange", rside.rows() as u64 * 8)?;
+    // Workers must not capture the batches (autodiff columns are not
+    // `Sync`); the bare id slices carry everything the stages emit.
+    let (lids, rids) = (lside.ids.as_deref(), rside.ids.as_deref());
+    let gid = |ids: Option<&[i64]>, pos: usize| ids.map_or(pos as i64, |v| v[pos]);
+    let parts: Vec<Vec<i64>> = exchange(
+        rside.rows(),
         partitions,
         ctx.morsel_rows,
         ctx.threads,
-        &|r| exact::row_hash(&ratoms, r),
+        &|pos| exact::row_hash(&ratoms, pos),
     );
 
     // Stage 2: shared-nothing per-partition table build (ascending rows).
@@ -757,7 +1179,7 @@ pub(crate) fn run_join(
     .collect::<Result<_, _>>()?;
 
     // Stage 3: probe left morsels in parallel; morsel-order reassembly.
-    let rows = left.rows();
+    let rows = lside.rows();
     let morsel_rows = ctx.morsel_rows;
     let probe_morsels = num_morsels(rows, morsel_rows);
     let probes = claim_indexed(probe_morsels, ctx.threads, |i| {
@@ -766,16 +1188,16 @@ pub(crate) fn run_join(
         let mut li: Vec<i64> = Vec::new();
         let mut ri: Vec<i64> = Vec::new();
         let mut unmatched: Vec<i64> = Vec::new();
-        for r in start..end {
-            let p = (exact::row_hash(&latoms, r) % partitions as u64) as usize;
-            match tables[p].get(&latoms, r) {
+        for pos in start..end {
+            let p = (exact::row_hash(&latoms, pos) % partitions as u64) as usize;
+            match tables[p].get(&latoms, pos) {
                 Some(matches) => {
                     for &m in matches {
-                        li.push(r as i64);
-                        ri.push(m);
+                        li.push(gid(lids, pos));
+                        ri.push(gid(rids, m as usize));
                     }
                 }
-                None if kind == JoinKind::Left => unmatched.push(r as i64),
+                None if kind == JoinKind::Left => unmatched.push(gid(lids, pos)),
                 None => {}
             }
         }
@@ -797,8 +1219,8 @@ pub(crate) fn run_join(
         left_unmatched.extend(un);
     }
     Ok(exact::join_assemble(
-        left,
-        right,
+        &lside.batch,
+        &rside.batch,
         kind,
         left_idx,
         right_idx,
@@ -832,6 +1254,19 @@ impl SortKeyCol {
             },
             other => SortKeyCol::Ints(exact::key_codes(other)?.to_vec()),
         })
+    }
+
+    /// Row range `[start, end)` of this key column. Dictionary slices
+    /// share the parent's `Arc`'d dictionary, so slice-vs-slice
+    /// comparisons stay integer compares.
+    fn slice(&self, start: usize, end: usize) -> SortKeyCol {
+        match self {
+            SortKeyCol::Ints(v) => SortKeyCol::Ints(v[start..end].to_vec()),
+            SortKeyCol::Dict { codes, dict } => SortKeyCol::Dict {
+                codes: codes[start..end].to_vec(),
+                dict: dict.clone(),
+            },
+        }
     }
 
     /// Compare row `a` of this column against row `b` of `other`. A key
@@ -904,29 +1339,7 @@ fn sort_runs(
                 }
             }
         }
-        let len = end - start;
-        let mut order: Vec<u32> = (0..len as u32).collect();
-        let cmp = |a: &u32, b: &u32| {
-            for (col, k) in key_cols.iter().zip(keys) {
-                let (a, b) = (*a as usize, *b as usize);
-                let ord = if k.desc {
-                    col.cmp_rows(b, col, a)
-                } else {
-                    col.cmp_rows(a, col, b)
-                };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            a.cmp(b) // input position breaks ties, as in the stable sort
-        };
-        if let Some(k) = take_k {
-            if k > 0 && k < len {
-                order.select_nth_unstable_by(k - 1, cmp);
-                order.truncate(k);
-            }
-        }
-        order.sort_unstable_by(cmp);
+        let order = sorted_order(&key_cols, keys, end - start, take_k);
         Ok(SortRun {
             start,
             order,
@@ -942,6 +1355,116 @@ fn sort_runs(
 
     // First error in morsel order wins — deterministic reporting.
     slots.take().into_iter().collect()
+}
+
+/// Local row order of one run under the stable `(keys…, position)`
+/// total order, optionally truncated to the run's k best rows.
+fn sorted_order(
+    key_cols: &[SortKeyCol],
+    keys: &[crate::physical::PhysOrderKey],
+    len: usize,
+    take_k: Option<usize>,
+) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    let cmp = |a: &u32, b: &u32| {
+        for (col, k) in key_cols.iter().zip(keys) {
+            let (a, b) = (*a as usize, *b as usize);
+            let ord = if k.desc {
+                col.cmp_rows(b, col, a)
+            } else {
+                col.cmp_rows(a, col, b)
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(b) // input position breaks ties, as in the stable sort
+    };
+    if let Some(k) = take_k {
+        if k > 0 && k < len {
+            order.select_nth_unstable_by(k - 1, cmp);
+            order.truncate(k);
+        }
+    }
+    order.sort_unstable_by(cmp);
+    order
+}
+
+/// Selection-fed sort/top-k core: evaluate nothing — the keys must be
+/// plain column refs (checked by the caller), already gathered to
+/// survivor width. Runs chunk **selection space** by the session morsel
+/// size; run-local ties break on survivor position, which is ascending
+/// global position, so the merged order equals the stable whole-batch
+/// sort and the single payload gather happens once, at the end.
+fn sort_selected(
+    s: &SelScan,
+    gathered_keys: Vec<SortKeyCol>,
+    keys: &[crate::physical::PhysOrderKey],
+    take_k: Option<usize>,
+    limit: Option<usize>,
+    charges: &memory::ScopedCharges,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let n = s.survivors();
+    let morsel_rows = ctx.morsel_rows;
+    let morsels = num_morsels(n, morsel_rows);
+    let runs: Vec<SortRun> = claim_indexed(morsels, ctx.threads, |i| {
+        let start = i * morsel_rows;
+        let end = (start + morsel_rows).min(n);
+        charges.add("sort run", ((end - start) * (4 + 8 * keys.len())) as u64)?;
+        let key_cols: Vec<SortKeyCol> = gathered_keys.iter().map(|k| k.slice(start, end)).collect();
+        let order = sorted_order(&key_cols, keys, end - start, take_k);
+        Ok(SortRun {
+            start,
+            order,
+            keys: key_cols,
+        })
+    })
+    .into_iter()
+    // First error in morsel order wins — deterministic reporting.
+    .collect::<Result<_, ExecError>>()?;
+    let ids = s.ids();
+    let idx: Vec<i64> = merge_runs(&runs, keys, limit)
+        .into_iter()
+        .map(|p| ids[p as usize])
+        .collect();
+    let len = idx.len();
+    Ok(exact::select_batch(
+        &s.batch,
+        &Tensor::from_vec(idx, &[len]),
+    ))
+}
+
+/// Resolve sort keys as plain column refs over a selection's full-width
+/// batch and gather them to survivor width — the only evaluation the
+/// selection-fed sort path needs. `None` when any key is a computed
+/// expression (the caller gathers and takes the staged path).
+fn gather_sort_keys(
+    s: &SelScan,
+    keys: &[crate::physical::PhysOrderKey],
+) -> Result<Option<Vec<SortKeyCol>>, ExecError> {
+    let mut srcs = Vec::with_capacity(keys.len());
+    for k in keys {
+        let CompiledExpr::Column(r) = &k.expr else {
+            return Ok(None);
+        };
+        match resolve_col(&s.batch, r) {
+            Some(c) => srcs.push(c),
+            None => return Ok(None),
+        }
+    }
+    let mask = s.sel.gather_mask(s.rows);
+    let mut out = Vec::with_capacity(srcs.len());
+    for c in srcs {
+        out.push(SortKeyCol::of(&c.filter_rows(&mask))?);
+    }
+    Ok(Some(out))
+}
+
+/// Resolve a physical column ref against a batch exactly as the
+/// expression evaluator does ([`crate::physical::ColumnRef::resolve`]).
+fn resolve_col(batch: &Batch, r: &crate::physical::ColumnRef) -> Option<EncodedTensor> {
+    r.resolve(batch).ok().map(|c| c.to_exact())
 }
 
 /// K-way merge of sorted runs into a global row-index order, stopping
@@ -1019,48 +1542,71 @@ fn merge_runs(
 
 /// Parallel merge sort: per-morsel sorted runs, k-way merged under the
 /// stable `(keys…, input position)` order. Byte-identical to
-/// [`exact::sort_batch`], which remains the fallback and the oracle.
+/// [`exact::sort_batch`], which remains the fallback and the oracle. A
+/// selection-fed input whose keys are plain column refs gathers only
+/// the key columns up front; the payload gather happens once, on the
+/// merged order.
 pub(crate) fn run_sort(
-    input: &Batch,
+    input: BarrierInput,
     keys: &[crate::physical::PhysOrderKey],
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
-    if !sort_decision(input, keys, ctx).0 {
+    if !sort_decision(input.rows_out(), input.has_diff(), keys, ctx).0 {
+        let input = input.into_gathered();
         // The sequential argsort holds the same key codes + permutation.
         let _charge = memory::charge(&ctx.memory, "sort", sort_bytes(input.rows(), keys.len()))?;
-        return exact::sort_batch(input, keys, ctx);
+        return exact::sort_batch(&input, keys, ctx);
     }
-    // Held until the sorted batch is assembled: materialised input
-    // columns plus every run's keys and permutation.
+    if let BarrierInput::Selected(s) = &input {
+        // Held until the sorted batch is assembled: gathered key
+        // columns plus every run's keys and permutation.
+        let charges = memory::ScopedCharges::new(&ctx.memory);
+        charges.add("sort key gather", (s.survivors() * 8 * keys.len()) as u64)?;
+        if let Some(gathered) = gather_sort_keys(s, keys)? {
+            return sort_selected(s, gathered, keys, None, None, &charges, ctx);
+        }
+        // Computed keys need per-morsel expression evaluation over
+        // dense rows; gather once and take the staged path below.
+    }
+    let input = input.into_gathered();
     let charges = memory::ScopedCharges::new(&ctx.memory);
-    let runs = sort_runs(input, keys, None, &charges, ctx)?;
+    let runs = sort_runs(&input, keys, None, &charges, ctx)?;
     let idx = merge_runs(&runs, keys, None);
     let n = idx.len();
-    Ok(exact::select_batch(input, &Tensor::from_vec(idx, &[n])))
+    Ok(exact::select_batch(&input, &Tensor::from_vec(idx, &[n])))
 }
 
 /// Parallel top-k: per-morsel `top-k` runs (selection + short sort)
 /// merged O(k·m) into the global k best. Byte-identical to
 /// [`exact::topk_batch`] (= the first k rows of the full stable sort).
 pub(crate) fn run_topk(
-    input: &Batch,
+    input: BarrierInput,
     keys: &[crate::physical::PhysOrderKey],
     k: usize,
     ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
-    let k = k.min(input.rows());
+    let k = k.min(input.rows_out());
     if k == 0 {
-        return exact::topk_batch(input, keys, k, ctx);
+        return exact::topk_batch(&input.into_gathered(), keys, k, ctx);
     }
-    if !sort_decision(input, keys, ctx).0 {
+    if !sort_decision(input.rows_out(), input.has_diff(), keys, ctx).0 {
+        let input = input.into_gathered();
         let _charge = memory::charge(&ctx.memory, "top-k", sort_bytes(input.rows(), keys.len()))?;
-        return exact::topk_batch(input, keys, k, ctx);
+        return exact::topk_batch(&input, keys, k, ctx);
     }
+    if let BarrierInput::Selected(s) = &input {
+        let charges = memory::ScopedCharges::new(&ctx.memory);
+        charges.add("sort key gather", (s.survivors() * 8 * keys.len()) as u64)?;
+        if let Some(gathered) = gather_sort_keys(s, keys)? {
+            return sort_selected(s, gathered, keys, Some(k), Some(k), &charges, ctx);
+        }
+    }
+    let input = input.into_gathered();
     let charges = memory::ScopedCharges::new(&ctx.memory);
-    let runs = sort_runs(input, keys, Some(k), &charges, ctx)?;
+    let runs = sort_runs(&input, keys, Some(k), &charges, ctx)?;
     let idx = merge_runs(&runs, keys, Some(k));
     let n = idx.len();
-    Ok(exact::select_batch(input, &Tensor::from_vec(idx, &[n])))
+    Ok(exact::select_batch(&input, &Tensor::from_vec(idx, &[n])))
 }
 
 /// Shared-nothing DISTINCT: exchange rows by composite grouping-code
@@ -1068,30 +1614,72 @@ pub(crate) fn run_topk(
 /// partition, so a partition's first occurrence is the global one), then
 /// re-sort the surviving row ids into input order — byte-identical to
 /// [`exact::distinct_batch`]'s first-occurrence output.
-pub(crate) fn run_distinct(input: &Batch, ctx: &ExecContext) -> Result<Batch, ExecError> {
-    let rows = input.rows();
-    let ncols = input.columns().len();
-    if !distinct_decision(input, ctx).0 {
+pub(crate) fn run_distinct(input: BarrierInput, ctx: &ExecContext) -> Result<Batch, ExecError> {
+    let rows = input.rows_out();
+    let ncols = input.columns_len();
+    if !distinct_decision(rows, ncols, input.has_diff(), ctx).0 {
+        let input = input.into_gathered();
         // The sequential kernel holds the same key codes and one big
         // seen-set; charge the per-row estimate of the staged path so
         // enforcement is thread-count-invariant.
         let _charge = memory::charge(&ctx.memory, "distinct", (rows * (8 * ncols + 16)) as u64)?;
-        return exact::distinct_batch(input);
+        return exact::distinct_batch(&input);
     }
     // Held until the surviving rows are selected out: key codes,
-    // exchange buckets and the per-partition seen-sets.
+    // exchange buckets and the per-partition seen-sets. The codes are
+    // survivor-width either way — a selection-fed input extracts them
+    // through the selection and defers the payload gather to the final
+    // representative select.
     let charges = memory::ScopedCharges::new(&ctx.memory);
     charges.add("distinct key codes", (rows * 8 * ncols) as u64)?;
-    let codes: Vec<Vec<i64>> = input
-        .columns()
-        .iter()
-        .map(|(_, c)| exact::key_codes(&c.to_exact()).map(|t| t.to_vec()))
-        .collect::<Result<_, _>>()?;
-    let partitions = ctx.partitions.max(1);
+    match input {
+        BarrierInput::Gathered(b, _) => {
+            let codes: Vec<Vec<i64>> = b
+                .columns()
+                .iter()
+                .map(|(_, c)| exact::key_codes(&c.to_exact()).map(|t| t.to_vec()))
+                .collect::<Result<_, _>>()?;
+            let rep = distinct_reps(&codes, rows, ncols, &charges, ctx)?;
+            let n = rep.len();
+            Ok(exact::select_batch(&b, &Tensor::from_vec(rep, &[n])))
+        }
+        BarrierInput::Selected(s) => {
+            let mask = s.sel.gather_mask(s.rows);
+            let codes: Vec<Vec<i64>> = s
+                .batch
+                .columns()
+                .iter()
+                .map(|(_, c)| {
+                    exact::key_codes(&c.to_exact().filter_rows(&mask)).map(|t| t.to_vec())
+                })
+                .collect::<Result<_, _>>()?;
+            // Representatives come back as survivor positions; map them
+            // to global ids for the one deferred gather.
+            let ids = s.ids();
+            let rep: Vec<i64> = distinct_reps(&codes, rows, ncols, &charges, ctx)?
+                .into_iter()
+                .map(|p| ids[p as usize])
+                .collect();
+            let n = rep.len();
+            Ok(exact::select_batch(&s.batch, &Tensor::from_vec(rep, &[n])))
+        }
+    }
+}
 
+/// Exchange + shared-nothing dedup over precomputed grouping codes:
+/// returns the first-occurrence row positions, ascending. Positions are
+/// whatever space the codes live in (dense rows or selection space).
+fn distinct_reps(
+    codes: &[Vec<i64>],
+    rows: usize,
+    ncols: usize,
+    charges: &memory::ScopedCharges,
+    ctx: &ExecContext,
+) -> Result<Vec<i64>, ExecError> {
+    let partitions = ctx.partitions.max(1);
     charges.add("distinct exchange", rows as u64 * 8)?;
     let parts = exchange(rows, partitions, ctx.morsel_rows, ctx.threads, &|r| {
-        exact::code_hash(&codes, r)
+        exact::code_hash(codes, r)
     });
 
     // Per-partition dedup, keeping first occurrences (rows ascending).
@@ -1124,8 +1712,7 @@ pub(crate) fn run_distinct(input: &Batch, ctx: &ExecContext) -> Result<Batch, Ex
 
     let mut rep: Vec<i64> = survivors.into_iter().flatten().collect();
     rep.sort_unstable(); // first-occurrence input order, as sequential
-    let n = rep.len();
-    Ok(exact::select_batch(input, &Tensor::from_vec(rep, &[n])))
+    Ok(rep)
 }
 
 // ----------------------------------------------------------------------
@@ -1172,6 +1759,11 @@ pub(crate) struct BarrierReport {
     /// Capability reason the op stayed sequential, mirroring the chain
     /// fallback reasons; `None` when staged or merely too small.
     pub fallback: Option<String>,
+    /// How the barrier received its input: `selection-fed (<density>)`
+    /// when a compiled chain handed it a live selection vector,
+    /// `gathered: <reason>` when the chain had to materialise first.
+    /// `None` when the input came from a non-chain child.
+    pub selection: Option<String>,
 }
 
 impl BarrierReport {
@@ -1181,28 +1773,43 @@ impl BarrierReport {
             partitions: 0,
             strategy: None,
             fallback,
+            selection: None,
         }
     }
 }
 
-/// The scheduling decision + counts for a barrier over its materialised
-/// inputs — computed with exactly the predicates the `run_*` entry
-/// points use, so the profile reports what actually happened.
+/// The scheduling decision + counts for a barrier over its inputs —
+/// computed with exactly the predicates the `run_*` entry points use,
+/// so the profile reports what actually happened.
 pub(crate) fn barrier_report(
     plan: &PhysicalPlan,
-    inputs: &[&Batch],
+    inputs: &[&BarrierInput],
+    ctx: &ExecContext,
+) -> BarrierReport {
+    let selection = inputs.iter().find_map(|i| i.note());
+    let report = barrier_counts(plan, inputs, ctx);
+    BarrierReport {
+        selection,
+        ..report
+    }
+}
+
+fn barrier_counts(
+    plan: &PhysicalPlan,
+    inputs: &[&BarrierInput],
     ctx: &ExecContext,
 ) -> BarrierReport {
     use crate::physical::PhysicalPlan as P;
     match plan {
         P::Join { .. } => {
             let (left, right) = (inputs[0], inputs[1]);
-            let (staged, reason) = join_decision(left, right, ctx);
+            let diff = left.has_diff() || right.has_diff();
+            let (staged, reason) = join_decision(left.rows_out(), right.rows_out(), diff, ctx);
             if !staged {
                 return BarrierReport::sequential(reason);
             }
-            let build = num_morsels(right.rows(), ctx.morsel_rows);
-            let probe = num_morsels(left.rows(), ctx.morsel_rows);
+            let build = num_morsels(right.rows_out(), ctx.morsel_rows);
+            let probe = num_morsels(left.rows_out(), ctx.morsel_rows);
             let partitions = ctx.partitions.max(1);
             BarrierReport {
                 morsels: build + probe,
@@ -1211,6 +1818,7 @@ pub(crate) fn barrier_report(
                     "partitioned ×{partitions} ({build} build + {probe} probe morsels)"
                 )),
                 fallback: None,
+                selection: None,
             }
         }
         P::Sort { keys, .. } | P::TopK { keys, .. } => {
@@ -1218,17 +1826,18 @@ pub(crate) fn barrier_report(
             // sequential kernel; report that, not a phantom staged run.
             if let P::TopK { n, .. } = plan {
                 let k = crate::expr::resolve_limit(n, ctx)
-                    .map(|k| k.min(inputs[0].rows()))
+                    .map(|k| k.min(inputs[0].rows_out()))
                     .unwrap_or(usize::MAX);
                 if k == 0 {
                     return BarrierReport::sequential(None);
                 }
             }
-            let (staged, reason) = sort_decision(inputs[0], keys, ctx);
+            let (staged, reason) =
+                sort_decision(inputs[0].rows_out(), inputs[0].has_diff(), keys, ctx);
             if !staged {
                 return BarrierReport::sequential(reason);
             }
-            let runs = num_morsels(inputs[0].rows(), ctx.morsel_rows);
+            let runs = num_morsels(inputs[0].rows_out(), ctx.morsel_rows);
             let what = if matches!(plan, P::Sort { .. }) {
                 "merge-sort"
             } else {
@@ -1239,20 +1848,24 @@ pub(crate) fn barrier_report(
                 partitions: 0,
                 strategy: Some(format!("{what} ×{runs} runs")),
                 fallback: None,
+                selection: None,
             }
         }
         P::Distinct { .. } => {
-            let (staged, reason) = distinct_decision(inputs[0], ctx);
+            let input = inputs[0];
+            let (staged, reason) =
+                distinct_decision(input.rows_out(), input.columns_len(), input.has_diff(), ctx);
             if !staged {
                 return BarrierReport::sequential(reason);
             }
-            let morsels = num_morsels(inputs[0].rows(), ctx.morsel_rows);
+            let morsels = num_morsels(input.rows_out(), ctx.morsel_rows);
             let partitions = ctx.partitions.max(1);
             BarrierReport {
                 morsels,
                 partitions,
                 strategy: Some(format!("partitioned ×{partitions} ({morsels} morsels)")),
                 fallback: None,
+                selection: None,
             }
         }
         _ => BarrierReport {
@@ -1260,6 +1873,7 @@ pub(crate) fn barrier_report(
             partitions: 0,
             strategy: None,
             fallback: None,
+            selection: None,
         },
     }
 }
@@ -1354,6 +1968,25 @@ pub(crate) fn run_aggregate(
             None => apply_ops(whole, ops, ctx)?,
         };
         return exact::aggregate_batch(&inp, keys, aggregates, ctx);
+    }
+
+    // Selection exit: when the chain compiled and is selection-capable,
+    // fold the aggregation straight over its `SelVec` — no survivor
+    // gather at all on the ungrouped fast path, one referenced-columns
+    // gather on the grouped path. Partials chunk by *input* morsel
+    // boundaries, so they are byte-identical to the gathered loop below
+    // and `None` (a run-time bail or unresolvable shape) falls through
+    // to it with nothing recorded.
+    if let Some(k) = kern.as_deref() {
+        if k.selection_capable().is_ok() {
+            if let Some(out) =
+                aggregate_selection(input, k, ops, keys, aggregates, skip, morsels, ctx)?
+            {
+                ctx.access.note_barrier_selection_fed();
+                return Ok(out);
+            }
+        }
+        ctx.access.note_barrier_gathered();
     }
 
     type PartialSlot = Option<Result<Option<PartialAgg>, ExecError>>;
@@ -1570,6 +2203,612 @@ fn partial_aggregate(
         accs,
         groups,
     }))
+}
+
+// ----------------------------------------------------------------------
+// Selection-fed aggregation
+// ----------------------------------------------------------------------
+
+/// Fold the aggregation directly over a chain's selection exit.
+/// Ungrouped aggregates over plain numeric columns accumulate through
+/// the mask (dense) or the survivor index list (sparse) with **zero**
+/// gathers; grouped or computed shapes gather only the referenced
+/// columns once and feed per-morsel mini-batches through the ordinary
+/// [`partial_aggregate`]. Both chunk partials by input morsel
+/// boundaries, so every float partial is byte-identical to the gathered
+/// loop's. `Ok(None)` = decline (run-time bail, unresolvable column
+/// ref): the caller's gathered loop reproduces the identical result or
+/// error, and all counter accounting is left to it.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_selection(
+    input: &Batch,
+    kern: &kernel::ChainInstance,
+    ops: &[MorselOp<'_>],
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    skip: Option<&[bool]>,
+    morsels: usize,
+    ctx: &ExecContext,
+) -> Result<Option<Batch>, ExecError> {
+    let rows = input.rows();
+    let morsel_rows = ctx.morsel_rows;
+    let skip = skip.filter(|s| s.len() == morsels);
+    let Some(mut out) = kern.run_selection(input, skip_init(skip, rows, morsel_rows)) else {
+        return Ok(None);
+    };
+    // Selective chains demote the mask to a survivor index list once so
+    // every fold below visits survivors instead of full morsel width.
+    // Identical numerics either way (the dense arms are branchless but
+    // bit-preserving), so this is purely a cost choice.
+    if matches!(out.sel, kernel::SelVec::Mask(..)) && out.sel.len() * HANDOFF_IDX_DIVISOR <= rows {
+        out.sel = kernel::SelVec::Idx(out.sel.into_idx());
+    }
+    let raw: MorselCols = out.cols;
+    // An unresolvable reference would decline on both paths below;
+    // catching it here keeps the decode loop referenced-columns-only.
+    let Some(used) = referenced_cols(keys, aggregates, &raw) else {
+        return Ok(None);
+    };
+    // Decode integer-compressed layouts exactly as the gathered loop's
+    // `to_partition_cols` does, so mini-batch bytes match its slices —
+    // but only where a key or aggregate actually reads the column;
+    // unreferenced columns are never touched by either path.
+    let cols: MorselCols = raw
+        .into_iter()
+        .zip(&used)
+        .map(|((n, c), &u)| {
+            let c = match c {
+                e @ (EncodedTensor::Rle(_)
+                | EncodedTensor::BitPacked(_)
+                | EncodedTensor::Delta(_))
+                    if u =>
+                {
+                    EncodedTensor::I64(e.decode_i64())
+                }
+                other => other,
+            };
+            (n, c)
+        })
+        .collect();
+    let _charge = memory::charge(
+        &ctx.memory,
+        "selection vector",
+        (out.sel.len() as u64 + 1) * 8,
+    )?;
+    let offs = survivor_offsets(&out.sel, rows, morsel_rows, morsels);
+
+    let partials = if let Some(fast) = fast_aggs(keys, aggregates, &cols) {
+        masked_partials(&fast, &out.sel, &offs, rows, morsel_rows, ctx)?
+    } else {
+        match minibatch_partials(&cols, &out.sel, &offs, keys, aggregates, rows, ctx)? {
+            Some(p) => p,
+            None => return Ok(None),
+        }
+    };
+    if let Some(s) = skip {
+        let pruned = s.iter().filter(|&&b| b).count();
+        ctx.access
+            .note_morsels(pruned as u64, (morsels - pruned) as u64);
+    }
+    merge_partials(partials, keys, aggregates, input, ops, ctx).map(Some)
+}
+
+/// One ungrouped aggregate the masked fast path can fold with no
+/// gather: the full-width argument data is decoded once up front.
+enum FastAgg {
+    /// COUNT(*) — and COUNT(col) of a non-boolean column, which the
+    /// sequential kernel also counts as group size.
+    CountStar,
+    /// COUNT(bool_col): trues among survivors.
+    CountMask(Vec<bool>),
+    /// SUM/AVG/MIN/MAX/VARIANCE/STDDEV over a plain numeric column. The
+    /// decoded argument is `Arc`-shared so several folds over the same
+    /// column (`SUM(v), AVG(v), MIN(v)…`) decode it once.
+    Fold {
+        func: AggFunc,
+        vals: std::sync::Arc<F32Tensor>,
+    },
+}
+
+/// Compile the aggregate list for the masked fast path: ungrouped, and
+/// every aggregate a plain column (or `*`) over a numeric/bool column.
+/// `None` = take the mini-batch path instead.
+fn fast_aggs(
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    cols: &[(String, EncodedTensor)],
+) -> Option<Vec<FastAgg>> {
+    if !keys.is_empty() {
+        return None;
+    }
+    let mut decoded: std::collections::HashMap<usize, std::sync::Arc<F32Tensor>> =
+        std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(aggregates.len());
+    for a in aggregates {
+        let fast = match (a.func, &a.arg) {
+            (AggFunc::Count, None) => FastAgg::CountStar,
+            (AggFunc::Count, Some(CompiledExpr::Column(r))) => {
+                match cols[resolve_idx(cols, r)?].1 {
+                    EncodedTensor::Bool(ref m) => FastAgg::CountMask(m.to_vec()),
+                    _ => FastAgg::CountStar,
+                }
+            }
+            (
+                AggFunc::Sum
+                | AggFunc::Avg
+                | AggFunc::Min
+                | AggFunc::Max
+                | AggFunc::Variance
+                | AggFunc::Stddev,
+                Some(CompiledExpr::Column(r)),
+            ) => {
+                let idx = resolve_idx(cols, r)?;
+                let col = &cols[idx].1;
+                if !matches!(col, EncodedTensor::F32(_) | EncodedTensor::I64(_)) {
+                    return None;
+                }
+                FastAgg::Fold {
+                    func: a.func,
+                    vals: decoded
+                        .entry(idx)
+                        .or_insert_with(|| std::sync::Arc::new(col.decode_f32()))
+                        .clone(),
+                }
+            }
+            _ => return None,
+        };
+        out.push(fast);
+    }
+    Some(out)
+}
+
+/// Resolve a column ref to its slot in a raw column list, mirroring
+/// batch resolution (slot position / case-insensitive first name).
+fn resolve_idx(cols: &[(String, EncodedTensor)], r: &crate::physical::ColumnRef) -> Option<usize> {
+    use crate::physical::ColumnRef;
+    match r {
+        ColumnRef::Slot { slot, .. } => (*slot < cols.len()).then_some(*slot),
+        ColumnRef::Name(name) => cols.iter().position(|(n, _)| n.eq_ignore_ascii_case(name)),
+    }
+}
+
+/// One morsel's survivor view: the dense row range with its mask, the
+/// sparse survivor id slice, or a survivor-space range over columns
+/// already compacted by [`compact_fast`].
+enum SurvView<'a> {
+    Dense {
+        mask: &'a [bool],
+        start: usize,
+        end: usize,
+    },
+    Sparse(&'a [u32]),
+    Compact {
+        start: usize,
+        end: usize,
+    },
+}
+
+impl SurvView<'_> {
+    /// f32 running sum over survivors, in row order from `+0.0` — the
+    /// dense arm adds a masked `0.0` for dropped rows (branchless
+    /// select), which is bit-preserving: the running sum of a
+    /// round-to-nearest f32 accumulation is never `-0.0`.
+    fn sum_f32(&self, vals: &[f32]) -> f32 {
+        let mut s = 0.0f32;
+        match self {
+            SurvView::Dense { mask, start, end } => {
+                for r in *start..*end {
+                    s += if mask[r] { vals[r] } else { 0.0 };
+                }
+            }
+            SurvView::Sparse(ids) => {
+                for &r in *ids {
+                    s += vals[r as usize];
+                }
+            }
+            SurvView::Compact { start, end } => {
+                for &v in &vals[*start..*end] {
+                    s += v;
+                }
+            }
+        }
+        s
+    }
+
+    /// Survivor count accumulated in f32, replicating the gathered
+    /// path's ones-segment-sum numerics exactly.
+    fn count_f32(&self) -> f32 {
+        let mut c = 0.0f32;
+        match self {
+            SurvView::Dense { mask, start, end } => {
+                for r in *start..*end {
+                    c += if mask[r] { 1.0 } else { 0.0 };
+                }
+            }
+            SurvView::Sparse(ids) => {
+                for _ in *ids {
+                    c += 1.0;
+                }
+            }
+            SurvView::Compact { start, end } => {
+                for _ in *start..*end {
+                    c += 1.0;
+                }
+            }
+        }
+        c
+    }
+
+    /// Trues among survivors, in f32 like the gathered bool-mask
+    /// segment sum.
+    fn count_trues(&self, arg: &[bool]) -> f32 {
+        let mut c = 0.0f32;
+        match self {
+            SurvView::Dense { mask, start, end } => {
+                for r in *start..*end {
+                    c += if mask[r] && arg[r] { 1.0 } else { 0.0 };
+                }
+            }
+            SurvView::Sparse(ids) => {
+                for &r in *ids {
+                    c += if arg[r as usize] { 1.0 } else { 0.0 };
+                }
+            }
+            SurvView::Compact { start, end } => {
+                for &a in &arg[*start..*end] {
+                    c += if a { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        c
+    }
+
+    /// MIN/MAX with the sequential kernel's exact comparison (strict
+    /// `<` / `>` against the running slot, NaN-insensitive).
+    fn min_max(&self, vals: &[f32], is_min: bool) -> f32 {
+        let mut slot = if is_min {
+            f32::INFINITY
+        } else {
+            f32::NEG_INFINITY
+        };
+        let mut step = |v: f32| {
+            if (is_min && v < slot) || (!is_min && v > slot) {
+                slot = v;
+            }
+        };
+        match self {
+            SurvView::Dense { mask, start, end } => {
+                for r in *start..*end {
+                    if mask[r] {
+                        step(vals[r]);
+                    }
+                }
+            }
+            SurvView::Sparse(ids) => {
+                for &r in *ids {
+                    step(vals[r as usize]);
+                }
+            }
+            SurvView::Compact { start, end } => {
+                for &v in &vals[*start..*end] {
+                    step(v);
+                }
+            }
+        }
+        slot
+    }
+
+    /// f64 power sums for VARIANCE/STDDEV, both accumulators advanced
+    /// per row as in the gathered loop.
+    fn moments(&self, vals: &[f32]) -> (f64, f64) {
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        let mut step = |v: f64| {
+            sum += v;
+            sumsq += v * v;
+        };
+        match self {
+            SurvView::Dense { mask, start, end } => {
+                for r in *start..*end {
+                    let v = if mask[r] { vals[r] as f64 } else { 0.0 };
+                    sum += v;
+                    sumsq += v * v;
+                }
+            }
+            SurvView::Sparse(ids) => {
+                for &r in *ids {
+                    step(vals[r as usize] as f64);
+                }
+            }
+            SurvView::Compact { start, end } => {
+                for &v in &vals[*start..*end] {
+                    step(v as f64);
+                }
+            }
+        }
+        (sum, sumsq)
+    }
+}
+
+/// Compact a dense selection's fold columns (and boolean COUNT args) to
+/// survivor width — one masked pass per distinct column, shared by
+/// every fold over it through the same `Arc` slot. `None` = keep the
+/// masked walk: the selection is already an index list, or no column is
+/// folded more than once (one masked walk costs less than compacting).
+fn compact_fast(
+    fast: &[FastAgg],
+    sel: &kernel::SelVec,
+    ctx: &ExecContext,
+) -> Result<Option<(Vec<FastAgg>, memory::ChargeGuard)>, ExecError> {
+    use std::sync::Arc;
+    let kernel::SelVec::Mask(mask, _) = sel else {
+        return Ok(None);
+    };
+    let mut uses: std::collections::HashMap<*const F32Tensor, usize> =
+        std::collections::HashMap::new();
+    for f in fast {
+        if let FastAgg::Fold { vals, .. } = f {
+            *uses.entry(Arc::as_ptr(vals)).or_default() += 1;
+        }
+    }
+    if !uses.values().any(|&c| c >= 2) {
+        return Ok(None);
+    }
+    let n = sel.len();
+    let charge = memory::charge(
+        &ctx.memory,
+        "aggregate fold compaction",
+        (n * 4 * uses.len().max(1)) as u64,
+    )?;
+    let mut cache: std::collections::HashMap<*const F32Tensor, Arc<F32Tensor>> =
+        std::collections::HashMap::new();
+    let out = fast
+        .iter()
+        .map(|f| match f {
+            FastAgg::CountStar => FastAgg::CountStar,
+            FastAgg::CountMask(arg) => FastAgg::CountMask(
+                arg.iter()
+                    .zip(mask)
+                    .filter_map(|(&a, &keep)| keep.then_some(a))
+                    .collect(),
+            ),
+            FastAgg::Fold { func, vals } => FastAgg::Fold {
+                func: *func,
+                vals: cache
+                    .entry(Arc::as_ptr(vals))
+                    .or_insert_with(|| {
+                        let d = vals.data();
+                        let mut c = Vec::with_capacity(n);
+                        for (r, &keep) in mask.iter().enumerate() {
+                            if keep {
+                                c.push(d[r]);
+                            }
+                        }
+                        Arc::new(Tensor::from_vec(c, &[n]))
+                    })
+                    .clone(),
+            },
+        })
+        .collect();
+    Ok(Some((out, charge)))
+}
+
+/// The masked/indexed fast path: one ungrouped partial per input
+/// morsel, accumulated straight off the selection — no gather, no
+/// evaluation context, plain worker threads. A dense selection whose
+/// columns are folded more than once compacts them first via
+/// [`compact_fast`]: re-walking full morsel width per aggregate costs
+/// more than one shared compaction pass. Survivor values, visit order
+/// and accumulation ops are identical in all three views, so partials
+/// stay byte-identical to the gathered loop's.
+fn masked_partials(
+    fast: &[FastAgg],
+    sel: &kernel::SelVec,
+    offs: &[usize],
+    rows: usize,
+    morsel_rows: usize,
+    ctx: &ExecContext,
+) -> Result<Vec<PartialAgg>, ExecError> {
+    let compacted = compact_fast(fast, sel, ctx)?;
+    let fast = compacted.as_ref().map_or(fast, |(f, _)| f.as_slice());
+    let morsels = offs.len() - 1;
+    Ok(
+        claim_indexed(morsels, ctx.threads.min(morsels).max(1), |i| {
+            if offs[i + 1] == offs[i] {
+                return None; // empty morsel after filtering: no partial
+            }
+            let start = i * morsel_rows;
+            let end = (start + morsel_rows).min(rows);
+            let view = if compacted.is_some() {
+                SurvView::Compact {
+                    start: offs[i],
+                    end: offs[i + 1],
+                }
+            } else {
+                match sel {
+                    kernel::SelVec::Mask(m, _) => SurvView::Dense {
+                        mask: m,
+                        start,
+                        end,
+                    },
+                    kernel::SelVec::Idx(s) => SurvView::Sparse(&s[offs[i]..offs[i + 1]]),
+                }
+            };
+            let count = view.count_f32() as i64;
+            let accs = fast
+                .iter()
+                .map(|f| match f {
+                    FastAgg::CountStar => AccColumn::Count(vec![count]),
+                    FastAgg::CountMask(arg) => AccColumn::Count(vec![view.count_trues(arg) as i64]),
+                    FastAgg::Fold { func, vals } => {
+                        let vals = vals.data();
+                        match func {
+                            AggFunc::Sum => AccColumn::Sum(vec![view.sum_f32(vals)]),
+                            AggFunc::Avg => AccColumn::Avg(vec![view.sum_f32(vals)]),
+                            AggFunc::Min => AccColumn::Min(vec![view.min_max(vals, true)]),
+                            AggFunc::Max => AccColumn::Max(vec![view.min_max(vals, false)]),
+                            AggFunc::Variance | AggFunc::Stddev => {
+                                let (sum, sumsq) = view.moments(vals);
+                                AccColumn::Moments {
+                                    sum: vec![sum],
+                                    sumsq: vec![sumsq],
+                                }
+                            }
+                            _ => unreachable!("fast_aggs admits folds only"),
+                        }
+                    }
+                })
+                .collect();
+            Some(PartialAgg {
+                key_reps: Vec::new(),
+                merge_keys: Vec::new(),
+                counts: vec![count],
+                accs,
+                groups: 1,
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
+    )
+}
+
+/// The grouped/computed path: gather the referenced columns once
+/// (survivor width), then feed each morsel's survivor slice — padded
+/// with zero-width placeholders at unreferenced slots so slot indexing
+/// is undisturbed — through the ordinary [`partial_aggregate`].
+/// `Ok(None)` = an expression references a column this batch cannot
+/// resolve; the gathered loop reproduces the identical error.
+#[allow(clippy::too_many_arguments)]
+fn minibatch_partials(
+    cols: &MorselCols,
+    sel: &kernel::SelVec,
+    offs: &[usize],
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    rows: usize,
+    ctx: &ExecContext,
+) -> Result<Option<Vec<PartialAgg>>, ExecError> {
+    let Some(used) = referenced_cols(keys, aggregates, cols) else {
+        return Ok(None);
+    };
+    let n = sel.len();
+    let mask = sel.gather_mask(rows);
+    let gathered: Vec<Option<EncodedTensor>> = cols
+        .iter()
+        .zip(&used)
+        .map(|((_, c), &u)| u.then(|| c.filter_rows(&mask)))
+        .collect();
+    let refs = used.iter().filter(|&&u| u).count().max(1);
+    let _charge = memory::charge(&ctx.memory, "aggregate gather", (n * 8 * refs) as u64)?;
+
+    let morsels = offs.len() - 1;
+    type PartialSlot = Option<Result<Option<PartialAgg>, ExecError>>;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<PartialSlot>> = Mutex::new((0..morsels).map(|_| None).collect());
+    let work = |wctx: &ExecContext| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= morsels {
+            break;
+        }
+        let (a, b) = (offs[i], offs[i + 1]);
+        let mut mini = Batch::new();
+        for ((name, _), g) in cols.iter().zip(&gathered) {
+            let col = match g {
+                Some(g) => g.slice_rows(a, b),
+                // Placeholder: keeps slot positions and arity, never read.
+                None => EncodedTensor::F32(Tensor::from_vec(vec![0.0; b - a], &[b - a])),
+            };
+            mini.push(name.clone(), ColumnData::Exact(col));
+        }
+        let out = partial_aggregate(&mini, keys, aggregates, wctx);
+        slots.lock().expect("agg state poisoned")[i] = Some(out);
+    };
+    let workers = ctx.threads.min(morsels).max(1);
+    run_workers(workers, &WorkerCfg::of(ctx), &work);
+
+    let mut partials = Vec::with_capacity(morsels);
+    for slot in slots.into_inner().expect("agg state poisoned") {
+        match slot.expect("aggregate morsels are never skipped") {
+            // First error in morsel order wins — deterministic reporting.
+            Err(e) => return Err(e),
+            Ok(Some(p)) => partials.push(p),
+            Ok(None) => {}
+        }
+    }
+    Ok(Some(partials))
+}
+
+/// Which column slots the key and aggregate expressions touch. `None`
+/// when any reference fails to resolve (or a scalar subquery slips
+/// through) — the mini-batch would silently feed it placeholder zeros.
+fn referenced_cols(
+    keys: &[PhysKey],
+    aggregates: &[PhysAggregate],
+    cols: &[(String, EncodedTensor)],
+) -> Option<Vec<bool>> {
+    let mut used = vec![false; cols.len()];
+    for k in keys {
+        mark_refs(&k.expr, cols, &mut used)?;
+    }
+    for a in aggregates {
+        if let Some(e) = &a.arg {
+            mark_refs(e, cols, &mut used)?;
+        }
+    }
+    Some(used)
+}
+
+fn mark_refs(e: &CompiledExpr, cols: &[(String, EncodedTensor)], used: &mut [bool]) -> Option<()> {
+    match e {
+        CompiledExpr::Column(r) => {
+            used[resolve_idx(cols, r)?] = true;
+            Some(())
+        }
+        CompiledExpr::Num(_)
+        | CompiledExpr::Str(_)
+        | CompiledExpr::Bool(_)
+        | CompiledExpr::Param { .. } => Some(()),
+        CompiledExpr::Binary { left, right, .. } => {
+            mark_refs(left, cols, used)?;
+            mark_refs(right, cols, used)
+        }
+        CompiledExpr::Unary { expr, .. } => mark_refs(expr, cols, used),
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand.as_deref() {
+                mark_refs(o, cols, used)?;
+            }
+            for (w, t) in branches {
+                mark_refs(w, cols, used)?;
+                mark_refs(t, cols, used)?;
+            }
+            if let Some(e) = else_expr.as_deref() {
+                mark_refs(e, cols, used)?;
+            }
+            Some(())
+        }
+        CompiledExpr::InList { expr, list, .. } => {
+            mark_refs(expr, cols, used)?;
+            for i in list {
+                mark_refs(i, cols, used)?;
+            }
+            Some(())
+        }
+        CompiledExpr::Like { expr, .. } => mark_refs(expr, cols, used),
+        CompiledExpr::Udf { args, .. } | CompiledExpr::Builtin { args, .. } => {
+            for a in args {
+                mark_refs(a, cols, used)?;
+            }
+            Some(())
+        }
+        // Conservative: nested plans see their own batches, but the
+        // parallel-safety analysis already pins these to the session
+        // thread, so the fast paths never meet one.
+        CompiledExpr::ScalarSubquery(_) => None,
+    }
 }
 
 /// Merged accumulator of one output group.

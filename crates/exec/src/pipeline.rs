@@ -317,11 +317,42 @@ fn explain_node(node: &PipeNode<'_>, ctx: Option<&ExecContext>, out: &mut String
                 .and_then(|c| morsel::barrier_note(plan, c))
                 .map(|n| format!(" [{n}]"))
                 .unwrap_or_default();
-            out.push_str(&format!("barrier {first}{note}\n"));
+            let sel = ctx
+                .and_then(|c| barrier_sel_note(plan, inputs, c))
+                .unwrap_or_default();
+            out.push_str(&format!("barrier {first}{note}{sel}\n"));
             for input in inputs {
                 explain_node(input, ctx, out, depth + 1);
             }
         }
+    }
+}
+
+/// ` [barrier: …]` annotation for a staged barrier: whether its fused
+/// chain child will hand over a live selection vector or gather first
+/// (with the capability reason). Sizing is a run-time property — a
+/// chain that turns out to fit one morsel still gathers, which profiles
+/// report as `gathered: single-morsel` — so this note reflects the
+/// session's capability verdict only. `None` when no child is a chain.
+fn barrier_sel_note(
+    plan: &PhysicalPlan,
+    inputs: &[PipeNode<'_>],
+    ctx: &ExecContext,
+) -> Option<String> {
+    use crate::physical::PhysicalPlan as P;
+    if !matches!(
+        plan,
+        P::Join { .. } | P::Sort { .. } | P::TopK { .. } | P::Distinct { .. }
+    ) {
+        return None;
+    }
+    let pipe = inputs.iter().find_map(|i| match i {
+        PipeNode::Stream(p) => Some(p),
+        _ => None,
+    })?;
+    match crate::kernel::selection_verdict(&pipe.ops, ctx) {
+        Ok(()) => Some(" [barrier: selection-fed]".to_string()),
+        Err(reason) => Some(format!(" [barrier: gathered: {reason}]")),
     }
 }
 
@@ -391,9 +422,25 @@ pub(crate) fn scan_skip_mask(
     Some(pruner.skip_mask(&zm, rows, ctx.morsel_rows, &ctx.params))
 }
 
-/// Execute a barrier operator over its materialised children. The match
-/// mirrors the operator arms of the historical operator-at-a-time
-/// executor; streamable operators never reach here.
+/// Materialise (or selection-feed) one barrier child. A Stream child —
+/// a fused filter→project chain — is given the chance to hand its
+/// `(Batch, SelVec)` pair straight to the barrier; every other child
+/// executes normally and arrives as a dense batch.
+fn barrier_input(
+    node: &PipeNode<'_>,
+    ctx: &ExecContext,
+) -> Result<morsel::BarrierInput, ExecError> {
+    if let PipeNode::Stream(pipe) = node {
+        let input = exec_node(&pipe.input, ctx)?;
+        let skip = scan_skip_mask(&pipe.input, input.rows(), ctx);
+        return morsel::chain_barrier_input(&input, &pipe.ops, skip.as_deref(), ctx);
+    }
+    Ok(morsel::BarrierInput::Gathered(exec_node(node, ctx)?, None))
+}
+
+/// Execute a barrier operator over its children. The match mirrors the
+/// operator arms of the historical operator-at-a-time executor;
+/// streamable operators never reach here.
 fn exec_barrier(
     plan: &PhysicalPlan,
     inputs: &[PipeNode<'_>],
@@ -421,26 +468,22 @@ fn exec_barrier(
             Ok(out)
         }
         PhysicalPlan::Join { kind, on, .. } => {
-            let l = exec_node(&inputs[0], ctx)?;
-            let r = exec_node(&inputs[1], ctx)?;
-            morsel::run_join(&l, &r, *kind, on, ctx)
+            let l = barrier_input(&inputs[0], ctx)?;
+            let r = barrier_input(&inputs[1], ctx)?;
+            morsel::run_join(l, r, *kind, on, ctx)
         }
         PhysicalPlan::Sort { keys, .. } => {
-            let inp = exec_node(&inputs[0], ctx)?;
-            morsel::run_sort(&inp, keys, ctx)
+            morsel::run_sort(barrier_input(&inputs[0], ctx)?, keys, ctx)
         }
         PhysicalPlan::TopK { keys, n, .. } => {
-            let inp = exec_node(&inputs[0], ctx)?;
-            morsel::run_topk(&inp, keys, resolve_limit(n, ctx)?, ctx)
+            let k = resolve_limit(n, ctx)?;
+            morsel::run_topk(barrier_input(&inputs[0], ctx)?, keys, k, ctx)
         }
         PhysicalPlan::Window { windows, .. } => {
             let inp = exec_node(&inputs[0], ctx)?;
             exact::window_batch(&inp, windows, ctx)
         }
-        PhysicalPlan::Distinct { .. } => {
-            let inp = exec_node(&inputs[0], ctx)?;
-            morsel::run_distinct(&inp, ctx)
-        }
+        PhysicalPlan::Distinct { .. } => morsel::run_distinct(barrier_input(&inputs[0], ctx)?, ctx),
         PhysicalPlan::UnionAll { .. } => {
             let l = exec_node(&inputs[0], ctx)?;
             let r = exec_node(&inputs[1], ctx)?;

@@ -49,6 +49,12 @@ pub struct OpTrace {
     /// 31 probe morsels)`, `merge-sort ×8 runs`); `None` for streamable
     /// operators and barriers that ran sequentially.
     pub strategy: Option<String>,
+    /// Late-materialization note. On a fused chain feeding a barrier:
+    /// its selection density (`selection: 3% dense→sparse`). On the
+    /// barrier itself: how its input arrived (`barrier: selection-fed
+    /// (3% dense→sparse)` or `barrier: gathered: <reason>`). `None`
+    /// when no compiled chain was in play.
+    pub selection: Option<String>,
     /// Bytes this operator charged against the query's memory ledger
     /// (materialised columns, exchange buckets, build tables, sort runs,
     /// DISTINCT sets); 0 for operators that charge nothing.
@@ -78,6 +84,15 @@ pub struct QueryProfile {
     /// ANN queries that found their IVF index stale and fell back to
     /// the flat exact path during this run.
     pub ivf_stale_fallbacks: u64,
+    /// Stale IVF indexes rebuilt in-query by the auto-rebuild policy
+    /// (`TDP_IVF_REBUILD_AFTER`) during this run.
+    pub ivf_rebuilds: u64,
+    /// Barrier inputs handed over as live selection vectors (late
+    /// materialization) during this run.
+    pub barriers_selection_fed: u64,
+    /// Barrier inputs a compiled chain had to gather densely before the
+    /// barrier could consume them during this run.
+    pub barriers_gathered: u64,
     /// Peak bytes the query's memory ledger reached during this run.
     pub peak_memory_bytes: u64,
 }
@@ -126,6 +141,15 @@ impl QueryProfile {
                 self.ivf_stale_fallbacks
             ));
         }
+        if self.ivf_rebuilds > 0 {
+            access.push_str(" [ivf rebuilt]");
+        }
+        if self.barriers_selection_fed + self.barriers_gathered > 0 {
+            access.push_str(&format!(
+                " [barriers: {} selection-fed / {} gathered]",
+                self.barriers_selection_fed, self.barriers_gathered
+            ));
+        }
         if self.peak_memory_bytes > 0 {
             access.push_str(&format!(" [mem peak: {} B]", self.peak_memory_bytes));
         }
@@ -142,6 +166,9 @@ impl QueryProfile {
                 (None, Some(strategy)) => format!("  [{strategy}]"),
                 (None, None) => String::new(),
             };
+            if let Some(sel) = &op.selection {
+                note.push_str(&format!("  [{sel}]"));
+            }
             if op.charged_bytes > 0 {
                 note.push_str(&format!("  [charged: {} B]", op.charged_bytes));
             }
@@ -172,6 +199,9 @@ pub fn execute_profiled(
     profile.morsels_scanned = after.morsels_scanned - before.morsels_scanned;
     profile.ann_queries = after.ann_queries - before.ann_queries;
     profile.ivf_stale_fallbacks = after.ivf_stale_fallbacks - before.ivf_stale_fallbacks;
+    profile.ivf_rebuilds = after.ivf_rebuilds - before.ivf_rebuilds;
+    profile.barriers_selection_fed = after.barriers_selection_fed - before.barriers_selection_fed;
+    profile.barriers_gathered = after.barriers_gathered - before.barriers_gathered;
     profile.peak_memory_bytes = ctx.memory.peak();
     Ok((batch, profile))
 }
@@ -197,10 +227,11 @@ fn plan_skip_mask(input: &PhysicalPlan, rows: usize, ctx: &ExecContext) -> Optio
 }
 
 /// Record a staged barrier's scheduling decision (strategy or fallback
-/// reason, plus morsel/partition counts) on its reserved trace slot.
+/// reason, selection note, plus morsel/partition counts) on its
+/// reserved trace slot.
 fn record_barrier(
     plan: &PhysicalPlan,
-    inputs: &[&Batch],
+    inputs: &[&morsel::BarrierInput],
     ctx: &ExecContext,
     slot: usize,
     profile: &mut QueryProfile,
@@ -210,6 +241,7 @@ fn record_barrier(
     profile.partitions += report.partitions;
     profile.ops[slot].strategy = report.strategy;
     profile.ops[slot].fallback = report.fallback;
+    profile.ops[slot].selection = report.selection.map(|n| format!("barrier: {n}"));
 }
 
 /// Chain-kernel verdict for a streamable operator's trace:
@@ -242,6 +274,109 @@ fn node_label(plan: &PhysicalPlan) -> String {
         .to_owned()
 }
 
+/// Wall-clock and ledger bytes attributed to a node's children, so the
+/// parent's self-time and self-charges can be derived.
+#[derive(Default)]
+struct ChildTotals {
+    seconds: f64,
+    charged: u64,
+}
+
+/// Run one child node, accumulating its time and charges into `totals`.
+fn run_child(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    depth: usize,
+    profile: &mut QueryProfile,
+    totals: &mut ChildTotals,
+) -> Result<Batch, ExecError> {
+    let t0 = Instant::now();
+    let c0 = ctx.memory.charged_total();
+    let out = run_node(plan, ctx, depth, profile)?;
+    totals.seconds += t0.elapsed().as_secs_f64();
+    totals.charged += ctx.memory.charged_total() - c0;
+    Ok(out)
+}
+
+/// Run one barrier child. A leading Filter/Project chain is fused and
+/// offered the selection exit — exactly what the plain scheduler does —
+/// with one trace slot per fused node. Fused execution has no
+/// intermediate cardinalities, so every chain slot reports the chain's
+/// combined output count; the top slot carries the chain's time,
+/// charges, kernel strategy and selection density.
+fn barrier_child(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    depth: usize,
+    profile: &mut QueryProfile,
+    totals: &mut ChildTotals,
+) -> Result<morsel::BarrierInput, ExecError> {
+    let mut chain: Vec<&PhysicalPlan> = Vec::new();
+    let mut source = plan;
+    while let PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } = source {
+        chain.push(source);
+        source = input;
+    }
+    if chain.is_empty() {
+        let batch = run_child(plan, ctx, depth, profile, totals)?;
+        return Ok(morsel::BarrierInput::Gathered(batch, None));
+    }
+
+    // Reserve the chain's slots top-down so the profile stays pre-order.
+    let first_slot = profile.ops.len();
+    for (i, node) in chain.iter().enumerate() {
+        profile.ops.push(OpTrace {
+            label: node_label(node),
+            depth: depth + i,
+            rows_out: 0,
+            total_seconds: 0.0,
+            self_seconds: 0.0,
+            fallback: None,
+            strategy: None,
+            selection: None,
+            charged_bytes: 0,
+        });
+    }
+    let ops: Vec<MorselOp<'_>> = chain
+        .iter()
+        .rev()
+        .map(|n| match n {
+            PhysicalPlan::Filter { predicate, .. } => MorselOp::Filter(predicate),
+            PhysicalPlan::Project { items, .. } => MorselOp::Project(items),
+            _ => unreachable!("chain peel admits filters and projects only"),
+        })
+        .collect();
+
+    let mut src = ChildTotals::default();
+    let input = run_child(source, ctx, depth + chain.len(), profile, &mut src)?;
+    let skip = plan_skip_mask(source, input.rows(), ctx);
+
+    let t0 = Instant::now();
+    let c0 = ctx.memory.charged_total();
+    let (planned, seq_reason) = morsel::planned_and_reason(&input, &ops, None, ctx);
+    profile.morsels += planned;
+    let out = morsel::chain_barrier_input(&input, &ops, skip.as_deref(), ctx)?;
+    let chain_seconds = t0.elapsed().as_secs_f64();
+    let chain_charged = ctx.memory.charged_total() - c0;
+
+    let strategy = chain_strategy_note(&ops, &seq_reason, ctx);
+    for (i, slot) in (first_slot..first_slot + chain.len()).enumerate() {
+        let op = &mut profile.ops[slot];
+        op.rows_out = out.rows_out();
+        op.total_seconds = src.seconds + if i == 0 { chain_seconds } else { 0.0 };
+        if i == 0 {
+            op.self_seconds = chain_seconds;
+            op.charged_bytes = chain_charged;
+            op.fallback = seq_reason.clone();
+            op.strategy = strategy.clone();
+            op.selection = out.density().map(|d| format!("selection: {d}"));
+        }
+    }
+    totals.seconds += src.seconds + chain_seconds;
+    totals.charged += src.charged + chain_charged;
+    Ok(out)
+}
+
 fn run_node(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
@@ -258,22 +393,13 @@ fn run_node(
         self_seconds: 0.0,
         fallback: None,
         strategy: None,
+        selection: None,
         charged_bytes: 0,
     });
 
     let start = Instant::now();
     let start_charged = ctx.memory.charged_total();
-    let mut child_seconds = 0.0f64;
-    let mut child_charged = 0u64;
-    let mut run_child =
-        |p: &PhysicalPlan, profile: &mut QueryProfile| -> Result<Batch, ExecError> {
-            let t0 = Instant::now();
-            let c0 = ctx.memory.charged_total();
-            let out = run_node(p, ctx, depth + 1, profile)?;
-            child_seconds += t0.elapsed().as_secs_f64();
-            child_charged += ctx.memory.charged_total() - c0;
-            Ok(out)
-        };
+    let mut totals = ChildTotals::default();
 
     let batch = match plan {
         PhysicalPlan::Scan { table, schema, .. } => {
@@ -293,7 +419,7 @@ fn run_node(
             schema,
             input,
         } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let out = tvf.invoke_table(&inp, ctx)?;
             crate::udf::check_tvf_output(name, schema.as_deref(), &out)?;
@@ -305,7 +431,7 @@ fn run_node(
             schema,
             input,
         } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             let tvf = ctx.udfs.table_fn(name)?.clone();
             let mut arg_values = Vec::with_capacity(args.len());
             for a in args {
@@ -316,7 +442,7 @@ fn run_node(
             out
         }
         PhysicalPlan::Filter { predicate, input } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             let skip = plan_skip_mask(input, inp.rows(), ctx);
             let ops = [MorselOp::Filter(predicate)];
             let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
@@ -326,7 +452,7 @@ fn run_node(
             morsel::run_ops(&inp, &ops, None, skip.as_deref(), ctx)?
         }
         PhysicalPlan::Project { items, input } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             let ops = [MorselOp::Project(items)];
             let (planned, reason) = morsel::planned_and_reason(&inp, &ops, None, ctx);
             profile.morsels += planned;
@@ -339,7 +465,7 @@ fn run_node(
             aggregates,
             input,
         } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             let (planned, reason) =
                 morsel::planned_and_reason(&inp, &[], Some((keys, aggregates)), ctx);
             profile.morsels += planned;
@@ -352,37 +478,37 @@ fn run_node(
             kind,
             on,
         } => {
-            let l = run_child(left, profile)?;
-            let r = run_child(right, profile)?;
+            let l = barrier_child(left, ctx, depth + 1, profile, &mut totals)?;
+            let r = barrier_child(right, ctx, depth + 1, profile, &mut totals)?;
             record_barrier(plan, &[&l, &r], ctx, slot, profile);
-            morsel::run_join(&l, &r, *kind, on, ctx)?
+            morsel::run_join(l, r, *kind, on, ctx)?
         }
         PhysicalPlan::Sort { keys, input } => {
-            let inp = run_child(input, profile)?;
+            let inp = barrier_child(input, ctx, depth + 1, profile, &mut totals)?;
             record_barrier(plan, &[&inp], ctx, slot, profile);
-            morsel::run_sort(&inp, keys, ctx)?
+            morsel::run_sort(inp, keys, ctx)?
         }
         PhysicalPlan::Limit { n, input } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             inp.head(resolve_limit(n, ctx)?)
         }
         PhysicalPlan::TopK { keys, n, input } => {
-            let inp = run_child(input, profile)?;
+            let inp = barrier_child(input, ctx, depth + 1, profile, &mut totals)?;
             record_barrier(plan, &[&inp], ctx, slot, profile);
-            morsel::run_topk(&inp, keys, resolve_limit(n, ctx)?, ctx)?
+            morsel::run_topk(inp, keys, resolve_limit(n, ctx)?, ctx)?
         }
         PhysicalPlan::Window { windows, input } => {
-            let inp = run_child(input, profile)?;
+            let inp = run_child(input, ctx, depth + 1, profile, &mut totals)?;
             exact::window_batch(&inp, windows, ctx)?
         }
         PhysicalPlan::Distinct { input } => {
-            let inp = run_child(input, profile)?;
+            let inp = barrier_child(input, ctx, depth + 1, profile, &mut totals)?;
             record_barrier(plan, &[&inp], ctx, slot, profile);
-            morsel::run_distinct(&inp, ctx)?
+            morsel::run_distinct(inp, ctx)?
         }
         PhysicalPlan::UnionAll { left, right } => {
-            let l = run_child(left, profile)?;
-            let r = run_child(right, profile)?;
+            let l = run_child(left, ctx, depth + 1, profile, &mut totals)?;
+            let r = run_child(right, ctx, depth + 1, profile, &mut totals)?;
             exact::union_all_batches(&l, &r)?
         }
     };
@@ -391,8 +517,8 @@ fn run_node(
     let op = &mut profile.ops[slot];
     op.rows_out = batch.rows();
     op.total_seconds = total;
-    op.self_seconds = (total - child_seconds).max(0.0);
-    op.charged_bytes = (ctx.memory.charged_total() - start_charged).saturating_sub(child_charged);
+    op.self_seconds = (total - totals.seconds).max(0.0);
+    op.charged_bytes = (ctx.memory.charged_total() - start_charged).saturating_sub(totals.charged);
     Ok(batch)
 }
 

@@ -673,6 +673,12 @@ pub struct ExecContext<'a> {
     /// Access-path observability counters (morsels pruned/scanned, ANN
     /// queries), charged by the scheduler and the `AnnTopK` operator.
     pub access: std::sync::Arc<crate::access::AccessPathCounters>,
+    /// Auto-rebuild threshold for stale IVF indexes
+    /// (`TDP_IVF_REBUILD_AFTER`): once a `table.column` index has
+    /// degraded to the exact fallback this many times, the next ANN
+    /// query retrains it in place (same name, nlist and nprobe) before
+    /// searching. `0` (the default) disables rebuilds.
+    pub ivf_rebuild_after: u64,
     /// This query's memory ledger ([`tdp_mem::MemoryReservation`]): the
     /// scheduler and the barrier operators charge their materializations
     /// here and abort with [`ExecError::MemoryBudget`] when a charge is
@@ -696,6 +702,7 @@ impl<'a> ExecContext<'a> {
             chain_kernels: None,
             zone_maps: true,
             access: std::sync::Arc::new(crate::access::AccessPathCounters::default()),
+            ivf_rebuild_after: 0,
             memory: std::sync::Arc::new(tdp_mem::MemoryReservation::detached()),
         }
     }

@@ -607,6 +607,9 @@ fn render_stats(engine: &TdpEngine) -> String {
          morsels_scanned {}\n\
          ann_queries {}\n\
          ivf_stale_fallbacks {}\n\
+         ivf_rebuilds {}\n\
+         barriers_selection_fed {}\n\
+         barriers_gathered {}\n\
          mem_used_bytes {}\n\
          mem_high_water_bytes {}\n\
          mem_budget_bytes {}\n\
@@ -625,6 +628,9 @@ fn render_stats(engine: &TdpEngine) -> String {
         access.morsels_scanned,
         access.ann_queries,
         access.ivf_stale_fallbacks,
+        access.ivf_rebuilds,
+        access.barriers_selection_fed,
+        access.barriers_gathered,
         stats.mem_used_bytes,
         stats.mem_high_water_bytes,
         stats

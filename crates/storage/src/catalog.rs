@@ -34,6 +34,11 @@ pub struct Catalog {
     /// Vector indexes keyed by `table.column` (lowercased). Entries are
     /// removed whenever their table is re-registered or dropped.
     vector_indexes: RwLock<HashMap<String, Arc<VectorIndexEntry>>>,
+    /// Stale-index ANN fallbacks per `table.column` key since that
+    /// index was last (re)built — the trigger counter for opt-in
+    /// auto-rebuild (`TDP_IVF_REBUILD_AFTER`). Reset whenever an index
+    /// is registered under the key.
+    stale_ann: RwLock<HashMap<String, u64>>,
     /// Monotonic change counter, bumped on every register/drop (of
     /// tables and of vector indexes). Plan caches use it as a cheap
     /// "anything changed?" check before falling back to per-table
@@ -139,10 +144,28 @@ impl Catalog {
         // An index name is unique: re-using one replaces the old index
         // even if it covered a different column.
         guard.retain(|_, e| !e.name.eq_ignore_ascii_case(&arc.name));
-        guard.insert(key, Arc::clone(&arc));
+        guard.insert(key.clone(), Arc::clone(&arc));
         drop(guard);
+        // A fresh build clears the stale-fallback tally for the key.
+        self.stale_ann
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
         self.version.fetch_add(1, Ordering::Relaxed);
         arc
+    }
+
+    /// Count one stale-index ANN fallback on `table.column`, returning
+    /// the total since the index there was last (re)built. Executors
+    /// call this each time a query planned for the IVF path had to
+    /// degrade to the exact scan; auto-rebuild compares the total to
+    /// its threshold.
+    pub fn note_stale_ann(&self, table: &str, column: &str) -> u64 {
+        let key = format!("{}.{}", Self::key(table), Self::key(column));
+        let mut guard = self.stale_ann.write().unwrap_or_else(|e| e.into_inner());
+        let n = guard.entry(key).or_insert(0);
+        *n += 1;
+        *n
     }
 
     /// Fetch the vector index on `table.column`, if one is registered.

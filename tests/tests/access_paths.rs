@@ -398,6 +398,64 @@ fn append_keeps_index_stale_and_counts_fallbacks() {
 }
 
 #[test]
+fn stale_ivf_rebuilds_in_place_at_the_configured_threshold() {
+    let tdp = Tdp::new();
+    tdp.register_table(vecs_table(256, 8, 7));
+    tdp.execute("CREATE INDEX vi ON vecs (emb) USING ivf(4, 4) METRIC l2")
+        .unwrap();
+    tdp.set_ivf_rebuild_after(2);
+
+    // Append: the entry survives but its row count is stale.
+    let more = TableBuilder::new()
+        .col_i64("id", (256..320).collect())
+        .col_tensor("emb", clustered_vectors(64, 8, 8, 9))
+        .build("vecs");
+    assert!(tdp.append_rows("vecs", &more));
+
+    // Fallback #1: under the threshold — exact answer, no rebuild.
+    let q = query_vec(8, 51);
+    let (ann, oracle) = ann_vs_oracle(&tdp, &q, 10);
+    assert_eq!(ann, oracle, "below threshold the fallback stays exact");
+    assert_eq!(tdp.engine().access_path_stats().ivf_rebuilds, 0);
+
+    // Fallback #2 reaches the threshold: the index is retrained in
+    // place before searching, the rebuild is counted, and the profiled
+    // run flags it.
+    let mut params = ParamValues::new();
+    params.push(ParamValue::Tensor(query_vec(8, 52)));
+    let (out, profile) = tdp
+        .prepare("SELECT id FROM vecs ORDER BY distance(emb, ?) LIMIT 10")
+        .unwrap()
+        .bind(params)
+        .unwrap()
+        .run_profiled()
+        .unwrap();
+    assert_eq!(out.rows(), 10);
+    assert_eq!(profile.ivf_rebuilds, 1, "{profile:?}");
+    assert!(
+        profile.pretty().contains("[ivf rebuilt]"),
+        "{}",
+        profile.pretty()
+    );
+    assert_eq!(tdp.engine().access_path_stats().ivf_rebuilds, 1);
+
+    // The fresh index now serves: no further stale fallbacks, recall on
+    // the full (appended) table meets the probe-everything bound.
+    let stale_before = tdp.engine().access_path_stats().ivf_stale_fallbacks;
+    for seed in [61u64, 62, 63] {
+        let q = query_vec(8, seed);
+        let (ann, oracle) = ann_vs_oracle(&tdp, &q, 10);
+        // nprobe = nlist: IVF probes every cell, so top-k is exact.
+        assert_eq!(ann, oracle, "rebuilt index must cover appended rows");
+    }
+    assert_eq!(
+        tdp.engine().access_path_stats().ivf_stale_fallbacks,
+        stale_before,
+        "the rebuilt index is fresh — no more fallbacks"
+    );
+}
+
+#[test]
 fn index_ddl_round_trip() {
     let tdp = Tdp::new();
     tdp.register_table(vecs_table(64, 4, 1));

@@ -93,6 +93,182 @@ proptest! {
     }
 }
 
+/// A small dimension table joinable on `t.k` (which ranges over
+/// `[-3, 9]`): every key matches, plus two keys with no fact rows.
+fn dim() -> Table {
+    TableBuilder::new()
+        .col_i64("k", (-3..10).collect())
+        .col_f32("w", (0..13).map(|i| i as f32 * 0.5 - 2.0).collect())
+        .build("d")
+}
+
+/// Selective chains feeding each barrier kind. Derived tables place the
+/// filter chain directly under the join; ORDER BY / DISTINCT queries
+/// get their chain from predicate pushdown. Join, sort, top-k and
+/// DISTINCT only move input bytes, so one sequential whole-batch oracle
+/// covers every thread count, morsel size, and kernel setting.
+const BARRIER_CHAINS: &[&str] = &[
+    "SELECT s.v, d.w FROM (SELECT v, k FROM t WHERE v > 0.0) AS s JOIN d ON s.k = d.k",
+    "SELECT s.v, d.w FROM (SELECT v, k FROM t WHERE v > 2.5) AS s LEFT JOIN d ON s.k = d.k",
+    "SELECT v, k FROM t WHERE v > 0.0 ORDER BY v DESC, k",
+    "SELECT v, tag FROM t WHERE v < 1.0 ORDER BY tag, v LIMIT 5",
+    "SELECT DISTINCT tag FROM t WHERE v > 0.5",
+];
+
+/// Filter→aggregate shapes: the masked fast path (plain ungrouped
+/// columns), the mini-batch path (GROUP BY, computed arguments), and
+/// the f64-moment aggregates.
+const AGGREGATE_CHAINS: &[&str] = &[
+    "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t WHERE v > 0.0",
+    "SELECT AVG(v), VARIANCE(v), STDDEV(v) FROM t WHERE v < 1.0",
+    "SELECT tag, COUNT(*), SUM(v) FROM t WHERE v > 0.0 GROUP BY tag",
+    "SELECT SUM(v * 2.0 - k) AS s FROM t WHERE k > 0",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Selection-fed barriers are byte-identical to the sequential
+    /// whole-batch oracle at every thread/morsel/kernel configuration.
+    #[test]
+    fn selection_fed_barriers_match_oracle(
+        vs in proptest::collection::vec(-10.0f32..10.0, 0..200),
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(table(&vs));
+        tdp.register_table(dim());
+        for sql in BARRIER_CHAINS {
+            tdp.set_chain_kernels(false);
+            tdp.set_threads(1);
+            tdp.set_morsel_rows(tdp_core::exec::DEFAULT_MORSEL_ROWS);
+            let oracle = tdp.query(sql).unwrap().run().unwrap();
+            for threads in [1usize, 2, 7] {
+                tdp.set_threads(threads);
+                for morsel in [7usize, tdp_core::exec::DEFAULT_MORSEL_ROWS] {
+                    tdp.set_morsel_rows(morsel);
+                    for kernels in [false, true] {
+                        tdp.set_chain_kernels(kernels);
+                        let out = tdp.query(sql).unwrap().run().unwrap();
+                        assert_tables_identical(
+                            &oracle,
+                            &out,
+                            &format!("{sql} @ {threads}t/{morsel}m kernels={kernels}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Selection-fed aggregation chunks partials by *input* morsel
+    /// boundaries, so each morsel size is byte-identical to its own
+    /// single-threaded gathered run — across thread counts and with
+    /// kernels on or off.
+    #[test]
+    fn selection_fed_aggregates_match_gathered_partials(
+        vs in proptest::collection::vec(-10.0f32..10.0, 0..200),
+    ) {
+        let tdp = Tdp::new();
+        tdp.register_table(table(&vs));
+        for sql in AGGREGATE_CHAINS {
+            for morsel in [7usize, tdp_core::exec::DEFAULT_MORSEL_ROWS] {
+                tdp.set_morsel_rows(morsel);
+                // Oracle per morsel size: float partial order follows the
+                // input morsel grid, which both paths share.
+                tdp.set_chain_kernels(false);
+                tdp.set_threads(1);
+                let oracle = tdp.query(sql).unwrap().run().unwrap();
+                for threads in [1usize, 2, 7] {
+                    tdp.set_threads(threads);
+                    for kernels in [false, true] {
+                        tdp.set_chain_kernels(kernels);
+                        let out = tdp.query(sql).unwrap().run().unwrap();
+                        assert_tables_identical(
+                            &oracle,
+                            &out,
+                            &format!("{sql} @ {threads}t/{morsel}m kernels={kernels}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn selection_feeding_is_observable() {
+    let tdp = Tdp::new();
+    tdp.register_table(table(
+        &(0..200).map(|i| i as f32 / 7.0 - 10.0).collect::<Vec<_>>(),
+    ));
+    tdp.set_threads(3);
+    tdp.set_morsel_rows(16);
+    tdp.set_chain_kernels(true);
+
+    // EXPLAIN marks the barrier as selection-capable…
+    let q = tdp
+        .query("SELECT v, k FROM t WHERE v > 17.0 ORDER BY v DESC")
+        .unwrap();
+    assert!(
+        q.explain().contains("[barrier: selection-fed]"),
+        "{}",
+        q.explain()
+    );
+
+    // …and the profiled run records what actually happened: the chain's
+    // selection density and the barrier's feeding mode, mirrored in the
+    // run totals.
+    let (out, prof) = q.run_profiled().unwrap();
+    assert!(
+        out.rows() > 0 && out.rows() < 60,
+        "selective: {}",
+        out.rows()
+    );
+    assert!(
+        prof.barriers_selection_fed >= 1,
+        "sort fed by selection: {prof:?}"
+    );
+    let text = prof.pretty();
+    assert!(text.contains("[barrier: selection-fed ("), "{text}");
+    assert!(text.contains("[selection: "), "{text}");
+    assert!(text.contains("selection-fed / "), "{text}");
+
+    // A filtered derived table places the chain directly under a join
+    // probe side; it selection-feeds too.
+    tdp.register_table(dim());
+    let jq = tdp
+        .query("SELECT s.v, d.w FROM (SELECT v, k FROM t WHERE v > 17.0) AS s JOIN d ON s.k = d.k")
+        .unwrap();
+    assert!(
+        jq.explain().contains("[barrier: selection-fed]"),
+        "{}",
+        jq.explain()
+    );
+    let (_, jprof) = jq.run_profiled().unwrap();
+    assert!(jprof.barriers_selection_fed >= 1, "{jprof:?}");
+
+    // Disabled kernels gather, and both renderings say why.
+    tdp.set_chain_kernels(false);
+    assert!(
+        q.explain()
+            .contains("[barrier: gathered: chain-kernels-disabled]"),
+        "{}",
+        q.explain()
+    );
+    let (_, gprof) = q.run_profiled().unwrap();
+    assert!(
+        gprof.barriers_gathered >= 1 && gprof.barriers_selection_fed == 0,
+        "{gprof:?}"
+    );
+    assert!(
+        gprof
+            .pretty()
+            .contains("[barrier: gathered: chain-kernels-disabled]"),
+        "{}",
+        gprof.pretty()
+    );
+}
+
 #[test]
 fn parameterised_chains_share_one_kernel_across_bindings() {
     let tdp = Tdp::new();

@@ -121,6 +121,45 @@ fn concurrent_small_queries_are_byte_identical_to_unconstrained_run() {
     assert_eq!(engine.stats().mem_budget_aborts, 10);
 }
 
+/// Late materialization: a selective filter feeding SUM charges only
+/// its selection vector (~8 KB), so the query fits a budget the
+/// gathered path — which materializes the full 1.6 MB decoded column
+/// before aggregating — cannot. Same engine, same query, same budget;
+/// the only difference is whether the chain hands the barrier a
+/// selection vector or a gathered batch.
+#[test]
+fn selection_fed_aggregate_fits_budget_the_gathered_path_exceeds() {
+    let engine = TdpEngine::with_memory_budget(BUDGET);
+    load_tables(&engine);
+    let session = engine.session();
+    let sql = "SELECT SUM(qty) AS s FROM big WHERE qty < 5";
+
+    session.set_chain_kernels(false);
+    let err = session
+        .query(sql)
+        .unwrap()
+        .run()
+        .expect_err("gathered aggregation decodes the whole column up front");
+    assert!(
+        matches!(
+            err,
+            TdpError::Exec(tdp_core::exec::ExecError::MemoryBudget { .. })
+        ),
+        "{err:?}"
+    );
+
+    session.set_chain_kernels(true);
+    let t = session
+        .query(sql)
+        .unwrap()
+        .run()
+        .expect("selection-fed aggregation charges survivors, not morsel width");
+    assert_eq!(t.rows(), 1);
+    // 204 full cycles of 0..977 plus a 692-row tail: 205 × (0+1+2+3+4).
+    assert_eq!(t.columns()[0].data.decode_f32().to_vec(), vec![2050.0]);
+    assert_eq!(engine.memory_pool().used(), 0, "ledger fully released");
+}
+
 #[test]
 fn run_profiled_reports_peak_bytes_under_and_over_budget() {
     let engine = TdpEngine::new();

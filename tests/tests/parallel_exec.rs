@@ -121,8 +121,18 @@ const PIPELINES: &[&str] = &[
     // …shared-nothing DISTINCT, alone and under a sort barrier…
     "SELECT DISTINCT k, tag FROM t",
     "SELECT DISTINCT tag FROM t ORDER BY tag",
-    // …and a full barrier stack: join, then sort.
+    // …a full barrier stack: join, then sort…
     "SELECT t.v, d.w FROM t JOIN d ON t.k = d.k ORDER BY d.w, t.v",
+    // …and filter→barrier shapes where a compiled chain can hand its
+    // selection vector straight to the barrier (derived tables place
+    // the chain directly under a join probe side).
+    "SELECT s.v, d.w FROM (SELECT v, k FROM t WHERE v > 0.0) AS s JOIN d ON s.k = d.k",
+    "SELECT s.tag, d.w FROM (SELECT tag, k FROM t WHERE v < 2.0) AS s LEFT JOIN d ON s.k = d.k",
+    "SELECT v, k FROM t WHERE v > 1.0 ORDER BY v DESC, k",
+    "SELECT v, tag FROM t WHERE v < 0.0 ORDER BY tag, v LIMIT 9",
+    "SELECT DISTINCT tag FROM t WHERE v > 0.5",
+    "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t WHERE v > 0.0",
+    "SELECT tag, COUNT(*), SUM(v) FROM t WHERE v > 1.0 GROUP BY tag",
 ];
 
 proptest! {
@@ -146,12 +156,22 @@ proptest! {
         tdp.set_partitions(partitions);
         let sql = PIPELINES[which];
         // threads=1 takes the sequential kernels (the oracle); higher
-        // thread counts take the staged barrier paths.
+        // thread counts take the staged barrier paths, with chain
+        // kernels off (gathered barrier inputs) and on (selection-fed
+        // where the chain qualifies).
         let one = run_at(&tdp, sql, 1);
-        for threads in [2usize, 7] {
-            let out = run_at(&tdp, sql, threads);
-            assert_tables_identical(&one, &out, &format!("{sql} @ {threads} threads"));
+        for kernels in [false, true] {
+            tdp.set_chain_kernels(kernels);
+            for threads in [2usize, 7] {
+                let out = run_at(&tdp, sql, threads);
+                assert_tables_identical(
+                    &one,
+                    &out,
+                    &format!("{sql} @ {threads} threads kernels={kernels}"),
+                );
+            }
         }
+        tdp.set_chain_kernels(false);
     }
 
     /// A query applying a `parallel_safe` declared-signature UDF — which

@@ -216,6 +216,14 @@ fn overload_is_rejected_with_a_typed_busy_error() {
     // Admission gates execution verbs only — observability stays live.
     let stats = roundtrip(&stream, &mut reader, "STATS");
     assert!(stats.contains("queries_rejected 1"), "{stats}");
+    // Access-path counters render too (values depend on workload).
+    for line in [
+        "ivf_rebuilds ",
+        "barriers_selection_fed ",
+        "barriers_gathered ",
+    ] {
+        assert!(stats.contains(line), "STATS must report {line}: {stats}");
+    }
 
     release(&gate);
     let blocked_response = blocker.join().unwrap();
